@@ -1,0 +1,314 @@
+// Benchmark harness: one testing.B benchmark per paper table and figure
+// (run `go test -bench=. -benchmem`), plus ablation benches for the
+// design choices DESIGN.md calls out. Each benchmark reports the
+// figure's headline quantity as custom metrics so the paper-vs-measured
+// comparison in EXPERIMENTS.md can be regenerated from `go test` output
+// alone; `cmd/aspen-bench` renders the full tables.
+package aspen_test
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"aspen"
+	"aspen/internal/arch"
+	"aspen/internal/bench"
+	"aspen/internal/compile"
+	"aspen/internal/core"
+	"aspen/internal/lang"
+	"aspen/internal/place"
+	"aspen/internal/stream"
+	"aspen/internal/subtree"
+	"aspen/internal/treegen"
+	"aspen/internal/xmlgen"
+)
+
+// BenchmarkFig2ConventionalParsers regenerates Fig. 2: cycles/byte and
+// branches/byte for the software baselines at three markup densities.
+func BenchmarkFig2ConventionalParsers(b *testing.B) {
+	var rows []bench.Fig2Row
+	for i := 0; i < b.N; i++ {
+		_, rows = bench.Fig2(16 << 10)
+	}
+	for _, r := range rows {
+		b.ReportMetric(r.CyclesPerByte, r.Doc+"/"+r.Parser+"/cycles-per-byte")
+		b.ReportMetric(r.BranchesPerB, r.Doc+"/"+r.Parser+"/branches-per-byte")
+	}
+}
+
+// BenchmarkTableIDatasets regenerates Table I's dataset statistics.
+func BenchmarkTableIDatasets(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_ = bench.TableI(1000)
+	}
+}
+
+// BenchmarkTableIICriticalPath exercises the Table II timing derivation.
+func BenchmarkTableIICriticalPath(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_ = bench.TableII()
+	}
+	b.ReportMetric(arch.ASPENTiming.MaxFreqMHz(), "max-freq-MHz")
+	b.ReportMetric(float64(arch.ASPENTiming.CriticalPathPS()), "critical-path-ps")
+}
+
+// BenchmarkTableIIICompile regenerates Table III (grammar → parsing
+// automaton) for all four languages.
+func BenchmarkTableIIICompile(b *testing.B) {
+	var t *bench.Table
+	for i := 0; i < b.N; i++ {
+		t = bench.TableIII()
+	}
+	_ = t
+}
+
+// BenchmarkTableIVOptimizations regenerates Table IV (hDPDA sizes with
+// and without optimization) and reports the ε-state reduction.
+func BenchmarkTableIVOptimizations(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_ = bench.TableIV()
+	}
+	// Headline metric: average ε-state reduction across languages.
+	var before, after float64
+	for _, l := range lang.All() {
+		n, err := l.Compile(compile.OptNone)
+		if err != nil {
+			b.Fatal(err)
+		}
+		a, err := l.Compile(compile.OptAll)
+		if err != nil {
+			b.Fatal(err)
+		}
+		before += float64(n.Stats.EpsStates)
+		after += float64(a.Stats.EpsStates)
+	}
+	b.ReportMetric(100*(1-after/before), "eps-state-reduction-%")
+}
+
+// BenchmarkTableVSubtreeParams regenerates Table V's architectural
+// parameters.
+func BenchmarkTableVSubtreeParams(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_ = bench.TableV(1000)
+	}
+}
+
+// BenchmarkFig8XMLParsing regenerates Fig. 8 over the 23-document corpus
+// and reports the §VI-B headline metrics.
+func BenchmarkFig8XMLParsing(b *testing.B) {
+	var sum bench.Fig8Summary
+	for i := 0; i < b.N; i++ {
+		_, _, sum = bench.Fig8(8 << 10)
+	}
+	b.ReportMetric(sum.AvgASPENMPNSPerKB, "aspen-mp-ns-per-kB")
+	b.ReportMetric(sum.AvgASPENMPUJPerKB, "aspen-mp-uJ-per-kB")
+	b.ReportMetric(sum.SpeedupVsExpat, "speedup-vs-expat")
+	b.ReportMetric(sum.SpeedupVsXerces, "speedup-vs-xerces")
+	b.ReportMetric(sum.MPSpeedupOverASPEN, "mp-over-aspen")
+}
+
+// BenchmarkFig9SubtreeMining regenerates Fig. 9 (and Fig. 10's energy
+// inputs) on the scaled Table I datasets.
+func BenchmarkFig9SubtreeMining(b *testing.B) {
+	var rows []bench.Fig9Row
+	for i := 0; i < b.N; i++ {
+		_, _, rows = bench.Fig9(500)
+	}
+	for _, r := range rows {
+		b.ReportMetric(r.TotalSpeedupVsCPU, r.Dataset+"/total-speedup-vs-cpu")
+		b.ReportMetric(r.TotalSpeedupVsGPU, r.Dataset+"/total-speedup-vs-gpu")
+	}
+}
+
+// BenchmarkFig10Energy regenerates Fig. 10's energy ratios.
+func BenchmarkFig10Energy(b *testing.B) {
+	var rows []bench.Fig9Row
+	for i := 0; i < b.N; i++ {
+		_, _, rows = bench.Fig9(500)
+	}
+	for _, r := range rows {
+		b.ReportMetric(r.CPUEnergyUJ/r.ASPENEnergyUJ, r.Dataset+"/cpu-energy-ratio")
+		b.ReportMetric(r.GPUEnergyUJ/r.ASPENEnergyUJ, r.Dataset+"/gpu-energy-ratio")
+	}
+}
+
+// --- Ablations (DESIGN.md §4) ---
+
+// BenchmarkAblationOptimizations compares stall counts across the four
+// optimization settings on a dense XML document.
+func BenchmarkAblationOptimizations(b *testing.B) {
+	l := lang.XML()
+	doc := xmlgen.Generate("soap", 16<<10, 0.94, 3)
+	lx, err := l.Lexer()
+	if err != nil {
+		b.Fatal(err)
+	}
+	toks, _, err := lx.Tokenize(doc.Data)
+	if err != nil {
+		b.Fatal(err)
+	}
+	syms, err := l.Syms(toks)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, cfg := range []struct {
+		name string
+		opts compile.Options
+	}{
+		{"none", compile.OptNone},
+		{"eps", compile.OptEpsilonOnly},
+		{"mp", compile.Options{Multipop: true}},
+		{"eps+mp", compile.OptAll},
+	} {
+		cfg := cfg
+		b.Run(cfg.name, func(b *testing.B) {
+			cm, err := l.Compile(cfg.opts)
+			if err != nil {
+				b.Fatal(err)
+			}
+			stream, err := cm.Tokens.Encode(syms, true)
+			if err != nil {
+				b.Fatal(err)
+			}
+			var res core.Result
+			for i := 0; i < b.N; i++ {
+				res, err = cm.Machine.Run(stream, core.ExecOptions{})
+				if err != nil || !res.Accepted {
+					b.Fatalf("res=%+v err=%v", res, err)
+				}
+			}
+			b.ReportMetric(float64(res.EpsilonStalls), "stalls")
+			b.ReportMetric(float64(cm.Machine.NumStates()), "states")
+		})
+	}
+}
+
+// BenchmarkAblationPlacement compares G-switch traffic under partitioned
+// vs random placement (DESIGN.md decision 4).
+func BenchmarkAblationPlacement(b *testing.B) {
+	cm, err := lang.Cool().Compile(compile.OptAll)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, random := range []bool{false, true} {
+		name := "partitioned"
+		if random {
+			name = "random"
+		}
+		b.Run(name, func(b *testing.B) {
+			var p *place.Placement
+			for i := 0; i < b.N; i++ {
+				p, err = place.Partition(cm.Machine, place.Options{Random: random, Seed: 42})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			s := place.Evaluate(cm.Machine, p)
+			b.ReportMetric(float64(s.CutEdges), "cut-edges")
+		})
+	}
+}
+
+// BenchmarkAblationLALRvsCanonical compares table sizes (DESIGN.md
+// decision 3).
+func BenchmarkAblationLALRvsCanonical(b *testing.B) {
+	g := lang.JSON().Grammar
+	for i := 0; i < b.N; i++ {
+		lalr, err := aspen.CompileGrammar(g, aspen.CompileOptions{EpsilonMerge: true, Multipop: true})
+		if err != nil {
+			b.Fatal(err)
+		}
+		_ = lalr
+	}
+}
+
+// BenchmarkHDPDAThroughput measures raw functional execution speed of
+// the XML machine (symbols/sec of the Go interpreter, not the modeled
+// hardware).
+func BenchmarkHDPDAThroughput(b *testing.B) {
+	l := lang.XML()
+	cm, err := l.Compile(compile.OptAll)
+	if err != nil {
+		b.Fatal(err)
+	}
+	lx, _ := l.Lexer()
+	doc := xmlgen.Generate("psd7003", 32<<10, 0.33, 3)
+	toks, _, err := lx.Tokenize(doc.Data)
+	if err != nil {
+		b.Fatal(err)
+	}
+	syms, _ := l.Syms(toks)
+	stream, _ := cm.Tokens.Encode(syms, true)
+	b.SetBytes(int64(len(stream)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if res, err := cm.Machine.Run(stream, core.ExecOptions{}); err != nil || !res.Accepted {
+			b.Fatal("rejected")
+		}
+	}
+}
+
+// BenchmarkInclusionMachine measures subtree-inclusion DPDA execution.
+func BenchmarkInclusionMachine(b *testing.B) {
+	db := treegen.Generate(treegen.Treebank().Scale(1000))
+	pat, err := aspen.DecodeTree([]aspen.TreeLabel{1, 2, -1, 3, -1, -1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	im, err := subtree.NewInclusionMachine(pat)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, t := range db {
+			if _, err := im.Includes(t); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// BenchmarkAblationBankSize sweeps the per-bank state capacity and
+// reports the G-switch traffic each choice implies.
+func BenchmarkAblationBankSize(b *testing.B) {
+	cm, err := lang.Cool().Compile(compile.OptAll)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, size := range []int{64, 128, 256, 512} {
+		size := size
+		b.Run(fmt.Sprintf("bank%d", size), func(b *testing.B) {
+			var p *place.Placement
+			for i := 0; i < b.N; i++ {
+				p, err = place.Partition(cm.Machine, place.Options{BankStates: size})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			s := place.Evaluate(cm.Machine, p)
+			b.ReportMetric(float64(s.CutEdges), "cut-edges")
+			b.ReportMetric(float64(p.NumBanks), "banks")
+		})
+	}
+}
+
+// BenchmarkStreamingThroughput measures the chunked pipeline on a
+// generated corpus document.
+func BenchmarkStreamingThroughput(b *testing.B) {
+	l := lang.XML()
+	cm, err := l.Compile(compile.OptAll)
+	if err != nil {
+		b.Fatal(err)
+	}
+	doc := xmlgen.Generate("streambench", 64<<10, 0.4, 9)
+	b.SetBytes(int64(len(doc.Data)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		out, err := stream.ParseReader(l, cm, bytes.NewReader(doc.Data), 8<<10, core.ExecOptions{})
+		if err != nil || !out.Accepted {
+			b.Fatalf("outcome %+v err %v", out, err)
+		}
+	}
+}

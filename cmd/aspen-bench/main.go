@@ -1,0 +1,82 @@
+// Command aspen-bench regenerates every table and figure of the paper's
+// evaluation and writes the results as Markdown (the content of
+// EXPERIMENTS.md's measured sections).
+//
+// Usage:
+//
+//	aspen-bench                       # print all experiments
+//	aspen-bench -only fig8 -size 65536
+//	aspen-bench -o EXPERIMENTS.md
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"aspen/internal/bench"
+)
+
+func main() {
+	var (
+		only  = flag.String("only", "", "run a single experiment (fig2, table1..table5, fig8, fig9, fig10, ablations)")
+		size  = flag.Int("size", 32<<10, "per-document size for XML experiments (bytes)")
+		scale = flag.Int("scale", 200, "dataset scale divisor for mining experiments")
+		out   = flag.String("o", "", "write Markdown to this file instead of stdout")
+	)
+	flag.Parse()
+
+	want := func(id string) bool { return *only == "" || *only == id }
+	var b strings.Builder
+	fmt.Fprintf(&b, "# ASPEN reproduction — measured results\n\n")
+	fmt.Fprintf(&b, "Generated %s by `aspen-bench -size %d -scale %d`.\n\n",
+		time.Now().UTC().Format(time.RFC3339), *size, *scale)
+
+	if want("fig2") {
+		t, _ := bench.Fig2(*size)
+		b.WriteString(t.Render())
+	}
+	if want("table1") {
+		b.WriteString(bench.TableI(*scale).Render())
+	}
+	if want("table2") {
+		b.WriteString(bench.TableII().Render())
+	}
+	if want("table3") {
+		b.WriteString(bench.TableIII().Render())
+	}
+	if want("table4") {
+		b.WriteString(bench.TableIV().Render())
+	}
+	if want("table5") {
+		b.WriteString(bench.TableV(*scale).Render())
+	}
+	if want("fig8") {
+		t, _, _ := bench.Fig8(*size)
+		b.WriteString(t.Render())
+	}
+	if want("ablations") {
+		b.WriteString(bench.Ablations(*size).Render())
+	}
+	if want("fig9") || want("fig10") {
+		f9, f10, _ := bench.Fig9(*scale)
+		if want("fig9") {
+			b.WriteString(f9.Render())
+		}
+		if want("fig10") {
+			b.WriteString(f10.Render())
+		}
+	}
+
+	if *out != "" {
+		if err := os.WriteFile(*out, []byte(b.String()), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "aspen-bench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s\n", *out)
+		return
+	}
+	fmt.Print(b.String())
+}

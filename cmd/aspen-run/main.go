@@ -1,0 +1,145 @@
+// Command aspen-run loads an hDPDA (from MNRL JSON or a built-in
+// language) and executes it over an input document, either functionally
+// or on the cycle-accurate architecture simulator, reporting acceptance,
+// cycle counts, stalls, runtime and energy.
+//
+// Usage:
+//
+//	aspen-run -mnrl machine.mnrl -in input.bin
+//	aspen-run -lang JSON -in doc.json -sim
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"aspen"
+	"aspen/internal/arch"
+)
+
+func main() {
+	var (
+		mnrlPath = flag.String("mnrl", "", "MNRL machine to run (raw symbol input)")
+		langName = flag.String("lang", "", "built-in language pipeline (Cool, DOT, JSON, XML)")
+		inPath   = flag.String("in", "", "input document")
+		sim      = flag.Bool("sim", false, "run on the cycle-accurate simulator")
+		trace    = flag.Int("trace", 0, "with -mnrl: print the first N datapath cycles")
+	)
+	flag.Parse()
+
+	if *inPath == "" {
+		fatal("-in is required")
+	}
+	input, err := os.ReadFile(*inPath)
+	if err != nil {
+		fatal("%v", err)
+	}
+
+	switch {
+	case *mnrlPath != "":
+		data, err := os.ReadFile(*mnrlPath)
+		if err != nil {
+			fatal("%v", err)
+		}
+		m, err := aspen.ImportMNRL(data)
+		if err != nil {
+			fatal("%v", err)
+		}
+		if *trace > 0 {
+			s, err := aspen.NewSim(m, aspen.DefaultArchConfig())
+			if err != nil {
+				fatal("%v", err)
+			}
+			events, err := s.Trace(aspen.BytesToSymbols(input), *trace)
+			if err != nil {
+				fatal("%v", err)
+			}
+			fmt.Print(arch.FormatTrace(events))
+			return
+		}
+		runMachine(m, aspen.BytesToSymbols(input), *sim, len(input))
+	case *langName != "":
+		var l *aspen.Language
+		for _, cand := range aspen.Languages() {
+			if cand.Name == *langName {
+				l = cand
+			}
+		}
+		if l == nil {
+			fatal("unknown language %q", *langName)
+		}
+		cm, err := l.Compile(aspen.OptAll)
+		if err != nil {
+			fatal("%v", err)
+		}
+		lx, err := l.Lexer()
+		if err != nil {
+			fatal("%v", err)
+		}
+		toks, lstats, err := lx.Tokenize(input)
+		if err != nil {
+			fatal("lex: %v", err)
+		}
+		syms, err := l.Syms(toks)
+		if err != nil {
+			fatal("%v", err)
+		}
+		stream, err := cm.Tokens.Encode(syms, true)
+		if err != nil {
+			fatal("%v", err)
+		}
+		fmt.Printf("tokens    %d (scan cycles %d)\n", len(toks), lstats.ScanCycles)
+		if *sim {
+			s, err := aspen.NewSim(cm.Machine, aspen.DefaultArchConfig())
+			if err != nil {
+				fatal("%v", err)
+			}
+			ps, err := aspen.RunPipeline(s, aspen.DefaultCacheAutomaton(), lstats, stream, aspen.ExecOptions{})
+			if err != nil {
+				fatal("%v", err)
+			}
+			fmt.Printf("accepted  %v\n", ps.Parse.Result.Accepted)
+			fmt.Printf("banks     %d (%d KB, %d cut edges)\n", s.NumBanks(), s.OccupancyKB(), s.PlacementStats().CutEdges)
+			fmt.Printf("cycles    %d (stalls %d, masked %d)\n", ps.ParseCycles, ps.Stalls, ps.MaskedStalls)
+			fmt.Printf("time      %.1f ns (%.1f ns/kB)\n", ps.TotalNS, ps.NSPerKB())
+			fmt.Printf("energy    %.3f µJ (%.3f µJ/kB)\n", ps.EnergyUJ(s.Cfg), ps.UJPerKB(s.Cfg))
+		} else {
+			runMachine(cm.Machine, stream, false, len(input))
+		}
+	default:
+		fatal("one of -mnrl or -lang is required")
+	}
+}
+
+func runMachine(m *aspen.HDPDA, input []aspen.Symbol, simulate bool, bytes int) {
+	if simulate {
+		s, err := aspen.NewSim(m, aspen.DefaultArchConfig())
+		if err != nil {
+			fatal("%v", err)
+		}
+		rs, err := s.Run(input, aspen.ExecOptions{})
+		if err != nil {
+			fatal("%v", err)
+		}
+		fmt.Printf("accepted  %v\n", rs.Result.Accepted)
+		fmt.Printf("cycles    %d (stalls %d)\n", rs.Cycles, rs.StallCycles)
+		fmt.Printf("time      %.1f ns\n", rs.TimeNS(s.Cfg))
+		fmt.Printf("energy    %.3f µJ\n", rs.EnergyUJ(s.Cfg))
+		return
+	}
+	res, err := m.Run(input, aspen.ExecOptions{CollectReports: true})
+	if err != nil {
+		fatal("%v", err)
+	}
+	fmt.Printf("accepted  %v\n", res.Accepted)
+	fmt.Printf("consumed  %d of %d symbols\n", res.Consumed, len(input))
+	fmt.Printf("stalls    %d\n", res.EpsilonStalls)
+	fmt.Printf("reports   %d\n", res.ReportCount)
+	fmt.Printf("max stack %d\n", res.MaxStackDepth)
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "aspen-run: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,106 @@
+// Command aspenc is the ASPEN grammar compiler: it transforms an LR(1)
+// grammar (in the BNF-like DSL of internal/grammar, or one of the four
+// built-in evaluation languages) into a homogeneous deterministic
+// pushdown automaton, optionally optimized with ε-merging and multipop,
+// and emits it as MNRL JSON together with Table III/IV-style statistics.
+//
+// Usage:
+//
+//	aspenc -grammar file.g -O2 -o machine.mnrl
+//	aspenc -lang XML -O0
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"aspen"
+	"aspen/internal/viz"
+)
+
+func main() {
+	var (
+		grammarPath = flag.String("grammar", "", "grammar file in the ASPEN DSL")
+		langName    = flag.String("lang", "", "built-in language instead of -grammar (Cool, DOT, JSON, XML)")
+		optLevel    = flag.Int("O", 2, "optimization level: 0 = none, 1 = ε-merging, 2 = ε-merging + multipop")
+		resolve     = flag.Bool("resolve-sr", false, "resolve shift/reduce conflicts in favor of shift (yacc default)")
+		out         = flag.String("o", "", "write MNRL JSON to this file (default: stdout off, stats only)")
+		dot         = flag.String("dot", "", "write a GraphViz rendering of the machine to this file")
+	)
+	flag.Parse()
+
+	opts := aspen.OptNone
+	switch *optLevel {
+	case 0:
+	case 1:
+		opts = aspen.OptEpsilonOnly
+	case 2:
+		opts = aspen.OptAll
+	default:
+		fatal("invalid -O level %d", *optLevel)
+	}
+	opts.ResolveShiftReduce = *resolve
+
+	var cm *aspen.Compiled
+	var err error
+	switch {
+	case *langName != "":
+		var l *aspen.Language
+		for _, cand := range aspen.Languages() {
+			if cand.Name == *langName {
+				l = cand
+			}
+		}
+		if l == nil {
+			fatal("unknown language %q (want Cool, DOT, JSON, or XML)", *langName)
+		}
+		cm, err = l.Compile(opts)
+	case *grammarPath != "":
+		src, rerr := os.ReadFile(*grammarPath)
+		if rerr != nil {
+			fatal("%v", rerr)
+		}
+		g, perr := aspen.ParseGrammar(string(src))
+		if perr != nil {
+			fatal("%v", perr)
+		}
+		cm, err = aspen.CompileGrammar(g, opts)
+	default:
+		fatal("one of -grammar or -lang is required")
+	}
+	if err != nil {
+		fatal("compile: %v", err)
+	}
+
+	s := cm.Stats
+	fmt.Printf("grammar      %s\n", cm.Grammar.Name)
+	fmt.Printf("tokens       %d\n", s.TokenTypes)
+	fmt.Printf("productions  %d\n", s.Productions)
+	fmt.Printf("lr states    %d (%s)\n", s.ParsingStates, cm.Table.Mode)
+	fmt.Printf("hdpda states %d (raw %d, ε %d, raw ε %d)\n", s.States, s.StatesRaw, s.EpsStates, s.EpsStatesRaw)
+	fmt.Printf("compile time %v\n", s.CompileTime)
+
+	if *out != "" {
+		data, err := aspen.ExportMNRL(cm.Machine)
+		if err != nil {
+			fatal("export: %v", err)
+		}
+		if err := os.WriteFile(*out, data, 0o644); err != nil {
+			fatal("%v", err)
+		}
+		fmt.Printf("wrote        %s (%d bytes)\n", *out, len(data))
+	}
+	if *dot != "" {
+		doc := viz.HDPDA(cm.Machine, viz.Options{})
+		if err := os.WriteFile(*dot, []byte(doc), 0o644); err != nil {
+			fatal("%v", err)
+		}
+		fmt.Printf("wrote        %s (%d bytes of DOT)\n", *dot, len(doc))
+	}
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "aspenc: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,98 @@
+// Command treeminer runs frequent subtree mining (the paper's §VI-C
+// application) over a synthetic Table I dataset, comparing the ASPEN
+// parallel-DPDA model, the GPU SIMT model, and the measured CPU
+// baseline.
+//
+// Usage:
+//
+//	treeminer -dataset T1M -scale 200 -support 0.01
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"aspen"
+	"aspen/internal/subtree"
+	"aspen/internal/treegen"
+)
+
+func main() {
+	var (
+		dataset = flag.String("dataset", "T1M", "T1M, T2M, or TREEBANK")
+		scale   = flag.Int("scale", 200, "divide the paper's tree count by this factor")
+		support = flag.Float64("support", 0.012, "minimum support as a fraction of the database")
+		maxSize = flag.Int("max-size", 4, "maximum pattern size in nodes")
+	)
+	flag.Parse()
+
+	var p treegen.Params
+	switch *dataset {
+	case "T1M":
+		p = treegen.T1M()
+	case "T2M":
+		p = treegen.T2M()
+	case "TREEBANK":
+		p = treegen.Treebank()
+	default:
+		fatal("unknown dataset %q", *dataset)
+	}
+	p = p.Scale(*scale)
+	db := aspen.GenerateTrees(p)
+	stats := treegen.Describe(db)
+	fmt.Printf("dataset   %s: %d trees, %.2f avg nodes, %d labels, depth %d\n",
+		p.Name, stats.NumTrees, stats.AvgNodes, stats.Labels, stats.MaxDepth)
+
+	minSup := int(float64(len(db)) * *support)
+	if minSup < 2 {
+		minSup = 2
+	}
+	start := time.Now()
+	pats, wl, err := aspen.MineSubtrees(db, aspen.MineConfig{
+		MinSupport: minSup, MaxNodes: *maxSize, CollectRuns: 1 << 20,
+	})
+	cpuTotal := float64(time.Since(start).Nanoseconds())
+	if err != nil {
+		fatal("%v", err)
+	}
+	totals := wl.Totals()
+	fmt.Printf("mining    support ≥ %d: %d frequent patterns, %d candidates, %d checks, %d anchor runs\n",
+		minSup, len(pats), totals.Candidates, totals.TreeChecks, totals.AnchorRuns)
+
+	// Engine comparison.
+	aspenModel := subtree.DefaultASPENMiner()
+	at := aspenModel.Model(wl, stats.Bytes)
+	at.IntermediateNS = cpuTotal - totals.CheckNS
+	fmt.Printf("cpu       kernel %.2f ms, total %.2f ms (measured)\n", totals.CheckNS/1e6, cpuTotal/1e6)
+	fmt.Printf("aspen     kernel %.2f ms, total %.2f ms (%.1f× total speedup, %d banks)\n",
+		at.KernelNS/1e6, at.TotalNS()/1e6, cpuTotal/at.TotalNS(), aspenModel.Banks)
+
+	gpu := subtree.DefaultGPUMiner()
+	if len(wl.Runs) > 0 {
+		var sym int64
+		for _, r := range wl.Runs {
+			sym += r.Symbols()
+		}
+		div := float64(gpu.SimulateChecks(wl.Runs)) / (float64(sym) / float64(gpu.WarpSize))
+		warpCycles := int64(float64(totals.EarlyAnchorSymbols) / float64(gpu.WarpSize) * div)
+		gt := gpu.ModelFromCycles(warpCycles, len(wl.Iterations), 2*stats.Bytes)
+		fmt.Printf("gpu       kernel %.2f ms (divergence factor %.2f), total %.2f ms\n",
+			gt.KernelNS/1e6, div, (gt.TotalNS()+at.IntermediateNS)/1e6)
+	}
+
+	// Show the largest frequent patterns.
+	shown := 0
+	for i := len(pats) - 1; i >= 0 && shown < 5; i-- {
+		if pats[i].Tree.NumNodes() >= 2 {
+			fmt.Printf("pattern   %v  support=%d\n", pats[i].Tree.Encode(), pats[i].Support)
+			shown++
+		}
+	}
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "treeminer: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,152 @@
+package aspen_test
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"aspen"
+)
+
+// The Fig. 1 palindrome machine: six homogeneous states, each one SRAM
+// column.
+func ExamplePalindromeHDPDA() {
+	m := aspen.PalindromeHDPDA()
+	for _, in := range []string{"01c10", "01c01"} {
+		fmt.Println(in, m.Accepts(aspen.BytesToSymbols([]byte(in))))
+	}
+	// Output:
+	// 01c10 true
+	// 01c01 false
+}
+
+// Compile a grammar to an hDPDA and parse a token stream; the report
+// stream is the reverse rightmost derivation.
+func ExampleCompileGrammar() {
+	g := aspen.MustParseGrammar(`
+%token a b
+S : a S b | ;
+`)
+	cm, err := aspen.CompileGrammar(g, aspen.OptAll)
+	if err != nil {
+		log.Fatal(err)
+	}
+	toks := []aspen.Sym{g.Lookup("a"), g.Lookup("a"), g.Lookup("b"), g.Lookup("b")}
+	res, err := cm.ParseTokens(toks, aspen.ExecOptions{CollectReports: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("accepted:", res.Accepted)
+	for _, code := range aspen.Reductions(res) {
+		fmt.Println(g.ProductionString(code))
+	}
+	// Output:
+	// accepted: true
+	// S → ε
+	// S → a S b
+	// S → a S b
+}
+
+// Subtree inclusion on the mining kernel: the candidate compiles to a
+// stall-free hDPDA run over the tree's preorder encoding.
+func ExampleNewInclusionMachine() {
+	pattern, _ := aspen.DecodeTree([]aspen.TreeLabel{5, 7, -1, -1}) // 5(7)
+	im, err := aspen.NewInclusionMachine(pattern)
+	if err != nil {
+		log.Fatal(err)
+	}
+	tree, _ := aspen.DecodeTree([]aspen.TreeLabel{5, 1, -1, 7, 2, -1, -1, -1}) // 5(1, 7(2))
+	ok, err := im.Includes(tree)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("included:", ok)
+	// Output:
+	// included: true
+}
+
+// DOM construction from the report stream (paper §IV-E).
+func ExampleBuildDOM() {
+	l := aspen.LangXML()
+	cm, err := l.Compile(aspen.OptAll)
+	if err != nil {
+		log.Fatal(err)
+	}
+	doc, _, err := aspen.BuildDOM(l, cm, []byte(`<llc slices="8"><bank>aspen</bank></llc>`))
+	if err != nil {
+		log.Fatal(err)
+	}
+	slices, _ := doc.Root.Attr("slices")
+	fmt.Println(doc.Root.Name, slices, doc.Root.Find("bank").InnerText())
+	// Output:
+	// llc 8 aspen
+}
+
+// Streaming: chunked input produces identical results to whole-document
+// parsing.
+func ExampleNewStreamParser() {
+	l := aspen.LangJSON()
+	cm, err := l.Compile(aspen.OptAll)
+	if err != nil {
+		log.Fatal(err)
+	}
+	p, err := aspen.NewStreamParser(l, cm, aspen.ExecOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, chunk := range []string{`{"arrays": [25`, `6, 256], "ok"`, `: true}`} {
+		if _, err := p.Write([]byte(chunk)); err != nil {
+			log.Fatal(err)
+		}
+	}
+	out, err := p.Close()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("accepted:", out.Accepted, "tokens:", out.Tokens)
+	// Output:
+	// accepted: true tokens: 13
+}
+
+// The cycle-accurate simulator reports time and energy at the paper's
+// operating point.
+func ExampleNewSim() {
+	cm, err := aspen.CompileGrammar(aspen.ArithGrammar(), aspen.OptAll)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sim, err := aspen.NewSim(cm.Machine, aspen.DefaultArchConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+	g := cm.Grammar
+	stream, err := cm.Tokens.Encode([]aspen.Sym{
+		g.Lookup("INT"), g.Lookup("PLUS"), g.Lookup("INT"),
+	}, true)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rs, err := sim.Run(stream, aspen.ExecOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("accepted:", rs.Result.Accepted, "banks:", sim.NumBanks())
+	// Output:
+	// accepted: true banks: 1
+}
+
+// Machines serialize to the MNRL interchange format.
+func ExampleExportMNRL() {
+	data, err := aspen.ExportMNRL(aspen.PalindromeHDPDA())
+	if err != nil {
+		log.Fatal(err)
+	}
+	back, err := aspen.ImportMNRL(data)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("states:", back.NumStates(),
+		"hPDA nodes:", strings.Count(string(data), "hPDAState"))
+	// Output:
+	// states: 7 hPDA nodes: 7
+}

@@ -1,0 +1,121 @@
+// Calculator: the paper's Fig. 4 walk-through — compile the arithmetic
+// grammar to an hDPDA, parse 3*(4+5), verify the machine's reduction
+// report stream against the LR oracle, and print the parse tree.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"aspen"
+)
+
+type tnode struct {
+	sym  string
+	kids []*tnode
+}
+
+func main() {
+	g := aspen.ArithGrammar()
+	cm, err := aspen.CompileGrammar(g, aspen.OptAll)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("grammar %s: %d tokens, %d productions → %d LR states → %d hDPDA states (%d ε)\n",
+		g.Name, cm.Stats.TokenTypes, cm.Stats.Productions,
+		cm.Stats.ParsingStates, cm.Stats.States, cm.Stats.EpsStates)
+
+	// 3 * ( 4 + 5 ): integers lex to INT tokens before parsing (Fig. 4).
+	names := []string{"INT", "TIMES", "LPAREN", "INT", "PLUS", "INT", "RPAREN"}
+	lexemes := []string{"3", "*", "(", "4", "+", "5", ")"}
+	toks := make([]aspen.Sym, len(names))
+	for i, n := range names {
+		toks[i] = g.Lookup(n)
+	}
+
+	// Run the hDPDA.
+	res, err := cm.ParseTokens(toks, aspen.ExecOptions{CollectReports: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\ninput  3 * ( 4 + 5 )  →  accepted=%v (%d ε-stall cycles)\n", res.Accepted, res.EpsilonStalls)
+
+	// The reduce reports are the reverse rightmost derivation; they must
+	// equal the software LR engine's reduction sequence.
+	hdpdaReds := aspen.Reductions(res)
+	oracle := cm.Table.Parse(toks)
+	if len(hdpdaReds) != len(oracle.Reductions) {
+		log.Fatal("hDPDA and LR oracle disagree")
+	}
+	fmt.Println("\nreductions reported by the machine:")
+	for _, code := range hdpdaReds {
+		fmt.Printf("  %s\n", g.ProductionString(code))
+	}
+
+	// Rebuild the Fig. 4(b) parse tree by replaying the engine with a
+	// node stack alongside the state stack.
+	root := buildTree(cm, toks, lexemes)
+	fmt.Println("\nparse tree (Fig. 4b):")
+	printTree(root, "  ")
+}
+
+// buildTree runs the table-driven LR engine, building tree nodes on
+// every shift and reduce.
+func buildTree(cm *aspen.Compiled, toks []aspen.Sym, lexemes []string) *tnode {
+	g := cm.Grammar
+	tbl := cm.Table
+	states := []int{0}
+	var nodes []*tnode
+	pos := 0
+	la := func() aspen.Sym {
+		if pos < len(toks) {
+			return toks[pos]
+		}
+		return 0 // grammar.EndMarker
+	}
+	for {
+		a, ok := tbl.Actions[states[len(states)-1]][la()]
+		if !ok {
+			log.Fatalf("syntax error at token %d", pos)
+		}
+		switch a.Kind.String() {
+		case "shift":
+			states = append(states, a.Target)
+			label := g.SymName(toks[pos])
+			if pos < len(lexemes) {
+				label = lexemes[pos] + " (" + label + ")"
+			}
+			nodes = append(nodes, &tnode{sym: label})
+			pos++
+		case "reduce":
+			p := g.Productions[a.Target]
+			k := len(p.Rhs)
+			n := &tnode{sym: g.SymName(p.Lhs)}
+			if k > 0 {
+				n.kids = append(n.kids, nodes[len(nodes)-k:]...)
+				nodes = nodes[:len(nodes)-k]
+			}
+			nodes = append(nodes, n)
+			states = states[:len(states)-k]
+			gs, ok := tbl.Gotos[states[len(states)-1]][p.Lhs]
+			if !ok {
+				log.Fatal("goto error")
+			}
+			states = append(states, gs)
+		case "accept":
+			if len(nodes) != 1 {
+				log.Fatalf("unexpected node stack %d", len(nodes))
+			}
+			return nodes[0]
+		default:
+			log.Fatal("engine error")
+		}
+	}
+}
+
+func printTree(n *tnode, indent string) {
+	fmt.Printf("%s%s\n", indent, n.sym)
+	for _, k := range n.kids {
+		printTree(k, indent+"  ")
+	}
+}

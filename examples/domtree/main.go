@@ -1,0 +1,56 @@
+// DOM construction: the post-processing stage of paper §IV-E — build a
+// Document Object Model tree with a single linear pass over the ASPEN
+// XML machine's reduction reports, including the semantic check that
+// opening and closing tag names match (which pure syntax cannot see).
+package main
+
+import (
+	"errors"
+	"fmt"
+	"log"
+
+	"aspen"
+	"aspen/internal/dom"
+)
+
+func main() {
+	l := aspen.LangXML()
+	cm, err := l.Compile(aspen.OptAll)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	doc := `<?xml version="1.0"?>
+<!-- device manifest -->
+<llc slices="8">
+  <slice id="0" ways="20">
+    <bank arrays="4">aspen</bank>
+    <bank arrays="4"><![CDATA[repurposed <DPDA>]]></bank>
+  </slice>
+  <cbox stack="256"/>
+</llc>`
+
+	d, res, err := aspen.BuildDOM(l, cm, []byte(doc))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("parsed in %d machine steps (%d ε-stalls); %d elements, %d attributes, %d content bytes\n\n",
+		res.Steps, res.EpsilonStalls, d.Elements, d.Attributes, d.Characters)
+	fmt.Print(d.Root.String())
+
+	// Navigate.
+	if ways, ok := d.Root.Find("slice").Attr("ways"); ok {
+		fmt.Printf("\nslice ways = %s\n", ways)
+	}
+	fmt.Printf("bank text  = %q\n", d.Root.Find("bank").InnerText())
+
+	// The semantic layer: syntactically balanced but misnamed close tag.
+	bad := `<a><b></c></a>`
+	_, _, err = aspen.BuildDOM(l, cm, []byte(bad))
+	var me *dom.MismatchError
+	if errors.As(err, &me) {
+		fmt.Printf("\nsemantic check: %v\n", me)
+	} else {
+		log.Fatalf("expected mismatch error, got %v", err)
+	}
+}

@@ -1,0 +1,101 @@
+// XML parsing end to end: tokenize with the modal NFA lexer (the Cache
+// Automaton substrate), parse with the compiled XML hDPDA on the
+// cycle-accurate ASPEN simulator, and compare runtime/energy against the
+// Expat-like and Xerces-like software baselines on documents of three
+// markup densities.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"aspen"
+	"aspen/internal/xmlgen"
+)
+
+func main() {
+	l := aspen.LangXML()
+	lx, err := l.Lexer()
+	if err != nil {
+		log.Fatal(err)
+	}
+	// ASPEN = ε-merging, ASPEN-MP = ε-merging + multipop (Fig. 8's two
+	// configurations).
+	cmEps, err := l.Compile(aspen.OptEpsilonOnly)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cmMP, err := l.Compile(aspen.OptAll)
+	if err != nil {
+		log.Fatal(err)
+	}
+	simEps, err := aspen.NewSim(cmEps.Machine, aspen.DefaultArchConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+	simMP, err := aspen.NewSim(cmMP.Machine, aspen.DefaultArchConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("XML hDPDA: %d states (ASPEN) / %d states (ASPEN-MP), %d banks, %d KB LLC\n\n",
+		cmEps.Machine.NumStates(), cmMP.Machine.NumStates(), simMP.NumBanks(), simMP.OccupancyKB())
+
+	for _, spec := range []struct {
+		name    string
+		density float64
+	}{{"ebay", 0.10}, {"psd7003", 0.33}, {"soap", 0.94}} {
+		doc := xmlgen.Generate(spec.name, 32<<10, spec.density, 3)
+		kb := float64(len(doc.Data)) / 1024
+		fmt.Printf("%s (%s markup density %.2f, %d bytes)\n", doc.Name, doc.Group, doc.MarkupDensity, len(doc.Data))
+
+		// Software baselines.
+		for _, p := range []struct {
+			name string
+			fn   func([]byte) (aspen.SAXCounts, aspen.ParserMetrics, error)
+		}{{"expat-like", aspen.ExpatLike}, {"xerces-like", aspen.XercesLike}} {
+			start := time.Now()
+			c, _, err := p.fn(doc.Data)
+			el := time.Since(start)
+			if err != nil {
+				log.Fatalf("%s: %v", p.name, err)
+			}
+			fmt.Printf("  %-11s %8.0f ns/kB   (elems=%d attrs=%d)\n",
+				p.name, float64(el.Nanoseconds())/kb, c.Elements, c.Attributes)
+		}
+
+		// ASPEN pipelines.
+		toks, lstats, err := lx.Tokenize(doc.Data)
+		if err != nil {
+			log.Fatal(err)
+		}
+		syms, err := l.Syms(toks)
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, cfg := range []struct {
+			name string
+			cm   *aspen.Compiled
+			sim  *aspen.Sim
+		}{{"aspen", cmEps, simEps}, {"aspen-mp", cmMP, simMP}} {
+			stream, err := cfg.cm.Tokens.Encode(syms, true)
+			if err != nil {
+				log.Fatal(err)
+			}
+			ps, err := aspen.RunPipeline(cfg.sim, aspen.DefaultCacheAutomaton(), lstats, stream, aspen.ExecOptions{})
+			if err != nil {
+				log.Fatal(err)
+			}
+			if !ps.Parse.Result.Accepted {
+				log.Fatalf("%s rejected %s", cfg.name, doc.Name)
+			}
+			bound := "lexer-bound"
+			if ps.ParseNS > ps.LexNS {
+				bound = "parser-bound"
+			}
+			fmt.Printf("  %-11s %8.0f ns/kB   %.2f µJ/kB  (%d tokens, %d stalls, %s)\n",
+				cfg.name, ps.NSPerKB(), ps.UJPerKB(cfg.sim.Cfg), ps.Tokens, ps.Stalls, bound)
+		}
+		fmt.Println()
+	}
+}

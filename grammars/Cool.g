@@ -1,0 +1,26 @@
+%name Cool
+%token CLASS INHERITS IF THEN ELSE FI WHILE LOOP POOL LET IN CASE OF ESAC NEW ISVOID NOT TRUE FALSE TYPEID OBJECTID INTLIT STRLIT ASSIGN DARROW LE LT EQ PLUS MINUS TIMES DIV NEG AT DOT COMMA SEMI COLON LPAREN RPAREN LBRACE RBRACE
+%start Program
+Program : ClassList ;
+ClassList : ClassList Class SEMI | Class SEMI ;
+Class : CLASS TYPEID LBRACE FeatureList RBRACE | CLASS TYPEID INHERITS TYPEID LBRACE FeatureList RBRACE ;
+FeatureList : FeatureList Feature SEMI | %empty ;
+Feature : OBJECTID LPAREN Formals RPAREN COLON TYPEID LBRACE Expr RBRACE | OBJECTID COLON TYPEID AssignOpt ;
+AssignOpt : ASSIGN Expr | %empty ;
+Formals : FormalList | %empty ;
+FormalList : Formal | FormalList COMMA Formal ;
+Formal : OBJECTID COLON TYPEID ;
+Expr : OBJECTID ASSIGN Expr | NOT Expr | CompExpr ;
+CompExpr : CompExpr LE AddExpr | CompExpr LT AddExpr | CompExpr EQ AddExpr | AddExpr ;
+AddExpr : AddExpr PLUS MulExpr | AddExpr MINUS MulExpr | MulExpr ;
+MulExpr : MulExpr TIMES Unary | MulExpr DIV Unary | Unary ;
+Unary : ISVOID Unary | NEG Unary | Postfix ;
+Postfix : Postfix DOT OBJECTID LPAREN Args RPAREN | Postfix AT TYPEID DOT OBJECTID LPAREN Args RPAREN | Primary ;
+Primary : IF Expr THEN Expr ELSE Expr FI | WHILE Expr LOOP Expr POOL | LBRACE BlockList RBRACE | LET LetList IN Expr | CASE Expr OF CaseList ESAC | NEW TYPEID | LPAREN Expr RPAREN | OBJECTID LPAREN Args RPAREN | OBJECTID | INTLIT | STRLIT | TRUE | FALSE ;
+BlockList : BlockList Expr SEMI | Expr SEMI ;
+LetList : LetBinding | LetList COMMA LetBinding ;
+LetBinding : OBJECTID COLON TYPEID AssignOpt ;
+CaseList : CaseBranch | CaseList CaseBranch ;
+CaseBranch : OBJECTID COLON TYPEID DARROW Expr SEMI ;
+Args : ArgList | %empty ;
+ArgList : Expr | ArgList COMMA Expr ;

@@ -1,0 +1,26 @@
+%name DOT
+%token STRICT GRAPH DIGRAPH NODE EDGE SUBGRAPH ID STRING NUMBER HTML LBRACE RBRACE LBRACKET RBRACKET SEMI COMMA COLON EQ ARROW DASHDASH
+%start Top
+Top : StrictOpt GraphType IdOpt Block ;
+StrictOpt : STRICT | %empty ;
+GraphType : GRAPH | DIGRAPH ;
+IdOpt : Id | %empty ;
+Id : ID | STRING | NUMBER | HTML ;
+Block : LBRACE StmtList RBRACE ;
+StmtList : StmtList Stmt SemiOpt | %empty ;
+SemiOpt : SEMI | %empty ;
+Stmt : NodeStmt | EdgeStmt | AttrStmt | Assign | Subgraph ;
+Assign : Id EQ Id ;
+AttrStmt : GRAPH AttrList | NODE AttrList | EDGE AttrList ;
+AttrListOpt : AttrList | %empty ;
+AttrList : AttrList Bracket | Bracket ;
+Bracket : LBRACKET RBRACKET | LBRACKET AList RBRACKET ;
+AList : Assign | AList Assign | AList COMMA Assign | AList SEMI Assign ;
+NodeStmt : NodeId AttrListOpt ;
+NodeId : Id | Id Port ;
+Port : COLON Id | COLON Id COLON Id ;
+EdgeStmt : EndPoint EdgeRHS AttrListOpt ;
+EndPoint : NodeId | Subgraph ;
+EdgeRHS : EdgeOp EndPoint | EdgeRHS EdgeOp EndPoint ;
+EdgeOp : ARROW | DASHDASH ;
+Subgraph : SUBGRAPH IdOpt Block | Block ;

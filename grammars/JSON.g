@@ -1,0 +1,11 @@
+%name JSON
+%token LBRACE RBRACE LBRACKET RBRACKET COLON COMMA STRING INT FRAC EXP TRUE FALSE NULL
+%start Json
+Json : Value ;
+Value : Object | Array | STRING | Number | TRUE | FALSE | NULL ;
+Number : INT | INT FRAC | INT EXP | INT FRAC EXP ;
+Object : LBRACE RBRACE | LBRACE Members RBRACE ;
+Members : Pair | Members COMMA Pair ;
+Pair : STRING COLON Value ;
+Array : LBRACKET RBRACKET | LBRACKET Elements RBRACKET ;
+Elements : Value | Elements COMMA Value ;

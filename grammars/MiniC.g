@@ -1,0 +1,30 @@
+%name MiniC
+%token INT CHAR VOID IF ELSE WHILE FOR RETURN BREAK CONTINUE ID NUM STR LPAREN RPAREN LBRACE RBRACE LBRACKET RBRACKET SEMI COMMA ASSIGN PLUS MINUS STAR SLASH PERCENT LT GT LE GE EQEQ NEQ ANDAND OROR NOT AMP
+%start Program
+Program : DeclList ;
+DeclList : DeclList Decl | Decl ;
+Decl : VarDecl | FuncDecl ;
+Type : INT | CHAR | VOID | Type STAR ;
+VarDecl : Type ID SEMI | Type ID LBRACKET NUM RBRACKET SEMI | Type ID ASSIGN AssignE SEMI ;
+FuncDecl : Type ID LPAREN Params RPAREN Block ;
+Params : ParamList | VOID | %empty ;
+ParamList : Param | ParamList COMMA Param ;
+Param : Type ID ;
+Block : LBRACE StmtList RBRACE ;
+StmtList : StmtList Stmt | %empty ;
+Stmt : SEMI | Expr SEMI | Block | IfStmt | WHILE LPAREN Expr RPAREN Stmt | FOR LPAREN ExprOpt SEMI ExprOpt SEMI ExprOpt RPAREN Stmt | RETURN ExprOpt SEMI | BREAK SEMI | CONTINUE SEMI | VarDecl ;
+IfStmt : IF LPAREN Expr RPAREN Stmt | IF LPAREN Expr RPAREN Stmt ELSE Stmt ;
+ExprOpt : Expr | %empty ;
+Expr : AssignE ;
+AssignE : OrE | UnaryE ASSIGN AssignE ;
+OrE : OrE OROR AndE | AndE ;
+AndE : AndE ANDAND EqE | EqE ;
+EqE : EqE EQEQ RelE | EqE NEQ RelE | RelE ;
+RelE : RelE LT AddE | RelE GT AddE | RelE LE AddE | RelE GE AddE | AddE ;
+AddE : AddE PLUS MulE | AddE MINUS MulE | MulE ;
+MulE : MulE STAR UnaryE | MulE SLASH UnaryE | MulE PERCENT UnaryE | UnaryE ;
+UnaryE : MINUS UnaryE | NOT UnaryE | STAR UnaryE | AMP UnaryE | Postfix ;
+Postfix : Postfix LPAREN Args RPAREN | Postfix LBRACKET Expr RBRACKET | Primary ;
+Primary : ID | NUM | STR | LPAREN Expr RPAREN ;
+Args : ArgList | %empty ;
+ArgList : AssignE | ArgList COMMA AssignE ;

@@ -1,0 +1,16 @@
+%name XML
+%token XMLDECL DOCTYPE COMMENT CDATA PI LT GT LTSLASH SLASHGT NAME EQ STRING TEXT
+%start Document
+Document : Prolog Element MiscList ;
+Prolog : XMLDECL MiscList DoctypeOpt | MiscList DoctypeOpt ;
+DoctypeOpt : DOCTYPE MiscList | %empty ;
+MiscList : MiscList Misc | %empty ;
+Misc : COMMENT | PI ;
+Element : EmptyElem | STag Content ETag ;
+EmptyElem : LT NAME Attrs SLASHGT ;
+STag : LT NAME Attrs GT ;
+ETag : LTSLASH NAME GT ;
+Attrs : Attrs Attr | %empty ;
+Attr : NAME EQ STRING ;
+Content : Content Item | %empty ;
+Item : Element | TEXT | COMMENT | CDATA | PI ;

@@ -1,0 +1,246 @@
+package arch
+
+import (
+	"testing"
+
+	"aspen/internal/compile"
+	"aspen/internal/core"
+	"aspen/internal/lang"
+	"aspen/internal/lexer"
+)
+
+func TestTimingMatchesPaperTableII(t *testing.T) {
+	// IM/SM 438 + AL 349 + SU 349 = 1136 ps → 880 MHz max.
+	if got := ASPENTiming.CriticalPathPS(); got != 1136 {
+		t.Errorf("critical path = %d ps, want 1136", got)
+	}
+	f := ASPENTiming.MaxFreqMHz()
+	if f < 870 || f > 890 {
+		t.Errorf("max freq = %.1f MHz, want ≈880", f)
+	}
+	cfg := DefaultConfig()
+	if err := cfg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Operating above the critical path must be rejected.
+	cfg.ClockMHz = 2000
+	if err := cfg.Validate(); err == nil {
+		t.Error("2 GHz should exceed the critical path")
+	}
+}
+
+func TestSimCyclesMatchFunctionalSemantics(t *testing.T) {
+	m := core.PalindromeHDPDA()
+	sim, err := New(m, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := core.BytesToSymbols([]byte("0110c0110"))
+	rs, err := sim.Run(in, core.ExecOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rs.Result.Accepted {
+		t.Fatal("palindrome rejected on simulator")
+	}
+	// The cycle-accurate engine and the functional engine share stepping
+	// code; totals must agree exactly.
+	ref, err := m.Run(in, core.ExecOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs.SymbolCycles != int64(ref.Consumed) || rs.StallCycles != int64(ref.EpsilonStalls) {
+		t.Errorf("cycles %d/%d, functional %d/%d",
+			rs.SymbolCycles, rs.StallCycles, ref.Consumed, ref.EpsilonStalls)
+	}
+	if rs.Cycles != rs.SymbolCycles+rs.StallCycles {
+		t.Error("cycle split inconsistent")
+	}
+	if rs.LocalTransitions+rs.CrossBankTransitions != rs.Cycles {
+		t.Error("transition split inconsistent")
+	}
+	if rs.DynamicPJ <= 0 || rs.TimeNS(sim.Cfg) <= 0 || rs.EnergyUJ(sim.Cfg) <= 0 {
+		t.Error("energy/time not accumulated")
+	}
+}
+
+func TestSingleBankUsesLocalStack(t *testing.T) {
+	sim, err := New(core.PalindromeHDPDA(), DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sim.NumBanks() != 1 || sim.GlobalStack {
+		t.Errorf("banks=%d global=%v, want single-bank local stack", sim.NumBanks(), sim.GlobalStack)
+	}
+	if sim.PlacementStats().CutEdges != 0 {
+		t.Error("single bank cannot have cut edges")
+	}
+}
+
+func TestMultiBankPlacement(t *testing.T) {
+	cm, err := lang.XML().Compile(compile.OptAll)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim, err := New(cm.Machine, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sim.NumBanks() < 1 {
+		t.Fatal("no banks")
+	}
+	if cm.Machine.NumStates() > 256 && sim.NumBanks() < 2 {
+		t.Errorf("%d states should span multiple banks", cm.Machine.NumStates())
+	}
+	if !sim.GlobalStack && sim.NumBanks() > 1 {
+		t.Error("multi-bank machine should use the global stack")
+	}
+	if sim.OccupancyKB() != sim.NumBanks()*16 {
+		t.Error("occupancy formula changed")
+	}
+	if sim.ConfigNS() <= 0 {
+		t.Error("config load time missing")
+	}
+}
+
+func TestPartitionedBeatsRandomPlacement(t *testing.T) {
+	cm, err := lang.Cool().Compile(compile.OptAll)
+	if err != nil {
+		t.Fatal(err)
+	}
+	good, err := New(cm.Machine, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig()
+	cfg.RandomPlacement = true
+	bad, err := New(cm.Machine, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, b := good.PlacementStats(), bad.PlacementStats()
+	if g.CutEdges >= b.CutEdges {
+		t.Errorf("partitioned cut %d !< random cut %d", g.CutEdges, b.CutEdges)
+	}
+	t.Logf("Cool placement: partitioned cut=%d local=%d, random cut=%d", g.CutEdges, g.LocalEdges, b.CutEdges)
+}
+
+func xmlPipeline(t *testing.T, opts compile.Options, doc []byte) (PipelineStats, *Sim) {
+	t.Helper()
+	l := lang.XML()
+	cm, err := l.Compile(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lx, err := l.Lexer()
+	if err != nil {
+		t.Fatal(err)
+	}
+	toks, lstats, err := lx.Tokenize(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	syms, err := l.Syms(toks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stream, err := cm.Tokens.Encode(syms, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim, err := New(cm.Machine, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ps, err := RunPipeline(sim, DefaultCacheAutomaton(), lstats, stream, core.ExecOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ps, sim
+}
+
+func TestXMLPipelineEndToEnd(t *testing.T) {
+	ps, sim := xmlPipeline(t, compile.OptAll, []byte(lang.XMLSample))
+	if !ps.Parse.Result.Accepted {
+		t.Fatal("sample rejected")
+	}
+	if ps.TotalNS <= 0 || ps.NSPerKB() <= 0 {
+		t.Errorf("stats = %+v", ps)
+	}
+	if ps.TotalNS < ps.LexNS || ps.TotalNS < ps.ParseNS {
+		t.Error("pipeline total must cover the slower stage")
+	}
+	if e := ps.UJPerKB(sim.Cfg); e <= 0 {
+		t.Errorf("energy = %f", e)
+	}
+}
+
+func TestMultipopImprovesPipeline(t *testing.T) {
+	// Dense markup: many short tokens → parser-bound → stalls visible →
+	// multipop must help (the Fig. 8 ASPEN vs ASPEN-MP gap).
+	var doc []byte
+	doc = append(doc, "<r>"...)
+	for i := 0; i < 300; i++ {
+		doc = append(doc, "<a x=\"1\"><b/></a>"...)
+	}
+	doc = append(doc, "</r>"...)
+	eps, _ := xmlPipeline(t, compile.OptEpsilonOnly, doc)
+	mp, _ := xmlPipeline(t, compile.OptAll, doc)
+	if !eps.Parse.Result.Accepted || !mp.Parse.Result.Accepted {
+		t.Fatal("dense doc rejected")
+	}
+	if mp.Stalls >= eps.Stalls {
+		t.Errorf("multipop stalls %d !< %d", mp.Stalls, eps.Stalls)
+	}
+	if mp.TotalNS > eps.TotalNS {
+		t.Errorf("multipop total %f > %f", mp.TotalNS, eps.TotalNS)
+	}
+	t.Logf("dense doc: ASPEN %.0f ns (%d stalls) vs ASPEN-MP %.0f ns (%d stalls)",
+		eps.TotalNS, eps.Stalls, mp.TotalNS, mp.Stalls)
+}
+
+func TestPipelineJamPropagates(t *testing.T) {
+	l := lang.XML()
+	cm, err := l.Compile(compile.OptAll)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim, err := New(cm.Machine, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A token stream that cannot parse: lone GT.
+	gt, _ := cm.Tokens.Code(l.Grammar.Lookup("GT"))
+	ps, err := RunPipeline(sim, DefaultCacheAutomaton(), lexer.Stats{Bytes: 1}, []core.Symbol{gt, compile.EndCode}, core.ExecOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ps.Parse.Result.Accepted || !ps.Parse.Result.Jammed {
+		t.Errorf("expected jam, got %+v", ps.Parse.Result)
+	}
+}
+
+func TestCacheAutomatonModel(t *testing.T) {
+	ca := DefaultCacheAutomaton()
+	// 3400 cycles at 3.4 GHz = 1000 ns.
+	if got := ca.LexNS(3400); got < 999 || got > 1001 {
+		t.Errorf("LexNS(3400) = %f", got)
+	}
+}
+
+func TestAreaModelMatchesPaper(t *testing.T) {
+	a := DefaultArea()
+	// 36 switches × 0.017 mm² = 0.612 mm².
+	if got := a.SwitchAreaMM2(); got < 0.61 || got > 0.62 {
+		t.Errorf("switch area = %f mm²", got)
+	}
+	// Paper: ~6.4% of LLC slice area.
+	if got := a.OverheadPercent(); got < 6.0 || got > 6.8 {
+		t.Errorf("overhead = %.2f%%, paper says ~6.4%%", got)
+	}
+	// The XML parser (8 arrays = 4 banks... our optimized machine fits
+	// 1 bank): machine area is small and reversible.
+	if got := a.MachineAreaMM2(4); got != 8*0.015 {
+		t.Errorf("machine area = %f", got)
+	}
+}

@@ -1,0 +1,125 @@
+package arch
+
+import (
+	"fmt"
+
+	"aspen/internal/core"
+)
+
+// Hardware report counters (paper §IV-E: "To support automata-based
+// applications that require counting, we provision four 16-bit counters
+// per way of the LLC"). A CounterFile maps report codes to counters so
+// that applications like SAXCount can tally elements and attributes
+// entirely in-cache, with only the final counter values read back by
+// the CPU.
+
+// CountersPerWay is the paper's provisioning.
+const CountersPerWay = 4
+
+// CounterRule maps report codes to one counter.
+type CounterRule struct {
+	// Name labels the counter (e.g. "elements").
+	Name string
+	// Codes lists the report codes that increment it.
+	Codes []int32
+}
+
+// CounterFile is a configured set of hardware counters.
+type CounterFile struct {
+	rules  []CounterRule
+	byCode map[int32]int
+}
+
+// NewCounterFile validates and builds a counter configuration. The
+// number of counters is limited by the ways the machine occupies: a
+// machine spanning w ways provides 4·w counters; callers pass the
+// simulator's way count.
+func NewCounterFile(rules []CounterRule, waysAvailable int) (*CounterFile, error) {
+	limit := CountersPerWay * waysAvailable
+	if waysAvailable <= 0 {
+		limit = CountersPerWay
+	}
+	if len(rules) > limit {
+		return nil, fmt.Errorf("arch: %d counters requested, %d provisioned (4 per way × %d ways)",
+			len(rules), limit, waysAvailable)
+	}
+	cf := &CounterFile{rules: rules, byCode: map[int32]int{}}
+	for i, r := range rules {
+		for _, c := range r.Codes {
+			if prev, dup := cf.byCode[c]; dup {
+				return nil, fmt.Errorf("arch: report code %d mapped to counters %q and %q",
+					c, rules[prev].Name, r.Name)
+			}
+			cf.byCode[c] = i
+		}
+	}
+	return cf, nil
+}
+
+// CounterValues holds the counter state after a run.
+type CounterValues struct {
+	Names []string
+	// Values are the 16-bit counter registers (saturating).
+	Values []uint16
+	// Overflows counts increments lost to saturation.
+	Overflows []int64
+}
+
+// Get returns the named counter's value.
+func (cv CounterValues) Get(name string) (uint16, bool) {
+	for i, n := range cv.Names {
+		if n == name {
+			return cv.Values[i], true
+		}
+	}
+	return 0, false
+}
+
+// Attach arms the counters on an execution-option set: the returned
+// options tally matching report events into the returned CounterValues
+// while preserving any caller-provided OnReport. The counter update is
+// free in the cycle model (it overlaps the stack-update stage). Attach
+// works with any runner — Sim.Run, RunPipeline, or the functional
+// executor.
+func (cf *CounterFile) Attach(opts core.ExecOptions) (core.ExecOptions, *CounterValues) {
+	cv := &CounterValues{
+		Names:     make([]string, len(cf.rules)),
+		Values:    make([]uint16, len(cf.rules)),
+		Overflows: make([]int64, len(cf.rules)),
+	}
+	for i, r := range cf.rules {
+		cv.Names[i] = r.Name
+	}
+	prev := opts.OnReport
+	opts.OnReport = func(r core.Report) {
+		if idx, ok := cf.byCode[r.Code]; ok {
+			if cv.Values[idx] == 0xffff {
+				cv.Overflows[idx]++
+			} else {
+				cv.Values[idx]++
+			}
+		}
+		if prev != nil {
+			prev(r)
+		}
+	}
+	return opts, cv
+}
+
+// RunWithCounters executes input like Run while tallying report events
+// into the hardware counters.
+func (s *Sim) RunWithCounters(input []core.Symbol, opts core.ExecOptions, cf *CounterFile) (RunStats, CounterValues, error) {
+	opts, cv := cf.Attach(opts)
+	rs, err := s.Run(input, opts)
+	return rs, *cv, err
+}
+
+// Ways returns the number of LLC ways the machine occupies (2 banks per
+// way in the repurposed layout).
+func (s *Sim) Ways() int {
+	w := (s.P.NumBanks + 1) / 2
+	if w < 1 {
+		w = 1
+	}
+	return w
+}

@@ -1,0 +1,208 @@
+package arch
+
+import (
+	"strings"
+	"testing"
+
+	"aspen/internal/compile"
+	"aspen/internal/core"
+	"aspen/internal/lang"
+	"aspen/internal/swparse"
+)
+
+// codesFor collects the production indices whose LHS has the given name.
+func codesFor(cm *compile.Compiled, lhs ...string) []int32 {
+	want := map[string]bool{}
+	for _, n := range lhs {
+		want[n] = true
+	}
+	var out []int32
+	for i := range cm.Grammar.Productions {
+		if want[cm.Grammar.SymName(cm.Grammar.Productions[i].Lhs)] {
+			out = append(out, int32(i))
+		}
+	}
+	return out
+}
+
+func TestSAXCountInHardwareCounters(t *testing.T) {
+	l := lang.XML()
+	cm, err := l.Compile(compile.OptAll)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim, err := New(cm.Machine, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cf, err := NewCounterFile([]CounterRule{
+		{Name: "elements", Codes: codesFor(cm, "STag", "EmptyElem")},
+		{Name: "attributes", Codes: codesFor(cm, "Attr")},
+	}, sim.Ways())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	doc := []byte(lang.XMLSample)
+	lx, _ := l.Lexer()
+	toks, _, err := lx.Tokenize(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	syms, _ := l.Syms(toks)
+	stream, _ := cm.Tokens.Encode(syms, true)
+
+	rs, cv, err := sim.RunWithCounters(stream, core.ExecOptions{}, cf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rs.Result.Accepted {
+		t.Fatal("sample rejected")
+	}
+	// The in-cache counters must agree with the software SAX baseline.
+	want, _, err := swparse.XercesLike(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := cv.Get("elements"); int(v) != want.Elements {
+		t.Errorf("elements counter = %d, want %d", v, want.Elements)
+	}
+	if v, _ := cv.Get("attributes"); int(v) != want.Attributes {
+		t.Errorf("attributes counter = %d, want %d", v, want.Attributes)
+	}
+	if _, ok := cv.Get("nope"); ok {
+		t.Error("phantom counter")
+	}
+}
+
+func TestCounterSaturation(t *testing.T) {
+	// A machine whose accept state reports code 7 on every 'a'.
+	m := &core.HDPDA{Name: "sat"}
+	m.Start = m.AddState(core.State{Label: "start", Epsilon: true, Stack: core.AllSymbols()})
+	a := m.AddState(core.State{
+		Label: "a", Input: core.NewSymbolSet('a'), Stack: core.AllSymbols(),
+		Accept: true, Report: 7,
+	})
+	m.AddEdge(m.Start, a)
+	m.AddEdge(a, a)
+	sim, err := New(m, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cf, err := NewCounterFile([]CounterRule{{Name: "as", Codes: []int32{7}}}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := make([]core.Symbol, 70000)
+	for i := range in {
+		in[i] = 'a'
+	}
+	_, cv, err := sim.RunWithCounters(in, core.ExecOptions{}, cf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cv.Values[0] != 0xffff {
+		t.Errorf("counter = %d, want saturation at 0xffff", cv.Values[0])
+	}
+	if cv.Overflows[0] != 70000-0xffff {
+		t.Errorf("overflows = %d, want %d", cv.Overflows[0], 70000-0xffff)
+	}
+}
+
+func TestCounterFileValidation(t *testing.T) {
+	// Too many counters for the provisioned ways.
+	rules := make([]CounterRule, 5)
+	for i := range rules {
+		rules[i] = CounterRule{Name: strings.Repeat("x", i+1), Codes: []int32{int32(i)}}
+	}
+	if _, err := NewCounterFile(rules, 1); err == nil {
+		t.Error("5 counters on 1 way should fail (4 provisioned)")
+	}
+	if _, err := NewCounterFile(rules, 2); err != nil {
+		t.Errorf("5 counters on 2 ways should fit: %v", err)
+	}
+	// Duplicate code mapping.
+	if _, err := NewCounterFile([]CounterRule{
+		{Name: "a", Codes: []int32{1}},
+		{Name: "b", Codes: []int32{1}},
+	}, 1); err == nil {
+		t.Error("duplicate code mapping should fail")
+	}
+}
+
+func TestOnReportChaining(t *testing.T) {
+	// RunWithCounters must preserve a caller-provided OnReport.
+	m := core.PalindromeHDPDA()
+	sim, err := New(m, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cf, err := NewCounterFile([]CounterRule{{Name: "accepts", Codes: []int32{0}}}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	called := 0
+	_, cv, err := sim.RunWithCounters(core.BytesToSymbols([]byte("0c0")),
+		core.ExecOptions{OnReport: func(core.Report) { called++ }}, cf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if called != 1 {
+		t.Errorf("chained OnReport called %d times, want 1", called)
+	}
+	if v, _ := cv.Get("accepts"); v != 1 {
+		t.Errorf("accepts counter = %d", v)
+	}
+}
+
+func TestReportBufferBackpressure(t *testing.T) {
+	// A machine that reports on every input symbol overwhelms a tiny,
+	// slow-draining report buffer and must pay backpressure stalls.
+	m := &core.HDPDA{Name: "chatty"}
+	m.Start = m.AddState(core.State{Label: "start", Epsilon: true, Stack: core.AllSymbols()})
+	a := m.AddState(core.State{
+		Label: "a", Input: core.NewSymbolSet('a'), Stack: core.AllSymbols(),
+		Accept: true, Report: 1,
+	})
+	m.AddEdge(m.Start, a)
+	m.AddEdge(a, a)
+
+	in := make([]core.Symbol, 1000)
+	for i := range in {
+		in[i] = 'a'
+	}
+	// Default provisioning: drain 4/cycle ≫ 1 report/cycle → no stalls.
+	sim, err := New(m, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs, err := sim.Run(in, core.ExecOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs.ReportBackpressureStalls != 0 {
+		t.Errorf("default config stalled %d cycles", rs.ReportBackpressureStalls)
+	}
+	// Starved drain: 1 entry per 2 cycles against 1 report per cycle.
+	cfg := DefaultConfig()
+	cfg.ReportBufferEntries = 4
+	cfg.ReportDrainPerCycle = 0.5
+	slow, err := New(m, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs2, err := slow.Run(in, core.ExecOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs2.ReportBackpressureStalls == 0 {
+		t.Fatal("starved buffer should backpressure")
+	}
+	if rs2.Cycles <= rs.Cycles {
+		t.Errorf("backpressure must lengthen the run: %d vs %d", rs2.Cycles, rs.Cycles)
+	}
+	// Steady state: ~1 extra stall per report beyond the drain rate.
+	if rs2.ReportBackpressureStalls < 900 {
+		t.Errorf("stalls = %d, want ≈1000", rs2.ReportBackpressureStalls)
+	}
+}

@@ -1,0 +1,133 @@
+package arch
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+
+	"aspen/internal/core"
+)
+
+// Parallel execution across LLC banks (paper §I, §IV-B: "ASPEN supports
+// processing of hundreds of different DPDAs in parallel as any number of
+// LLC SRAM arrays can be re-purposed"). RunParallel executes a batch of
+// independent (machine, input) jobs, schedules them onto a fixed pool of
+// banks with longest-processing-time-first assignment, and reports the
+// makespan — the quantity the mining model's per-iteration kernel time
+// derives from.
+
+// Job is one independent DPDA execution.
+type Job struct {
+	Machine *core.HDPDA
+	Input   []core.Symbol
+	// Opts configures the execution (reports etc.).
+	Opts core.ExecOptions
+}
+
+// JobResult pairs a job with its outcome.
+type JobResult struct {
+	Result core.Result
+	// Cycles is the job's symbol+stall cycle count.
+	Cycles int64
+	// Bank is the slot the scheduler placed the job on.
+	Bank int
+	Err  error
+}
+
+// ParallelStats summarizes a batch.
+type ParallelStats struct {
+	Jobs        int
+	TotalCycles int64
+	// MakespanCycles is the finishing time of the most loaded bank.
+	MakespanCycles int64
+	// BanksUsed is how many bank slots received work.
+	BanksUsed int
+	// Utilization is TotalCycles / (MakespanCycles × banks).
+	Utilization float64
+}
+
+// TimeNS converts the makespan at the configured clock.
+func (p ParallelStats) TimeNS(cfg Config) float64 {
+	return cfg.CyclesToNS(p.MakespanCycles)
+}
+
+// RunParallel executes jobs across `banks` bank slots (each job's
+// machine must fit one bank, the small-DPDA regime of subtree mining
+// with bank-local stacks). Host-side, the jobs run on a worker pool;
+// architecturally, the makespan models LPT scheduling onto the banks.
+func RunParallel(jobs []Job, banks int, cfg Config) ([]JobResult, ParallelStats, error) {
+	if banks <= 0 {
+		return nil, ParallelStats{}, fmt.Errorf("arch: banks = %d", banks)
+	}
+	for i, j := range jobs {
+		if j.Machine.NumStates() > cfg.BankStates {
+			return nil, ParallelStats{}, fmt.Errorf(
+				"arch: job %d machine %q has %d states; parallel jobs must fit one bank (%d)",
+				i, j.Machine.Name, j.Machine.NumStates(), cfg.BankStates)
+		}
+	}
+
+	// Execute all jobs (host-parallel; results independent).
+	results := make([]JobResult, len(jobs))
+	workers := runtime.GOMAXPROCS(0)
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				j := jobs[i]
+				res, err := j.Machine.Run(j.Input, j.Opts)
+				results[i] = JobResult{
+					Result: res,
+					Cycles: int64(res.Consumed) + int64(res.EpsilonStalls),
+					Err:    err,
+				}
+			}
+		}()
+	}
+	for i := range jobs {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+
+	// LPT scheduling: sort by cycles descending, assign each job to the
+	// least-loaded bank.
+	order := make([]int, len(jobs))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		return results[order[a]].Cycles > results[order[b]].Cycles
+	})
+	load := make([]int64, banks)
+	var stats ParallelStats
+	stats.Jobs = len(jobs)
+	for _, i := range order {
+		// least-loaded bank
+		best := 0
+		for b := 1; b < banks; b++ {
+			if load[b] < load[best] {
+				best = b
+			}
+		}
+		results[i].Bank = best
+		if load[best] == 0 && results[i].Cycles > 0 {
+			stats.BanksUsed++
+		}
+		load[best] += results[i].Cycles
+		stats.TotalCycles += results[i].Cycles
+	}
+	for _, l := range load {
+		if l > stats.MakespanCycles {
+			stats.MakespanCycles = l
+		}
+	}
+	if stats.MakespanCycles > 0 {
+		stats.Utilization = float64(stats.TotalCycles) / (float64(stats.MakespanCycles) * float64(banks))
+	}
+	return results, stats, nil
+}

@@ -1,0 +1,151 @@
+package arch
+
+import (
+	"testing"
+
+	"aspen/internal/core"
+	"aspen/internal/subtree"
+	"aspen/internal/treegen"
+)
+
+// miningJobs builds a realistic batch: one inclusion machine checked
+// against every tree of a small dataset.
+func miningJobs(t testing.TB, n int) []Job {
+	t.Helper()
+	db := treegen.Generate(treegen.T1M().Scale(5000))
+	var jobs []Job
+	for root := subtree.Label(0); root < 250 && len(jobs) < n; root++ {
+		pat, err := subtree.Decode([]subtree.Label{root, (root + 1) % 250, -1, -1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		im, err := subtree.NewInclusionMachine(pat)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, tr := range db {
+			for _, a := range im.Anchors(tr) {
+				jobs = append(jobs, Job{
+					Machine: im.Machine,
+					Input:   im.EncodeInput(tr.EncodeSubtree(a)),
+				})
+				if len(jobs) == n {
+					return jobs
+				}
+			}
+		}
+	}
+	return jobs
+}
+
+func TestRunParallelBasics(t *testing.T) {
+	jobs := miningJobs(t, 200)
+	if len(jobs) < 50 {
+		t.Fatalf("only %d jobs", len(jobs))
+	}
+	cfg := DefaultConfig()
+	results, stats, err := RunParallel(jobs, 16, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Jobs != len(jobs) || len(results) != len(jobs) {
+		t.Fatalf("stats = %+v", stats)
+	}
+	// Results must equal serial execution.
+	var maxJob, total int64
+	for i, jr := range results {
+		if jr.Err != nil {
+			t.Fatalf("job %d: %v", i, jr.Err)
+		}
+		ref, err := jobs[i].Machine.Run(jobs[i].Input, jobs[i].Opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ref.Accepted != jr.Result.Accepted {
+			t.Fatalf("job %d: parallel result diverged", i)
+		}
+		if jr.Bank < 0 || jr.Bank >= 16 {
+			t.Fatalf("job %d: bank %d", i, jr.Bank)
+		}
+		if jr.Cycles > maxJob {
+			maxJob = jr.Cycles
+		}
+		total += jr.Cycles
+	}
+	// Makespan bounds: at least the longest job and the average load; at
+	// most the serial total.
+	if stats.MakespanCycles < maxJob {
+		t.Errorf("makespan %d < longest job %d", stats.MakespanCycles, maxJob)
+	}
+	if avg := total / 16; stats.MakespanCycles < avg {
+		t.Errorf("makespan %d < average load %d", stats.MakespanCycles, avg)
+	}
+	if stats.MakespanCycles > total {
+		t.Errorf("makespan %d > serial total %d", stats.MakespanCycles, total)
+	}
+	if stats.Utilization <= 0 || stats.Utilization > 1 {
+		t.Errorf("utilization = %f", stats.Utilization)
+	}
+	// LPT on many small jobs should parallelize well.
+	if stats.Utilization < 0.5 {
+		t.Errorf("utilization = %f, want ≥ 0.5", stats.Utilization)
+	}
+	if stats.TimeNS(cfg) <= 0 {
+		t.Error("TimeNS")
+	}
+}
+
+func TestRunParallelMoreBanksNeverSlower(t *testing.T) {
+	jobs := miningJobs(t, 120)
+	cfg := DefaultConfig()
+	var prev int64 = 1 << 62
+	for _, banks := range []int{1, 4, 16, 64} {
+		_, stats, err := RunParallel(jobs, banks, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if stats.MakespanCycles > prev {
+			t.Errorf("banks=%d makespan %d worse than fewer banks %d", banks, stats.MakespanCycles, prev)
+		}
+		prev = stats.MakespanCycles
+	}
+}
+
+func TestRunParallelValidation(t *testing.T) {
+	if _, _, err := RunParallel(nil, 0, DefaultConfig()); err == nil {
+		t.Error("banks=0 should fail")
+	}
+	// Oversized machine rejected.
+	big := &core.HDPDA{Name: "big"}
+	big.Start = big.AddState(core.State{Label: "s", Epsilon: true, Stack: core.AllSymbols()})
+	for i := 0; i < 300; i++ {
+		big.AddState(core.State{Label: "x", Input: core.NewSymbolSet('a'), Stack: core.AllSymbols()})
+	}
+	_, _, err := RunParallel([]Job{{Machine: big}}, 4, DefaultConfig())
+	if err == nil {
+		t.Error("oversized machine should be rejected")
+	}
+}
+
+func TestRunParallelEmptyBatch(t *testing.T) {
+	results, stats, err := RunParallel(nil, 8, DefaultConfig())
+	if err != nil || len(results) != 0 || stats.MakespanCycles != 0 {
+		t.Fatalf("empty batch: %v %+v", err, stats)
+	}
+}
+
+func TestRunParallelDeterministicSchedule(t *testing.T) {
+	jobs := miningJobs(t, 64)
+	cfg := DefaultConfig()
+	_, s1, err := RunParallel(jobs, 8, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, s2, err := RunParallel(jobs, 8, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s1.MakespanCycles != s2.MakespanCycles || s1.TotalCycles != s2.TotalCycles {
+		t.Errorf("nondeterministic schedule: %+v vs %+v", s1, s2)
+	}
+}

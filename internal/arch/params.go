@@ -1,0 +1,139 @@
+// Package arch is the cycle-level simulator of the ASPEN
+// microarchitecture (paper §IV–§V): hDPDA states mapped onto repurposed
+// LLC SRAM banks, the five-stage datapath (input match, stack match,
+// stack action lookup, stack update, state transition) with the Fig. 7
+// overlap, ε-stall accounting, multipop, the hierarchical
+// L-switch/G-switch transition interconnect, local/global stacks, and a
+// calibrated timing/energy model built from the paper's Table II and
+// §V-B constants. Cycle counts come from executing the real machine on
+// real inputs; only per-event delay and energy are analytic.
+package arch
+
+import "fmt"
+
+// Timing holds per-stage delays in picoseconds (paper Table II).
+type Timing struct {
+	IMSM int // input-match / stack-match (sense-amp cycling)
+	ST   int // state transition (wire + L/G-switch traversal)
+	AL   int // stack action lookup
+	SU   int // stack update
+}
+
+// ASPENTiming is the paper's Table II ASPEN row. The critical path is
+// IM/SM + AL + SU = 1136 ps → 880 MHz max.
+var ASPENTiming = Timing{IMSM: 438, ST: 573, AL: 349, SU: 349}
+
+// CriticalPathPS returns the clock period implied by the Fig. 7
+// schedule: state transition overlaps the stack pipeline, so the period
+// is IM/SM followed by action lookup and stack update (or the transition
+// path, whichever is longer).
+func (t Timing) CriticalPathPS() int {
+	stack := t.IMSM + t.AL + t.SU
+	trans := t.IMSM + t.ST
+	if trans > stack {
+		return trans
+	}
+	return stack
+}
+
+// MaxFreqMHz derives the maximum operating frequency from the critical
+// path.
+func (t Timing) MaxFreqMHz() float64 { return 1e6 / float64(t.CriticalPathPS()) }
+
+// Energy holds per-event dynamic energies in picojoules (paper §V-B).
+type Energy struct {
+	// ArrayReadPJ is one 256-bit read of a 256×256 6-T SRAM array
+	// (22 nm scaled).
+	ArrayReadPJ float64
+	// WirePJPerMMBit is global-wire broadcast energy.
+	WirePJPerMMBit float64
+	// StackRegPJ approximates one stack register-file access.
+	StackRegPJ float64
+}
+
+// ASPENEnergy is the paper's §V-B energy model.
+var ASPENEnergy = Energy{ArrayReadPJ: 13.6, WirePJPerMMBit: 0.07, StackRegPJ: 1.2}
+
+// Config parameterizes a simulation.
+type Config struct {
+	// ClockMHz is the operating frequency (paper: 850 MHz, derated from
+	// the 880 MHz maximum).
+	ClockMHz float64
+	// Timing is the stage-delay set (informational; the schedule fixes
+	// one symbol or stall per cycle).
+	Timing Timing
+	// Energy is the dynamic energy model.
+	Energy Energy
+	// BankStates is the per-bank state capacity.
+	BankStates int
+	// BroadcastMM is the global-wire distance for input/TOS broadcast.
+	BroadcastMM float64
+	// PlatformPowerW is the total platform power during DPDA processing
+	// (the paper's 20.15 W figure, which includes the idle CPU core);
+	// it dominates the energy-per-kB results.
+	PlatformPowerW float64
+	// ConfigBusBytesPerCycle and ConfigClockMHz model configuration
+	// loading through standard cache writes.
+	ConfigBusBytesPerCycle int
+	ConfigClockMHz         float64
+	// RandomPlacement selects the ablation placement.
+	RandomPlacement bool
+	// ReportBufferEntries sizes the C-BOX output buffer that tracks
+	// report events (§IV-A); 0 = 64. Reports drain to memory at
+	// ReportDrainPerCycle entries per cycle; a full buffer back-pressures
+	// the pipeline for a stall cycle.
+	ReportBufferEntries int
+	// ReportDrainPerCycle is the drain rate in entries/cycle (0 = 4,
+	// i.e. 32 B/cycle of 8-byte report records).
+	ReportDrainPerCycle float64
+}
+
+// DefaultConfig returns the paper's operating point.
+func DefaultConfig() Config {
+	return Config{
+		ClockMHz:               850,
+		Timing:                 ASPENTiming,
+		Energy:                 ASPENEnergy,
+		BankStates:             256,
+		BroadcastMM:            6,
+		PlatformPowerW:         20.15,
+		ConfigBusBytesPerCycle: 32,
+		ConfigClockMHz:         3400,
+		ReportBufferEntries:    64,
+		ReportDrainPerCycle:    4,
+	}
+}
+
+// CacheAutomaton models the NFA lexing substrate (paper Table II CA
+// row): 250 ps stages, 4 GHz max, operated at 3.4 GHz.
+type CacheAutomaton struct {
+	ClockMHz    float64
+	ArrayReadPJ float64
+}
+
+// DefaultCacheAutomaton is the paper's CA operating point.
+func DefaultCacheAutomaton() CacheAutomaton {
+	return CacheAutomaton{ClockMHz: 3400, ArrayReadPJ: 13.6}
+}
+
+// LexNS converts lexer scan cycles to nanoseconds at the CA clock.
+func (ca CacheAutomaton) LexNS(scanCycles int) float64 {
+	return float64(scanCycles) * 1e3 / ca.ClockMHz
+}
+
+// Validate checks config sanity.
+func (c Config) Validate() error {
+	if c.ClockMHz <= 0 || c.BankStates <= 0 {
+		return fmt.Errorf("arch: invalid config %+v", c)
+	}
+	if c.ClockMHz > c.Timing.MaxFreqMHz() {
+		return fmt.Errorf("arch: clock %.0f MHz exceeds critical-path maximum %.0f MHz",
+			c.ClockMHz, c.Timing.MaxFreqMHz())
+	}
+	return nil
+}
+
+// CyclesToNS converts cycle counts at the configured clock.
+func (c Config) CyclesToNS(cycles int64) float64 {
+	return float64(cycles) * 1e3 / c.ClockMHz
+}

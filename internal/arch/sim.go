@@ -1,0 +1,228 @@
+package arch
+
+import (
+	"fmt"
+
+	"aspen/internal/core"
+	"aspen/internal/place"
+)
+
+// Sim is an hDPDA placed-and-routed onto ASPEN banks, ready to process
+// input streams.
+type Sim struct {
+	M   *core.HDPDA
+	P   *place.Placement
+	Cfg Config
+
+	placeStats place.Stats
+	// GlobalStack is true when the machine spans multiple banks and uses
+	// the shared C-BOX stack; single-bank machines use the bank-local
+	// stack (paper §IV-B stage 5).
+	GlobalStack bool
+}
+
+// New places m and builds a simulator.
+func New(m *core.HDPDA, cfg Config) (*Sim, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	p, err := place.Partition(m, place.Options{
+		BankStates: cfg.BankStates,
+		Random:     cfg.RandomPlacement,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Sim{
+		M: m, P: p, Cfg: cfg,
+		placeStats:  place.Evaluate(m, p),
+		GlobalStack: p.NumBanks > 1,
+	}, nil
+}
+
+// PlacementStats exposes the cut statistics of the mapping.
+func (s *Sim) PlacementStats() place.Stats { return s.placeStats }
+
+// NumBanks returns the number of banks the machine occupies.
+func (s *Sim) NumBanks() int { return s.P.NumBanks }
+
+// OccupancyKB estimates the LLC capacity consumed: two 8 kB arrays per
+// bank (IM and SM/stack), matching the paper's 128 kB figure for the
+// 8-array XML parser.
+func (s *Sim) OccupancyKB() int { return s.P.NumBanks * 16 }
+
+// ConfigNS models configuration loading: per state, two 256-bit array
+// columns plus the 16-bit action word and a 256-bit crossbar row, moved
+// over the config bus (paper §IV-E: standard load instructions through
+// Cache Allocation Technology).
+func (s *Sim) ConfigNS() float64 {
+	bytesPerState := (256 + 256 + 16 + 256) / 8
+	total := s.M.NumStates() * bytesPerState
+	cycles := float64(total) / float64(s.Cfg.ConfigBusBytesPerCycle)
+	return cycles * 1e3 / s.Cfg.ConfigClockMHz
+}
+
+// RunStats aggregates one simulated run.
+type RunStats struct {
+	Result core.Result
+	// Cycles is the total symbol-processing cycles: one per consumed
+	// input symbol plus one per ε-stall.
+	Cycles int64
+	// SymbolCycles and StallCycles split Cycles.
+	SymbolCycles int64
+	StallCycles  int64
+	// LocalTransitions and CrossBankTransitions classify each taken
+	// transition by whether it needed the G-switch.
+	LocalTransitions     int64
+	CrossBankTransitions int64
+	// StackOps counts cycles performing a push or pop.
+	StackOps int64
+	// MultipopOps counts multipop (pop > 1) activations.
+	MultipopOps int64
+	// ReportBackpressureStalls counts cycles lost waiting for the C-BOX
+	// report buffer to drain (zero under the default provisioning).
+	ReportBackpressureStalls int64
+	// DynamicPJ is accumulated dynamic energy.
+	DynamicPJ float64
+	// ConfigNS is the one-time configuration load.
+	ConfigNS float64
+}
+
+// TimeNS returns total runtime including configuration.
+func (r RunStats) TimeNS(cfg Config) float64 {
+	return cfg.CyclesToNS(r.Cycles) + r.ConfigNS
+}
+
+// EnergyUJ returns total energy: dynamic plus platform power × time.
+func (r RunStats) EnergyUJ(cfg Config) float64 {
+	t := r.TimeNS(cfg)
+	return r.DynamicPJ*1e-6 + cfg.PlatformPowerW*t*1e-3
+}
+
+// Run executes input on the placed machine, accounting cycles and energy
+// per activation.
+func (s *Sim) Run(input []core.Symbol, opts core.ExecOptions) (RunStats, error) {
+	var rs RunStats
+	rs.ConfigNS = s.ConfigNS()
+	exec := core.NewExecution(s.M, opts)
+
+	// Per-cycle dynamic energy components (paper §IV-B): IM and SM row
+	// reads, stack-action lookup, L-switch row read, 16 bits of global
+	// broadcast wire; G-switch read and extra wire on cross-bank hops;
+	// stack register access on push/pop cycles.
+	e := s.Cfg.Energy
+	wire := e.WirePJPerMMBit * s.Cfg.BroadcastMM * 16
+	base := 3*e.ArrayReadPJ + e.ArrayReadPJ + wire // IM + SM + AL + L-switch
+
+	// C-BOX report buffer (output buffer, §IV-A): reports enqueue one
+	// entry per accept activation and drain at a fixed rate; a full
+	// buffer back-pressures the machine for whole cycles.
+	repCap := s.Cfg.ReportBufferEntries
+	if repCap == 0 {
+		repCap = 64
+	}
+	drain := s.Cfg.ReportDrainPerCycle
+	if drain == 0 {
+		drain = 4
+	}
+	occupancy := 0.0
+
+	account := func(from, to core.StateID) {
+		rs.Cycles++
+		// Drain the report buffer for this cycle, then enqueue any new
+		// report, stalling while the buffer is full.
+		occupancy -= drain
+		if occupancy < 0 {
+			occupancy = 0
+		}
+		st := &s.M.States[to]
+		if st.Accept {
+			for occupancy+1 > float64(repCap) {
+				rs.Cycles++
+				rs.ReportBackpressureStalls++
+				occupancy -= drain
+				if occupancy < 0 {
+					occupancy = 0
+				}
+			}
+			occupancy++
+		}
+		if st.Epsilon {
+			rs.StallCycles++
+		} else {
+			rs.SymbolCycles++
+		}
+		rs.DynamicPJ += base
+		if s.P.BankOf[from] != s.P.BankOf[to] {
+			rs.CrossBankTransitions++
+			rs.DynamicPJ += e.ArrayReadPJ + wire // G-switch + extra wire
+		} else {
+			rs.LocalTransitions++
+		}
+		if !st.Op.IsNop() {
+			rs.StackOps++
+			rs.DynamicPJ += e.StackRegPJ
+			if st.Op.Pop > 1 {
+				rs.MultipopOps++
+			}
+		}
+	}
+
+	step := func(feed func() (bool, error)) (bool, error) {
+		// Drain ε-moves one at a time so each stall is attributed to a
+		// bank transition.
+		for {
+			from := exec.Current()
+			ok, err := exec.StepEpsilon()
+			if err != nil {
+				return false, err
+			}
+			if !ok {
+				break
+			}
+			account(from, exec.Current())
+		}
+		if feed == nil {
+			return true, nil
+		}
+		from := exec.Current()
+		ok, err := feed()
+		if err != nil {
+			return false, err
+		}
+		if ok {
+			account(from, exec.Current())
+		}
+		return ok, nil
+	}
+
+	for _, sym := range input {
+		sym := sym
+		ok, err := step(func() (bool, error) { return exec.Feed(sym) })
+		if err != nil {
+			return rs, err
+		}
+		if !ok {
+			res := exec.Result()
+			res.Jammed = true
+			rs.Result = res
+			return rs, nil
+		}
+	}
+	if _, err := step(nil); err != nil {
+		return rs, err
+	}
+	res := exec.Result()
+	res.Accepted = exec.InAccept()
+	rs.Result = res
+	return rs, nil
+}
+
+// String summarizes the mapping.
+func (s *Sim) String() string {
+	return fmt.Sprintf("arch.Sim{%s: %d states, %d banks, %d cut edges, %d KB}",
+		s.M.Name, s.M.NumStates(), s.P.NumBanks, s.placeStats.CutEdges, s.OccupancyKB())
+}

@@ -1,0 +1,138 @@
+package arch
+
+import (
+	"fmt"
+	"strings"
+
+	"aspen/internal/core"
+)
+
+// TraceEvent is one datapath cycle of a traced run: which state
+// activated, what each stage saw, and what the stack did — the
+// waveform-level view of Fig. 7.
+type TraceEvent struct {
+	Cycle int64
+	// Kind is "symbol" (input consumed) or "stall" (ε-transition).
+	Kind string
+	// Input is the consumed symbol (symbol cycles only).
+	Input core.Symbol
+	// From and To are the transition endpoints.
+	From, To core.StateID
+	// Label is the activated state's diagnostic name.
+	Label string
+	// TOS is the top of stack before the stack update.
+	TOS core.Symbol
+	// Op is the stack action performed.
+	Op core.StackOp
+	// Depth is the stack depth after the update.
+	Depth int
+	// CrossBank marks transitions routed through the G-switch.
+	CrossBank bool
+	// Report holds the report code when the state reported (else -1).
+	Report int32
+}
+
+func (ev TraceEvent) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "cyc %4d %-6s", ev.Cycle, ev.Kind)
+	if ev.Kind == "symbol" {
+		fmt.Fprintf(&b, " in=%#02x", uint8(ev.Input))
+	} else {
+		b.WriteString("        ")
+	}
+	fmt.Fprintf(&b, " q%d→q%d tos=%#02x %s depth=%d", ev.From, ev.To, uint8(ev.TOS), ev.Op, ev.Depth)
+	if ev.CrossBank {
+		b.WriteString(" [G-switch]")
+	}
+	if ev.Report >= 0 {
+		fmt.Fprintf(&b, " report=%d", ev.Report)
+	}
+	fmt.Fprintf(&b, "  %s", ev.Label)
+	return b.String()
+}
+
+// Trace executes input on the placed machine recording up to maxEvents
+// datapath cycles (0 = 256). It mirrors Run's semantics but favors
+// detail over statistics.
+func (s *Sim) Trace(input []core.Symbol, maxEvents int) ([]TraceEvent, error) {
+	if maxEvents == 0 {
+		maxEvents = 256
+	}
+	exec := core.NewExecution(s.M, core.ExecOptions{})
+	var events []TraceEvent
+	var cycle int64
+
+	record := func(kind string, sym core.Symbol, from core.StateID, tosBefore core.Symbol) {
+		cycle++
+		if len(events) >= maxEvents {
+			return
+		}
+		to := exec.Current()
+		st := s.M.State(to)
+		rep := int32(-1)
+		if st.Accept {
+			rep = st.Report
+		}
+		events = append(events, TraceEvent{
+			Cycle:     cycle,
+			Kind:      kind,
+			Input:     sym,
+			From:      from,
+			To:        to,
+			Label:     st.Label,
+			TOS:       tosBefore,
+			Op:        st.Op,
+			Depth:     exec.StackLen(),
+			CrossBank: s.P.BankOf[from] != s.P.BankOf[to],
+			Report:    rep,
+		})
+	}
+
+	drain := func() error {
+		for {
+			from := exec.Current()
+			tos := exec.TOS()
+			ok, err := exec.StepEpsilon()
+			if err != nil {
+				return err
+			}
+			if !ok {
+				return nil
+			}
+			record("stall", 0, from, tos)
+		}
+	}
+
+	for _, sym := range input {
+		if err := drain(); err != nil {
+			return events, err
+		}
+		from := exec.Current()
+		tos := exec.TOS()
+		ok, err := exec.Feed(sym)
+		if err != nil {
+			return events, err
+		}
+		if !ok {
+			return events, nil // jam: trace ends
+		}
+		record("symbol", sym, from, tos)
+		if len(events) >= maxEvents {
+			return events, nil
+		}
+	}
+	if err := drain(); err != nil {
+		return events, err
+	}
+	return events, nil
+}
+
+// FormatTrace renders events line by line.
+func FormatTrace(events []TraceEvent) string {
+	var b strings.Builder
+	for _, ev := range events {
+		b.WriteString(ev.String())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

@@ -1,0 +1,88 @@
+package arch
+
+import (
+	"strings"
+	"testing"
+
+	"aspen/internal/core"
+)
+
+func TestTracePalindrome(t *testing.T) {
+	sim, err := New(core.PalindromeHDPDA(), DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := core.BytesToSymbols([]byte("01c10"))
+	events, err := sim.Trace(in, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 5 symbol cycles + 1 ε accept.
+	if len(events) != 6 {
+		t.Fatalf("events = %d, want 6:\n%s", len(events), FormatTrace(events))
+	}
+	symbols, stalls, reports := 0, 0, 0
+	for i, ev := range events {
+		if ev.Cycle != int64(i+1) {
+			t.Errorf("event %d cycle %d", i, ev.Cycle)
+		}
+		switch ev.Kind {
+		case "symbol":
+			symbols++
+		case "stall":
+			stalls++
+		default:
+			t.Errorf("bad kind %q", ev.Kind)
+		}
+		if ev.Report >= 0 {
+			reports++
+		}
+	}
+	if symbols != 5 || stalls != 1 || reports != 1 {
+		t.Errorf("symbols=%d stalls=%d reports=%d", symbols, stalls, reports)
+	}
+	// The trace must agree with the statistics engine.
+	rs, err := sim.Run(in, core.ExecOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs.Cycles != int64(len(events)) {
+		t.Errorf("trace %d cycles, Run %d", len(events), rs.Cycles)
+	}
+	// Rendering sanity.
+	out := FormatTrace(events)
+	for _, frag := range []string{"cyc", "symbol", "stall", "report=", "tos="} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("trace missing %q:\n%s", frag, out)
+		}
+	}
+}
+
+func TestTraceTruncation(t *testing.T) {
+	sim, err := New(core.PalindromeHDPDA(), DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := core.BytesToSymbols([]byte("0000c0000"))
+	events, err := sim.Trace(in, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 3 {
+		t.Fatalf("events = %d, want 3", len(events))
+	}
+}
+
+func TestTraceJamEndsCleanly(t *testing.T) {
+	sim, err := New(core.PalindromeHDPDA(), DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	events, err := sim.Trace(core.BytesToSymbols([]byte("0x")), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 1 { // '0' consumed, 'x' jams
+		t.Fatalf("events = %d, want 1:\n%s", len(events), FormatTrace(events))
+	}
+}

@@ -1,0 +1,87 @@
+package bench
+
+import (
+	"fmt"
+
+	"aspen/internal/compile"
+	"aspen/internal/core"
+	"aspen/internal/lang"
+	"aspen/internal/place"
+	"aspen/internal/xmlgen"
+)
+
+// Ablations renders the design-choice studies DESIGN.md §4 calls out:
+// the optimization lattice (None / ε-only / multipop-only / both) on a
+// dense XML document, and partitioned vs random placement.
+func Ablations(sizeBytes int) *Table {
+	tbl := &Table{
+		ID:    "ablations",
+		Title: "Design-choice ablations",
+		Header: []string{"Study", "Configuration", "hDPDA States", "ε-Stalls",
+			"Parse Cycles", "G-switch Cut Edges"},
+		Notes: []string{
+			"Optimization study: dense-markup XML document (soap-like); stalls are the quantity multipop exists to remove. Placement study: Cool machine (largest), cut edges are G-switch traffic.",
+		},
+	}
+
+	// Optimization lattice on a dense document.
+	l := lang.XML()
+	doc := xmlgen.Generate("soap", sizeBytes, 0.94, 3)
+	lx, err := l.Lexer()
+	if err != nil {
+		panic(err)
+	}
+	toks, _, err := lx.Tokenize(doc.Data)
+	if err != nil {
+		panic(err)
+	}
+	syms, err := l.Syms(toks)
+	if err != nil {
+		panic(err)
+	}
+	for _, cfg := range []struct {
+		name string
+		opts compile.Options
+	}{
+		{"none", compile.OptNone},
+		{"ε-merge", compile.OptEpsilonOnly},
+		{"multipop", compile.Options{Multipop: true}},
+		{"ε-merge + multipop", compile.OptAll},
+	} {
+		cm, err := l.Compile(cfg.opts)
+		if err != nil {
+			panic(err)
+		}
+		stream, err := cm.Tokens.Encode(syms, true)
+		if err != nil {
+			panic(err)
+		}
+		res, err := cm.Machine.Run(stream, core.ExecOptions{})
+		if err != nil || !res.Accepted {
+			panic(fmt.Sprintf("ablation: %v %+v", err, res))
+		}
+		tbl.Rows = append(tbl.Rows, []string{
+			"optimizations", cfg.name, d(cm.Machine.NumStates()),
+			d(res.EpsilonStalls), d(res.Consumed + res.EpsilonStalls), "-"})
+	}
+
+	// Placement study.
+	cm, err := lang.Cool().Compile(compile.OptAll)
+	if err != nil {
+		panic(err)
+	}
+	for _, random := range []bool{false, true} {
+		name := "partitioned (BFS+KL)"
+		if random {
+			name = "random"
+		}
+		p, err := place.Partition(cm.Machine, place.Options{Random: random, Seed: 42})
+		if err != nil {
+			panic(err)
+		}
+		s := place.Evaluate(cm.Machine, p)
+		tbl.Rows = append(tbl.Rows, []string{
+			"placement", name, d(cm.Machine.NumStates()), "-", "-", d(s.CutEdges)})
+	}
+	return tbl
+}

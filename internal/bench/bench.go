@@ -1,0 +1,77 @@
+// Package bench regenerates every table and figure of the paper's
+// evaluation (§V–§VI). Each experiment is a function returning a typed
+// Table; cmd/aspen-bench renders them to EXPERIMENTS.md and bench_test.go
+// wires them into `go test -bench`. Cycle/energy numbers for ASPEN come
+// from the internal/arch simulator; baseline numbers are measured
+// wall-clock on the host, converted with the nominal platform constants
+// below.
+package bench
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+// Platform constants for the baselines (paper §V-A: 2.6 GHz Xeon
+// E5-2697-v3, TITAN Xp). Power figures back out of the paper's reported
+// energy ratios: ~28.5 W effective package power for the CPU parsers and
+// mining, 180 W for the GPU miner; ASPEN's 20.15 W platform figure lives
+// in arch.DefaultConfig.
+const (
+	CPUClockGHz = 2.6
+	CPUPowerW   = 28.5
+	GPUPowerW   = 180.0
+)
+
+// Table is one rendered experiment.
+type Table struct {
+	ID     string // "fig2", "table3", ...
+	Title  string
+	Header []string
+	Rows   [][]string
+	Notes  []string
+}
+
+// Render formats the table as Markdown.
+func (t *Table) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "### %s — %s\n\n", strings.ToUpper(t.ID[:1])+t.ID[1:], t.Title)
+	b.WriteString("| " + strings.Join(t.Header, " | ") + " |\n")
+	sep := make([]string, len(t.Header))
+	for i := range sep {
+		sep[i] = "---"
+	}
+	b.WriteString("| " + strings.Join(sep, " | ") + " |\n")
+	for _, r := range t.Rows {
+		b.WriteString("| " + strings.Join(r, " | ") + " |\n")
+	}
+	for _, n := range t.Notes {
+		b.WriteString("\n> " + n + "\n")
+	}
+	b.WriteString("\n")
+	return b.String()
+}
+
+// measureNS times fn, repeating until the sample exceeds minDuration,
+// and returns nanoseconds per invocation.
+func measureNS(minDuration time.Duration, fn func()) float64 {
+	fn() // warm up
+	iters := 1
+	for {
+		start := time.Now()
+		for i := 0; i < iters; i++ {
+			fn()
+		}
+		el := time.Since(start)
+		if el >= minDuration || iters > 1<<20 {
+			return float64(el.Nanoseconds()) / float64(iters)
+		}
+		iters *= 2
+	}
+}
+
+func f1(v float64) string { return fmt.Sprintf("%.1f", v) }
+func f2(v float64) string { return fmt.Sprintf("%.2f", v) }
+func f0(v float64) string { return fmt.Sprintf("%.0f", v) }
+func d(v int) string      { return fmt.Sprintf("%d", v) }

@@ -1,0 +1,134 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableRender(t *testing.T) {
+	tbl := &Table{ID: "x", Title: "T", Header: []string{"a", "b"},
+		Rows: [][]string{{"1", "2"}}, Notes: []string{"note"}}
+	out := tbl.Render()
+	for _, frag := range []string{"### X — T", "| a | b |", "| 1 | 2 |", "> note"} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("render missing %q:\n%s", frag, out)
+		}
+	}
+}
+
+func TestFig2(t *testing.T) {
+	tbl, rows := Fig2(16 << 10)
+	if len(rows) != 6 || len(tbl.Rows) != 6 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	// Branches per byte must rise with markup density (ebay < soap) for
+	// both parsers.
+	byKey := map[string]Fig2Row{}
+	for _, r := range rows {
+		byKey[r.Doc+"/"+r.Parser] = r
+	}
+	for _, p := range []string{"Expat-like", "Xerces-like"} {
+		if byKey["soap/"+p].BranchesPerB <= byKey["ebay/"+p].BranchesPerB {
+			t.Errorf("%s: branches/byte did not rise with density", p)
+		}
+	}
+	// Cycle costs must be positive and in a plausible range.
+	for k, r := range byKey {
+		if r.CyclesPerByte <= 0 || r.CyclesPerByte > 1000 {
+			t.Errorf("%s: cycles/byte = %f", k, r.CyclesPerByte)
+		}
+	}
+}
+
+func TestTablesIThroughV(t *testing.T) {
+	t1 := TableI(4000)
+	if len(t1.Rows) != 3 {
+		t.Errorf("TableI rows = %d", len(t1.Rows))
+	}
+	t2 := TableII()
+	if len(t2.Rows) != 2 || !strings.Contains(t2.Rows[0][5], "880") {
+		t.Errorf("TableII = %+v", t2.Rows)
+	}
+	t3 := TableIII()
+	if len(t3.Rows) != 4 {
+		t.Errorf("TableIII rows = %d", len(t3.Rows))
+	}
+	t4 := TableIV()
+	if len(t4.Rows) != 8 {
+		t.Errorf("TableIV rows = %d", len(t4.Rows))
+	}
+	t5 := TableV(4000)
+	if len(t5.Rows) != 3 {
+		t.Errorf("TableV rows = %d", len(t5.Rows))
+	}
+}
+
+func TestFig8SmallCorpus(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fig8 corpus in -short mode")
+	}
+	tbl, rows, sum := Fig8(4 << 10)
+	if len(rows) != 23 || len(tbl.Rows) != 23 {
+		t.Fatalf("rows = %d, want 23", len(rows))
+	}
+	if sum.SpeedupVsExpat <= 1 {
+		t.Errorf("ASPEN-MP should beat the Expat-like baseline: %f×", sum.SpeedupVsExpat)
+	}
+	if sum.MPSpeedupOverASPEN < 1 {
+		t.Errorf("multipop should not slow ASPEN down: %f×", sum.MPSpeedupOverASPEN)
+	}
+	for _, r := range rows {
+		if r.StallsMP > r.Stalls {
+			t.Errorf("%s: multipop increased stalls %d > %d", r.Doc, r.StallsMP, r.Stalls)
+		}
+		if r.ASPENMPNSPerKB <= 0 || r.ExpatNSPerKB <= 0 {
+			t.Errorf("%s: non-positive timing", r.Doc)
+		}
+	}
+}
+
+func TestFig9Scaled(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fig9 mining in -short mode")
+	}
+	f9, f10, rows := Fig9(2000)
+	if len(rows) != 3 || len(f9.Rows) != 3 || len(f10.Rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.ASPENKernelNS <= 0 || r.CPUKernelNS <= 0 || r.GPUKernelNS <= 0 {
+			t.Errorf("%s: non-positive kernel time %+v", r.Dataset, r)
+		}
+		if r.TotalSpeedupVsCPU <= 0 {
+			t.Errorf("%s: bad speedup", r.Dataset)
+		}
+		if r.ASPENEnergyUJ <= 0 || r.CPUEnergyUJ <= r.ASPENEnergyUJ {
+			t.Errorf("%s: ASPEN energy should be far below CPU: %+v", r.Dataset, r)
+		}
+	}
+	// The TREEBANK-vs-T1M GPU contrast: GPU fares relatively better on
+	// T1M (even small trees) than on TREEBANK (skewed deep trees).
+	var t1m, tb Fig9Row
+	for _, r := range rows {
+		switch r.Dataset {
+		case "T1M":
+			t1m = r
+		case "TREEBANK":
+			tb = r
+		}
+	}
+	if tb.KernelSpeedupVsGPU <= t1m.KernelSpeedupVsGPU {
+		t.Errorf("GPU should degrade on TREEBANK: T1M %f vs TREEBANK %f",
+			t1m.KernelSpeedupVsGPU, tb.KernelSpeedupVsGPU)
+	}
+}
+
+func TestAblations(t *testing.T) {
+	tbl := Ablations(8 << 10)
+	if len(tbl.Rows) != 6 {
+		t.Fatalf("rows = %d, want 6", len(tbl.Rows))
+	}
+	if !strings.Contains(tbl.Render(), "multipop") {
+		t.Error("render missing multipop row")
+	}
+}

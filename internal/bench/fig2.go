@@ -1,0 +1,69 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"aspen/internal/swparse"
+	"aspen/internal/xmlgen"
+)
+
+// Fig2Row is one (document, parser) measurement.
+type Fig2Row struct {
+	Doc           string
+	Group         string
+	Parser        string
+	CyclesPerByte float64
+	BranchesPerB  float64
+}
+
+// Fig2 reproduces Fig. 2: CPU cycles per byte and branch instructions
+// per byte for the Expat-like and Xerces-like parsers on low-, medium-
+// and high-markup-density documents (the paper's ebay / psd7003 / soap).
+func Fig2(sizeBytes int) (*Table, []Fig2Row) {
+	docs := []struct {
+		name    string
+		density float64
+	}{
+		{"ebay", 0.10}, {"psd7003", 0.33}, {"soap", 0.94},
+	}
+	var rows []Fig2Row
+	tbl := &Table{
+		ID:    "fig2",
+		Title: "Conventional parser performance (cycles/byte, branches/byte)",
+		Header: []string{"Document", "Group", "Parser", "CPU cycles/byte",
+			"Branches/byte"},
+		Notes: []string{fmt.Sprintf(
+			"Measured wall-clock on the host converted at the paper's nominal %.1f GHz; branches counted by parser instrumentation. Paper reports ~12–45 cycles/byte and ~6–25 branches/byte rising with markup density.",
+			CPUClockGHz)},
+	}
+	for i, dd := range docs {
+		doc := xmlgen.Generate(dd.name, sizeBytes, dd.density, int64(i)+11)
+		for _, p := range []struct {
+			name string
+			fn   func([]byte) (swparse.Counts, swparse.Metrics, error)
+		}{{"Expat-like", swparse.ExpatLike}, {"Xerces-like", swparse.XercesLike}} {
+			_, met, err := p.fn(doc.Data)
+			if err != nil {
+				panic(fmt.Sprintf("fig2: %s rejects %s: %v", p.name, dd.name, err))
+			}
+			ns := measureNS(20*time.Millisecond, func() {
+				if _, _, err := p.fn(doc.Data); err != nil {
+					panic(err)
+				}
+			})
+			cpb := ns / float64(len(doc.Data)) * CPUClockGHz
+			row := Fig2Row{
+				Doc:           dd.name,
+				Group:         doc.Group,
+				Parser:        p.name,
+				CyclesPerByte: cpb,
+				BranchesPerB:  met.BranchesPerByte(len(doc.Data)),
+			}
+			rows = append(rows, row)
+			tbl.Rows = append(tbl.Rows, []string{
+				row.Doc, row.Group, row.Parser, f2(row.CyclesPerByte), f2(row.BranchesPerB)})
+		}
+	}
+	return tbl, rows
+}

@@ -1,0 +1,159 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"aspen/internal/arch"
+	"aspen/internal/compile"
+	"aspen/internal/lang"
+	"aspen/internal/subtree"
+	"aspen/internal/treegen"
+)
+
+// TableI reproduces the subtree-mining dataset parameters (paper
+// Table I), generated at 1/scale of the paper's tree counts.
+func TableI(scale int) *Table {
+	tbl := &Table{
+		ID:     "table1",
+		Title:  fmt.Sprintf("Subtree mining datasets (scaled 1/%d)", scale),
+		Header: []string{"Dataset", "#Trees", "Avg Nodes", "#Items", "Max Depth"},
+		Notes: []string{
+			"Paper: T1M 1M trees/5.5 avg/500 items/depth 13; T2M 2M/2.95/100/13; TREEBANK 52581/68.03/1.39M items/38. Synthetic generators preserve shape; vocabularies cap at 250 for the 8-bit datapath.",
+		},
+	}
+	for _, p := range []treegen.Params{treegen.T1M().Scale(scale), treegen.T2M().Scale(scale), treegen.Treebank().Scale(scale)} {
+		s := treegen.Describe(treegen.Generate(p))
+		tbl.Rows = append(tbl.Rows, []string{
+			p.Name, d(s.NumTrees), f2(s.AvgNodes), d(s.Labels), d(s.MaxDepth)})
+	}
+	return tbl
+}
+
+// TableII reproduces the stage delays and operating frequencies (paper
+// Table II).
+func TableII() *Table {
+	t := arch.ASPENTiming
+	ca := arch.DefaultCacheAutomaton()
+	cfg := arch.DefaultConfig()
+	return &Table{
+		ID:     "table2",
+		Title:  "Stage delays and operating frequencies",
+		Header: []string{"Design", "IM/SM", "ST", "AL", "SU", "Max Freq.", "Freq Oper."},
+		Rows: [][]string{
+			{"ASPEN", fmt.Sprintf("%d ps", t.IMSM), fmt.Sprintf("%d ps", t.ST),
+				fmt.Sprintf("%d ps", t.AL), fmt.Sprintf("%d ps", t.SU),
+				fmt.Sprintf("%.0f MHz", t.MaxFreqMHz()), fmt.Sprintf("%.0f MHz", cfg.ClockMHz)},
+			{"CA", "250 ps", "250 ps", "-", "-", "4 GHz", fmt.Sprintf("%.1f GHz", ca.ClockMHz/1000)},
+		},
+		Notes: []string{"Identical to the paper by construction (these are the simulator's timing constants); the 880 MHz maximum is derived from IM/SM+AL+SU = 1136 ps."},
+	}
+}
+
+// TableIII reproduces the grammar descriptions (paper Table III).
+func TableIII() *Table {
+	tbl := &Table{
+		ID:     "table3",
+		Title:  "Description of grammars",
+		Header: []string{"Language", "Token Types", "Productions", "Parsing Aut. States"},
+		Notes: []string{
+			"Paper: Cool 42/61/147, DOT 22/53/81, JSON 13/19/29, XML 13/31/64. Grammars were re-derived from language specs; parsing automata are LALR(1) like Bison's.",
+		},
+	}
+	for _, l := range lang.All() {
+		cm, err := l.Compile(compile.OptAll)
+		if err != nil {
+			panic(err)
+		}
+		tbl.Rows = append(tbl.Rows, []string{
+			l.Name, d(cm.Stats.TokenTypes), d(cm.Stats.Productions), d(cm.Stats.ParsingStates)})
+	}
+	return tbl
+}
+
+// TableIV reproduces the compilation results (paper Table IV): hDPDA and
+// ε-state counts with no optimization versus multipop + ε-merging, and
+// compile time averaged over runs.
+func TableIV() *Table {
+	tbl := &Table{
+		ID:     "table4",
+		Title:  "Compilation results",
+		Header: []string{"Language", "Optimizations", "hDPDA States", "Epsilon States", "Avg Compile Time (s)"},
+		Notes: []string{
+			"Paper: optimizations reduce ε-states by 65% on average and total states by 47%; all compile times are below 5 s.",
+		},
+	}
+	configs := []struct {
+		name string
+		opts compile.Options
+	}{
+		{"None", compile.OptNone},
+		{"Multipop + Eps", compile.OptAll},
+	}
+	for _, l := range lang.All() {
+		for _, cfg := range configs {
+			const runs = 3
+			var total time.Duration
+			var cm *compile.Compiled
+			for i := 0; i < runs; i++ {
+				var err error
+				cm, err = l.Compile(cfg.opts)
+				if err != nil {
+					panic(err)
+				}
+				total += cm.Stats.CompileTime
+			}
+			tbl.Rows = append(tbl.Rows, []string{
+				l.Name, cfg.name, d(cm.Stats.States), d(cm.Stats.EpsStates),
+				fmt.Sprintf("%.4f", (total / runs).Seconds())})
+		}
+	}
+	return tbl
+}
+
+// TableV reproduces the architectural parameters for subtree inclusion
+// (paper Table V): per-dataset automaton alphabet, stack alphabet, and
+// stack depth requirement, measured from a mining run.
+func TableV(scale int) *Table {
+	tbl := &Table{
+		ID:     "table5",
+		Title:  "Architectural parameters for subtree inclusion",
+		Header: []string{"Dataset", "Automata Alphabets", "Stack Alphabets", "Stack-Size"},
+		Notes: []string{
+			"Paper: T1M 16/17/29, T2M 38/39/49, TREEBANK 100/101/110. Stack alphabet = automaton alphabet + 1 and stack size bounded by tree depth, as in the paper; absolute values depend on the support threshold and candidate sizes reached.",
+		},
+	}
+	for _, cfg := range MiningDatasets(scale) {
+		db := treegen.Generate(cfg.Params)
+		_, wl, err := subtree.Mine(db, cfg.Mine)
+		if err != nil {
+			panic(err)
+		}
+		tbl.Rows = append(tbl.Rows, []string{
+			cfg.Params.Name, d(wl.MaxAlphabet), d(wl.MaxAlphabet + 1), d(wl.MaxStackDepth)})
+	}
+	return tbl
+}
+
+// MiningConfig pairs a dataset with its mining parameters.
+type MiningConfig struct {
+	Params treegen.Params
+	Mine   subtree.MineConfig
+}
+
+// MiningDatasets returns the three Fig. 9/10 workloads at 1/scale size
+// with support thresholds proportional to dataset size.
+func MiningDatasets(scale int) []MiningConfig {
+	mk := func(p treegen.Params, supFrac float64, maxNodes int) MiningConfig {
+		sup := int(float64(p.NumTrees) * supFrac)
+		if sup < 2 {
+			sup = 2
+		}
+		return MiningConfig{Params: p, Mine: subtree.MineConfig{MinSupport: sup, MaxNodes: maxNodes}}
+	}
+	return []MiningConfig{
+		mk(treegen.T1M().Scale(scale), 0.012, 4),
+		mk(treegen.T2M().Scale(scale), 0.012, 4),
+		mk(treegen.Treebank().Scale(scale), 0.20, 4),
+	}
+}

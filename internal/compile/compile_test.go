@@ -1,0 +1,348 @@
+package compile
+
+import (
+	"math/rand"
+	"testing"
+
+	"aspen/internal/core"
+	"aspen/internal/grammar"
+	"aspen/internal/lr"
+)
+
+func mustCompile(t *testing.T, g *grammar.Grammar, opts Options) *Compiled {
+	t.Helper()
+	cm, err := FromGrammar(g, opts)
+	if err != nil {
+		t.Fatalf("FromGrammar(%s): %v", g.Name, err)
+	}
+	return cm
+}
+
+func TestTokenMap(t *testing.T) {
+	g := grammar.ArithGrammar()
+	tm, err := NewTokenMap(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tm.NumCodes() != 6 { // 5 terminals + ⊣
+		t.Errorf("NumCodes = %d, want 6", tm.NumCodes())
+	}
+	if c, ok := tm.Code(grammar.EndMarker); !ok || c != EndCode {
+		t.Errorf("endmarker code = %d,%v", c, ok)
+	}
+	intSym := g.Lookup("INT")
+	c, ok := tm.Code(intSym)
+	if !ok || c < 2 {
+		t.Fatalf("Code(INT) = %d,%v", c, ok)
+	}
+	if s, ok := tm.Sym(c); !ok || s != intSym {
+		t.Errorf("Sym(%d) = %v,%v", c, s, ok)
+	}
+	if _, err := tm.Encode([]grammar.Sym{g.Lookup("Exp")}, false); err == nil {
+		t.Error("encoding a nonterminal should fail")
+	}
+	enc, err := tm.Encode([]grammar.Sym{intSym}, true)
+	if err != nil || len(enc) != 2 || enc[1] != EndCode {
+		t.Errorf("Encode = %v,%v", enc, err)
+	}
+	if tm.Alphabet().Len() != 6 {
+		t.Errorf("Alphabet len = %d", tm.Alphabet().Len())
+	}
+}
+
+func TestCompileArithAcceptsFig4(t *testing.T) {
+	g := grammar.ArithGrammar()
+	for _, opts := range []Options{OptNone, OptEpsilonOnly, OptAll} {
+		cm := mustCompile(t, g, opts)
+		toks, err := lr.TokensFromNames(g, "INT", "TIMES", "LPAREN", "INT", "PLUS", "INT", "RPAREN")
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := cm.ParseTokens(toks, core.ExecOptions{CollectReports: true})
+		if err != nil {
+			t.Fatalf("opts=%+v: %v", opts, err)
+		}
+		if !res.Accepted {
+			t.Fatalf("opts=%+v: Fig.4 expression rejected (consumed %d)", opts, res.Consumed)
+		}
+		oracle := cm.Table.Parse(toks)
+		got := Reductions(res)
+		if len(got) != len(oracle.Reductions) {
+			t.Fatalf("opts=%+v: reductions %v, oracle %v", opts, got, oracle.Reductions)
+		}
+		for i := range got {
+			if got[i] != oracle.Reductions[i] {
+				t.Fatalf("opts=%+v: reductions %v, oracle %v", opts, got, oracle.Reductions)
+			}
+		}
+	}
+}
+
+// randomTokens yields either a derived sentence or random noise.
+func randomTokens(g *grammar.Grammar, r *rand.Rand) []grammar.Sym {
+	if r.Intn(2) == 0 {
+		return genSentence(g, r, g.Start, 5)
+	}
+	terms := g.Terminals()
+	n := r.Intn(10)
+	out := make([]grammar.Sym, n)
+	for i := range out {
+		out[i] = terms[r.Intn(len(terms))]
+	}
+	return out
+}
+
+func genSentence(g *grammar.Grammar, r *rand.Rand, sym grammar.Sym, depth int) []grammar.Sym {
+	if g.IsTerminal(sym) {
+		return []grammar.Sym{sym}
+	}
+	prods := g.ProductionsFor(sym)
+	pi := prods[r.Intn(len(prods))]
+	if depth <= 0 {
+		best := prods[0]
+		for _, p := range prods {
+			if len(g.Productions[p].Rhs) < len(g.Productions[best].Rhs) {
+				best = p
+			}
+		}
+		pi = best
+	}
+	var out []grammar.Sym
+	for _, rs := range g.Productions[pi].Rhs {
+		out = append(out, genSentence(g, r, rs, depth-1)...)
+	}
+	return out
+}
+
+// The central cross-validation: for random inputs, the hDPDA at every
+// optimization level agrees with the LR table oracle on acceptance and on
+// the exact reduction sequence.
+func TestCompiledMachineMatchesOracle(t *testing.T) {
+	grammars := []*grammar.Grammar{
+		grammar.ArithGrammar(),
+		grammar.MustParse("%token a\nL : a L | ;"),
+		grammar.MustParse(`
+%token LB RB COMMA x
+V : x | LB Items RB | LB RB ;
+Items : V | Items COMMA V ;
+`),
+	}
+	for _, g := range grammars {
+		tbl, err := lr.Build(g, lr.Options{})
+		if err != nil {
+			t.Fatalf("%s: %v", g.Name, err)
+		}
+		for _, opts := range []Options{OptNone, OptEpsilonOnly, OptAll, {Multipop: true}} {
+			cm, err := FromGrammar(g, opts)
+			if err != nil {
+				t.Fatalf("%s %+v: %v", g.Name, opts, err)
+			}
+			r := rand.New(rand.NewSource(99))
+			for i := 0; i < 400; i++ {
+				toks := randomTokens(g, r)
+				oracle := tbl.Parse(toks)
+				res, err := cm.ParseTokens(toks, core.ExecOptions{CollectReports: true})
+				if err != nil {
+					t.Fatalf("%s %+v input %d: %v", g.Name, opts, i, err)
+				}
+				if res.Accepted != oracle.Accepted {
+					t.Fatalf("%s %+v: accept mismatch on %v: hdpda=%v oracle=%v",
+						g.Name, opts, toks, res.Accepted, oracle.Accepted)
+				}
+				if res.Accepted {
+					got := Reductions(res)
+					if len(got) != len(oracle.Reductions) {
+						t.Fatalf("%s %+v: reductions %v vs %v", g.Name, opts, got, oracle.Reductions)
+					}
+					for j := range got {
+						if got[j] != oracle.Reductions[j] {
+							t.Fatalf("%s %+v: reductions %v vs %v", g.Name, opts, got, oracle.Reductions)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestOptimizationReducesStallsAndStates(t *testing.T) {
+	g := grammar.ArithGrammar()
+	none := mustCompile(t, g, OptNone)
+	eps := mustCompile(t, g, OptEpsilonOnly)
+	all := mustCompile(t, g, OptAll)
+
+	if eps.Stats.States >= none.Stats.States {
+		t.Errorf("ε-merging did not reduce states: %d vs %d", eps.Stats.States, none.Stats.States)
+	}
+	if all.Stats.States > eps.Stats.States {
+		t.Errorf("multipop should not increase states: %d vs %d", all.Stats.States, eps.Stats.States)
+	}
+	if all.Stats.EpsStates >= none.Stats.EpsStates {
+		t.Errorf("ε-states not reduced: %d vs %d", all.Stats.EpsStates, none.Stats.EpsStates)
+	}
+
+	// Deeply nested input maximizes reduce chains.
+	var names []string
+	for i := 0; i < 20; i++ {
+		names = append(names, "LPAREN")
+	}
+	names = append(names, "INT")
+	for i := 0; i < 20; i++ {
+		names = append(names, "RPAREN")
+	}
+	names = append(names, "PLUS", "INT", "TIMES", "INT")
+	toks, err := lr.TokensFromNames(g, names...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stalls [3]int
+	for i, cm := range []*Compiled{none, eps, all} {
+		res, err := cm.ParseTokens(toks, core.ExecOptions{})
+		if err != nil || !res.Accepted {
+			t.Fatalf("config %d: res=%+v err=%v", i, res, err)
+		}
+		stalls[i] = res.EpsilonStalls
+	}
+	if !(stalls[2] < stalls[1] && stalls[1] < stalls[0]) {
+		t.Errorf("stalls not strictly decreasing: none=%d eps=%d all=%d", stalls[0], stalls[1], stalls[2])
+	}
+}
+
+func TestShiftRunsWithoutStalls(t *testing.T) {
+	// A right-recursive grammar of pure shifts until the very end:
+	// S : a S | b. Optimized, the shifts must process one token per
+	// cycle; only the final reductions stall.
+	g := grammar.MustParse("%token a b\nS : a S | b ;")
+	cm := mustCompile(t, g, OptAll)
+	toks := make([]grammar.Sym, 0, 51)
+	for i := 0; i < 50; i++ {
+		toks = append(toks, g.Lookup("a"))
+	}
+	toks = append(toks, g.Lookup("b"))
+	res, err := cm.ParseTokens(toks, core.ExecOptions{})
+	if err != nil || !res.Accepted {
+		t.Fatalf("res=%+v err=%v", res, err)
+	}
+	// 51 reductions of S : a S / b happen at the end; shifts themselves
+	// must not stall, so stalls scale with reductions, not with 2×tokens.
+	if res.EpsilonStalls > 2*51+4 {
+		t.Errorf("EpsilonStalls = %d, want ≤ %d (shifts must be stall-free)", res.EpsilonStalls, 2*51+4)
+	}
+}
+
+func TestStatsPopulated(t *testing.T) {
+	g := grammar.ArithGrammar()
+	cm := mustCompile(t, g, OptAll)
+	s := cm.Stats
+	if s.TokenTypes != 5 || s.Productions != 6 {
+		t.Errorf("stats = %+v", s)
+	}
+	if s.ParsingStates == 0 || s.States == 0 || s.StatesRaw < s.States {
+		t.Errorf("stats = %+v", s)
+	}
+	if s.CompileTime <= 0 {
+		t.Error("CompileTime not recorded")
+	}
+}
+
+func TestCompileRejectsConflicts(t *testing.T) {
+	g := grammar.MustParse("%token PLUS INT\nE : E PLUS E | INT ;")
+	if _, err := FromGrammar(g, OptAll); err == nil {
+		t.Fatal("ambiguous grammar should fail")
+	}
+	cm, err := FromGrammar(g, Options{EpsilonMerge: true, Multipop: true, ResolveShiftReduce: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	toks, _ := lr.TokensFromNames(g, "INT", "PLUS", "INT")
+	res, err := cm.ParseTokens(toks, core.ExecOptions{})
+	if err != nil || !res.Accepted {
+		t.Fatalf("res=%+v err=%v", res, err)
+	}
+}
+
+func TestEmptyInputOnEpsilonGrammar(t *testing.T) {
+	g := grammar.MustParse("%token a\nL : a L | ;")
+	for _, opts := range []Options{OptNone, OptAll} {
+		cm := mustCompile(t, g, opts)
+		res, err := cm.ParseTokens(nil, core.ExecOptions{CollectReports: true})
+		if err != nil || !res.Accepted {
+			t.Fatalf("opts %+v: empty input res=%+v err=%v", opts, res, err)
+		}
+		if got := Reductions(res); len(got) != 1 {
+			t.Errorf("opts %+v: reductions = %v, want the single ε-reduction", opts, got)
+		}
+	}
+}
+
+func TestMachineStackDepthTracksNesting(t *testing.T) {
+	g := grammar.ArithGrammar()
+	cm := mustCompile(t, g, OptAll)
+	deep := func(n int) []grammar.Sym {
+		var names []string
+		for i := 0; i < n; i++ {
+			names = append(names, "LPAREN")
+		}
+		names = append(names, "INT")
+		for i := 0; i < n; i++ {
+			names = append(names, "RPAREN")
+		}
+		toks, _ := lr.TokensFromNames(g, names...)
+		return toks
+	}
+	r5, _ := cm.ParseTokens(deep(5), core.ExecOptions{})
+	r20, _ := cm.ParseTokens(deep(20), core.ExecOptions{})
+	if !r5.Accepted || !r20.Accepted {
+		t.Fatal("nested parses rejected")
+	}
+	if r20.MaxStackDepth <= r5.MaxStackDepth {
+		t.Errorf("stack depth should grow with nesting: %d vs %d", r20.MaxStackDepth, r5.MaxStackDepth)
+	}
+	// Hardware limit: deep enough nesting overflows the 256-entry stack.
+	if _, err := cm.ParseTokens(deep(400), core.ExecOptions{}); err == nil {
+		t.Error("expected stack overflow at 400-deep nesting")
+	}
+}
+
+// Report positions: a reduction report fires with Pos = tokens consumed
+// including the one-token lookahead, so the reduced production's last
+// token sits at index Pos-2. DOM construction (internal/dom) depends on
+// this invariant at every optimization level.
+func TestReportPositions(t *testing.T) {
+	g := grammar.ArithGrammar()
+	toks, err := lr.TokensFromNames(g, "INT", "PLUS", "INT")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, opts := range []Options{OptNone, OptEpsilonOnly, OptAll} {
+		cm := mustCompile(t, g, opts)
+		res, err := cm.ParseTokens(toks, core.ExecOptions{CollectReports: true})
+		if err != nil || !res.Accepted {
+			t.Fatalf("opts %+v: %+v %v", opts, res, err)
+		}
+		// Expected reduction schedule over INT PLUS INT ⊣:
+		//   Term→INT    after consuming INT PLUS           → Pos 2
+		//   Exp→Term... the second INT's reductions happen after ⊣:
+		//   Term→INT, Exp→Term, Exp→Term PLUS Exp, S→Exp   → Pos 4
+		var wantPos []int
+		for _, code := range Reductions(res) {
+			_ = code
+		}
+		got := res.Reports
+		// Drop the accept report (code < 0) at the end.
+		if got[len(got)-1].Code != ReportAccept {
+			t.Fatalf("opts %+v: last report is not accept: %+v", opts, got)
+		}
+		reduces := got[:len(got)-1]
+		wantPos = []int{2, 4, 4, 4, 4}
+		if len(reduces) != len(wantPos) {
+			t.Fatalf("opts %+v: %d reduces, want %d", opts, len(reduces), len(wantPos))
+		}
+		for i, r := range reduces {
+			if r.Pos != wantPos[i] {
+				t.Errorf("opts %+v: reduce %d at Pos %d, want %d (%s)",
+					opts, i, r.Pos, wantPos[i], g.ProductionString(int(r.Code)))
+			}
+		}
+	}
+}

@@ -1,0 +1,117 @@
+package compile
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"time"
+
+	"aspen/internal/core"
+	"aspen/internal/grammar"
+	"aspen/internal/lr"
+)
+
+// randomGrammar synthesizes a small random CFG. Many candidates are
+// rejected (invalid or conflicted); the caller skips those.
+func randomGrammar(r *rand.Rand) (*grammar.Grammar, error) {
+	g := grammar.New(fmt.Sprintf("rnd%d", r.Int31()))
+	numT := 2 + r.Intn(4)
+	numNT := 1 + r.Intn(4)
+	var terms, nts []grammar.Sym
+	for i := 0; i < numT; i++ {
+		terms = append(terms, g.Terminal(fmt.Sprintf("t%d", i)))
+	}
+	for i := 0; i < numNT; i++ {
+		nts = append(nts, g.Nonterminal(fmt.Sprintf("N%d", i)))
+	}
+	for _, nt := range nts {
+		for p := 1 + r.Intn(3); p > 0; p-- {
+			var rhs []grammar.Sym
+			for l := r.Intn(4); l > 0; l-- {
+				if r.Intn(3) == 0 {
+					rhs = append(rhs, nts[r.Intn(len(nts))])
+				} else {
+					rhs = append(rhs, terms[r.Intn(len(terms))])
+				}
+			}
+			g.AddProduction(nt, rhs...)
+		}
+	}
+	g.Start = nts[0]
+	return g, g.Validate()
+}
+
+// The differential fuzzer: for random grammars that build, the compiled
+// hDPDA must agree with the LR oracle on acceptance and reductions for
+// random token strings, at every optimization level.
+func TestRandomGrammarsMatchOracle(t *testing.T) {
+	r := rand.New(rand.NewSource(55))
+	built := 0
+	for trial := 0; trial < 400 && built < 60; trial++ {
+		g, err := randomGrammar(r)
+		if err != nil {
+			continue
+		}
+		tbl, err := lr.Build(g, lr.Options{ResolveShiftReduce: true})
+		if err != nil {
+			var ce *lr.ConflictError
+			if errors.As(err, &ce) {
+				continue // reduce/reduce: not LR, skip
+			}
+			t.Fatal(err)
+		}
+		built++
+		terms := g.Terminals()
+		for _, opts := range []Options{
+			{ResolveShiftReduce: true},
+			{ResolveShiftReduce: true, EpsilonMerge: true},
+			{ResolveShiftReduce: true, EpsilonMerge: true, Multipop: true},
+		} {
+			cm, err := FromTable(tbl, opts, time.Time{})
+			if err != nil {
+				t.Fatalf("grammar %s: %v", g.Name, err)
+			}
+			for i := 0; i < 60; i++ {
+				n := r.Intn(8)
+				toks := make([]grammar.Sym, n)
+				for j := range toks {
+					toks[j] = terms[r.Intn(len(terms))]
+				}
+				oracle := tbl.Parse(toks)
+				res, err := cm.ParseTokens(toks, core.ExecOptions{CollectReports: true})
+				if err != nil {
+					t.Fatalf("grammar %s input %v: %v\n%s", g.Name, toks, err, dump(g))
+				}
+				if res.Accepted != oracle.Accepted {
+					t.Fatalf("grammar %s opts %+v: accept mismatch on %v (hdpda %v oracle %v)\n%s",
+						g.Name, opts, toks, res.Accepted, oracle.Accepted, dump(g))
+				}
+				if res.Accepted {
+					got := Reductions(res)
+					if len(got) != len(oracle.Reductions) {
+						t.Fatalf("grammar %s: reductions %v vs %v\n%s", g.Name, got, oracle.Reductions, dump(g))
+					}
+					for k := range got {
+						if got[k] != oracle.Reductions[k] {
+							t.Fatalf("grammar %s: reductions %v vs %v\n%s", g.Name, got, oracle.Reductions, dump(g))
+						}
+					}
+				}
+			}
+		}
+	}
+	if built < 20 {
+		t.Fatalf("only %d random grammars built", built)
+	}
+	t.Logf("differentially tested %d random grammars", built)
+}
+
+func dump(g *grammar.Grammar) string {
+	s := ""
+	for i := range g.Productions {
+		s += g.ProductionString(i) + "\n"
+	}
+	return s
+}

@@ -1,0 +1,136 @@
+package compile
+
+import (
+	"aspen/internal/core"
+)
+
+// optimize applies the paper's stall-reduction passes (Fig. 5) to m in
+// place and returns the number of states eliminated.
+//
+// A state x with a single successor y, where y is an ε-state, can absorb
+// y's stack action and successors when the two operations compose into a
+// single legal (pop k, push?) action and y's stack comparison is
+// statically guaranteed to succeed after x's action:
+//
+//   - ε-merging (Fig. 5a) fuses input matching with stack actions, so
+//     shifts execute in one cycle;
+//   - multipop (Fig. 5b) permits the composed action to pop more than one
+//     symbol per cycle, collapsing reduction pop chains.
+//
+// When y has exactly one predecessor the merge removes y (a true merge on
+// a linear chain); when y is shared, x still absorbs the action (a clone
+// merge) so x's path avoids the stall while other predecessors keep
+// routing through y. Unreachable leftovers are removed by the caller; the
+// return value counts absorb operations performed.
+func optimize(m *core.HDPDA, opts Options) int {
+	indeg := make([]int, len(m.States))
+	for i := range m.States {
+		for _, t := range m.States[i].Succ {
+			indeg[t]++
+		}
+	}
+	dead := make([]bool, len(m.States))
+	merged := 0
+	budget := 16*len(m.States) + 64 // absorb-operation safety cap
+
+	for changed := true; changed && budget > 0; {
+		changed = false
+		for xi := range m.States {
+			if dead[xi] {
+				continue
+			}
+			for budget > 0 {
+				x := &m.States[xi]
+				if len(x.Succ) != 1 {
+					break
+				}
+				yi := x.Succ[0]
+				if yi == core.StateID(xi) || yi == m.Start || dead[yi] {
+					break
+				}
+				y := &m.States[yi]
+				if !y.Epsilon {
+					break
+				}
+				if x.Accept && y.Accept {
+					break // cannot combine two distinct reports
+				}
+				op, ok := compose(x, y, opts)
+				if !ok {
+					break
+				}
+				budget--
+				x.Op = op
+				if y.Accept {
+					x.Accept = true
+					x.Report = y.Report
+				}
+				x.Label = x.Label + "+" + y.Label
+				x.Succ = append([]core.StateID(nil), y.Succ...)
+				indeg[yi]--
+				if indeg[yi] == 0 {
+					dead[yi] = true
+				}
+				merged++
+				changed = true
+			}
+		}
+	}
+	return merged
+}
+
+// compose combines x's action followed by ε-state y's comparison and
+// action into one action, if legal under the enabled optimizations.
+func compose(x, y *core.State, opts Options) (core.StackOp, bool) {
+	a, b := x.Op, y.Op
+
+	// Feasibility of y's stack comparison after x's action.
+	switch {
+	case a.HasPush:
+		// TOS after x is exactly the pushed symbol.
+		if !y.Stack.Contains(a.Push) {
+			return core.StackOp{}, false
+		}
+	case a.Pop == 0:
+		// TOS unchanged: y must match whenever x matched.
+		if x.Stack.Intersect(y.Stack) != x.Stack {
+			return core.StackOp{}, false
+		}
+	default:
+		// TOS after bare pops is statically unknown.
+		if y.Stack != core.AllSymbols() {
+			return core.StackOp{}, false
+		}
+	}
+
+	// Compose the operations.
+	var out core.StackOp
+	switch {
+	case a.HasPush && b.Pop > 0:
+		// y's first pop cancels x's push.
+		out = core.StackOp{Pop: a.Pop + b.Pop - 1, Push: b.Push, HasPush: b.HasPush}
+		if int(a.Pop)+int(b.Pop)-1 > 255 {
+			return core.StackOp{}, false
+		}
+	case a.HasPush && b.HasPush:
+		return core.StackOp{}, false // two pushes cannot fuse
+	case a.HasPush:
+		out = a // y is a pure nop
+	default:
+		if int(a.Pop)+int(b.Pop) > 255 {
+			return core.StackOp{}, false
+		}
+		out = core.StackOp{Pop: a.Pop + b.Pop, Push: b.Push, HasPush: b.HasPush}
+	}
+
+	// Gate on the enabled optimizations. Multipop authorizes composed
+	// actions popping more than one symbol; everything else is ε-merging.
+	if out.Pop > 1 && !opts.Multipop {
+		return core.StackOp{}, false
+	}
+	pureChainCollapse := x.Epsilon && y.Epsilon && out.Pop > 1 && !out.HasPush
+	if !opts.EpsilonMerge && !pureChainCollapse {
+		return core.StackOp{}, false
+	}
+	return out, true
+}

@@ -1,0 +1,93 @@
+// Package compile transforms LR(1) grammars into homogeneous
+// deterministic pushdown automata executable by ASPEN (paper §III). The
+// construction simulates the parsing automaton with the hDPDA stack
+// tracking the sequence of visited parsing-automaton states: shifts push
+// the destination state, reductions pop |rhs| states ("running the
+// parsing automaton in reverse") and re-dispatch through goto states.
+// Two optimizations reduce input stalls: ε-merging, which fuses linear
+// chains so input match and stack action happen in one state, and
+// multipop, which pops a whole right-hand side in a single cycle.
+package compile
+
+import (
+	"fmt"
+
+	"aspen/internal/core"
+	"aspen/internal/grammar"
+)
+
+// TokenMap assigns 8-bit input-symbol codes to a grammar's terminals.
+// Code 1 is always the endmarker ⊣; terminals get codes 2.. in symbol
+// order. Code 0 is left unused so token streams can never alias the
+// bottom-of-stack encoding used in diagnostics.
+type TokenMap struct {
+	g      *grammar.Grammar
+	codeOf map[grammar.Sym]core.Symbol
+	symOf  map[core.Symbol]grammar.Sym
+}
+
+// EndCode is the input-symbol code of the endmarker ⊣.
+const EndCode core.Symbol = 1
+
+// NewTokenMap builds the token encoding for g. It fails if the grammar
+// has more than 254 terminals (the 8-bit datapath limit).
+func NewTokenMap(g *grammar.Grammar) (*TokenMap, error) {
+	terms := g.Terminals()
+	if len(terms) > 254 {
+		return nil, fmt.Errorf("compile: grammar %q has %d terminals; ASPEN's 8-bit input datapath allows 254", g.Name, len(terms))
+	}
+	tm := &TokenMap{
+		g:      g,
+		codeOf: map[grammar.Sym]core.Symbol{grammar.EndMarker: EndCode},
+		symOf:  map[core.Symbol]grammar.Sym{EndCode: grammar.EndMarker},
+	}
+	next := core.Symbol(2)
+	for _, t := range terms {
+		tm.codeOf[t] = next
+		tm.symOf[next] = t
+		next++
+	}
+	return tm, nil
+}
+
+// Code returns the input-symbol code for terminal t.
+func (tm *TokenMap) Code(t grammar.Sym) (core.Symbol, bool) {
+	c, ok := tm.codeOf[t]
+	return c, ok
+}
+
+// Sym returns the terminal encoded by c.
+func (tm *TokenMap) Sym(c core.Symbol) (grammar.Sym, bool) {
+	s, ok := tm.symOf[c]
+	return s, ok
+}
+
+// NumCodes returns the number of assigned codes including ⊣.
+func (tm *TokenMap) NumCodes() int { return len(tm.codeOf) }
+
+// Encode converts a terminal stream to input symbols, appending ⊣ when
+// withEnd is set (the form the hDPDA consumes).
+func (tm *TokenMap) Encode(tokens []grammar.Sym, withEnd bool) ([]core.Symbol, error) {
+	out := make([]core.Symbol, 0, len(tokens)+1)
+	for i, t := range tokens {
+		c, ok := tm.codeOf[t]
+		if !ok {
+			return nil, fmt.Errorf("compile: token %d (%s) is not a terminal of %q", i, tm.g.SymName(t), tm.g.Name)
+		}
+		out = append(out, c)
+	}
+	if withEnd {
+		out = append(out, EndCode)
+	}
+	return out, nil
+}
+
+// Alphabet returns the set of valid input codes (for architecture
+// sizing).
+func (tm *TokenMap) Alphabet() core.SymbolSet {
+	var s core.SymbolSet
+	for c := range tm.symOf {
+		s.Add(c)
+	}
+	return s
+}

@@ -1,0 +1,10 @@
+// Package core implements the computational model at the heart of ASPEN
+// (MICRO 2018): deterministic pushdown automata (DPDA) and their
+// homogeneous form (hDPDA), in which every transition into a state occurs
+// on the same input-symbol match, stack-symbol comparison, and stack
+// operation. The homogeneous form maps one state to one SRAM column in
+// the ASPEN datapath; this package provides the functional semantics that
+// both the optimizing compiler (internal/compile) and the cycle-accurate
+// architecture simulator (internal/arch) share, so the two engines cannot
+// drift apart.
+package core

@@ -1,0 +1,205 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+)
+
+// DPDATransition is one rule of a classical (non-homogeneous) DPDA,
+// written a,b/c in the paper's Fig. 1: on input Input (or ε when Epsilon)
+// with StackTop on top of the stack, move to To and apply Op.
+type DPDATransition struct {
+	From     int
+	Epsilon  bool
+	Input    Symbol
+	StackTop Symbol
+	To       int
+	Op       StackOp
+}
+
+// DPDA is a classical deterministic pushdown automaton, the 6-tuple
+// (Q, Σ, Γ, δ, S, F) of paper §II-A restricted as in §II-B. It exists
+// mainly as the source form for ToHomogeneous (Claim 1) and as a
+// cross-validation oracle for the hDPDA executor.
+type DPDA struct {
+	Name      string
+	NumStates int
+	Start     int
+	Accept    map[int]bool
+	Trans     []DPDATransition
+}
+
+// Validate checks state ranges and the determinism restriction: for any
+// (state, stack-top) at most one ε-rule, and no ε-rule coexisting with
+// input rules; for any (state, input, stack-top) at most one rule.
+func (d *DPDA) Validate() error {
+	type key struct {
+		from  int
+		eps   bool
+		input Symbol
+		top   Symbol
+	}
+	seen := make(map[key]int)
+	epsByTop := make(map[[2]int]bool)   // (from, top) has ε-rule
+	inputByTop := make(map[[2]int]bool) // (from, top) has input rule
+	for i, t := range d.Trans {
+		if t.From < 0 || t.From >= d.NumStates || t.To < 0 || t.To >= d.NumStates {
+			return fmt.Errorf("dpda %q: transition %d has out-of-range state", d.Name, i)
+		}
+		k := key{t.From, t.Epsilon, t.Input, t.StackTop}
+		if t.Epsilon {
+			k.input = 0
+		}
+		if j, dup := seen[k]; dup {
+			return fmt.Errorf("dpda %q: transitions %d and %d are duplicates", d.Name, j, i)
+		}
+		seen[k] = i
+		ft := [2]int{t.From, int(t.StackTop)}
+		if t.Epsilon {
+			if epsByTop[ft] {
+				return fmt.Errorf("dpda %q: two ε-rules from state %d on stack %#02x", d.Name, t.From, uint8(t.StackTop))
+			}
+			if inputByTop[ft] {
+				return fmt.Errorf("dpda %q: ε-rule and input rule overlap from state %d on stack %#02x", d.Name, t.From, uint8(t.StackTop))
+			}
+			epsByTop[ft] = true
+		} else {
+			if epsByTop[ft] {
+				return fmt.Errorf("dpda %q: ε-rule and input rule overlap from state %d on stack %#02x", d.Name, t.From, uint8(t.StackTop))
+			}
+			inputByTop[ft] = true
+		}
+	}
+	return nil
+}
+
+// Run executes the DPDA directly (reference semantics): ε-rules fire
+// before input rules; the input is accepted when fully consumed with the
+// machine in an accept state after trailing ε-moves.
+func (d *DPDA) Run(input []Symbol) (accepted bool, err error) {
+	state := d.Start
+	stack := []Symbol{BottomOfStack}
+	steps, limit := 0, 4*(len(input)+1)*(d.NumStates+1)+64
+
+	apply := func(t DPDATransition) error {
+		if t.Op.Pop > 0 {
+			n := int(t.Op.Pop)
+			if n > len(stack)-1 {
+				return ErrStackUnderflow
+			}
+			stack = stack[:len(stack)-n]
+		}
+		if t.Op.HasPush {
+			stack = append(stack, t.Op.Push)
+		}
+		state = t.To
+		return nil
+	}
+	findEps := func() (DPDATransition, bool) {
+		top := stack[len(stack)-1]
+		for _, t := range d.Trans {
+			if t.From == state && t.Epsilon && t.StackTop == top {
+				return t, true
+			}
+		}
+		return DPDATransition{}, false
+	}
+	drain := func() error {
+		for {
+			t, ok := findEps()
+			if !ok {
+				return nil
+			}
+			if steps++; steps > limit {
+				return ErrEpsilonLimit
+			}
+			if err := apply(t); err != nil {
+				return err
+			}
+		}
+	}
+
+	for _, sym := range input {
+		if err := drain(); err != nil {
+			return false, err
+		}
+		top := stack[len(stack)-1]
+		fired := false
+		for _, t := range d.Trans {
+			if t.From == state && !t.Epsilon && t.Input == sym && t.StackTop == top {
+				if err := apply(t); err != nil {
+					return false, err
+				}
+				fired = true
+				break
+			}
+		}
+		if !fired {
+			return false, nil // jam
+		}
+		steps++
+	}
+	if err := drain(); err != nil {
+		return false, err
+	}
+	return d.Accept[state], nil
+}
+
+// ToHomogeneous converts the DPDA to an equivalent hDPDA by splitting
+// each transition into its own homogeneous state (the construction behind
+// paper Claim 1: at most O(|Σ||Q|²) states; in practice one state per
+// transition plus a start state).
+func (d *DPDA) ToHomogeneous() (*HDPDA, error) {
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
+	h := &HDPDA{Name: d.Name + "-h"}
+	// Synthetic start state: active initially, never entered, no action.
+	start := h.AddState(State{
+		Label:   "start",
+		Epsilon: true,
+		Stack:   AllSymbols(),
+		Accept:  d.Accept[d.Start], // empty input accepted iff start accepts
+	})
+	h.Start = start
+
+	// One homogeneous state per DPDA transition.
+	ids := make([]StateID, len(d.Trans))
+	for i, t := range d.Trans {
+		st := State{
+			Epsilon: t.Epsilon,
+			Stack:   NewSymbolSet(t.StackTop),
+			Op:      t.Op,
+			Accept:  d.Accept[t.To],
+		}
+		if t.Epsilon {
+			st.Label = fmt.Sprintf("t%d:ε,%#02x→q%d", i, uint8(t.StackTop), t.To)
+		} else {
+			st.Input = NewSymbolSet(t.Input)
+			st.Label = fmt.Sprintf("t%d:%#02x,%#02x→q%d", i, uint8(t.Input), uint8(t.StackTop), t.To)
+		}
+		ids[i] = h.AddState(st)
+	}
+
+	// Edge h_s → h_t whenever s's destination equals t's source; start
+	// connects to transitions out of the DPDA start state.
+	bySource := make(map[int][]int)
+	for i, t := range d.Trans {
+		bySource[t.From] = append(bySource[t.From], i)
+	}
+	for q := range bySource {
+		sort.Ints(bySource[q])
+	}
+	for _, i := range bySource[d.Start] {
+		h.AddEdge(start, ids[i])
+	}
+	for i, t := range d.Trans {
+		for _, j := range bySource[t.To] {
+			h.AddEdge(ids[i], ids[j])
+		}
+	}
+	if err := h.Validate(); err != nil {
+		return nil, fmt.Errorf("homogenization produced invalid machine: %w", err)
+	}
+	return h, nil
+}

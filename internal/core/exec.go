@@ -1,0 +1,285 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Execution errors. Stack faults correspond to hardware machine faults in
+// ASPEN (the stacks are fixed 256-entry structures); the ε-loop error
+// guards against non-terminating machines, which a valid compiler never
+// produces.
+var (
+	ErrStackOverflow  = errors.New("core: stack overflow")
+	ErrStackUnderflow = errors.New("core: stack underflow (popped ⊥)")
+	ErrEpsilonLimit   = errors.New("core: ε-transition limit exceeded (ε-loop?)")
+)
+
+// Report is a report event: an accept state was activated after Pos input
+// symbols had been consumed.
+type Report struct {
+	Pos   int     // input symbols consumed when the report fired
+	State StateID // reporting state
+	Code  int32   // the state's application-defined report code
+}
+
+// Result summarizes one run of an hDPDA over an input.
+type Result struct {
+	// Accepted is true when the whole input was consumed and the machine
+	// ended (after draining ε-moves) in an accept state.
+	Accepted bool
+	// Consumed is the number of input symbols processed before the run
+	// ended or jammed.
+	Consumed int
+	// Jammed is true when no successor was enabled for some input symbol
+	// (the DPDA rejects by jamming).
+	Jammed bool
+	// Reports lists accept-state activations in order (empty unless
+	// CollectReports was set).
+	Reports []Report
+	// EpsilonStalls counts ε-state activations. Each one stalls the
+	// input stream for a cycle on ASPEN, so total symbol-processing
+	// cycles = Consumed + EpsilonStalls.
+	EpsilonStalls int
+	// Steps counts all state activations (input-consuming and ε).
+	Steps int
+	// FinalState is the active state when the run ended.
+	FinalState StateID
+	// MaxStackDepth is the high-water mark of stack use (excluding ⊥).
+	MaxStackDepth int
+	// ReportCount counts accept-state activations even when reports are
+	// not collected.
+	ReportCount int
+}
+
+// ExecOptions configures an Execution.
+type ExecOptions struct {
+	// StackDepth overrides the machine's stack depth (0 = machine
+	// default, which itself defaults to DefaultStackDepth).
+	StackDepth int
+	// EpsilonBudget bounds consecutive ε-activations between two input
+	// symbols (0 = default of 4×states+16). Exceeding it returns
+	// ErrEpsilonLimit.
+	EpsilonBudget int
+	// CollectReports records each report event in Result.Reports.
+	CollectReports bool
+	// OnReport, when non-nil, is invoked for every report event
+	// (independent of CollectReports).
+	OnReport func(Report)
+}
+
+// Execution is an in-progress run of an hDPDA. The cycle-accurate
+// architecture simulator drives the same Execution stepping functions the
+// functional Run uses, so functional and simulated semantics are
+// identical by construction.
+type Execution struct {
+	M *HDPDA
+
+	cur      StateID
+	stack    []Symbol
+	depth    int // max usable entries
+	pos      int // input symbols consumed
+	res      Result
+	opts     ExecOptions
+	epsSeq   int // consecutive ε-activations since last input symbol
+	epsLimit int
+}
+
+// NewExecution creates a fresh execution of m positioned at its start
+// state with an empty stack (⊥ pre-loaded).
+func NewExecution(m *HDPDA, opts ExecOptions) *Execution {
+	depth := opts.StackDepth
+	if depth == 0 {
+		depth = m.StackDepth
+	}
+	if depth == 0 {
+		depth = DefaultStackDepth
+	}
+	lim := opts.EpsilonBudget
+	if lim == 0 {
+		// Legitimate ε-cascades (LR reduction chains) are bounded by the
+		// stack contents plus per-state work, so scale the default with
+		// both.
+		lim = 4*(len(m.States)+depth) + 64
+	}
+	e := &Execution{
+		M:        m,
+		cur:      m.Start,
+		stack:    make([]Symbol, 1, 16),
+		depth:    depth,
+		opts:     opts,
+		epsLimit: lim,
+	}
+	e.stack[0] = BottomOfStack
+	e.res.FinalState = m.Start
+	return e
+}
+
+// Pos returns the number of input symbols consumed so far.
+func (e *Execution) Pos() int { return e.pos }
+
+// Current returns the active state.
+func (e *Execution) Current() StateID { return e.cur }
+
+// TOS returns the current top-of-stack symbol.
+func (e *Execution) TOS() Symbol { return e.stack[len(e.stack)-1] }
+
+// StackLen returns the number of symbols on the stack above ⊥.
+func (e *Execution) StackLen() int { return len(e.stack) - 1 }
+
+// activate performs the entry actions of state id: stack op, report.
+func (e *Execution) activate(id StateID) error {
+	st := &e.M.States[id]
+	// Pop (possibly multipop) then push, per the stack-update stage.
+	if st.Op.Pop > 0 {
+		n := int(st.Op.Pop)
+		if n > len(e.stack)-1 {
+			return fmt.Errorf("%w: state %d (%s) pops %d with depth %d",
+				ErrStackUnderflow, id, st.Label, n, len(e.stack)-1)
+		}
+		e.stack = e.stack[:len(e.stack)-n]
+	}
+	if st.Op.HasPush {
+		if len(e.stack)-1 >= e.depth {
+			return fmt.Errorf("%w: state %d (%s) at depth %d",
+				ErrStackOverflow, id, st.Label, e.depth)
+		}
+		e.stack = append(e.stack, st.Op.Push)
+	}
+	if d := len(e.stack) - 1; d > e.res.MaxStackDepth {
+		e.res.MaxStackDepth = d
+	}
+	e.cur = id
+	e.res.FinalState = id
+	e.res.Steps++
+	if st.Epsilon {
+		e.res.EpsilonStalls++
+		e.epsSeq++
+	} else {
+		e.epsSeq = 0
+	}
+	if st.Accept {
+		e.res.ReportCount++
+		if e.opts.CollectReports || e.opts.OnReport != nil {
+			r := Report{Pos: e.pos, State: id, Code: st.Report}
+			if e.opts.CollectReports {
+				e.res.Reports = append(e.res.Reports, r)
+			}
+			if e.opts.OnReport != nil {
+				e.opts.OnReport(r)
+			}
+		}
+	}
+	return nil
+}
+
+// EpsilonEnabled returns the enabled ε-successor of the current state, or
+// InvalidState if none. Determinism guarantees at most one.
+func (e *Execution) EpsilonEnabled() StateID {
+	tos := e.TOS()
+	for _, t := range e.M.States[e.cur].Succ {
+		st := &e.M.States[t]
+		if st.Epsilon && st.Stack.Contains(tos) {
+			return t
+		}
+	}
+	return InvalidState
+}
+
+// StepEpsilon takes one enabled ε-transition. It returns false when no
+// ε-successor is enabled.
+func (e *Execution) StepEpsilon() (bool, error) {
+	t := e.EpsilonEnabled()
+	if t == InvalidState {
+		return false, nil
+	}
+	if e.epsSeq >= e.epsLimit {
+		return false, fmt.Errorf("%w: state %d after %d ε-steps", ErrEpsilonLimit, e.cur, e.epsSeq)
+	}
+	return true, e.activate(t)
+}
+
+// DrainEpsilon takes ε-transitions until none is enabled, returning the
+// number taken (= input stall cycles on ASPEN).
+func (e *Execution) DrainEpsilon() (int, error) {
+	n := 0
+	for {
+		ok, err := e.StepEpsilon()
+		if err != nil {
+			return n, err
+		}
+		if !ok {
+			return n, nil
+		}
+		n++
+	}
+}
+
+// Feed consumes one input symbol. The caller must have drained ε-moves
+// first (Run does this). It returns false when no successor is enabled
+// (the machine jams and the input is rejected).
+func (e *Execution) Feed(sym Symbol) (bool, error) {
+	tos := e.TOS()
+	for _, t := range e.M.States[e.cur].Succ {
+		st := &e.M.States[t]
+		if !st.Epsilon && st.Input.Contains(sym) && st.Stack.Contains(tos) {
+			// Count the symbol before activating so a report fired by
+			// the consuming state itself (ε-merged machines) sees the
+			// same position a report from a trailing ε-state would.
+			e.pos++
+			e.res.Consumed = e.pos
+			if err := e.activate(t); err != nil {
+				return false, err
+			}
+			return true, nil
+		}
+	}
+	return false, nil
+}
+
+// InAccept reports whether the active state is an accept state.
+func (e *Execution) InAccept() bool { return e.M.States[e.cur].Accept }
+
+// Result returns a snapshot of the run statistics so far.
+func (e *Execution) Result() Result { return e.res }
+
+// Run executes the machine over input: for each symbol, drain ε-moves
+// then consume the symbol; after the last symbol, drain trailing ε-moves.
+// The input is accepted when it is fully consumed and the machine ends in
+// an accept state.
+func (m *HDPDA) Run(input []Symbol, opts ExecOptions) (Result, error) {
+	e := NewExecution(m, opts)
+	for _, sym := range input {
+		if _, err := e.DrainEpsilon(); err != nil {
+			return e.res, err
+		}
+		ok, err := e.Feed(sym)
+		if err != nil {
+			return e.res, err
+		}
+		if !ok {
+			e.res.Jammed = true
+			return e.res, nil
+		}
+	}
+	if _, err := e.DrainEpsilon(); err != nil {
+		return e.res, err
+	}
+	e.res.Accepted = e.InAccept()
+	return e.res, nil
+}
+
+// Accepts is a convenience wrapper returning only the accept decision.
+func (m *HDPDA) Accepts(input []Symbol) bool {
+	r, err := m.Run(input, ExecOptions{})
+	return err == nil && r.Accepted
+}
+
+// BytesToSymbols converts raw bytes to input symbols.
+func BytesToSymbols(b []byte) []Symbol {
+	out := make([]Symbol, len(b))
+	for i, c := range b {
+		out[i] = Symbol(c)
+	}
+	return out
+}

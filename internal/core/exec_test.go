@@ -1,0 +1,243 @@
+package core
+
+import (
+	"errors"
+	"testing"
+)
+
+// counterMachine accepts a^n b^n (n ≥ 1) using pushes and pops — a
+// classic DPDA language exercising stack depth.
+func counterMachine() *HDPDA {
+	h := &HDPDA{Name: "anbn"}
+	h.Start = h.AddState(State{Label: "start", Epsilon: true, Stack: AllSymbols()})
+	pushA := h.AddState(State{
+		Label: "a/push", Input: NewSymbolSet('a'), Stack: AllSymbols(),
+		Op: StackOp{Push: 1, HasPush: true},
+	})
+	popB := h.AddState(State{
+		Label: "b/pop", Input: NewSymbolSet('b'), Stack: NewSymbolSet(1),
+		Op: StackOp{Pop: 1},
+	})
+	acc := h.AddState(State{
+		Label: "ε⊥/acc", Epsilon: true, Stack: NewSymbolSet(BottomOfStack), Accept: true,
+	})
+	h.AddEdge(h.Start, pushA)
+	h.AddEdge(pushA, pushA)
+	h.AddEdge(pushA, popB)
+	h.AddEdge(popB, popB)
+	h.AddEdge(popB, acc)
+	return h
+}
+
+func TestCounterMachine(t *testing.T) {
+	h := counterMachine()
+	if err := h.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		in   string
+		want bool
+	}{
+		{"ab", true}, {"aabb", true}, {"aaabbb", true},
+		{"", false}, {"a", false}, {"b", false}, {"ba", false},
+		{"aab", false}, {"abb", false}, {"abab", false},
+	}
+	for _, tc := range cases {
+		if got := h.Accepts(BytesToSymbols([]byte(tc.in))); got != tc.want {
+			t.Errorf("anbn(%q) = %v, want %v", tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestStackOverflow(t *testing.T) {
+	h := counterMachine()
+	h.StackDepth = 4
+	in := BytesToSymbols([]byte("aaaaaaaa")) // 8 pushes > depth 4
+	_, err := h.Run(in, ExecOptions{})
+	if !errors.Is(err, ErrStackOverflow) {
+		t.Fatalf("err = %v, want ErrStackOverflow", err)
+	}
+}
+
+func TestStackOverflowRespectsOptionOverride(t *testing.T) {
+	h := counterMachine()
+	h.StackDepth = 4
+	in := BytesToSymbols([]byte("aaaaaaaabbbbbbbb"))
+	res, err := h.Run(in, ExecOptions{StackDepth: 64})
+	if err != nil || !res.Accepted {
+		t.Fatalf("res=%+v err=%v, want accept with larger stack", res, err)
+	}
+}
+
+func TestStackUnderflow(t *testing.T) {
+	// A machine that pops more than it pushed.
+	h := &HDPDA{Name: "under"}
+	h.Start = h.AddState(State{Label: "start", Epsilon: true, Stack: AllSymbols()})
+	bad := h.AddState(State{
+		Label: "x/pop2", Input: NewSymbolSet('x'), Stack: AllSymbols(),
+		Op: StackOp{Pop: 2},
+	})
+	h.AddEdge(h.Start, bad)
+	_, err := h.Run(BytesToSymbols([]byte("x")), ExecOptions{})
+	if !errors.Is(err, ErrStackUnderflow) {
+		t.Fatalf("err = %v, want ErrStackUnderflow", err)
+	}
+}
+
+func TestEpsilonLoopDetected(t *testing.T) {
+	// Two ε-states that push and pop forever: start → e1 → e2 → e1 ...
+	h := &HDPDA{Name: "loop"}
+	h.Start = h.AddState(State{Label: "start", Epsilon: true, Stack: AllSymbols()})
+	e1 := h.AddState(State{
+		Label: "e1", Epsilon: true, Stack: AllSymbols(),
+		Op: StackOp{Push: 1, HasPush: true},
+	})
+	e2 := h.AddState(State{
+		Label: "e2", Epsilon: true, Stack: NewSymbolSet(1),
+		Op: StackOp{Pop: 1},
+	})
+	h.AddEdge(h.Start, e1)
+	h.AddEdge(e1, e2)
+	h.AddEdge(e2, e1)
+	_, err := h.Run(nil, ExecOptions{})
+	if !errors.Is(err, ErrEpsilonLimit) {
+		t.Fatalf("err = %v, want ErrEpsilonLimit", err)
+	}
+}
+
+func TestJamReported(t *testing.T) {
+	h := counterMachine()
+	res, err := h.Run(BytesToSymbols([]byte("ba")), ExecOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Jammed || res.Accepted {
+		t.Fatalf("res = %+v, want jam", res)
+	}
+	if res.Consumed != 0 {
+		t.Errorf("Consumed = %d, want 0", res.Consumed)
+	}
+}
+
+func TestMultipopSemantics(t *testing.T) {
+	// Push three, multipop 3 in one state, accept on ⊥.
+	h := &HDPDA{Name: "mp"}
+	h.Start = h.AddState(State{Label: "start", Epsilon: true, Stack: AllSymbols()})
+	push := h.AddState(State{
+		Label: "a/push", Input: NewSymbolSet('a'), Stack: AllSymbols(),
+		Op: StackOp{Push: 7, HasPush: true},
+	})
+	mp := h.AddState(State{
+		Label: "z/pop3", Input: NewSymbolSet('z'), Stack: NewSymbolSet(7),
+		Op: StackOp{Pop: 3},
+	})
+	acc := h.AddState(State{Label: "acc", Epsilon: true, Stack: NewSymbolSet(BottomOfStack), Accept: true})
+	h.AddEdge(h.Start, push)
+	h.AddEdge(push, push)
+	h.AddEdge(push, mp)
+	h.AddEdge(mp, acc)
+	if err := h.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if !h.Accepts(BytesToSymbols([]byte("aaaz"))) {
+		t.Error("aaaz should be accepted (multipop 3)")
+	}
+	if h.Accepts(BytesToSymbols([]byte("aaz"))) {
+		t.Error("aaz should underflow or reject, not accept")
+	}
+}
+
+func TestExecutionStepAPI(t *testing.T) {
+	h := counterMachine()
+	e := NewExecution(h, ExecOptions{})
+	if e.Pos() != 0 || e.StackLen() != 0 || e.TOS() != BottomOfStack {
+		t.Fatal("fresh execution state wrong")
+	}
+	if n, err := e.DrainEpsilon(); n != 0 || err != nil {
+		t.Fatalf("drain on start = %d,%v", n, err)
+	}
+	ok, err := e.Feed('a')
+	if !ok || err != nil {
+		t.Fatalf("Feed(a) = %v,%v", ok, err)
+	}
+	if e.StackLen() != 1 || e.TOS() != 1 {
+		t.Fatalf("after push: len=%d tos=%d", e.StackLen(), e.TOS())
+	}
+	ok, err = e.Feed('b')
+	if !ok || err != nil {
+		t.Fatalf("Feed(b) = %v,%v", ok, err)
+	}
+	n, err := e.DrainEpsilon()
+	if n != 1 || err != nil {
+		t.Fatalf("drain = %d,%v, want 1 ε-step", n, err)
+	}
+	if !e.InAccept() {
+		t.Fatal("expected accept state")
+	}
+	res := e.Result()
+	if res.EpsilonStalls != 1 || res.Consumed != 2 {
+		t.Fatalf("Result = %+v", res)
+	}
+}
+
+func TestOnReportCallback(t *testing.T) {
+	h := counterMachine()
+	var got []Report
+	_, err := h.Run(BytesToSymbols([]byte("aabb")), ExecOptions{
+		OnReport: func(r Report) { got = append(got, r) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0].Pos != 4 {
+		t.Fatalf("reports = %+v", got)
+	}
+}
+
+func TestDPDAValidateCatchesNondeterminism(t *testing.T) {
+	d := &DPDA{
+		Name: "bad", NumStates: 1, Start: 0, Accept: map[int]bool{},
+		Trans: []DPDATransition{
+			{From: 0, Input: 'a', StackTop: 0, To: 0},
+			{From: 0, Epsilon: true, StackTop: 0, To: 0},
+		},
+	}
+	if err := d.Validate(); err == nil {
+		t.Fatal("expected ε/input overlap error")
+	}
+	d2 := &DPDA{
+		Name: "dup", NumStates: 1, Start: 0, Accept: map[int]bool{},
+		Trans: []DPDATransition{
+			{From: 0, Input: 'a', StackTop: 0, To: 0},
+			{From: 0, Input: 'a', StackTop: 0, To: 0},
+		},
+	}
+	if err := d2.Validate(); err == nil {
+		t.Fatal("expected duplicate-transition error")
+	}
+}
+
+func TestDPDAEmptyInputAcceptance(t *testing.T) {
+	// Start state accepting: empty input accepted, by DPDA and its
+	// homogenized form.
+	d := &DPDA{
+		Name: "emptyok", NumStates: 2, Start: 0,
+		Accept: map[int]bool{0: true},
+		Trans: []DPDATransition{
+			{From: 0, Input: 'a', StackTop: 0, To: 1},
+		},
+	}
+	if ok, err := d.Run(nil); err != nil || !ok {
+		t.Fatalf("DPDA empty = %v,%v", ok, err)
+	}
+	h, err := d.ToHomogeneous()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !h.Accepts(nil) {
+		t.Fatal("homogenized machine rejects empty input")
+	}
+	if h.Accepts(BytesToSymbols([]byte("a"))) {
+		t.Fatal("'a' should not be accepted (state 1 not accepting)")
+	}
+}

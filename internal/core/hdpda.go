@@ -1,0 +1,301 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+)
+
+// StateID identifies a state within an HDPDA. IDs are dense indices into
+// the machine's state slice.
+type StateID int32
+
+// InvalidState is returned by lookups that find no state.
+const InvalidState StateID = -1
+
+// StackOp describes the stack action bound to an hDPDA state: pop Pop
+// symbols (0 = none, >1 = multipop), then optionally push one symbol.
+// This is the 16-bit action word of the paper's stack-action-lookup
+// stage: 8 bits of push symbol, 8 bits of pop count.
+type StackOp struct {
+	Pop  uint8  // number of symbols popped (multipop when > 1)
+	Push Symbol // symbol pushed after popping, when HasPush
+	// HasPush distinguishes "push Push" from "no push" (the zero Symbol
+	// is a valid stack symbol only for ⊥, which is never pushed).
+	HasPush bool
+}
+
+// IsNop reports whether the operation leaves the stack unchanged.
+func (op StackOp) IsNop() bool { return op.Pop == 0 && !op.HasPush }
+
+func (op StackOp) String() string {
+	s := fmt.Sprintf("pop %d", op.Pop)
+	if op.HasPush {
+		s += fmt.Sprintf(", push %#02x", uint8(op.Push))
+	}
+	return s
+}
+
+// State is one homogeneous DPDA state. Because the machine is
+// homogeneous, the input match, stack match, and stack operation are
+// properties of the state itself: an incoming transition is taken exactly
+// when the state's input label matches the next input symbol (or the
+// state is an ε-state) and its stack label matches the top of stack.
+//
+// In hardware each state is a single column across the bank's IM and SM
+// SRAM arrays plus a 16-bit stack-action word.
+type State struct {
+	ID    StateID
+	Label string // diagnostic name, e.g. "s12:shift(LPAREN)"
+
+	// Epsilon marks an ε-state: it consumes no input (the paper's
+	// ε-transitions). Epsilon states stall the input stream for one
+	// cycle when activated (§IV-B).
+	Epsilon bool
+	// Input is the input-symbol label (one-hot IM column). Ignored for
+	// ε-states.
+	Input SymbolSet
+	// Stack is the top-of-stack label (one-hot SM column). Use
+	// AllSymbols() for the wildcard ∗ comparison.
+	Stack SymbolSet
+	// Op is the stack action performed upon activation.
+	Op StackOp
+
+	// Accept marks a reporting state: activating it reports the current
+	// input position (the paper's report events).
+	Accept bool
+	// Report carries an application-defined code attached to reports
+	// from this state (e.g. the grammar production reduced).
+	Report int32
+
+	// Succ lists the states reachable from this state, in ascending ID
+	// order. This is the crossbar row programmed for this state.
+	Succ []StateID
+}
+
+// MatchesInput reports whether the state's input label matches sym.
+// ε-states never match input.
+func (st *State) MatchesInput(sym Symbol) bool {
+	return !st.Epsilon && st.Input.Contains(sym)
+}
+
+// MatchesStack reports whether the state's stack label matches the given
+// top-of-stack symbol.
+func (st *State) MatchesStack(tos Symbol) bool { return st.Stack.Contains(tos) }
+
+// HDPDA is a homogeneous deterministic pushdown automaton. Start states
+// are active before any input is consumed; they perform no match and no
+// stack operation themselves.
+type HDPDA struct {
+	Name   string
+	States []State
+	// Start is the initial active state.
+	Start StateID
+	// InputAlphabet optionally restricts the valid input symbols
+	// (used for validation and for architecture sizing; empty = 256).
+	InputAlphabet SymbolSet
+	// StackAlphabet optionally restricts the valid stack symbols.
+	StackAlphabet SymbolSet
+	// StackDepth is the maximum stack depth (0 means DefaultStackDepth).
+	// ASPEN provisions 256 entries (§IV-B stage 5).
+	StackDepth int
+}
+
+// DefaultStackDepth matches the 256-entry register-file stack provisioned
+// per LLC way pair in the paper.
+const DefaultStackDepth = 256
+
+// NumStates returns the number of states in the machine.
+func (m *HDPDA) NumStates() int { return len(m.States) }
+
+// State returns the state with the given ID, or nil if out of range.
+func (m *HDPDA) State(id StateID) *State {
+	if id < 0 || int(id) >= len(m.States) {
+		return nil
+	}
+	return &m.States[id]
+}
+
+// AddState appends a state and returns its ID. The caller fills in
+// successors afterwards via AddEdge.
+func (m *HDPDA) AddState(st State) StateID {
+	id := StateID(len(m.States))
+	st.ID = id
+	m.States = append(m.States, st)
+	return id
+}
+
+// AddEdge adds a transition from → to, keeping Succ sorted and free of
+// duplicates.
+func (m *HDPDA) AddEdge(from, to StateID) {
+	s := &m.States[from]
+	i := sort.Search(len(s.Succ), func(i int) bool { return s.Succ[i] >= to })
+	if i < len(s.Succ) && s.Succ[i] == to {
+		return
+	}
+	s.Succ = append(s.Succ, 0)
+	copy(s.Succ[i+1:], s.Succ[i:])
+	s.Succ[i] = to
+}
+
+// EpsilonStates returns the number of ε-states, the quantity the paper's
+// Table IV reports and that the ε-merging/multipop optimizations reduce.
+func (m *HDPDA) EpsilonStates() int {
+	n := 0
+	for i := range m.States {
+		if m.States[i].Epsilon {
+			n++
+		}
+	}
+	return n
+}
+
+// CountEdges returns the total number of transitions.
+func (m *HDPDA) CountEdges() int {
+	n := 0
+	for i := range m.States {
+		n += len(m.States[i].Succ)
+	}
+	return n
+}
+
+// MaxFanout returns the largest successor count of any state.
+func (m *HDPDA) MaxFanout() int {
+	mx := 0
+	for i := range m.States {
+		if len(m.States[i].Succ) > mx {
+			mx = len(m.States[i].Succ)
+		}
+	}
+	return mx
+}
+
+// Validate checks structural well-formedness and the determinism
+// condition: from any state, for any (input, TOS) pair, at most one
+// successor may be enabled, and an enabled ε-successor must be the only
+// enabled successor (ε-moves happen before input moves, so an ε/input
+// overlap would make the configuration ambiguous).
+func (m *HDPDA) Validate() error {
+	if len(m.States) == 0 {
+		return fmt.Errorf("hdpda %q: no states", m.Name)
+	}
+	if m.Start < 0 || int(m.Start) >= len(m.States) {
+		return fmt.Errorf("hdpda %q: start state %d out of range", m.Name, m.Start)
+	}
+	for i := range m.States {
+		st := &m.States[i]
+		if st.ID != StateID(i) {
+			return fmt.Errorf("hdpda %q: state %d has mismatched ID %d", m.Name, i, st.ID)
+		}
+		if !st.Epsilon && st.Input.IsEmpty() {
+			return fmt.Errorf("hdpda %q: state %d (%s) is not ε but matches no input", m.Name, i, st.Label)
+		}
+		if st.Stack.IsEmpty() {
+			return fmt.Errorf("hdpda %q: state %d (%s) matches no stack symbol", m.Name, i, st.Label)
+		}
+		if st.Op.HasPush && st.Op.Push == BottomOfStack {
+			return fmt.Errorf("hdpda %q: state %d (%s) pushes ⊥", m.Name, i, st.Label)
+		}
+		for _, t := range st.Succ {
+			if t < 0 || int(t) >= len(m.States) {
+				return fmt.Errorf("hdpda %q: state %d has successor %d out of range", m.Name, i, t)
+			}
+		}
+	}
+	return m.checkDeterminism()
+}
+
+// checkDeterminism verifies pairwise that no two successors of any state
+// can be simultaneously enabled, and that ε-successors cannot be enabled
+// alongside any other successor.
+func (m *HDPDA) checkDeterminism() error {
+	for i := range m.States {
+		st := &m.States[i]
+		for a := 0; a < len(st.Succ); a++ {
+			sa := &m.States[st.Succ[a]]
+			for b := a + 1; b < len(st.Succ); b++ {
+				sb := &m.States[st.Succ[b]]
+				if !sa.Stack.Intersects(sb.Stack) {
+					continue // disjoint TOS labels can never both fire
+				}
+				switch {
+				case sa.Epsilon && sb.Epsilon:
+					return fmt.Errorf("hdpda %q: state %d (%s): ε-successors %d and %d overlap on stack %s",
+						m.Name, i, st.Label, sa.ID, sb.ID, sa.Stack.Intersect(sb.Stack))
+				case sa.Epsilon || sb.Epsilon:
+					return fmt.Errorf("hdpda %q: state %d (%s): ε-successor and input successor (%d, %d) overlap on stack %s",
+						m.Name, i, st.Label, sa.ID, sb.ID, sa.Stack.Intersect(sb.Stack))
+				case sa.Input.Intersects(sb.Input):
+					return fmt.Errorf("hdpda %q: state %d (%s): successors %d and %d overlap on input %s stack %s",
+						m.Name, i, st.Label, sa.ID, sb.ID,
+						sa.Input.Intersect(sb.Input), sa.Stack.Intersect(sb.Stack))
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// Reachable returns the set of states reachable from Start, as a boolean
+// slice indexed by StateID.
+func (m *HDPDA) Reachable() []bool {
+	seen := make([]bool, len(m.States))
+	stack := []StateID{m.Start}
+	seen[m.Start] = true
+	for len(stack) > 0 {
+		id := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, t := range m.States[id].Succ {
+			if !seen[t] {
+				seen[t] = true
+				stack = append(stack, t)
+			}
+		}
+	}
+	return seen
+}
+
+// RemoveUnreachable deletes states not reachable from Start (the paper's
+// first optimization pass) and renumbers the remainder. It returns the
+// number of states removed.
+func (m *HDPDA) RemoveUnreachable() int {
+	seen := m.Reachable()
+	remap := make([]StateID, len(m.States))
+	kept := make([]State, 0, len(m.States))
+	for i := range m.States {
+		if seen[i] {
+			remap[i] = StateID(len(kept))
+			kept = append(kept, m.States[i])
+		} else {
+			remap[i] = InvalidState
+		}
+	}
+	removed := len(m.States) - len(kept)
+	if removed == 0 {
+		return 0
+	}
+	for i := range kept {
+		st := &kept[i]
+		st.ID = StateID(i)
+		out := st.Succ[:0]
+		for _, t := range st.Succ {
+			if remap[t] != InvalidState {
+				out = append(out, remap[t])
+			}
+		}
+		st.Succ = out
+	}
+	m.States = kept
+	m.Start = remap[m.Start]
+	return removed
+}
+
+// Clone returns a deep copy of the machine.
+func (m *HDPDA) Clone() *HDPDA {
+	c := *m
+	c.States = make([]State, len(m.States))
+	copy(c.States, m.States)
+	for i := range c.States {
+		c.States[i].Succ = append([]StateID(nil), m.States[i].Succ...)
+	}
+	return &c
+}

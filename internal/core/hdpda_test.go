@@ -1,0 +1,189 @@
+package core
+
+import (
+	"strings"
+	"testing"
+)
+
+// tinyMachine builds a minimal valid machine: start → a('x',*,push 1) →
+// b('y',1,pop 1,accept).
+func tinyMachine() *HDPDA {
+	h := &HDPDA{Name: "tiny"}
+	h.Start = h.AddState(State{Label: "start", Epsilon: true, Stack: AllSymbols()})
+	a := h.AddState(State{
+		Label: "a", Input: NewSymbolSet('x'), Stack: AllSymbols(),
+		Op: StackOp{Push: 1, HasPush: true},
+	})
+	b := h.AddState(State{
+		Label: "b", Input: NewSymbolSet('y'), Stack: NewSymbolSet(1),
+		Op: StackOp{Pop: 1}, Accept: true,
+	})
+	h.AddEdge(h.Start, a)
+	h.AddEdge(a, b)
+	return h
+}
+
+func TestValidateOK(t *testing.T) {
+	if err := tinyMachine().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateRejectsEmptyMachine(t *testing.T) {
+	h := &HDPDA{Name: "empty"}
+	if err := h.Validate(); err == nil {
+		t.Fatal("expected error for empty machine")
+	}
+}
+
+func TestValidateRejectsBadStart(t *testing.T) {
+	h := tinyMachine()
+	h.Start = 99
+	if err := h.Validate(); err == nil {
+		t.Fatal("expected error for out-of-range start")
+	}
+}
+
+func TestValidateRejectsNoInputMatch(t *testing.T) {
+	h := tinyMachine()
+	h.States[1].Input = SymbolSet{} // non-ε state with empty input label
+	if err := h.Validate(); err == nil || !strings.Contains(err.Error(), "matches no input") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestValidateRejectsNoStackMatch(t *testing.T) {
+	h := tinyMachine()
+	h.States[2].Stack = SymbolSet{}
+	if err := h.Validate(); err == nil || !strings.Contains(err.Error(), "matches no stack") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestValidateRejectsPushBottom(t *testing.T) {
+	h := tinyMachine()
+	h.States[1].Op = StackOp{Push: BottomOfStack, HasPush: true}
+	if err := h.Validate(); err == nil || !strings.Contains(err.Error(), "⊥") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestValidateRejectsInputNondeterminism(t *testing.T) {
+	h := tinyMachine()
+	// Second successor of start overlapping a's input and stack labels.
+	c := h.AddState(State{Label: "c", Input: NewSymbolSet('x'), Stack: AllSymbols()})
+	h.AddEdge(h.Start, c)
+	if err := h.Validate(); err == nil || !strings.Contains(err.Error(), "overlap on input") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestValidateRejectsEpsilonInputOverlap(t *testing.T) {
+	h := tinyMachine()
+	c := h.AddState(State{Label: "c", Epsilon: true, Stack: AllSymbols()})
+	h.AddEdge(h.Start, c) // ε-successor overlapping a's wildcard stack
+	if err := h.Validate(); err == nil || !strings.Contains(err.Error(), "ε-successor and input successor") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestValidateRejectsDoubleEpsilon(t *testing.T) {
+	h := &HDPDA{Name: "dbl"}
+	h.Start = h.AddState(State{Label: "start", Epsilon: true, Stack: AllSymbols()})
+	e1 := h.AddState(State{Label: "e1", Epsilon: true, Stack: AllSymbols()})
+	e2 := h.AddState(State{Label: "e2", Epsilon: true, Stack: NewSymbolSet(BottomOfStack)})
+	h.AddEdge(h.Start, e1)
+	h.AddEdge(h.Start, e2)
+	if err := h.Validate(); err == nil || !strings.Contains(err.Error(), "ε-successors") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestValidateAllowsDisjointStacks(t *testing.T) {
+	h := &HDPDA{Name: "disjoint"}
+	h.Start = h.AddState(State{Label: "start", Epsilon: true, Stack: AllSymbols()})
+	a := h.AddState(State{Label: "a", Input: NewSymbolSet('x'), Stack: NewSymbolSet(1)})
+	b := h.AddState(State{Label: "b", Input: NewSymbolSet('x'), Stack: NewSymbolSet(2)})
+	h.AddEdge(h.Start, a)
+	h.AddEdge(h.Start, b)
+	if err := h.Validate(); err != nil {
+		t.Fatalf("disjoint stack labels should be deterministic: %v", err)
+	}
+}
+
+func TestAddEdgeSortedNoDup(t *testing.T) {
+	h := tinyMachine()
+	h.AddEdge(0, 2)
+	h.AddEdge(0, 1) // duplicate
+	h.AddEdge(0, 2) // duplicate
+	succ := h.States[0].Succ
+	if len(succ) != 2 || succ[0] != 1 || succ[1] != 2 {
+		t.Fatalf("Succ = %v, want [1 2]", succ)
+	}
+}
+
+func TestRemoveUnreachable(t *testing.T) {
+	h := tinyMachine()
+	// Dead state with an edge to a live state.
+	d := h.AddState(State{Label: "dead", Input: NewSymbolSet('z'), Stack: AllSymbols()})
+	h.AddEdge(d, 1)
+	if n := h.RemoveUnreachable(); n != 1 {
+		t.Fatalf("removed %d, want 1", n)
+	}
+	if h.NumStates() != 3 {
+		t.Fatalf("NumStates = %d, want 3", h.NumStates())
+	}
+	if err := h.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Behaviour preserved.
+	if !h.Accepts(BytesToSymbols([]byte("xy"))) {
+		t.Fatal("machine no longer accepts xy")
+	}
+}
+
+func TestRemoveUnreachableNoop(t *testing.T) {
+	h := tinyMachine()
+	if n := h.RemoveUnreachable(); n != 0 {
+		t.Fatalf("removed %d, want 0", n)
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	h := tinyMachine()
+	c := h.Clone()
+	c.States[1].Label = "mutated"
+	c.AddEdge(1, 1)
+	if h.States[1].Label == "mutated" {
+		t.Error("clone shares state slice")
+	}
+	if len(h.States[1].Succ) != 1 {
+		t.Error("clone shares successor slices")
+	}
+}
+
+func TestCounters(t *testing.T) {
+	h := tinyMachine()
+	if h.CountEdges() != 2 {
+		t.Errorf("CountEdges = %d", h.CountEdges())
+	}
+	if h.EpsilonStates() != 1 {
+		t.Errorf("EpsilonStates = %d", h.EpsilonStates())
+	}
+	if h.MaxFanout() != 1 {
+		t.Errorf("MaxFanout = %d", h.MaxFanout())
+	}
+}
+
+func TestStateString(t *testing.T) {
+	op := StackOp{Pop: 2, Push: 'a', HasPush: true}
+	if s := op.String(); !strings.Contains(s, "pop 2") || !strings.Contains(s, "push") {
+		t.Errorf("StackOp.String = %q", s)
+	}
+	if !(StackOp{}).IsNop() {
+		t.Error("zero StackOp should be nop")
+	}
+	if (StackOp{Pop: 1}).IsNop() {
+		t.Error("pop 1 is not a nop")
+	}
+}

@@ -1,0 +1,139 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// randomDPDA synthesizes a random deterministic PDA over small input and
+// stack alphabets by filling (state, input|ε, top) slots without
+// violating the determinism restriction: for each (state, top) pair,
+// either one ε-rule or any number of distinct-input rules.
+func randomDPDA(r *rand.Rand) *DPDA {
+	numStates := 2 + r.Intn(4)
+	inputs := []Symbol{'a', 'b', 'c'}[:1+r.Intn(3)]
+	stacks := []Symbol{BottomOfStack, 1, 2}[:1+r.Intn(3)]
+	d := &DPDA{
+		Name:      "rand",
+		NumStates: numStates,
+		Start:     0,
+		Accept:    map[int]bool{},
+	}
+	for s := 0; s < numStates; s++ {
+		if r.Intn(3) == 0 {
+			d.Accept[s] = true
+		}
+	}
+	pushable := stacks[1:] // ⊥ is never pushed
+	ops := func() StackOp {
+		switch r.Intn(3) {
+		case 0:
+			return StackOp{}
+		case 1:
+			return StackOp{Pop: 1}
+		default:
+			if len(pushable) == 0 {
+				return StackOp{}
+			}
+			return StackOp{Push: pushable[r.Intn(len(pushable))], HasPush: true}
+		}
+	}
+	for s := 0; s < numStates; s++ {
+		for _, top := range stacks {
+			if r.Intn(6) == 0 {
+				// ε-rule for this (state, top); nothing else allowed.
+				// Avoid trivial self ε-loops with no stack change (they
+				// never terminate).
+				op := ops()
+				to := r.Intn(numStates)
+				if to == s && op.IsNop() {
+					continue
+				}
+				d.Trans = append(d.Trans, DPDATransition{
+					From: s, Epsilon: true, StackTop: top, To: to, Op: op,
+				})
+				continue
+			}
+			for _, in := range inputs {
+				if r.Intn(2) == 0 {
+					d.Trans = append(d.Trans, DPDATransition{
+						From: s, Input: in, StackTop: top, To: r.Intn(numStates), Op: ops(),
+					})
+				}
+			}
+		}
+	}
+	// Pushing onto ⊥ of a symbol not in `stacks` can't happen (ops only
+	// pushes known stack symbols); pops of ⊥ jam at runtime, which both
+	// engines must agree on.
+	return d
+}
+
+// Property: homogenization (Claim 1) preserves the language, on random
+// machines and random inputs — including jam, underflow, and ε-loop
+// behaviour differences, which must never cause divergence in the
+// accept/reject decision when both engines terminate.
+func TestHomogenizationEquivalenceRandom(t *testing.T) {
+	r := rand.New(rand.NewSource(71))
+	machines := 0
+	for trial := 0; trial < 600 && machines < 200; trial++ {
+		d := randomDPDA(r)
+		if d.Validate() != nil {
+			continue
+		}
+		h, err := d.ToHomogeneous()
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		machines++
+		for i := 0; i < 40; i++ {
+			n := r.Intn(8)
+			in := make([]Symbol, n)
+			for j := range in {
+				in[j] = []Symbol{'a', 'b', 'c'}[r.Intn(3)]
+			}
+			want, errD := d.Run(in)
+			res, errH := h.Run(in, ExecOptions{})
+			// Engines may hit runtime faults (ε-limit, underflow) on
+			// degenerate machines; they must fault together.
+			if (errD == nil) != (errH == nil) {
+				t.Fatalf("trial %d input %v: fault divergence dpda=%v hdpda=%v", trial, in, errD, errH)
+			}
+			if errD != nil {
+				continue
+			}
+			if want != res.Accepted {
+				t.Fatalf("trial %d input %v: dpda=%v hdpda=%v\nmachine: %+v",
+					trial, in, want, res.Accepted, d.Trans)
+			}
+		}
+	}
+	if machines < 100 {
+		t.Fatalf("only %d machines exercised", machines)
+	}
+	t.Logf("equivalence checked on %d random DPDAs", machines)
+}
+
+// Claim 1's bound: the homogenized machine has at most |Σ||Q|² states
+// (plus the synthetic start).
+func TestHomogenizationSizeBound(t *testing.T) {
+	r := rand.New(rand.NewSource(72))
+	for trial := 0; trial < 100; trial++ {
+		d := randomDPDA(r)
+		if d.Validate() != nil {
+			continue
+		}
+		h, err := d.ToHomogeneous()
+		if err != nil {
+			t.Fatal(err)
+		}
+		bound := 3*d.NumStates*d.NumStates + 1 // |Σ| ≤ 3 here
+		// Our construction is tighter: one state per transition.
+		if h.NumStates() > len(d.Trans)+1 {
+			t.Fatalf("states %d > transitions+1 %d", h.NumStates(), len(d.Trans)+1)
+		}
+		if h.NumStates() > bound {
+			t.Fatalf("states %d exceed Claim 1 bound %d", h.NumStates(), bound)
+		}
+	}
+}

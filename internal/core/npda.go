@@ -1,0 +1,301 @@
+package core
+
+import (
+	"fmt"
+)
+
+// Non-deterministic pushdown automata. The paper restricts ASPEN to
+// deterministic PDAs because determinism precludes stack divergence —
+// simultaneous transitions never produce different stacks, which is what
+// makes a single in-SRAM stack sufficient — and leaves hardware NPDAs
+// as future work (§II-B). This software executor provides the reference
+// semantics for that richer model: it tracks every reachable
+// (state, stack) configuration, i.e. it pays exactly the stack
+// divergence the hardware avoids. It exists to characterize the
+// DPDA/PDA boundary (see the even-palindrome tests) and to serve as an
+// oracle for machines beyond ASPEN's model.
+
+// NPDATransition is one nondeterministic rule; unlike DPDATransition,
+// any number of rules may share (From, Input, StackTop).
+type NPDATransition struct {
+	From     int
+	Epsilon  bool
+	Input    Symbol
+	StackTop Symbol
+	To       int
+	Op       StackOp
+}
+
+// NPDA is a nondeterministic pushdown automaton.
+type NPDA struct {
+	Name      string
+	NumStates int
+	Start     int
+	Accept    map[int]bool
+	Trans     []NPDATransition
+}
+
+// Validate checks state ranges.
+func (n *NPDA) Validate() error {
+	if n.NumStates <= 0 {
+		return fmt.Errorf("npda %q: no states", n.Name)
+	}
+	if n.Start < 0 || n.Start >= n.NumStates {
+		return fmt.Errorf("npda %q: bad start %d", n.Name, n.Start)
+	}
+	for i, t := range n.Trans {
+		if t.From < 0 || t.From >= n.NumStates || t.To < 0 || t.To >= n.NumStates {
+			return fmt.Errorf("npda %q: transition %d out of range", n.Name, i)
+		}
+		if t.Op.HasPush && t.Op.Push == BottomOfStack {
+			return fmt.Errorf("npda %q: transition %d pushes ⊥", n.Name, i)
+		}
+	}
+	return nil
+}
+
+// IsDeterministic reports whether the transition relation satisfies the
+// DPDA restriction (at most one applicable rule per configuration, and
+// no ε/input overlap).
+func (n *NPDA) IsDeterministic() bool {
+	d := &DPDA{
+		Name: n.Name, NumStates: n.NumStates, Start: n.Start,
+		Accept: n.Accept,
+	}
+	for _, t := range n.Trans {
+		d.Trans = append(d.Trans, DPDATransition(t))
+	}
+	return d.Validate() == nil
+}
+
+// npdaConfig is one reachable configuration; the stack is encoded as a
+// byte string (⊥ at index 0) for set membership.
+type npdaConfig struct {
+	state int
+	stack string
+}
+
+// NPDAOptions bounds the configuration search.
+type NPDAOptions struct {
+	// MaxConfigs bounds the live configuration set per input position
+	// (0 = 1<<16). Exceeding it returns ErrConfigExplosion.
+	MaxConfigs int
+	// MaxStack bounds stack depth (0 = DefaultStackDepth).
+	MaxStack int
+}
+
+// ErrConfigExplosion reports that the nondeterministic search exceeded
+// its configuration budget — the cost wall the deterministic
+// restriction exists to avoid.
+var ErrConfigExplosion = fmt.Errorf("core: NPDA configuration budget exceeded")
+
+// npdaRun is the shared stepping kernel.
+type npdaRun struct {
+	n        *NPDA
+	bySource [][]int
+	maxCfg   int
+	maxStack int
+	cur      map[npdaConfig]bool
+	// Peak is the largest frontier observed (stack-divergence measure).
+	Peak int
+}
+
+func (n *NPDA) newRun(opts NPDAOptions) (*npdaRun, error) {
+	if err := n.Validate(); err != nil {
+		return nil, err
+	}
+	r := &npdaRun{
+		n:        n,
+		bySource: make([][]int, n.NumStates),
+		maxCfg:   opts.MaxConfigs,
+		maxStack: opts.MaxStack,
+	}
+	if r.maxCfg == 0 {
+		r.maxCfg = 1 << 16
+	}
+	if r.maxStack == 0 {
+		r.maxStack = DefaultStackDepth
+	}
+	for i, t := range n.Trans {
+		r.bySource[t.From] = append(r.bySource[t.From], i)
+	}
+	r.cur = map[npdaConfig]bool{{state: n.Start, stack: string([]byte{byte(BottomOfStack)})}: true}
+	if err := r.closure(r.cur); err != nil {
+		return nil, err
+	}
+	r.note()
+	return r, nil
+}
+
+func (r *npdaRun) note() {
+	if len(r.cur) > r.Peak {
+		r.Peak = len(r.cur)
+	}
+}
+
+// apply performs t's stack action on c.
+func (r *npdaRun) apply(c npdaConfig, t *NPDATransition) (npdaConfig, bool) {
+	stack := c.stack
+	if t.Op.Pop > 0 {
+		k := int(t.Op.Pop)
+		if k > len(stack)-1 { // index 0 is ⊥
+			return npdaConfig{}, false
+		}
+		stack = stack[:len(stack)-k]
+	}
+	if t.Op.HasPush {
+		if len(stack)-1 >= r.maxStack {
+			return npdaConfig{}, false
+		}
+		stack += string([]byte{byte(t.Op.Push)})
+	}
+	return npdaConfig{state: t.To, stack: stack}, true
+}
+
+// closure expands set with ε-moves to fixpoint.
+func (r *npdaRun) closure(set map[npdaConfig]bool) error {
+	queue := make([]npdaConfig, 0, len(set))
+	for c := range set {
+		queue = append(queue, c)
+	}
+	for len(queue) > 0 {
+		c := queue[len(queue)-1]
+		queue = queue[:len(queue)-1]
+		top := Symbol(c.stack[len(c.stack)-1])
+		for _, ti := range r.bySource[c.state] {
+			t := &r.n.Trans[ti]
+			if !t.Epsilon || t.StackTop != top {
+				continue
+			}
+			nc, ok := r.apply(c, t)
+			if !ok || set[nc] {
+				continue
+			}
+			if len(set) >= r.maxCfg {
+				return ErrConfigExplosion
+			}
+			set[nc] = true
+			queue = append(queue, nc)
+		}
+	}
+	return nil
+}
+
+// feed consumes one input symbol across the frontier.
+func (r *npdaRun) feed(sym Symbol) error {
+	next := map[npdaConfig]bool{}
+	for c := range r.cur {
+		top := Symbol(c.stack[len(c.stack)-1])
+		for _, ti := range r.bySource[c.state] {
+			t := &r.n.Trans[ti]
+			if t.Epsilon || t.Input != sym || t.StackTop != top {
+				continue
+			}
+			if nc, ok := r.apply(c, t); ok {
+				if len(next) >= r.maxCfg {
+					return ErrConfigExplosion
+				}
+				next[nc] = true
+			}
+		}
+	}
+	if err := r.closure(next); err != nil {
+		return err
+	}
+	r.cur = next
+	r.note()
+	return nil
+}
+
+// accepted reports whether any live configuration is accepting.
+func (r *npdaRun) accepted() bool {
+	for c := range r.cur {
+		if r.n.Accept[c.state] {
+			return true
+		}
+	}
+	return false
+}
+
+// Run decides acceptance by breadth-first search over configurations.
+func (n *NPDA) Run(input []Symbol, opts NPDAOptions) (bool, error) {
+	r, err := n.newRun(opts)
+	if err != nil {
+		return false, err
+	}
+	for _, sym := range input {
+		if err := r.feed(sym); err != nil {
+			return false, err
+		}
+		if len(r.cur) == 0 {
+			return false, nil // every branch jammed
+		}
+	}
+	return r.accepted(), nil
+}
+
+// MaxFrontier returns the peak number of simultaneous configurations
+// while processing input — a direct measure of the stack divergence the
+// DPDA restriction forbids (1 for deterministic machines).
+func (n *NPDA) MaxFrontier(input []Symbol, opts NPDAOptions) (int, error) {
+	r, err := n.newRun(opts)
+	if err != nil {
+		return 0, err
+	}
+	for _, sym := range input {
+		if err := r.feed(sym); err != nil {
+			return r.Peak, err
+		}
+		if len(r.cur) == 0 {
+			break
+		}
+	}
+	return r.Peak, nil
+}
+
+// EvenPalindromeNPDA builds the canonical witness that PDAs are strictly
+// stronger than DPDAs: { w·reverse(w) : w ∈ {0,1}* } — even-length
+// palindromes with no center marker. The machine must guess the middle,
+// which requires nondeterministic stack divergence.
+func EvenPalindromeNPDA() *NPDA {
+	push := func(s Symbol) StackOp { return StackOp{Push: s, HasPush: true} }
+	pop := StackOp{Pop: 1}
+	n := &NPDA{
+		Name:      "even-palindrome",
+		NumStates: 3,
+		Start:     0,
+		Accept:    map[int]bool{2: true},
+	}
+	for _, top := range []Symbol{BottomOfStack, '0', '1'} {
+		// Phase 1 (state 0): push the first half; guess the middle at
+		// any point (including immediately: ε is a palindrome).
+		n.Trans = append(n.Trans,
+			NPDATransition{From: 0, Input: '0', StackTop: top, To: 0, Op: push('0')},
+			NPDATransition{From: 0, Input: '1', StackTop: top, To: 0, Op: push('1')},
+			NPDATransition{From: 0, Epsilon: true, StackTop: top, To: 1},
+		)
+	}
+	// Phase 2 (state 1): pop on matches; accept on ⊥.
+	n.Trans = append(n.Trans,
+		NPDATransition{From: 1, Input: '0', StackTop: '0', To: 1, Op: pop},
+		NPDATransition{From: 1, Input: '1', StackTop: '1', To: 1, Op: pop},
+		NPDATransition{From: 1, Epsilon: true, StackTop: BottomOfStack, To: 2},
+	)
+	return n
+}
+
+// IsEvenPalindrome is the plain-Go oracle for EvenPalindromeNPDA.
+func IsEvenPalindrome(s string) bool {
+	if len(s)%2 != 0 {
+		return false
+	}
+	for i := range s {
+		if s[i] != '0' && s[i] != '1' {
+			return false
+		}
+		if s[i] != s[len(s)-1-i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,189 @@
+package core
+
+import (
+	"errors"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestEvenPalindromeNPDA(t *testing.T) {
+	n := EvenPalindromeNPDA()
+	if err := n.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		in   string
+		want bool
+	}{
+		{"", true}, {"00", true}, {"11", true}, {"0110", true},
+		{"101101", true}, {"1001", true},
+		{"0", false}, {"01", false}, {"10", false}, {"0011", false},
+		{"010", false}, {"abc", false}, {"0110x", false},
+	}
+	for _, tc := range cases {
+		got, err := n.Run(BytesToSymbols([]byte(tc.in)), NPDAOptions{})
+		if err != nil {
+			t.Fatalf("Run(%q): %v", tc.in, err)
+		}
+		if got != tc.want {
+			t.Errorf("NPDA(%q) = %v, want %v", tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestEvenPalindromeNPDAProperty(t *testing.T) {
+	n := EvenPalindromeNPDA()
+	f := func(bits []bool) bool {
+		if len(bits) > 24 {
+			bits = bits[:24]
+		}
+		var b strings.Builder
+		for _, x := range bits {
+			if x {
+				b.WriteByte('1')
+			} else {
+				b.WriteByte('0')
+			}
+		}
+		w := b.String()
+		rev := make([]byte, len(w))
+		for i := range rev {
+			rev[i] = w[len(w)-1-i]
+		}
+		in := w + string(rev)
+		ok, err := n.Run(BytesToSymbols([]byte(in)), NPDAOptions{})
+		return err == nil && ok
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+	// Random strings agree with the oracle.
+	r := rand.New(rand.NewSource(4))
+	for i := 0; i < 500; i++ {
+		ln := r.Intn(14)
+		buf := make([]byte, ln)
+		for j := range buf {
+			buf[j] = "01"[r.Intn(2)]
+		}
+		want := IsEvenPalindrome(string(buf))
+		got, err := n.Run(BytesToSymbols(buf), NPDAOptions{})
+		if err != nil || got != want {
+			t.Fatalf("NPDA(%q) = %v,%v want %v", buf, got, err, want)
+		}
+	}
+}
+
+// The separation: the even-palindrome machine is genuinely
+// nondeterministic (DPDA validation rejects it) and exhibits stack
+// divergence, the property ASPEN's hardware restriction rules out.
+func TestNPDADeterminismBoundary(t *testing.T) {
+	n := EvenPalindromeNPDA()
+	if n.IsDeterministic() {
+		t.Fatal("even-palindrome NPDA should not satisfy the DPDA restriction")
+	}
+	peak, err := n.MaxFrontier(BytesToSymbols([]byte("01100110")), NPDAOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if peak < 3 {
+		t.Errorf("peak frontier = %d, want ≥ 3 (stack divergence)", peak)
+	}
+	// A deterministic machine embedded as an NPDA never diverges.
+	d := PalindromeDPDA()
+	nd := &NPDA{Name: d.Name, NumStates: d.NumStates, Start: d.Start, Accept: d.Accept}
+	for _, tr := range d.Trans {
+		nd.Trans = append(nd.Trans, NPDATransition(tr))
+	}
+	if !nd.IsDeterministic() {
+		t.Fatal("DPDA-as-NPDA should be deterministic")
+	}
+	// A deterministic machine's frontier stays constant with input
+	// length (the ε-closure may briefly hold a pre- and post-ε config),
+	// while the nondeterministic machine's grows.
+	short, err := nd.MaxFrontier(BytesToSymbols([]byte("0c0")), NPDAOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	long, err := nd.MaxFrontier(BytesToSymbols([]byte(strings.Repeat("0", 20)+"c"+strings.Repeat("0", 20))), NPDAOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if long > short || long > 2 {
+		t.Errorf("deterministic frontier grew: short=%d long=%d", short, long)
+	}
+	npShort, _ := n.MaxFrontier(BytesToSymbols([]byte("0000")), NPDAOptions{})
+	npLong, _ := n.MaxFrontier(BytesToSymbols([]byte(strings.Repeat("0", 40))), NPDAOptions{})
+	if npLong <= npShort {
+		t.Errorf("nondeterministic frontier did not grow: %d vs %d", npShort, npLong)
+	}
+}
+
+// A DPDA embedded as an NPDA accepts the same language.
+func TestNPDAGeneralizesDPDA(t *testing.T) {
+	d := PalindromeDPDA()
+	nd := &NPDA{Name: d.Name, NumStates: d.NumStates, Start: d.Start, Accept: d.Accept}
+	for _, tr := range d.Trans {
+		nd.Trans = append(nd.Trans, NPDATransition(tr))
+	}
+	r := rand.New(rand.NewSource(8))
+	for i := 0; i < 400; i++ {
+		in := randomPalInput(r)
+		want, err := d.Run(BytesToSymbols([]byte(in)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := nd.Run(BytesToSymbols([]byte(in)), NPDAOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Fatalf("disagreement on %q: npda=%v dpda=%v", in, got, want)
+		}
+	}
+}
+
+func TestNPDAConfigBudget(t *testing.T) {
+	n := EvenPalindromeNPDA()
+	// All-zeros keeps every guessed-middle branch alive, so the frontier
+	// grows linearly with input length.
+	in := BytesToSymbols([]byte(strings.Repeat("0", 80)))
+	_, err := n.Run(in, NPDAOptions{MaxConfigs: 4})
+	if !errors.Is(err, ErrConfigExplosion) {
+		t.Fatalf("err = %v, want ErrConfigExplosion", err)
+	}
+}
+
+func TestNPDAValidate(t *testing.T) {
+	bad := []*NPDA{
+		{Name: "empty"},
+		{Name: "start", NumStates: 1, Start: 5},
+		{Name: "range", NumStates: 1, Trans: []NPDATransition{{From: 0, To: 9}}},
+		{Name: "bot", NumStates: 1, Trans: []NPDATransition{{From: 0, To: 0,
+			Op: StackOp{Push: BottomOfStack, HasPush: true}}}},
+	}
+	for _, n := range bad {
+		if err := n.Validate(); err == nil {
+			t.Errorf("%s: expected validation error", n.Name)
+		}
+	}
+}
+
+func TestNPDAStackBound(t *testing.T) {
+	// Pushing past MaxStack prunes that branch rather than erroring —
+	// the configuration dies like a hardware stack-overflow fault.
+	n := EvenPalindromeNPDA()
+	long := strings.Repeat("0", 64) + strings.Repeat("0", 64)
+	got, err := n.Run(BytesToSymbols([]byte(long)), NPDAOptions{MaxStack: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got {
+		t.Error("palindrome needing 64 stack entries should die at MaxStack 8")
+	}
+	got, err = n.Run(BytesToSymbols([]byte("0110")), NPDAOptions{MaxStack: 8})
+	if err != nil || !got {
+		t.Errorf("small palindrome should still pass: %v %v", got, err)
+	}
+}

@@ -1,0 +1,131 @@
+package core
+
+// This file constructs the machines of the paper's Fig. 1: a DPDA and an
+// equivalent hand-built hDPDA recognizing odd-length palindromes over
+// Σ = {'0','1'} with a known center character 'c'. They serve as the
+// quickstart example and as cross-validation fixtures for the executor
+// and the homogenization transform.
+
+// Palindrome input alphabet.
+const (
+	PalZero   Symbol = '0'
+	PalOne    Symbol = '1'
+	PalCenter Symbol = 'c'
+)
+
+// Stack alphabet: ⊥ plus the two recorded symbols. The stack symbols
+// reuse the input encodings for readability.
+const (
+	palStkZero Symbol = '0'
+	palStkOne  Symbol = '1'
+)
+
+// PalindromeDPDA builds the Fig. 1(a) machine: q0 records the first half
+// on the stack, the center character moves to q1, q1 pops while matching
+// the second half, and an ε-move on ⊥ reaches the accepting q2.
+func PalindromeDPDA() *DPDA {
+	push := func(s Symbol) StackOp { return StackOp{Push: s, HasPush: true} }
+	pop := StackOp{Pop: 1}
+	nop := StackOp{}
+	d := &DPDA{
+		Name:      "odd-palindrome",
+		NumStates: 3,
+		Start:     0,
+		Accept:    map[int]bool{2: true},
+	}
+	// q0: push the symbol read, for every possible stack top.
+	for _, top := range []Symbol{BottomOfStack, palStkZero, palStkOne} {
+		d.Trans = append(d.Trans,
+			DPDATransition{From: 0, Input: PalZero, StackTop: top, To: 0, Op: push(palStkZero)},
+			DPDATransition{From: 0, Input: PalOne, StackTop: top, To: 0, Op: push(palStkOne)},
+			DPDATransition{From: 0, Input: PalCenter, StackTop: top, To: 1, Op: nop},
+		)
+	}
+	// q1: pop on a match.
+	d.Trans = append(d.Trans,
+		DPDATransition{From: 1, Input: PalZero, StackTop: palStkZero, To: 1, Op: pop},
+		DPDATransition{From: 1, Input: PalOne, StackTop: palStkOne, To: 1, Op: pop},
+		// ε,⊥/⊥ → accept.
+		DPDATransition{From: 1, Epsilon: true, StackTop: BottomOfStack, To: 2, Op: nop},
+	)
+	return d
+}
+
+// PalindromeHDPDA builds the Fig. 1(b) machine directly in homogeneous
+// form: six states (plus the synthetic start), exactly as drawn —
+// "0 ∗ pop0 push0", "1 ∗ pop0 push1", "c ∗ pop0", "0 0 pop1",
+// "1 1 pop1", and "ε ⊥ pop0" (accepting).
+func PalindromeHDPDA() *HDPDA {
+	h := &HDPDA{Name: "odd-palindrome-h"}
+	start := h.AddState(State{Label: "start", Epsilon: true, Stack: AllSymbols()})
+	h.Start = start
+
+	sZero := h.AddState(State{
+		Label: "0*/push0",
+		Input: NewSymbolSet(PalZero), Stack: AllSymbols(),
+		Op: StackOp{Push: palStkZero, HasPush: true},
+	})
+	sOne := h.AddState(State{
+		Label: "1*/push1",
+		Input: NewSymbolSet(PalOne), Stack: AllSymbols(),
+		Op: StackOp{Push: palStkOne, HasPush: true},
+	})
+	sCenter := h.AddState(State{
+		Label: "c*/nop",
+		Input: NewSymbolSet(PalCenter), Stack: AllSymbols(),
+	})
+	sPopZero := h.AddState(State{
+		Label: "00/pop1",
+		Input: NewSymbolSet(PalZero), Stack: NewSymbolSet(palStkZero),
+		Op: StackOp{Pop: 1},
+	})
+	sPopOne := h.AddState(State{
+		Label: "11/pop1",
+		Input: NewSymbolSet(PalOne), Stack: NewSymbolSet(palStkOne),
+		Op: StackOp{Pop: 1},
+	})
+	sAccept := h.AddState(State{
+		Label:   "ε⊥/accept",
+		Epsilon: true,
+		Stack:   NewSymbolSet(BottomOfStack),
+		Accept:  true,
+	})
+
+	// First half: the pushing states loop among themselves and can see
+	// the center.
+	for _, from := range []StateID{start, sZero, sOne} {
+		h.AddEdge(from, sZero)
+		h.AddEdge(from, sOne)
+		h.AddEdge(from, sCenter)
+	}
+	// Second half: after the center, pop on matches or accept on ⊥.
+	for _, from := range []StateID{sCenter, sPopZero, sPopOne} {
+		h.AddEdge(from, sPopZero)
+		h.AddEdge(from, sPopOne)
+		h.AddEdge(from, sAccept)
+	}
+	return h
+}
+
+// IsOddPalindrome is the plain-Go oracle for the Fig. 1 language:
+// w c reverse(w) for w over {0,1}.
+func IsOddPalindrome(s string) bool {
+	n := len(s)
+	if n%2 == 0 {
+		return false
+	}
+	mid := n / 2
+	if s[mid] != byte(PalCenter) {
+		return false
+	}
+	for i := 0; i < mid; i++ {
+		c := s[i]
+		if c != '0' && c != '1' {
+			return false
+		}
+		if s[n-1-i] != c {
+			return false
+		}
+	}
+	return true
+}

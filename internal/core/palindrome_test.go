@@ -1,0 +1,183 @@
+package core
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestPalindromeDPDAValidates(t *testing.T) {
+	if err := PalindromeDPDA().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPalindromeHDPDAValidates(t *testing.T) {
+	if err := PalindromeHDPDA().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+var palindromeCases = []struct {
+	in   string
+	want bool
+}{
+	{"c", true},
+	{"0c0", true},
+	{"1c1", true},
+	{"01c10", true},
+	{"10c01", true},
+	{"1101c1011", true},
+	{"", false},
+	{"0", false},
+	{"00", false},
+	{"0c1", false},
+	{"1c0", false},
+	{"01c01", false},
+	{"cc", false},
+	{"0cc0", false},
+	{"c0", false},
+	{"0c", false},
+	{"0c00", false},
+	{"00c0", false},
+}
+
+func TestPalindromeDPDA(t *testing.T) {
+	d := PalindromeDPDA()
+	for _, tc := range palindromeCases {
+		got, err := d.Run(BytesToSymbols([]byte(tc.in)))
+		if err != nil {
+			t.Fatalf("Run(%q): %v", tc.in, err)
+		}
+		if got != tc.want {
+			t.Errorf("DPDA(%q) = %v, want %v", tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestPalindromeHDPDA(t *testing.T) {
+	h := PalindromeHDPDA()
+	for _, tc := range palindromeCases {
+		if got := h.Accepts(BytesToSymbols([]byte(tc.in))); got != tc.want {
+			t.Errorf("hDPDA(%q) = %v, want %v", tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestPalindromeHomogenized(t *testing.T) {
+	h, err := PalindromeDPDA().ToHomogeneous()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range palindromeCases {
+		if got := h.Accepts(BytesToSymbols([]byte(tc.in))); got != tc.want {
+			t.Errorf("homogenized(%q) = %v, want %v", tc.in, got, tc.want)
+		}
+	}
+}
+
+// randomPalInput produces strings over {0,1,c} biased toward near-misses.
+func randomPalInput(r *rand.Rand) string {
+	n := r.Intn(12)
+	var b strings.Builder
+	if r.Intn(2) == 0 {
+		// Construct a true palindrome, maybe corrupt one position.
+		w := make([]byte, n)
+		for i := range w {
+			w[i] = "01"[r.Intn(2)]
+		}
+		b.Write(w)
+		b.WriteByte('c')
+		for i := n - 1; i >= 0; i-- {
+			b.WriteByte(w[i])
+		}
+		s := []byte(b.String())
+		if r.Intn(3) == 0 && len(s) > 0 {
+			s[r.Intn(len(s))] = "01c"[r.Intn(3)]
+		}
+		return string(s)
+	}
+	for i := 0; i < n; i++ {
+		b.WriteByte("01c"[r.Intn(3)])
+	}
+	return b.String()
+}
+
+// Property: DPDA, hand-built hDPDA, homogenized hDPDA, and the plain-Go
+// oracle all agree.
+func TestPalindromeFourWayAgreement(t *testing.T) {
+	d := PalindromeDPDA()
+	h := PalindromeHDPDA()
+	hc, err := d.ToHomogeneous()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rand.New(rand.NewSource(42))
+	for i := 0; i < 2000; i++ {
+		in := randomPalInput(r)
+		want := IsOddPalindrome(in)
+		syms := BytesToSymbols([]byte(in))
+		if got, err := d.Run(syms); err != nil || got != want {
+			t.Fatalf("DPDA(%q) = %v,%v want %v", in, got, err, want)
+		}
+		if got := h.Accepts(syms); got != want {
+			t.Fatalf("hDPDA(%q) = %v, want %v", in, got, want)
+		}
+		if got := hc.Accepts(syms); got != want {
+			t.Fatalf("homogenized(%q) = %v, want %v", in, got, want)
+		}
+	}
+}
+
+// Property via testing/quick: for random bit-strings w, w+"c"+reverse(w)
+// is always accepted.
+func TestPalindromeConstructedAlwaysAccepts(t *testing.T) {
+	h := PalindromeHDPDA()
+	f := func(bits []bool) bool {
+		if len(bits) > 200 {
+			bits = bits[:200]
+		}
+		var b strings.Builder
+		for _, x := range bits {
+			if x {
+				b.WriteByte('1')
+			} else {
+				b.WriteByte('0')
+			}
+		}
+		w := b.String()
+		rev := make([]byte, len(w))
+		for i := 0; i < len(w); i++ {
+			rev[i] = w[len(w)-1-i]
+		}
+		return h.Accepts(BytesToSymbols([]byte(w + "c" + string(rev))))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPalindromeStallAccounting(t *testing.T) {
+	h := PalindromeHDPDA()
+	res, err := h.Run(BytesToSymbols([]byte("01c10")), ExecOptions{CollectReports: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Accepted {
+		t.Fatal("expected accept")
+	}
+	// Exactly one ε-activation: the final accept state.
+	if res.EpsilonStalls != 1 {
+		t.Errorf("EpsilonStalls = %d, want 1", res.EpsilonStalls)
+	}
+	if res.Consumed != 5 {
+		t.Errorf("Consumed = %d, want 5", res.Consumed)
+	}
+	if res.MaxStackDepth != 2 {
+		t.Errorf("MaxStackDepth = %d, want 2", res.MaxStackDepth)
+	}
+	if len(res.Reports) != 1 || res.Reports[0].Pos != 5 {
+		t.Errorf("Reports = %+v, want one report at pos 5", res.Reports)
+	}
+}

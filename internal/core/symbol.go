@@ -1,0 +1,127 @@
+package core
+
+import (
+	"fmt"
+	"math/bits"
+	"strings"
+)
+
+// Symbol is an 8-bit input or stack symbol, matching ASPEN's 8-bit
+// datapath (input symbols and top-of-stack symbols are broadcast as 8-bit
+// row addresses to the SRAM arrays; see paper §IV-B).
+type Symbol uint8
+
+// BottomOfStack is the reserved ⊥ symbol that marks the bottom of the
+// stack. Machines must not push it explicitly; it is pre-loaded at
+// configuration time and matching it signals an empty stack.
+const BottomOfStack Symbol = 0
+
+// SymbolSet is a 256-bit set of symbols. It mirrors the one-hot encoded
+// SRAM column used for state matching in ASPEN: bit s is set iff the
+// state matches symbol s.
+type SymbolSet [4]uint64
+
+// NewSymbolSet returns a set containing exactly the given symbols.
+func NewSymbolSet(syms ...Symbol) SymbolSet {
+	var s SymbolSet
+	for _, x := range syms {
+		s.Add(x)
+	}
+	return s
+}
+
+// AllSymbols returns the full set (the wildcard ∗ match).
+func AllSymbols() SymbolSet {
+	return SymbolSet{^uint64(0), ^uint64(0), ^uint64(0), ^uint64(0)}
+}
+
+// SymbolRange returns the set {lo..hi} inclusive.
+func SymbolRange(lo, hi Symbol) SymbolSet {
+	var s SymbolSet
+	for c := int(lo); c <= int(hi); c++ {
+		s.Add(Symbol(c))
+	}
+	return s
+}
+
+// Add inserts sym into the set.
+func (s *SymbolSet) Add(sym Symbol) { s[sym>>6] |= 1 << (sym & 63) }
+
+// Remove deletes sym from the set.
+func (s *SymbolSet) Remove(sym Symbol) { s[sym>>6] &^= 1 << (sym & 63) }
+
+// Contains reports whether sym is in the set.
+func (s SymbolSet) Contains(sym Symbol) bool {
+	return s[sym>>6]&(1<<(sym&63)) != 0
+}
+
+// IsEmpty reports whether the set has no members.
+func (s SymbolSet) IsEmpty() bool { return s == SymbolSet{} }
+
+// Len returns the number of symbols in the set.
+func (s SymbolSet) Len() int {
+	n := 0
+	for _, w := range s {
+		n += bits.OnesCount64(w)
+	}
+	return n
+}
+
+// Union returns s ∪ t.
+func (s SymbolSet) Union(t SymbolSet) SymbolSet {
+	return SymbolSet{s[0] | t[0], s[1] | t[1], s[2] | t[2], s[3] | t[3]}
+}
+
+// Intersect returns s ∩ t.
+func (s SymbolSet) Intersect(t SymbolSet) SymbolSet {
+	return SymbolSet{s[0] & t[0], s[1] & t[1], s[2] & t[2], s[3] & t[3]}
+}
+
+// Intersects reports whether s and t share any symbol.
+func (s SymbolSet) Intersects(t SymbolSet) bool {
+	return s[0]&t[0] != 0 || s[1]&t[1] != 0 || s[2]&t[2] != 0 || s[3]&t[3] != 0
+}
+
+// Symbols returns the members of the set in ascending order.
+func (s SymbolSet) Symbols() []Symbol {
+	out := make([]Symbol, 0, s.Len())
+	for w := 0; w < 4; w++ {
+		word := s[w]
+		for word != 0 {
+			b := bits.TrailingZeros64(word)
+			out = append(out, Symbol(w*64+b))
+			word &= word - 1
+		}
+	}
+	return out
+}
+
+// String renders the set compactly, collapsing runs (e.g. "[0x41-0x5a]").
+func (s SymbolSet) String() string {
+	if s == AllSymbols() {
+		return "*"
+	}
+	syms := s.Symbols()
+	if len(syms) == 0 {
+		return "∅"
+	}
+	var b strings.Builder
+	b.WriteByte('[')
+	for i := 0; i < len(syms); {
+		j := i
+		for j+1 < len(syms) && syms[j+1] == syms[j]+1 {
+			j++
+		}
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		if j == i {
+			fmt.Fprintf(&b, "%#02x", uint8(syms[i]))
+		} else {
+			fmt.Fprintf(&b, "%#02x-%#02x", uint8(syms[i]), uint8(syms[j]))
+		}
+		i = j + 1
+	}
+	b.WriteByte(']')
+	return b.String()
+}

@@ -1,0 +1,142 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestSymbolSetBasics(t *testing.T) {
+	var s SymbolSet
+	if !s.IsEmpty() {
+		t.Fatal("zero set should be empty")
+	}
+	s.Add(0)
+	s.Add(63)
+	s.Add(64)
+	s.Add(255)
+	for _, sym := range []Symbol{0, 63, 64, 255} {
+		if !s.Contains(sym) {
+			t.Errorf("set should contain %d", sym)
+		}
+	}
+	if s.Contains(1) || s.Contains(128) {
+		t.Error("set contains symbols never added")
+	}
+	if got := s.Len(); got != 4 {
+		t.Errorf("Len = %d, want 4", got)
+	}
+	s.Remove(63)
+	if s.Contains(63) || s.Len() != 3 {
+		t.Error("Remove failed")
+	}
+}
+
+func TestSymbolSetAll(t *testing.T) {
+	all := AllSymbols()
+	if all.Len() != 256 {
+		t.Fatalf("AllSymbols Len = %d, want 256", all.Len())
+	}
+	for c := 0; c < 256; c++ {
+		if !all.Contains(Symbol(c)) {
+			t.Fatalf("AllSymbols missing %d", c)
+		}
+	}
+	if all.String() != "*" {
+		t.Errorf("AllSymbols String = %q, want *", all.String())
+	}
+}
+
+func TestSymbolRange(t *testing.T) {
+	r := SymbolRange('a', 'z')
+	if r.Len() != 26 {
+		t.Fatalf("range len = %d, want 26", r.Len())
+	}
+	if !r.Contains('a') || !r.Contains('z') || r.Contains('A') {
+		t.Error("range membership wrong")
+	}
+	// Full-range must not overflow the loop.
+	full := SymbolRange(0, 255)
+	if full != AllSymbols() {
+		t.Error("SymbolRange(0,255) != AllSymbols()")
+	}
+}
+
+func TestSymbolSetOps(t *testing.T) {
+	a := NewSymbolSet(1, 2, 3)
+	b := NewSymbolSet(3, 4, 5)
+	if got := a.Union(b).Len(); got != 5 {
+		t.Errorf("union len = %d, want 5", got)
+	}
+	inter := a.Intersect(b)
+	if inter.Len() != 1 || !inter.Contains(3) {
+		t.Errorf("intersect = %v, want {3}", inter.Symbols())
+	}
+	if !a.Intersects(b) {
+		t.Error("a and b should intersect")
+	}
+	if a.Intersects(NewSymbolSet(9)) {
+		t.Error("disjoint sets reported intersecting")
+	}
+}
+
+func TestSymbolSetSymbolsSorted(t *testing.T) {
+	s := NewSymbolSet(200, 5, 100, 64, 63)
+	syms := s.Symbols()
+	want := []Symbol{5, 63, 64, 100, 200}
+	if len(syms) != len(want) {
+		t.Fatalf("Symbols = %v, want %v", syms, want)
+	}
+	for i := range want {
+		if syms[i] != want[i] {
+			t.Fatalf("Symbols = %v, want %v", syms, want)
+		}
+	}
+}
+
+func TestSymbolSetString(t *testing.T) {
+	s := NewSymbolSet(0x41, 0x42, 0x43, 0x50)
+	if got := s.String(); got != "[0x41-0x43,0x50]" {
+		t.Errorf("String = %q", got)
+	}
+	var empty SymbolSet
+	if empty.String() != "∅" {
+		t.Errorf("empty String = %q", empty.String())
+	}
+}
+
+// Property: membership after NewSymbolSet matches the input list.
+func TestSymbolSetMembershipProperty(t *testing.T) {
+	f := func(syms []byte, probe byte) bool {
+		set := NewSymbolSet(BytesToSymbols(syms)...)
+		want := false
+		for _, s := range syms {
+			if s == probe {
+				want = true
+				break
+			}
+		}
+		return set.Contains(Symbol(probe)) == want
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Union is commutative and Intersect distributes membership.
+func TestSymbolSetAlgebraProperty(t *testing.T) {
+	f := func(xs, ys []byte, probe byte) bool {
+		a := NewSymbolSet(BytesToSymbols(xs)...)
+		b := NewSymbolSet(BytesToSymbols(ys)...)
+		p := Symbol(probe)
+		if a.Union(b) != b.Union(a) {
+			return false
+		}
+		if a.Union(b).Contains(p) != (a.Contains(p) || b.Contains(p)) {
+			return false
+		}
+		return a.Intersect(b).Contains(p) == (a.Contains(p) && b.Contains(p))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

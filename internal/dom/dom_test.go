@@ -1,0 +1,191 @@
+package dom
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"aspen/internal/compile"
+	"aspen/internal/lang"
+	"aspen/internal/swparse"
+	"aspen/internal/xmlgen"
+)
+
+func build(t *testing.T, doc string) (*Document, error) {
+	t.Helper()
+	l := lang.XML()
+	cm, err := l.Compile(compile.OptAll)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, _, err := Build(l, cm, []byte(doc))
+	return d, err
+}
+
+func TestBuildSimple(t *testing.T) {
+	d, err := build(t, `<?xml version="1.0"?><!-- hi --><cat a="1" b='2'><k>v1</k><e/><!--c--><?pi x?></cat><!-- bye -->`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Root == nil || d.Root.Name != "cat" {
+		t.Fatalf("root = %+v", d.Root)
+	}
+	if len(d.Root.Attrs) != 2 {
+		t.Fatalf("attrs = %+v", d.Root.Attrs)
+	}
+	if v, ok := d.Root.Attr("a"); !ok || v != "1" {
+		t.Errorf("attr a = %q,%v", v, ok)
+	}
+	if v, ok := d.Root.Attr("b"); !ok || v != "2" {
+		t.Errorf("attr b = %q,%v", v, ok)
+	}
+	if _, ok := d.Root.Attr("zz"); ok {
+		t.Error("phantom attribute")
+	}
+	// Children: k element, e element, comment, pi.
+	if len(d.Root.Children) != 4 {
+		t.Fatalf("children = %d: %s", len(d.Root.Children), d.Root)
+	}
+	k := d.Root.Find("k")
+	if k == nil || k.InnerText() != "v1" {
+		t.Fatalf("k = %+v", k)
+	}
+	if d.Root.Children[2].Kind != CommentNode || d.Root.Children[2].Text != "c" {
+		t.Errorf("comment = %+v", d.Root.Children[2])
+	}
+	if d.Root.Children[3].Kind != PINode {
+		t.Errorf("pi = %+v", d.Root.Children[3])
+	}
+	// Prolog comment, trailer comment.
+	if len(d.Prolog) != 1 || d.Prolog[0].Kind != CommentNode {
+		t.Errorf("prolog = %+v", d.Prolog)
+	}
+	if len(d.Trailer) != 1 {
+		t.Errorf("trailer = %+v", d.Trailer)
+	}
+	if d.Elements != 3 || d.Attributes != 2 {
+		t.Errorf("counts = %+v", d)
+	}
+}
+
+func TestBuildNested(t *testing.T) {
+	d, err := build(t, `<a><b><c>deep</c></b><b2>x</b2></a>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := d.Root.Find("c")
+	if c == nil || c.Parent == nil || c.Parent.Name != "b" {
+		t.Fatalf("c = %+v", c)
+	}
+	if c.Parent.Parent != d.Root {
+		t.Error("grandparent link broken")
+	}
+	if d.Root.InnerText() != "deepx" {
+		t.Errorf("InnerText = %q", d.Root.InnerText())
+	}
+}
+
+func TestCDATAText(t *testing.T) {
+	d, err := build(t, `<a><![CDATA[x <&> y]]></a>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := d.Root.InnerText(); got != "x <&> y" {
+		t.Errorf("InnerText = %q", got)
+	}
+	if d.Characters != 7 {
+		t.Errorf("Characters = %d", d.Characters)
+	}
+}
+
+func TestMismatchDetected(t *testing.T) {
+	// Syntactically balanced but semantically mismatched tag names:
+	// the DPDA accepts (syntax), the DOM pass rejects (semantics) —
+	// exactly the paper's layering.
+	_, err := build(t, `<a><b></c></a>`)
+	var me *MismatchError
+	if !errors.As(err, &me) {
+		t.Fatalf("err = %v, want MismatchError", err)
+	}
+	if me.Open != "b" || me.Close != "c" {
+		t.Errorf("mismatch = %+v", me)
+	}
+	if !strings.Contains(me.Error(), "<b>") {
+		t.Errorf("message = %q", me.Error())
+	}
+}
+
+func TestRejectsSyntaxErrors(t *testing.T) {
+	for _, doc := range []string{`<a>`, `<a
+		x></a>`, `text only`} {
+		if _, err := build(t, doc); err == nil {
+			t.Errorf("Build(%q) should fail", doc)
+		}
+	}
+}
+
+func TestDOMMatchesSAXCountOnCorpusAndSample(t *testing.T) {
+	l := lang.XML()
+	cm, err := l.Compile(compile.OptAll)
+	if err != nil {
+		t.Fatal(err)
+	}
+	docs := [][]byte{[]byte(lang.XMLSample)}
+	for _, d := range xmlgen.Corpus(2 << 10)[:8] {
+		docs = append(docs, d.Data)
+	}
+	for i, data := range docs {
+		d, _, err := Build(l, cm, data)
+		if err != nil {
+			t.Fatalf("doc %d: %v", i, err)
+		}
+		c, _, err := swparse.XercesLike(data)
+		if err != nil {
+			t.Fatalf("doc %d: %v", i, err)
+		}
+		if d.Elements != c.Elements || d.Attributes != c.Attributes {
+			t.Errorf("doc %d: DOM %d/%d vs SAX %d/%d elements/attrs",
+				i, d.Elements, d.Attributes, c.Elements, c.Attributes)
+		}
+		// Character counts may differ on ignorable whitespace (the
+		// ASPEN lexer skips whitespace-only runs); DOM must not exceed
+		// SAX.
+		if d.Characters > c.Characters {
+			t.Errorf("doc %d: DOM characters %d > SAX %d", i, d.Characters, c.Characters)
+		}
+	}
+}
+
+func TestNodeString(t *testing.T) {
+	d, err := build(t, `<a x="1"><b>t</b><!--c--></a>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := d.Root.String()
+	for _, frag := range []string{`<a x="1">`, "<b>", `"t"`, "<!--c-->"} {
+		if !strings.Contains(s, frag) {
+			t.Errorf("String missing %q:\n%s", frag, s)
+		}
+	}
+	if ElementNode.String() != "element" || TextNode.String() != "text" ||
+		CommentNode.String() != "comment" || PINode.String() != "pi" {
+		t.Error("NodeKind strings wrong")
+	}
+	if NodeKind(9).String() != "?" {
+		t.Error("unknown kind")
+	}
+}
+
+func TestFindMissing(t *testing.T) {
+	d, err := build(t, `<a><b/></a>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Root.Find("zzz") != nil {
+		t.Error("Find should return nil for missing")
+	}
+	var nilNode *Node
+	if nilNode.Find("x") != nil {
+		t.Error("nil receiver Find should return nil")
+	}
+}

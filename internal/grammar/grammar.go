@@ -1,0 +1,228 @@
+// Package grammar represents context-free grammars (paper §III-A): the
+// high-level language from which ASPEN's compiler derives pushdown
+// automata, just as regular expressions generate finite automata. It
+// provides a compact BNF-like DSL, structural validation, and the
+// FIRST/FOLLOW/nullable analyses the LR table generator consumes.
+package grammar
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Sym is an index into a Grammar's symbol table.
+type Sym int32
+
+// NoSym is the invalid symbol index.
+const NoSym Sym = -1
+
+// SymbolInfo describes one grammar symbol.
+type SymbolInfo struct {
+	Name     string
+	Terminal bool
+}
+
+// Production is one substitution rule Lhs → Rhs. Index is the rule's
+// position in Grammar.Productions and doubles as the reduce report code.
+type Production struct {
+	Index int
+	Lhs   Sym
+	Rhs   []Sym
+}
+
+// Grammar is a context-free grammar. Symbol 0 is always the reserved
+// endmarker terminal ⊣ (paper Fig. 4), which may appear only implicitly:
+// the LR generator augments the grammar with S' → Start ⊣.
+type Grammar struct {
+	Name        string
+	Symbols     []SymbolInfo
+	Productions []Production
+	Start       Sym
+
+	byName map[string]Sym
+}
+
+// EndMarker is the reserved ⊣ terminal, always symbol 0.
+const EndMarker Sym = 0
+
+// EndMarkerName is the spelling of ⊣ in the DSL and in diagnostics.
+const EndMarkerName = "$end"
+
+// New creates an empty grammar containing only the endmarker.
+func New(name string) *Grammar {
+	g := &Grammar{Name: name, byName: map[string]Sym{}}
+	g.intern(EndMarkerName, true)
+	return g
+}
+
+func (g *Grammar) intern(name string, terminal bool) Sym {
+	if s, ok := g.byName[name]; ok {
+		return s
+	}
+	s := Sym(len(g.Symbols))
+	g.Symbols = append(g.Symbols, SymbolInfo{Name: name, Terminal: terminal})
+	g.byName[name] = s
+	return s
+}
+
+// Terminal interns (or returns) a terminal symbol.
+func (g *Grammar) Terminal(name string) Sym { return g.intern(name, true) }
+
+// Nonterminal interns (or returns) a nonterminal symbol.
+func (g *Grammar) Nonterminal(name string) Sym { return g.intern(name, false) }
+
+// Lookup returns the symbol with the given name, or NoSym.
+func (g *Grammar) Lookup(name string) Sym {
+	if s, ok := g.byName[name]; ok {
+		return s
+	}
+	return NoSym
+}
+
+// Name returns the symbol's spelling.
+func (g *Grammar) SymName(s Sym) string {
+	if s < 0 || int(s) >= len(g.Symbols) {
+		return fmt.Sprintf("<sym %d>", s)
+	}
+	return g.Symbols[s].Name
+}
+
+// IsTerminal reports whether s is a terminal.
+func (g *Grammar) IsTerminal(s Sym) bool { return g.Symbols[s].Terminal }
+
+// AddProduction appends the rule lhs → rhs and returns its index.
+func (g *Grammar) AddProduction(lhs Sym, rhs ...Sym) int {
+	idx := len(g.Productions)
+	g.Productions = append(g.Productions, Production{Index: idx, Lhs: lhs, Rhs: rhs})
+	return idx
+}
+
+// Terminals returns all terminal symbols except the endmarker, in symbol
+// order.
+func (g *Grammar) Terminals() []Sym {
+	var out []Sym
+	for i, si := range g.Symbols {
+		if si.Terminal && Sym(i) != EndMarker {
+			out = append(out, Sym(i))
+		}
+	}
+	return out
+}
+
+// Nonterminals returns all nonterminal symbols in symbol order.
+func (g *Grammar) Nonterminals() []Sym {
+	var out []Sym
+	for i, si := range g.Symbols {
+		if !si.Terminal {
+			out = append(out, Sym(i))
+		}
+	}
+	return out
+}
+
+// NumTokenTypes is the paper Table III "Token Types" count: terminals
+// excluding the endmarker.
+func (g *Grammar) NumTokenTypes() int { return len(g.Terminals()) }
+
+// ProductionsFor returns the indices of productions with the given LHS.
+func (g *Grammar) ProductionsFor(lhs Sym) []int {
+	var out []int
+	for i := range g.Productions {
+		if g.Productions[i].Lhs == lhs {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// ProductionString renders production i as "Lhs → a b c".
+func (g *Grammar) ProductionString(i int) string {
+	p := &g.Productions[i]
+	s := g.SymName(p.Lhs) + " →"
+	if len(p.Rhs) == 0 {
+		s += " ε"
+	}
+	for _, r := range p.Rhs {
+		s += " " + g.SymName(r)
+	}
+	return s
+}
+
+// Validate checks that the grammar is well-formed: a start symbol is set
+// and is a nonterminal with at least one production, every nonterminal is
+// defined (appears as an LHS), every nonterminal is reachable from the
+// start, and every nonterminal is productive (derives some terminal
+// string).
+func (g *Grammar) Validate() error {
+	if g.Start == NoSym || g.Start == 0 && len(g.Productions) == 0 {
+		return fmt.Errorf("grammar %q: no start symbol", g.Name)
+	}
+	if int(g.Start) >= len(g.Symbols) || g.IsTerminal(g.Start) {
+		return fmt.Errorf("grammar %q: start symbol %q is not a nonterminal", g.Name, g.SymName(g.Start))
+	}
+	defined := map[Sym]bool{}
+	for i := range g.Productions {
+		defined[g.Productions[i].Lhs] = true
+	}
+	for _, nt := range g.Nonterminals() {
+		if !defined[nt] {
+			return fmt.Errorf("grammar %q: nonterminal %q has no productions", g.Name, g.SymName(nt))
+		}
+	}
+	// Reachability from start.
+	reach := map[Sym]bool{g.Start: true}
+	for changed := true; changed; {
+		changed = false
+		for i := range g.Productions {
+			p := &g.Productions[i]
+			if !reach[p.Lhs] {
+				continue
+			}
+			for _, r := range p.Rhs {
+				if !g.IsTerminal(r) && !reach[r] {
+					reach[r] = true
+					changed = true
+				}
+			}
+		}
+	}
+	for _, nt := range g.Nonterminals() {
+		if !reach[nt] {
+			return fmt.Errorf("grammar %q: nonterminal %q unreachable from start %q",
+				g.Name, g.SymName(nt), g.SymName(g.Start))
+		}
+	}
+	// Productivity.
+	productive := map[Sym]bool{}
+	for changed := true; changed; {
+		changed = false
+		for i := range g.Productions {
+			p := &g.Productions[i]
+			if productive[p.Lhs] {
+				continue
+			}
+			ok := true
+			for _, r := range p.Rhs {
+				if !g.IsTerminal(r) && !productive[r] {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				productive[p.Lhs] = true
+				changed = true
+			}
+		}
+	}
+	var bad []string
+	for _, nt := range g.Nonterminals() {
+		if !productive[nt] {
+			bad = append(bad, g.SymName(nt))
+		}
+	}
+	if len(bad) > 0 {
+		sort.Strings(bad)
+		return fmt.Errorf("grammar %q: non-productive nonterminals: %v", g.Name, bad)
+	}
+	return nil
+}

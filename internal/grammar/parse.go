@@ -1,0 +1,184 @@
+package grammar
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Parse reads a grammar from the package's BNF-like DSL:
+//
+//	# comment
+//	%name Arith
+//	%token INT PLUS TIMES LPAREN RPAREN
+//	%start S
+//	S    : Exp ;
+//	Exp  : Term PLUS Exp | Term ;
+//	Term : INT TIMES Term | LPAREN Exp RPAREN | INT ;
+//
+// Terminals must be declared with %token; every other identifier is a
+// nonterminal. An empty alternative (or the keyword %empty) denotes ε.
+// The first LHS is the start symbol unless %start overrides it.
+func Parse(src string) (*Grammar, error) {
+	g := New("")
+	var startName string
+	firstLHS := ""
+
+	// Tokenize: identifiers, ':', '|', ';', '%directive'.
+	var toks []string
+	var lineOf []int
+	for ln, line := range strings.Split(src, "\n") {
+		if i := strings.IndexAny(line, "#"); i >= 0 {
+			line = line[:i]
+		}
+		if i := strings.Index(line, "//"); i >= 0 {
+			line = line[:i]
+		}
+		for _, f := range strings.Fields(line) {
+			for f != "" {
+				switch f[0] {
+				case ':', '|', ';':
+					toks = append(toks, string(f[0]))
+					lineOf = append(lineOf, ln+1)
+					f = f[1:]
+				default:
+					j := strings.IndexAny(f, ":|;")
+					if j < 0 {
+						j = len(f)
+					}
+					toks = append(toks, f[:j])
+					lineOf = append(lineOf, ln+1)
+					f = f[j:]
+				}
+			}
+		}
+	}
+
+	errAt := func(i int, format string, args ...any) error {
+		ln := 0
+		if i < len(lineOf) {
+			ln = lineOf[i]
+		}
+		return fmt.Errorf("grammar line %d: %s", ln, fmt.Sprintf(format, args...))
+	}
+
+	declared := map[string]bool{}
+	i := 0
+	for i < len(toks) {
+		t := toks[i]
+		switch {
+		case t == "%name":
+			if i+1 >= len(toks) {
+				return nil, errAt(i, "%%name needs an argument")
+			}
+			g.Name = toks[i+1]
+			i += 2
+		case t == "%token":
+			i++
+			for i < len(toks) && !strings.HasPrefix(toks[i], "%") && !isPunct(toks[i]) && (i+1 >= len(toks) || toks[i+1] != ":") {
+				name := toks[i]
+				if name == EndMarkerName {
+					return nil, errAt(i, "%q is reserved", EndMarkerName)
+				}
+				declared[name] = true
+				g.Terminal(name)
+				i++
+			}
+		case t == "%start":
+			if i+1 >= len(toks) {
+				return nil, errAt(i, "%%start needs an argument")
+			}
+			startName = toks[i+1]
+			i += 2
+		case isPunct(t):
+			return nil, errAt(i, "unexpected %q", t)
+		default:
+			// Rule: IDENT ':' alt { '|' alt } ';'
+			lhsName := t
+			if declared[lhsName] {
+				return nil, errAt(i, "terminal %q used as rule LHS", lhsName)
+			}
+			if firstLHS == "" {
+				firstLHS = lhsName
+			}
+			lhs := g.Nonterminal(lhsName)
+			i++
+			if i >= len(toks) || toks[i] != ":" {
+				return nil, errAt(i, "expected ':' after %q", lhsName)
+			}
+			i++
+			var rhs []Sym
+			flush := func() {
+				g.AddProduction(lhs, rhs...)
+				rhs = nil
+			}
+			done := false
+			for !done {
+				if i >= len(toks) {
+					return nil, errAt(i-1, "rule %q not terminated with ';'", lhsName)
+				}
+				switch toks[i] {
+				case ";":
+					flush()
+					done = true
+				case "|":
+					flush()
+				case ":":
+					return nil, errAt(i, "unexpected ':' inside rule %q", lhsName)
+				case "%empty":
+					// explicit ε, nothing to append
+				default:
+					name := toks[i]
+					if strings.HasPrefix(name, "%") {
+						return nil, errAt(i, "unexpected directive %q inside rule", name)
+					}
+					if declared[name] {
+						rhs = append(rhs, g.Terminal(name))
+					} else {
+						rhs = append(rhs, g.Nonterminal(name))
+					}
+				}
+				i++
+			}
+		}
+	}
+
+	if startName == "" {
+		startName = firstLHS
+	}
+	if startName == "" {
+		return nil, fmt.Errorf("grammar: no rules")
+	}
+	start := g.Lookup(startName)
+	if start == NoSym {
+		return nil, fmt.Errorf("grammar: start symbol %q not defined", startName)
+	}
+	g.Start = start
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+func isPunct(s string) bool { return s == ":" || s == "|" || s == ";" }
+
+// MustParse is Parse that panics on error, for static grammar literals.
+func MustParse(src string) *Grammar {
+	g, err := Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+// ArithGrammar returns the paper's Fig. 4 example grammar (a subset of
+// arithmetic expressions with precedence and nesting).
+func ArithGrammar() *Grammar {
+	return MustParse(`
+%name Arith
+%token INT PLUS TIMES LPAREN RPAREN
+%start S
+S    : Exp ;
+Exp  : Term PLUS Exp | Term ;
+Term : INT TIMES Term | LPAREN Exp RPAREN | INT ;
+`)
+}

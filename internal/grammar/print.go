@@ -1,0 +1,71 @@
+package grammar
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Print renders a grammar back into the DSL accepted by Parse, grouping
+// alternatives per nonterminal in first-appearance order. Parse∘Print is
+// the identity up to symbol numbering (tested by property).
+func (g *Grammar) Print() string {
+	var b strings.Builder
+	if g.Name != "" {
+		fmt.Fprintf(&b, "%%name %s\n", g.Name)
+	}
+	terms := g.Terminals()
+	if len(terms) > 0 {
+		b.WriteString("%token")
+		for _, t := range terms {
+			b.WriteString(" " + g.SymName(t))
+		}
+		b.WriteString("\n")
+	}
+	fmt.Fprintf(&b, "%%start %s\n", g.SymName(g.Start))
+
+	// Group productions by LHS, preserving production order.
+	order := []Sym{}
+	seen := map[Sym]bool{}
+	for _, p := range g.Productions {
+		if !seen[p.Lhs] {
+			seen[p.Lhs] = true
+			order = append(order, p.Lhs)
+		}
+	}
+	for _, lhs := range order {
+		alts := g.ProductionsFor(lhs)
+		sort.Ints(alts)
+		fmt.Fprintf(&b, "%s :", g.SymName(lhs))
+		for ai, pi := range alts {
+			if ai > 0 {
+				b.WriteString(" |")
+			}
+			rhs := g.Productions[pi].Rhs
+			if len(rhs) == 0 {
+				b.WriteString(" %empty")
+				continue
+			}
+			for _, s := range rhs {
+				b.WriteString(" " + g.SymName(s))
+			}
+		}
+		b.WriteString(" ;\n")
+	}
+	return b.String()
+}
+
+// ProductionsEqual compares production i of two grammars by symbol
+// names (a test helper: symbol numbering may differ across parses).
+func ProductionsEqual(a, b *Grammar, i int) bool {
+	pa, pb := a.Productions[i], b.Productions[i]
+	if a.SymName(pa.Lhs) != b.SymName(pb.Lhs) || len(pa.Rhs) != len(pb.Rhs) {
+		return false
+	}
+	for j := range pa.Rhs {
+		if a.SymName(pa.Rhs[j]) != b.SymName(pb.Rhs[j]) {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,91 @@
+package grammar
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// Parse must never panic, whatever bytes arrive: it either returns a
+// valid grammar or an error.
+func TestParseNeverPanics(t *testing.T) {
+	r := rand.New(rand.NewSource(21))
+	pieces := []string{
+		"%token", "%start", "%name", "%empty", ":", "|", ";", "S", "T",
+		"A", "a b", "\n", " ", "#x", "//y", "%bogus", "$end", "::", ";;",
+	}
+	for i := 0; i < 3000; i++ {
+		var b strings.Builder
+		for n := r.Intn(20); n > 0; n-- {
+			b.WriteString(pieces[r.Intn(len(pieces))])
+			b.WriteByte(' ')
+		}
+		src := b.String()
+		g, err := Parse(src)
+		if err == nil {
+			// Whatever parsed must re-validate.
+			if verr := g.Validate(); verr != nil {
+				t.Fatalf("Parse accepted %q but Validate rejects: %v", src, verr)
+			}
+		}
+	}
+}
+
+// Random byte soup.
+func TestParseByteSoup(t *testing.T) {
+	r := rand.New(rand.NewSource(22))
+	for i := 0; i < 1000; i++ {
+		buf := make([]byte, r.Intn(64))
+		for j := range buf {
+			buf[j] = byte(r.Intn(256))
+		}
+		_, _ = Parse(string(buf)) // must not panic
+	}
+}
+
+// Analyze must terminate and be internally consistent on every grammar
+// Parse accepts: FIRST of a terminal is itself; nullable(X) implies
+// some production of X has an all-nullable RHS.
+func TestAnalyzeConsistency(t *testing.T) {
+	srcs := []string{
+		"%token a\nS : a | ;",
+		"%token a b c\nS : A B C ; A : a | ; B : b | ; C : c | ;",
+		"%token x\nS : S x | x ;",
+		"%token l r\nS : l S r | ;",
+	}
+	for _, src := range srcs {
+		g, err := Parse(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sets := Analyze(g)
+		for i := range g.Symbols {
+			s := Sym(i)
+			if g.IsTerminal(s) {
+				if !sets.First[s].Has(s) || len(sets.First[s]) != 1 {
+					t.Errorf("%s: FIRST(%s) wrong", src, g.SymName(s))
+				}
+				continue
+			}
+			if sets.Nullable[s] {
+				ok := false
+				for _, pi := range g.ProductionsFor(s) {
+					all := true
+					for _, rsym := range g.Productions[pi].Rhs {
+						if !sets.Nullable[rsym] {
+							all = false
+							break
+						}
+					}
+					if all {
+						ok = true
+						break
+					}
+				}
+				if !ok {
+					t.Errorf("%s: %s marked nullable without witness", src, g.SymName(s))
+				}
+			}
+		}
+	}
+}

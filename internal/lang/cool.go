@@ -1,0 +1,145 @@
+package lang
+
+import (
+	"aspen/internal/grammar"
+	"aspen/internal/lexer"
+)
+
+// Cool returns the Cool object-oriented programming language (paper
+// Table III: 42 token types, 61 grammar productions). Operator
+// precedence is expressed by grammar stratification; the one remaining
+// shift/reduce family ("let" extends as far right as possible, the
+// Cool manual's rule) is resolved in favor of shift, as Cool parsers
+// built with yacc-style tools do.
+func Cool() *Language {
+	g := grammar.MustParse(`
+%name Cool
+%token CLASS INHERITS IF THEN ELSE FI WHILE LOOP POOL LET IN
+%token CASE OF ESAC NEW ISVOID NOT TRUE FALSE
+%token TYPEID OBJECTID INTLIT STRLIT
+%token ASSIGN DARROW LE LT EQ PLUS MINUS TIMES DIV NEG AT DOT
+%token COMMA SEMI COLON LPAREN RPAREN LBRACE RBRACE
+%start Program
+
+Program    : ClassList ;
+ClassList  : ClassList Class SEMI | Class SEMI ;
+Class      : CLASS TYPEID LBRACE FeatureList RBRACE
+           | CLASS TYPEID INHERITS TYPEID LBRACE FeatureList RBRACE ;
+FeatureList: FeatureList Feature SEMI | %empty ;
+Feature    : OBJECTID LPAREN Formals RPAREN COLON TYPEID LBRACE Expr RBRACE
+           | OBJECTID COLON TYPEID AssignOpt ;
+AssignOpt  : ASSIGN Expr | %empty ;
+Formals    : FormalList | %empty ;
+FormalList : Formal | FormalList COMMA Formal ;
+Formal     : OBJECTID COLON TYPEID ;
+Expr       : OBJECTID ASSIGN Expr | NOT Expr | CompExpr ;
+CompExpr   : CompExpr LE AddExpr | CompExpr LT AddExpr | CompExpr EQ AddExpr | AddExpr ;
+AddExpr    : AddExpr PLUS MulExpr | AddExpr MINUS MulExpr | MulExpr ;
+MulExpr    : MulExpr TIMES Unary | MulExpr DIV Unary | Unary ;
+Unary      : ISVOID Unary | NEG Unary | Postfix ;
+Postfix    : Postfix DOT OBJECTID LPAREN Args RPAREN
+           | Postfix AT TYPEID DOT OBJECTID LPAREN Args RPAREN
+           | Primary ;
+Primary    : IF Expr THEN Expr ELSE Expr FI
+           | WHILE Expr LOOP Expr POOL
+           | LBRACE BlockList RBRACE
+           | LET LetList IN Expr
+           | CASE Expr OF CaseList ESAC
+           | NEW TYPEID
+           | LPAREN Expr RPAREN
+           | OBJECTID LPAREN Args RPAREN
+           | OBJECTID
+           | INTLIT | STRLIT | TRUE | FALSE ;
+BlockList  : BlockList Expr SEMI | Expr SEMI ;
+LetList    : LetBinding | LetList COMMA LetBinding ;
+LetBinding : OBJECTID COLON TYPEID AssignOpt ;
+CaseList   : CaseBranch | CaseList CaseBranch ;
+CaseBranch : OBJECTID COLON TYPEID DARROW Expr SEMI ;
+Args       : ArgList | %empty ;
+ArgList    : Expr | ArgList COMMA Expr ;
+`)
+	spec := lexer.Spec{
+		Name: "cool",
+		Rules: []lexer.Rule{
+			{Name: "CLASS", Pattern: `class`},
+			{Name: "INHERITS", Pattern: `inherits`},
+			{Name: "IF", Pattern: `if`},
+			{Name: "THEN", Pattern: `then`},
+			{Name: "ELSE", Pattern: `else`},
+			{Name: "FI", Pattern: `fi`},
+			{Name: "WHILE", Pattern: `while`},
+			{Name: "LOOP", Pattern: `loop`},
+			{Name: "POOL", Pattern: `pool`},
+			{Name: "LET", Pattern: `let`},
+			{Name: "IN", Pattern: `in`},
+			{Name: "CASE", Pattern: `case`},
+			{Name: "OF", Pattern: `of`},
+			{Name: "ESAC", Pattern: `esac`},
+			{Name: "NEW", Pattern: `new`},
+			{Name: "ISVOID", Pattern: `isvoid`},
+			{Name: "NOT", Pattern: `not`},
+			{Name: "TRUE", Pattern: `true`},
+			{Name: "FALSE", Pattern: `false`},
+			{Name: "TYPEID", Pattern: `[A-Z][A-Za-z0-9_]*`},
+			{Name: "OBJECTID", Pattern: `[a-z][A-Za-z0-9_]*`},
+			{Name: "INTLIT", Pattern: `\d+`},
+			{Name: "STRLIT", Pattern: `"([^"\\\n]|\\.)*"`},
+			{Name: "ASSIGN", Pattern: `<-`},
+			{Name: "DARROW", Pattern: `=>`},
+			{Name: "LE", Pattern: `<=`},
+			{Name: "LT", Pattern: `<`},
+			{Name: "EQ", Pattern: `=`},
+			{Name: "PLUS", Pattern: `\+`},
+			{Name: "MINUS", Pattern: `-`},
+			{Name: "TIMES", Pattern: `\*`},
+			{Name: "DIV", Pattern: `/`},
+			{Name: "NEG", Pattern: `~`},
+			{Name: "AT", Pattern: `@`},
+			{Name: "DOT", Pattern: `\.`},
+			{Name: "COMMA", Pattern: `,`},
+			{Name: "SEMI", Pattern: `;`},
+			{Name: "COLON", Pattern: `:`},
+			{Name: "LPAREN", Pattern: `\(`},
+			{Name: "RPAREN", Pattern: `\)`},
+			{Name: "LBRACE", Pattern: `\{`},
+			{Name: "RBRACE", Pattern: `\}`},
+			{Name: "LINECOMMENT", Pattern: `--[^\n]*`, Skip: true},
+			{Name: "BLOCKCOMMENT", Pattern: `\(\*([^*]|\*+[^*)])*\*+\)`, Skip: true},
+			{Name: "WS", Pattern: `[ \t\r\n\f]+`, Skip: true},
+		},
+	}
+	return &Language{Name: "Cool", Grammar: g, LexSpec: spec, ResolveShiftReduce: true}
+}
+
+// CoolSample is a small Cool program exercising classes, dispatch,
+// control flow, let, and case.
+const CoolSample = `(* a tiny Cool program *)
+class Main inherits IO {
+  cells : Int <- 256;
+  ratio : Int;
+
+  main() : Object {
+    {
+      out_string("aspen\n");
+      ratio <- cells * 4 + 1;
+      if ratio <= 1024 then
+        out_int(ratio)
+      else
+        out_int(0 - ratio)
+      fi;
+      while not (ratio = 0) loop
+        ratio <- ratio - 1
+      pool;
+      let x : Int <- 3, y : Int in x + y * 2;
+      case self of
+        m : Main => m.main();
+        o : Object => o;
+      esac;
+    }
+  };
+
+  helper(a : Int, b : Int) : Int { ~a + b@Int.copy() };
+  -- attribute with dispatch
+  probe : Bool <- isvoid self.helper(1, 2);
+};
+`

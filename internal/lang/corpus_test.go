@@ -1,0 +1,144 @@
+package lang
+
+import (
+	"testing"
+
+	"aspen/internal/compile"
+	"aspen/internal/core"
+)
+
+// Golden corpora: several realistic documents per language, each parsed
+// at full optimization with reductions checked against the LR oracle.
+
+var corpus = map[string][]string{
+	"JSON": {
+		`[]`, `{}`, `0`, `"s"`, `true`, `null`,
+		`[[[[[1]]]]]`,
+		`{"a":{"b":{"c":[1,2,3]}}}`,
+		`[1, -2, 3.5, -0.7, 1e9, 1E-9, 6.02e+23]`,
+		`{"esc": "a\"b\\c\nd", "unicode": "A"}`,
+		`[{"id": 1, "tags": []}, {"id": 2, "tags": ["x"]}]`,
+		`{"deep": [{"a": [{"b": [{"c": null}]}]}]}`,
+	},
+	"DOT": {
+		`graph {}`,
+		`digraph g { a; }`,
+		`strict graph "quoted name" { a -- b -- c; }`,
+		`digraph { a -> b [weight=2]; b -> { c d }; }`,
+		`digraph { node [shape=circle] edge [color=red] x -> y }`,
+		`digraph { subgraph cluster_a { p q } p -> q; }`,
+		`digraph { a:port -> b:port:sw; }`,
+		`digraph { rank = same; 1.5 -> "two" -> <html>; }`,
+		`digraph h { a [label="line1\nline2", x=1, y=2;
+		   z=3] // trailing
+		   /* block */ }`,
+	},
+	"Cool": {
+		`class A { };`,
+		`class A inherits B { x : Int; };`,
+		`class A { f() : Int { 1 + 2 * 3 }; };`,
+		`class A { f(x : Int) : Int { if x < 1 then 0 else f(x - 1) fi }; };`,
+		`class A { f() : Object { while true loop 1 pool }; };`,
+		`class A { f() : Int { let x : Int <- 1, y : Int <- 2 in x + y }; };`,
+		`class A { f() : Object { case 1 of n : Int => n; o : Object => o; esac }; };`,
+		`class A { f() : Int { ~1 + isvoid self.g(1, "s", true) }; };
+		 class B inherits A { g(a : Int, b : String, c : Bool) : Int { a }; };`,
+		`class A { f() : Int { { 1; 2; 3; } }; };`,
+	},
+	"XML": {
+		`<r/>`,
+		`<r a="1"/>`,
+		`<r>text</r>`,
+		`<?xml version="1.0"?><r/>`,
+		`<!DOCTYPE r><r/>`,
+		`<r><a><b><c/></b></a></r>`,
+		`<r><!-- c --><![CDATA[<raw>]]><?pi data?></r>`,
+		`<ns:r xmlns:ns="u"><ns:c ns:a='v'/></ns:r>`,
+		`<r>mixed <b>bold</b> tail</r>`,
+	},
+	"MiniC": {
+		`int x;`,
+		`int xs[4]; char *s = "hi";`,
+		`void f(void) { ; }`,
+		`int max(int a, int b) { if (a > b) return a; return b; }`,
+		`int sum(int n) { int s = 0; int i; for (i = 0; i < n; i = i + 1) s = s + i; return s; }`,
+		`int w(int n) { while (n) { n = n - 1; if (n == 3) continue; if (!n) break; } return n; }`,
+		`int p(int *a) { return *a + a[1] * 2 % 3 - 4 / 5; }`,
+		`int logic(int a, int b) { return a && b || !a && b != a; }`,
+	},
+}
+
+func TestGoldenCorpora(t *testing.T) {
+	langs := append(All(), MiniC())
+	for _, l := range langs {
+		docs := corpus[l.Name]
+		if len(docs) == 0 {
+			t.Fatalf("no corpus for %s", l.Name)
+		}
+		cm, err := l.Compile(compile.OptAll)
+		if err != nil {
+			t.Fatalf("%s: %v", l.Name, err)
+		}
+		lx, err := l.Lexer()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, doc := range docs {
+			out, err := l.Parse(cm, []byte(doc), core.ExecOptions{CollectReports: true})
+			if err != nil {
+				t.Errorf("%s doc %d: %v\n%s", l.Name, i, err, doc)
+				continue
+			}
+			if !out.Accepted {
+				t.Errorf("%s doc %d rejected after %d tokens:\n%s", l.Name, i, out.Result.Consumed, doc)
+				continue
+			}
+			toks, _, err := lx.Tokenize([]byte(doc))
+			if err != nil {
+				t.Fatal(err)
+			}
+			syms, err := l.Syms(toks)
+			if err != nil {
+				t.Fatal(err)
+			}
+			oracle := cm.Table.Parse(syms)
+			got := compile.Reductions(out.Result)
+			if !oracle.Accepted || len(got) != len(oracle.Reductions) {
+				t.Errorf("%s doc %d: oracle disagreement", l.Name, i)
+			}
+		}
+	}
+}
+
+// Every corpus document also round-trips through the streaming parser at
+// an adversarial chunk size.
+func TestGoldenCorporaConsistentAcrossOptLevels(t *testing.T) {
+	langs := append(All(), MiniC())
+	for _, l := range langs {
+		var machines []*compile.Compiled
+		for _, opts := range []compile.Options{compile.OptNone, compile.OptEpsilonOnly, compile.OptAll} {
+			cm, err := l.Compile(opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			machines = append(machines, cm)
+		}
+		for i, doc := range corpus[l.Name] {
+			var first bool
+			for mi, cm := range machines {
+				out, err := l.Parse(cm, []byte(doc), core.ExecOptions{})
+				if err != nil {
+					t.Fatalf("%s doc %d machine %d: %v", l.Name, i, mi, err)
+				}
+				if mi == 0 {
+					first = out.Accepted
+				} else if out.Accepted != first {
+					t.Errorf("%s doc %d: optimization changed acceptance", l.Name, i)
+				}
+			}
+			if !first {
+				t.Errorf("%s doc %d rejected", l.Name, i)
+			}
+		}
+	}
+}

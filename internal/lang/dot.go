@@ -1,0 +1,91 @@
+package lang
+
+import (
+	"aspen/internal/grammar"
+	"aspen/internal/lexer"
+)
+
+// DOT returns the GraphViz DOT graph-description language (paper
+// Table III: 22 token types, 53 grammar productions).
+func DOT() *Language {
+	g := grammar.MustParse(`
+%name DOT
+%token STRICT GRAPH DIGRAPH NODE EDGE SUBGRAPH
+%token ID STRING NUMBER HTML
+%token LBRACE RBRACE LBRACKET RBRACKET
+%token SEMI COMMA COLON EQ ARROW DASHDASH
+%start Top
+
+Top        : StrictOpt GraphType IdOpt Block ;
+StrictOpt  : STRICT | %empty ;
+GraphType  : GRAPH | DIGRAPH ;
+IdOpt      : Id | %empty ;
+Id         : ID | STRING | NUMBER | HTML ;
+Block      : LBRACE StmtList RBRACE ;
+StmtList   : StmtList Stmt SemiOpt | %empty ;
+SemiOpt    : SEMI | %empty ;
+Stmt       : NodeStmt | EdgeStmt | AttrStmt | Assign | Subgraph ;
+Assign     : Id EQ Id ;
+AttrStmt   : GRAPH AttrList | NODE AttrList | EDGE AttrList ;
+AttrListOpt: AttrList | %empty ;
+AttrList   : AttrList Bracket | Bracket ;
+Bracket    : LBRACKET RBRACKET | LBRACKET AList RBRACKET ;
+AList      : Assign | AList Assign | AList COMMA Assign | AList SEMI Assign ;
+NodeStmt   : NodeId AttrListOpt ;
+NodeId     : Id | Id Port ;
+Port       : COLON Id | COLON Id COLON Id ;
+EdgeStmt   : EndPoint EdgeRHS AttrListOpt ;
+EndPoint   : NodeId | Subgraph ;
+EdgeRHS    : EdgeOp EndPoint | EdgeRHS EdgeOp EndPoint ;
+EdgeOp     : ARROW | DASHDASH ;
+Subgraph   : SUBGRAPH IdOpt Block | Block ;
+`)
+	spec := lexer.Spec{
+		Name: "dot",
+		Rules: []lexer.Rule{
+			{Name: "STRICT", Pattern: `strict`},
+			{Name: "GRAPH", Pattern: `graph`},
+			{Name: "DIGRAPH", Pattern: `digraph`},
+			{Name: "NODE", Pattern: `node`},
+			{Name: "EDGE", Pattern: `edge`},
+			{Name: "SUBGRAPH", Pattern: `subgraph`},
+			{Name: "ID", Pattern: `[A-Za-z_][A-Za-z0-9_]*`},
+			{Name: "NUMBER", Pattern: `-?(\.\d+|\d+(\.\d*)?)`},
+			{Name: "STRING", Pattern: `"([^"\\]|\\.)*"`},
+			{Name: "HTML", Pattern: `<[^<>]*>`},
+			{Name: "LBRACE", Pattern: `\{`},
+			{Name: "RBRACE", Pattern: `\}`},
+			{Name: "LBRACKET", Pattern: `\[`},
+			{Name: "RBRACKET", Pattern: `\]`},
+			{Name: "SEMI", Pattern: `;`},
+			{Name: "COMMA", Pattern: `,`},
+			{Name: "COLON", Pattern: `:`},
+			{Name: "EQ", Pattern: `=`},
+			{Name: "ARROW", Pattern: `->`},
+			{Name: "DASHDASH", Pattern: `--`},
+			{Name: "LINECOMMENT", Pattern: `//[^\n]*`, Skip: true},
+			{Name: "HASHCOMMENT", Pattern: `#[^\n]*`, Skip: true},
+			{Name: "BLOCKCOMMENT", Pattern: `/\*([^*]|\*+[^*/])*\*+/`, Skip: true},
+			{Name: "WS", Pattern: `[ \t\r\n]+`, Skip: true},
+		},
+	}
+	return &Language{Name: "DOT", Grammar: g, LexSpec: spec}
+}
+
+// DOTSample is a small graph exercising the DOT constructs.
+const DOTSample = `// pipeline graph
+strict digraph pipeline {
+  rankdir = LR;
+  node [shape=box, style="rounded"];
+  edge [color=gray50]
+  lexer -> parser -> "report buffer";
+  parser -> stack:top:n [label=<push>, weight=2];
+  subgraph cluster_llc {
+    label = "LLC slice";
+    bank0; bank1
+    bank0 -> bank1 [style=dashed];
+  }
+  { bank0 bank1 } -> cbox;
+  cbox -> parser;
+  score = 4.5;
+}`

@@ -1,0 +1,61 @@
+package lang
+
+import (
+	"sync"
+	"testing"
+
+	"aspen/internal/compile"
+	"aspen/internal/core"
+	"aspen/internal/swparse"
+)
+
+// Native fuzz target: the full ASPEN XML pipeline (lexer → hDPDA) must
+// never panic and must stay consistent with the software validator — if
+// the pipeline accepts a document, the Xerces-like parser must accept it
+// too (modulo the lexer's whitespace skipping, which never turns an
+// invalid document valid). Run `go test -fuzz=FuzzXMLPipeline` to
+// explore; seeds run on plain `go test`.
+
+var xmlPipelineOnce struct {
+	sync.Once
+	l  *Language
+	cm *compile.Compiled
+}
+
+func xmlPipeline(t testing.TB) (*Language, *compile.Compiled) {
+	xmlPipelineOnce.Do(func() {
+		xmlPipelineOnce.l = XML()
+		cm, err := xmlPipelineOnce.l.Compile(compile.OptAll)
+		if err != nil {
+			t.Fatal(err)
+		}
+		xmlPipelineOnce.cm = cm
+	})
+	return xmlPipelineOnce.l, xmlPipelineOnce.cm
+}
+
+func FuzzXMLPipeline(f *testing.F) {
+	seeds := []string{
+		XMLSample,
+		`<a x="1">t<b/></a>`,
+		`<?xml version="1.0"?><r/>`,
+		`<r><![CDATA[x]]><!-- c --><?p i?></r>`,
+		`<a></b>`, `<a`, ``, `x<y>`, `<a b='1' b="2"/>`,
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, doc []byte) {
+		l, cm := xmlPipeline(t)
+		out, err := l.Parse(cm, doc, core.ExecOptions{})
+		if err != nil || !out.Accepted {
+			return // rejection is always safe
+		}
+		// The pipeline accepted: the non-validating software parser must
+		// agree (it checks strictly less than the grammar does, apart
+		// from its stricter name syntax, which the lexer shares).
+		if _, _, serr := swparse.ExpatLike(doc); serr != nil {
+			t.Fatalf("ASPEN accepted, Expat-like rejected %q: %v", doc, serr)
+		}
+	})
+}

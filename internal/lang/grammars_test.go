@@ -1,0 +1,45 @@
+package lang
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"aspen/internal/grammar"
+)
+
+// The shipped grammars/*.g files (written with Grammar.Print) must stay
+// in sync with the in-code definitions: same token counts, productions,
+// and start symbols.
+func TestShippedGrammarFilesInSync(t *testing.T) {
+	langs := append(All(), MiniC())
+	for _, l := range langs {
+		path := filepath.Join("..", "..", "grammars", l.Name+".g")
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatalf("%s: %v (regenerate with Grammar.Print)", path, err)
+		}
+		g, err := grammar.Parse(string(data))
+		if err != nil {
+			t.Fatalf("%s: %v", path, err)
+		}
+		if g.NumTokenTypes() != l.Grammar.NumTokenTypes() {
+			t.Errorf("%s: %d tokens, in-code %d", path, g.NumTokenTypes(), l.Grammar.NumTokenTypes())
+		}
+		if len(g.Productions) != len(l.Grammar.Productions) {
+			t.Errorf("%s: %d productions, in-code %d", path, len(g.Productions), len(l.Grammar.Productions))
+		}
+		if g.SymName(g.Start) != l.Grammar.SymName(l.Grammar.Start) {
+			t.Errorf("%s: start %q, in-code %q", path, g.SymName(g.Start), l.Grammar.SymName(l.Grammar.Start))
+		}
+		for i := range g.Productions {
+			if !grammar.ProductionsEqual(g, l.Grammar, i) {
+				t.Errorf("%s: production %d differs", path, i)
+			}
+		}
+		// The file content is exactly what Print emits today.
+		if string(data) != l.Grammar.Print() {
+			t.Errorf("%s: stale — regenerate with Grammar.Print", path)
+		}
+	}
+}

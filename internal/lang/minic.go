@@ -1,0 +1,150 @@
+package lang
+
+import (
+	"aspen/internal/grammar"
+	"aspen/internal/lexer"
+)
+
+// MiniC returns a C-subset language. It is not part of the paper's
+// Table III benchmark set (All() returns only those four); it exists to
+// substantiate the paper's claim that the LR(1) class "supports parsing
+// common languages such as XML, JSON, and ANSI C" (§III-B): the
+// expression grammar mirrors the ANSI C yacc grammar's shape
+// (assignment via unary-expression left sides), and the dangling-else
+// ambiguity is resolved in favor of shift, binding each else to the
+// nearest if exactly as C requires.
+func MiniC() *Language {
+	g := grammar.MustParse(`
+%name MiniC
+%token INT CHAR VOID IF ELSE WHILE FOR RETURN BREAK CONTINUE
+%token ID NUM STR
+%token LPAREN RPAREN LBRACE RBRACE LBRACKET RBRACKET SEMI COMMA
+%token ASSIGN PLUS MINUS STAR SLASH PERCENT
+%token LT GT LE GE EQEQ NEQ ANDAND OROR NOT AMP
+%start Program
+
+Program  : DeclList ;
+DeclList : DeclList Decl | Decl ;
+Decl     : VarDecl | FuncDecl ;
+Type     : INT | CHAR | VOID | Type STAR ;
+VarDecl  : Type ID SEMI
+         | Type ID LBRACKET NUM RBRACKET SEMI
+         | Type ID ASSIGN AssignE SEMI ;
+FuncDecl : Type ID LPAREN Params RPAREN Block ;
+Params   : ParamList | VOID | %empty ;
+ParamList: Param | ParamList COMMA Param ;
+Param    : Type ID ;
+Block    : LBRACE StmtList RBRACE ;
+StmtList : StmtList Stmt | %empty ;
+Stmt     : SEMI
+         | Expr SEMI
+         | Block
+         | IfStmt
+         | WHILE LPAREN Expr RPAREN Stmt
+         | FOR LPAREN ExprOpt SEMI ExprOpt SEMI ExprOpt RPAREN Stmt
+         | RETURN ExprOpt SEMI
+         | BREAK SEMI
+         | CONTINUE SEMI
+         | VarDecl ;
+IfStmt   : IF LPAREN Expr RPAREN Stmt
+         | IF LPAREN Expr RPAREN Stmt ELSE Stmt ;
+ExprOpt  : Expr | %empty ;
+Expr     : AssignE ;
+AssignE  : OrE | UnaryE ASSIGN AssignE ;
+OrE      : OrE OROR AndE | AndE ;
+AndE     : AndE ANDAND EqE | EqE ;
+EqE      : EqE EQEQ RelE | EqE NEQ RelE | RelE ;
+RelE     : RelE LT AddE | RelE GT AddE | RelE LE AddE | RelE GE AddE | AddE ;
+AddE     : AddE PLUS MulE | AddE MINUS MulE | MulE ;
+MulE     : MulE STAR UnaryE | MulE SLASH UnaryE | MulE PERCENT UnaryE | UnaryE ;
+UnaryE   : MINUS UnaryE | NOT UnaryE | STAR UnaryE | AMP UnaryE | Postfix ;
+Postfix  : Postfix LPAREN Args RPAREN | Postfix LBRACKET Expr RBRACKET | Primary ;
+Primary  : ID | NUM | STR | LPAREN Expr RPAREN ;
+Args     : ArgList | %empty ;
+ArgList  : AssignE | ArgList COMMA AssignE ;
+`)
+	spec := lexer.Spec{
+		Name: "minic",
+		Rules: []lexer.Rule{
+			{Name: "INT", Pattern: `int`},
+			{Name: "CHAR", Pattern: `char`},
+			{Name: "VOID", Pattern: `void`},
+			{Name: "IF", Pattern: `if`},
+			{Name: "ELSE", Pattern: `else`},
+			{Name: "WHILE", Pattern: `while`},
+			{Name: "FOR", Pattern: `for`},
+			{Name: "RETURN", Pattern: `return`},
+			{Name: "BREAK", Pattern: `break`},
+			{Name: "CONTINUE", Pattern: `continue`},
+			{Name: "ID", Pattern: `[A-Za-z_][A-Za-z0-9_]*`},
+			{Name: "NUM", Pattern: `\d+|0[xX][0-9a-fA-F]+`},
+			{Name: "STR", Pattern: `"([^"\\\n]|\\.)*"|'([^'\\\n]|\\.)'`},
+			{Name: "LPAREN", Pattern: `\(`},
+			{Name: "RPAREN", Pattern: `\)`},
+			{Name: "LBRACE", Pattern: `\{`},
+			{Name: "RBRACE", Pattern: `\}`},
+			{Name: "LBRACKET", Pattern: `\[`},
+			{Name: "RBRACKET", Pattern: `\]`},
+			{Name: "SEMI", Pattern: `;`},
+			{Name: "COMMA", Pattern: `,`},
+			{Name: "ASSIGN", Pattern: `=`},
+			{Name: "PLUS", Pattern: `\+`},
+			{Name: "MINUS", Pattern: `-`},
+			{Name: "STAR", Pattern: `\*`},
+			{Name: "SLASH", Pattern: `/`},
+			{Name: "PERCENT", Pattern: `%`},
+			{Name: "LT", Pattern: `<`},
+			{Name: "GT", Pattern: `>`},
+			{Name: "LE", Pattern: `<=`},
+			{Name: "GE", Pattern: `>=`},
+			{Name: "EQEQ", Pattern: `==`},
+			{Name: "NEQ", Pattern: `!=`},
+			{Name: "ANDAND", Pattern: `&&`},
+			{Name: "OROR", Pattern: `\|\|`},
+			{Name: "NOT", Pattern: `!`},
+			{Name: "AMP", Pattern: `&`},
+			{Name: "LINECOMMENT", Pattern: `//[^\n]*`, Skip: true},
+			{Name: "BLOCKCOMMENT", Pattern: `/\*([^*]|\*+[^*/])*\*+/`, Skip: true},
+			{Name: "WS", Pattern: `[ \t\r\n]+`, Skip: true},
+		},
+	}
+	return &Language{Name: "MiniC", Grammar: g, LexSpec: spec, ResolveShiftReduce: true}
+}
+
+// MiniCSample exercises declarations, pointers, arrays, control flow,
+// the dangling else, and the full expression precedence ladder.
+const MiniCSample = `/* bank scheduler */
+int banks;
+int load[256];
+char *names;
+
+int pick(int want, int *out) {
+    int best = 0 - 1;
+    int i;
+    for (i = 0; i < banks; i = i + 1) {
+        if (load[i] < want && !(i % 2))
+            if (best < 0)
+                best = i;
+            else
+                best = best;   // dangling else binds here
+        while (load[i] > 255) {
+            load[i] = load[i] - 256;
+            continue;
+        }
+    }
+    *out = best;
+    if (best >= 0 && load[best] <= want || best == 0)
+        return 1;
+    return 0;
+}
+
+void main(void) {
+    int got;
+    int ok = pick(16 * 2 + 1, &got);
+    char c = 'x';
+    names = "aspen";
+    if (!ok)
+        got = 0;
+    ;
+}
+`

@@ -1,0 +1,131 @@
+package lang
+
+import (
+	"testing"
+
+	"aspen/internal/compile"
+	"aspen/internal/core"
+)
+
+func TestMiniCCompiles(t *testing.T) {
+	l := MiniC()
+	cm, err := l.Compile(compile.OptAll)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("MiniC: %d tokens, %d productions, %d LR states, %d hDPDA states (%d ε)",
+		cm.Stats.TokenTypes, cm.Stats.Productions, cm.Stats.ParsingStates,
+		cm.Stats.States, cm.Stats.EpsStates)
+	if cm.Stats.TokenTypes != 37 {
+		t.Errorf("token types = %d, want 37", cm.Stats.TokenTypes)
+	}
+	// Only the dangling-else family of conflicts may be resolved.
+	if len(cm.Table.Resolved) == 0 {
+		t.Error("expected the dangling-else shift/reduce resolution")
+	}
+	for _, c := range cm.Table.Resolved {
+		if cm.Grammar.SymName(c.Terminal) != "ELSE" {
+			t.Errorf("unexpected resolved conflict on %q", cm.Grammar.SymName(c.Terminal))
+		}
+	}
+}
+
+func TestMiniCSampleParses(t *testing.T) {
+	l := MiniC()
+	cm, err := l.Compile(compile.OptAll)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := l.Parse(cm, []byte(MiniCSample), core.ExecOptions{CollectReports: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.Accepted {
+		t.Fatalf("sample rejected after %d tokens", out.Result.Consumed)
+	}
+	// Reductions equal the oracle.
+	lx, _ := l.Lexer()
+	toks, _, err := lx.Tokenize([]byte(MiniCSample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	syms, _ := l.Syms(toks)
+	oracle := cm.Table.Parse(syms)
+	if !oracle.Accepted || len(oracle.Reductions) != len(compile.Reductions(out.Result)) {
+		t.Fatal("oracle disagreement")
+	}
+}
+
+func TestMiniCPrograms(t *testing.T) {
+	l := MiniC()
+	cm, err := l.Compile(compile.OptAll)
+	if err != nil {
+		t.Fatal(err)
+	}
+	good := []string{
+		`int x;`,
+		`int main(void) { return 0; }`,
+		`void f(int a, char *b) { ; }`,
+		`int g() { if (1) return 1; else return 2; }`,
+		`int h() { for (;;) break; return 0; }`,
+		`int i; int j = i = 3;`, // chained assignment via unary left sides
+		`int k() { return f(1, 2)[3] + *p && !q; }`,
+		`char **pp;`,
+		`int a[10];`,
+	}
+	for _, src := range good {
+		out, err := l.Parse(cm, []byte(src), core.ExecOptions{})
+		if err != nil || !out.Accepted {
+			t.Errorf("program rejected: %q (%v)", src, err)
+		}
+	}
+	bad := []string{
+		`int;`,
+		`int x`,
+		`int f( { }`,
+		`int f() { if }`,
+		`int f() { return; } }`,
+		`x = 1;`, // expression at top level
+		`int f() { 1 + ; }`,
+		`int f() { for (;;;;) ; }`,
+	}
+	for _, src := range bad {
+		out, err := l.Parse(cm, []byte(src), core.ExecOptions{})
+		if err == nil && out.Accepted {
+			t.Errorf("bad program accepted: %q", src)
+		}
+	}
+}
+
+// The dangling else must associate with the nearest if (shift
+// resolution): "if(a) if(b) s1 else s2" parses as if(a){ if(b) s1 else
+// s2 }, i.e. the outer IfStmt uses the no-else production.
+func TestMiniCDanglingElse(t *testing.T) {
+	l := MiniC()
+	cm, err := l.Compile(compile.OptAll)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := `int f() { if (1) if (2) x = 1; else x = 2; return 0; }`
+	out, err := l.Parse(cm, []byte(src), core.ExecOptions{CollectReports: true})
+	if err != nil || !out.Accepted {
+		t.Fatalf("rejected: %v", err)
+	}
+	// Count if-with-else vs if-without-else reductions.
+	g := cm.Grammar
+	withElse, withoutElse := 0, 0
+	for _, code := range compile.Reductions(out.Result) {
+		p := g.Productions[code]
+		if g.SymName(p.Lhs) != "IfStmt" {
+			continue
+		}
+		if len(p.Rhs) == 7 { // IF ( E ) S ELSE S
+			withElse++
+		} else {
+			withoutElse++
+		}
+	}
+	if withElse != 1 || withoutElse != 1 {
+		t.Errorf("if reductions: %d with else, %d without; want 1/1 (else binds inner)", withElse, withoutElse)
+	}
+}

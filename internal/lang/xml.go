@@ -1,0 +1,81 @@
+package lang
+
+import (
+	"aspen/internal/grammar"
+	"aspen/internal/lexer"
+)
+
+// XML returns the XML data-interchange language (paper Table III: 13
+// token types, 31 grammar productions). The lexer is modal — markup
+// tokens are recognized inside tags, character data outside — which maps
+// onto ASPEN's reporting-mask register (§IV-D).
+func XML() *Language {
+	g := grammar.MustParse(`
+%name XML
+%token XMLDECL DOCTYPE COMMENT CDATA PI
+%token LT GT LTSLASH SLASHGT NAME EQ STRING TEXT
+%start Document
+
+Document   : Prolog Element MiscList ;
+Prolog     : XMLDECL MiscList DoctypeOpt | MiscList DoctypeOpt ;
+DoctypeOpt : DOCTYPE MiscList | %empty ;
+MiscList   : MiscList Misc | %empty ;
+Misc       : COMMENT | PI ;
+Element    : EmptyElem | STag Content ETag ;
+EmptyElem  : LT NAME Attrs SLASHGT ;
+STag       : LT NAME Attrs GT ;
+ETag       : LTSLASH NAME GT ;
+Attrs      : Attrs Attr | %empty ;
+Attr       : NAME EQ STRING ;
+Content    : Content Item | %empty ;
+Item       : Element | TEXT | COMMENT | CDATA | PI ;
+`)
+	// Name characters per the XML spec (ASCII subset).
+	const nameRE = `[A-Za-z_:][A-Za-z0-9._:-]*`
+	spec := lexer.Spec{
+		Name: "xml",
+		Rules: []lexer.Rule{
+			// Content mode: markup openers and character data.
+			{Name: "XMLDECL", Pattern: `<\?xml([^?]|\?+[^?>])*\?+>`},
+			{Name: "PI", Pattern: `<\?([^?]|\?+[^?>])*\?+>`},
+			{Name: "DOCTYPE", Pattern: `<!DOCTYPE[^>]*>`},
+			{Name: "COMMENT", Pattern: `<!--([^-]|-[^-])*-->`},
+			{Name: "CDATA", Pattern: `<!\[CDATA\[([^\]]|\]+[^\]>])*\]+\]>`},
+			{Name: "LTSLASH", Pattern: `</`, SetMode: "tag"},
+			{Name: "LT", Pattern: `<`, SetMode: "tag"},
+			// Whitespace-only runs between markup are ignorable; a run
+			// containing any character data is a longer TEXT match and
+			// wins the longest-match race.
+			{Name: "WS", Pattern: `[ \t\r\n]+`, Skip: true},
+			{Name: "TEXT", Pattern: `[^<]+`},
+			// Tag mode: names, attributes, closers.
+			{Name: "NAME", Pattern: nameRE, Mode: "tag"},
+			{Name: "EQ", Pattern: `=`, Mode: "tag"},
+			{Name: "STRING", Pattern: `"[^"]*"|'[^']*'`, Mode: "tag"},
+			{Name: "SLASHGT", Pattern: `/>`, Mode: "tag", SetMode: lexer.DefaultMode},
+			{Name: "GT", Pattern: `>`, Mode: "tag", SetMode: lexer.DefaultMode},
+			{Name: "TAGWS", Pattern: `[ \t\r\n]+`, Mode: "tag", Skip: true},
+		},
+	}
+	return &Language{Name: "XML", Grammar: g, LexSpec: spec}
+}
+
+// XMLSample is a small well-formed document exercising every XML
+// construct in the grammar.
+const XMLSample = `<?xml version="1.0" encoding="UTF-8"?>
+<!-- catalog example -->
+<!DOCTYPE catalog>
+<catalog xmlns="urn:demo" count="2">
+  <book id="bk101" lang='en'>
+    <title>The SRAM Automaton</title>
+    <price currency="USD">42.00</price>
+    <tags><tag/><tag/></tags>
+    <blurb><![CDATA[Pushdown <automata> in cache!]]></blurb>
+  </book>
+  <?page render fast?>
+  <book id="bk102">
+    <title>Parsing at 850 MHz</title>
+    <empty/>
+  </book>
+</catalog>
+<!-- trailing comment -->`

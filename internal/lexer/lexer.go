@@ -1,0 +1,263 @@
+// Package lexer implements ASPEN's lexical-analysis model (paper §IV-D):
+// tokens are recognized by homogeneous NFAs (the Cache Automaton
+// substrate), the longest match is identified by running the NFA until
+// state exhaustion (Active State Vector goes to zero) while a report
+// register tracks the most recent accepting report, and a reporting mask
+// selects which rules are live in the current lexer mode. Each emitted
+// report is converted to a token and handed to the DPDA input buffer in
+// two cycles.
+package lexer
+
+import (
+	"fmt"
+	"sort"
+
+	"aspen/internal/core"
+	"aspen/internal/nfa"
+)
+
+// DefaultMode is the mode rules belong to when none is given.
+const DefaultMode = "main"
+
+// Rule describes one token rule.
+type Rule struct {
+	// Name is the token name (typically a grammar terminal).
+	Name string
+	// Pattern is the regular expression (package nfa dialect).
+	Pattern string
+	// Skip drops matches (whitespace, comments) instead of emitting
+	// tokens.
+	Skip bool
+	// Mode is the lexer mode in which the rule is active (DefaultMode if
+	// empty). This models the hardware's reporting-mask register.
+	Mode string
+	// SetMode, when non-empty, switches the lexer to this mode after the
+	// rule matches.
+	SetMode string
+}
+
+// Spec is a complete tokenizer description. Earlier rules win ties
+// (keyword-over-identifier priority).
+type Spec struct {
+	Name  string
+	Rules []Rule
+}
+
+// Token is one lexed token.
+type Token struct {
+	// Rule is the index into Spec.Rules.
+	Rule int
+	// Name is the rule's token name.
+	Name string
+	// Start and End delimit the lexeme as byte offsets [Start, End).
+	Start, End int
+}
+
+// Stats model the lexer's cycle behaviour on ASPEN.
+type Stats struct {
+	// Bytes is the input length.
+	Bytes int
+	// Tokens is the number of tokens emitted (including skipped
+	// lexemes).
+	Tokens int
+	// ScanCycles counts NFA symbol cycles, including the lookahead
+	// bytes re-scanned after each longest-match backtrack.
+	ScanCycles int
+	// HandoffCycles counts report-to-token conversion cycles (2 per
+	// emitted report, §V-A).
+	HandoffCycles int
+}
+
+// Error is a lexing failure at a position.
+type Error struct {
+	Spec string
+	Pos  int
+	Byte byte
+	Mode string
+}
+
+func (e *Error) Error() string {
+	return fmt.Sprintf("lexer %s: no rule matches at offset %d (byte %q, mode %s)", e.Spec, e.Pos, e.Byte, e.Mode)
+}
+
+// modeNFA is the compiled automaton of one mode: rule indices are mapped
+// to per-mode report codes.
+type modeNFA struct {
+	n     *nfa.NFA
+	dfa   *nfa.DFA // fast path, built by Optimize
+	rules []int    // report code → rule index
+}
+
+// stepper abstracts the NFA active-set run and the determinized run.
+type stepper interface {
+	Step(sym core.Symbol) (alive bool, report int32)
+}
+
+// newRun returns the fastest available runner for the mode.
+func (mn *modeNFA) newRun() stepper {
+	if mn.dfa != nil {
+		return mn.dfa.NewRun()
+	}
+	return mn.n.NewRun()
+}
+
+// Lexer is a compiled tokenizer.
+type Lexer struct {
+	spec  Spec
+	modes map[string]*modeNFA
+}
+
+// New compiles a spec. All patterns must be non-nullable (a rule matching
+// the empty string could never advance the input).
+func New(spec Spec) (*Lexer, error) {
+	byMode := map[string][]int{}
+	for i, r := range spec.Rules {
+		mode := r.Mode
+		if mode == "" {
+			mode = DefaultMode
+		}
+		byMode[mode] = append(byMode[mode], i)
+	}
+	if len(byMode[DefaultMode]) == 0 {
+		return nil, fmt.Errorf("lexer %s: no rules in mode %q", spec.Name, DefaultMode)
+	}
+	// Mode switch targets must exist.
+	for _, r := range spec.Rules {
+		if r.SetMode != "" && len(byMode[r.SetMode]) == 0 {
+			return nil, fmt.Errorf("lexer %s: rule %q switches to undefined mode %q", spec.Name, r.Name, r.SetMode)
+		}
+	}
+	l := &Lexer{spec: spec, modes: map[string]*modeNFA{}}
+	modes := make([]string, 0, len(byMode))
+	for m := range byMode {
+		modes = append(modes, m)
+	}
+	sort.Strings(modes)
+	for _, m := range modes {
+		idxs := byMode[m]
+		pats := make([]string, len(idxs))
+		for j, i := range idxs {
+			pats[j] = spec.Rules[i].Pattern
+		}
+		n, err := nfa.CompilePatterns(spec.Name+":"+m, pats)
+		if err != nil {
+			return nil, fmt.Errorf("lexer %s mode %s: %w", spec.Name, m, err)
+		}
+		if n.AcceptEmpty {
+			return nil, fmt.Errorf("lexer %s mode %s: rule %q matches the empty string",
+				spec.Name, m, spec.Rules[idxs[n.EmptyReport]].Name)
+		}
+		l.modes[m] = &modeNFA{n: n, rules: idxs}
+	}
+	return l, nil
+}
+
+// NumModes returns the number of lexer modes.
+func (l *Lexer) NumModes() int { return len(l.modes) }
+
+// Optimize determinizes each mode's NFA (subset construction) so
+// software scanning costs one table lookup per byte. Tokenization
+// behaviour is unchanged — the DFA preserves report codes and rule
+// priority — and the hardware model is unaffected (ASPEN runs the NFA
+// natively). Safe to call more than once.
+func (l *Lexer) Optimize() error {
+	for name, mn := range l.modes {
+		if mn.dfa != nil {
+			continue
+		}
+		d, err := mn.n.Determinize()
+		if err != nil {
+			return fmt.Errorf("lexer %s mode %s: %w", l.spec.Name, name, err)
+		}
+		mn.dfa = d
+	}
+	return nil
+}
+
+// Tokenize scans input to completion, returning the non-skip tokens and
+// cycle statistics.
+func (l *Lexer) Tokenize(input []byte) ([]Token, Stats, error) {
+	toks, stats, _, err := l.TokenizeResume(input, DefaultMode)
+	return toks, stats, err
+}
+
+// TokenizeResume scans input starting in the given mode and additionally
+// returns the mode in effect after the final token — the state a
+// streaming caller must carry across chunk boundaries.
+func (l *Lexer) TokenizeResume(input []byte, mode string) ([]Token, Stats, string, error) {
+	toks, _, mode, stats, err := l.scan(input, mode, false)
+	return toks, stats, mode, err
+}
+
+// TokenizeChunk scans input as a *prefix of a longer stream*: it stops
+// before the final lexeme whenever that lexeme touches the end of the
+// chunk with live NFA states (more data could extend the match, so the
+// longest-match decision is not yet safe). It returns the completed
+// tokens, the number of bytes definitely consumed, and the mode at the
+// consumption point; the caller re-presents input[consumed:] prefixed to
+// the next chunk.
+func (l *Lexer) TokenizeChunk(input []byte, mode string) (toks []Token, consumed int, endMode string, stats Stats, err error) {
+	return l.scan(input, mode, true)
+}
+
+// scan is the shared tokenization loop.
+func (l *Lexer) scan(input []byte, mode string, streaming bool) (toks []Token, consumed int, endMode string, stats Stats, err error) {
+	stats = Stats{Bytes: len(input)}
+	if _, ok := l.modes[mode]; !ok {
+		return nil, 0, mode, stats, fmt.Errorf("lexer %s: unknown mode %q", l.spec.Name, mode)
+	}
+	pos := 0
+	for pos < len(input) {
+		mn := l.modes[mode]
+		run := mn.newRun()
+		best, bestRule := -1, -1
+		alive := false
+		i := pos
+		for i < len(input) {
+			var rep int32
+			alive, rep = run.Step(core.Symbol(input[i]))
+			i++
+			if rep >= 0 {
+				best, bestRule = i, mn.rules[rep]
+			}
+			if !alive {
+				break
+			}
+		}
+		stats.ScanCycles += i - pos
+		if streaming && alive {
+			// The lexeme reaches the chunk boundary with live states:
+			// the longest-match decision must wait for more input.
+			return toks, pos, mode, stats, nil
+		}
+		if best < 0 {
+			return toks, pos, mode, stats, &Error{Spec: l.spec.Name, Pos: pos, Byte: input[pos], Mode: mode}
+		}
+		rule := &l.spec.Rules[bestRule]
+		stats.Tokens++
+		if !rule.Skip {
+			toks = append(toks, Token{Rule: bestRule, Name: rule.Name, Start: pos, End: best})
+			stats.HandoffCycles += 2
+		}
+		if rule.SetMode != "" {
+			mode = rule.SetMode
+		}
+		pos = best
+	}
+	return toks, pos, mode, stats, nil
+}
+
+// ModeAfter returns the mode in effect after applying rule's transition
+// to the given mode.
+func (l *Lexer) ModeAfter(mode string, rule int) string {
+	if rule < 0 || rule >= len(l.spec.Rules) {
+		return mode
+	}
+	if sm := l.spec.Rules[rule].SetMode; sm != "" {
+		return sm
+	}
+	return mode
+}
+
+// Text returns the lexeme of t within input.
+func (t Token) Text(input []byte) string { return string(input[t.Start:t.End]) }

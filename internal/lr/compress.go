@@ -1,0 +1,102 @@
+package lr
+
+import (
+	"aspen/internal/grammar"
+)
+
+// Table compression (cf. the parser-table compaction literature the
+// paper's related work cites): LALR ACTION rows are sparse — most cells
+// are errors — and after merging, many states share identical rows.
+// CompressedTable stores each row sparsely and deduplicates identical
+// rows, losslessly. It measures how much memory a table-driven software
+// implementation needs next to ASPEN's state-per-column encoding.
+type CompressedTable struct {
+	// RowOf maps each state to its deduplicated ACTION row.
+	RowOf []int
+	// Rows are the unique sparse rows: explicit (terminal, action)
+	// pairs sorted by terminal; absent terminals are errors.
+	Rows [][]ActionEntry
+
+	// RawCells is the dense footprint (states × terminals);
+	// CompressedCells is the stored footprint.
+	RawCells        int
+	CompressedCells int
+}
+
+// ActionEntry is one explicit cell in a sparse row.
+type ActionEntry struct {
+	Terminal grammar.Sym
+	Act      Action
+}
+
+// Compress builds the deduplicated sparse representation.
+func (t *Table) Compress() *CompressedTable {
+	c := &CompressedTable{RowOf: make([]int, t.NumStates())}
+	index := map[string]int{}
+	numTerms := t.G.NumTokenTypes() + 1 // + endmarker
+
+	for s := 0; s < t.NumStates(); s++ {
+		c.RawCells += numTerms
+		var row []ActionEntry
+		for term, a := range t.Actions[s] {
+			row = append(row, ActionEntry{Terminal: term, Act: a})
+		}
+		sortEntries(row)
+		key := rowKey(row)
+		ri, ok := index[key]
+		if !ok {
+			ri = len(c.Rows)
+			index[key] = ri
+			c.Rows = append(c.Rows, row)
+			c.CompressedCells += len(row)
+		}
+		c.RowOf[s] = ri
+	}
+	return c
+}
+
+func sortEntries(row []ActionEntry) {
+	for i := 1; i < len(row); i++ {
+		for j := i; j > 0 && row[j].Terminal < row[j-1].Terminal; j-- {
+			row[j], row[j-1] = row[j-1], row[j]
+		}
+	}
+}
+
+func rowKey(row []ActionEntry) string {
+	buf := make([]byte, 0, len(row)*9)
+	for _, e := range row {
+		buf = append(buf, byte(e.Act.Kind),
+			byte(e.Act.Target), byte(e.Act.Target>>8), byte(e.Act.Target>>16),
+			byte(e.Terminal), byte(e.Terminal>>8), byte(e.Terminal>>16), byte(e.Terminal>>24), ';')
+	}
+	return string(buf)
+}
+
+// Lookup resolves the action for (state, terminal) from the compressed
+// form; the second result is false for error cells. Lossless with
+// respect to the original table (proved by test).
+func (c *CompressedTable) Lookup(state int, term grammar.Sym) (Action, bool) {
+	row := c.Rows[c.RowOf[state]]
+	lo, hi := 0, len(row)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		switch {
+		case row[mid].Terminal == term:
+			return row[mid].Act, true
+		case row[mid].Terminal < term:
+			lo = mid + 1
+		default:
+			hi = mid
+		}
+	}
+	return Action{}, false
+}
+
+// CompressionRatio returns raw/compressed cell counts.
+func (c *CompressedTable) CompressionRatio() float64 {
+	if c.CompressedCells == 0 {
+		return 0
+	}
+	return float64(c.RawCells) / float64(c.CompressedCells)
+}

@@ -1,0 +1,53 @@
+package lr
+
+import (
+	"testing"
+
+	"aspen/internal/grammar"
+)
+
+func TestCompressLossless(t *testing.T) {
+	grammars := []*grammar.Grammar{
+		grammar.ArithGrammar(),
+		grammar.MustParse("%token a\nL : a L | ;"),
+		grammar.MustParse(`
+%token LB RB COMMA x
+V : x | LB Items RB | LB RB ;
+Items : V | Items COMMA V ;
+`),
+	}
+	for _, g := range grammars {
+		tbl := mustBuild(t, g, Options{Mode: LALR})
+		c := tbl.Compress()
+		// Every cell agrees with the original.
+		terms := append([]grammar.Sym{grammar.EndMarker}, g.Terminals()...)
+		for s := 0; s < tbl.NumStates(); s++ {
+			for _, term := range terms {
+				want, wok := tbl.Actions[s][term]
+				got, gok := c.Lookup(s, term)
+				if wok != gok || (wok && want != got) {
+					t.Fatalf("%s state %d term %s: (%v,%v) vs (%v,%v)",
+						g.Name, s, g.SymName(term), want, wok, got, gok)
+				}
+			}
+		}
+		if c.CompressionRatio() <= 1 {
+			t.Errorf("%s: compression ratio %.2f, want > 1 (sparse rows)", g.Name, c.CompressionRatio())
+		}
+		if len(c.Rows) > tbl.NumStates() {
+			t.Errorf("%s: more unique rows than states", g.Name)
+		}
+	}
+}
+
+func TestCompressDeduplicatesRows(t *testing.T) {
+	// A grammar with many states sharing identical reduce rows.
+	g := grammar.MustParse("%token a b\nS : a S | b ;")
+	tbl := mustBuild(t, g, Options{Mode: LALR})
+	c := tbl.Compress()
+	if len(c.Rows) >= tbl.NumStates() {
+		t.Skipf("no duplicate rows in this table (%d rows, %d states)", len(c.Rows), tbl.NumStates())
+	}
+	t.Logf("states %d → unique rows %d, ratio %.2f",
+		tbl.NumStates(), len(c.Rows), c.CompressionRatio())
+}

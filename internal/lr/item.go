@@ -1,0 +1,151 @@
+// Package lr generates LR(1) parsing automata from context-free grammars
+// — the role GNU Bison and PLY play in the paper's toolchain (§III-B
+// "Parsing Automaton Generation"). It builds canonical LR(1) item sets,
+// optionally merges them to LALR(1) (Bison's default table class),
+// reports conflicts, and provides a table-driven software parser used as
+// the correctness oracle for the hDPDA compiler.
+package lr
+
+import (
+	"encoding/binary"
+	"sort"
+
+	"aspen/internal/grammar"
+)
+
+// item is an LR(1) item: a production with a dot position and one
+// lookahead terminal. prod == -1 denotes the augmented start production
+// S' → ·Start with endmarker lookahead.
+type item struct {
+	prod int32
+	dot  int32
+	la   grammar.Sym
+}
+
+// augmentedProd is the pseudo-index of S' → Start.
+const augmentedProd int32 = -1
+
+func itemLess(a, b item) bool {
+	if a.prod != b.prod {
+		return a.prod < b.prod
+	}
+	if a.dot != b.dot {
+		return a.dot < b.dot
+	}
+	return a.la < b.la
+}
+
+// itemSet is a sorted, duplicate-free set of items.
+type itemSet []item
+
+func (s itemSet) sortInPlace() {
+	sort.Slice(s, func(i, j int) bool { return itemLess(s[i], s[j]) })
+}
+
+// key serializes the set for hashing.
+func (s itemSet) key() string {
+	buf := make([]byte, 0, len(s)*12)
+	var tmp [12]byte
+	for _, it := range s {
+		binary.LittleEndian.PutUint32(tmp[0:], uint32(it.prod))
+		binary.LittleEndian.PutUint32(tmp[4:], uint32(it.dot))
+		binary.LittleEndian.PutUint32(tmp[8:], uint32(it.la))
+		buf = append(buf, tmp[:]...)
+	}
+	return string(buf)
+}
+
+// coreKey serializes only the LR(0) core (prod, dot) of the set's items,
+// used for LALR merging.
+func (s itemSet) coreKey() string {
+	type core struct{ prod, dot int32 }
+	seen := make(map[core]bool, len(s))
+	cores := make([]core, 0, len(s))
+	for _, it := range s {
+		c := core{it.prod, it.dot}
+		if !seen[c] {
+			seen[c] = true
+			cores = append(cores, c)
+		}
+	}
+	sort.Slice(cores, func(i, j int) bool {
+		if cores[i].prod != cores[j].prod {
+			return cores[i].prod < cores[j].prod
+		}
+		return cores[i].dot < cores[j].dot
+	})
+	buf := make([]byte, 0, len(cores)*8)
+	var tmp [8]byte
+	for _, c := range cores {
+		binary.LittleEndian.PutUint32(tmp[0:], uint32(c.prod))
+		binary.LittleEndian.PutUint32(tmp[4:], uint32(c.dot))
+		buf = append(buf, tmp[:]...)
+	}
+	return string(buf)
+}
+
+// builder carries the grammar and its analyses through construction.
+type builder struct {
+	g    *grammar.Grammar
+	sets *grammar.Sets
+}
+
+// rhs returns the right-hand side of production p (augmented: [Start]).
+func (b *builder) rhs(p int32) []grammar.Sym {
+	if p == augmentedProd {
+		return []grammar.Sym{b.g.Start}
+	}
+	return b.g.Productions[p].Rhs
+}
+
+// closure expands an item set: for every item A → α·Bβ / a with B a
+// nonterminal, add B → ·γ / x for every production B → γ and every
+// x ∈ FIRST(β·a).
+func (b *builder) closure(kernel itemSet) itemSet {
+	seen := make(map[item]bool, len(kernel)*4)
+	work := make([]item, 0, len(kernel)*4)
+	for _, it := range kernel {
+		if !seen[it] {
+			seen[it] = true
+			work = append(work, it)
+		}
+	}
+	for i := 0; i < len(work); i++ {
+		it := work[i]
+		r := b.rhs(it.prod)
+		if int(it.dot) >= len(r) {
+			continue
+		}
+		next := r[it.dot]
+		if b.g.IsTerminal(next) {
+			continue
+		}
+		la := b.sets.FirstOfSeq(r[it.dot+1:], it.la)
+		for _, pi := range b.g.ProductionsFor(next) {
+			for x := range la {
+				ni := item{prod: int32(pi), dot: 0, la: x}
+				if !seen[ni] {
+					seen[ni] = true
+					work = append(work, ni)
+				}
+			}
+		}
+	}
+	out := itemSet(work)
+	out.sortInPlace()
+	return out
+}
+
+// advance computes the kernel of GOTO(set, x): items with the dot before
+// x, dot moved one right.
+func (b *builder) advance(set itemSet, x grammar.Sym) itemSet {
+	var out itemSet
+	for _, it := range set {
+		r := b.rhs(it.prod)
+		if int(it.dot) < len(r) && r[it.dot] == x {
+			out = append(out, item{prod: it.prod, dot: it.dot + 1, la: it.la})
+		}
+	}
+	out.sortInPlace()
+	return out
+}

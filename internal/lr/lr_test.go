@@ -1,0 +1,240 @@
+package lr
+
+import (
+	"errors"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"aspen/internal/grammar"
+)
+
+func mustBuild(t *testing.T, g *grammar.Grammar, opts Options) *Table {
+	t.Helper()
+	tbl, err := Build(g, opts)
+	if err != nil {
+		t.Fatalf("Build(%s): %v", g.Name, err)
+	}
+	return tbl
+}
+
+func parseNames(t *testing.T, tbl *Table, names ...string) ParseResult {
+	t.Helper()
+	toks, err := TokensFromNames(tbl.G, names...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tbl.Parse(toks)
+}
+
+func TestArithLALR(t *testing.T) {
+	g := grammar.ArithGrammar()
+	tbl := mustBuild(t, g, Options{Mode: LALR})
+	if tbl.NumStates() == 0 {
+		t.Fatal("no states")
+	}
+	// 3 * (4 + 5), Fig. 4: int * ( int + int )
+	res := parseNames(t, tbl, "INT", "TIMES", "LPAREN", "INT", "PLUS", "INT", "RPAREN")
+	if !res.Accepted {
+		t.Fatalf("parse failed at %d", res.ErrPos)
+	}
+	// The parse tree of Fig. 4 applies 7 productions:
+	// Term→int, Term→int, Exp→Term, Exp→Term+Exp, Term→(Exp),
+	// Term→int*Term, Exp→Term, S→Exp ... count reductions.
+	if len(res.Reductions) != 8 {
+		t.Errorf("reductions = %d (%v), want 8", len(res.Reductions), res.Reductions)
+	}
+}
+
+func TestArithRejects(t *testing.T) {
+	g := grammar.ArithGrammar()
+	tbl := mustBuild(t, g, Options{Mode: LALR})
+	bad := [][]string{
+		{"PLUS"},
+		{"INT", "PLUS"},
+		{"INT", "INT"},
+		{"LPAREN", "INT"},
+		{"INT", "RPAREN"},
+		{},
+	}
+	for _, names := range bad {
+		if res := parseNames(t, tbl, names...); res.Accepted {
+			t.Errorf("parse(%v) accepted, want reject", names)
+		}
+	}
+}
+
+func TestCanonicalVsLALRAgree(t *testing.T) {
+	g := grammar.ArithGrammar()
+	lalr := mustBuild(t, g, Options{Mode: LALR})
+	canon := mustBuild(t, g, Options{Mode: CanonicalLR})
+	if lalr.NumStates() > canon.NumStates() {
+		t.Errorf("LALR states %d > canonical %d", lalr.NumStates(), canon.NumStates())
+	}
+	r := rand.New(rand.NewSource(7))
+	terms := []string{"INT", "PLUS", "TIMES", "LPAREN", "RPAREN"}
+	for i := 0; i < 500; i++ {
+		n := r.Intn(8)
+		names := make([]string, n)
+		for j := range names {
+			names[j] = terms[r.Intn(len(terms))]
+		}
+		a := parseNames(t, lalr, names...)
+		b := parseNames(t, canon, names...)
+		if a.Accepted != b.Accepted {
+			t.Fatalf("disagreement on %v: lalr=%v canon=%v", names, a.Accepted, b.Accepted)
+		}
+		if a.Accepted && len(a.Reductions) != len(b.Reductions) {
+			t.Fatalf("reduction counts differ on %v", names)
+		}
+	}
+}
+
+// Random sentence generation: derive strings from the grammar and verify
+// the parser accepts all of them.
+func genSentence(g *grammar.Grammar, r *rand.Rand, sym grammar.Sym, depth int) []grammar.Sym {
+	if g.IsTerminal(sym) {
+		return []grammar.Sym{sym}
+	}
+	prods := g.ProductionsFor(sym)
+	// Past the depth budget, prefer the shortest production to terminate.
+	pi := prods[r.Intn(len(prods))]
+	if depth <= 0 {
+		best := prods[0]
+		for _, p := range prods {
+			if len(g.Productions[p].Rhs) < len(g.Productions[best].Rhs) {
+				best = p
+			}
+		}
+		pi = best
+	}
+	var out []grammar.Sym
+	for _, rsym := range g.Productions[pi].Rhs {
+		out = append(out, genSentence(g, r, rsym, depth-1)...)
+	}
+	return out
+}
+
+func TestGeneratedSentencesAccepted(t *testing.T) {
+	g := grammar.ArithGrammar()
+	tbl := mustBuild(t, g, Options{Mode: LALR})
+	r := rand.New(rand.NewSource(11))
+	for i := 0; i < 300; i++ {
+		s := genSentence(g, r, g.Start, 6)
+		res := tbl.Parse(s)
+		if !res.Accepted {
+			var names []string
+			for _, x := range s {
+				names = append(names, g.SymName(x))
+			}
+			t.Fatalf("generated sentence rejected at %d: %v", res.ErrPos, names)
+		}
+	}
+}
+
+func TestAmbiguousGrammarConflicts(t *testing.T) {
+	g := grammar.MustParse(`
+%token PLUS INT
+E : E PLUS E | INT ;
+`)
+	_, err := Build(g, Options{Mode: LALR})
+	var ce *ConflictError
+	if !errors.As(err, &ce) {
+		t.Fatalf("err = %v, want ConflictError", err)
+	}
+	if len(ce.Conflicts) == 0 || !strings.Contains(ce.Error(), "shift/") && !strings.Contains(ce.Error(), "/shift") {
+		t.Errorf("unexpected conflict detail: %v", ce)
+	}
+	// With yacc-style resolution the build succeeds and records the
+	// resolved conflicts.
+	tbl, err := Build(g, Options{Mode: LALR, ResolveShiftReduce: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Resolved) == 0 {
+		t.Error("expected resolved conflicts to be recorded")
+	}
+	if res := parseNames(t, tbl, "INT", "PLUS", "INT", "PLUS", "INT"); !res.Accepted {
+		t.Error("resolved grammar should still parse")
+	}
+}
+
+// The classic LR(1)-but-not-LALR(1) grammar: merging cores creates a
+// reduce/reduce conflict.
+func TestLR1NotLALR(t *testing.T) {
+	g := grammar.MustParse(`
+%token a b c d e
+S : a E c | a F d | b F c | b E d ;
+E : e ;
+F : e ;
+`)
+	if _, err := Build(g, Options{Mode: CanonicalLR}); err != nil {
+		t.Fatalf("canonical LR(1) should succeed: %v", err)
+	}
+	_, err := Build(g, Options{Mode: LALR})
+	var ce *ConflictError
+	if !errors.As(err, &ce) {
+		t.Fatalf("LALR should conflict, got %v", err)
+	}
+}
+
+func TestEmptyProductionGrammar(t *testing.T) {
+	// Lists with ε: L → A L | ε over A=a.
+	g := grammar.MustParse(`
+%token a
+L : a L | ;
+`)
+	tbl := mustBuild(t, g, Options{Mode: LALR})
+	for _, n := range []int{0, 1, 2, 5, 17} {
+		toks := make([]grammar.Sym, n)
+		for i := range toks {
+			toks[i] = g.Lookup("a")
+		}
+		if res := tbl.Parse(toks); !res.Accepted {
+			t.Fatalf("a^%d rejected at %d", n, res.ErrPos)
+		}
+	}
+}
+
+func TestParseResultStats(t *testing.T) {
+	g := grammar.ArithGrammar()
+	tbl := mustBuild(t, g, Options{Mode: LALR})
+	res := parseNames(t, tbl, "INT", "PLUS", "INT")
+	if !res.Accepted {
+		t.Fatal("reject")
+	}
+	if res.Shifts != 3 {
+		t.Errorf("Shifts = %d, want 3", res.Shifts)
+	}
+	if res.MaxStackDepth < 3 {
+		t.Errorf("MaxStackDepth = %d", res.MaxStackDepth)
+	}
+}
+
+func TestDescribe(t *testing.T) {
+	g := grammar.ArithGrammar()
+	tbl := mustBuild(t, g, Options{Mode: LALR})
+	d := tbl.Describe(0)
+	if !strings.Contains(d, "state 0") || !strings.Contains(d, "S' →") {
+		t.Errorf("Describe(0) = %q", d)
+	}
+}
+
+func TestTokensFromNamesErrors(t *testing.T) {
+	g := grammar.ArithGrammar()
+	if _, err := TokensFromNames(g, "NOPE"); err == nil {
+		t.Error("unknown terminal should error")
+	}
+	if _, err := TokensFromNames(g, "Exp"); err == nil {
+		t.Error("nonterminal should error")
+	}
+}
+
+func TestBuildRejectsInvalidGrammar(t *testing.T) {
+	g := grammar.New("bad")
+	g.AddProduction(g.Nonterminal("S"), g.Nonterminal("T"))
+	g.Start = g.Lookup("S")
+	if _, err := Build(g, Options{}); err == nil {
+		t.Error("expected validation error")
+	}
+}

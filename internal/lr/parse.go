@@ -1,0 +1,92 @@
+package lr
+
+import (
+	"fmt"
+
+	"aspen/internal/grammar"
+)
+
+// ParseResult reports the outcome of a table-driven parse.
+type ParseResult struct {
+	// Accepted is true when the token stream derives the start symbol.
+	Accepted bool
+	// Reductions lists the production indices applied, in order — the
+	// rightmost derivation in reverse. The hDPDA compiler's report
+	// stream must match this exactly.
+	Reductions []int
+	// ErrPos is the index of the offending token on failure (len(tokens)
+	// means unexpected end of input).
+	ErrPos int
+	// Shifts counts shift actions (useful for stack-depth bounds).
+	Shifts int
+	// MaxStackDepth is the high-water mark of the state stack.
+	MaxStackDepth int
+}
+
+// Parse runs the shift/reduce engine over tokens (without endmarker; ⊣ is
+// appended internally). It is the software oracle the hDPDA compiler is
+// validated against, standing in for the CPU parsers Bison generates.
+func (t *Table) Parse(tokens []grammar.Sym) ParseResult {
+	var res ParseResult
+	stack := []int{0}
+	pos := 0
+	la := func() grammar.Sym {
+		if pos < len(tokens) {
+			return tokens[pos]
+		}
+		return grammar.EndMarker
+	}
+	for steps := 0; ; steps++ {
+		s := stack[len(stack)-1]
+		a, ok := t.Actions[s][la()]
+		if !ok {
+			res.ErrPos = pos
+			return res
+		}
+		switch a.Kind {
+		case ActionShift:
+			stack = append(stack, a.Target)
+			if len(stack) > res.MaxStackDepth {
+				res.MaxStackDepth = len(stack)
+			}
+			res.Shifts++
+			pos++
+		case ActionReduce:
+			p := &t.G.Productions[a.Target]
+			stack = stack[:len(stack)-len(p.Rhs)]
+			gs, ok := t.Gotos[stack[len(stack)-1]][p.Lhs]
+			if !ok {
+				res.ErrPos = pos
+				return res
+			}
+			stack = append(stack, gs)
+			if len(stack) > res.MaxStackDepth {
+				res.MaxStackDepth = len(stack)
+			}
+			res.Reductions = append(res.Reductions, a.Target)
+		case ActionAccept:
+			res.Accepted = pos >= len(tokens)
+			if !res.Accepted {
+				res.ErrPos = pos
+			}
+			return res
+		default:
+			res.ErrPos = pos
+			return res
+		}
+	}
+}
+
+// TokensFromNames converts terminal names to symbols, for tests and
+// examples.
+func TokensFromNames(g *grammar.Grammar, names ...string) ([]grammar.Sym, error) {
+	out := make([]grammar.Sym, len(names))
+	for i, n := range names {
+		s := g.Lookup(n)
+		if s == grammar.NoSym || !g.IsTerminal(s) {
+			return nil, fmt.Errorf("lr: %q is not a terminal of grammar %q", n, g.Name)
+		}
+		out[i] = s
+	}
+	return out, nil
+}

@@ -1,0 +1,298 @@
+package lr
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"aspen/internal/grammar"
+)
+
+// ActionKind classifies a parse action.
+type ActionKind uint8
+
+const (
+	// ActionError marks an empty table cell (syntax error).
+	ActionError ActionKind = iota
+	// ActionShift consumes the terminal and pushes Target (a state).
+	ActionShift
+	// ActionReduce applies production Target.
+	ActionReduce
+	// ActionAccept accepts the input.
+	ActionAccept
+)
+
+func (k ActionKind) String() string {
+	switch k {
+	case ActionShift:
+		return "shift"
+	case ActionReduce:
+		return "reduce"
+	case ActionAccept:
+		return "accept"
+	default:
+		return "error"
+	}
+}
+
+// Action is one ACTION-table cell.
+type Action struct {
+	Kind   ActionKind
+	Target int // state for shift, production index for reduce
+}
+
+// Mode selects the table class.
+type Mode int
+
+const (
+	// LALR merges canonical LR(1) states with equal LR(0) cores —
+	// Bison's default table class.
+	LALR Mode = iota
+	// CanonicalLR keeps the full canonical LR(1) automaton.
+	CanonicalLR
+)
+
+func (m Mode) String() string {
+	if m == CanonicalLR {
+		return "LR(1)"
+	}
+	return "LALR(1)"
+}
+
+// Conflict describes a table conflict.
+type Conflict struct {
+	State    int
+	Terminal grammar.Sym
+	Existing Action
+	Proposed Action
+}
+
+// Options configures table construction.
+type Options struct {
+	Mode Mode
+	// ResolveShiftReduce, when set, resolves shift/reduce conflicts in
+	// favor of shift (yacc's default) instead of failing.
+	ResolveShiftReduce bool
+}
+
+// Table is the parsing automaton (the paper's "DK" machine): ACTION and
+// GOTO functions over the automaton's states, plus per-state diagnostics.
+type Table struct {
+	G    *grammar.Grammar
+	Mode Mode
+	// Actions[s][t] is the action in state s on terminal t.
+	Actions []map[grammar.Sym]Action
+	// Gotos[s][nt] is the state entered after reducing to nt in state s.
+	Gotos []map[grammar.Sym]int
+	// Resolved lists shift/reduce conflicts resolved in favor of shift
+	// (empty unless Options.ResolveShiftReduce).
+	Resolved []Conflict
+	// kernels holds item-set descriptions for Describe.
+	kernels []itemSet
+}
+
+// NumStates returns the number of parsing-automaton states (paper
+// Table III, "Parsing Aut. States").
+func (t *Table) NumStates() int { return len(t.Actions) }
+
+// ConflictError aggregates construction conflicts.
+type ConflictError struct {
+	Mode      Mode
+	Conflicts []Conflict
+	G         *grammar.Grammar
+}
+
+func (e *ConflictError) Error() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "lr: grammar %q is not %s: %d conflicts", e.G.Name, e.Mode, len(e.Conflicts))
+	for i, c := range e.Conflicts {
+		if i == 4 {
+			fmt.Fprintf(&b, "; … (%d more)", len(e.Conflicts)-i)
+			break
+		}
+		fmt.Fprintf(&b, "; state %d on %q: %s/%s",
+			c.State, e.G.SymName(c.Terminal), c.Existing.Kind, c.Proposed.Kind)
+	}
+	return b.String()
+}
+
+// Build constructs the parsing automaton for g.
+func Build(g *grammar.Grammar, opts Options) (*Table, error) {
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	b := &builder{g: g, sets: grammar.Analyze(g)}
+
+	// Canonical LR(1) state machine over closed item sets.
+	start := b.closure(itemSet{{prod: augmentedProd, dot: 0, la: grammar.EndMarker}})
+	states := []itemSet{start}
+	index := map[string]int{start.key(): 0}
+	type edge struct {
+		from int
+		sym  grammar.Sym
+		to   int
+	}
+	var edges []edge
+	for si := 0; si < len(states); si++ {
+		set := states[si]
+		// Collect the symbols that can be advanced over, in order.
+		symSeen := map[grammar.Sym]bool{}
+		var syms []grammar.Sym
+		for _, it := range set {
+			r := b.rhs(it.prod)
+			if int(it.dot) < len(r) && !symSeen[r[it.dot]] {
+				symSeen[r[it.dot]] = true
+				syms = append(syms, r[it.dot])
+			}
+		}
+		sort.Slice(syms, func(i, j int) bool { return syms[i] < syms[j] })
+		for _, x := range syms {
+			kernel := b.advance(set, x)
+			next := b.closure(kernel)
+			k := next.key()
+			ti, ok := index[k]
+			if !ok {
+				ti = len(states)
+				index[k] = ti
+				states = append(states, next)
+			}
+			edges = append(edges, edge{si, x, ti})
+		}
+	}
+
+	// LALR: merge states with identical LR(0) cores.
+	remap := make([]int, len(states))
+	merged := states
+	if opts.Mode == LALR {
+		coreIndex := map[string]int{}
+		merged = nil
+		for i, set := range states {
+			ck := set.coreKey()
+			mi, ok := coreIndex[ck]
+			if !ok {
+				mi = len(merged)
+				coreIndex[ck] = mi
+				merged = append(merged, nil)
+			}
+			remap[i] = mi
+			// Union items (lookaheads) into the merged set.
+			merged[mi] = append(merged[mi], set...)
+		}
+		for i := range merged {
+			merged[i].sortInPlace()
+			merged[i] = dedupe(merged[i])
+		}
+	} else {
+		for i := range remap {
+			remap[i] = i
+		}
+	}
+
+	t := &Table{
+		G:       g,
+		Mode:    opts.Mode,
+		Actions: make([]map[grammar.Sym]Action, len(merged)),
+		Gotos:   make([]map[grammar.Sym]int, len(merged)),
+		kernels: merged,
+	}
+	for i := range merged {
+		t.Actions[i] = map[grammar.Sym]Action{}
+		t.Gotos[i] = map[grammar.Sym]int{}
+	}
+
+	var conflicts []Conflict
+	setAction := func(s int, term grammar.Sym, a Action) {
+		old, ok := t.Actions[s][term]
+		if !ok || old == a {
+			t.Actions[s][term] = a
+			return
+		}
+		// Conflict. Optionally resolve shift/reduce in favor of shift.
+		if opts.ResolveShiftReduce {
+			if old.Kind == ActionShift && a.Kind == ActionReduce {
+				t.Resolved = append(t.Resolved, Conflict{s, term, old, a})
+				return
+			}
+			if old.Kind == ActionReduce && a.Kind == ActionShift {
+				t.Resolved = append(t.Resolved, Conflict{s, term, old, a})
+				t.Actions[s][term] = a
+				return
+			}
+		}
+		conflicts = append(conflicts, Conflict{s, term, old, a})
+	}
+
+	// Shift and goto entries from edges (deduplicated after merging).
+	for _, e := range edges {
+		from, to := remap[e.from], remap[e.to]
+		if g.IsTerminal(e.sym) {
+			setAction(from, e.sym, Action{Kind: ActionShift, Target: to})
+		} else {
+			if prev, ok := t.Gotos[from][e.sym]; ok && prev != to {
+				// Cannot happen for same-core merges; defensive.
+				conflicts = append(conflicts, Conflict{from, e.sym,
+					Action{ActionShift, prev}, Action{ActionShift, to}})
+				continue
+			}
+			t.Gotos[from][e.sym] = to
+		}
+	}
+	// Reduce and accept entries from completed items.
+	for si, set := range merged {
+		for _, it := range set {
+			r := b.rhs(it.prod)
+			if int(it.dot) != len(r) {
+				continue
+			}
+			if it.prod == augmentedProd {
+				setAction(si, grammar.EndMarker, Action{Kind: ActionAccept})
+				continue
+			}
+			setAction(si, it.la, Action{Kind: ActionReduce, Target: int(it.prod)})
+		}
+	}
+	if len(conflicts) > 0 {
+		return nil, &ConflictError{Mode: opts.Mode, Conflicts: conflicts, G: g}
+	}
+	return t, nil
+}
+
+func dedupe(s itemSet) itemSet {
+	out := s[:0]
+	for i, it := range s {
+		if i == 0 || it != s[i-1] {
+			out = append(out, it)
+		}
+	}
+	return out
+}
+
+// Describe renders state s for diagnostics: its items and actions.
+func (t *Table) Describe(s int) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "state %d\n", s)
+	for _, it := range t.kernels[s] {
+		var lhs string
+		var rhs []grammar.Sym
+		if it.prod == augmentedProd {
+			lhs = "S'"
+			rhs = []grammar.Sym{t.G.Start}
+		} else {
+			p := &t.G.Productions[it.prod]
+			lhs = t.G.SymName(p.Lhs)
+			rhs = p.Rhs
+		}
+		fmt.Fprintf(&b, "  %s →", lhs)
+		for i, r := range rhs {
+			if int(it.dot) == i {
+				b.WriteString(" ·")
+			}
+			b.WriteString(" " + t.G.SymName(r))
+		}
+		if int(it.dot) == len(rhs) {
+			b.WriteString(" ·")
+		}
+		fmt.Fprintf(&b, " , %s\n", t.G.SymName(it.la))
+	}
+	return b.String()
+}

@@ -1,0 +1,247 @@
+// Package mnrl serializes automata in an MNRL-style JSON format (paper
+// §III-B): MNRL is the open JSON state-machine interchange format of the
+// MNCaRT ecosystem, which the paper extends with hDPDA states that carry
+// stack operations. This package implements that extended schema for
+// hDPDAs (node type "hPDAState") and keeps the door open for plain
+// homogeneous NFA nodes ("hState"), so compiled machines can be stored,
+// diffed, and loaded by the placement and simulation tools.
+package mnrl
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"aspen/internal/core"
+)
+
+// Current schema version emitted by Export.
+const Version = "aspen-mnrl-1.0"
+
+// Document is the top-level MNRL object.
+type Document struct {
+	Version string `json:"version"`
+	ID      string `json:"id"`
+	Nodes   []Node `json:"nodes"`
+}
+
+// Node is one state. The field set is the union needed by hPDAState and
+// hState nodes.
+type Node struct {
+	ID     string `json:"id"`
+	Type   string `json:"type"` // "hPDAState" or "hState"
+	Enable string `json:"enable,omitempty"`
+	Report bool   `json:"report,omitempty"`
+	// ReportID is the application-defined report code.
+	ReportID        int32      `json:"reportId,omitempty"`
+	Attributes      Attributes `json:"attributes"`
+	ActivateOnMatch []string   `json:"activateOnMatch"`
+}
+
+// Attributes carries the matching and stack behaviour of a node.
+type Attributes struct {
+	// SymbolSet is the input-symbol label in compact hex-range syntax
+	// (e.g. "0x41-0x5a,0x61"), or "*" for all symbols. Empty for
+	// ε-states.
+	SymbolSet string `json:"symbolSet,omitempty"`
+	// StackSet is the top-of-stack label in the same syntax.
+	StackSet string `json:"stackSet,omitempty"`
+	// Epsilon marks states that consume no input.
+	Epsilon bool `json:"epsilon,omitempty"`
+	// Pop is the number of symbols popped (multipop if > 1).
+	Pop uint8 `json:"pop,omitempty"`
+	// Push is the pushed symbol in hex ("0x41"); empty for no push.
+	Push string `json:"push,omitempty"`
+	// Label is the diagnostic state name.
+	Label string `json:"label,omitempty"`
+}
+
+// enable values.
+const (
+	enableOnStart    = "onStartAndActivateIn"
+	enableActivateIn = "onActivateIn"
+)
+
+// nodeID renders state i's serialized identifier.
+func nodeID(i core.StateID) string { return "q" + strconv.Itoa(int(i)) }
+
+// FormatSymbolSet renders a SymbolSet in the compact hex-range syntax.
+func FormatSymbolSet(s core.SymbolSet) string {
+	if s == core.AllSymbols() {
+		return "*"
+	}
+	syms := s.Symbols()
+	if len(syms) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	for i := 0; i < len(syms); {
+		j := i
+		for j+1 < len(syms) && syms[j+1] == syms[j]+1 {
+			j++
+		}
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		if j == i {
+			fmt.Fprintf(&b, "0x%02x", uint8(syms[i]))
+		} else {
+			fmt.Fprintf(&b, "0x%02x-0x%02x", uint8(syms[i]), uint8(syms[j]))
+		}
+		i = j + 1
+	}
+	return b.String()
+}
+
+// ParseSymbolSet parses the compact hex-range syntax.
+func ParseSymbolSet(s string) (core.SymbolSet, error) {
+	var out core.SymbolSet
+	if s == "*" {
+		return core.AllSymbols(), nil
+	}
+	if s == "" {
+		return out, nil
+	}
+	for _, part := range strings.Split(s, ",") {
+		lo, hi, ok := strings.Cut(part, "-")
+		a, err := strconv.ParseUint(strings.TrimSpace(lo), 0, 8)
+		if err != nil {
+			return out, fmt.Errorf("mnrl: bad symbol %q: %v", part, err)
+		}
+		b := a
+		if ok {
+			b, err = strconv.ParseUint(strings.TrimSpace(hi), 0, 8)
+			if err != nil {
+				return out, fmt.Errorf("mnrl: bad symbol range %q: %v", part, err)
+			}
+		}
+		if b < a {
+			return out, fmt.Errorf("mnrl: inverted range %q", part)
+		}
+		for c := a; c <= b; c++ {
+			out.Add(core.Symbol(c))
+		}
+	}
+	return out, nil
+}
+
+// ExportHDPDA serializes m to MNRL JSON.
+func ExportHDPDA(m *core.HDPDA) ([]byte, error) {
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	doc := Document{Version: Version, ID: m.Name}
+	for i := range m.States {
+		st := &m.States[i]
+		n := Node{
+			ID:       nodeID(st.ID),
+			Type:     "hPDAState",
+			Enable:   enableActivateIn,
+			Report:   st.Accept,
+			ReportID: st.Report,
+			Attributes: Attributes{
+				StackSet: FormatSymbolSet(st.Stack),
+				Epsilon:  st.Epsilon,
+				Pop:      st.Op.Pop,
+				Label:    st.Label,
+			},
+		}
+		if !st.Epsilon {
+			n.Attributes.SymbolSet = FormatSymbolSet(st.Input)
+		}
+		if st.Op.HasPush {
+			n.Attributes.Push = fmt.Sprintf("0x%02x", uint8(st.Op.Push))
+		}
+		if st.ID == m.Start {
+			n.Enable = enableOnStart
+		}
+		n.ActivateOnMatch = make([]string, len(st.Succ))
+		for j, t := range st.Succ {
+			n.ActivateOnMatch[j] = nodeID(t)
+		}
+		doc.Nodes = append(doc.Nodes, n)
+	}
+	return json.MarshalIndent(doc, "", "  ")
+}
+
+// ImportHDPDA parses MNRL JSON back into a machine and validates it.
+func ImportHDPDA(data []byte) (*core.HDPDA, error) {
+	var doc Document
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return nil, fmt.Errorf("mnrl: %v", err)
+	}
+	m := &core.HDPDA{Name: doc.ID}
+	ids := map[string]core.StateID{}
+	start := core.InvalidState
+	for _, n := range doc.Nodes {
+		if n.Type != "hPDAState" {
+			return nil, fmt.Errorf("mnrl: node %q has unsupported type %q", n.ID, n.Type)
+		}
+		stack, err := ParseSymbolSet(n.Attributes.StackSet)
+		if err != nil {
+			return nil, err
+		}
+		st := core.State{
+			Label:   n.Attributes.Label,
+			Epsilon: n.Attributes.Epsilon,
+			Stack:   stack,
+			Accept:  n.Report,
+			Report:  n.ReportID,
+			Op:      core.StackOp{Pop: n.Attributes.Pop},
+		}
+		if !st.Epsilon {
+			st.Input, err = ParseSymbolSet(n.Attributes.SymbolSet)
+			if err != nil {
+				return nil, err
+			}
+		}
+		if n.Attributes.Push != "" {
+			v, err := strconv.ParseUint(n.Attributes.Push, 0, 8)
+			if err != nil {
+				return nil, fmt.Errorf("mnrl: node %q: bad push %q", n.ID, n.Attributes.Push)
+			}
+			st.Op.Push = core.Symbol(v)
+			st.Op.HasPush = true
+		}
+		id := m.AddState(st)
+		if _, dup := ids[n.ID]; dup {
+			return nil, fmt.Errorf("mnrl: duplicate node id %q", n.ID)
+		}
+		ids[n.ID] = id
+		if n.Enable == enableOnStart {
+			if start != core.InvalidState {
+				return nil, fmt.Errorf("mnrl: multiple start nodes")
+			}
+			start = id
+		}
+	}
+	if start == core.InvalidState {
+		return nil, fmt.Errorf("mnrl: no start node")
+	}
+	m.Start = start
+	for i, n := range doc.Nodes {
+		for _, tgt := range n.ActivateOnMatch {
+			tid, ok := ids[tgt]
+			if !ok {
+				return nil, fmt.Errorf("mnrl: node %q activates unknown node %q", n.ID, tgt)
+			}
+			m.AddEdge(core.StateID(i), tid)
+		}
+	}
+	if err := m.Validate(); err != nil {
+		return nil, fmt.Errorf("mnrl: imported machine invalid: %w", err)
+	}
+	return m, nil
+}
+
+// SortNodesByID sorts document nodes by numeric suffix, for stable
+// diffing of hand-edited files.
+func (d *Document) SortNodesByID() {
+	sort.Slice(d.Nodes, func(i, j int) bool {
+		a, _ := strconv.Atoi(strings.TrimPrefix(d.Nodes[i].ID, "q"))
+		b, _ := strconv.Atoi(strings.TrimPrefix(d.Nodes[j].ID, "q"))
+		return a < b
+	})
+}

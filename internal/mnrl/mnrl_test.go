@@ -1,0 +1,141 @@
+package mnrl
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"aspen/internal/compile"
+	"aspen/internal/core"
+	"aspen/internal/grammar"
+)
+
+func TestSymbolSetRoundTrip(t *testing.T) {
+	cases := []core.SymbolSet{
+		core.NewSymbolSet(),
+		core.NewSymbolSet(0),
+		core.NewSymbolSet('a'),
+		core.NewSymbolSet('a', 'b', 'c', 'x'),
+		core.SymbolRange(0x20, 0x7e),
+		core.AllSymbols(),
+		core.NewSymbolSet(0, 255),
+	}
+	for _, s := range cases {
+		text := FormatSymbolSet(s)
+		back, err := ParseSymbolSet(text)
+		if err != nil {
+			t.Fatalf("parse %q: %v", text, err)
+		}
+		if back != s {
+			t.Errorf("round trip %q: got %v want %v", text, back.Symbols(), s.Symbols())
+		}
+	}
+}
+
+func TestSymbolSetRandomRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	for i := 0; i < 200; i++ {
+		var s core.SymbolSet
+		for j := r.Intn(40); j > 0; j-- {
+			s.Add(core.Symbol(r.Intn(256)))
+		}
+		back, err := ParseSymbolSet(FormatSymbolSet(s))
+		if err != nil || back != s {
+			t.Fatalf("round trip failed: %v %v", err, s.Symbols())
+		}
+	}
+}
+
+func TestParseSymbolSetErrors(t *testing.T) {
+	for _, bad := range []string{"zz", "0x10-zz", "0x20-0x10", "0x100"} {
+		if _, err := ParseSymbolSet(bad); err == nil {
+			t.Errorf("ParseSymbolSet(%q) should fail", bad)
+		}
+	}
+}
+
+func TestHDPDARoundTripPalindrome(t *testing.T) {
+	m := core.PalindromeHDPDA()
+	data, err := ExportHDPDA(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "hPDAState") {
+		t.Error("export missing hPDAState nodes")
+	}
+	back, err := ImportHDPDA(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.NumStates() != m.NumStates() || back.Start != m.Start {
+		t.Fatalf("shape mismatch: %d/%d states", back.NumStates(), m.NumStates())
+	}
+	// Behavioural equivalence on the palindrome suite.
+	for _, in := range []string{"c", "0c0", "10c01", "0c1", "", "01c01"} {
+		a := m.Accepts(core.BytesToSymbols([]byte(in)))
+		b := back.Accepts(core.BytesToSymbols([]byte(in)))
+		if a != b {
+			t.Errorf("disagreement on %q: %v vs %v", in, a, b)
+		}
+	}
+}
+
+func TestHDPDARoundTripCompiled(t *testing.T) {
+	cm, err := compile.FromGrammar(grammar.ArithGrammar(), compile.OptAll)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := ExportHDPDA(cm.Machine)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := ImportHDPDA(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.NumStates() != cm.Machine.NumStates() {
+		t.Fatalf("states %d vs %d", back.NumStates(), cm.Machine.NumStates())
+	}
+	if back.EpsilonStates() != cm.Machine.EpsilonStates() {
+		t.Error("ε-state count changed in round trip")
+	}
+	// Same parse behaviour.
+	toks, _ := cm.Tokens.Encode([]grammar.Sym{
+		cm.Grammar.Lookup("INT"), cm.Grammar.Lookup("PLUS"), cm.Grammar.Lookup("INT"),
+	}, true)
+	r1, err1 := cm.Machine.Run(toks, core.ExecOptions{})
+	r2, err2 := back.Run(toks, core.ExecOptions{})
+	if err1 != nil || err2 != nil || r1.Accepted != r2.Accepted || r1.EpsilonStalls != r2.EpsilonStalls {
+		t.Fatalf("behaviour mismatch: %+v/%v vs %+v/%v", r1, err1, r2, err2)
+	}
+}
+
+func TestImportErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		data string
+	}{
+		{"bad json", "{"},
+		{"bad type", `{"id":"x","nodes":[{"id":"q0","type":"counter","attributes":{}}]}`},
+		{"no start", `{"id":"x","nodes":[{"id":"q0","type":"hPDAState","enable":"onActivateIn","attributes":{"epsilon":true,"stackSet":"*"},"activateOnMatch":[]}]}`},
+		{"dup id", `{"id":"x","nodes":[
+			{"id":"q0","type":"hPDAState","enable":"onStartAndActivateIn","attributes":{"epsilon":true,"stackSet":"*"},"activateOnMatch":[]},
+			{"id":"q0","type":"hPDAState","enable":"onActivateIn","attributes":{"epsilon":true,"stackSet":"*"},"activateOnMatch":[]}]}`},
+		{"unknown target", `{"id":"x","nodes":[{"id":"q0","type":"hPDAState","enable":"onStartAndActivateIn","attributes":{"epsilon":true,"stackSet":"*"},"activateOnMatch":["q9"]}]}`},
+		{"bad push", `{"id":"x","nodes":[{"id":"q0","type":"hPDAState","enable":"onStartAndActivateIn","attributes":{"epsilon":true,"stackSet":"*","push":"xx"},"activateOnMatch":[]}]}`},
+		{"bad stack set", `{"id":"x","nodes":[{"id":"q0","type":"hPDAState","enable":"onStartAndActivateIn","attributes":{"epsilon":true,"stackSet":"qq"},"activateOnMatch":[]}]}`},
+	}
+	for _, tc := range cases {
+		if _, err := ImportHDPDA([]byte(tc.data)); err == nil {
+			t.Errorf("%s: expected error", tc.name)
+		}
+	}
+}
+
+func TestExportRejectsInvalidMachine(t *testing.T) {
+	m := &core.HDPDA{Name: "broken"}
+	m.AddState(core.State{Label: "s"}) // no input match, not ε
+	if _, err := ExportHDPDA(m); err == nil {
+		t.Error("expected validation error")
+	}
+}

@@ -1,0 +1,54 @@
+package mnrl
+
+import (
+	"math/rand"
+	"testing"
+
+	"aspen/internal/core"
+)
+
+// ImportHDPDA must never panic on mutations of a valid document: every
+// byte-level corruption either still imports as a valid machine or
+// returns an error.
+func TestImportMutationRobustness(t *testing.T) {
+	data, err := ExportHDPDA(core.PalindromeHDPDA())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rand.New(rand.NewSource(41))
+	for i := 0; i < 2000; i++ {
+		buf := append([]byte(nil), data...)
+		for n := 1 + r.Intn(4); n > 0; n-- {
+			switch r.Intn(3) {
+			case 0: // flip a byte
+				buf[r.Intn(len(buf))] = byte(r.Intn(256))
+			case 1: // delete a byte
+				p := r.Intn(len(buf))
+				buf = append(buf[:p], buf[p+1:]...)
+			case 2: // duplicate a byte
+				p := r.Intn(len(buf))
+				buf = append(buf[:p+1], buf[p:]...)
+			}
+		}
+		m, err := ImportHDPDA(buf)
+		if err == nil {
+			// Anything accepted must be runnable.
+			if verr := m.Validate(); verr != nil {
+				t.Fatalf("import accepted invalid machine: %v", verr)
+			}
+			m.Accepts(core.BytesToSymbols([]byte("0c0")))
+		}
+	}
+}
+
+// Truncations of a valid document never panic.
+func TestImportTruncations(t *testing.T) {
+	data, err := ExportHDPDA(core.PalindromeHDPDA())
+	if err != nil {
+		t.Fatal(err)
+	}
+	step := len(data)/97 + 1
+	for n := 0; n < len(data); n += step {
+		_, _ = ImportHDPDA(data[:n])
+	}
+}

@@ -1,0 +1,106 @@
+package nfa
+
+import (
+	"math/rand"
+	"testing"
+
+	"aspen/internal/core"
+)
+
+// Property: the DFA accepts exactly the strings the NFA accepts, for a
+// panel of patterns and random inputs.
+func TestDFAEquivalentToNFA(t *testing.T) {
+	patterns := []string{
+		"a", "abc", "a*", "(ab)*", "a+b+", "a?b?c?",
+		"(a|b)*c", "[ab]+", "[^ab]+", "a(b|c)d",
+		"(a|ab)(c|bc)", "a*b*a*", "((a|b)(a|b))*", "",
+	}
+	r := rand.New(rand.NewSource(81))
+	for _, pat := range patterns {
+		n := mustCompile(t, pat)
+		d, err := n.Determinize()
+		if err != nil {
+			t.Fatalf("determinize %q: %v", pat, err)
+		}
+		for i := 0; i < 500; i++ {
+			ln := r.Intn(9)
+			buf := make([]core.Symbol, ln)
+			for j := range buf {
+				buf[j] = core.Symbol("abc"[r.Intn(3)])
+			}
+			if got, want := d.Matches(buf), n.Matches(buf); got != want {
+				t.Fatalf("pattern %q input %v: dfa=%v nfa=%v", pat, buf, got, want)
+			}
+		}
+	}
+}
+
+// Per-step report parity: the DFA must deliver the same report codes at
+// the same positions as the NFA (rule priority preserved).
+func TestDFAStepReportsMatchNFA(t *testing.T) {
+	n, err := CompilePatterns("kw", []string{"if", "i", `[a-z]+`, `\d+`})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := n.Determinize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rand.New(rand.NewSource(82))
+	for trial := 0; trial < 300; trial++ {
+		nr := n.NewRun()
+		dr := d.NewRun()
+		for step := 0; step < 8; step++ {
+			sym := core.Symbol("if0a"[r.Intn(4)])
+			na, nrep := nr.Step(sym)
+			da, drep := dr.Step(sym)
+			if na != da || nrep != drep {
+				t.Fatalf("trial %d step %d sym %c: nfa=(%v,%d) dfa=(%v,%d)",
+					trial, step, byte(sym), na, nrep, da, drep)
+			}
+			if !na {
+				break
+			}
+		}
+	}
+}
+
+func TestDFAShape(t *testing.T) {
+	n := mustCompile(t, "(a|b)*abb")
+	d, err := n.Determinize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.NumStates() == 0 || len(d.Trans) != d.NumStates()*256 {
+		t.Fatalf("shape: %d states, %d trans", d.NumStates(), len(d.Trans))
+	}
+	if !d.Matches(core.BytesToSymbols([]byte("aabb"))) {
+		t.Error("aabb should match")
+	}
+	if d.Matches(core.BytesToSymbols([]byte("aab"))) {
+		t.Error("aab should not match")
+	}
+	if d.AcceptEmpty {
+		t.Error("pattern is not nullable")
+	}
+}
+
+func TestDFAResetAndDeath(t *testing.T) {
+	n := mustCompile(t, "ab")
+	d, err := n.Determinize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := d.NewRun()
+	if alive, _ := r.Step('z'); alive {
+		t.Fatal("should die on z")
+	}
+	// Dead stays dead.
+	if alive, _ := r.Step('a'); alive {
+		t.Fatal("dead state revived")
+	}
+	r.Reset()
+	if alive, _ := r.Step('a'); !alive {
+		t.Fatal("reset failed")
+	}
+}

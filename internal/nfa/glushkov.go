@@ -1,0 +1,137 @@
+package nfa
+
+import (
+	"fmt"
+	"sort"
+
+	"aspen/internal/core"
+)
+
+// glushkov carries the position-based construction state.
+type glushkov struct {
+	sets   []core.SymbolSet // per position
+	follow []map[int32]bool
+}
+
+type gInfo struct {
+	nullable bool
+	first    []int32
+	last     []int32
+}
+
+func (g *glushkov) newPos(set core.SymbolSet) int32 {
+	p := int32(len(g.sets))
+	g.sets = append(g.sets, set)
+	g.follow = append(g.follow, map[int32]bool{})
+	return p
+}
+
+func (g *glushkov) link(froms, tos []int32) {
+	for _, f := range froms {
+		for _, t := range tos {
+			g.follow[f][t] = true
+		}
+	}
+}
+
+func (g *glushkov) walk(n *node) gInfo {
+	switch n.kind {
+	case nEmpty:
+		return gInfo{nullable: true}
+	case nClass:
+		p := g.newPos(n.set)
+		return gInfo{first: []int32{p}, last: []int32{p}}
+	case nConcat:
+		out := gInfo{nullable: true}
+		var prevLast []int32
+		for _, sub := range n.subs {
+			si := g.walk(sub)
+			g.link(prevLast, si.first)
+			if out.nullable {
+				out.first = append(out.first, si.first...)
+			}
+			if si.nullable {
+				prevLast = append(prevLast, si.last...)
+			} else {
+				prevLast = append([]int32(nil), si.last...)
+			}
+			out.nullable = out.nullable && si.nullable
+		}
+		out.last = prevLast
+		return out
+	case nAlt:
+		var out gInfo
+		for _, sub := range n.subs {
+			si := g.walk(sub)
+			out.nullable = out.nullable || si.nullable
+			out.first = append(out.first, si.first...)
+			out.last = append(out.last, si.last...)
+		}
+		return out
+	case nStar, nPlus, nOpt:
+		si := g.walk(n.subs[0])
+		if n.kind != nOpt {
+			g.link(si.last, si.first)
+		}
+		nullable := si.nullable || n.kind != nPlus
+		return gInfo{nullable: nullable, first: si.first, last: si.last}
+	default:
+		panic(fmt.Sprintf("nfa: unknown node kind %d", n.kind))
+	}
+}
+
+// CompilePatterns builds one homogeneous NFA from several patterns via
+// the Glushkov construction; accept states of pattern i carry report
+// code i (the lexer's rule priority: lower wins). A single pattern is
+// the special case len(patterns) == 1.
+func CompilePatterns(name string, patterns []string) (*NFA, error) {
+	g := &glushkov{}
+	out := &NFA{Name: name, EmptyReport: -1}
+	for pi, pat := range patterns {
+		ast, err := ParseRegex(pat)
+		if err != nil {
+			return nil, err
+		}
+		info := g.walk(ast)
+		// Extend the machine with this pattern's positions.
+		for len(out.States) < len(g.sets) {
+			out.States = append(out.States, State{Match: g.sets[len(out.States)]})
+		}
+		for _, s := range info.first {
+			out.Starts = append(out.Starts, s)
+		}
+		for _, l := range info.last {
+			st := &out.States[l]
+			if !st.Accept || st.Report > int32(pi) {
+				st.Accept = true
+				st.Report = int32(pi)
+			}
+		}
+		if info.nullable {
+			out.AcceptEmpty = true
+			if out.EmptyReport < 0 || out.EmptyReport > int32(pi) {
+				out.EmptyReport = int32(pi)
+			}
+		}
+	}
+	// Materialize follow sets as sorted successor lists.
+	for i := range out.States {
+		succ := make([]int32, 0, len(g.follow[i]))
+		for t := range g.follow[i] {
+			succ = append(succ, t)
+		}
+		sort.Slice(succ, func(a, b int) bool { return succ[a] < succ[b] })
+		out.States[i].Succ = succ
+	}
+	sort.Slice(out.Starts, func(a, b int) bool { return out.Starts[a] < out.Starts[b] })
+	if err := out.Validate(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Compile builds a homogeneous NFA for a single pattern with report code
+// 0.
+func Compile(name, pattern string) (*NFA, error) {
+	return CompilePatterns(name, []string{pattern})
+}

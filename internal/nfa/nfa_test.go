@@ -1,0 +1,186 @@
+package nfa
+
+import (
+	"math/rand"
+	"regexp"
+	"testing"
+
+	"aspen/internal/core"
+)
+
+func mustCompile(t *testing.T, pattern string) *NFA {
+	t.Helper()
+	n, err := Compile("t", pattern)
+	if err != nil {
+		t.Fatalf("Compile(%q): %v", pattern, err)
+	}
+	return n
+}
+
+func TestBasicMatches(t *testing.T) {
+	cases := []struct {
+		pattern string
+		yes     []string
+		no      []string
+	}{
+		{"abc", []string{"abc"}, []string{"", "ab", "abcd", "abd"}},
+		{"a*", []string{"", "a", "aaaa"}, []string{"b", "ab"}},
+		{"a+", []string{"a", "aa"}, []string{"", "b"}},
+		{"a?b", []string{"b", "ab"}, []string{"", "aab"}},
+		{"a|b|c", []string{"a", "b", "c"}, []string{"", "d", "ab"}},
+		{"(ab)+", []string{"ab", "abab"}, []string{"", "a", "aba"}},
+		{"[a-c]x", []string{"ax", "bx", "cx"}, []string{"dx", "x"}},
+		{"[^a-c]", []string{"d", "z", "0"}, []string{"a", "b", "c", ""}},
+		{`\d+`, []string{"0", "42", "007"}, []string{"", "x", "4x"}},
+		{`\w+`, []string{"foo", "a_1"}, []string{"", "a b", "-"}},
+		{`a\.b`, []string{"a.b"}, []string{"axb"}},
+		{`\x41+`, []string{"A", "AA"}, []string{"a", ""}},
+		{"x(y|z)*w", []string{"xw", "xyw", "xzyzw"}, []string{"xy", "w"}},
+		{".", []string{"a", "!", "\x00"}, []string{"", "ab"}},
+		{`\s*x`, []string{"x", "  x", "\t\nx"}, []string{" ", "xy"}},
+	}
+	for _, tc := range cases {
+		n := mustCompile(t, tc.pattern)
+		for _, s := range tc.yes {
+			if !n.MatchesString(s) {
+				t.Errorf("%q should match %q", tc.pattern, s)
+			}
+		}
+		for _, s := range tc.no {
+			if n.MatchesString(s) {
+				t.Errorf("%q should not match %q", tc.pattern, s)
+			}
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, bad := range []string{"(", "(ab", "a)", "[", "[]", "[z-a]", "*a", "+", "?x", `\x1`, `\xgg`, `a\`} {
+		if _, err := Compile("t", bad); err == nil {
+			t.Errorf("Compile(%q) should fail", bad)
+		}
+	}
+}
+
+// Property: agree with Go's regexp on random inputs over a small
+// alphabet, for a panel of patterns using only the shared dialect.
+func TestAgainstStdRegexp(t *testing.T) {
+	patterns := []string{
+		"a", "ab", "a*", "(ab)*", "a+b+", "a?b?c?",
+		"(a|b)*c", "[ab]+", "[^ab]+", "a(b|c)d",
+		"(a|ab)(c|bc)", "a*b*a*", "((a|b)(a|b))*",
+	}
+	r := rand.New(rand.NewSource(19))
+	for _, pat := range patterns {
+		n := mustCompile(t, pat)
+		re := regexp.MustCompile("^(?:" + pat + ")$")
+		for i := 0; i < 400; i++ {
+			ln := r.Intn(8)
+			buf := make([]byte, ln)
+			for j := range buf {
+				buf[j] = "abc"[r.Intn(3)]
+			}
+			want := re.Match(buf)
+			got := n.MatchesString(string(buf))
+			if got != want {
+				t.Fatalf("pattern %q input %q: nfa=%v regexp=%v", pat, buf, got, want)
+			}
+		}
+	}
+}
+
+func TestCompilePatternsPriority(t *testing.T) {
+	// Rule 0 ("if") must win over rule 1 (identifier) on "if".
+	n, err := CompilePatterns("kw", []string{"if", `[a-z]+`})
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := n.NewRun()
+	var last int32 = -1
+	for _, c := range []byte("if") {
+		_, rep := run.Step(core.Symbol(c))
+		if rep >= 0 {
+			last = rep
+		}
+	}
+	if last != 0 {
+		t.Errorf("report = %d, want rule 0", last)
+	}
+	// On "ix" only the identifier rule reports.
+	run.Reset()
+	last = -1
+	for _, c := range []byte("ix") {
+		_, rep := run.Step(core.Symbol(c))
+		if rep >= 0 {
+			last = rep
+		}
+	}
+	if last != 1 {
+		t.Errorf("report = %d, want rule 1", last)
+	}
+}
+
+func TestRunExhaustion(t *testing.T) {
+	n := mustCompile(t, "ab")
+	run := n.NewRun()
+	alive, rep := run.Step('a')
+	if !alive || rep != -1 {
+		t.Fatalf("after a: alive=%v rep=%d", alive, rep)
+	}
+	alive, rep = run.Step('b')
+	if !alive || rep != 0 {
+		t.Fatalf("after b: alive=%v rep=%d", alive, rep)
+	}
+	alive, _ = run.Step('c')
+	if alive {
+		t.Fatal("expected state exhaustion after c")
+	}
+	if run.Steps != 3 {
+		t.Errorf("Steps = %d", run.Steps)
+	}
+}
+
+func TestActiveSet(t *testing.T) {
+	a := NewActiveSet(130)
+	if a.Any() {
+		t.Error("fresh set should be empty")
+	}
+	a.Set(0)
+	a.Set(64)
+	a.Set(129)
+	if !a.Has(0) || !a.Has(64) || !a.Has(129) || a.Has(1) {
+		t.Error("membership wrong")
+	}
+	if a.Count() != 3 {
+		t.Errorf("Count = %d", a.Count())
+	}
+	a.Clear()
+	if a.Any() {
+		t.Error("Clear failed")
+	}
+}
+
+func TestEmptyPattern(t *testing.T) {
+	n := mustCompile(t, "")
+	if !n.MatchesString("") {
+		t.Error("empty pattern should match empty string")
+	}
+	if n.MatchesString("a") {
+		t.Error("empty pattern should not match 'a'")
+	}
+	if !n.AcceptEmpty || n.EmptyReport != 0 {
+		t.Errorf("AcceptEmpty=%v EmptyReport=%d", n.AcceptEmpty, n.EmptyReport)
+	}
+}
+
+func TestGlushkovHomogeneity(t *testing.T) {
+	// Every state matches exactly the symbol set of its position — one
+	// state per literal position.
+	n := mustCompile(t, "a(b|c)d")
+	if n.NumStates() != 4 {
+		t.Errorf("states = %d, want 4 (Glushkov positions)", n.NumStates())
+	}
+	if err := n.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}

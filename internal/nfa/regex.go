@@ -1,0 +1,303 @@
+package nfa
+
+import (
+	"fmt"
+
+	"aspen/internal/core"
+)
+
+// Regex AST node kinds.
+type nodeKind uint8
+
+const (
+	nClass  nodeKind = iota // leaf: symbol set
+	nConcat                 // sequence
+	nAlt                    // alternation
+	nStar                   // zero or more
+	nPlus                   // one or more
+	nOpt                    // zero or one
+	nEmpty                  // ε
+)
+
+type node struct {
+	kind nodeKind
+	set  core.SymbolSet // nClass
+	subs []*node
+}
+
+// ParseRegex parses the supported regular-expression dialect:
+// literals, '.', character classes [abc], [a-z], [^...], escapes
+// (\n \r \t \0 \\ and \xHH, plus classes \d \D \w \W \s \S), grouping
+// (…), alternation |, and postfix * + ?.
+func ParseRegex(pattern string) (*node, error) {
+	p := &reParser{src: pattern}
+	n, err := p.alt()
+	if err != nil {
+		return nil, fmt.Errorf("regex %q: %w", pattern, err)
+	}
+	if p.pos != len(p.src) {
+		return nil, fmt.Errorf("regex %q: unexpected %q at %d", pattern, p.src[p.pos], p.pos)
+	}
+	return n, nil
+}
+
+type reParser struct {
+	src string
+	pos int
+}
+
+func (p *reParser) peek() (byte, bool) {
+	if p.pos < len(p.src) {
+		return p.src[p.pos], true
+	}
+	return 0, false
+}
+
+func (p *reParser) alt() (*node, error) {
+	left, err := p.concat()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		c, ok := p.peek()
+		if !ok || c != '|' {
+			return left, nil
+		}
+		p.pos++
+		right, err := p.concat()
+		if err != nil {
+			return nil, err
+		}
+		if left.kind == nAlt {
+			left.subs = append(left.subs, right)
+		} else {
+			left = &node{kind: nAlt, subs: []*node{left, right}}
+		}
+	}
+}
+
+func (p *reParser) concat() (*node, error) {
+	var parts []*node
+	for {
+		c, ok := p.peek()
+		if !ok || c == '|' || c == ')' {
+			break
+		}
+		n, err := p.postfix()
+		if err != nil {
+			return nil, err
+		}
+		parts = append(parts, n)
+	}
+	switch len(parts) {
+	case 0:
+		return &node{kind: nEmpty}, nil
+	case 1:
+		return parts[0], nil
+	default:
+		return &node{kind: nConcat, subs: parts}, nil
+	}
+}
+
+func (p *reParser) postfix() (*node, error) {
+	n, err := p.atom()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		c, ok := p.peek()
+		if !ok {
+			return n, nil
+		}
+		switch c {
+		case '*':
+			n = &node{kind: nStar, subs: []*node{n}}
+		case '+':
+			n = &node{kind: nPlus, subs: []*node{n}}
+		case '?':
+			n = &node{kind: nOpt, subs: []*node{n}}
+		default:
+			return n, nil
+		}
+		p.pos++
+	}
+}
+
+func (p *reParser) atom() (*node, error) {
+	c, ok := p.peek()
+	if !ok {
+		return nil, fmt.Errorf("unexpected end of pattern")
+	}
+	switch c {
+	case '(':
+		p.pos++
+		n, err := p.alt()
+		if err != nil {
+			return nil, err
+		}
+		if c, ok := p.peek(); !ok || c != ')' {
+			return nil, fmt.Errorf("missing ')' at %d", p.pos)
+		}
+		p.pos++
+		return n, nil
+	case '[':
+		return p.class()
+	case '.':
+		p.pos++
+		return &node{kind: nClass, set: core.AllSymbols()}, nil
+	case '\\':
+		set, err := p.escape()
+		if err != nil {
+			return nil, err
+		}
+		return &node{kind: nClass, set: set}, nil
+	case '*', '+', '?':
+		return nil, fmt.Errorf("dangling %q at %d", c, p.pos)
+	default:
+		p.pos++
+		return &node{kind: nClass, set: core.NewSymbolSet(core.Symbol(c))}, nil
+	}
+}
+
+// escape consumes a backslash escape and returns its symbol set.
+func (p *reParser) escape() (core.SymbolSet, error) {
+	p.pos++ // consume '\'
+	c, ok := p.peek()
+	if !ok {
+		return core.SymbolSet{}, fmt.Errorf("trailing backslash")
+	}
+	p.pos++
+	one := func(b byte) (core.SymbolSet, error) { return core.NewSymbolSet(core.Symbol(b)), nil }
+	switch c {
+	case 'n':
+		return one('\n')
+	case 'r':
+		return one('\r')
+	case 't':
+		return one('\t')
+	case 'f':
+		return one('\f')
+	case 'v':
+		return one('\v')
+	case 'a':
+		return one('\a')
+	case '0':
+		return one(0)
+	case 'd':
+		return core.SymbolRange('0', '9'), nil
+	case 'D':
+		return complement(core.SymbolRange('0', '9')), nil
+	case 'w':
+		return wordSet(), nil
+	case 'W':
+		return complement(wordSet()), nil
+	case 's':
+		return spaceSet(), nil
+	case 'S':
+		return complement(spaceSet()), nil
+	case 'x':
+		if p.pos+2 > len(p.src) {
+			return core.SymbolSet{}, fmt.Errorf("truncated \\x escape")
+		}
+		hi, ok1 := hexVal(p.src[p.pos])
+		lo, ok2 := hexVal(p.src[p.pos+1])
+		if !ok1 || !ok2 {
+			return core.SymbolSet{}, fmt.Errorf("bad \\x escape at %d", p.pos)
+		}
+		p.pos += 2
+		return one(hi<<4 | lo)
+	default:
+		// Escaped metacharacter (\\ \. \[ \( etc.).
+		return one(c)
+	}
+}
+
+func hexVal(b byte) (byte, bool) {
+	switch {
+	case b >= '0' && b <= '9':
+		return b - '0', true
+	case b >= 'a' && b <= 'f':
+		return b - 'a' + 10, true
+	case b >= 'A' && b <= 'F':
+		return b - 'A' + 10, true
+	}
+	return 0, false
+}
+
+func wordSet() core.SymbolSet {
+	s := core.SymbolRange('a', 'z').Union(core.SymbolRange('A', 'Z')).Union(core.SymbolRange('0', '9'))
+	s.Add('_')
+	return s
+}
+
+func spaceSet() core.SymbolSet {
+	return core.NewSymbolSet(' ', '\t', '\n', '\r', '\v', '\f')
+}
+
+func complement(s core.SymbolSet) core.SymbolSet {
+	return core.SymbolSet{^s[0], ^s[1], ^s[2], ^s[3]}
+}
+
+// class parses a [...] character class.
+func (p *reParser) class() (*node, error) {
+	p.pos++ // consume '['
+	neg := false
+	if c, ok := p.peek(); ok && c == '^' {
+		neg = true
+		p.pos++
+	}
+	var set core.SymbolSet
+	empty := true
+	for {
+		c, ok := p.peek()
+		if !ok {
+			return nil, fmt.Errorf("missing ']'")
+		}
+		if c == ']' && !empty {
+			p.pos++
+			break
+		}
+		var lo core.SymbolSet
+		if c == '\\' {
+			var err error
+			lo, err = p.escape()
+			if err != nil {
+				return nil, err
+			}
+		} else {
+			p.pos++
+			lo = core.NewSymbolSet(core.Symbol(c))
+		}
+		empty = false
+		// Range a-z: only when lo is a single symbol and '-' is not last.
+		if c2, ok := p.peek(); ok && c2 == '-' && p.pos+1 < len(p.src) && p.src[p.pos+1] != ']' {
+			p.pos++ // '-'
+			hiC, _ := p.peek()
+			var hi core.SymbolSet
+			if hiC == '\\' {
+				var err error
+				hi, err = p.escape()
+				if err != nil {
+					return nil, err
+				}
+			} else {
+				p.pos++
+				hi = core.NewSymbolSet(core.Symbol(hiC))
+			}
+			los, his := lo.Symbols(), hi.Symbols()
+			if len(los) != 1 || len(his) != 1 || his[0] < los[0] {
+				return nil, fmt.Errorf("bad class range near %d", p.pos)
+			}
+			set = set.Union(core.SymbolRange(los[0], his[0]))
+			continue
+		}
+		set = set.Union(lo)
+	}
+	if neg {
+		set = complement(set)
+	}
+	if set.IsEmpty() {
+		return nil, fmt.Errorf("empty character class")
+	}
+	return &node{kind: nClass, set: set}, nil
+}

@@ -1,0 +1,56 @@
+package nfa
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// Compile must never panic on arbitrary pattern strings.
+func TestCompileNeverPanics(t *testing.T) {
+	r := rand.New(rand.NewSource(31))
+	alphabet := []byte(`ab(|)*+?[]-^\dwsx01.`)
+	for i := 0; i < 5000; i++ {
+		buf := make([]byte, r.Intn(24))
+		for j := range buf {
+			buf[j] = alphabet[r.Intn(len(alphabet))]
+		}
+		n, err := Compile("fuzz", string(buf))
+		if err == nil {
+			if verr := n.Validate(); verr != nil {
+				t.Fatalf("Compile accepted %q but Validate rejects: %v", buf, verr)
+			}
+			// Running any input must be safe.
+			n.MatchesString("abba")
+		}
+	}
+}
+
+// Byte soup including control and high bytes.
+func TestCompileByteSoup(t *testing.T) {
+	r := rand.New(rand.NewSource(32))
+	for i := 0; i < 2000; i++ {
+		buf := make([]byte, r.Intn(16))
+		for j := range buf {
+			buf[j] = byte(r.Intn(256))
+		}
+		if n, err := Compile("soup", string(buf)); err == nil {
+			n.MatchesString(string(buf))
+		}
+	}
+}
+
+// Property: for patterns over a tiny dialect, compiled size is linear in
+// pattern literals (Glushkov: one state per position).
+func TestGlushkovLinearSize(t *testing.T) {
+	pat := ""
+	for i := 0; i < 50; i++ {
+		pat += "a"
+		n, err := Compile("lin", pat)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n.NumStates() != i+1 {
+			t.Fatalf("pattern of %d literals has %d states", i+1, n.NumStates())
+		}
+	}
+}

@@ -1,0 +1,209 @@
+// Package place maps hDPDA states onto ASPEN's banked SRAM arrays — the
+// role the METIS graph partitioner plays in the paper (§IV-B, §V-A).
+// Each bank holds at most 256 states; transitions within a bank route
+// through the dense local crossbar (L-switch) while transitions between
+// banks traverse the sparser global crossbar (G-switch), so the
+// partitioner minimizes cut edges. The algorithm is greedy BFS region
+// growing followed by Kernighan–Lin-style boundary refinement, which
+// exercises the same local/global connectivity constraints as METIS.
+package place
+
+import (
+	"fmt"
+	"math/rand"
+
+	"aspen/internal/core"
+)
+
+// DefaultBankStates is the per-bank state capacity (one 256×256 SRAM
+// array column per state).
+const DefaultBankStates = 256
+
+// Options configures partitioning.
+type Options struct {
+	// BankStates is the per-bank capacity (default 256).
+	BankStates int
+	// Random skips region growing and refinement, assigning states to
+	// banks round-robin in shuffled order — the ablation baseline.
+	Random bool
+	// Seed drives the Random shuffle.
+	Seed int64
+	// RefinePasses bounds KL refinement sweeps (default 8).
+	RefinePasses int
+}
+
+// Placement is a state→bank assignment.
+type Placement struct {
+	BankOf     []int
+	NumBanks   int
+	BankStates int
+}
+
+// Stats summarizes placement quality.
+type Stats struct {
+	NumBanks   int
+	CutEdges   int // inter-bank transitions (G-switch traffic)
+	LocalEdges int // intra-bank transitions (L-switch traffic)
+}
+
+// Partition places m's states into banks.
+func Partition(m *core.HDPDA, opts Options) (*Placement, error) {
+	cap_ := opts.BankStates
+	if cap_ == 0 {
+		cap_ = DefaultBankStates
+	}
+	if cap_ < 1 {
+		return nil, fmt.Errorf("place: bank capacity %d", cap_)
+	}
+	n := m.NumStates()
+	numBanks := (n + cap_ - 1) / cap_
+	p := &Placement{
+		BankOf:     make([]int, n),
+		NumBanks:   numBanks,
+		BankStates: cap_,
+	}
+	if n == 0 {
+		return p, nil
+	}
+
+	// Undirected adjacency for locality decisions.
+	adj := make([][]int32, n)
+	for i := range m.States {
+		for _, t := range m.States[i].Succ {
+			if int32(i) != int32(t) {
+				adj[i] = append(adj[i], int32(t))
+				adj[t] = append(adj[t], int32(i))
+			}
+		}
+	}
+
+	if opts.Random {
+		r := rand.New(rand.NewSource(opts.Seed))
+		order := r.Perm(n)
+		for rank, s := range order {
+			p.BankOf[s] = rank % numBanks
+		}
+		return p, nil
+	}
+
+	// Greedy BFS region growing from the start state: fill each bank
+	// with a connected region before opening the next.
+	for i := range p.BankOf {
+		p.BankOf[i] = -1
+	}
+	load := make([]int, numBanks)
+	bank := 0
+	var frontier []int32
+	assigned := 0
+	assign := func(s int32) {
+		p.BankOf[s] = bank
+		load[bank]++
+		assigned++
+		frontier = append(frontier, s)
+	}
+	assign(int32(m.Start))
+	next := 0
+	for assigned < n {
+		if load[bank] >= cap_ {
+			bank++
+			frontier = frontier[:0]
+		}
+		// Prefer a neighbor of the current region; fall back to the
+		// next unassigned state.
+		var pick int32 = -1
+		for len(frontier) > 0 && pick < 0 {
+			f := frontier[0]
+			found := false
+			for _, t := range adj[f] {
+				if p.BankOf[t] < 0 {
+					pick = t
+					found = true
+					break
+				}
+			}
+			if !found {
+				frontier = frontier[1:]
+			}
+		}
+		if pick < 0 {
+			for p.BankOf[next] >= 0 {
+				next++
+			}
+			pick = int32(next)
+		}
+		assign(pick)
+	}
+
+	refine(m, p, load, opts)
+	return p, nil
+}
+
+// refine runs bounded KL-style passes: move a boundary state to a
+// neighboring bank when that strictly reduces the cut and respects
+// capacity.
+func refine(m *core.HDPDA, p *Placement, load []int, opts Options) {
+	passes := opts.RefinePasses
+	if passes == 0 {
+		passes = 8
+	}
+	n := m.NumStates()
+	// Directed edges matter equally in both directions for cut size, so
+	// gather per-state neighbor banks from both edge directions.
+	adj := make([][]int32, n)
+	for i := range m.States {
+		for _, t := range m.States[i].Succ {
+			if int32(i) != int32(t) {
+				adj[i] = append(adj[i], int32(t))
+				adj[t] = append(adj[t], int32(i))
+			}
+		}
+	}
+	for pass := 0; pass < passes; pass++ {
+		moved := 0
+		for s := 0; s < n; s++ {
+			if s == int(m.Start) {
+				continue // keep the start anchored in bank 0
+			}
+			cur := p.BankOf[s]
+			// Tally neighbor banks.
+			counts := map[int]int{}
+			for _, t := range adj[s] {
+				counts[p.BankOf[t]]++
+			}
+			best, bestGain := cur, 0
+			for b, c := range counts {
+				if b == cur || load[b] >= p.BankStates {
+					continue
+				}
+				gain := c - counts[cur]
+				if gain > bestGain {
+					best, bestGain = b, gain
+				}
+			}
+			if best != cur {
+				load[cur]--
+				load[best]++
+				p.BankOf[s] = best
+				moved++
+			}
+		}
+		if moved == 0 {
+			break
+		}
+	}
+}
+
+// Evaluate computes cut statistics for a placement.
+func Evaluate(m *core.HDPDA, p *Placement) Stats {
+	st := Stats{NumBanks: p.NumBanks}
+	for i := range m.States {
+		for _, t := range m.States[i].Succ {
+			if p.BankOf[i] == p.BankOf[t] {
+				st.LocalEdges++
+			} else {
+				st.CutEdges++
+			}
+		}
+	}
+	return st
+}

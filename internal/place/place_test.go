@@ -1,0 +1,113 @@
+package place
+
+import (
+	"testing"
+
+	"aspen/internal/compile"
+	"aspen/internal/core"
+	"aspen/internal/grammar"
+	"aspen/internal/lang"
+)
+
+func coolMachine(t *testing.T) *core.HDPDA {
+	t.Helper()
+	cm, err := lang.Cool().Compile(compile.OptAll)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cm.Machine
+}
+
+func TestPartitionCapacityRespected(t *testing.T) {
+	m := coolMachine(t)
+	for _, cap_ := range []int{64, 128, 256} {
+		p, err := Partition(m, Options{BankStates: cap_})
+		if err != nil {
+			t.Fatal(err)
+		}
+		loads := make([]int, p.NumBanks)
+		for _, b := range p.BankOf {
+			if b < 0 || b >= p.NumBanks {
+				t.Fatalf("bank %d out of range", b)
+			}
+			loads[b]++
+		}
+		for i, l := range loads {
+			if l > cap_ {
+				t.Errorf("cap %d: bank %d has %d states", cap_, i, l)
+			}
+		}
+		want := (m.NumStates() + cap_ - 1) / cap_
+		if p.NumBanks != want {
+			t.Errorf("cap %d: %d banks, want %d", cap_, p.NumBanks, want)
+		}
+	}
+}
+
+func TestPartitionBeatsRandom(t *testing.T) {
+	m := coolMachine(t)
+	good, err := Partition(m, Options{BankStates: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad, err := Partition(m, Options{BankStates: 256, Random: true, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gs, bs := Evaluate(m, good), Evaluate(m, bad)
+	if gs.CutEdges+gs.LocalEdges != bs.CutEdges+bs.LocalEdges {
+		t.Fatal("edge totals differ")
+	}
+	if gs.CutEdges >= bs.CutEdges {
+		t.Errorf("partitioned cut %d !< random %d", gs.CutEdges, bs.CutEdges)
+	}
+}
+
+func TestSingleBankWhenFits(t *testing.T) {
+	m := core.PalindromeHDPDA()
+	p, err := Partition(m, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.NumBanks != 1 {
+		t.Errorf("banks = %d", p.NumBanks)
+	}
+	s := Evaluate(m, p)
+	if s.CutEdges != 0 || s.LocalEdges != m.CountEdges() {
+		t.Errorf("stats = %+v", s)
+	}
+}
+
+func TestPartitionSmallCapacityStress(t *testing.T) {
+	// Tiny banks force many cuts but must still respect capacity and
+	// cover every state exactly once.
+	cm, err := compile.FromGrammar(grammar.ArithGrammar(), compile.OptAll)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := cm.Machine
+	p, err := Partition(m, Options{BankStates: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := make([]int, p.NumBanks)
+	for _, b := range p.BankOf {
+		seen[b]++
+	}
+	total := 0
+	for _, c := range seen {
+		if c > 4 {
+			t.Errorf("bank overloaded: %d", c)
+		}
+		total += c
+	}
+	if total != m.NumStates() {
+		t.Errorf("covered %d of %d states", total, m.NumStates())
+	}
+}
+
+func TestBadCapacity(t *testing.T) {
+	if _, err := Partition(core.PalindromeHDPDA(), Options{BankStates: -1}); err == nil {
+		t.Error("negative capacity should error")
+	}
+}

@@ -1,0 +1,214 @@
+// Package stream provides incremental (chunked) parsing on ASPEN — the
+// operating regime the paper targets ("processing MBs to GBs of input
+// symbols", §IV-B), where the input is streamed through the memory-mapped
+// input buffers rather than presented at once. The Parser accepts byte
+// chunks of any size, carries the lexer's longest-match boundary state
+// and the hDPDA execution across chunks, and produces identical results
+// to whole-input parsing.
+package stream
+
+import (
+	"fmt"
+	"io"
+
+	"aspen/internal/compile"
+	"aspen/internal/core"
+	"aspen/internal/lang"
+	"aspen/internal/lexer"
+)
+
+// Parser is an incremental lex+parse pipeline.
+type Parser struct {
+	l    *lang.Language
+	cm   *compile.Compiled
+	lx   *lexer.Lexer
+	exec *core.Execution
+
+	mode   string
+	tail   []byte // bytes not yet safely tokenized
+	offset int    // stream offset of tail[0]
+
+	tokens   int
+	lexStats lexer.Stats
+	jammed   bool
+	jamPos   int
+	closed   bool
+	err      error
+}
+
+// Outcome summarizes a completed stream parse.
+type Outcome struct {
+	Accepted bool
+	Tokens   int
+	Bytes    int
+	LexStats lexer.Stats
+	Result   core.Result
+}
+
+// NewParser builds a streaming parser for the language using an
+// already-compiled machine.
+func NewParser(l *lang.Language, cm *compile.Compiled, opts core.ExecOptions) (*Parser, error) {
+	lx, err := l.Lexer()
+	if err != nil {
+		return nil, err
+	}
+	return &Parser{
+		l: l, cm: cm, lx: lx,
+		exec: core.NewExecution(cm.Machine, opts),
+		mode: lexer.DefaultMode,
+	}, nil
+}
+
+// Write feeds one chunk. It implements io.Writer.
+func (p *Parser) Write(chunk []byte) (int, error) {
+	if p.err != nil {
+		return 0, p.err
+	}
+	if p.closed {
+		return 0, fmt.Errorf("stream: write after Close")
+	}
+	p.tail = append(p.tail, chunk...)
+	toks, consumed, mode, stats, err := p.lx.TokenizeChunk(p.tail, p.mode)
+	p.accumulate(stats)
+	if err != nil {
+		p.err = p.locate(err)
+		return 0, p.err
+	}
+	if ferr := p.feed(toks, p.tail); ferr != nil {
+		p.err = ferr
+		return 0, p.err
+	}
+	p.mode = mode
+	p.offset += consumed
+	p.tail = append(p.tail[:0], p.tail[consumed:]...)
+	return len(chunk), nil
+}
+
+// Close flushes the trailing lexeme, feeds the endmarker, and returns
+// the outcome.
+func (p *Parser) Close() (Outcome, error) {
+	if p.err != nil {
+		return p.outcome(), p.err
+	}
+	if p.closed {
+		return p.outcome(), fmt.Errorf("stream: double Close")
+	}
+	p.closed = true
+	// Final tokenization: end-of-stream semantics.
+	toks, stats, _, err := p.lx.TokenizeResume(p.tail, p.mode)
+	p.accumulate(stats)
+	if err != nil {
+		p.err = p.locate(err)
+		return p.outcome(), p.err
+	}
+	if ferr := p.feed(toks, p.tail); ferr != nil {
+		p.err = ferr
+		return p.outcome(), p.err
+	}
+	p.offset += len(p.tail)
+	p.tail = nil
+	// Endmarker + trailing ε-moves.
+	if !p.jammed {
+		if _, err := p.exec.DrainEpsilon(); err != nil {
+			p.err = err
+			return p.outcome(), err
+		}
+		ok, err := p.exec.Feed(compile.EndCode)
+		if err != nil {
+			p.err = err
+			return p.outcome(), err
+		}
+		if !ok {
+			p.jammed = true
+			p.jamPos = p.offset
+		} else if _, err := p.exec.DrainEpsilon(); err != nil {
+			p.err = err
+			return p.outcome(), err
+		}
+	}
+	return p.outcome(), nil
+}
+
+// feed pushes tokens through the machine.
+func (p *Parser) feed(toks []lexer.Token, buf []byte) error {
+	if p.jammed {
+		return nil
+	}
+	for _, tk := range toks {
+		sym := p.l.Grammar.Lookup(tk.Name)
+		code, ok := p.cm.Tokens.Code(sym)
+		if !ok {
+			return fmt.Errorf("stream: token %q is not a terminal", tk.Name)
+		}
+		if _, err := p.exec.DrainEpsilon(); err != nil {
+			return err
+		}
+		fed, err := p.exec.Feed(code)
+		if err != nil {
+			return err
+		}
+		p.tokens++
+		if !fed {
+			p.jammed = true
+			p.jamPos = p.offset + tk.Start
+			return nil
+		}
+	}
+	return nil
+}
+
+func (p *Parser) accumulate(s lexer.Stats) {
+	p.lexStats.Tokens += s.Tokens
+	p.lexStats.ScanCycles += s.ScanCycles
+	p.lexStats.HandoffCycles += s.HandoffCycles
+}
+
+// locate rebases a lexer error position to the absolute stream offset.
+func (p *Parser) locate(err error) error {
+	if le, ok := err.(*lexer.Error); ok {
+		le.Pos += p.offset
+		return le
+	}
+	return err
+}
+
+func (p *Parser) outcome() Outcome {
+	res := p.exec.Result()
+	res.Jammed = p.jammed
+	res.Accepted = p.closed && !p.jammed && p.err == nil && p.exec.InAccept()
+	p.lexStats.Bytes = p.offset + len(p.tail)
+	return Outcome{
+		Accepted: res.Accepted,
+		Tokens:   p.tokens,
+		Bytes:    p.lexStats.Bytes,
+		LexStats: p.lexStats,
+		Result:   res,
+	}
+}
+
+// ParseReader drains r through the parser in bufSize chunks.
+func ParseReader(l *lang.Language, cm *compile.Compiled, r io.Reader, bufSize int, opts core.ExecOptions) (Outcome, error) {
+	if bufSize <= 0 {
+		bufSize = 64 << 10
+	}
+	p, err := NewParser(l, cm, opts)
+	if err != nil {
+		return Outcome{}, err
+	}
+	buf := make([]byte, bufSize)
+	for {
+		n, rerr := r.Read(buf)
+		if n > 0 {
+			if _, werr := p.Write(buf[:n]); werr != nil {
+				return p.outcome(), werr
+			}
+		}
+		if rerr == io.EOF {
+			break
+		}
+		if rerr != nil {
+			return p.outcome(), rerr
+		}
+	}
+	return p.Close()
+}

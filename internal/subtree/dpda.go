@@ -1,0 +1,244 @@
+package subtree
+
+import (
+	"fmt"
+
+	"aspen/internal/core"
+)
+
+// Inclusion automata (the ASPEN mining kernel): each candidate subtree
+// compiles to a small hDPDA that decides first-fit inclusion over the
+// preorder string encoding of an anchor subtree. The machine has no
+// ε-transitions — the paper's observation that subtree-inclusion DPDAs
+// run one input symbol per cycle, making mining runtime linear in input
+// length. The hardware stack carries one frame per tree level: the
+// matched pattern label on match-descent, a SKIP marker on
+// skip-descent, so the stack alphabet is the pattern's label set plus
+// two (Table V's "Stack Alphabets = Alphabets + 1" shape) and the stack
+// depth is bounded by tree depth (Table V "Stack-Size").
+
+// Input symbol encoding for inclusion machines.
+const (
+	// SymOther encodes any tree label outside the pattern's alphabet.
+	SymOther core.Symbol = 0
+	// SymUp encodes the backtrack marker.
+	SymUp core.Symbol = 1
+	// symLabelBase is the first code assigned to pattern labels.
+	symLabelBase core.Symbol = 2
+)
+
+// Stack symbol encoding: core.BottomOfStack (0) is ⊥, stkSkip marks
+// skipped-subtree frames, pattern labels start at symLabelBase.
+const stkSkip core.Symbol = 1
+
+// InclusionMachine is a compiled candidate.
+type InclusionMachine struct {
+	Pattern *Tree
+	Machine *core.HDPDA
+	// proj maps tree labels to input symbols (labels outside the
+	// pattern's alphabet project to SymOther).
+	proj map[Label]core.Symbol
+	// enc is the pattern's preorder string encoding.
+	enc []Label
+}
+
+// NewInclusionMachine compiles pattern into its inclusion hDPDA.
+func NewInclusionMachine(pattern *Tree) (*InclusionMachine, error) {
+	if err := pattern.Validate(); err != nil {
+		return nil, err
+	}
+	labels := pattern.DistinctLabels()
+	if len(labels) > 250 {
+		return nil, fmt.Errorf("subtree: pattern has %d distinct labels; the 8-bit alphabet allows 250", len(labels))
+	}
+	im := &InclusionMachine{
+		Pattern: pattern,
+		proj:    make(map[Label]core.Symbol, len(labels)),
+		enc:     pattern.Encode(),
+	}
+	for i, l := range labels {
+		im.proj[l] = symLabelBase + core.Symbol(i)
+	}
+
+	m := &core.HDPDA{Name: fmt.Sprintf("incl-%s", pattern.Key())}
+	allLabels := core.AllSymbols()
+	allLabels.Remove(SymUp) // every non-Up input symbol is a label
+	notSkip := core.AllSymbols()
+	notSkip.Remove(stkSkip)
+
+	ep := im.enc
+	mpos := len(ep)
+
+	// One entry-state set per pattern position; entries[k] lists the
+	// states whose activation means "now at position k".
+	type posStates struct {
+		match  core.StateID // consumes ep[k] (label) at match level
+		up     core.StateID // consumes Up when ep[k] == Up
+		skipA  core.StateID // skip-descend on a non-matching label
+		skipB  core.StateID // skip-descend on ep[k] inside a skip region
+		skipUp core.StateID // ascend within a skip region
+	}
+	ps := make([]posStates, mpos)
+	for k := 0; k < mpos; k++ {
+		accept := k == mpos-1 // completing the last position reports
+		if ep[k] != Up {
+			sym := im.proj[ep[k]]
+			ps[k].match = m.AddState(core.State{
+				Label:  fmt.Sprintf("p%d:match(%d)", k, ep[k]),
+				Input:  core.NewSymbolSet(sym),
+				Stack:  notSkip,
+				Op:     core.StackOp{Push: sym, HasPush: true},
+				Accept: accept,
+			})
+			skipIn := allLabels
+			skipIn.Remove(sym)
+			ps[k].skipA = m.AddState(core.State{
+				Label: fmt.Sprintf("p%d:skipA", k),
+				Input: skipIn,
+				Stack: core.AllSymbols(),
+				Op:    core.StackOp{Push: stkSkip, HasPush: true},
+			})
+			ps[k].skipB = m.AddState(core.State{
+				Label: fmt.Sprintf("p%d:skipB", k),
+				Input: core.NewSymbolSet(sym),
+				Stack: core.NewSymbolSet(stkSkip),
+				Op:    core.StackOp{Push: stkSkip, HasPush: true},
+			})
+		} else {
+			labelFrames := core.AllSymbols()
+			labelFrames.Remove(stkSkip)
+			labelFrames.Remove(core.BottomOfStack)
+			ps[k].up = m.AddState(core.State{
+				Label:  fmt.Sprintf("p%d:up", k),
+				Input:  core.NewSymbolSet(SymUp),
+				Stack:  labelFrames,
+				Op:     core.StackOp{Pop: 1},
+				Accept: accept,
+			})
+			ps[k].skipA = m.AddState(core.State{
+				Label: fmt.Sprintf("p%d:skipA", k),
+				Input: allLabels,
+				Stack: core.AllSymbols(),
+				Op:    core.StackOp{Push: stkSkip, HasPush: true},
+			})
+		}
+		ps[k].skipUp = m.AddState(core.State{
+			Label: fmt.Sprintf("p%d:skipUp", k),
+			Input: core.NewSymbolSet(SymUp),
+			Stack: core.NewSymbolSet(stkSkip),
+			Op:    core.StackOp{Pop: 1},
+		})
+	}
+	start := m.AddState(core.State{Label: "start", Epsilon: true, Stack: core.AllSymbols()})
+	m.Start = start
+
+	// successors of "being at position k": advance states enter k+1,
+	// skip states re-enter k.
+	succOf := func(k int) []core.StateID {
+		var out []core.StateID
+		if k >= mpos {
+			return nil // pattern complete: input is exhausted here
+		}
+		if ep[k] != Up {
+			out = append(out, ps[k].match, ps[k].skipA, ps[k].skipB, ps[k].skipUp)
+		} else {
+			out = append(out, ps[k].up, ps[k].skipA, ps[k].skipUp)
+		}
+		return out
+	}
+	connect := func(from core.StateID, k int) {
+		for _, t := range succOf(k) {
+			m.AddEdge(from, t)
+		}
+	}
+	connect(start, 0)
+	for k := 0; k < mpos; k++ {
+		if ep[k] != Up {
+			connect(ps[k].match, k+1)
+			connect(ps[k].skipB, k)
+		} else {
+			connect(ps[k].up, k+1)
+		}
+		connect(ps[k].skipA, k)
+		connect(ps[k].skipUp, k)
+	}
+
+	if err := m.Validate(); err != nil {
+		return nil, fmt.Errorf("subtree: inclusion machine invalid: %w", err)
+	}
+	im.Machine = m
+	return im, nil
+}
+
+// EncodeInput projects a preorder string encoding onto the machine's
+// input alphabet.
+func (im *InclusionMachine) EncodeInput(seq []Label) []core.Symbol {
+	out := make([]core.Symbol, len(seq))
+	for i, s := range seq {
+		switch {
+		case s == Up:
+			out[i] = SymUp
+		default:
+			if sym, ok := im.proj[s]; ok {
+				out[i] = sym
+			} else {
+				out[i] = SymOther
+			}
+		}
+	}
+	return out
+}
+
+// AlphabetSize is the number of distinct input symbols the machine
+// distinguishes (pattern labels + Up + other) — Table V "Automata
+// Alphabets".
+func (im *InclusionMachine) AlphabetSize() int { return len(im.proj) + 2 }
+
+// StackAlphabetSize is ⊥ + SKIP + pattern labels — Table V "Stack
+// Alphabets".
+func (im *InclusionMachine) StackAlphabetSize() int { return len(im.proj) + 2 }
+
+// MatchesAnchor runs the machine over the subtree rooted at anchor.
+func (im *InclusionMachine) MatchesAnchor(tree *Tree, anchor int32) (bool, error) {
+	in := im.EncodeInput(tree.EncodeSubtree(anchor))
+	res, err := im.Machine.Run(in, core.ExecOptions{})
+	if err != nil {
+		return false, err
+	}
+	return res.Accepted, nil
+}
+
+// Includes runs the machine over every root-label anchor in tree.
+func (im *InclusionMachine) Includes(tree *Tree) (bool, error) {
+	root := im.Pattern.Labels[0]
+	for i := int32(0); i < int32(tree.NumNodes()); i++ {
+		if tree.Labels[i] != root {
+			continue
+		}
+		ok, err := im.MatchesAnchor(tree, i)
+		if err != nil {
+			return false, err
+		}
+		if ok {
+			return true, nil
+		}
+	}
+	return false, nil
+}
+
+// Anchors returns the anchor nodes of tree for this pattern (the
+// CPU-side preprocessing step).
+func (im *InclusionMachine) Anchors(tree *Tree) []int32 {
+	var out []int32
+	root := im.Pattern.Labels[0]
+	for i := int32(0); i < int32(tree.NumNodes()); i++ {
+		if tree.Labels[i] == root {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// execOptsForTest exposes default exec options (tests run the machine
+// directly).
+func (im *InclusionMachine) execOptsForTest() core.ExecOptions { return core.ExecOptions{} }

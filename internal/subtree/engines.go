@@ -1,0 +1,338 @@
+package subtree
+
+import (
+	"time"
+)
+
+// Execution models for the three mining engines of Fig. 9/10. All three
+// decide the same inclusion relation; they differ in how the checking
+// work is scheduled onto hardware:
+//
+//   - ASPEN: hundreds of candidate DPDAs run in parallel across LLC
+//     banks at one symbol per cycle with no stalls (§IV, §VI-C);
+//   - GPU: a SIMT model — 32-lane warps in lockstep, divergent lanes
+//     serialized, warp runtime set by its slowest lane (the TREEBANK
+//     pathology the paper describes);
+//   - CPU: sequential checking, measured directly.
+
+// ASPENMiner models parallel DPDA mining on ASPEN.
+type ASPENMiner struct {
+	// Banks is the number of LLC banks available for small DPDAs (the
+	// paper repurposes 8 ways per slice; 8 ways × 4 banks × 8 slices =
+	// 256 machine slots on the modeled Xeon-E5).
+	Banks int
+	// ClockMHz is the DPDA clock (850 MHz).
+	ClockMHz float64
+	// LoadBandwidthGBs models DRAM→LLC input streaming.
+	LoadBandwidthGBs float64
+	// ReportBandwidthGBs models report-vector readback.
+	ReportBandwidthGBs float64
+	// IntermediateNSPerCandidate models the CPU-side candidate
+	// generation between iterations.
+	IntermediateNSPerCandidate float64
+	// ConfigBytesPerState models per-iteration machine loading.
+	ConfigBytesPerState int
+}
+
+// DefaultASPENMiner is the paper's operating point.
+func DefaultASPENMiner() ASPENMiner {
+	return ASPENMiner{
+		Banks:                      256,
+		ClockMHz:                   850,
+		LoadBandwidthGBs:           20,
+		ReportBandwidthGBs:         20,
+		IntermediateNSPerCandidate: 200,
+		ConfigBytesPerState:        98,
+	}
+}
+
+// MinerTiming breaks an engine's modeled run into the paper's Fig. 9
+// components.
+type MinerTiming struct {
+	KernelNS       float64
+	LoadNS         float64
+	ReportNS       float64
+	IntermediateNS float64
+	ConfigNS       float64
+}
+
+// TotalNS is end-to-end time.
+func (t MinerTiming) TotalNS() float64 {
+	return t.KernelNS + t.LoadNS + t.ReportNS + t.IntermediateNS + t.ConfigNS
+}
+
+// Model computes ASPEN timing for a mining workload over a database of
+// dbBytes total encoded input.
+func (a ASPENMiner) Model(wl *Workload, dbBytes int64) MinerTiming {
+	var t MinerTiming
+	cycleNS := 1e3 / a.ClockMHz
+	for _, it := range wl.Iterations {
+		if it.AnchorRuns == 0 {
+			continue
+		}
+		// Independent anchor runs schedule across banks; with runs ≫
+		// banks the makespan approaches perfect division.
+		kernelCycles := float64(it.AnchorSymbols) / float64(min64(int64(a.Banks), maxI64(it.AnchorRuns, 1)))
+		t.KernelNS += kernelCycles * cycleNS
+		t.ConfigNS += float64(it.MachineStates*a.ConfigBytesPerState) / (a.LoadBandwidthGBs) // ns: bytes / (GB/s) = ns·(B/B)
+		t.IntermediateNS += float64(it.Candidates) * a.IntermediateNSPerCandidate
+		// One pass of the database per iteration (input streaming) and
+		// one report bit per run.
+		t.LoadNS += float64(dbBytes) / a.LoadBandwidthGBs
+		t.ReportNS += float64(it.AnchorRuns/8+1) / a.ReportBandwidthGBs
+	}
+	return t
+}
+
+func min64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func maxI64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// GPUMiner is the SIMT execution model.
+type GPUMiner struct {
+	// WarpSize is lanes per warp (32 on the modeled TITAN Xp).
+	WarpSize int
+	// SMs × WarpsPerSM is the number of concurrently resident warps.
+	SMs        int
+	WarpsPerSM int
+	// ClockMHz is the GPU core clock.
+	ClockMHz float64
+	// CyclesPerOp is the per-lane cost of one matching step.
+	CyclesPerOp float64
+	// TransferBandwidthGBs models host↔device copies.
+	TransferBandwidthGBs float64
+	// LaunchOverheadNS is per-iteration kernel launch + sync.
+	LaunchOverheadNS float64
+}
+
+// DefaultGPUMiner approximates the paper's TITAN Xp running the
+// memory-bound, gather-heavy matching kernel: 30 SMs with 4 schedulers
+// each issue the resident warps, and each lockstep matching step costs
+// ~12 cycles (uncoalesced label/sequence reads dominate).
+func DefaultGPUMiner() GPUMiner {
+	return GPUMiner{
+		WarpSize: 32, SMs: 30, WarpsPerSM: 4,
+		ClockMHz: 1500, CyclesPerOp: 5,
+		TransferBandwidthGBs: 12, LaunchOverheadNS: 20000,
+	}
+}
+
+// laneOp classifies one matching step (for divergence accounting).
+type laneOp uint8
+
+const (
+	opDone laneOp = iota
+	opMatch
+	opSkipDown
+	opPop
+	opFail
+)
+
+// laneState steps the first-fit matcher one symbol, returning the op
+// class executed. A lane owns one (candidate, tree) pair — GPUTreeMiner's
+// thread granularity — and works through the tree's anchor sequences
+// one after another, resetting the matcher between anchors.
+type laneState struct {
+	ep   []Label
+	seqs [][]Label
+	si   int // current anchor segment
+	k    int
+	skip int
+	pos  int
+}
+
+func (l *laneState) done() bool { return l.si >= len(l.seqs) }
+
+// nextSegment advances to the next anchor, if any.
+func (l *laneState) nextSegment() {
+	l.si++
+	l.k = 0
+	l.skip = 0
+	l.pos = 0
+}
+
+func (l *laneState) step() laneOp {
+	if l.done() {
+		return opDone
+	}
+	seq := l.seqs[l.si]
+	if l.k >= len(l.ep) || l.pos >= len(seq) {
+		// Matched (or exhausted) this anchor: a sequential thread stops
+		// at the first match, so a match retires the lane.
+		if l.k >= len(l.ep) {
+			l.si = len(l.seqs)
+		} else {
+			l.nextSegment()
+		}
+		if l.done() {
+			return opDone
+		}
+		seq = l.seqs[l.si]
+	}
+	s := seq[l.pos]
+	l.pos++
+	if s != Up {
+		if l.skip == 0 && l.ep[l.k] != Up && s == l.ep[l.k] {
+			l.k++
+			return opMatch
+		}
+		l.skip++
+		return opSkipDown
+	}
+	switch {
+	case l.skip > 0:
+		l.skip--
+		return opPop
+	case l.ep[l.k] == Up:
+		l.k++
+		return opPop
+	default:
+		// This anchor failed; move to the next one.
+		l.nextSegment()
+		return opFail
+	}
+}
+
+// SimulateChecks runs the SIMT model over a set of anchor runs (each a
+// (pattern encoding, anchor sequence) pair) and returns simulated warp
+// cycles. Lanes in a warp run in lockstep; each step costs one
+// sub-cycle per distinct op class among active lanes (divergence
+// serialization), and the warp retires with its slowest lane.
+func (g GPUMiner) SimulateChecks(runs []LaneRun) int64 {
+	var warpCycles int64
+	for base := 0; base < len(runs); base += g.WarpSize {
+		end := base + g.WarpSize
+		if end > len(runs) {
+			end = len(runs)
+		}
+		lanes := make([]laneState, end-base)
+		for i := base; i < end; i++ {
+			lanes[i-base] = laneState{ep: runs[i].Pattern, seqs: runs[i].Seqs}
+		}
+		for {
+			var mask [5]bool
+			active := false
+			for i := range lanes {
+				if lanes[i].done() {
+					continue
+				}
+				active = true
+				mask[lanes[i].step()] = true
+			}
+			if !active {
+				break
+			}
+			distinct := int64(0)
+			for _, m := range mask {
+				if m {
+					distinct++
+				}
+			}
+			warpCycles += distinct
+		}
+	}
+	return warpCycles
+}
+
+// LaneRun is one (pattern, tree) check for the SIMT model: the lane
+// scans the tree's anchor sequences in order, stopping at the first
+// match.
+type LaneRun struct {
+	Pattern []Label
+	Seqs    [][]Label
+}
+
+// Symbols returns the lane's total input length.
+func (r LaneRun) Symbols() int64 {
+	var n int64
+	for _, s := range r.Seqs {
+		n += int64(len(s))
+	}
+	return n
+}
+
+// ModelFromCycles converts simulated warp cycles plus transfer volumes
+// into timing, dividing across resident warps.
+func (g GPUMiner) ModelFromCycles(warpCycles int64, iterations int, transferBytes int64) MinerTiming {
+	resident := float64(g.SMs * g.WarpsPerSM)
+	cycleNS := 1e3 / g.ClockMHz
+	return MinerTiming{
+		KernelNS:       float64(warpCycles) * g.CyclesPerOp * cycleNS / resident,
+		LoadNS:         float64(transferBytes) / g.TransferBandwidthGBs,
+		IntermediateNS: float64(iterations) * g.LaunchOverheadNS,
+	}
+}
+
+// CPUMiner models the sequential TreeMatcher baseline: an optimized
+// native matcher spends a handful of cycles per encoded symbol (branchy
+// compare + pointer chase) and terminates a tree's anchor scan at the
+// first match.
+type CPUMiner struct {
+	// CyclesPerSymbol is the per-symbol matching cost.
+	CyclesPerSymbol float64
+	// ClockGHz is the host clock.
+	ClockGHz float64
+	// IntermediateNSPerCandidate models candidate generation between
+	// iterations (shared by all engines).
+	IntermediateNSPerCandidate float64
+}
+
+// DefaultCPUMiner models the paper's 2.6 GHz Xeon running an optimized
+// native matcher (TreeMatcher's scope-list pruning brings the effective
+// per-symbol cost down to a few cycles).
+func DefaultCPUMiner() CPUMiner {
+	return CPUMiner{CyclesPerSymbol: 3, ClockGHz: 2.6, IntermediateNSPerCandidate: 200}
+}
+
+// KernelNS models checking time under early termination.
+func (c CPUMiner) KernelNS(earlySymbols int64) float64 {
+	return float64(earlySymbols) * c.CyclesPerSymbol / c.ClockGHz
+}
+
+// IntermediateNS models the shared CPU-side candidate generation.
+func (c CPUMiner) IntermediateNS(candidates int) float64 {
+	return float64(candidates) * c.IntermediateNSPerCandidate
+}
+
+// Measure runs fn and returns wall-clock nanoseconds (for reporting the
+// Go implementation's own speed alongside the model).
+func (CPUMiner) Measure(fn func()) float64 {
+	start := time.Now()
+	fn()
+	return float64(time.Since(start).Nanoseconds())
+}
+
+// MiningEnergy models ASPEN's mining energy: per-symbol dynamic energy
+// in the active banks plus host power during the CPU-side phases and a
+// small LLC standby during the kernel (mining runs in the cache; the
+// host core idles in a low-power state, unlike the parsing pipeline
+// where the paper charges the full 20.15 W platform).
+type MiningEnergy struct {
+	DynamicPJPerSymbol float64
+	KernelPowerW       float64
+	HostPowerW         float64
+}
+
+// DefaultMiningEnergy uses the §V-B array energies (IM+SM+AL+switch ≈
+// 84 pJ/cycle including wires).
+func DefaultMiningEnergy() MiningEnergy {
+	return MiningEnergy{DynamicPJPerSymbol: 84, KernelPowerW: 5, HostPowerW: 28.5}
+}
+
+// EnergyUJ computes total mining energy from the timing split.
+func (e MiningEnergy) EnergyUJ(symbols int64, t MinerTiming) float64 {
+	dynamic := float64(symbols) * e.DynamicPJPerSymbol * 1e-6
+	kernel := e.KernelPowerW * t.KernelNS * 1e-3
+	host := e.HostPowerW * (t.IntermediateNS + t.LoadNS + t.ReportNS + t.ConfigNS) * 1e-3
+	return dynamic + kernel + host
+}

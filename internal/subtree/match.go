@@ -1,0 +1,162 @@
+package subtree
+
+// This file defines the inclusion relations. The mining engines (ASPEN
+// DPDA, CPU, GPU model) all decide *root-anchored first-fit induced
+// ordered inclusion*: scanning the anchor subtree in preorder, a node
+// matching the next expected pattern node is always taken (no
+// backtracking), everything else is skipped as a whole subtree. First-fit
+// success is a witness, so FirstFit ⊆ Exact; the two coincide unless a
+// greedily-matched sibling steals a match a later sibling needed, which
+// the tests characterize. Exact induced and embedded inclusion checkers
+// are provided for validation and for the Fig. 3 taxonomy.
+
+// matchFirstFitSeq decides first-fit inclusion of the encoded pattern ep
+// within the encoded anchor subtree es. It is the executable
+// specification the inclusion hDPDA is verified against (they share the
+// skip-depth discipline; the DPDA keeps skip depth on its hardware
+// stack).
+func matchFirstFitSeq(ep, es []Label) bool {
+	k := 0    // position in ep
+	skip := 0 // nesting depth inside skipped subtrees
+	for _, s := range es {
+		if k >= len(ep) {
+			return true
+		}
+		if s != Up {
+			if skip == 0 && ep[k] != Up && s == ep[k] {
+				k++ // match-descend
+			} else {
+				skip++ // skip-descend
+			}
+		} else {
+			switch {
+			case skip > 0:
+				skip--
+			case ep[k] == Up:
+				k++ // matched node closes in step with the pattern
+			default:
+				return false // node ended while the pattern expects children
+			}
+		}
+	}
+	return k >= len(ep)
+}
+
+// IncludesFirstFit reports whether pattern occurs in tree (first-fit,
+// root-anchored at any node whose label equals the pattern root).
+func IncludesFirstFit(pattern, tree *Tree) bool {
+	ep := pattern.Encode()
+	root := pattern.Labels[0]
+	for i := int32(0); i < int32(tree.NumNodes()); i++ {
+		if tree.Labels[i] != root {
+			continue
+		}
+		if matchFirstFitSeq(ep, tree.EncodeSubtree(i)) {
+			return true
+		}
+	}
+	return false
+}
+
+// IncludesInduced decides exact induced ordered inclusion: an injective,
+// order-preserving map from pattern nodes to tree nodes preserving
+// parent-child edges and labels.
+func IncludesInduced(pattern, tree *Tree) bool {
+	pattern.buildKids()
+	tree.buildKids()
+	memo := map[[2]int32]bool{}
+	var can func(p, t int32) bool
+	can = func(p, t int32) bool {
+		key := [2]int32{p, t}
+		if v, ok := memo[key]; ok {
+			return v
+		}
+		ok := false
+		if pattern.Labels[p] == tree.Labels[t] {
+			ok = matchChildSeq(pattern, tree, pattern.kids[p], tree.kids[t], can)
+		}
+		memo[key] = ok
+		return ok
+	}
+	for t := int32(0); t < int32(tree.NumNodes()); t++ {
+		if can(0, t) {
+			return true
+		}
+	}
+	return false
+}
+
+// matchChildSeq decides whether the pattern children pc can be matched,
+// in order, to a subsequence of tree children tc, each pair satisfying
+// can.
+func matchChildSeq(pattern, tree *Tree, pc, tc []int32, can func(p, t int32) bool) bool {
+	// dp[i] = smallest j such that pc[:i] matches into tc[:j]; greedy
+	// over tc with backtracking is exponential, so use DP.
+	n, m := len(pc), len(tc)
+	if n == 0 {
+		return true
+	}
+	if n > m {
+		return false
+	}
+	// reach[i] after processing tc prefix: classic subsequence DP.
+	reach := make([]bool, n+1)
+	reach[0] = true
+	for j := 0; j < m; j++ {
+		for i := n - 1; i >= 0; i-- {
+			if reach[i] && !reach[i+1] && can(pc[i], tc[j]) {
+				reach[i+1] = true
+			}
+		}
+		if reach[n] {
+			return true
+		}
+	}
+	return reach[n]
+}
+
+// IncludesEmbedded decides exact embedded ordered inclusion (paper
+// Fig. 3): a label-preserving mapping φ from pattern nodes to tree
+// nodes that is strictly increasing in preorder and maps every pattern
+// parent-child edge to an ancestor-descendant pair.
+func IncludesEmbedded(pattern, tree *Tree) bool {
+	// pre/post numbering for O(1) ancestor tests.
+	n := tree.NumNodes()
+	pre := make([]int32, n)
+	post := make([]int32, n)
+	var cp, cq int32
+	var number func(i int32)
+	number = func(i int32) {
+		pre[i] = cp
+		cp++
+		for _, c := range tree.Children(i) {
+			number(c)
+		}
+		post[i] = cq
+		cq++
+	}
+	number(0)
+	ancestor := func(a, b int32) bool { return pre[a] < pre[b] && post[a] > post[b] }
+
+	mapping := make([]int32, pattern.NumNodes())
+	var try func(pi int, minNode int32) bool
+	try = func(pi int, minNode int32) bool {
+		if pi == pattern.NumNodes() {
+			return true
+		}
+		for t := minNode; t < int32(n); t++ {
+			if tree.Labels[t] != pattern.Labels[pi] {
+				continue
+			}
+			if pp := pattern.Parent[pi]; pp >= 0 && !ancestor(mapping[pp], t) {
+				continue
+			}
+			mapping[pi] = t
+			if try(pi+1, t+1) {
+				return true
+			}
+		}
+		return false
+	}
+	return try(0, 0)
+}

@@ -1,0 +1,238 @@
+package subtree
+
+import (
+	"fmt"
+	"sort"
+	"time"
+)
+
+// Frequent subtree mining (paper §VI-C): breadth-first iterative search.
+// Each iteration generates (k+1)-node candidates from the frequent
+// k-node patterns by rightmost-path extension (Zaki's candidate
+// generation) and counts transaction support with the first-fit
+// inclusion kernel. The Workload record captures exactly the checking
+// work performed, which the ASPEN and GPU execution models consume.
+
+// Pattern is a frequent subtree with its support.
+type Pattern struct {
+	Tree    *Tree
+	Support int
+}
+
+// MineConfig bounds the search.
+type MineConfig struct {
+	// MinSupport is the transaction support threshold (number of trees
+	// containing the pattern).
+	MinSupport int
+	// MaxNodes caps pattern size (0 = unlimited).
+	MaxNodes int
+	// MaxPatterns aborts runaway searches (0 = 1e6).
+	MaxPatterns int
+	// CollectRuns, when positive, records up to this many individual
+	// anchor runs in the Workload for the GPU execution model.
+	CollectRuns int
+}
+
+// IterationLoad describes the checking work of one mining iteration.
+type IterationLoad struct {
+	// Level is the candidate size (nodes).
+	Level int
+	// Candidates is the number of candidate subtrees checked.
+	Candidates int
+	// Frequent is how many met the support threshold.
+	Frequent int
+	// MachineStates is the total hDPDA states across candidate machines
+	// (configuration load for ASPEN).
+	MachineStates int
+	// AnchorRuns is the number of (candidate, anchor) DPDA executions.
+	AnchorRuns int64
+	// AnchorSymbols is the total input symbols across those runs — the
+	// ASPEN kernel's cycle count before parallelization.
+	AnchorSymbols int64
+	// EarlyAnchorSymbols counts symbols under early-termination
+	// semantics (a sequential checker stops a tree's anchors at the
+	// first match) — the CPU baseline's useful work.
+	EarlyAnchorSymbols int64
+	// TreeChecks is the number of (candidate, tree) inclusion queries.
+	TreeChecks int64
+	// CheckNS is the measured wall-clock time of this iteration's
+	// inclusion checking (the CPU baseline's kernel time).
+	CheckNS float64
+}
+
+// Workload aggregates the mining run for the execution models.
+type Workload struct {
+	Iterations []IterationLoad
+	// MaxStackDepth is the deepest DPDA stack any run needed (Table V
+	// "Stack-Size").
+	MaxStackDepth int
+	// MaxAlphabet is the largest per-candidate automaton alphabet
+	// (Table V "Automata Alphabets").
+	MaxAlphabet int
+	// Runs holds the individual (pattern, anchor) checks when
+	// MineConfig.CollectRuns is set, for the GPU SIMT simulation.
+	Runs []LaneRun
+}
+
+// Totals sums the per-iteration loads.
+func (w *Workload) Totals() IterationLoad {
+	var t IterationLoad
+	for _, it := range w.Iterations {
+		t.Candidates += it.Candidates
+		t.Frequent += it.Frequent
+		t.MachineStates += it.MachineStates
+		t.AnchorRuns += it.AnchorRuns
+		t.AnchorSymbols += it.AnchorSymbols
+		t.EarlyAnchorSymbols += it.EarlyAnchorSymbols
+		t.TreeChecks += it.TreeChecks
+		t.CheckNS += it.CheckNS
+	}
+	return t
+}
+
+// Mine runs the breadth-first frequent-subtree search over db.
+func Mine(db []*Tree, cfg MineConfig) ([]Pattern, *Workload, error) {
+	if cfg.MinSupport <= 0 {
+		return nil, nil, fmt.Errorf("subtree: MinSupport must be positive")
+	}
+	maxPatterns := cfg.MaxPatterns
+	if maxPatterns == 0 {
+		maxPatterns = 1 << 20
+	}
+	wl := &Workload{}
+
+	// Dataset depth bounds every run's stack need.
+	for _, t := range db {
+		if d := t.Depth(); d > wl.MaxStackDepth {
+			wl.MaxStackDepth = d
+		}
+	}
+
+	// Level 1: frequent labels.
+	labelTids := map[Label][]int{}
+	for tid, t := range db {
+		seen := map[Label]bool{}
+		for _, l := range t.Labels {
+			if !seen[l] {
+				seen[l] = true
+				labelTids[l] = append(labelTids[l], tid)
+			}
+		}
+	}
+	var freqLabels []Label
+	type entry struct {
+		pat  *Tree
+		tids []int
+	}
+	var level []entry
+	var result []Pattern
+	for l, tids := range labelTids {
+		if len(tids) >= cfg.MinSupport {
+			freqLabels = append(freqLabels, l)
+		}
+	}
+	sort.Slice(freqLabels, func(i, j int) bool { return freqLabels[i] < freqLabels[j] })
+	for _, l := range freqLabels {
+		tids := labelTids[l]
+		sort.Ints(tids)
+		level = append(level, entry{pat: Leaf(l), tids: tids})
+		result = append(result, Pattern{Tree: Leaf(l), Support: len(tids)})
+	}
+	wl.Iterations = append(wl.Iterations, IterationLoad{
+		Level: 1, Candidates: len(labelTids), Frequent: len(freqLabels),
+	})
+	if wl.MaxAlphabet < 3 {
+		wl.MaxAlphabet = 3 // 1 label + Up + other
+	}
+
+	for size := 2; len(level) > 0 && (cfg.MaxNodes == 0 || size <= cfg.MaxNodes); size++ {
+		it := IterationLoad{Level: size}
+		var next []entry
+		seen := map[string]bool{}
+		for _, e := range level {
+			path := e.pat.RightmostPath()
+			for _, at := range path {
+				for _, l := range freqLabels {
+					cand := e.pat.ExtendRightmost(at, l)
+					key := cand.Key()
+					if seen[key] {
+						continue
+					}
+					seen[key] = true
+					it.Candidates++
+
+					if a := len(cand.DistinctLabels()) + 2; a > wl.MaxAlphabet {
+						wl.MaxAlphabet = a
+					}
+					// Candidate machine size: states scale with encoded
+					// positions (≈4 per position + start).
+					it.MachineStates += 4*2*cand.NumNodes() + 1
+
+					ep := cand.Encode()
+					rootLabel := cand.Labels[0]
+					var tids []int
+					checkStart := time.Now()
+					for _, tid := range e.tids {
+						tree := db[tid]
+						it.TreeChecks++
+						matched := false
+						var laneSeqs [][]Label
+						collect := cfg.CollectRuns > 0 && len(wl.Runs) < cfg.CollectRuns
+						for i := int32(0); i < int32(tree.NumNodes()); i++ {
+							if tree.Labels[i] != rootLabel {
+								continue
+							}
+							seq := tree.EncodeSubtree(i)
+							it.AnchorRuns++
+							it.AnchorSymbols += int64(len(seq))
+							if !matched {
+								// A sequential checker stops at the first
+								// match; the hardware checks every anchor
+								// in parallel regardless.
+								it.EarlyAnchorSymbols += int64(len(seq))
+								if collect {
+									laneSeqs = append(laneSeqs, seq)
+								}
+								if matchFirstFitSeq(ep, seq) {
+									matched = true
+								}
+							}
+						}
+						if collect && len(laneSeqs) > 0 {
+							// One GPU lane per (candidate, tree), scanning
+							// anchors until the first match.
+							wl.Runs = append(wl.Runs, LaneRun{Pattern: ep, Seqs: laneSeqs})
+						}
+						if matched {
+							tids = append(tids, tid)
+						}
+					}
+					it.CheckNS += float64(time.Since(checkStart).Nanoseconds())
+					if len(tids) >= cfg.MinSupport {
+						it.Frequent++
+						next = append(next, entry{pat: cand, tids: tids})
+						result = append(result, Pattern{Tree: cand, Support: len(tids)})
+						if len(result) > maxPatterns {
+							return nil, nil, fmt.Errorf("subtree: pattern explosion (> %d); raise MinSupport", maxPatterns)
+						}
+					}
+				}
+			}
+		}
+		wl.Iterations = append(wl.Iterations, it)
+		level = next
+	}
+	return result, wl, nil
+}
+
+// CountSupport counts the trees of db including pattern (first-fit), the
+// kernel all engines share.
+func CountSupport(pattern *Tree, db []*Tree) int {
+	n := 0
+	for _, t := range db {
+		if IncludesFirstFit(pattern, t) {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,156 @@
+package subtree
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func smallDB(r *rand.Rand, n int) []*Tree {
+	db := make([]*Tree, n)
+	for i := range db {
+		db[i] = randomTree(r, 2+r.Intn(8), 5)
+	}
+	return db
+}
+
+func TestMineBasics(t *testing.T) {
+	// Database where A(B) appears in 3 of 4 trees.
+	db := []*Tree{
+		{Labels: []Label{0, 1}, Parent: []int32{-1, 0}},
+		{Labels: []Label{0, 1, 2}, Parent: []int32{-1, 0, 0}},
+		{Labels: []Label{2, 0, 1}, Parent: []int32{-1, 0, 1}},
+		{Labels: []Label{3}, Parent: []int32{-1}},
+	}
+	pats, wl, err := Mine(db, MineConfig{MinSupport: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := map[string]int{}
+	for _, p := range pats {
+		found[p.Tree.Key()] = p.Support
+	}
+	ab := (&Tree{Labels: []Label{0, 1}, Parent: []int32{-1, 0}}).Key()
+	if found[ab] != 3 {
+		t.Errorf("support(A(B)) = %d, want 3; found %v", found[ab], found)
+	}
+	if wl.Totals().TreeChecks == 0 || len(wl.Iterations) < 2 {
+		t.Errorf("workload empty: %+v", wl)
+	}
+}
+
+// Property: every reported pattern's support matches brute-force
+// recounting, and no frequent pattern of size ≤ 3 is missed.
+func TestMineMatchesBruteForce(t *testing.T) {
+	r := rand.New(rand.NewSource(9))
+	db := smallDB(r, 30)
+	minSup := 8
+	pats, _, err := Mine(db, MineConfig{MinSupport: minSup, MaxNodes: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reported := map[string]int{}
+	for _, p := range pats {
+		reported[p.Tree.Key()] = p.Support
+	}
+	// Check reported supports.
+	for _, p := range pats {
+		if got := CountSupport(p.Tree, db); got != p.Support {
+			t.Errorf("pattern %v: support %d, recount %d", p.Tree.Encode(), p.Support, got)
+		}
+		if p.Support < minSup {
+			t.Errorf("pattern %v below threshold", p.Tree.Encode())
+		}
+	}
+	// Exhaustive 2-node pattern check (antimonotonicity of first-fit
+	// support holds for the rightmost-extension lattice on these sizes).
+	for a := Label(0); a < 5; a++ {
+		for b := Label(0); b < 5; b++ {
+			p := &Tree{Labels: []Label{a, b}, Parent: []int32{-1, 0}}
+			sup := CountSupport(p, db)
+			if sup >= minSup {
+				if _, ok := reported[p.Key()]; !ok {
+					t.Errorf("missed frequent pattern %v (support %d)", p.Encode(), sup)
+				}
+			}
+		}
+	}
+}
+
+func TestMineConfigErrors(t *testing.T) {
+	if _, _, err := Mine(nil, MineConfig{}); err == nil {
+		t.Error("MinSupport 0 should error")
+	}
+	r := rand.New(rand.NewSource(1))
+	db := smallDB(r, 10)
+	if _, _, err := Mine(db, MineConfig{MinSupport: 1, MaxNodes: 3, MaxPatterns: 2}); err == nil {
+		t.Error("pattern explosion should error")
+	}
+}
+
+func TestGPUSimDivergence(t *testing.T) {
+	g := DefaultGPUMiner()
+	pat := []Label{0, Up}
+	// Even warp: 32 identical lanes.
+	even := make([]LaneRun, 32)
+	for i := range even {
+		even[i] = LaneRun{Pattern: pat, Seqs: [][]Label{{0, 1, Up, 1, Up, Up}}}
+	}
+	evenCycles := g.SimulateChecks(even)
+	// Uneven warp: one long lane, 31 short.
+	uneven := make([]LaneRun, 32)
+	long := []Label{0}
+	for i := 0; i < 40; i++ {
+		long = append(long, 1)
+	}
+	for i := 0; i < 40; i++ {
+		long = append(long, Up)
+	}
+	long = append(long, Up)
+	for i := range uneven {
+		uneven[i] = LaneRun{Pattern: pat, Seqs: [][]Label{{0, Up}}}
+	}
+	uneven[0] = LaneRun{Pattern: pat, Seqs: [][]Label{long}}
+	unevenCycles := g.SimulateChecks(uneven)
+	if unevenCycles <= evenCycles {
+		t.Errorf("uneven warp %d cycles !> even %d (slowest-lane effect missing)", unevenCycles, evenCycles)
+	}
+	// Per-lane useful work is far lower in the uneven warp, yet it costs
+	// more — the Fig. 9 TREEBANK pathology.
+}
+
+func TestGPUSimDistinctOpsSerialize(t *testing.T) {
+	g := DefaultGPUMiner()
+	pat := []Label{0, Up}
+	// All lanes doing identical ops each step.
+	uniform := make([]LaneRun, 32)
+	for i := range uniform {
+		uniform[i] = LaneRun{Pattern: pat, Seqs: [][]Label{{0, Up}}}
+	}
+	// Divergent: half match, half skip at each step.
+	divergent := make([]LaneRun, 32)
+	for i := range divergent {
+		if i%2 == 0 {
+			divergent[i] = LaneRun{Pattern: pat, Seqs: [][]Label{{0, Up}}}
+		} else {
+			divergent[i] = LaneRun{Pattern: pat, Seqs: [][]Label{{3, Up}}}
+		}
+	}
+	if u, d := g.SimulateChecks(uniform), g.SimulateChecks(divergent); d <= u {
+		t.Errorf("divergent warp %d !> uniform %d", d, u)
+	}
+}
+
+func TestASPENMinerModel(t *testing.T) {
+	a := DefaultASPENMiner()
+	wl := &Workload{Iterations: []IterationLoad{
+		{Level: 2, Candidates: 100, MachineStates: 5000, AnchorRuns: 10000, AnchorSymbols: 1_000_000, TreeChecks: 5000},
+	}}
+	tm := a.Model(wl, 1<<20)
+	if tm.KernelNS <= 0 || tm.TotalNS() < tm.KernelNS {
+		t.Errorf("timing = %+v", tm)
+	}
+	// Kernel parallelism: 1M symbols over 256 banks at 850 MHz ≈ 4.6 µs.
+	if tm.KernelNS < 3000 || tm.KernelNS > 8000 {
+		t.Errorf("KernelNS = %.0f, want ≈4600", tm.KernelNS)
+	}
+}

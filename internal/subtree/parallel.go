@@ -1,0 +1,59 @@
+package subtree
+
+import (
+	"runtime"
+	"sync"
+)
+
+// Parallel support counting: the host-side analogue of ASPEN's
+// bank-level parallelism (each (pattern, tree) check is independent).
+// Used by tooling that wants multi-core checking; the paper's CPU
+// baseline remains single-threaded.
+
+// CountSupportParallel counts the trees of db including pattern using
+// the given number of workers (0 = GOMAXPROCS). The result is identical
+// to CountSupport.
+func CountSupportParallel(pattern *Tree, db []*Tree, workers int) int {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers == 1 || len(db) < 2*workers {
+		return CountSupport(pattern, db)
+	}
+	// Build the lazy children caches serially: they are not safe for
+	// concurrent construction (reads after this are immutable).
+	pattern.buildKids()
+	for _, t := range db {
+		t.buildKids()
+	}
+	var wg sync.WaitGroup
+	counts := make([]int, workers)
+	chunk := (len(db) + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > len(db) {
+			hi = len(db)
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			n := 0
+			for _, t := range db[lo:hi] {
+				if IncludesFirstFit(pattern, t) {
+					n++
+				}
+			}
+			counts[w] = n
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	total := 0
+	for _, n := range counts {
+		total += n
+	}
+	return total
+}

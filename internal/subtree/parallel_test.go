@@ -1,0 +1,57 @@
+package subtree
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestParallelCountMatchesSequential(t *testing.T) {
+	r := rand.New(rand.NewSource(61))
+	db := make([]*Tree, 400)
+	for i := range db {
+		db[i] = randomTree(r, 2+r.Intn(12), 4)
+	}
+	for trial := 0; trial < 20; trial++ {
+		pat := randomTree(r, 1+r.Intn(4), 4)
+		want := CountSupport(pat, db)
+		for _, workers := range []int{0, 1, 2, 4, 7} {
+			if got := CountSupportParallel(pat, db, workers); got != want {
+				t.Fatalf("workers=%d: count %d, sequential %d", workers, got, want)
+			}
+		}
+	}
+}
+
+func TestParallelCountSmallDB(t *testing.T) {
+	// Fewer trees than 2×workers falls back to sequential.
+	db := []*Tree{Leaf(1), Leaf(2)}
+	if got := CountSupportParallel(Leaf(1), db, 8); got != 1 {
+		t.Fatalf("got %d", got)
+	}
+}
+
+func BenchmarkCountSupportSequential(b *testing.B) {
+	r := rand.New(rand.NewSource(62))
+	db := make([]*Tree, 2000)
+	for i := range db {
+		db[i] = randomTree(r, 20, 5)
+	}
+	pat := randomTree(r, 3, 5)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		CountSupport(pat, db)
+	}
+}
+
+func BenchmarkCountSupportParallel(b *testing.B) {
+	r := rand.New(rand.NewSource(62))
+	db := make([]*Tree, 2000)
+	for i := range db {
+		db[i] = randomTree(r, 20, 5)
+	}
+	pat := randomTree(r, 3, 5)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		CountSupportParallel(pat, db, 0)
+	}
+}

@@ -1,0 +1,253 @@
+package subtree
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// mk builds a tree from a parent vector and labels.
+func mk(t *testing.T, labels []Label, parents []int32) *Tree {
+	t.Helper()
+	tr := &Tree{Labels: labels, Parent: parents}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	// A(B(D), C)
+	tr := mk(t, []Label{0, 1, 3, 2}, []int32{-1, 0, 1, 0})
+	enc := tr.Encode()
+	want := []Label{0, 1, 3, Up, Up, 2, Up, Up}
+	if len(enc) != len(want) {
+		t.Fatalf("enc = %v", enc)
+	}
+	for i := range want {
+		if enc[i] != want[i] {
+			t.Fatalf("enc = %v, want %v", enc, want)
+		}
+	}
+	back, err := Decode(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Key() != tr.Key() {
+		t.Errorf("round trip key mismatch: %q vs %q", back.Key(), tr.Key())
+	}
+	if tr.Depth() != 3 || back.Depth() != 3 {
+		t.Errorf("depth = %d/%d", tr.Depth(), back.Depth())
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	cases := [][]Label{
+		{Up},
+		{1, Up, 2, Up},
+		{1, 2, Up},
+		{},
+	}
+	for _, seq := range cases {
+		if _, err := Decode(seq); err == nil {
+			t.Errorf("Decode(%v) should fail", seq)
+		}
+	}
+}
+
+func TestValidateErrors(t *testing.T) {
+	bad := []*Tree{
+		{Labels: []Label{1}, Parent: []int32{0}},
+		{Labels: []Label{1, 2}, Parent: []int32{-1}},
+		{Labels: []Label{1, 2}, Parent: []int32{-1, 1}},
+		{Labels: []Label{-5}, Parent: []int32{-1}},
+		{},
+	}
+	for i, tr := range bad {
+		if err := tr.Validate(); err == nil {
+			t.Errorf("case %d should fail", i)
+		}
+	}
+}
+
+func TestRightmostExtension(t *testing.T) {
+	tr := mk(t, []Label{0, 1, 2}, []int32{-1, 0, 0}) // A(B, C)
+	path := tr.RightmostPath()
+	if len(path) != 2 || path[0] != 0 || path[1] != 2 {
+		t.Fatalf("rightmost path = %v", path)
+	}
+	ext := tr.ExtendRightmost(2, 7) // attach under C
+	if err := ext.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if ext.NumNodes() != 4 || ext.Parent[3] != 2 {
+		t.Errorf("ext = %+v", ext)
+	}
+}
+
+func TestInclusionBasics(t *testing.T) {
+	// T = A(B(C), B(D), E)
+	tree := mk(t, []Label{0, 1, 2, 1, 3, 4}, []int32{-1, 0, 1, 0, 3, 0})
+	cases := []struct {
+		labels  []Label
+		parents []int32
+		induced bool
+	}{
+		{[]Label{0}, []int32{-1}, true},                   // A
+		{[]Label{0, 1}, []int32{-1, 0}, true},             // A(B)
+		{[]Label{0, 1, 3}, []int32{-1, 0, 1}, true},       // A(B(D))
+		{[]Label{0, 1, 1}, []int32{-1, 0, 0}, true},       // A(B,B)
+		{[]Label{0, 4}, []int32{-1, 0}, true},             // A(E)
+		{[]Label{0, 2}, []int32{-1, 0}, false},            // A(C) parent-child only via B
+		{[]Label{1, 2}, []int32{-1, 0}, true},             // B(C)
+		{[]Label{0, 3, 1}, []int32{-1, 0, 0}, false},      // A(D,B): order violated and D not a child
+		{[]Label{5}, []int32{-1}, false},                  // missing label
+		{[]Label{0, 4, 1}, []int32{-1, 0, 0}, false},      // A(E,B): order violated
+		{[]Label{0, 1, 1, 4}, []int32{-1, 0, 0, 0}, true}, // A(B,B,E)
+	}
+	for _, tc := range cases {
+		p := mk(t, tc.labels, tc.parents)
+		if got := IncludesInduced(p, tree); got != tc.induced {
+			t.Errorf("induced(%v) = %v, want %v", tc.labels, got, tc.induced)
+		}
+		// First-fit is sound: success implies induced inclusion.
+		if IncludesFirstFit(p, tree) && !tc.induced {
+			t.Errorf("first-fit(%v) succeeded where exact says no", tc.labels)
+		}
+	}
+}
+
+func TestEmbeddedVsInduced(t *testing.T) {
+	// T = A(B(C)): A(C) is embedded but not induced.
+	tree := mk(t, []Label{0, 1, 2}, []int32{-1, 0, 1})
+	p := mk(t, []Label{0, 2}, []int32{-1, 0})
+	if IncludesInduced(p, tree) {
+		t.Error("A(C) should not be induced in A(B(C))")
+	}
+	if !IncludesEmbedded(p, tree) {
+		t.Error("A(C) should be embedded in A(B(C))")
+	}
+	// Order preservation: T = A(B, C); pattern A(C, B) embeds neither
+	// way.
+	tree2 := mk(t, []Label{0, 1, 2}, []int32{-1, 0, 0})
+	p2 := mk(t, []Label{0, 2, 1}, []int32{-1, 0, 0})
+	if IncludesEmbedded(p2, tree2) {
+		t.Error("embedded inclusion must preserve order")
+	}
+}
+
+// randomTree builds a random tree with n nodes over the label set.
+func randomTree(r *rand.Rand, n, labels int) *Tree {
+	t := &Tree{Labels: []Label{Label(r.Intn(labels))}, Parent: []int32{-1}}
+	for i := 1; i < n; i++ {
+		t.Labels = append(t.Labels, Label(r.Intn(labels)))
+		// preorder-valid parent: any previous node on the rightmost
+		// spine of the partially built tree; picking any previous node
+		// i-1..0 keeps Parent[i] < i which is all Validate needs, but to
+		// keep real preorder shape, attach to a node on the current
+		// rightmost path.
+		path := t.RightmostPath()
+		t.Parent = append(t.Parent, path[r.Intn(len(path))])
+		t.kids = nil
+	}
+	return t
+}
+
+// Property: the inclusion hDPDA agrees exactly with matchFirstFitSeq on
+// random pattern/tree pairs, and first-fit success always implies exact
+// induced inclusion.
+func TestInclusionMachineMatchesReference(t *testing.T) {
+	r := rand.New(rand.NewSource(123))
+	for trial := 0; trial < 300; trial++ {
+		pat := randomTree(r, 1+r.Intn(5), 4)
+		tree := randomTree(r, 1+r.Intn(14), 4)
+		im, err := NewInclusionMachine(pat)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := im.Includes(tree)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		want := IncludesFirstFit(pat, tree)
+		if got != want {
+			t.Fatalf("trial %d: dpda=%v firstfit=%v\npattern %v\ntree %v",
+				trial, got, want, pat.Encode(), tree.Encode())
+		}
+		if got && !IncludesInduced(pat, tree) {
+			t.Fatalf("trial %d: first-fit accepted a non-included pattern", trial)
+		}
+	}
+}
+
+// Property: when every pattern node's children have distinct labels and
+// the tree's sibling labels are distinct, first-fit equals exact.
+func TestFirstFitExactOnDistinctSiblings(t *testing.T) {
+	r := rand.New(rand.NewSource(77))
+	distinctSiblings := func(tr *Tree) bool {
+		for i := int32(0); i < int32(tr.NumNodes()); i++ {
+			seen := map[Label]bool{}
+			for _, c := range tr.Children(i) {
+				if seen[tr.Labels[c]] {
+					return false
+				}
+				seen[tr.Labels[c]] = true
+			}
+		}
+		return true
+	}
+	tested := 0
+	for trial := 0; trial < 2000 && tested < 300; trial++ {
+		pat := randomTree(r, 1+r.Intn(4), 6)
+		tree := randomTree(r, 1+r.Intn(10), 6)
+		if !distinctSiblings(pat) || !distinctSiblings(tree) {
+			continue
+		}
+		tested++
+		if IncludesFirstFit(pat, tree) != IncludesInduced(pat, tree) {
+			t.Fatalf("divergence on distinct-sibling trees:\npattern %v\ntree %v",
+				pat.Encode(), tree.Encode())
+		}
+	}
+	if tested < 100 {
+		t.Fatalf("only %d qualifying cases generated", tested)
+	}
+}
+
+func TestInclusionMachineShape(t *testing.T) {
+	pat := mk(t, []Label{0, 1, 2}, []int32{-1, 0, 0})
+	im, err := NewInclusionMachine(pat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if im.Machine.EpsilonStates() != 1 { // only the synthetic start
+		t.Errorf("inclusion machine has %d ε-states, want 1 (start only)", im.Machine.EpsilonStates())
+	}
+	if im.AlphabetSize() != 5 { // 3 labels + Up + other
+		t.Errorf("alphabet = %d", im.AlphabetSize())
+	}
+	if im.StackAlphabetSize() != 5 {
+		t.Errorf("stack alphabet = %d", im.StackAlphabetSize())
+	}
+	// Runtime is linear with zero stalls.
+	tree := randomTree(rand.New(rand.NewSource(5)), 40, 3)
+	in := im.EncodeInput(tree.EncodeSubtree(0))
+	res, err := im.Machine.Run(in, im.execOptsForTest())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.EpsilonStalls != 0 {
+		t.Errorf("stalls = %d, want 0", res.EpsilonStalls)
+	}
+}
+
+func TestAnchors(t *testing.T) {
+	tree := mk(t, []Label{0, 1, 0, 1}, []int32{-1, 0, 0, 2})
+	im, err := NewInclusionMachine(Leaf(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := im.Anchors(tree)
+	if len(a) != 2 || a[0] != 0 || a[1] != 2 {
+		t.Errorf("anchors = %v", a)
+	}
+}

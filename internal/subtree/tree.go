@@ -1,0 +1,215 @@
+// Package subtree implements the paper's second application (§II-D,
+// §VI-C): frequent subtree mining, whose core kernel is subtree
+// inclusion checking. Trees are rooted, labeled and ordered, serialized
+// in Zaki's preorder string encoding (label on descent, −1 on
+// backtrack). Inclusion candidates compile to small stall-free hDPDAs —
+// one per candidate, run in parallel across ASPEN banks — while CPU and
+// GPU baselines execute the same matching relation so support counts
+// agree across engines.
+package subtree
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Label is a node label. Datasets may use large vocabularies; inclusion
+// automata project labels onto a per-candidate alphabet.
+type Label = int32
+
+// Up is the backtrack marker in the preorder string encoding.
+const Up Label = -1
+
+// Tree is a rooted, labeled, ordered tree stored in preorder.
+type Tree struct {
+	// Labels holds node labels in preorder.
+	Labels []Label
+	// Parent holds each node's parent index (-1 for the root).
+	Parent []int32
+	// kids caches the children lists (same order as input).
+	kids [][]int32
+}
+
+// NumNodes returns the node count.
+func (t *Tree) NumNodes() int { return len(t.Labels) }
+
+// Children returns node i's children in order.
+func (t *Tree) Children(i int32) []int32 {
+	t.buildKids()
+	return t.kids[i]
+}
+
+func (t *Tree) buildKids() {
+	if t.kids != nil || len(t.Labels) == 0 {
+		return
+	}
+	t.kids = make([][]int32, len(t.Labels))
+	for i := 1; i < len(t.Parent); i++ {
+		p := t.Parent[i]
+		t.kids[p] = append(t.kids[p], int32(i))
+	}
+}
+
+// Depth returns the maximum depth (root = 1).
+func (t *Tree) Depth() int {
+	depth := make([]int, len(t.Labels))
+	maxd := 0
+	for i := range t.Labels {
+		if t.Parent[i] < 0 {
+			depth[i] = 1
+		} else {
+			depth[i] = depth[t.Parent[i]] + 1
+		}
+		if depth[i] > maxd {
+			maxd = depth[i]
+		}
+	}
+	return maxd
+}
+
+// Validate checks the preorder parent structure.
+func (t *Tree) Validate() error {
+	if len(t.Labels) != len(t.Parent) {
+		return fmt.Errorf("subtree: labels/parents length mismatch")
+	}
+	if len(t.Labels) == 0 {
+		return fmt.Errorf("subtree: empty tree")
+	}
+	if t.Parent[0] != -1 {
+		return fmt.Errorf("subtree: node 0 must be the root")
+	}
+	for i := 1; i < len(t.Parent); i++ {
+		if t.Parent[i] < 0 || t.Parent[i] >= int32(i) {
+			return fmt.Errorf("subtree: node %d has invalid parent %d (preorder requires parent < node)", i, t.Parent[i])
+		}
+	}
+	for i, l := range t.Labels {
+		if l < 0 {
+			return fmt.Errorf("subtree: node %d has negative label %d", i, l)
+		}
+	}
+	return nil
+}
+
+// Encode serializes the tree in Zaki's preorder string encoding: the
+// node label on descent, Up on backtrack (including after the root).
+func (t *Tree) Encode() []Label {
+	t.buildKids()
+	out := make([]Label, 0, 2*len(t.Labels))
+	var walk func(i int32)
+	walk = func(i int32) {
+		out = append(out, t.Labels[i])
+		for _, c := range t.kids[i] {
+			walk(c)
+		}
+		out = append(out, Up)
+	}
+	if len(t.Labels) > 0 {
+		walk(0)
+	}
+	return out
+}
+
+// Decode rebuilds a tree from the preorder string encoding.
+func Decode(seq []Label) (*Tree, error) {
+	t := &Tree{}
+	var stack []int32
+	for i, s := range seq {
+		if s == Up {
+			if len(stack) == 0 {
+				return nil, fmt.Errorf("subtree: unbalanced Up at %d", i)
+			}
+			stack = stack[:len(stack)-1]
+			continue
+		}
+		if len(stack) == 0 && len(t.Labels) > 0 {
+			return nil, fmt.Errorf("subtree: forest encoding at %d (second root)", i)
+		}
+		parent := int32(-1)
+		if len(stack) > 0 {
+			parent = stack[len(stack)-1]
+		}
+		t.Labels = append(t.Labels, s)
+		t.Parent = append(t.Parent, parent)
+		stack = append(stack, int32(len(t.Labels)-1))
+	}
+	if len(stack) != 0 {
+		return nil, fmt.Errorf("subtree: %d unclosed nodes", len(stack))
+	}
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// EncodeSubtree serializes the subtree rooted at node i.
+func (t *Tree) EncodeSubtree(i int32) []Label {
+	t.buildKids()
+	var out []Label
+	var walk func(j int32)
+	walk = func(j int32) {
+		out = append(out, t.Labels[j])
+		for _, c := range t.kids[j] {
+			walk(c)
+		}
+		out = append(out, Up)
+	}
+	walk(i)
+	return out
+}
+
+// Key returns a canonical string for deduplication.
+func (t *Tree) Key() string {
+	var b strings.Builder
+	for _, s := range t.Encode() {
+		if s == Up {
+			b.WriteString("^ ")
+		} else {
+			fmt.Fprintf(&b, "%d ", s)
+		}
+	}
+	return b.String()
+}
+
+// RightmostPath returns node indices from the root to the rightmost
+// leaf.
+func (t *Tree) RightmostPath() []int32 {
+	t.buildKids()
+	var path []int32
+	i := int32(0)
+	for {
+		path = append(path, i)
+		ks := t.kids[i]
+		if len(ks) == 0 {
+			return path
+		}
+		i = ks[len(ks)-1]
+	}
+}
+
+// ExtendRightmost returns a copy of t with a new leaf labeled l attached
+// to node at — at must lie on the rightmost path so the preorder
+// property is preserved by appending.
+func (t *Tree) ExtendRightmost(at int32, l Label) *Tree {
+	nt := &Tree{
+		Labels: append(append([]Label(nil), t.Labels...), l),
+		Parent: append(append([]int32(nil), t.Parent...), at),
+	}
+	return nt
+}
+
+// Leaf creates a single-node tree.
+func Leaf(l Label) *Tree { return &Tree{Labels: []Label{l}, Parent: []int32{-1}} }
+
+// DistinctLabels returns the set of labels used, in first-seen order.
+func (t *Tree) DistinctLabels() []Label {
+	seen := map[Label]bool{}
+	var out []Label
+	for _, l := range t.Labels {
+		if !seen[l] {
+			seen[l] = true
+			out = append(out, l)
+		}
+	}
+	return out
+}

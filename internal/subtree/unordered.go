@@ -1,0 +1,130 @@
+package subtree
+
+// Unordered inclusion — the other axis of the paper's Fig. 3 taxonomy
+// (Induced/Embedded × Ordered/Unordered). The mining engines use the
+// ordered relations; these exact checkers complete the taxonomy and
+// anchor the property tests (ordered inclusion implies unordered
+// inclusion).
+
+// IncludesInducedUnordered decides unordered induced inclusion: an
+// injective map preserving labels and parent-child edges, with sibling
+// order free.
+func IncludesInducedUnordered(pattern, tree *Tree) bool {
+	pattern.buildKids()
+	tree.buildKids()
+	memo := map[[2]int32]int8{}
+	var can func(p, t int32) bool
+	can = func(p, t int32) bool {
+		key := [2]int32{p, t}
+		if v, ok := memo[key]; ok {
+			return v == 1
+		}
+		ok := false
+		if pattern.Labels[p] == tree.Labels[t] {
+			ok = matchChildrenUnordered(pattern.kids[p], tree.kids[t], can)
+		}
+		if ok {
+			memo[key] = 1
+		} else {
+			memo[key] = 0
+		}
+		return ok
+	}
+	for t := int32(0); t < int32(tree.NumNodes()); t++ {
+		if can(0, t) {
+			return true
+		}
+	}
+	return false
+}
+
+// matchChildrenUnordered decides whether pattern children pc match
+// distinct tree children (any order), each pair satisfying can —
+// bipartite matching via augmenting paths (Kuhn's algorithm).
+func matchChildrenUnordered(pc, tc []int32, can func(p, t int32) bool) bool {
+	if len(pc) == 0 {
+		return true
+	}
+	if len(pc) > len(tc) {
+		return false
+	}
+	// matchTo[j] = index into pc matched to tc[j], or -1.
+	matchTo := make([]int, len(tc))
+	for j := range matchTo {
+		matchTo[j] = -1
+	}
+	var try func(i int, visited []bool) bool
+	try = func(i int, visited []bool) bool {
+		for j := range tc {
+			if visited[j] || !can(pc[i], tc[j]) {
+				continue
+			}
+			visited[j] = true
+			if matchTo[j] < 0 || try(matchTo[j], visited) {
+				matchTo[j] = i
+				return true
+			}
+		}
+		return false
+	}
+	for i := range pc {
+		visited := make([]bool, len(tc))
+		if !try(i, visited) {
+			return false
+		}
+	}
+	return true
+}
+
+// IncludesEmbeddedUnordered decides unordered embedded inclusion:
+// label-preserving, parent→ancestor, injective, sibling order free.
+func IncludesEmbeddedUnordered(pattern, tree *Tree) bool {
+	pattern.buildKids()
+	tree.buildKids()
+	n := tree.NumNodes()
+	// pre/post numbering for ancestor tests.
+	pre := make([]int32, n)
+	post := make([]int32, n)
+	var cp, cq int32
+	var number func(i int32)
+	number = func(i int32) {
+		pre[i] = cp
+		cp++
+		for _, c := range tree.kids[i] {
+			number(c)
+		}
+		post[i] = cq
+		cq++
+	}
+	number(0)
+	ancestor := func(a, b int32) bool { return pre[a] < pre[b] && post[a] > post[b] }
+
+	// Backtracking over pattern nodes in preorder: assign each a
+	// distinct tree node with matching label whose parent assignment is
+	// an ancestor. Sibling order is free, so no preorder-increase
+	// constraint — instead enforce injectivity explicitly.
+	used := make(map[int32]bool, pattern.NumNodes())
+	mapping := make([]int32, pattern.NumNodes())
+	var try func(pi int) bool
+	try = func(pi int) bool {
+		if pi == pattern.NumNodes() {
+			return true
+		}
+		for t := int32(0); t < int32(n); t++ {
+			if used[t] || tree.Labels[t] != pattern.Labels[pi] {
+				continue
+			}
+			if pp := pattern.Parent[pi]; pp >= 0 && !ancestor(mapping[pp], t) {
+				continue
+			}
+			used[t] = true
+			mapping[pi] = t
+			if try(pi + 1) {
+				return true
+			}
+			delete(used, t)
+		}
+		return false
+	}
+	return try(0)
+}

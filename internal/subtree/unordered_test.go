@@ -1,0 +1,85 @@
+package subtree
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestUnorderedBasics(t *testing.T) {
+	// T = A(B, C): pattern A(C, B) is unordered-included but not
+	// ordered-included.
+	tree := mk(t, []Label{0, 1, 2}, []int32{-1, 0, 0})
+	swapped := mk(t, []Label{0, 2, 1}, []int32{-1, 0, 0})
+	if IncludesInduced(swapped, tree) {
+		t.Fatal("ordered should reject the swapped pattern")
+	}
+	if !IncludesInducedUnordered(swapped, tree) {
+		t.Fatal("unordered induced should accept the swapped pattern")
+	}
+	if !IncludesEmbeddedUnordered(swapped, tree) {
+		t.Fatal("unordered embedded should accept the swapped pattern")
+	}
+	// Injectivity: pattern A(B, B) needs two distinct B children.
+	dbl := mk(t, []Label{0, 1, 1}, []int32{-1, 0, 0})
+	if IncludesInducedUnordered(dbl, tree) {
+		t.Fatal("A(B,B) should not match A(B,C) — injectivity")
+	}
+	tree2 := mk(t, []Label{0, 1, 1}, []int32{-1, 0, 0})
+	if !IncludesInducedUnordered(dbl, tree2) {
+		t.Fatal("A(B,B) should match A(B,B)")
+	}
+}
+
+func TestUnorderedEmbeddedSkipsLevels(t *testing.T) {
+	// T = A(X(C), B): pattern A(B, C) embedded-unordered (C via
+	// descendant, order swapped) but not induced-unordered.
+	tree := mk(t, []Label{0, 9, 2, 1}, []int32{-1, 0, 1, 0})
+	pat := mk(t, []Label{0, 1, 2}, []int32{-1, 0, 0})
+	if IncludesInducedUnordered(pat, tree) {
+		t.Fatal("C is not a child of A — induced must reject")
+	}
+	if !IncludesEmbeddedUnordered(pat, tree) {
+		t.Fatal("embedded unordered should accept")
+	}
+}
+
+// Fig. 3 lattice: ordered ⊆ unordered and induced ⊆ embedded, on random
+// pattern/tree pairs.
+func TestInclusionLattice(t *testing.T) {
+	r := rand.New(rand.NewSource(97))
+	for trial := 0; trial < 400; trial++ {
+		pat := randomTree(r, 1+r.Intn(4), 3)
+		tree := randomTree(r, 1+r.Intn(10), 3)
+		io := IncludesInduced(pat, tree)
+		eo := IncludesEmbedded(pat, tree)
+		iu := IncludesInducedUnordered(pat, tree)
+		eu := IncludesEmbeddedUnordered(pat, tree)
+		if io && !eo {
+			t.Fatalf("trial %d: induced-ordered ⊄ embedded-ordered", trial)
+		}
+		if io && !iu {
+			t.Fatalf("trial %d: induced-ordered ⊄ induced-unordered", trial)
+		}
+		if eo && !eu {
+			t.Fatalf("trial %d: embedded-ordered ⊄ embedded-unordered", trial)
+		}
+		if iu && !eu {
+			t.Fatalf("trial %d: induced-unordered ⊄ embedded-unordered", trial)
+		}
+	}
+}
+
+// Single-node and chain patterns: all four relations coincide.
+func TestInclusionDegenerateAgreement(t *testing.T) {
+	r := rand.New(rand.NewSource(98))
+	for trial := 0; trial < 200; trial++ {
+		tree := randomTree(r, 1+r.Intn(10), 3)
+		leaf := Leaf(Label(r.Intn(3)))
+		want := IncludesInduced(leaf, tree)
+		if IncludesInducedUnordered(leaf, tree) != want ||
+			IncludesEmbedded(leaf, tree) != want ||
+			IncludesEmbeddedUnordered(leaf, tree) != want {
+			t.Fatalf("trial %d: single-node relations diverge", trial)
+		}
+	}
+}

@@ -1,0 +1,39 @@
+package swparse
+
+import (
+	"testing"
+
+	"aspen/internal/lang"
+)
+
+// Native fuzz targets: `go test -fuzz=FuzzParsers` explores; the seed
+// corpus runs on every plain `go test`.
+
+func FuzzParsers(f *testing.F) {
+	seeds := []string{
+		lang.XMLSample,
+		`<a x="1">t<b/></a>`,
+		`<?xml version="1.0"?><r><![CDATA[x]]></r>`,
+		`<!DOCTYPE d><r><!-- c --></r>`,
+		`<a></b>`, `<<a>`, `<a b=></a>`, ``, `<`, `plain`,
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, doc []byte) {
+		// Neither parser may panic; the validator must reject at least
+		// everything the non-validating parser rejects.
+		ce, _, errE := ExpatLike(doc)
+		cx, _, errX := XercesLike(doc)
+		if errE != nil && errX == nil {
+			t.Fatalf("validator accepted what expat rejected: %q (%v)", doc, errE)
+		}
+		if errE == nil && errX == nil {
+			// On agreement, the counts must match (validation only adds
+			// checks, not semantics).
+			if ce != cx {
+				t.Fatalf("counts diverge on %q: %+v vs %+v", doc, ce, cx)
+			}
+		}
+	})
+}

@@ -1,0 +1,413 @@
+// Package swparse provides the conventional software XML parsers ASPEN
+// is evaluated against (paper §II-C, §V-A): an Expat-like non-validating
+// streaming parser and a Xerces-like validating parser. Both are real
+// byte-at-a-time SAX parsers implementing the SAXCount application
+// (element/attribute/content-byte counts) with the branchy nested-switch
+// control flow the paper profiles in Fig. 2; instrumentation counts
+// branch decisions so branches-per-byte can be reported alongside
+// measured wall-clock time.
+package swparse
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Counts is the SAXCount result: syntactic verification plus counts of
+// elements, attributes, and content bytes.
+type Counts struct {
+	Elements   int
+	Attributes int
+	Characters int
+}
+
+// Metrics instruments the parser's control flow.
+type Metrics struct {
+	// Branches counts conditional decisions taken (the Fig. 2 metric).
+	Branches int64
+	// StateDispatches counts top-level state-machine dispatches (one per
+	// byte in streaming operation).
+	StateDispatches int64
+	// MaxDepth is the deepest element nesting observed.
+	MaxDepth int
+}
+
+// BranchesPerByte normalizes for Fig. 2.
+func (m Metrics) BranchesPerByte(bytes int) float64 {
+	if bytes == 0 {
+		return 0
+	}
+	return float64(m.Branches) / float64(bytes)
+}
+
+// SyntaxError reports malformed input.
+type SyntaxError struct {
+	Pos int
+	Msg string
+}
+
+func (e *SyntaxError) Error() string { return fmt.Sprintf("xml syntax error at %d: %s", e.Pos, e.Msg) }
+
+// ErrUnclosed reports missing close tags at EOF.
+var ErrUnclosed = errors.New("swparse: unclosed elements at end of input")
+
+// parser state machine states.
+type pstate uint8
+
+const (
+	sContent pstate = iota
+	sSeenLT
+	sTagName
+	sInTag
+	sAttrName
+	sAttrEq
+	sAttrValue
+	sEmptyTag
+	sCloseName
+	sBang
+	sComment
+	sCDATA
+	sDoctype
+	sPI
+)
+
+// parser is the shared streaming core. validate enables the Xerces-like
+// checks (tag-name matching via an element stack, attribute-name
+// tracking, stricter name rules).
+type parser struct {
+	validate bool
+
+	st       pstate
+	counts   Counts
+	met      Metrics
+	pos      int
+	depth    int
+	quote    byte
+	nameBuf  []byte
+	elemName []byte
+	stack    [][]byte
+	seen     map[string]bool // attribute names in the current tag
+	hadRoot  bool
+	inProlog bool
+
+	// sub-state counters for multi-byte constructs
+	dashes  int
+	brCount int
+	qmark   bool
+}
+
+func isNameStart(b byte) bool {
+	return b == '_' || b == ':' || (b >= 'a' && b <= 'z') || (b >= 'A' && b <= 'Z')
+}
+
+func isNameChar(b byte) bool {
+	return isNameStart(b) || b == '-' || b == '.' || (b >= '0' && b <= '9')
+}
+
+func isSpace(b byte) bool { return b == ' ' || b == '\t' || b == '\r' || b == '\n' }
+
+// br accounts n branch decisions.
+func (p *parser) br(n int64) { p.met.Branches += n }
+
+func (p *parser) fail(msg string) error { return &SyntaxError{Pos: p.pos, Msg: msg} }
+
+// run processes the document.
+func (p *parser) run(doc []byte) (Counts, Metrics, error) {
+	p.st = sContent
+	p.inProlog = true
+	if p.validate {
+		p.seen = map[string]bool{}
+	}
+	for i := 0; i < len(doc); i++ {
+		p.pos = i
+		b := doc[i]
+		p.met.StateDispatches++
+		p.br(1) // top-level state switch
+		switch p.st {
+		case sContent:
+			p.br(1)
+			if b == '<' {
+				p.st = sSeenLT
+			} else {
+				if p.depth > 0 {
+					p.counts.Characters++
+				} else {
+					p.br(1)
+					if !isSpace(b) {
+						return p.counts, p.met, p.fail("content outside root element")
+					}
+				}
+			}
+		case sSeenLT:
+			p.br(3)
+			switch {
+			case b == '/':
+				p.st = sCloseName
+				p.nameBuf = p.nameBuf[:0]
+			case b == '!':
+				p.st = sBang
+				p.dashes = 0
+				p.brCount = 0
+				p.nameBuf = p.nameBuf[:0]
+			case b == '?':
+				p.st = sPI
+				p.qmark = false
+			case isNameStart(b):
+				p.st = sTagName
+				p.nameBuf = append(p.nameBuf[:0], b)
+			default:
+				return p.counts, p.met, p.fail("bad character after '<'")
+			}
+		case sTagName:
+			p.br(2)
+			switch {
+			case isNameChar(b):
+				p.nameBuf = append(p.nameBuf, b)
+			case isSpace(b):
+				p.openElement()
+				p.st = sInTag
+			case b == '>':
+				p.openElement()
+				p.pushElement()
+				p.st = sContent
+			case b == '/':
+				p.openElement()
+				p.st = sEmptyTag
+			default:
+				return p.counts, p.met, p.fail("bad character in tag name")
+			}
+		case sInTag:
+			p.br(3)
+			switch {
+			case isSpace(b):
+			case b == '>':
+				p.pushElement()
+				p.st = sContent
+			case b == '/':
+				p.st = sEmptyTag
+			case isNameStart(b):
+				p.st = sAttrName
+				p.nameBuf = append(p.nameBuf[:0], b)
+			default:
+				return p.counts, p.met, p.fail("bad character in tag")
+			}
+		case sAttrName:
+			p.br(2)
+			switch {
+			case isNameChar(b):
+				p.nameBuf = append(p.nameBuf, b)
+			case b == '=' || isSpace(b):
+				if err := p.finishAttrName(); err != nil {
+					return p.counts, p.met, err
+				}
+				if b == '=' {
+					p.st = sAttrValue
+					p.quote = 0
+				} else {
+					p.st = sAttrEq
+				}
+			default:
+				return p.counts, p.met, p.fail("bad character in attribute name")
+			}
+		case sAttrEq:
+			p.br(2)
+			switch {
+			case isSpace(b):
+			case b == '=':
+				p.st = sAttrValue
+				p.quote = 0
+			default:
+				return p.counts, p.met, p.fail("expected '='")
+			}
+		case sAttrValue:
+			p.br(2)
+			if p.quote == 0 {
+				switch {
+				case isSpace(b):
+				case b == '"' || b == '\'':
+					p.quote = b
+				default:
+					return p.counts, p.met, p.fail("expected quoted attribute value")
+				}
+			} else if b == p.quote {
+				p.counts.Attributes++
+				p.st = sInTag
+			}
+		case sEmptyTag:
+			p.br(1)
+			if b != '>' {
+				return p.counts, p.met, p.fail("expected '>' after '/'")
+			}
+			// Element already counted by openElement; empty elements
+			// are not pushed.
+			p.noteRoot()
+			p.nameBuf = p.nameBuf[:0]
+			p.st = sContent
+		case sCloseName:
+			p.br(2)
+			switch {
+			case isNameChar(b) || isNameStart(b):
+				p.nameBuf = append(p.nameBuf, b)
+			case b == '>' || isSpace(b):
+				if b != '>' {
+					// skip trailing space then require '>': simplify by
+					// accepting only immediate '>' after optional spaces
+					continue
+				}
+				if err := p.closeElement(); err != nil {
+					return p.counts, p.met, err
+				}
+				p.st = sContent
+			default:
+				return p.counts, p.met, p.fail("bad character in close tag")
+			}
+		case sBang:
+			// Dispatch <!-- vs <![CDATA[ vs <!DOCTYPE by prefix.
+			p.br(3)
+			p.nameBuf = append(p.nameBuf, b)
+			switch {
+			case len(p.nameBuf) <= 1 && b == '-':
+			case len(p.nameBuf) == 2 && string(p.nameBuf) == "--":
+				p.st = sComment
+				p.dashes = 0
+				p.nameBuf = p.nameBuf[:0]
+			case len(p.nameBuf) == 7 && string(p.nameBuf) == "[CDATA[":
+				p.st = sCDATA
+				p.brCount = 0
+				p.nameBuf = p.nameBuf[:0]
+			case len(p.nameBuf) == 7 && string(p.nameBuf) == "DOCTYPE":
+				p.st = sDoctype
+				p.nameBuf = p.nameBuf[:0]
+			case len(p.nameBuf) > 7:
+				return p.counts, p.met, p.fail("unrecognized markup declaration")
+			}
+		case sComment:
+			p.br(2)
+			switch {
+			case b == '-':
+				p.dashes++
+			case b == '>' && p.dashes >= 2:
+				p.st = sContent
+				p.nameBuf = p.nameBuf[:0]
+			default:
+				p.dashes = 0
+			}
+		case sCDATA:
+			p.br(2)
+			switch {
+			case b == ']':
+				p.brCount++
+			case b == '>' && p.brCount >= 2:
+				p.st = sContent
+			default:
+				if p.depth > 0 {
+					p.counts.Characters++
+				}
+				p.brCount = 0
+			}
+		case sDoctype:
+			p.br(1)
+			if b == '>' {
+				p.st = sContent
+				p.nameBuf = p.nameBuf[:0]
+			}
+		case sPI:
+			p.br(2)
+			switch {
+			case b == '?':
+				p.qmark = true
+			case b == '>' && p.qmark:
+				p.st = sContent
+			default:
+				p.qmark = false
+			}
+		}
+	}
+	p.pos = len(doc)
+	if p.st != sContent {
+		return p.counts, p.met, p.fail("truncated document")
+	}
+	if p.depth != 0 {
+		return p.counts, p.met, ErrUnclosed
+	}
+	if !p.hadRoot {
+		return p.counts, p.met, p.fail("no root element")
+	}
+	return p.counts, p.met, nil
+}
+
+func (p *parser) openElement() {
+	p.counts.Elements++
+	p.elemName = append(p.elemName[:0], p.nameBuf...)
+	p.nameBuf = p.nameBuf[:0]
+	if p.validate {
+		for k := range p.seen {
+			delete(p.seen, k)
+		}
+	}
+}
+
+func (p *parser) noteRoot() {
+	if p.depth == 0 {
+		p.hadRoot = true
+	}
+	p.inProlog = false
+}
+
+func (p *parser) pushElement() {
+	p.noteRoot()
+	p.depth++
+	if p.depth > p.met.MaxDepth {
+		p.met.MaxDepth = p.depth
+	}
+	if p.validate {
+		p.stack = append(p.stack, append([]byte(nil), p.elemName...))
+		p.br(int64(len(p.elemName))) // name copy & intern checks
+	}
+}
+
+func (p *parser) closeElement() error {
+	if p.depth == 0 {
+		p.br(1)
+		return p.fail("close tag without open element")
+	}
+	p.depth--
+	if p.validate {
+		top := p.stack[len(p.stack)-1]
+		p.stack = p.stack[:len(p.stack)-1]
+		p.br(int64(len(top))) // name comparison
+		if string(top) != string(p.nameBuf) {
+			return p.fail(fmt.Sprintf("mismatched close tag: <%s> vs </%s>", top, p.nameBuf))
+		}
+	}
+	p.nameBuf = p.nameBuf[:0]
+	return nil
+}
+
+func (p *parser) finishAttrName() error {
+	if p.validate {
+		name := string(p.nameBuf)
+		p.br(2) // hash + lookup
+		if p.seen[name] {
+			return p.fail("duplicate attribute " + name)
+		}
+		p.seen[name] = true
+	}
+	p.nameBuf = p.nameBuf[:0]
+	return nil
+}
+
+// ExpatLike runs the non-validating streaming parser (the Expat
+// stand-in).
+func ExpatLike(doc []byte) (Counts, Metrics, error) {
+	p := &parser{validate: false}
+	return p.run(doc)
+}
+
+// XercesLike runs the validating parser (the Xerces-C SAXCount
+// stand-in): everything ExpatLike checks plus tag-name matching and
+// duplicate-attribute detection.
+func XercesLike(doc []byte) (Counts, Metrics, error) {
+	p := &parser{validate: true}
+	return p.run(doc)
+}

@@ -1,0 +1,194 @@
+package swparse
+
+import (
+	"bytes"
+	"encoding/xml"
+	"errors"
+	"io"
+	"strings"
+	"testing"
+
+	"aspen/internal/lang"
+	"aspen/internal/xmlgen"
+)
+
+func TestCountsSimple(t *testing.T) {
+	doc := []byte(`<?xml version="1.0"?><root a="1" b="2"><child>hello</child><leaf/></root>`)
+	for _, f := range []func([]byte) (Counts, Metrics, error){ExpatLike, XercesLike} {
+		c, m, err := f(doc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if c.Elements != 3 {
+			t.Errorf("Elements = %d, want 3", c.Elements)
+		}
+		if c.Attributes != 2 {
+			t.Errorf("Attributes = %d, want 2", c.Attributes)
+		}
+		if c.Characters != 5 {
+			t.Errorf("Characters = %d, want 5", c.Characters)
+		}
+		if m.Branches <= 0 || m.StateDispatches != int64(len(doc)) {
+			t.Errorf("metrics = %+v", m)
+		}
+		if m.MaxDepth != 2 {
+			t.Errorf("MaxDepth = %d, want 2", m.MaxDepth)
+		}
+	}
+}
+
+func TestSampleDocument(t *testing.T) {
+	c, _, err := XercesLike([]byte(lang.XMLSample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// catalog, 2×book, title×2, price, tags, tag×2, blurb, empty: count
+	// elements by hand: catalog, book, title, price, tags, tag, tag,
+	// blurb, book, title, empty = 11.
+	if c.Elements != 11 {
+		t.Errorf("Elements = %d, want 11", c.Elements)
+	}
+	if c.Attributes != 6 { // xmlns, count, id, lang, currency, id
+		t.Errorf("Attributes = %d, want 6", c.Attributes)
+	}
+	if c.Characters == 0 {
+		t.Error("no characters counted")
+	}
+}
+
+func TestCDATACountsCharacters(t *testing.T) {
+	c, _, err := ExpatLike([]byte(`<a><![CDATA[x<y>&z]]></a>`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Characters != 6 {
+		t.Errorf("Characters = %d, want 6", c.Characters)
+	}
+}
+
+func TestSyntaxErrors(t *testing.T) {
+	bad := []string{
+		`<a>`, `</a>`, `<a></b></a>x`, `<a`, `<a b></a>`, `<a b=x></a>`,
+		`<1a/>`, `text<a/>`, `<a/><b/>extra`, `<a><!bogus></a>`, `<a b="1" `,
+	}
+	for _, doc := range bad {
+		if _, _, err := ExpatLike([]byte(doc)); err == nil {
+			t.Errorf("ExpatLike(%q) should fail", doc)
+		}
+	}
+}
+
+func TestValidationOnlyInXerces(t *testing.T) {
+	// Mismatched tags: well-formed nesting arity but wrong names —
+	// Expat-like (non-validating) accepts, Xerces-like rejects.
+	doc := []byte(`<a><b></c></a>`)
+	if _, _, err := ExpatLike(doc); err != nil {
+		t.Errorf("ExpatLike should accept name mismatch: %v", err)
+	}
+	_, _, err := XercesLike(doc)
+	var se *SyntaxError
+	if !errors.As(err, &se) || !strings.Contains(se.Msg, "mismatched") {
+		t.Errorf("XercesLike err = %v, want mismatch", err)
+	}
+	// Duplicate attributes likewise.
+	dup := []byte(`<a x="1" x="2"></a>`)
+	if _, _, err := ExpatLike(dup); err != nil {
+		t.Errorf("ExpatLike should accept duplicate attrs: %v", err)
+	}
+	if _, _, err := XercesLike(dup); err == nil {
+		t.Error("XercesLike should reject duplicate attrs")
+	}
+}
+
+func TestUnclosedElements(t *testing.T) {
+	_, _, err := XercesLike([]byte(`<a><b></b>`))
+	if !errors.Is(err, ErrUnclosed) {
+		t.Errorf("err = %v, want ErrUnclosed", err)
+	}
+}
+
+func TestValidatorCostsMoreBranches(t *testing.T) {
+	doc := []byte(lang.XMLSample)
+	_, me, err := ExpatLike(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, mx, err := XercesLike(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mx.Branches <= me.Branches {
+		t.Errorf("validator branches %d !> non-validating %d", mx.Branches, me.Branches)
+	}
+}
+
+func TestBranchesGrowWithMarkupDensity(t *testing.T) {
+	// Same total size, different markup density: denser markup must cost
+	// more branches per byte (the Fig. 2 trend).
+	sparse := []byte("<r>" + strings.Repeat("x", 4000) + "</r>")
+	var b strings.Builder
+	b.WriteString("<r>")
+	for i := 0; i < 250; i++ {
+		b.WriteString(`<a k="v">x</a>`)
+	}
+	b.WriteString("</r>")
+	dense := []byte(b.String())
+
+	_, ms, err := XercesLike(sparse)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, md, err := XercesLike(dense)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := ms.BranchesPerByte(len(sparse))
+	d := md.BranchesPerByte(len(dense))
+	if d <= s {
+		t.Errorf("dense %f branches/byte !> sparse %f", d, s)
+	}
+	t.Logf("branches/byte: sparse %.2f, dense %.2f", s, d)
+}
+
+func TestSyntaxErrorMessage(t *testing.T) {
+	_, _, err := ExpatLike([]byte(`<a><`))
+	var se *SyntaxError
+	if !errors.As(err, &se) {
+		t.Fatalf("err = %v", err)
+	}
+	if se.Pos == 0 || se.Error() == "" {
+		t.Errorf("error = %+v", se)
+	}
+}
+
+// Cross-validate against the standard library's encoding/xml decoder on
+// the generated corpus: element and attribute counts must agree (the
+// stdlib is a third, independent implementation).
+func TestAgainstStdlibXML(t *testing.T) {
+	docs := xmlgen.Corpus(4 << 10)
+	for _, d := range docs {
+		var elems, attrs int
+		dec := xml.NewDecoder(bytes.NewReader(d.Data))
+		for {
+			tok, err := dec.Token()
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				t.Fatalf("%s: stdlib rejects: %v", d.Name, err)
+			}
+			if se, ok := tok.(xml.StartElement); ok {
+				elems++
+				attrs += len(se.Attr)
+			}
+		}
+		c, _, err := XercesLike(d.Data)
+		if err != nil {
+			t.Fatalf("%s: %v", d.Name, err)
+		}
+		if c.Elements != elems || c.Attributes != attrs {
+			t.Errorf("%s: swparse %d/%d vs stdlib %d/%d elements/attrs",
+				d.Name, c.Elements, c.Attributes, elems, attrs)
+		}
+	}
+}

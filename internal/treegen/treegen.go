@@ -1,0 +1,260 @@
+// Package treegen synthesizes the subtree-mining datasets of paper
+// Table I. T1M and T2M follow Zaki's mother-tree method: a single large
+// random "mother" tree is generated with bounded depth and fan-out, and
+// each database tree is a random connected subtree of it. The
+// TREEBANK-like dataset models the paper's real corpus: many fewer
+// trees, far larger and deeper, with a big label vocabulary and heavily
+// skewed tree sizes — the distribution that ruins GPU warp efficiency
+// in Fig. 9.
+package treegen
+
+import (
+	"math/rand"
+
+	"aspen/internal/subtree"
+)
+
+// Params describes a dataset to synthesize.
+type Params struct {
+	Name string
+	// NumTrees is the database size.
+	NumTrees int
+	// AvgNodes targets the mean tree size.
+	AvgNodes float64
+	// Labels is the label vocabulary (#Items in Table I).
+	Labels int
+	// MaxDepth bounds tree depth.
+	MaxDepth int
+	// MotherNodes sizes the mother tree (0 = Zaki default of 10,000).
+	MotherNodes int
+	// Skew widens the tree-size distribution (0 = even sizes, 1 =
+	// heavy-tailed like TREEBANK).
+	Skew float64
+	Seed int64
+}
+
+// Table I profiles, scaled: Scale(n) divides tree counts by n so tests
+// and benchmarks can run quickly while preserving the shape parameters
+// (average nodes, depth, label vocabulary; label vocabularies are capped
+// at 250 to fit the 8-bit symbol datapath — the paper likewise remaps
+// the frequent-label set per iteration).
+func T1M() Params {
+	return Params{Name: "T1M", NumTrees: 1_000_000, AvgNodes: 5.5, Labels: 250, MaxDepth: 13, MotherNodes: 10_000, Skew: 0.2, Seed: 101}
+}
+
+func T2M() Params {
+	return Params{Name: "T2M", NumTrees: 2_000_000, AvgNodes: 2.95, Labels: 100, MaxDepth: 13, MotherNodes: 10_000, Skew: 0.2, Seed: 202}
+}
+
+func Treebank() Params {
+	return Params{Name: "TREEBANK", NumTrees: 52_581, AvgNodes: 68.03, Labels: 250, MaxDepth: 38, MotherNodes: 0, Skew: 1, Seed: 303}
+}
+
+// Scale returns a copy with NumTrees divided by n (minimum 50).
+func (p Params) Scale(n int) Params {
+	p.NumTrees /= n
+	if p.NumTrees < 50 {
+		p.NumTrees = 50
+	}
+	return p
+}
+
+// mother builds the mother tree: MotherNodes nodes, depth ≤ MaxDepth,
+// fan-out ≤ 10 (Zaki's generator defaults).
+type mother struct {
+	labels   []subtree.Label
+	parent   []int32
+	depth    []int
+	kids     []int
+	children [][]int32
+}
+
+func buildMother(p Params, r *rand.Rand) *mother {
+	n := p.MotherNodes
+	if n == 0 {
+		n = 10_000
+	}
+	m := &mother{
+		labels: make([]subtree.Label, n),
+		parent: make([]int32, n),
+		depth:  make([]int, n),
+		kids:   make([]int, n),
+	}
+	m.labels[0] = subtree.Label(r.Intn(p.Labels))
+	m.parent[0] = -1
+	m.depth[0] = 1
+	for i := 1; i < n; i++ {
+		// Attach to a random earlier node with room (fan-out < 10,
+		// depth < MaxDepth).
+		for {
+			q := r.Intn(i)
+			if m.kids[q] < 10 && m.depth[q] < p.MaxDepth {
+				m.parent[i] = int32(q)
+				m.depth[i] = m.depth[q] + 1
+				m.kids[q]++
+				break
+			}
+		}
+		m.labels[i] = subtree.Label(r.Intn(p.Labels))
+	}
+	m.children = make([][]int32, n)
+	for i := 1; i < n; i++ {
+		m.children[m.parent[i]] = append(m.children[m.parent[i]], int32(i))
+	}
+	return m
+}
+
+// Generate synthesizes the dataset.
+func Generate(p Params) []*subtree.Tree {
+	r := rand.New(rand.NewSource(p.Seed))
+	db := make([]*subtree.Tree, 0, p.NumTrees)
+	if p.Skew >= 1 {
+		// TREEBANK-like: independent deep skewed trees.
+		for i := 0; i < p.NumTrees; i++ {
+			db = append(db, skewedTree(p, r))
+		}
+		return db
+	}
+	m := buildMother(p, r)
+	for i := 0; i < p.NumTrees; i++ {
+		db = append(db, sampleSubtree(m, p, r))
+	}
+	return db
+}
+
+// sampleSubtree draws a random connected subtree of the mother tree with
+// size geometrically distributed around AvgNodes.
+func sampleSubtree(m *mother, p Params, r *rand.Rand) *subtree.Tree {
+	target := 1 + geometric(p.AvgNodes-1, r)
+	type nd struct {
+		mi     int32
+		parent int32
+	}
+	var t *subtree.Tree
+	for attempt := 0; attempt < 6; attempt++ {
+		root := r.Intn(len(m.labels))
+		t = &subtree.Tree{}
+		queue := []nd{{int32(root), -1}}
+		for len(queue) > 0 && t.NumNodes() < target {
+			cur := queue[0]
+			queue = queue[1:]
+			idx := int32(t.NumNodes())
+			t.Labels = append(t.Labels, m.labels[cur.mi])
+			t.Parent = append(t.Parent, cur.parent)
+			for _, c := range m.children[cur.mi] {
+				queue = append(queue, nd{c, idx})
+			}
+		}
+		if t.NumNodes()*2 >= target || attempt == 5 {
+			break // close enough (or give up and keep the small tree)
+		}
+	}
+	return fixPreorder(t)
+}
+
+// skewedTree generates one TREEBANK-like tree: size from a heavy-tailed
+// distribution, shape a deep spine with branches.
+func skewedTree(p Params, r *rand.Rand) *subtree.Tree {
+	// Pareto-ish: most trees small, some very large.
+	size := 3 + geometric(p.AvgNodes/2, r)
+	if r.Float64() < 0.15 {
+		size += geometric(p.AvgNodes*2.5, r)
+	}
+	t := &subtree.Tree{
+		Labels: []subtree.Label{subtree.Label(r.Intn(p.Labels))},
+		Parent: []int32{-1},
+	}
+	depth := []int{1}
+	for i := 1; i < size; i++ {
+		// Bias attachment toward recent nodes (deep spines).
+		var q int
+		if r.Float64() < 0.6 {
+			q = i - 1 - r.Intn(min(i, 3))
+		} else {
+			q = r.Intn(i)
+		}
+		if depth[q] >= p.MaxDepth {
+			q = 0
+		}
+		t.Labels = append(t.Labels, subtree.Label(r.Intn(p.Labels)))
+		t.Parent = append(t.Parent, int32(q))
+		depth = append(depth, depth[q]+1)
+	}
+	return fixPreorder(t)
+}
+
+// fixPreorder renumbers a parent-vector tree into preorder.
+func fixPreorder(t *subtree.Tree) *subtree.Tree {
+	n := t.NumNodes()
+	kids := make([][]int32, n)
+	for i := 1; i < n; i++ {
+		kids[t.Parent[i]] = append(kids[t.Parent[i]], int32(i))
+	}
+	out := &subtree.Tree{
+		Labels: make([]subtree.Label, 0, n),
+		Parent: make([]int32, 0, n),
+	}
+	var walk func(old, newParent int32)
+	walk = func(old, newParent int32) {
+		idx := int32(out.NumNodes())
+		out.Labels = append(out.Labels, t.Labels[old])
+		out.Parent = append(out.Parent, newParent)
+		for _, c := range kids[old] {
+			walk(c, idx)
+		}
+	}
+	walk(0, -1)
+	return out
+}
+
+// geometric samples a geometric distribution with the given mean.
+func geometric(mean float64, r *rand.Rand) int {
+	if mean <= 0 {
+		return 0
+	}
+	p := 1 / (mean + 1)
+	n := 0
+	for r.Float64() > p && n < 100000 {
+		n++
+	}
+	return n
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// Stats summarizes a dataset the way Table I reports it.
+type Stats struct {
+	NumTrees int
+	AvgNodes float64
+	Labels   int
+	MaxDepth int
+	Bytes    int64 // total encoded length (symbols)
+}
+
+// Describe computes dataset statistics.
+func Describe(db []*subtree.Tree) Stats {
+	var s Stats
+	s.NumTrees = len(db)
+	labels := map[subtree.Label]bool{}
+	total := 0
+	for _, t := range db {
+		total += t.NumNodes()
+		if d := t.Depth(); d > s.MaxDepth {
+			s.MaxDepth = d
+		}
+		for _, l := range t.Labels {
+			labels[l] = true
+		}
+		s.Bytes += int64(2 * t.NumNodes())
+	}
+	s.Labels = len(labels)
+	if len(db) > 0 {
+		s.AvgNodes = float64(total) / float64(len(db))
+	}
+	return s
+}

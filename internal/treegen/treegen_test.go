@@ -1,0 +1,70 @@
+package treegen
+
+import (
+	"math"
+	"testing"
+)
+
+func TestDatasetsValid(t *testing.T) {
+	for _, p := range []Params{T1M().Scale(2000), T2M().Scale(4000), Treebank().Scale(100)} {
+		db := Generate(p)
+		if len(db) == 0 {
+			t.Fatalf("%s: empty dataset", p.Name)
+		}
+		for i, tr := range db {
+			if err := tr.Validate(); err != nil {
+				t.Fatalf("%s tree %d: %v", p.Name, i, err)
+			}
+			if d := tr.Depth(); d > p.MaxDepth {
+				t.Fatalf("%s tree %d: depth %d > %d", p.Name, i, d, p.MaxDepth)
+			}
+		}
+	}
+}
+
+func TestShapeApproximatesTableI(t *testing.T) {
+	t1 := Describe(Generate(T1M().Scale(1000)))
+	if math.Abs(t1.AvgNodes-5.5) > 2.5 {
+		t.Errorf("T1M avg nodes = %.2f, want ≈5.5", t1.AvgNodes)
+	}
+	t2 := Describe(Generate(T2M().Scale(2000)))
+	if math.Abs(t2.AvgNodes-2.95) > 1.5 {
+		t.Errorf("T2M avg nodes = %.2f, want ≈2.95", t2.AvgNodes)
+	}
+	if t2.Labels > 100 {
+		t.Errorf("T2M labels = %d, want ≤100", t2.Labels)
+	}
+	tb := Describe(Generate(Treebank().Scale(100)))
+	if tb.AvgNodes < 20 {
+		t.Errorf("TREEBANK avg nodes = %.2f, want large (≈68)", tb.AvgNodes)
+	}
+	if tb.MaxDepth < 10 {
+		t.Errorf("TREEBANK max depth = %d, want deep", tb.MaxDepth)
+	}
+	// TREEBANK must be the skewed one: larger average and deeper than
+	// the synthetic datasets.
+	if tb.AvgNodes <= t1.AvgNodes || tb.MaxDepth <= t1.MaxDepth {
+		t.Errorf("TREEBANK (%+v) should dominate T1M (%+v)", tb, t1)
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	p := T1M().Scale(5000)
+	a := Generate(p)
+	b := Generate(p)
+	if len(a) != len(b) {
+		t.Fatal("sizes differ")
+	}
+	for i := range a {
+		if a[i].Key() != b[i].Key() {
+			t.Fatal("generation not deterministic")
+		}
+	}
+}
+
+func TestScaleFloor(t *testing.T) {
+	p := T1M().Scale(1 << 30)
+	if p.NumTrees != 50 {
+		t.Errorf("scale floor = %d", p.NumTrees)
+	}
+}

@@ -1,0 +1,179 @@
+// Package viz renders automata as GraphViz DOT documents for inspection
+// and debugging. Since DOT is itself one of the paper's four evaluation
+// languages, the output is round-trippable through the repository's own
+// DOT parser — which the tests exploit as an end-to-end check.
+package viz
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"aspen/internal/core"
+	"aspen/internal/nfa"
+	"aspen/internal/place"
+)
+
+// Options controls rendering.
+type Options struct {
+	// MaxStates truncates huge machines (0 = 400); beyond it an
+	// ellipsis node summarizes the rest.
+	MaxStates int
+	// Placement, when non-nil, clusters states by bank.
+	Placement *place.Placement
+	// RankDir is the graph direction ("LR" default).
+	RankDir string
+}
+
+func esc(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	s = strings.ReplaceAll(s, `"`, `\"`)
+	return s
+}
+
+// stateLabel renders an hDPDA state in the paper's Fig. 1(b) style:
+// input match, stack match, pop count, push symbol.
+func stateLabel(st *core.State) string {
+	in := "ε"
+	if !st.Epsilon {
+		in = st.Input.String()
+	}
+	l := fmt.Sprintf("%s %s", in, st.Stack.String())
+	l += fmt.Sprintf("\\npop %d", st.Op.Pop)
+	if st.Op.HasPush {
+		l += fmt.Sprintf(" push %#02x", uint8(st.Op.Push))
+	}
+	return l
+}
+
+// HDPDA renders a machine as a DOT digraph.
+func HDPDA(m *core.HDPDA, opts Options) string {
+	maxStates := opts.MaxStates
+	if maxStates == 0 {
+		maxStates = 400
+	}
+	rank := opts.RankDir
+	if rank == "" {
+		rank = "LR"
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "digraph %q {\n", sanitizeName(m.Name))
+	fmt.Fprintf(&b, "  rankdir = %s;\n", rank)
+	b.WriteString("  node [shape=box];\n")
+
+	shown := m.NumStates()
+	truncated := false
+	if shown > maxStates {
+		shown = maxStates
+		truncated = true
+	}
+
+	emitNode := func(i int) {
+		st := &m.States[i]
+		attrs := []string{fmt.Sprintf("label=\"q%d\\n%s\"", i, esc(stateLabel(st)))}
+		if st.Accept {
+			attrs = append(attrs, "peripheries=2")
+		}
+		if core.StateID(i) == m.Start {
+			attrs = append(attrs, "style=bold")
+		}
+		if st.Epsilon {
+			attrs = append(attrs, "color=gray50")
+		}
+		fmt.Fprintf(&b, "    q%d [%s];\n", i, strings.Join(attrs, ", "))
+	}
+
+	if opts.Placement != nil {
+		// Cluster states by bank.
+		byBank := map[int][]int{}
+		for i := 0; i < shown; i++ {
+			bk := opts.Placement.BankOf[i]
+			byBank[bk] = append(byBank[bk], i)
+		}
+		banks := make([]int, 0, len(byBank))
+		for bk := range byBank {
+			banks = append(banks, bk)
+		}
+		sort.Ints(banks)
+		for _, bk := range banks {
+			fmt.Fprintf(&b, "  subgraph cluster_bank%d {\n    label = \"bank %d\";\n", bk, bk)
+			for _, i := range byBank[bk] {
+				emitNode(i)
+			}
+			b.WriteString("  }\n")
+		}
+	} else {
+		for i := 0; i < shown; i++ {
+			emitNode(i)
+		}
+	}
+	if truncated {
+		fmt.Fprintf(&b, "  more [label=\"… %d more states\"];\n", m.NumStates()-shown)
+	}
+	for i := 0; i < shown; i++ {
+		for _, t := range m.States[i].Succ {
+			if int(t) < shown {
+				fmt.Fprintf(&b, "  q%d -> q%d;\n", i, t)
+			} else if truncated {
+				fmt.Fprintf(&b, "  q%d -> more;\n", i)
+			}
+		}
+	}
+	b.WriteString("}\n")
+	return b.String()
+}
+
+// NFA renders a homogeneous NFA as a DOT digraph.
+func NFA(n *nfa.NFA, opts Options) string {
+	maxStates := opts.MaxStates
+	if maxStates == 0 {
+		maxStates = 400
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "digraph %q {\n  rankdir = LR;\n  node [shape=circle];\n", sanitizeName(n.Name))
+	shown := n.NumStates()
+	if shown > maxStates {
+		shown = maxStates
+	}
+	starts := map[int32]bool{}
+	for _, s := range n.Starts {
+		starts[s] = true
+	}
+	for i := 0; i < shown; i++ {
+		st := &n.States[i]
+		attrs := []string{fmt.Sprintf("label=\"%d\\n%s\"", i, esc(st.Match.String()))}
+		if st.Accept {
+			attrs = append(attrs, "shape=doublecircle")
+		}
+		if starts[int32(i)] {
+			attrs = append(attrs, "style=bold")
+		}
+		fmt.Fprintf(&b, "  n%d [%s];\n", i, strings.Join(attrs, ", "))
+	}
+	for i := 0; i < shown; i++ {
+		for _, t := range n.States[i].Succ {
+			if int(t) < shown {
+				fmt.Fprintf(&b, "  n%d -> n%d;\n", i, t)
+			}
+		}
+	}
+	b.WriteString("}\n")
+	return b.String()
+}
+
+// sanitizeName makes a machine name a safe DOT identifier content.
+func sanitizeName(s string) string {
+	if s == "" {
+		return "machine"
+	}
+	var b strings.Builder
+	for _, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '_':
+			b.WriteRune(r)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,89 @@
+package viz
+
+import (
+	"strings"
+	"testing"
+
+	"aspen/internal/compile"
+	"aspen/internal/core"
+	"aspen/internal/lang"
+	"aspen/internal/nfa"
+	"aspen/internal/place"
+)
+
+func TestHDPDARendering(t *testing.T) {
+	m := core.PalindromeHDPDA()
+	out := HDPDA(m, Options{})
+	for _, frag := range []string{
+		"digraph", "rankdir = LR", "q0", "peripheries=2", "style=bold", "->",
+	} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("missing %q in:\n%s", frag, out)
+		}
+	}
+}
+
+// The rendered DOT must be accepted by this repository's own DOT
+// language pipeline — the paper's languages eating their own dog food.
+func TestRenderedDOTParsesWithOwnParser(t *testing.T) {
+	l := lang.DOT()
+	cm, err := l.Compile(compile.OptAll)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A small machine, a clustered machine, and an NFA.
+	pal := core.PalindromeHDPDA()
+	p, err := place.Partition(pal, place.Options{BankStates: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := nfa.Compile("t", "a(b|c)*d")
+	if err != nil {
+		t.Fatal(err)
+	}
+	docs := map[string]string{
+		"plain":     HDPDA(pal, Options{}),
+		"clustered": HDPDA(pal, Options{Placement: p}),
+		"nfa":       NFA(n, Options{}),
+	}
+	for name, doc := range docs {
+		out, err := l.Parse(cm, []byte(doc), core.ExecOptions{})
+		if err != nil {
+			t.Fatalf("%s: own DOT parser errored: %v\n%s", name, err, doc)
+		}
+		if !out.Accepted {
+			t.Fatalf("%s: own DOT parser rejected after %d tokens:\n%s",
+				name, out.Result.Consumed, doc)
+		}
+	}
+}
+
+func TestTruncation(t *testing.T) {
+	cm, err := lang.JSON().Compile(compile.OptAll)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := HDPDA(cm.Machine, Options{MaxStates: 10})
+	if !strings.Contains(out, "more states") {
+		t.Error("expected truncation marker")
+	}
+	// Truncated output still parses with the DOT language.
+	l := lang.DOT()
+	dcm, err := l.Compile(compile.OptAll)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := l.Parse(dcm, []byte(out), core.ExecOptions{})
+	if err != nil || !res.Accepted {
+		t.Fatalf("truncated render rejected: %v", err)
+	}
+}
+
+func TestSanitizeName(t *testing.T) {
+	if sanitizeName("") != "machine" {
+		t.Error("empty name")
+	}
+	if got := sanitizeName("a b/c-1"); got != "a_b_c_1" {
+		t.Errorf("sanitize = %q", got)
+	}
+}

@@ -1,0 +1,175 @@
+// Package xmlgen synthesizes the 23-document XML benchmark corpus used
+// for the Fig. 8 evaluation. The paper draws its corpus from Parabix,
+// Ximpleware and the UW XML repository and groups files by markup
+// density (the ratio of syntactic markup to document size), the variable
+// that drives conventional-parser cost; this generator produces
+// well-formed documents with the same names and density profile, scaled
+// to a configurable size, deterministically per name.
+package xmlgen
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+)
+
+// Doc is one generated benchmark document.
+type Doc struct {
+	Name  string
+	Group string // "Low", "Medium", "High"
+	Data  []byte
+	// MarkupDensity is the measured ratio of markup bytes to total
+	// bytes.
+	MarkupDensity float64
+}
+
+// spec mirrors the corpus entries: name and target markup density.
+type spec struct {
+	name    string
+	density float64
+}
+
+// The 23 benchmarks, named after the paper's sources (Parabix,
+// Ximpleware, UW XML repository) and spread across the three density
+// groups the paper uses for Fig. 2/Fig. 8.
+var corpus = []spec{
+	// Low markup density: long text runs, few tags (ebay is the paper's
+	// Fig. 2 "Low" example).
+	{"ebay", 0.10}, {"reed", 0.14}, {"sigmod", 0.17}, {"wsu", 0.20},
+	{"nasa", 0.23}, {"dblp", 0.26}, {"treebank_e", 0.29},
+	// Medium markup density (psd7003 is the paper's "Med" example).
+	{"psd7003", 0.33}, {"swissprot", 0.37}, {"uwm", 0.41}, {"mondial", 0.45},
+	{"yahoo", 0.49}, {"address", 0.53}, {"bioinfo", 0.57}, {"orders", 0.61},
+	// High markup density: tag-dominated (soap is the paper's "High"
+	// example).
+	{"lineitem", 0.66}, {"po1m", 0.70}, {"part", 0.74}, {"customer", 0.78},
+	{"supplier", 0.82}, {"nation", 0.86}, {"region", 0.90}, {"soap", 0.94},
+}
+
+// Group classifies a markup density the way the paper buckets its
+// corpus.
+func Group(density float64) string {
+	switch {
+	case density < 0.30:
+		return "Low"
+	case density < 0.65:
+		return "Medium"
+	default:
+		return "High"
+	}
+}
+
+var tagPool = []string{
+	"item", "entry", "record", "field", "name", "value", "price", "qty",
+	"desc", "note", "ref", "meta", "attr", "node", "cell", "row",
+}
+
+var wordPool = []string{
+	"automata", "pushdown", "stack", "cache", "sram", "parse", "token",
+	"symbol", "state", "bank", "switch", "report", "input", "cycle",
+	"grammar", "reduce", "shift", "tree", "mining", "engine",
+}
+
+// Generate produces one document of roughly sizeBytes with the given
+// target markup density, deterministic in seed.
+func Generate(name string, sizeBytes int, density float64, seed int64) Doc {
+	r := rand.New(rand.NewSource(seed))
+	var b bytes.Buffer
+	markup := 0
+
+	tag := func() string { return tagPool[r.Intn(len(tagPool))] }
+	word := func() string { return wordPool[r.Intn(len(wordPool))] }
+
+	wm := func(s string) { // markup write
+		b.WriteString(s)
+		markup += len(s)
+	}
+	decl := fmt.Sprintf("<?xml version=\"1.0\" encoding=\"UTF-8\"?>\n<!-- synthetic benchmark %s -->\n", name)
+	wm(decl)
+	wm("<" + name + ">")
+
+	// Emit elements until the size target; tune text-run length so the
+	// running markup density approaches the target.
+	depth := 1
+	open := []string{name}
+	for b.Len() < sizeBytes {
+		cur := float64(markup) / float64(b.Len()+1)
+		switch {
+		case cur > density && depth > 0:
+			// Too markup-heavy: emit text sized to pull density down.
+			need := int(float64(markup)/density) - b.Len()
+			if need < 1 {
+				need = 1
+			}
+			if need > 512 {
+				need = 512
+			}
+			for need > 0 {
+				w := word()
+				if len(w)+1 > need {
+					w = w[:max(1, need-1)]
+				}
+				b.WriteString(w)
+				b.WriteByte(' ')
+				need -= len(w) + 1
+			}
+		case depth < 6 && r.Intn(3) > 0:
+			// Open a child, sometimes with attributes.
+			t := tag()
+			wm("<" + t)
+			nAttrs := r.Intn(3)
+			for a, w := 0, r.Intn(len(wordPool)); a < nAttrs; a++ {
+				// Distinct attribute names within a tag (Xerces-like
+				// validation rejects duplicates).
+				wm(fmt.Sprintf(" %s=\"%d\"", wordPool[(w+a)%len(wordPool)], r.Intn(1000)))
+			}
+			if r.Intn(5) == 0 {
+				wm("/>")
+			} else {
+				wm(">")
+				open = append(open, t)
+				depth++
+			}
+		case depth > 1:
+			t := open[len(open)-1]
+			open = open[:len(open)-1]
+			depth--
+			wm("</" + t + ">")
+		default:
+			t := tag()
+			wm("<" + t + "/>")
+		}
+	}
+	for len(open) > 0 {
+		t := open[len(open)-1]
+		open = open[:len(open)-1]
+		wm("</" + t + ">")
+	}
+	data := b.Bytes()
+	return Doc{
+		Name:          name,
+		Group:         Group(float64(markup) / float64(len(data))),
+		Data:          data,
+		MarkupDensity: float64(markup) / float64(len(data)),
+	}
+}
+
+// Corpus generates the full 23-document benchmark set at the given
+// per-document size.
+func Corpus(sizeBytes int) []Doc {
+	out := make([]Doc, len(corpus))
+	for i, s := range corpus {
+		out[i] = Generate(s.name, sizeBytes, s.density, int64(i)*7919+1)
+	}
+	return out
+}
+
+// CorpusSize is the number of benchmarks (the paper's 23).
+const CorpusSize = 23
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,90 @@
+package xmlgen
+
+import (
+	"math"
+	"testing"
+
+	"aspen/internal/compile"
+	"aspen/internal/core"
+	"aspen/internal/lang"
+	"aspen/internal/swparse"
+)
+
+func TestCorpusShape(t *testing.T) {
+	docs := Corpus(8 << 10)
+	if len(docs) != CorpusSize {
+		t.Fatalf("corpus size %d, want %d", len(docs), CorpusSize)
+	}
+	groups := map[string]int{}
+	names := map[string]bool{}
+	for _, d := range docs {
+		if names[d.Name] {
+			t.Errorf("duplicate name %s", d.Name)
+		}
+		names[d.Name] = true
+		groups[d.Group]++
+		if len(d.Data) < 8<<10 {
+			t.Errorf("%s: %d bytes, want ≥ 8 KiB", d.Name, len(d.Data))
+		}
+	}
+	for _, g := range []string{"Low", "Medium", "High"} {
+		if groups[g] < 5 {
+			t.Errorf("group %s has only %d docs", g, groups[g])
+		}
+	}
+}
+
+func TestDensityTargets(t *testing.T) {
+	docs := Corpus(16 << 10)
+	for i, d := range docs {
+		want := corpus[i].density
+		if math.Abs(d.MarkupDensity-want) > 0.12 {
+			t.Errorf("%s: density %.3f, target %.3f", d.Name, d.MarkupDensity, want)
+		}
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	a := Generate("ebay", 4096, 0.1, 42)
+	b := Generate("ebay", 4096, 0.1, 42)
+	if string(a.Data) != string(b.Data) {
+		t.Error("generation not deterministic")
+	}
+	c := Generate("ebay", 4096, 0.1, 43)
+	if string(a.Data) == string(c.Data) {
+		t.Error("different seeds produced identical documents")
+	}
+}
+
+// Every generated document must be accepted by both software baselines
+// and by the compiled ASPEN XML parser — the corpus ties the whole
+// pipeline together.
+func TestCorpusWellFormed(t *testing.T) {
+	l := lang.XML()
+	cm, err := l.Compile(compile.OptAll)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range Corpus(4 << 10) {
+		if _, _, err := swparse.ExpatLike(d.Data); err != nil {
+			t.Fatalf("%s: expat-like rejects: %v", d.Name, err)
+		}
+		if _, _, err := swparse.XercesLike(d.Data); err != nil {
+			t.Fatalf("%s: xerces-like rejects: %v", d.Name, err)
+		}
+		out, err := l.Parse(cm, d.Data, core.ExecOptions{})
+		if err != nil {
+			t.Fatalf("%s: aspen pipeline error: %v", d.Name, err)
+		}
+		if !out.Accepted {
+			t.Fatalf("%s: aspen rejects (consumed %d of %d tokens)",
+				d.Name, out.Result.Consumed, out.Tokens)
+		}
+	}
+}
+
+func TestGroupBuckets(t *testing.T) {
+	if Group(0.1) != "Low" || Group(0.5) != "Medium" || Group(0.9) != "High" {
+		t.Error("Group buckets wrong")
+	}
+}
