@@ -1,0 +1,35 @@
+# Developer entry points. `make check` is the documented pre-merge
+# gate: vet, formatting, and the full test suite under the race
+# detector (the telemetry layer is lock-free atomics — races there are
+# exactly what -race exists to catch).
+
+GO ?= go
+
+.PHONY: build test check fmt vet race bench experiments
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+fmt:
+	@out="$$(gofmt -l .)"; \
+	if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
+
+race:
+	$(GO) test -race ./...
+
+# Pre-merge check: run before every merge/PR.
+check: vet fmt race
+
+bench:
+	$(GO) test -bench . -benchtime 1x ./internal/bench
+
+experiments:
+	$(GO) run ./cmd/aspen-bench -o EXPERIMENTS.md

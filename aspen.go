@@ -30,6 +30,7 @@ import (
 	"aspen/internal/stream"
 	"aspen/internal/subtree"
 	"aspen/internal/swparse"
+	"aspen/internal/telemetry"
 	"aspen/internal/treegen"
 	"aspen/internal/xmlgen"
 )
@@ -307,4 +308,44 @@ var LangMiniC = lang.MiniC
 var (
 	IncludesInducedUnordered  = subtree.IncludesInducedUnordered
 	IncludesEmbeddedUnordered = subtree.IncludesEmbeddedUnordered
+)
+
+// Observability: the unified telemetry layer shared by the simulator,
+// the streaming parser, and every cmd/ tool.
+type (
+	// MetricsRegistry is a concurrency-safe registry of counters, gauges
+	// and histograms with JSON and Prometheus-text exposition.
+	MetricsRegistry = telemetry.Registry
+	// MetricsSnapshot is a point-in-time copy of a registry's values.
+	MetricsSnapshot = telemetry.Snapshot
+	// TraceSink receives structured trace events (ring buffer, JSONL
+	// writer, null, or custom).
+	TraceSink = telemetry.TraceSink
+	// SimTraceEvent is one datapath cycle of a simulator trace.
+	SimTraceEvent = arch.TraceEvent
+	// ExecHooks observes machine execution cycle-by-cycle (all hooks
+	// optional; a nil Hooks pointer costs one branch per step).
+	ExecHooks = core.ExecHooks
+	// DebugServer serves /metrics, /debug/vars and /debug/pprof.
+	DebugServer = telemetry.Server
+	// ObservabilityFlags is the -metrics/-trace-out/-pprof-addr flag set
+	// shared by the cmd/ tools.
+	ObservabilityFlags = telemetry.Flags
+)
+
+var (
+	// NewMetricsRegistry creates an empty registry.
+	NewMetricsRegistry = telemetry.NewRegistry
+	// NewRingSink keeps the most recent N trace events in memory.
+	NewRingSink = telemetry.NewRingSink
+	// NewJSONLSink streams trace events as JSON lines to a writer.
+	NewJSONLSink = telemetry.NewJSONLSink
+	// NewDebugServer starts the observability HTTP endpoint.
+	NewDebugServer = telemetry.NewServer
+	// RegisterObservabilityFlags installs the shared flag set on a
+	// FlagSet (see telemetry.Flags.Activate).
+	RegisterObservabilityFlags = telemetry.RegisterFlags
+	// ParseStreamObserved is ParseStream with telemetry routed into a
+	// registry, so the run can be scraped in flight.
+	ParseStreamObserved = stream.ParseReaderObserved
 )

@@ -6,7 +6,12 @@
 //
 //	aspen-bench                       # print all experiments
 //	aspen-bench -only fig8 -size 65536
-//	aspen-bench -o EXPERIMENTS.md
+//	aspen-bench -o EXPERIMENTS.md -metrics bench-metrics.json
+//
+// Every numeric cell of every rendered table is also published to the
+// telemetry registry as a bench_<id>_<row>_<column> gauge, so -metrics
+// (or a live scrape via -pprof-addr) exposes each figure/table value in
+// queryable form without changing the rendered Markdown.
 package main
 
 import (
@@ -17,6 +22,7 @@ import (
 	"time"
 
 	"aspen/internal/bench"
+	"aspen/internal/telemetry"
 )
 
 func main() {
@@ -26,53 +32,75 @@ func main() {
 		scale = flag.Int("scale", 200, "dataset scale divisor for mining experiments")
 		out   = flag.String("o", "", "write Markdown to this file instead of stdout")
 	)
+	tf := telemetry.RegisterFlags(flag.CommandLine)
 	flag.Parse()
+
+	reg := telemetry.NewRegistry()
+	sess, err := tf.Activate(reg)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "aspen-bench: %v\n", err)
+		os.Exit(1)
+	}
+	defer sess.MustClose("aspen-bench")
+	if addr := sess.ServerAddr(); addr != "" {
+		fmt.Fprintf(os.Stderr, "aspen-bench: debug server on http://%s\n", addr)
+	}
 
 	want := func(id string) bool { return *only == "" || *only == id }
 	var b strings.Builder
+	render := func(t *bench.Table) {
+		t.Publish(reg)
+		b.WriteString(t.Render())
+		if sess.Tracing() {
+			sess.Sink().Emit(map[string]any{
+				"event": "table", "id": t.ID, "title": t.Title, "rows": len(t.Rows),
+			})
+		}
+	}
 	fmt.Fprintf(&b, "# ASPEN reproduction — measured results\n\n")
 	fmt.Fprintf(&b, "Generated %s by `aspen-bench -size %d -scale %d`.\n\n",
 		time.Now().UTC().Format(time.RFC3339), *size, *scale)
 
 	if want("fig2") {
 		t, _ := bench.Fig2(*size)
-		b.WriteString(t.Render())
+		render(t)
 	}
 	if want("table1") {
-		b.WriteString(bench.TableI(*scale).Render())
+		render(bench.TableI(*scale))
 	}
 	if want("table2") {
-		b.WriteString(bench.TableII().Render())
+		render(bench.TableII())
 	}
 	if want("table3") {
-		b.WriteString(bench.TableIII().Render())
+		render(bench.TableIII())
 	}
 	if want("table4") {
-		b.WriteString(bench.TableIV().Render())
+		render(bench.TableIV())
 	}
 	if want("table5") {
-		b.WriteString(bench.TableV(*scale).Render())
+		render(bench.TableV(*scale))
 	}
 	if want("fig8") {
 		t, _, _ := bench.Fig8(*size)
-		b.WriteString(t.Render())
+		render(t)
 	}
 	if want("ablations") {
-		b.WriteString(bench.Ablations(*size).Render())
+		render(bench.Ablations(*size))
 	}
 	if want("fig9") || want("fig10") {
 		f9, f10, _ := bench.Fig9(*scale)
 		if want("fig9") {
-			b.WriteString(f9.Render())
+			render(f9)
 		}
 		if want("fig10") {
-			b.WriteString(f10.Render())
+			render(f10)
 		}
 	}
 
 	if *out != "" {
 		if err := os.WriteFile(*out, []byte(b.String()), 0o644); err != nil {
 			fmt.Fprintf(os.Stderr, "aspen-bench: %v\n", err)
+			sess.Close()
 			os.Exit(1)
 		}
 		fmt.Printf("wrote %s\n", *out)

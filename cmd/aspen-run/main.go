@@ -7,26 +7,50 @@
 //
 //	aspen-run -mnrl machine.mnrl -in input.bin
 //	aspen-run -lang JSON -in doc.json -sim
+//	aspen-run -lang XML -in big.xml -chunk 65536 -pprof-addr :6060 -metrics -
+//
+// Like every cmd/ tool it accepts the observability flag set: -metrics
+// writes a JSON snapshot of the telemetry registry on exit, -trace-out
+// streams datapath trace events (full-length, JSONL), and -pprof-addr
+// serves /debug/vars, /debug/pprof and /metrics live during the run.
 package main
 
 import (
+	"bytes"
 	"flag"
 	"fmt"
 	"os"
 
 	"aspen"
 	"aspen/internal/arch"
+	"aspen/internal/stream"
+	"aspen/internal/telemetry"
 )
+
+var sess *telemetry.Session
 
 func main() {
 	var (
 		mnrlPath = flag.String("mnrl", "", "MNRL machine to run (raw symbol input)")
-		langName = flag.String("lang", "", "built-in language pipeline (Cool, DOT, JSON, XML)")
+		langName = flag.String("lang", "", "built-in language pipeline (Cool, DOT, JSON, MiniC, XML)")
 		inPath   = flag.String("in", "", "input document")
 		sim      = flag.Bool("sim", false, "run on the cycle-accurate simulator")
 		trace    = flag.Int("trace", 0, "with -mnrl: print the first N datapath cycles")
+		chunk    = flag.Int("chunk", 0, "with -lang: parse incrementally in chunks of this many bytes")
 	)
+	tf := telemetry.RegisterFlags(flag.CommandLine)
 	flag.Parse()
+
+	reg := telemetry.NewRegistry()
+	var err error
+	sess, err = tf.Activate(reg)
+	if err != nil {
+		fatal("%v", err)
+	}
+	defer sess.MustClose("aspen-run")
+	if addr := sess.ServerAddr(); addr != "" {
+		fmt.Fprintf(os.Stderr, "aspen-run: debug server on http://%s\n", addr)
+	}
 
 	if *inPath == "" {
 		fatal("-in is required")
@@ -46,32 +70,51 @@ func main() {
 		if err != nil {
 			fatal("%v", err)
 		}
-		if *trace > 0 {
+		if *trace > 0 || sess.Tracing() {
 			s, err := aspen.NewSim(m, aspen.DefaultArchConfig())
 			if err != nil {
 				fatal("%v", err)
 			}
-			events, err := s.Trace(aspen.BytesToSymbols(input), *trace)
-			if err != nil {
-				fatal("%v", err)
+			s.EnableTelemetry(reg)
+			if *trace > 0 {
+				events, err := s.Trace(aspen.BytesToSymbols(input), *trace)
+				if err != nil {
+					fatal("%v", err)
+				}
+				fmt.Print(arch.FormatTrace(events))
 			}
-			fmt.Print(arch.FormatTrace(events))
+			if sess.Tracing() {
+				// Full-length capture: every datapath cycle goes to the
+				// JSONL sink, not just a 256-event prefix.
+				n, err := s.TraceTo(aspen.BytesToSymbols(input), sess.Sink())
+				if err != nil {
+					fatal("%v", err)
+				}
+				fmt.Fprintf(os.Stderr, "aspen-run: traced %d datapath cycles\n", n)
+			}
 			return
 		}
-		runMachine(m, aspen.BytesToSymbols(input), *sim, len(input))
+		runMachine(reg, m, aspen.BytesToSymbols(input), *sim, len(input))
 	case *langName != "":
-		var l *aspen.Language
-		for _, cand := range aspen.Languages() {
-			if cand.Name == *langName {
-				l = cand
-			}
-		}
+		l := langByName(*langName)
 		if l == nil {
 			fatal("unknown language %q", *langName)
 		}
 		cm, err := l.Compile(aspen.OptAll)
 		if err != nil {
 			fatal("%v", err)
+		}
+		if *chunk > 0 {
+			out, err := stream.ParseReaderObserved(l, cm, bytes.NewReader(input), *chunk, aspen.ExecOptions{}, reg)
+			if err != nil {
+				fatal("stream: %v", err)
+			}
+			fmt.Printf("accepted  %v\n", out.Accepted)
+			fmt.Printf("bytes     %d (chunks of %d)\n", out.Bytes, *chunk)
+			fmt.Printf("tokens    %d (scan cycles %d)\n", out.Tokens, out.LexStats.ScanCycles)
+			fmt.Printf("stalls    %d\n", out.Result.EpsilonStalls)
+			fmt.Printf("max stack %d\n", out.Result.MaxStackDepth)
+			return
 		}
 		lx, err := l.Lexer()
 		if err != nil {
@@ -81,6 +124,7 @@ func main() {
 		if err != nil {
 			fatal("lex: %v", err)
 		}
+		lstats.Observe(reg)
 		syms, err := l.Syms(toks)
 		if err != nil {
 			fatal("%v", err)
@@ -95,6 +139,12 @@ func main() {
 			if err != nil {
 				fatal("%v", err)
 			}
+			s.EnableTelemetry(reg)
+			if sess.Tracing() {
+				if _, err := s.TraceTo(stream, sess.Sink()); err != nil {
+					fatal("%v", err)
+				}
+			}
 			ps, err := aspen.RunPipeline(s, aspen.DefaultCacheAutomaton(), lstats, stream, aspen.ExecOptions{})
 			if err != nil {
 				fatal("%v", err)
@@ -105,19 +155,32 @@ func main() {
 			fmt.Printf("time      %.1f ns (%.1f ns/kB)\n", ps.TotalNS, ps.NSPerKB())
 			fmt.Printf("energy    %.3f µJ (%.3f µJ/kB)\n", ps.EnergyUJ(s.Cfg), ps.UJPerKB(s.Cfg))
 		} else {
-			runMachine(cm.Machine, stream, false, len(input))
+			runMachine(reg, cm.Machine, stream, false, len(input))
 		}
 	default:
 		fatal("one of -mnrl or -lang is required")
 	}
 }
 
-func runMachine(m *aspen.HDPDA, input []aspen.Symbol, simulate bool, bytes int) {
+func langByName(name string) *aspen.Language {
+	if name == "MiniC" {
+		return aspen.LangMiniC()
+	}
+	for _, cand := range aspen.Languages() {
+		if cand.Name == name {
+			return cand
+		}
+	}
+	return nil
+}
+
+func runMachine(reg *telemetry.Registry, m *aspen.HDPDA, input []aspen.Symbol, simulate bool, bytes int) {
 	if simulate {
 		s, err := aspen.NewSim(m, aspen.DefaultArchConfig())
 		if err != nil {
 			fatal("%v", err)
 		}
+		s.EnableTelemetry(reg)
 		rs, err := s.Run(input, aspen.ExecOptions{})
 		if err != nil {
 			fatal("%v", err)
@@ -141,5 +204,8 @@ func runMachine(m *aspen.HDPDA, input []aspen.Symbol, simulate bool, bytes int) 
 
 func fatal(format string, args ...any) {
 	fmt.Fprintf(os.Stderr, "aspen-run: "+format+"\n", args...)
+	if sess != nil {
+		sess.Close()
+	}
 	os.Exit(1)
 }

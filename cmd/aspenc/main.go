@@ -16,8 +16,11 @@ import (
 	"os"
 
 	"aspen"
+	"aspen/internal/telemetry"
 	"aspen/internal/viz"
 )
+
+var sess *telemetry.Session
 
 func main() {
 	var (
@@ -28,7 +31,19 @@ func main() {
 		out         = flag.String("o", "", "write MNRL JSON to this file (default: stdout off, stats only)")
 		dot         = flag.String("dot", "", "write a GraphViz rendering of the machine to this file")
 	)
+	tf := telemetry.RegisterFlags(flag.CommandLine)
 	flag.Parse()
+
+	reg := telemetry.NewRegistry()
+	var aerr error
+	sess, aerr = tf.Activate(reg)
+	if aerr != nil {
+		fatal("%v", aerr)
+	}
+	defer sess.MustClose("aspenc")
+	if addr := sess.ServerAddr(); addr != "" {
+		fmt.Fprintf(os.Stderr, "aspenc: debug server on http://%s\n", addr)
+	}
 
 	opts := aspen.OptNone
 	switch *optLevel {
@@ -47,13 +62,16 @@ func main() {
 	switch {
 	case *langName != "":
 		var l *aspen.Language
+		if *langName == "MiniC" {
+			l = aspen.LangMiniC()
+		}
 		for _, cand := range aspen.Languages() {
 			if cand.Name == *langName {
 				l = cand
 			}
 		}
 		if l == nil {
-			fatal("unknown language %q (want Cool, DOT, JSON, or XML)", *langName)
+			fatal("unknown language %q (want Cool, DOT, JSON, MiniC, or XML)", *langName)
 		}
 		cm, err = l.Compile(opts)
 	case *grammarPath != "":
@@ -74,6 +92,7 @@ func main() {
 	}
 
 	s := cm.Stats
+	publishStats(reg, cm)
 	fmt.Printf("grammar      %s\n", cm.Grammar.Name)
 	fmt.Printf("tokens       %d\n", s.TokenTypes)
 	fmt.Printf("productions  %d\n", s.Productions)
@@ -100,7 +119,36 @@ func main() {
 	}
 }
 
+// publishStats exposes the Table III/IV compile statistics through the
+// telemetry registry and emits one summary event to -trace-out.
+func publishStats(reg *telemetry.Registry, cm *aspen.Compiled) {
+	s := cm.Stats
+	for name, v := range map[string]int{
+		"aspenc_token_types":      s.TokenTypes,
+		"aspenc_productions":      s.Productions,
+		"aspenc_lr_states":        s.ParsingStates,
+		"aspenc_hdpda_states":     s.States,
+		"aspenc_hdpda_states_raw": s.StatesRaw,
+		"aspenc_eps_states":       s.EpsStates,
+		"aspenc_eps_states_raw":   s.EpsStatesRaw,
+	} {
+		reg.Gauge(name, "grammar compile statistic (paper Tables III/IV)").SetInt(int64(v))
+	}
+	reg.Gauge("aspenc_compile_seconds", "grammar compile wall time").Set(s.CompileTime.Seconds())
+	if sess.Tracing() {
+		sess.Sink().Emit(map[string]any{
+			"event": "compile", "grammar": cm.Grammar.Name,
+			"states": s.States, "states_raw": s.StatesRaw,
+			"eps_states": s.EpsStates, "lr_states": s.ParsingStates,
+			"compile_ns": s.CompileTime.Nanoseconds(),
+		})
+	}
+}
+
 func fatal(format string, args ...any) {
 	fmt.Fprintf(os.Stderr, "aspenc: "+format+"\n", args...)
+	if sess != nil {
+		sess.Close()
+	}
 	os.Exit(1)
 }

@@ -16,8 +16,11 @@ import (
 
 	"aspen"
 	"aspen/internal/subtree"
+	"aspen/internal/telemetry"
 	"aspen/internal/treegen"
 )
+
+var sess *telemetry.Session
 
 func main() {
 	var (
@@ -26,7 +29,19 @@ func main() {
 		support = flag.Float64("support", 0.012, "minimum support as a fraction of the database")
 		maxSize = flag.Int("max-size", 4, "maximum pattern size in nodes")
 	)
+	tf := telemetry.RegisterFlags(flag.CommandLine)
 	flag.Parse()
+
+	reg := telemetry.NewRegistry()
+	var aerr error
+	sess, aerr = tf.Activate(reg)
+	if aerr != nil {
+		fatal("%v", aerr)
+	}
+	defer sess.MustClose("treeminer")
+	if addr := sess.ServerAddr(); addr != "" {
+		fmt.Fprintf(os.Stderr, "treeminer: debug server on http://%s\n", addr)
+	}
 
 	var p treegen.Params
 	switch *dataset {
@@ -58,6 +73,13 @@ func main() {
 		fatal("%v", err)
 	}
 	totals := wl.Totals()
+	reg.Counter("treeminer_trees_total", "trees in the mined database").Add(int64(stats.NumTrees))
+	reg.Counter("treeminer_patterns_total", "frequent patterns found").Add(int64(len(pats)))
+	reg.Counter("treeminer_candidates_total", "candidate patterns enumerated").Add(int64(totals.Candidates))
+	reg.Counter("treeminer_checks_total", "inclusion checks performed").Add(totals.TreeChecks)
+	reg.Counter("treeminer_anchor_runs_total", "anchored DPDA runs").Add(totals.AnchorRuns)
+	reg.Gauge("treeminer_min_support", "minimum support threshold").SetInt(int64(minSup))
+	reg.Gauge("treeminer_cpu_kernel_ms", "measured CPU inclusion-check kernel time").Set(totals.CheckNS / 1e6)
 	fmt.Printf("mining    support ≥ %d: %d frequent patterns, %d candidates, %d checks, %d anchor runs\n",
 		minSup, len(pats), totals.Candidates, totals.TreeChecks, totals.AnchorRuns)
 
@@ -82,6 +104,9 @@ func main() {
 			gt.KernelNS/1e6, div, (gt.TotalNS()+at.IntermediateNS)/1e6)
 	}
 
+	reg.Gauge("treeminer_aspen_kernel_ms", "modeled ASPEN inclusion-check kernel time").Set(at.KernelNS / 1e6)
+	reg.Gauge("treeminer_aspen_speedup", "modeled ASPEN total speedup over measured CPU").Set(cpuTotal / at.TotalNS())
+
 	// Show the largest frequent patterns.
 	shown := 0
 	for i := len(pats) - 1; i >= 0 && shown < 5; i-- {
@@ -90,9 +115,20 @@ func main() {
 			shown++
 		}
 	}
+	if sess.Tracing() {
+		for _, pat := range pats {
+			sess.Sink().Emit(map[string]any{
+				"event": "pattern", "tree": pat.Tree.Encode(), "support": pat.Support,
+				"nodes": pat.Tree.NumNodes(),
+			})
+		}
+	}
 }
 
 func fatal(format string, args ...any) {
 	fmt.Fprintf(os.Stderr, "treeminer: "+format+"\n", args...)
+	if sess != nil {
+		sess.Close()
+	}
 	os.Exit(1)
 }

@@ -63,10 +63,22 @@ type CounterValues struct {
 	Values []uint16
 	// Overflows counts increments lost to saturation.
 	Overflows []int64
+	// index maps counter names to their position. Attach builds it so
+	// result reporting (saxcount reads counters per document) is a map
+	// lookup instead of a linear scan per Get.
+	index map[string]int
 }
 
 // Get returns the named counter's value.
 func (cv CounterValues) Get(name string) (uint16, bool) {
+	if cv.index != nil {
+		i, ok := cv.index[name]
+		if !ok {
+			return 0, false
+		}
+		return cv.Values[i], true
+	}
+	// Hand-assembled values (no Attach) fall back to scanning.
 	for i, n := range cv.Names {
 		if n == name {
 			return cv.Values[i], true
@@ -86,9 +98,11 @@ func (cf *CounterFile) Attach(opts core.ExecOptions) (core.ExecOptions, *Counter
 		Names:     make([]string, len(cf.rules)),
 		Values:    make([]uint16, len(cf.rules)),
 		Overflows: make([]int64, len(cf.rules)),
+		index:     make(map[string]int, len(cf.rules)),
 	}
 	for i, r := range cf.rules {
 		cv.Names[i] = r.Name
+		cv.index[r.Name] = i
 	}
 	prev := opts.OnReport
 	opts.OnReport = func(r core.Report) {

@@ -206,3 +206,36 @@ func TestReportBufferBackpressure(t *testing.T) {
 		t.Errorf("stalls = %d, want ≈1000", rs2.ReportBackpressureStalls)
 	}
 }
+
+// Attach builds a name→index map so Get is a lookup, not a scan; a
+// hand-assembled CounterValues (no Attach, no map) must still resolve.
+func TestCounterValuesGetIndexed(t *testing.T) {
+	cf, err := NewCounterFile([]CounterRule{
+		{Name: "elements", Codes: []int32{1}},
+		{Name: "attributes", Codes: []int32{2}},
+		{Name: "chars", Codes: []int32{3}},
+	}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts, cv := cf.Attach(core.ExecOptions{})
+	opts.OnReport(core.Report{Code: 2})
+	opts.OnReport(core.Report{Code: 2})
+	opts.OnReport(core.Report{Code: 3})
+	if cv.index == nil {
+		t.Fatal("Attach did not build the name index")
+	}
+	if v, ok := cv.Get("attributes"); !ok || v != 2 {
+		t.Errorf("Get(attributes) = %d,%v, want 2,true", v, ok)
+	}
+	if v, ok := cv.Get("chars"); !ok || v != 1 {
+		t.Errorf("Get(chars) = %d,%v, want 1,true", v, ok)
+	}
+	if _, ok := cv.Get("missing"); ok {
+		t.Error("Get(missing) = true")
+	}
+	manual := CounterValues{Names: []string{"a", "b"}, Values: []uint16{7, 9}}
+	if v, ok := manual.Get("b"); !ok || v != 9 {
+		t.Errorf("fallback Get(b) = %d,%v, want 9,true", v, ok)
+	}
+}

@@ -102,5 +102,16 @@ func RunPipeline(sim *Sim, ca CacheAutomaton, lexStats lexer.Stats, tokens []cor
 	// Dynamic energy: parser activations plus one CA array read per
 	// scanned byte.
 	ps.DynamicPJ = rs.DynamicPJ + float64(lexStats.ScanCycles)*ca.ArrayReadPJ
+
+	if tm := sim.tm; tm != nil {
+		reg := tm.reg
+		reg.Counter("pipeline_bytes_total", "input bytes through the lexer/parser pipeline").Add(int64(ps.Bytes))
+		reg.Counter("pipeline_tokens_total", "tokens streamed into the DPDA input buffer").Add(int64(ps.Tokens))
+		reg.Counter("pipeline_lex_cycles_total", "Cache-Automaton scan + handoff cycles").Add(ps.LexScanCycles)
+		reg.Counter("pipeline_masked_stalls_total", "ε-stall cycles hidden under lexing").Add(ps.MaskedStalls)
+		reg.Gauge("pipeline_last_total_ns", "pipelined runtime of the most recent run (ns)").Set(ps.TotalNS)
+		reg.Gauge("pipeline_last_ns_per_kb", "runtime of the most recent run normalized as Fig. 8 (ns/kB)").Set(ps.NSPerKB())
+		reg.Gauge("pipeline_last_uj_per_kb", "energy of the most recent run normalized as Fig. 8 (µJ/kB)").Set(ps.UJPerKB(sim.Cfg))
+	}
 	return ps, nil
 }

@@ -19,6 +19,10 @@ type Sim struct {
 	// the shared C-BOX stack; single-bank machines use the bank-local
 	// stack (paper §IV-B stage 5).
 	GlobalStack bool
+
+	// tm holds the pre-resolved telemetry series (nil = disabled; see
+	// EnableTelemetry).
+	tm *simMetrics
 }
 
 // New places m and builds a simulator.
@@ -130,6 +134,15 @@ func (s *Sim) Run(input []core.Symbol, opts core.ExecOptions) (RunStats, error) 
 	}
 	occupancy := 0.0
 
+	// Telemetry: stallRun tracks the length of the current consecutive
+	// ε-stall run; it is observed into the histogram when a symbol cycle
+	// (or the end of the run) breaks it.
+	tm := s.tm
+	var stallRun int64
+	if tm != nil {
+		tm.runs.Inc()
+	}
+
 	account := func(from, to core.StateID) {
 		rs.Cycles++
 		// Drain the report buffer for this cycle, then enqueue any new
@@ -143,6 +156,10 @@ func (s *Sim) Run(input []core.Symbol, opts core.ExecOptions) (RunStats, error) 
 			for occupancy+1 > float64(repCap) {
 				rs.Cycles++
 				rs.ReportBackpressureStalls++
+				if tm != nil {
+					tm.cycles.Inc()
+					tm.backpressure.Inc()
+				}
 				occupancy -= drain
 				if occupancy < 0 {
 					occupancy = 0
@@ -156,17 +173,48 @@ func (s *Sim) Run(input []core.Symbol, opts core.ExecOptions) (RunStats, error) 
 			rs.SymbolCycles++
 		}
 		rs.DynamicPJ += base
-		if s.P.BankOf[from] != s.P.BankOf[to] {
+		crossBank := s.P.BankOf[from] != s.P.BankOf[to]
+		if crossBank {
 			rs.CrossBankTransitions++
 			rs.DynamicPJ += e.ArrayReadPJ + wire // G-switch + extra wire
 		} else {
 			rs.LocalTransitions++
 		}
-		if !st.Op.IsNop() {
+		stackOp := !st.Op.IsNop()
+		if stackOp {
 			rs.StackOps++
 			rs.DynamicPJ += e.StackRegPJ
 			if st.Op.Pop > 1 {
 				rs.MultipopOps++
+			}
+		}
+		if tm != nil {
+			tm.cycles.Inc()
+			if st.Epsilon {
+				tm.stallCycles.Inc()
+				stallRun++
+			} else {
+				tm.symbolCycles.Inc()
+				if stallRun > 0 {
+					tm.stallRun.Observe(float64(stallRun))
+					stallRun = 0
+				}
+			}
+			if crossBank {
+				tm.cross.Inc()
+			} else {
+				tm.local.Inc()
+			}
+			tm.bankActivations[s.P.BankOf[to]].Inc()
+			if stackOp {
+				tm.stackOps.Inc()
+				if st.Op.Pop > 1 {
+					tm.multipops.Inc()
+				}
+				tm.stackDepth.ObserveInt(int64(exec.StackLen()))
+			}
+			if st.Accept {
+				tm.reports.Inc()
 			}
 		}
 	}
@@ -199,13 +247,27 @@ func (s *Sim) Run(input []core.Symbol, opts core.ExecOptions) (RunStats, error) 
 		return ok, nil
 	}
 
+	// flushStallRun records a stall run that ended the input (no symbol
+	// cycle follows to break it).
+	flushStallRun := func() {
+		if tm != nil && stallRun > 0 {
+			tm.stallRun.Observe(float64(stallRun))
+			stallRun = 0
+		}
+	}
+
 	for _, sym := range input {
 		sym := sym
 		ok, err := step(func() (bool, error) { return exec.Feed(sym) })
 		if err != nil {
+			flushStallRun()
 			return rs, err
 		}
 		if !ok {
+			flushStallRun()
+			if tm != nil {
+				tm.jams.Inc()
+			}
 			res := exec.Result()
 			res.Jammed = true
 			rs.Result = res
@@ -213,8 +275,10 @@ func (s *Sim) Run(input []core.Symbol, opts core.ExecOptions) (RunStats, error) 
 		}
 	}
 	if _, err := step(nil); err != nil {
+		flushStallRun()
 		return rs, err
 	}
+	flushStallRun()
 	res := exec.Result()
 	res.Accepted = exec.InAccept()
 	rs.Result = res

@@ -1,0 +1,79 @@
+package arch
+
+import (
+	"fmt"
+
+	"aspen/internal/telemetry"
+)
+
+// simMetrics pre-resolves every registry series Run touches, so the hot
+// loop pays one nil check plus atomic adds — never a name lookup. The
+// series reproduce the paper's evaluation signals: the symbol/stall
+// cycle split (§IV-B), G-switch crossings (§IV-C), multipop savings
+// (Table IV), report-buffer backpressure (§IV-A), and the stack-depth
+// and ε-stall-run distributions that drive the next optimization round.
+type simMetrics struct {
+	reg *telemetry.Registry
+
+	cycles       *telemetry.Counter
+	symbolCycles *telemetry.Counter
+	stallCycles  *telemetry.Counter
+	local        *telemetry.Counter
+	cross        *telemetry.Counter
+	stackOps     *telemetry.Counter
+	multipops    *telemetry.Counter
+	reports      *telemetry.Counter
+	backpressure *telemetry.Counter
+	jams         *telemetry.Counter
+	runs         *telemetry.Counter
+
+	// bankActivations[b] counts activations landing on bank b.
+	bankActivations []*telemetry.Counter
+
+	stallRun   *telemetry.Histogram
+	stackDepth *telemetry.Histogram
+}
+
+// StallRunBuckets are the upper bounds of the ε-stall run-length
+// histogram: LR reduction cascades are short most of the time, with a
+// long tail on deep nesting.
+var StallRunBuckets = []float64{1, 2, 4, 8, 16, 32, 64, 128}
+
+// StackDepthBuckets cover the 256-entry hardware stack (§IV-B stage 5).
+var StackDepthBuckets = []float64{1, 2, 4, 8, 16, 32, 64, 128, 256}
+
+// EnableTelemetry routes Run/Trace/RunPipeline event counts for this
+// simulator into reg. Call once after New; passing the same registry to
+// several simulators aggregates them (bank counters are per-bank by
+// name, so machines with different placements share the prefix).
+func (s *Sim) EnableTelemetry(reg *telemetry.Registry) {
+	m := &simMetrics{reg: reg}
+	m.cycles = reg.Counter("arch_cycles_total", "simulated datapath cycles (symbol + stall + backpressure)")
+	m.symbolCycles = reg.Counter("arch_symbol_cycles_total", "cycles that consumed an input symbol")
+	m.stallCycles = reg.Counter("arch_stall_cycles_total", "cycles stalled on an ε-transition")
+	m.local = reg.Counter("arch_local_transitions_total", "transitions routed inside one bank")
+	m.cross = reg.Counter("arch_cross_bank_transitions_total", "transitions routed through the G-switch")
+	m.stackOps = reg.Counter("arch_stack_ops_total", "cycles performing a push or pop")
+	m.multipops = reg.Counter("arch_multipop_ops_total", "multipop (pop>1) activations")
+	m.reports = reg.Counter("arch_reports_total", "accept-state activations")
+	m.backpressure = reg.Counter("arch_report_backpressure_stalls_total", "cycles lost to a full C-BOX report buffer")
+	m.jams = reg.Counter("arch_jams_total", "runs that ended by jamming")
+	m.runs = reg.Counter("arch_runs_total", "simulated runs started")
+	m.bankActivations = make([]*telemetry.Counter, s.P.NumBanks)
+	for b := range m.bankActivations {
+		m.bankActivations[b] = reg.Counter(
+			fmt.Sprintf("arch_bank_%d_activations_total", b),
+			fmt.Sprintf("state activations landing on bank %d", b))
+	}
+	m.stallRun = reg.Histogram("arch_stall_run_length", "consecutive ε-stall cycles between two input symbols", StallRunBuckets)
+	m.stackDepth = reg.Histogram("arch_stack_depth", "stack depth after each stack operation (excluding ⊥)", StackDepthBuckets)
+	s.tm = m
+}
+
+// Telemetry returns the registry attached with EnableTelemetry, or nil.
+func (s *Sim) Telemetry() *telemetry.Registry {
+	if s.tm == nil {
+		return nil
+	}
+	return s.tm.reg
+}

@@ -1,0 +1,113 @@
+package arch
+
+import (
+	"fmt"
+	"testing"
+
+	"aspen/internal/compile"
+	"aspen/internal/core"
+	"aspen/internal/lang"
+	"aspen/internal/telemetry"
+)
+
+// The registry must agree exactly with the RunStats the evaluation is
+// built from — telemetry is the same counters, just queryable.
+func TestRunTelemetryMatchesRunStats(t *testing.T) {
+	l := lang.JSON()
+	cm, err := l.Compile(compile.OptAll)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim, err := New(cm.Machine, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := telemetry.NewRegistry()
+	sim.EnableTelemetry(reg)
+	if sim.Telemetry() != reg {
+		t.Fatal("Telemetry() did not return the attached registry")
+	}
+
+	lx, err := l.Lexer()
+	if err != nil {
+		t.Fatal(err)
+	}
+	toks, lstats, err := lx.Tokenize([]byte(lang.JSONSample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	syms, err := l.Syms(toks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stream, err := cm.Tokens.Encode(syms, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ps, err := RunPipeline(sim, DefaultCacheAutomaton(), lstats, stream, core.ExecOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs := ps.Parse
+
+	s := reg.Snapshot()
+	for name, want := range map[string]int64{
+		"arch_cycles_total":                     rs.Cycles,
+		"arch_symbol_cycles_total":              rs.SymbolCycles,
+		"arch_stall_cycles_total":               rs.StallCycles,
+		"arch_local_transitions_total":          rs.LocalTransitions,
+		"arch_cross_bank_transitions_total":     rs.CrossBankTransitions,
+		"arch_stack_ops_total":                  rs.StackOps,
+		"arch_multipop_ops_total":               rs.MultipopOps,
+		"arch_report_backpressure_stalls_total": rs.ReportBackpressureStalls,
+		"arch_reports_total":                    int64(rs.Result.ReportCount),
+		"arch_runs_total":                       1,
+		"arch_jams_total":                       0,
+		"pipeline_bytes_total":                  int64(ps.Bytes),
+		"pipeline_tokens_total":                 int64(ps.Tokens),
+		"pipeline_masked_stalls_total":          ps.MaskedStalls,
+	} {
+		if got := s.Counters[name]; got != want {
+			t.Errorf("%s = %d, want %d", name, got, want)
+		}
+	}
+
+	// Per-bank activations partition all activations.
+	var banks int64
+	for b := 0; b < sim.NumBanks(); b++ {
+		banks += s.Counters[fmt.Sprintf("arch_bank_%d_activations_total", b)]
+	}
+	if banks != rs.Cycles-rs.ReportBackpressureStalls {
+		t.Errorf("bank activations sum %d, want %d", banks, rs.Cycles-rs.ReportBackpressureStalls)
+	}
+
+	// The ε-stall histogram accounts for every stall cycle.
+	if hv, ok := s.Histograms["arch_stall_run_length"]; !ok {
+		t.Error("no arch_stall_run_length histogram")
+	} else if int64(hv.Sum) != rs.StallCycles {
+		t.Errorf("stall-run histogram sum %v, want %d", hv.Sum, rs.StallCycles)
+	}
+	// The stack-depth histogram saw every stack op.
+	if hv := s.Histograms["arch_stack_depth"]; hv.Count != rs.StackOps {
+		t.Errorf("stack-depth histogram count %d, want %d", hv.Count, rs.StackOps)
+	}
+}
+
+func TestRunTelemetryCountsJams(t *testing.T) {
+	sim, err := New(core.PalindromeHDPDA(), DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := telemetry.NewRegistry()
+	sim.EnableTelemetry(reg)
+	rs, err := sim.Run(core.BytesToSymbols([]byte("0x")), core.ExecOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rs.Result.Jammed {
+		t.Fatal("run did not jam")
+	}
+	if got := reg.Snapshot().Counters["arch_jams_total"]; got != 1 {
+		t.Errorf("arch_jams_total = %d, want 1", got)
+	}
+}

@@ -5,42 +5,53 @@ import (
 	"strings"
 
 	"aspen/internal/core"
+	"aspen/internal/telemetry"
 )
 
 // TraceEvent is one datapath cycle of a traced run: which state
 // activated, what each stage saw, and what the stack did — the
-// waveform-level view of Fig. 7.
+// waveform-level view of Fig. 7. A terminal "jam" event marks a run
+// that stopped because no successor was enabled, so traced runs and
+// Run's statistics agree on where execution ended.
 type TraceEvent struct {
-	Cycle int64
-	// Kind is "symbol" (input consumed) or "stall" (ε-transition).
-	Kind string
-	// Input is the consumed symbol (symbol cycles only).
-	Input core.Symbol
-	// From and To are the transition endpoints.
-	From, To core.StateID
+	Cycle int64 `json:"cycle"`
+	// Kind is "symbol" (input consumed), "stall" (ε-transition), or
+	// "jam" (terminal: no successor enabled for Input at Pos).
+	Kind string `json:"kind"`
+	// Pos is the number of input symbols consumed when the event fired.
+	Pos int `json:"pos"`
+	// Input is the consumed symbol (symbol and jam events only).
+	Input core.Symbol `json:"input"`
+	// From and To are the transition endpoints (equal on jam events).
+	From core.StateID `json:"from"`
+	To   core.StateID `json:"to"`
 	// Label is the activated state's diagnostic name.
-	Label string
+	Label string `json:"label"`
 	// TOS is the top of stack before the stack update.
-	TOS core.Symbol
+	TOS core.Symbol `json:"tos"`
 	// Op is the stack action performed.
-	Op core.StackOp
+	Op core.StackOp `json:"op"`
 	// Depth is the stack depth after the update.
-	Depth int
+	Depth int `json:"depth"`
 	// CrossBank marks transitions routed through the G-switch.
-	CrossBank bool
+	CrossBank bool `json:"crossBank"`
 	// Report holds the report code when the state reported (else -1).
-	Report int32
+	Report int32 `json:"report"`
 }
 
 func (ev TraceEvent) String() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "cyc %4d %-6s", ev.Cycle, ev.Kind)
-	if ev.Kind == "symbol" {
-		fmt.Fprintf(&b, " in=%#02x", uint8(ev.Input))
-	} else {
+	if ev.Kind == "stall" {
 		b.WriteString("        ")
+	} else {
+		fmt.Fprintf(&b, " in=%#02x", uint8(ev.Input))
 	}
-	fmt.Fprintf(&b, " q%d→q%d tos=%#02x %s depth=%d", ev.From, ev.To, uint8(ev.TOS), ev.Op, ev.Depth)
+	if ev.Kind == "jam" {
+		fmt.Fprintf(&b, " q%d jammed at pos %d tos=%#02x depth=%d", ev.From, ev.Pos, uint8(ev.TOS), ev.Depth)
+	} else {
+		fmt.Fprintf(&b, " q%d→q%d tos=%#02x %s depth=%d", ev.From, ev.To, uint8(ev.TOS), ev.Op, ev.Depth)
+	}
 	if ev.CrossBank {
 		b.WriteString(" [G-switch]")
 	}
@@ -51,20 +62,17 @@ func (ev TraceEvent) String() string {
 	return b.String()
 }
 
-// Trace executes input on the placed machine recording up to maxEvents
-// datapath cycles (0 = 256). It mirrors Run's semantics but favors
-// detail over statistics.
-func (s *Sim) Trace(input []core.Symbol, maxEvents int) ([]TraceEvent, error) {
-	if maxEvents == 0 {
-		maxEvents = 256
-	}
+// tracedRun mirrors Run's semantics but emits one TraceEvent per
+// datapath cycle. emit returning false stops the run early (truncated
+// trace). The final event of a jammed run has Kind "jam".
+func (s *Sim) tracedRun(input []core.Symbol, emit func(TraceEvent) bool) error {
 	exec := core.NewExecution(s.M, core.ExecOptions{})
-	var events []TraceEvent
 	var cycle int64
+	stopped := false
 
 	record := func(kind string, sym core.Symbol, from core.StateID, tosBefore core.Symbol) {
 		cycle++
-		if len(events) >= maxEvents {
+		if stopped {
 			return
 		}
 		to := exec.Current()
@@ -73,9 +81,10 @@ func (s *Sim) Trace(input []core.Symbol, maxEvents int) ([]TraceEvent, error) {
 		if st.Accept {
 			rep = st.Report
 		}
-		events = append(events, TraceEvent{
+		stopped = !emit(TraceEvent{
 			Cycle:     cycle,
 			Kind:      kind,
+			Pos:       exec.Pos(),
 			Input:     sym,
 			From:      from,
 			To:        to,
@@ -105,26 +114,73 @@ func (s *Sim) Trace(input []core.Symbol, maxEvents int) ([]TraceEvent, error) {
 
 	for _, sym := range input {
 		if err := drain(); err != nil {
-			return events, err
+			return err
 		}
 		from := exec.Current()
 		tos := exec.TOS()
 		ok, err := exec.Feed(sym)
 		if err != nil {
-			return events, err
+			return err
 		}
 		if !ok {
-			return events, nil // jam: trace ends
+			// The machine jammed: emit a terminal event carrying the
+			// offending symbol and input position, so the trace and
+			// Run's statistics agree on where execution stopped. Jamming
+			// consumes no datapath cycle, so Cycle does not advance.
+			if !stopped {
+				st := s.M.State(from)
+				emit(TraceEvent{
+					Cycle:  cycle,
+					Kind:   "jam",
+					Pos:    exec.Pos(),
+					Input:  sym,
+					From:   from,
+					To:     from,
+					Label:  st.Label,
+					TOS:    tos,
+					Op:     core.StackOp{},
+					Depth:  exec.StackLen(),
+					Report: -1,
+				})
+			}
+			return nil
 		}
 		record("symbol", sym, from, tos)
-		if len(events) >= maxEvents {
-			return events, nil
+		if stopped {
+			return nil
 		}
 	}
-	if err := drain(); err != nil {
-		return events, err
+	return drain()
+}
+
+// Trace executes input on the placed machine recording up to maxEvents
+// datapath cycles (0 = 256). It mirrors Run's semantics but favors
+// detail over statistics. For full-length captures use TraceTo with a
+// streaming sink.
+func (s *Sim) Trace(input []core.Symbol, maxEvents int) ([]TraceEvent, error) {
+	if maxEvents == 0 {
+		maxEvents = 256
 	}
-	return events, nil
+	var events []TraceEvent
+	err := s.tracedRun(input, func(ev TraceEvent) bool {
+		events = append(events, ev)
+		return len(events) < maxEvents
+	})
+	return events, err
+}
+
+// TraceTo executes input emitting every datapath cycle — the whole run,
+// not a 256-event prefix — into sink (e.g. a telemetry.JSONLSink for
+// on-disk waveforms or a telemetry.RingSink for a recent-history
+// window). It returns the number of events emitted.
+func (s *Sim) TraceTo(input []core.Symbol, sink telemetry.TraceSink) (int, error) {
+	n := 0
+	err := s.tracedRun(input, func(ev TraceEvent) bool {
+		sink.Emit(ev)
+		n++
+		return true
+	})
+	return n, err
 }
 
 // FormatTrace renders events line by line.

@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"aspen/internal/core"
+	"aspen/internal/telemetry"
 )
 
 func TestTracePalindrome(t *testing.T) {
@@ -73,16 +74,79 @@ func TestTraceTruncation(t *testing.T) {
 	}
 }
 
-func TestTraceJamEndsCleanly(t *testing.T) {
+func TestTraceJamEmitsTerminalEvent(t *testing.T) {
 	sim, err := New(core.PalindromeHDPDA(), DefaultConfig())
 	if err != nil {
 		t.Fatal(err)
 	}
-	events, err := sim.Trace(core.BytesToSymbols([]byte("0x")), 0)
+	in := core.BytesToSymbols([]byte("0x"))
+	events, err := sim.Trace(in, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(events) != 1 { // '0' consumed, 'x' jams
-		t.Fatalf("events = %d, want 1:\n%s", len(events), FormatTrace(events))
+	// '0' consumed, then a terminal jam event for 'x'.
+	if len(events) != 2 {
+		t.Fatalf("events = %d, want 2:\n%s", len(events), FormatTrace(events))
+	}
+	jam := events[len(events)-1]
+	if jam.Kind != "jam" {
+		t.Fatalf("last event kind = %q, want jam:\n%s", jam.Kind, FormatTrace(events))
+	}
+	if jam.Pos != 1 || jam.Input != 'x' {
+		t.Errorf("jam at pos %d input %q, want 1 'x'", jam.Pos, jam.Input)
+	}
+	if jam.From != jam.To {
+		t.Errorf("jam event moved states: q%d→q%d", jam.From, jam.To)
+	}
+	// Jamming consumes no datapath cycle, so the trace and Run's
+	// statistics agree on both cycle count and stop position.
+	rs, err := sim.Run(in, core.ExecOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rs.Result.Jammed {
+		t.Fatal("Run did not jam")
+	}
+	if rs.Cycles != jam.Cycle {
+		t.Errorf("Run counted %d cycles, jam event at cycle %d", rs.Cycles, jam.Cycle)
+	}
+	if rs.Result.Consumed != jam.Pos {
+		t.Errorf("Run consumed %d, jam event pos %d", rs.Result.Consumed, jam.Pos)
+	}
+	if !strings.Contains(jam.String(), "jammed at pos 1") {
+		t.Errorf("jam rendering: %s", jam.String())
+	}
+}
+
+func TestTraceToFullLength(t *testing.T) {
+	sim, err := New(core.PalindromeHDPDA(), DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 301 symbols — past the old 256-event ceiling (and within the
+	// 256-entry stack: depth peaks at 150).
+	doc := strings.Repeat("0", 150) + "c" + strings.Repeat("0", 150)
+	sink := telemetry.NewRingSink(64)
+	n, err := sim.TraceTo(core.BytesToSymbols([]byte(doc)), sink)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs, err := sim.Run(core.BytesToSymbols([]byte(doc)), core.ExecOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int64(n) != rs.Cycles {
+		t.Errorf("TraceTo emitted %d events, Run counted %d cycles", n, rs.Cycles)
+	}
+	if sink.Total() != int64(n) {
+		t.Errorf("sink saw %d, want %d", sink.Total(), n)
+	}
+	evs := sink.Events()
+	if len(evs) != 64 {
+		t.Fatalf("ring kept %d, want 64", len(evs))
+	}
+	last := evs[len(evs)-1].(TraceEvent)
+	if last.Cycle != rs.Cycles {
+		t.Errorf("last retained event at cycle %d, want %d", last.Cycle, rs.Cycles)
 	}
 }

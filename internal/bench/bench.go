@@ -9,8 +9,11 @@ package bench
 
 import (
 	"fmt"
+	"strconv"
 	"strings"
 	"time"
+
+	"aspen/internal/telemetry"
 )
 
 // Platform constants for the baselines (paper §V-A: 2.6 GHz Xeon
@@ -51,6 +54,39 @@ func (t *Table) Render() string {
 	}
 	b.WriteString("\n")
 	return b.String()
+}
+
+// Publish registers every numeric cell of the table as a gauge named
+// bench_<id>_<first-cell>_<column-header> (names sanitized for
+// Prometheus), so each figure/table value of the reproduced evaluation
+// is retrievable from the telemetry registry, not just printed. The
+// rendered Markdown is unaffected. It returns the number of series
+// published.
+func (t *Table) Publish(reg *telemetry.Registry) int {
+	n := 0
+	for _, row := range t.Rows {
+		if len(row) == 0 {
+			continue
+		}
+		rowKey := telemetry.SanitizeMetricName(row[0])
+		for c := 1; c < len(row) && c < len(t.Header); c++ {
+			// Cells may carry units ("385 ps", "850 MHz"); publish the
+			// leading numeric field and let the column header name the
+			// unit.
+			cell := strings.TrimSpace(row[c])
+			if f := strings.Fields(cell); len(f) > 0 {
+				cell = f[0]
+			}
+			v, err := strconv.ParseFloat(cell, 64)
+			if err != nil {
+				continue
+			}
+			name := telemetry.SanitizeMetricName("bench_" + t.ID + "_" + rowKey + "_" + t.Header[c])
+			reg.Gauge(name, fmt.Sprintf("%s: %s, %s", t.Title, row[0], t.Header[c])).Set(v)
+			n++
+		}
+	}
+	return n
 }
 
 // measureNS times fn, repeating until the sample exceeds minDuration,

@@ -1,0 +1,52 @@
+package bench
+
+import (
+	"testing"
+
+	"aspen/internal/telemetry"
+)
+
+func TestTablePublish(t *testing.T) {
+	tbl := &Table{
+		ID:     "fig8",
+		Title:  "XML parsing",
+		Header: []string{"Document", "Density", "ASPEN-MP ns/kB", "Group"},
+		Rows: [][]string{
+			{"soap-0.5", "0.50", "704.5", "high"},
+			{"po 0.9", "0.90", "812", "high"},
+		},
+	}
+	reg := telemetry.NewRegistry()
+	if n := tbl.Publish(reg); n != 4 {
+		t.Errorf("published %d series, want 4 (2 rows × 2 numeric columns)", n)
+	}
+	s := reg.Snapshot()
+	for name, want := range map[string]float64{
+		"bench_fig8_soap_0_5_Density":        0.5,
+		"bench_fig8_soap_0_5_ASPEN_MP_ns_kB": 704.5,
+		"bench_fig8_po_0_9_Density":          0.9,
+		"bench_fig8_po_0_9_ASPEN_MP_ns_kB":   812,
+	} {
+		if got, ok := s.Gauges[name]; !ok || got != want {
+			t.Errorf("gauge %s = %v,%v, want %v (have %v)", name, got, ok, want, s.Gauges)
+		}
+	}
+}
+
+// The rendered Markdown must not change when a table is also published
+// (acceptance: figure/table outputs byte-identical, values queryable).
+func TestPublishDoesNotChangeRendering(t *testing.T) {
+	tbl := TableII()
+	before := tbl.Render()
+	reg := telemetry.NewRegistry()
+	if n := tbl.Publish(reg); n == 0 {
+		t.Error("TableII published no series")
+	}
+	if after := tbl.Render(); after != before {
+		t.Error("Publish changed the rendered Markdown")
+	}
+	// Unit-bearing cells publish their numeric part.
+	if v := reg.Snapshot().Gauges["bench_table2_ASPEN_Freq_Oper"]; v != 850 {
+		t.Errorf("bench_table2_ASPEN_Freq_Oper = %v, want 850", v)
+	}
+}

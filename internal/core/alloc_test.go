@@ -1,0 +1,94 @@
+package core
+
+import "testing"
+
+// loopMachine accepts (ab)* style traffic forever: q1 consumes 'a' and
+// pushes X, q2 is an ε-state popping it again, so a run alternates
+// Feed/StepEpsilon without the stack ever growing — ideal for steady-
+// state allocation measurement.
+func loopMachine() *HDPDA {
+	return &HDPDA{
+		Name: "loop",
+		States: []State{
+			{ID: 0, Label: "start", Input: NewSymbolSet('a'), Stack: AllSymbols(), Succ: []StateID{1}},
+			{ID: 1, Label: "push", Input: NewSymbolSet('a'), Stack: AllSymbols(),
+				Op: StackOp{HasPush: true, Push: 'X'}, Succ: []StateID{2}},
+			{ID: 2, Label: "pop", Epsilon: true, Stack: NewSymbolSet('X'),
+				Op: StackOp{Pop: 1}, Succ: []StateID{1}},
+		},
+		Start: 0,
+	}
+}
+
+// The telemetry integration contract: with hooks disabled (the default),
+// Feed and StepEpsilon must not allocate at steady state — the
+// instrumented build costs exactly one nil check per activation.
+func TestStepZeroAllocsTelemetryDisabled(t *testing.T) {
+	m := loopMachine()
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	e := NewExecution(m, ExecOptions{})
+	step := func() {
+		if ok, err := e.Feed('a'); !ok || err != nil {
+			t.Fatalf("feed: ok=%v err=%v", ok, err)
+		}
+		if ok, err := e.StepEpsilon(); !ok || err != nil {
+			t.Fatalf("ε-step: ok=%v err=%v", ok, err)
+		}
+	}
+	step() // warm up: grow the stack slice to steady-state capacity
+	if allocs := testing.AllocsPerRun(1000, step); allocs != 0 {
+		t.Errorf("Feed+StepEpsilon = %v allocs/op with telemetry disabled, want 0", allocs)
+	}
+}
+
+// Scalar-argument hooks add no allocations either: enabling telemetry
+// costs atomic updates, not garbage.
+func TestStepZeroAllocsWithHooks(t *testing.T) {
+	m := loopMachine()
+	var steps, stalls, stackOps int64
+	e := NewExecution(m, ExecOptions{Hooks: &ExecHooks{
+		Step: func(_ StateID, eps bool) {
+			steps++
+			if eps {
+				stalls++
+			}
+		},
+		StackOp: func(_ StackOp, _ int) { stackOps++ },
+	}})
+	step := func() {
+		e.Feed('a')
+		e.StepEpsilon()
+	}
+	step()
+	if allocs := testing.AllocsPerRun(1000, step); allocs != 0 {
+		t.Errorf("hooked stepping = %v allocs/op, want 0", allocs)
+	}
+	if steps == 0 || stalls == 0 || stackOps == 0 {
+		t.Errorf("hooks not invoked: steps=%d stalls=%d stackOps=%d", steps, stalls, stackOps)
+	}
+	if stalls*2 != steps {
+		t.Errorf("stalls=%d, want half of steps=%d", stalls, steps)
+	}
+}
+
+func TestJamHook(t *testing.T) {
+	m := loopMachine()
+	jamPos, jamSym := -1, Symbol(0)
+	e := NewExecution(m, ExecOptions{Hooks: &ExecHooks{
+		Jam: func(pos int, sym Symbol) { jamPos, jamSym = pos, sym },
+	}})
+	if ok, _ := e.Feed('a'); !ok {
+		t.Fatal("feed 'a' jammed")
+	}
+	if _, err := e.DrainEpsilon(); err != nil {
+		t.Fatal(err)
+	}
+	if ok, _ := e.Feed('z'); ok {
+		t.Fatal("feed 'z' did not jam")
+	}
+	if jamPos != 1 || jamSym != 'z' {
+		t.Errorf("jam hook saw pos=%d sym=%q, want 1,'z'", jamPos, jamSym)
+	}
+}

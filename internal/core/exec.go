@@ -52,6 +52,29 @@ type Result struct {
 	ReportCount int
 }
 
+// ExecHooks observes fine-grained execution events for telemetry.
+// Every field is optional, and the whole struct hangs off a single
+// pointer in ExecOptions: with Hooks nil the stepping functions pay one
+// nil check and allocate nothing, so the disabled path stays on the
+// hot-loop fast path (enforced by a testing.AllocsPerRun regression
+// test). Hook arguments are scalars — invoking them allocates nothing
+// either.
+type ExecHooks struct {
+	// Step fires on every state activation; epsilon marks ε (input
+	// stall) cycles, so counting both sides reproduces ASPEN's
+	// symbol-cycles + stall-cycles split.
+	Step func(id StateID, epsilon bool)
+	// StackOp fires on every non-nop stack update with the depth after
+	// the update (excluding ⊥).
+	StackOp func(op StackOp, depth int)
+	// Report fires on accept-state activations (in addition to
+	// ExecOptions.OnReport, which predates the hook set).
+	Report func(Report)
+	// Jam fires when Feed finds no enabled successor: pos is the number
+	// of symbols consumed before the offending symbol.
+	Jam func(pos int, sym Symbol)
+}
+
 // ExecOptions configures an Execution.
 type ExecOptions struct {
 	// StackDepth overrides the machine's stack depth (0 = machine
@@ -66,6 +89,9 @@ type ExecOptions struct {
 	// OnReport, when non-nil, is invoked for every report event
 	// (independent of CollectReports).
 	OnReport func(Report)
+	// Hooks, when non-nil, receives step/stall/stack-op/report/jam
+	// events (see ExecHooks).
+	Hooks *ExecHooks
 }
 
 // Execution is an in-progress run of an hDPDA. The cycle-accurate
@@ -158,15 +184,27 @@ func (e *Execution) activate(id StateID) error {
 	} else {
 		e.epsSeq = 0
 	}
+	h := e.opts.Hooks
+	if h != nil {
+		if h.Step != nil {
+			h.Step(id, st.Epsilon)
+		}
+		if h.StackOp != nil && !st.Op.IsNop() {
+			h.StackOp(st.Op, len(e.stack)-1)
+		}
+	}
 	if st.Accept {
 		e.res.ReportCount++
-		if e.opts.CollectReports || e.opts.OnReport != nil {
+		if e.opts.CollectReports || e.opts.OnReport != nil || (h != nil && h.Report != nil) {
 			r := Report{Pos: e.pos, State: id, Code: st.Report}
 			if e.opts.CollectReports {
 				e.res.Reports = append(e.res.Reports, r)
 			}
 			if e.opts.OnReport != nil {
 				e.opts.OnReport(r)
+			}
+			if h != nil && h.Report != nil {
+				h.Report(r)
 			}
 		}
 	}
@@ -233,6 +271,9 @@ func (e *Execution) Feed(sym Symbol) (bool, error) {
 			}
 			return true, nil
 		}
+	}
+	if h := e.opts.Hooks; h != nil && h.Jam != nil {
+		h.Jam(e.pos, sym)
 	}
 	return false, nil
 }

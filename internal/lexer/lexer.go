@@ -14,6 +14,7 @@ import (
 
 	"aspen/internal/core"
 	"aspen/internal/nfa"
+	"aspen/internal/telemetry"
 )
 
 // DefaultMode is the mode rules belong to when none is given.
@@ -66,6 +67,18 @@ type Stats struct {
 	// HandoffCycles counts report-to-token conversion cycles (2 per
 	// emitted report, §V-A).
 	HandoffCycles int
+}
+
+// Observe adds the stats to reg's lexer series, so tokenization work is
+// queryable next to the parser's cycle counts. Streaming callers invoke
+// it per chunk; note that Bytes and ScanCycles then include the bytes
+// re-presented (and re-scanned) after a longest-match boundary wait, so
+// they measure work performed, not input length.
+func (s Stats) Observe(reg *telemetry.Registry) {
+	reg.Counter("lexer_bytes_total", "bytes presented to the lexer (including chunk-boundary re-presentation)").Add(int64(s.Bytes))
+	reg.Counter("lexer_tokens_total", "tokens emitted (including skipped lexemes)").Add(int64(s.Tokens))
+	reg.Counter("lexer_scan_cycles_total", "NFA symbol cycles, including longest-match backtrack re-scans").Add(int64(s.ScanCycles))
+	reg.Counter("lexer_handoff_cycles_total", "report-to-token conversion cycles (2 per emitted report)").Add(int64(s.HandoffCycles))
 }
 
 // Error is a lexing failure at a position.

@@ -15,6 +15,7 @@ import (
 	"aspen/internal/core"
 	"aspen/internal/lang"
 	"aspen/internal/lexer"
+	"aspen/internal/telemetry"
 )
 
 // Parser is an incremental lex+parse pipeline.
@@ -34,6 +35,70 @@ type Parser struct {
 	jamPos   int
 	closed   bool
 	err      error
+
+	tm *streamMetrics
+}
+
+// streamMetrics pre-resolves the per-chunk series so a long streaming
+// run can be watched in flight (the paper's MBs-to-GBs regime). Totals
+// (bytes, tokens, cycles, stack high-water) are chunking-invariant:
+// any chunk-size decomposition of the same input yields the same
+// values, which the equivalence tests assert. Chunk-shaped series
+// (chunk count, last-chunk gauges, the latency histogram) necessarily
+// depend on the chosen chunking.
+type streamMetrics struct {
+	chunks *telemetry.Counter
+	bytes  *telemetry.Counter
+	tokens *telemetry.Counter
+	cycles *telemetry.Counter
+
+	lastChunkBytes  *telemetry.Gauge
+	lastChunkTokens *telemetry.Gauge
+	stackHighWater  *telemetry.Gauge
+
+	chunkCycles *telemetry.Histogram
+
+	reg        *telemetry.Registry
+	prevTokens int
+	prevCycles int
+}
+
+// ChunkCycleBuckets bound the per-chunk latency histogram in simulated
+// DPDA cycles (symbol cycles + ε-stalls attributable to the chunk).
+var ChunkCycleBuckets = []float64{1, 8, 64, 512, 4096, 32768, 262144}
+
+// EnableTelemetry routes the parser's per-chunk gauges and totals into
+// reg: stream_* counters accumulate across Write calls, the gauges
+// describe the most recent chunk and the stack high-water mark, and the
+// histogram tracks per-chunk latency in simulated cycles. Call before
+// the first Write.
+func (p *Parser) EnableTelemetry(reg *telemetry.Registry) {
+	p.tm = &streamMetrics{
+		reg:             reg,
+		chunks:          reg.Counter("stream_chunks_total", "chunks written to the streaming parser"),
+		bytes:           reg.Counter("stream_bytes_total", "input bytes written"),
+		tokens:          reg.Counter("stream_tokens_total", "tokens fed to the hDPDA"),
+		cycles:          reg.Counter("stream_cycles_total", "simulated DPDA cycles (symbols + ε-stalls)"),
+		lastChunkBytes:  reg.Gauge("stream_last_chunk_bytes", "size of the most recent chunk"),
+		lastChunkTokens: reg.Gauge("stream_last_chunk_tokens", "tokens completed by the most recent chunk"),
+		stackHighWater:  reg.Gauge("stream_stack_high_water", "maximum stack depth so far (excluding ⊥)"),
+		chunkCycles:     reg.Histogram("stream_chunk_cycles", "simulated DPDA cycles per chunk", ChunkCycleBuckets),
+	}
+}
+
+// sync publishes the machine-side deltas accumulated since the last
+// call (shared by Write and Close).
+func (p *Parser) sync() {
+	tm := p.tm
+	res := p.exec.Result()
+	cycles := res.Consumed + res.EpsilonStalls
+	tm.tokens.Add(int64(p.tokens - tm.prevTokens))
+	tm.cycles.Add(int64(cycles - tm.prevCycles))
+	tm.lastChunkTokens.SetInt(int64(p.tokens - tm.prevTokens))
+	tm.chunkCycles.ObserveInt(int64(cycles - tm.prevCycles))
+	tm.stackHighWater.Max(float64(res.MaxStackDepth))
+	tm.prevTokens = p.tokens
+	tm.prevCycles = cycles
 }
 
 // Outcome summarizes a completed stream parse.
@@ -67,6 +132,11 @@ func (p *Parser) Write(chunk []byte) (int, error) {
 	if p.closed {
 		return 0, fmt.Errorf("stream: write after Close")
 	}
+	if p.tm != nil {
+		p.tm.chunks.Inc()
+		p.tm.bytes.Add(int64(len(chunk)))
+		p.tm.lastChunkBytes.SetInt(int64(len(chunk)))
+	}
 	p.tail = append(p.tail, chunk...)
 	toks, consumed, mode, stats, err := p.lx.TokenizeChunk(p.tail, p.mode)
 	p.accumulate(stats)
@@ -81,6 +151,9 @@ func (p *Parser) Write(chunk []byte) (int, error) {
 	p.mode = mode
 	p.offset += consumed
 	p.tail = append(p.tail[:0], p.tail[consumed:]...)
+	if p.tm != nil {
+		p.sync()
+	}
 	return len(chunk), nil
 }
 
@@ -126,6 +199,9 @@ func (p *Parser) Close() (Outcome, error) {
 			return p.outcome(), err
 		}
 	}
+	if p.tm != nil {
+		p.sync()
+	}
 	return p.outcome(), nil
 }
 
@@ -161,6 +237,9 @@ func (p *Parser) accumulate(s lexer.Stats) {
 	p.lexStats.Tokens += s.Tokens
 	p.lexStats.ScanCycles += s.ScanCycles
 	p.lexStats.HandoffCycles += s.HandoffCycles
+	if p.tm != nil {
+		s.Observe(p.tm.reg)
+	}
 }
 
 // locate rebases a lexer error position to the absolute stream offset.
@@ -188,12 +267,22 @@ func (p *Parser) outcome() Outcome {
 
 // ParseReader drains r through the parser in bufSize chunks.
 func ParseReader(l *lang.Language, cm *compile.Compiled, r io.Reader, bufSize int, opts core.ExecOptions) (Outcome, error) {
+	return ParseReaderObserved(l, cm, r, bufSize, opts, nil)
+}
+
+// ParseReaderObserved drains r like ParseReader with the parser's
+// telemetry routed into reg (nil = no telemetry), so the run can be
+// scraped in flight from the debug endpoint.
+func ParseReaderObserved(l *lang.Language, cm *compile.Compiled, r io.Reader, bufSize int, opts core.ExecOptions, reg *telemetry.Registry) (Outcome, error) {
 	if bufSize <= 0 {
 		bufSize = 64 << 10
 	}
 	p, err := NewParser(l, cm, opts)
 	if err != nil {
 		return Outcome{}, err
+	}
+	if reg != nil {
+		p.EnableTelemetry(reg)
 	}
 	buf := make([]byte, bufSize)
 	for {

@@ -1,0 +1,128 @@
+package telemetry
+
+import (
+	"flag"
+	"fmt"
+	"os"
+)
+
+// Flags is the standard observability flag set every cmd/ tool accepts:
+//
+//	-metrics PATH      write a JSON metrics snapshot on exit ("-" = stdout)
+//	-trace-out PATH    stream structured trace events as JSONL
+//	-pprof-addr ADDR   serve /debug/vars, /debug/pprof and /metrics live
+//
+// Register the flags before flag.Parse, then Activate once to obtain
+// the live Session.
+type Flags struct {
+	Metrics   string
+	TraceOut  string
+	PprofAddr string
+}
+
+// RegisterFlags installs the flag set on fs (flag.CommandLine in the
+// tools) and returns the destination struct.
+func RegisterFlags(fs *flag.FlagSet) *Flags {
+	f := &Flags{}
+	fs.StringVar(&f.Metrics, "metrics", "", `write a JSON metrics snapshot here on exit ("-" = stdout)`)
+	fs.StringVar(&f.TraceOut, "trace-out", "", "write structured trace events as JSON lines to this file")
+	fs.StringVar(&f.PprofAddr, "pprof-addr", "", "serve /debug/vars, /debug/pprof and /metrics on this address (e.g. localhost:6060)")
+	return f
+}
+
+// Session is the activated observability state of one tool invocation:
+// a registry every subsystem reports into, a trace sink, and (when
+// requested) the live HTTP debug server. Always Close it — that is
+// what writes the -metrics snapshot.
+type Session struct {
+	Registry *Registry
+
+	sink    TraceSink
+	tracing bool
+	server  *Server
+	metrics string
+	closed  bool
+}
+
+// Activate opens the trace sink and debug server the flags ask for.
+// The zero flag set yields a fully inert session (null sink, no
+// server, no snapshot) that is still safe to use everywhere.
+func (f *Flags) Activate(reg *Registry) (*Session, error) {
+	s := &Session{Registry: reg, sink: NullSink{}, metrics: f.Metrics}
+	if f.TraceOut != "" {
+		file, err := os.Create(f.TraceOut)
+		if err != nil {
+			return nil, fmt.Errorf("telemetry: -trace-out: %w", err)
+		}
+		s.sink = NewJSONLSink(file)
+		s.tracing = true
+	}
+	if f.PprofAddr != "" {
+		srv, err := NewServer(f.PprofAddr, reg)
+		if err != nil {
+			s.sink.Close()
+			return nil, fmt.Errorf("telemetry: -pprof-addr: %w", err)
+		}
+		s.server = srv
+	}
+	return s, nil
+}
+
+// Sink returns the trace sink (a NullSink when -trace-out is unset).
+func (s *Session) Sink() TraceSink { return s.sink }
+
+// Tracing reports whether -trace-out is active, so tools can skip
+// building events nobody will see.
+func (s *Session) Tracing() bool { return s.tracing }
+
+// ServerAddr returns the debug server address, or "" when disabled.
+func (s *Session) ServerAddr() string {
+	if s.server == nil {
+		return ""
+	}
+	return s.server.Addr()
+}
+
+// Close writes the -metrics snapshot, closes the trace sink, and stops
+// the debug server. It is idempotent; only the first call does work.
+func (s *Session) Close() error {
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	var first error
+	if s.metrics != "" {
+		if s.metrics == "-" {
+			first = s.Registry.WriteJSON(os.Stdout)
+		} else if file, err := os.Create(s.metrics); err != nil {
+			first = err
+		} else {
+			if err := s.Registry.WriteJSON(file); err != nil && first == nil {
+				first = err
+			}
+			if err := file.Close(); err != nil && first == nil {
+				first = err
+			}
+		}
+	}
+	if err := s.sink.Close(); err != nil && first == nil {
+		first = err
+	}
+	if s.server != nil {
+		if err := s.server.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// MustClose is Close for the tools' deferred cleanup: a failure to
+// persist the -metrics snapshot or the trace stream is reported to
+// stderr and exits nonzero, rather than vanishing into a discarded
+// deferred error.
+func (s *Session) MustClose(tool string) {
+	if err := s.Close(); err != nil {
+		fmt.Fprintf(os.Stderr, "%s: telemetry: %v\n", tool, err)
+		os.Exit(1)
+	}
+}

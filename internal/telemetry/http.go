@@ -1,0 +1,83 @@
+package telemetry
+
+import (
+	"expvar"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sync/atomic"
+)
+
+// expvarRegistry is the registry published under the "aspen" expvar
+// name. expvar.Publish is global and refuses re-registration, so the
+// published Func dereferences this pointer; the most recently served
+// registry wins (one registry per process is the normal case).
+var expvarRegistry atomic.Pointer[Registry]
+
+var publishOnce = func() func() {
+	var done atomic.Bool
+	return func() {
+		if done.CompareAndSwap(false, true) {
+			expvar.Publish("aspen", expvar.Func(func() any {
+				if r := expvarRegistry.Load(); r != nil {
+					return r.Snapshot()
+				}
+				return nil
+			}))
+		}
+	}
+}()
+
+// Server is the process-level debug endpoint: it serves the standard Go
+// profiling and introspection handlers next to the metrics registry —
+//
+//	/debug/vars          expvar (process stats + the "aspen" snapshot)
+//	/debug/pprof/...     net/http/pprof profiles
+//	/metrics             Prometheus text exposition
+//	/metrics.json        JSON snapshot
+//
+// matching the paper's methodology that every evaluation number is an
+// event count you can sample while the run is still going.
+type Server struct {
+	reg *Registry
+	ln  net.Listener
+	srv *http.Server
+}
+
+// NewServer starts serving on addr (e.g. "localhost:6060"; use port 0
+// for an ephemeral port, see Addr). The registry is also published to
+// expvar under "aspen".
+func NewServer(addr string, reg *Registry) (*Server, error) {
+	publishOnce()
+	expvarRegistry.Store(reg)
+
+	mux := http.NewServeMux()
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = reg.WritePrometheus(w)
+	})
+	mux.HandleFunc("/metrics.json", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_ = reg.WriteJSON(w)
+	})
+
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{reg: reg, ln: ln, srv: &http.Server{Handler: mux}}
+	go func() { _ = s.srv.Serve(ln) }()
+	return s, nil
+}
+
+// Addr returns the bound address (useful with port 0).
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close stops the server immediately.
+func (s *Server) Close() error { return s.srv.Close() }

@@ -1,0 +1,132 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"flag"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func get(t *testing.T, url string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, string(body)
+}
+
+// The acceptance scenario: metrics updated mid-run are visible through
+// the live endpoints.
+func TestServerServesLiveData(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.Counter("stream_bytes_total", "bytes parsed")
+	c.Add(100)
+
+	srv, err := NewServer("127.0.0.1:0", reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	base := "http://" + srv.Addr()
+
+	if code, body := get(t, base+"/metrics"); code != 200 || !strings.Contains(body, "stream_bytes_total 100") {
+		t.Errorf("/metrics = %d:\n%s", code, body)
+	}
+
+	// The run progresses; the endpoint must reflect it.
+	c.Add(150)
+	if _, body := get(t, base+"/metrics"); !strings.Contains(body, "stream_bytes_total 250") {
+		t.Errorf("/metrics not live:\n%s", body)
+	}
+
+	code, body := get(t, base+"/metrics.json")
+	var snap Snapshot
+	if code != 200 || json.Unmarshal([]byte(body), &snap) != nil || snap.Counters["stream_bytes_total"] != 250 {
+		t.Errorf("/metrics.json = %d: %s", code, body)
+	}
+
+	// expvar carries the registry snapshot under "aspen" next to the
+	// standard process vars.
+	if code, body := get(t, base+"/debug/vars"); code != 200 ||
+		!strings.Contains(body, `"aspen"`) || !strings.Contains(body, "stream_bytes_total") {
+		t.Errorf("/debug/vars = %d:\n%s", code, body)
+	}
+
+	if code, body := get(t, base+"/debug/pprof/"); code != 200 || !strings.Contains(body, "goroutine") {
+		t.Errorf("/debug/pprof/ = %d:\n%s", code, body)
+	}
+}
+
+func TestFlagsLifecycle(t *testing.T) {
+	dir := t.TempDir()
+	metricsPath := filepath.Join(dir, "m.json")
+	tracePath := filepath.Join(dir, "t.jsonl")
+
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	f := RegisterFlags(fs)
+	if err := fs.Parse([]string{
+		"-metrics", metricsPath,
+		"-trace-out", tracePath,
+		"-pprof-addr", "127.0.0.1:0",
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	reg := NewRegistry()
+	sess, err := f.Activate(reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sess.Tracing() {
+		t.Error("Tracing() = false with -trace-out set")
+	}
+	if sess.ServerAddr() == "" {
+		t.Error("no server address with -pprof-addr set")
+	}
+	reg.Counter("runs_total", "").Inc()
+	sess.Sink().Emit(map[string]any{"kind": "jam", "pos": 7})
+	if err := sess.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	m, err := os.ReadFile(metricsPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap Snapshot
+	if err := json.Unmarshal(m, &snap); err != nil || snap.Counters["runs_total"] != 1 {
+		t.Errorf("metrics file = %s (%v)", m, err)
+	}
+	tr, err := os.ReadFile(tracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(tr), `"kind":"jam"`) {
+		t.Errorf("trace file = %s", tr)
+	}
+}
+
+func TestInertSession(t *testing.T) {
+	f := &Flags{}
+	sess, err := f.Activate(NewRegistry())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sess.Tracing() || sess.ServerAddr() != "" {
+		t.Error("zero flags produced an active session")
+	}
+	sess.Sink().Emit("ignored")
+	if err := sess.Close(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,365 @@
+// Package telemetry is the unified observability layer of the ASPEN
+// reproduction. Every per-run event count the paper's evaluation is
+// built from (§V, Figs. 8–9, Tables II–IV) — symbol cycles, ε-stalls,
+// multipop savings, G-switch crossings, stack depth — flows through one
+// concurrency-safe metrics Registry with JSON and Prometheus-text
+// exposition, so a long streaming run can be observed in flight instead
+// of summarized after the fact. The package also provides pluggable
+// structured trace sinks (ring buffer, JSONL, null) and an optional
+// HTTP debug server combining expvar, net/http/pprof and the metrics
+// snapshot. It depends only on the standard library and is imported by
+// the hot paths, so everything on the update side is a nil check plus
+// atomic arithmetic — no locks, no maps, no allocations.
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing int64 metric.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n (negative deltas are a caller bug; they are applied as-is
+// so the registry stays branch-free, but exposition assumes monotone).
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is an instantaneous float64 metric.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// SetInt stores an integer value.
+func (g *Gauge) SetInt(v int64) { g.Set(float64(v)) }
+
+// Add applies a delta with a CAS loop.
+func (g *Gauge) Add(d float64) {
+	for {
+		old := g.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + d)
+		if g.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Max raises the gauge to v if v is larger (high-water marks).
+func (g *Gauge) Max(v float64) {
+	for {
+		old := g.bits.Load()
+		if math.Float64frombits(old) >= v {
+			return
+		}
+		if g.bits.CompareAndSwap(old, math.Float64bits(v)) {
+			return
+		}
+	}
+}
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// Histogram is a fixed-bucket distribution: observations are counted
+// against the first upper bound ≥ the value, with an implicit +Inf
+// overflow bucket, plus a running sum and count.
+type Histogram struct {
+	bounds []float64      // ascending upper bounds, +Inf implicit
+	counts []atomic.Int64 // len(bounds)+1; last is the overflow bucket
+	count  atomic.Int64
+	sum    atomic.Uint64 // float64 bits
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sum.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sum.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// ObserveInt records one integer value.
+func (h *Histogram) ObserveInt(v int64) { h.Observe(float64(v)) }
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Sum returns the sum of observations.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sum.Load()) }
+
+// snapshot captures the histogram state (per-bucket, not cumulative).
+func (h *Histogram) snapshot() HistogramValue {
+	hv := HistogramValue{
+		Bounds: h.bounds,
+		Counts: make([]int64, len(h.counts)),
+		Count:  h.Count(),
+		Sum:    h.Sum(),
+	}
+	for i := range h.counts {
+		hv.Counts[i] = h.counts[i].Load()
+	}
+	return hv
+}
+
+// LinearBuckets returns n bounds start, start+width, ...
+func LinearBuckets(start, width float64, n int) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = start + width*float64(i)
+	}
+	return out
+}
+
+// ExponentialBuckets returns n bounds start, start·factor, ...
+func ExponentialBuckets(start, factor float64, n int) []float64 {
+	out := make([]float64, n)
+	v := start
+	for i := range out {
+		out[i] = v
+		v *= factor
+	}
+	return out
+}
+
+type metricKind int
+
+const (
+	counterKind metricKind = iota
+	gaugeKind
+	histogramKind
+)
+
+func (k metricKind) String() string {
+	switch k {
+	case counterKind:
+		return "counter"
+	case gaugeKind:
+		return "gauge"
+	default:
+		return "histogram"
+	}
+}
+
+type entry struct {
+	name string
+	help string
+	kind metricKind
+	c    *Counter
+	g    *Gauge
+	h    *Histogram
+}
+
+// Registry is a concurrency-safe, ordered collection of named metrics.
+// Registration (Counter/Gauge/Histogram) is idempotent: the first call
+// creates the series, later calls return the same instance, and a kind
+// mismatch panics (a programming error, caught at setup time). The
+// returned metric pointers are safe to cache and update lock-free from
+// hot paths.
+type Registry struct {
+	mu     sync.RWMutex
+	order  []string
+	byName map[string]*entry
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{byName: map[string]*entry{}}
+}
+
+func (r *Registry) lookup(name string, kind metricKind) *entry {
+	r.mu.RLock()
+	e := r.byName[name]
+	r.mu.RUnlock()
+	if e == nil {
+		return nil
+	}
+	if e.kind != kind {
+		panic(fmt.Sprintf("telemetry: metric %q registered as %s, requested as %s", name, e.kind, kind))
+	}
+	return e
+}
+
+func (r *Registry) insert(e *entry) *entry {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if prev, ok := r.byName[e.name]; ok {
+		if prev.kind != e.kind {
+			panic(fmt.Sprintf("telemetry: metric %q registered as %s, requested as %s", e.name, prev.kind, e.kind))
+		}
+		return prev
+	}
+	r.byName[e.name] = e
+	r.order = append(r.order, e.name)
+	return e
+}
+
+// Counter returns the named counter, creating it on first use.
+func (r *Registry) Counter(name, help string) *Counter {
+	if e := r.lookup(name, counterKind); e != nil {
+		return e.c
+	}
+	return r.insert(&entry{name: name, help: help, kind: counterKind, c: &Counter{}}).c
+}
+
+// Gauge returns the named gauge, creating it on first use.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	if e := r.lookup(name, gaugeKind); e != nil {
+		return e.g
+	}
+	return r.insert(&entry{name: name, help: help, kind: gaugeKind, g: &Gauge{}}).g
+}
+
+// Histogram returns the named histogram, creating it on first use with
+// the given ascending upper bounds (a trailing +Inf bucket is implicit).
+// Bounds are fixed at creation; later calls ignore the argument.
+func (r *Registry) Histogram(name, help string, bounds []float64) *Histogram {
+	if e := r.lookup(name, histogramKind); e != nil {
+		return e.h
+	}
+	b := make([]float64, len(bounds))
+	copy(b, bounds)
+	sort.Float64s(b)
+	h := &Histogram{bounds: b, counts: make([]atomic.Int64, len(b)+1)}
+	return r.insert(&entry{name: name, help: help, kind: histogramKind, h: h}).h
+}
+
+// HistogramValue is an exported histogram snapshot. Counts are
+// per-bucket (the final entry is the +Inf overflow bucket), not
+// cumulative.
+type HistogramValue struct {
+	Bounds []float64 `json:"bounds"`
+	Counts []int64   `json:"counts"`
+	Count  int64     `json:"count"`
+	Sum    float64   `json:"sum"`
+}
+
+// Snapshot is a point-in-time copy of every registered series.
+type Snapshot struct {
+	Counters   map[string]int64          `json:"counters"`
+	Gauges     map[string]float64        `json:"gauges"`
+	Histograms map[string]HistogramValue `json:"histograms"`
+}
+
+// Snapshot captures all series. Individual reads are atomic; the
+// snapshot as a whole is not a consistent cut of a concurrently updated
+// registry, which is fine for monitoring.
+func (r *Registry) Snapshot() Snapshot {
+	s := Snapshot{
+		Counters:   map[string]int64{},
+		Gauges:     map[string]float64{},
+		Histograms: map[string]HistogramValue{},
+	}
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	for _, name := range r.order {
+		switch e := r.byName[name]; e.kind {
+		case counterKind:
+			s.Counters[name] = e.c.Value()
+		case gaugeKind:
+			s.Gauges[name] = e.g.Value()
+		case histogramKind:
+			s.Histograms[name] = e.h.snapshot()
+		}
+	}
+	return s
+}
+
+// WriteJSON writes an indented JSON snapshot.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r.Snapshot())
+}
+
+// WritePrometheus writes the registry in the Prometheus text exposition
+// format, in registration order.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	var b strings.Builder
+	for _, name := range r.order {
+		e := r.byName[name]
+		if e.help != "" {
+			fmt.Fprintf(&b, "# HELP %s %s\n", name, e.help)
+		}
+		fmt.Fprintf(&b, "# TYPE %s %s\n", name, e.kind)
+		switch e.kind {
+		case counterKind:
+			fmt.Fprintf(&b, "%s %d\n", name, e.c.Value())
+		case gaugeKind:
+			fmt.Fprintf(&b, "%s %s\n", name, formatFloat(e.g.Value()))
+		case histogramKind:
+			hv := e.h.snapshot()
+			var cum int64
+			for i, c := range hv.Counts {
+				cum += c
+				le := "+Inf"
+				if i < len(hv.Bounds) {
+					le = formatFloat(hv.Bounds[i])
+				}
+				fmt.Fprintf(&b, "%s_bucket{le=%q} %d\n", name, le, cum)
+			}
+			fmt.Fprintf(&b, "%s_sum %s\n", name, formatFloat(hv.Sum))
+			fmt.Fprintf(&b, "%s_count %d\n", name, hv.Count)
+		}
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+func formatFloat(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+// SanitizeMetricName rewrites s into a valid Prometheus metric name:
+// every byte outside [a-zA-Z0-9_:] becomes '_', runs collapse, and a
+// leading digit gains a '_' prefix.
+func SanitizeMetricName(s string) string {
+	var b strings.Builder
+	lastUnderscore := false
+	for _, c := range s {
+		ok := c == ':' || c == '_' ||
+			(c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9')
+		if !ok {
+			if !lastUnderscore && b.Len() > 0 {
+				b.WriteByte('_')
+				lastUnderscore = true
+			}
+			continue
+		}
+		b.WriteRune(c)
+		lastUnderscore = c == '_'
+	}
+	out := strings.TrimSuffix(b.String(), "_")
+	if out == "" {
+		return "_"
+	}
+	if out[0] >= '0' && out[0] <= '9' {
+		out = "_" + out
+	}
+	return out
+}

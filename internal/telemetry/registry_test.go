@@ -1,0 +1,158 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterGaugeHistogram(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("cycles_total", "cycles")
+	c.Inc()
+	c.Add(41)
+	if c.Value() != 42 {
+		t.Errorf("counter = %d, want 42", c.Value())
+	}
+	if r.Counter("cycles_total", "") != c {
+		t.Error("re-registration returned a different counter")
+	}
+
+	g := r.Gauge("depth", "stack depth")
+	g.Set(3.5)
+	g.Add(0.5)
+	if g.Value() != 4 {
+		t.Errorf("gauge = %v, want 4", g.Value())
+	}
+	g.Max(2) // lower: no-op
+	if g.Value() != 4 {
+		t.Errorf("Max lowered the gauge to %v", g.Value())
+	}
+	g.Max(9)
+	if g.Value() != 9 {
+		t.Errorf("Max = %v, want 9", g.Value())
+	}
+
+	h := r.Histogram("lat", "latency", []float64{1, 4, 16})
+	for _, v := range []float64{0.5, 1, 2, 100} {
+		h.Observe(v)
+	}
+	if h.Count() != 4 || h.Sum() != 103.5 {
+		t.Errorf("hist count=%d sum=%v", h.Count(), h.Sum())
+	}
+	hv := r.Snapshot().Histograms["lat"]
+	want := []int64{2, 1, 0, 1} // ≤1: {0.5, 1}, ≤4: {2}, ≤16: {}, +Inf: {100}
+	for i, w := range want {
+		if hv.Counts[i] != w {
+			t.Errorf("bucket %d = %d, want %d (%v)", i, hv.Counts[i], w, hv.Counts)
+		}
+	}
+}
+
+func TestKindMismatchPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("x", "")
+	defer func() {
+		if recover() == nil {
+			t.Error("gauge registration over a counter did not panic")
+		}
+	}()
+	r.Gauge("x", "")
+}
+
+func TestConcurrentUpdates(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("n", "")
+	h := r.Histogram("h", "", []float64{8, 64})
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				c.Inc()
+				h.ObserveInt(int64(i % 100))
+				r.Gauge("g", "").Set(float64(i))
+			}
+		}()
+	}
+	wg.Wait()
+	if c.Value() != 8000 {
+		t.Errorf("counter = %d, want 8000", c.Value())
+	}
+	if h.Count() != 8000 {
+		t.Errorf("hist count = %d, want 8000", h.Count())
+	}
+}
+
+func TestWritePrometheus(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("aspen_cycles_total", "total cycles").Add(7)
+	r.Gauge("aspen_depth", "stack depth").Set(2.5)
+	h := r.Histogram("aspen_stall_run", "stall run length", []float64{1, 2})
+	h.Observe(1)
+	h.Observe(5)
+
+	var b bytes.Buffer
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, frag := range []string{
+		"# HELP aspen_cycles_total total cycles",
+		"# TYPE aspen_cycles_total counter",
+		"aspen_cycles_total 7",
+		"# TYPE aspen_depth gauge",
+		"aspen_depth 2.5",
+		"# TYPE aspen_stall_run histogram",
+		`aspen_stall_run_bucket{le="1"} 1`,
+		`aspen_stall_run_bucket{le="2"} 1`,
+		`aspen_stall_run_bucket{le="+Inf"} 2`,
+		"aspen_stall_run_sum 6",
+		"aspen_stall_run_count 2",
+	} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("exposition missing %q:\n%s", frag, out)
+		}
+	}
+}
+
+func TestWriteJSONRoundTrip(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("a_total", "").Add(3)
+	r.Gauge("b", "").Set(1.25)
+	r.Histogram("c", "", []float64{10}).Observe(4)
+
+	var b bytes.Buffer
+	if err := r.WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	var s Snapshot
+	if err := json.Unmarshal(b.Bytes(), &s); err != nil {
+		t.Fatal(err)
+	}
+	if s.Counters["a_total"] != 3 || s.Gauges["b"] != 1.25 {
+		t.Errorf("snapshot = %+v", s)
+	}
+	if hv := s.Histograms["c"]; hv.Count != 1 || hv.Sum != 4 {
+		t.Errorf("histogram = %+v", hv)
+	}
+}
+
+func TestSanitizeMetricName(t *testing.T) {
+	cases := map[string]string{
+		"ASPEN-MP ns/kB": "ASPEN_MP_ns_kB",
+		"fig8":           "fig8",
+		"1abc":           "_1abc",
+		"µJ/kB!!":        "J_kB",
+		"a  b":           "a_b",
+		"":               "_",
+	}
+	for in, want := range cases {
+		if got := SanitizeMetricName(in); got != want {
+			t.Errorf("Sanitize(%q) = %q, want %q", in, got, want)
+		}
+	}
+}

@@ -1,0 +1,156 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+)
+
+// TraceSink consumes structured trace events. Producers (the
+// architecture simulator, the streaming parser, the CLI tools) emit
+// JSON-marshalable values; sinks decide retention. Unlike the original
+// fixed 256-event slice in arch.Trace, a sink can absorb a full-length
+// run: a JSONLSink streams every event to disk, a RingSink keeps the
+// most recent window, and NullSink discards.
+//
+// Emit must be safe for concurrent use; all implementations here are.
+type TraceSink interface {
+	Emit(ev any)
+	Close() error
+}
+
+// NullSink discards every event. The zero value is ready to use.
+type NullSink struct{}
+
+// Emit discards ev.
+func (NullSink) Emit(any) {}
+
+// Close is a no-op.
+func (NullSink) Close() error { return nil }
+
+// RingSink keeps the most recent capacity events.
+type RingSink struct {
+	mu    sync.Mutex
+	buf   []any
+	next  int
+	total int64
+}
+
+// NewRingSink creates a ring of the given capacity (min 1).
+func NewRingSink(capacity int) *RingSink {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &RingSink{buf: make([]any, 0, capacity)}
+}
+
+// Emit appends ev, evicting the oldest event when full.
+func (s *RingSink) Emit(ev any) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.total++
+	if len(s.buf) < cap(s.buf) {
+		s.buf = append(s.buf, ev)
+		return
+	}
+	s.buf[s.next] = ev
+	s.next = (s.next + 1) % cap(s.buf)
+}
+
+// Events returns the retained events, oldest first.
+func (s *RingSink) Events() []any {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]any, 0, len(s.buf))
+	out = append(out, s.buf[s.next:]...)
+	out = append(out, s.buf[:s.next]...)
+	return out
+}
+
+// Total returns how many events were emitted (including evicted ones).
+func (s *RingSink) Total() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.total
+}
+
+// Close is a no-op.
+func (s *RingSink) Close() error { return nil }
+
+// JSONLSink writes each event as one JSON line. If the underlying
+// writer is an io.Closer it is closed by Close. The first encode or
+// write error is sticky and returned from Close; later events are
+// dropped.
+type JSONLSink struct {
+	mu  sync.Mutex
+	enc *json.Encoder
+	w   io.Writer
+	err error
+}
+
+// NewJSONLSink wraps w.
+func NewJSONLSink(w io.Writer) *JSONLSink {
+	return &JSONLSink{enc: json.NewEncoder(w), w: w}
+}
+
+// Emit writes ev as a JSON line.
+func (s *JSONLSink) Emit(ev any) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.err != nil {
+		return
+	}
+	s.err = s.enc.Encode(ev)
+}
+
+// Err returns the sticky error, if any.
+func (s *JSONLSink) Err() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.err
+}
+
+// Close flushes by closing the underlying writer when it is a Closer,
+// and returns the sticky error.
+func (s *JSONLSink) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if c, ok := s.w.(io.Closer); ok {
+		if cerr := c.Close(); cerr != nil && s.err == nil {
+			s.err = cerr
+		}
+	}
+	return s.err
+}
+
+// FuncSink adapts a function into a TraceSink with a no-op Close.
+type FuncSink func(ev any)
+
+// Emit calls the function.
+func (f FuncSink) Emit(ev any) { f(ev) }
+
+// Close is a no-op.
+func (FuncSink) Close() error { return nil }
+
+// multiSink fans every event out to all children.
+type multiSink []TraceSink
+
+// MultiSink returns a sink that forwards each event to every child and
+// closes them all, returning the first close error.
+func MultiSink(sinks ...TraceSink) TraceSink { return multiSink(sinks) }
+
+func (m multiSink) Emit(ev any) {
+	for _, s := range m {
+		s.Emit(ev)
+	}
+}
+
+func (m multiSink) Close() error {
+	var first error
+	for _, s := range m {
+		if err := s.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}

@@ -1,0 +1,81 @@
+package telemetry
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+func TestRingSinkWraps(t *testing.T) {
+	s := NewRingSink(3)
+	for i := 0; i < 5; i++ {
+		s.Emit(i)
+	}
+	if s.Total() != 5 {
+		t.Errorf("total = %d, want 5", s.Total())
+	}
+	got := s.Events()
+	want := []any{2, 3, 4}
+	if len(got) != len(want) {
+		t.Fatalf("events = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("events = %v, want %v", got, want)
+		}
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRingSinkPartial(t *testing.T) {
+	s := NewRingSink(8)
+	s.Emit("a")
+	s.Emit("b")
+	got := s.Events()
+	if len(got) != 2 || got[0] != "a" || got[1] != "b" {
+		t.Errorf("events = %v", got)
+	}
+}
+
+func TestJSONLSink(t *testing.T) {
+	var buf bytes.Buffer
+	s := NewJSONLSink(&buf)
+	type ev struct {
+		Kind  string `json:"kind"`
+		Cycle int    `json:"cycle"`
+	}
+	s.Emit(ev{"symbol", 1})
+	s.Emit(ev{"jam", 2})
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	sc := bufio.NewScanner(&buf)
+	var lines []ev
+	for sc.Scan() {
+		var e ev
+		if err := json.Unmarshal(sc.Bytes(), &e); err != nil {
+			t.Fatalf("bad JSONL line %q: %v", sc.Text(), err)
+		}
+		lines = append(lines, e)
+	}
+	if len(lines) != 2 || lines[0].Kind != "symbol" || lines[1].Cycle != 2 {
+		t.Errorf("lines = %+v", lines)
+	}
+}
+
+func TestMultiAndFuncSink(t *testing.T) {
+	var n int
+	ring := NewRingSink(4)
+	m := MultiSink(ring, FuncSink(func(any) { n++ }), NullSink{})
+	m.Emit(1)
+	m.Emit(2)
+	if n != 2 || ring.Total() != 2 {
+		t.Errorf("func saw %d, ring saw %d; want 2/2", n, ring.Total())
+	}
+	if err := m.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
