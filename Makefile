@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: build test check fmt vet race bench experiments
+.PHONY: build test check fmt vet race bench experiments serve-smoke
 
 build:
 	$(GO) build ./...
@@ -25,8 +25,13 @@ fmt:
 race:
 	$(GO) test -race ./...
 
+# Boot the real aspend binary on an ephemeral port, parse a document,
+# check /healthz and /metrics, and drain it with SIGTERM.
+serve-smoke:
+	sh scripts/serve-smoke.sh
+
 # Pre-merge check: run before every merge/PR.
-check: vet fmt race
+check: vet fmt race serve-smoke
 
 bench:
 	$(GO) test -bench . -benchtime 1x ./internal/bench

@@ -27,6 +27,7 @@ import (
 	"aspen/internal/mnrl"
 	"aspen/internal/nfa"
 	"aspen/internal/place"
+	"aspen/internal/serve"
 	"aspen/internal/stream"
 	"aspen/internal/subtree"
 	"aspen/internal/swparse"
@@ -331,6 +332,29 @@ type (
 	// ObservabilityFlags is the -metrics/-trace-out/-pprof-addr flag set
 	// shared by the cmd/ tools.
 	ObservabilityFlags = telemetry.Flags
+)
+
+// Serving: the multi-tenant parsing service over the simulated bank
+// fabric (cmd/aspend embeds exactly this surface).
+type (
+	// ServeOptions configures a parsing service.
+	ServeOptions = serve.Options
+	// ServeServer is a loaded grammar registry plus its HTTP surface.
+	ServeServer = serve.Server
+	// ServeGrammarInfo describes one loaded grammar: machine shape,
+	// fabric mapping, and scheduling width.
+	ServeGrammarInfo = serve.GrammarInfo
+	// FabricCapacity relates a bank budget to execution contexts.
+	FabricCapacity = arch.Capacity
+)
+
+var (
+	// NewServeServer compiles and places every grammar and builds the
+	// service's HTTP handler.
+	NewServeServer = serve.New
+	// FabricCapacityFor derives context count and occupancy from a bank
+	// share and a machine's banks-per-context footprint.
+	FabricCapacityFor = arch.CapacityFor
 )
 
 var (

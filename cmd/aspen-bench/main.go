@@ -27,7 +27,7 @@ import (
 
 func main() {
 	var (
-		only  = flag.String("only", "", "run a single experiment (fig2, table1..table5, fig8, fig9, fig10, ablations)")
+		only  = flag.String("only", "", "run a single experiment (fig2, table1..table5, fig8, fig9, fig10, ablations, serve)")
 		size  = flag.Int("size", 32<<10, "per-document size for XML experiments (bytes)")
 		scale = flag.Int("scale", 200, "dataset scale divisor for mining experiments")
 		out   = flag.String("o", "", "write Markdown to this file instead of stdout")
@@ -36,15 +36,8 @@ func main() {
 	flag.Parse()
 
 	reg := telemetry.NewRegistry()
-	sess, err := tf.Activate(reg)
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "aspen-bench: %v\n", err)
-		os.Exit(1)
-	}
+	sess := tf.MustStart("aspen-bench", reg)
 	defer sess.MustClose("aspen-bench")
-	if addr := sess.ServerAddr(); addr != "" {
-		fmt.Fprintf(os.Stderr, "aspen-bench: debug server on http://%s\n", addr)
-	}
 
 	want := func(id string) bool { return *only == "" || *only == id }
 	var b strings.Builder
@@ -86,6 +79,10 @@ func main() {
 	}
 	if want("ablations") {
 		render(bench.Ablations(*size))
+	}
+	if want("serve") {
+		t, _ := bench.Serve(*size)
+		render(t)
 	}
 	if want("fig9") || want("fig10") {
 		f9, f10, _ := bench.Fig9(*scale)

@@ -42,15 +42,8 @@ func main() {
 	flag.Parse()
 
 	reg := telemetry.NewRegistry()
-	var err error
-	sess, err = tf.Activate(reg)
-	if err != nil {
-		fatal("%v", err)
-	}
+	sess = tf.MustStart("aspen-run", reg)
 	defer sess.MustClose("aspen-run")
-	if addr := sess.ServerAddr(); addr != "" {
-		fmt.Fprintf(os.Stderr, "aspen-run: debug server on http://%s\n", addr)
-	}
 
 	if *inPath == "" {
 		fatal("-in is required")

@@ -35,15 +35,8 @@ func main() {
 	flag.Parse()
 
 	reg := telemetry.NewRegistry()
-	var aerr error
-	sess, aerr = tf.Activate(reg)
-	if aerr != nil {
-		fatal("%v", aerr)
-	}
+	sess = tf.MustStart("aspenc", reg)
 	defer sess.MustClose("aspenc")
-	if addr := sess.ServerAddr(); addr != "" {
-		fmt.Fprintf(os.Stderr, "aspenc: debug server on http://%s\n", addr)
-	}
 
 	opts := aspen.OptNone
 	switch *optLevel {

@@ -1,0 +1,144 @@
+// Command aspend is the ASPEN parsing daemon: a multi-tenant HTTP
+// service that loads named grammars once at startup (compiled to hDPDAs
+// and placed onto the simulated bank fabric) and serves streaming parse
+// jobs with bank-derived concurrency, bounded admission queues, and
+// graceful drain.
+//
+// Usage:
+//
+//	aspend -addr :8173
+//	aspend -addr 127.0.0.1:0 -langs JSON,XML -queue 32 -timeout 10s
+//	aspend -fabric-banks 128 -pprof-addr :6060 -metrics - -trace-out reqs.jsonl -trace-sample 100
+//
+// API:
+//
+//	POST /v1/parse/{grammar}   stream a document; chunked bodies are fed
+//	                           incrementally into the hDPDA as they arrive
+//	GET  /v1/grammars          loaded grammars, machine shapes, fabric mapping
+//	GET  /healthz              ok / draining
+//	GET  /metrics              Prometheus text (same mux; also /metrics.json,
+//	                           /debug/vars, /debug/pprof/...)
+//
+// A full admission queue answers 429 with Retry-After. SIGINT/SIGTERM
+// starts a graceful drain: new requests get 503, in-flight requests
+// finish, then the process exits (writing the -metrics snapshot).
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"aspen"
+	"aspen/internal/lang"
+	"aspen/internal/serve"
+	"aspen/internal/telemetry"
+)
+
+func main() {
+	var (
+		addr        = flag.String("addr", "localhost:8173", "listen address (port 0 = ephemeral, printed on stderr)")
+		langsFlag   = flag.String("langs", "", "comma-separated grammars to load (default: all built-ins)")
+		queue       = flag.Int("queue", serve.DefaultQueueDepth, "per-grammar admission queue depth (waiting room beyond the worker slots)")
+		workers     = flag.Int("workers", 0, "per-grammar worker-slot override (0 = derived from the bank fabric)")
+		timeout     = flag.Duration("timeout", serve.DefaultRequestTimeout, "per-request deadline, queue wait included")
+		maxBody     = flag.Int64("max-body", serve.DefaultMaxBodyBytes, "maximum request body bytes")
+		fabricBanks = flag.Int("fabric-banks", 0, "total LLC banks the fabric repurposes (0 = paper default)")
+		traceSample = flag.Int("trace-sample", 1, "with -trace-out: emit every Nth request")
+		drainWait   = flag.Duration("drain-timeout", 30*time.Second, "how long to wait for in-flight requests on shutdown")
+	)
+	tf := telemetry.RegisterFlags(flag.CommandLine)
+	flag.Parse()
+
+	reg := telemetry.NewRegistry()
+	sess := tf.MustStart("aspend", reg)
+	defer sess.MustClose("aspend")
+
+	var langs []*lang.Language
+	if *langsFlag != "" {
+		for _, name := range strings.Split(*langsFlag, ",") {
+			name = strings.TrimSpace(name)
+			l := lang.ByName(name)
+			if l == nil && name == "MiniC" {
+				l = lang.MiniC()
+			}
+			if l == nil {
+				fatal("unknown grammar %q (have Cool, DOT, JSON, XML, MiniC)", name)
+			}
+			langs = append(langs, l)
+		}
+	}
+	cfg := aspen.DefaultArchConfig()
+	if *fabricBanks > 0 {
+		cfg.FabricBanks = *fabricBanks
+	}
+
+	srv, err := serve.New(serve.Options{
+		Languages:      langs,
+		Arch:           cfg,
+		QueueDepth:     *queue,
+		Workers:        *workers,
+		RequestTimeout: *timeout,
+		MaxBodyBytes:   *maxBody,
+		Registry:       reg,
+		Trace:          traceSink(sess, *traceSample),
+		TraceSample:    *traceSample,
+	})
+	if err != nil {
+		fatal("%v", err)
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fatal("%v", err)
+	}
+	httpSrv := &http.Server{Handler: srv.Handler()}
+	fmt.Fprintf(os.Stderr, "aspend: listening on http://%s\n", ln.Addr())
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	done := make(chan error, 1)
+	go func() { done <- httpSrv.Serve(ln) }()
+
+	select {
+	case err := <-done:
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			fatal("%v", err)
+		}
+	case <-ctx.Done():
+		stop()
+		fmt.Fprintf(os.Stderr, "aspend: draining (up to %s)...\n", *drainWait)
+		dctx, cancel := context.WithTimeout(context.Background(), *drainWait)
+		defer cancel()
+		// Service-level drain (503 for new work, wait for in-flight),
+		// then connection-level shutdown.
+		if err := srv.Drain(dctx); err != nil {
+			fmt.Fprintf(os.Stderr, "aspend: %v\n", err)
+		}
+		if err := httpSrv.Shutdown(dctx); err != nil {
+			fmt.Fprintf(os.Stderr, "aspend: shutdown: %v\n", err)
+		}
+		fmt.Fprintln(os.Stderr, "aspend: drained")
+	}
+}
+
+// traceSink returns the session sink when request tracing is on.
+func traceSink(sess *telemetry.Session, sample int) telemetry.TraceSink {
+	if !sess.Tracing() || sample < 1 {
+		return nil
+	}
+	return sess.Sink()
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "aspend: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -41,15 +41,8 @@ func main() {
 	flag.Parse()
 
 	reg := telemetry.NewRegistry()
-	var err error
-	sess, err = tf.Activate(reg)
-	if err != nil {
-		fatal("%v", err)
-	}
+	sess = tf.MustStart("saxcount", reg)
 	defer sess.MustClose("saxcount")
-	if addr := sess.ServerAddr(); addr != "" {
-		fmt.Fprintf(os.Stderr, "saxcount: debug server on http://%s\n", addr)
-	}
 	docsMetric := reg.Counter("saxcount_documents_total", "documents processed")
 	acceptMetric := reg.Counter("saxcount_accepted_total", "documents accepted by the ASPEN pipeline")
 	elemMetric := reg.Counter("saxcount_elements_total", "elements tallied by the hardware report counters")

@@ -33,15 +33,8 @@ func main() {
 	flag.Parse()
 
 	reg := telemetry.NewRegistry()
-	var aerr error
-	sess, aerr = tf.Activate(reg)
-	if aerr != nil {
-		fatal("%v", aerr)
-	}
+	sess = tf.MustStart("treeminer", reg)
 	defer sess.MustClose("treeminer")
-	if addr := sess.ServerAddr(); addr != "" {
-		fmt.Fprintf(os.Stderr, "treeminer: debug server on http://%s\n", addr)
-	}
 
 	var p treegen.Params
 	switch *dataset {

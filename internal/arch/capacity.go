@@ -1,0 +1,65 @@
+package arch
+
+// Fabric capacity accounting (paper §I, §IV-B): "ASPEN supports
+// processing of hundreds of different DPDAs in parallel as any number
+// of LLC SRAM arrays can be re-purposed". A placed machine occupies
+// P.NumBanks banks per execution context; the LLC contributes a fixed
+// bank budget; the quotient is the number of contexts — independent
+// input streams — the fabric executes simultaneously. The serving
+// layer derives its worker-pool width from this quantity so host
+// concurrency mirrors the paper's bank-level parallelism.
+
+// DefaultFabricBanks is the default bank budget: 8 MB of repurposed
+// LLC at 16 kB per bank (two 8 kB arrays: IM and SM/stack), the same
+// provisioning Sim.OccupancyKB assumes.
+const DefaultFabricBanks = 512
+
+// Capacity describes how many execution contexts of one placed machine
+// the bank fabric sustains at once.
+type Capacity struct {
+	// FabricBanks is the total bank budget of the fabric.
+	FabricBanks int
+	// BanksPerContext is the bank footprint of one machine instance.
+	BanksPerContext int
+	// Contexts is the number of simultaneous instances (⌊fabric/footprint⌋,
+	// at least 1 — a machine larger than the budget still gets one
+	// context; it simply monopolizes the fabric).
+	Contexts int
+	// OccupancyKB is the capacity one context consumes (16 kB/bank).
+	OccupancyKB int
+}
+
+// FabricBanksOrDefault resolves the configured bank budget.
+func (c Config) FabricBanksOrDefault() int {
+	if c.FabricBanks > 0 {
+		return c.FabricBanks
+	}
+	return DefaultFabricBanks
+}
+
+// Capacity reports the fabric capacity for this placed machine under
+// its own configuration's bank budget.
+func (s *Sim) Capacity() Capacity {
+	return CapacityFor(s.Cfg.FabricBanksOrDefault(), s.P.NumBanks)
+}
+
+// CapacityFor computes context capacity for a machine occupying
+// banksPerContext banks on a fabric of fabricBanks banks. It is the
+// shared accounting for callers that partition one fabric across
+// several machines (each machine gets a bank share, then contexts
+// within the share).
+func CapacityFor(fabricBanks, banksPerContext int) Capacity {
+	if banksPerContext < 1 {
+		banksPerContext = 1
+	}
+	n := fabricBanks / banksPerContext
+	if n < 1 {
+		n = 1
+	}
+	return Capacity{
+		FabricBanks:     fabricBanks,
+		BanksPerContext: banksPerContext,
+		Contexts:        n,
+		OccupancyKB:     banksPerContext * 16,
+	}
+}

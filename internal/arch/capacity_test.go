@@ -1,0 +1,57 @@
+package arch
+
+import (
+	"testing"
+
+	"aspen/internal/core"
+)
+
+func TestCapacityFor(t *testing.T) {
+	cases := []struct {
+		fabric, per int
+		want        Capacity
+	}{
+		{512, 1, Capacity{FabricBanks: 512, BanksPerContext: 1, Contexts: 512, OccupancyKB: 16}},
+		{512, 8, Capacity{FabricBanks: 512, BanksPerContext: 8, Contexts: 64, OccupancyKB: 128}},
+		{512, 513, Capacity{FabricBanks: 512, BanksPerContext: 513, Contexts: 1, OccupancyKB: 8208}},
+		{8, 3, Capacity{FabricBanks: 8, BanksPerContext: 3, Contexts: 2, OccupancyKB: 48}},
+		{8, 0, Capacity{FabricBanks: 8, BanksPerContext: 1, Contexts: 8, OccupancyKB: 16}},
+	}
+	for _, c := range cases {
+		if got := CapacityFor(c.fabric, c.per); got != c.want {
+			t.Errorf("CapacityFor(%d, %d) = %+v, want %+v", c.fabric, c.per, got, c.want)
+		}
+	}
+}
+
+func TestSimCapacity(t *testing.T) {
+	m := core.PalindromeHDPDA()
+	cfg := DefaultConfig()
+	s, err := New(m, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cap := s.Capacity()
+	if cap.BanksPerContext != s.NumBanks() {
+		t.Errorf("BanksPerContext = %d, want NumBanks %d", cap.BanksPerContext, s.NumBanks())
+	}
+	if cap.FabricBanks != DefaultFabricBanks {
+		t.Errorf("FabricBanks = %d, want default %d", cap.FabricBanks, DefaultFabricBanks)
+	}
+	if cap.Contexts != DefaultFabricBanks/s.NumBanks() {
+		t.Errorf("Contexts = %d, want %d", cap.Contexts, DefaultFabricBanks/s.NumBanks())
+	}
+	if cap.OccupancyKB != s.OccupancyKB() {
+		t.Errorf("OccupancyKB = %d, want %d", cap.OccupancyKB, s.OccupancyKB())
+	}
+
+	// A zero FabricBanks config falls back to the default budget.
+	cfg.FabricBanks = 0
+	s2, err := New(m, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s2.Capacity().FabricBanks; got != DefaultFabricBanks {
+		t.Errorf("zero-config FabricBanks = %d, want %d", got, DefaultFabricBanks)
+	}
+}

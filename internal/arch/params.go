@@ -86,6 +86,11 @@ type Config struct {
 	// ReportDrainPerCycle is the drain rate in entries/cycle (0 = 4,
 	// i.e. 32 B/cycle of 8-byte report records).
 	ReportDrainPerCycle float64
+	// FabricBanks is the total number of repurposed LLC banks available
+	// to concurrent machines (0 = DefaultFabricBanks). It bounds how
+	// many execution contexts the fabric sustains simultaneously; see
+	// Sim.Capacity.
+	FabricBanks int
 }
 
 // DefaultConfig returns the paper's operating point.
@@ -101,6 +106,7 @@ func DefaultConfig() Config {
 		ConfigClockMHz:         3400,
 		ReportBufferEntries:    64,
 		ReportDrainPerCycle:    4,
+		FabricBanks:            DefaultFabricBanks,
 	}
 }
 

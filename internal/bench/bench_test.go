@@ -132,3 +132,21 @@ func TestAblations(t *testing.T) {
 		t.Error("render missing multipop row")
 	}
 }
+
+func TestServeTable(t *testing.T) {
+	tbl, rows := Serve(4 << 10)
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d, want 2 (JSON + XML)", len(rows))
+	}
+	for _, r := range rows {
+		if r.ReqPerSec <= 0 || r.MBPerSec <= 0 {
+			t.Errorf("%s: non-positive throughput %+v", r.Grammar, r)
+		}
+		if r.Contexts < 1 || r.Clients < 1 || r.Clients > r.Contexts {
+			t.Errorf("%s: client count %d outside fabric width %d", r.Grammar, r.Clients, r.Contexts)
+		}
+	}
+	if !strings.Contains(tbl.Render(), "aspend service throughput") {
+		t.Error("render missing title")
+	}
+}

@@ -141,6 +141,23 @@ func NewExecution(m *HDPDA, opts ExecOptions) *Execution {
 	return e
 }
 
+// Reset rewinds the execution to the machine's start configuration —
+// start state, empty stack (⊥ pre-loaded), zeroed statistics — without
+// reallocating. The stack keeps its grown capacity, so a pooled
+// Execution reaches steady state after one run and resets allocation-
+// free thereafter; a fresh run over the same input is then
+// indistinguishable from a run on a newly constructed Execution.
+// Result.Reports is dropped (not truncated) because returned Results
+// share its backing array.
+func (e *Execution) Reset() {
+	e.cur = e.M.Start
+	e.stack = e.stack[:1]
+	e.stack[0] = BottomOfStack
+	e.pos = 0
+	e.epsSeq = 0
+	e.res = Result{FinalState: e.M.Start}
+}
+
 // Pos returns the number of input symbols consumed so far.
 func (e *Execution) Pos() int { return e.pos }
 

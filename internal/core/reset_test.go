@@ -1,0 +1,69 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+)
+
+// Reset must restore the exact start configuration: a second run over
+// the same input yields the same Result a fresh Execution produces.
+func TestExecutionReset(t *testing.T) {
+	m := PalindromeHDPDA()
+	input := BytesToSymbols([]byte("abcba"))
+
+	run := func(e *Execution) Result {
+		for _, sym := range input {
+			if _, err := e.DrainEpsilon(); err != nil {
+				t.Fatal(err)
+			}
+			ok, err := e.Feed(sym)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !ok {
+				res := e.Result()
+				res.Jammed = true
+				return res
+			}
+		}
+		if _, err := e.DrainEpsilon(); err != nil {
+			t.Fatal(err)
+		}
+		res := e.Result()
+		res.Accepted = e.InAccept()
+		return res
+	}
+
+	e := NewExecution(m, ExecOptions{})
+	first := run(e)
+	e.Reset()
+	if e.Pos() != 0 || e.StackLen() != 0 || e.Current() != m.Start || e.TOS() != BottomOfStack {
+		t.Fatalf("reset state: pos=%d stack=%d cur=%d tos=%d", e.Pos(), e.StackLen(), e.Current(), e.TOS())
+	}
+	second := run(e)
+	if !reflect.DeepEqual(first, second) {
+		t.Errorf("reset run %+v != fresh run %+v", second, first)
+	}
+	fresh := run(NewExecution(m, ExecOptions{}))
+	if !reflect.DeepEqual(fresh, second) {
+		t.Errorf("reset run %+v != new-execution run %+v", second, fresh)
+	}
+}
+
+// After one warm-up run, Reset plus a full re-run allocates nothing:
+// the stack slice keeps its grown capacity and the Result is scalar.
+func TestResetZeroAllocs(t *testing.T) {
+	m := loopMachine()
+	e := NewExecution(m, ExecOptions{})
+	cycle := func() {
+		e.Reset()
+		for i := 0; i < 64; i++ {
+			e.Feed('a')
+			e.StepEpsilon()
+		}
+	}
+	cycle()
+	if allocs := testing.AllocsPerRun(200, cycle); allocs != 0 {
+		t.Errorf("Reset+run = %v allocs, want 0", allocs)
+	}
+}

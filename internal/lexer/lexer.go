@@ -11,6 +11,7 @@ package lexer
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"aspen/internal/core"
 	"aspen/internal/nfa"
@@ -99,11 +100,15 @@ type modeNFA struct {
 	n     *nfa.NFA
 	dfa   *nfa.DFA // fast path, built by Optimize
 	rules []int    // report code → rule index
+	runs  sync.Pool
 }
 
 // stepper abstracts the NFA active-set run and the determinized run.
+// Both runners rewind in place, so one runner serves every lexeme of a
+// scan — and, through the pool, every scan of the process.
 type stepper interface {
 	Step(sym core.Symbol) (alive bool, report int32)
+	Reset()
 }
 
 // newRun returns the fastest available runner for the mode.
@@ -113,6 +118,20 @@ func (mn *modeNFA) newRun() stepper {
 	}
 	return mn.n.NewRun()
 }
+
+// getRun returns a rewound runner, reusing a pooled one when available.
+// A Lexer is shared by every parser of its Language (concurrent scans
+// under the serving path), hence a sync.Pool rather than a cached field.
+func (mn *modeNFA) getRun() stepper {
+	if v := mn.runs.Get(); v != nil {
+		r := v.(stepper)
+		r.Reset()
+		return r
+	}
+	return mn.newRun()
+}
+
+func (mn *modeNFA) putRun(r stepper) { mn.runs.Put(r) }
 
 // Lexer is a compiled tokenizer.
 type Lexer struct {
@@ -198,7 +217,14 @@ func (l *Lexer) Tokenize(input []byte) ([]Token, Stats, error) {
 // returns the mode in effect after the final token — the state a
 // streaming caller must carry across chunk boundaries.
 func (l *Lexer) TokenizeResume(input []byte, mode string) ([]Token, Stats, string, error) {
-	toks, _, mode, stats, err := l.scan(input, mode, false)
+	toks, _, mode, stats, err := l.scan(nil, input, mode, false)
+	return toks, stats, mode, err
+}
+
+// TokenizeResumeInto is TokenizeResume appending into dst (pass
+// dst[:0] to reuse its capacity across calls, the pooled-parser path).
+func (l *Lexer) TokenizeResumeInto(dst []Token, input []byte, mode string) ([]Token, Stats, string, error) {
+	toks, _, mode, stats, err := l.scan(dst, input, mode, false)
 	return toks, stats, mode, err
 }
 
@@ -210,19 +236,44 @@ func (l *Lexer) TokenizeResume(input []byte, mode string) ([]Token, Stats, strin
 // consumption point; the caller re-presents input[consumed:] prefixed to
 // the next chunk.
 func (l *Lexer) TokenizeChunk(input []byte, mode string) (toks []Token, consumed int, endMode string, stats Stats, err error) {
-	return l.scan(input, mode, true)
+	return l.scan(nil, input, mode, true)
 }
 
-// scan is the shared tokenization loop.
-func (l *Lexer) scan(input []byte, mode string, streaming bool) (toks []Token, consumed int, endMode string, stats Stats, err error) {
+// TokenizeChunkInto is TokenizeChunk appending into dst (pass dst[:0]
+// to reuse its capacity across chunks).
+func (l *Lexer) TokenizeChunkInto(dst []Token, input []byte, mode string) (toks []Token, consumed int, endMode string, stats Stats, err error) {
+	return l.scan(dst, input, mode, true)
+}
+
+// scan is the shared tokenization loop. Tokens are appended to dst.
+func (l *Lexer) scan(dst []Token, input []byte, mode string, streaming bool) (toks []Token, consumed int, endMode string, stats Stats, err error) {
+	toks = dst
 	stats = Stats{Bytes: len(input)}
 	if _, ok := l.modes[mode]; !ok {
-		return nil, 0, mode, stats, fmt.Errorf("lexer %s: unknown mode %q", l.spec.Name, mode)
+		return toks, 0, mode, stats, fmt.Errorf("lexer %s: unknown mode %q", l.spec.Name, mode)
 	}
+	// One runner per mode encountered, drawn from the mode's pool and
+	// rewound per lexeme: the scan costs O(modes) pool round-trips, not
+	// O(lexemes).
+	var run stepper
+	runMode := ""
+	defer func() {
+		if run != nil {
+			l.modes[runMode].putRun(run)
+		}
+	}()
 	pos := 0
 	for pos < len(input) {
 		mn := l.modes[mode]
-		run := mn.newRun()
+		if run == nil || runMode != mode {
+			if run != nil {
+				l.modes[runMode].putRun(run)
+			}
+			run = mn.getRun()
+			runMode = mode
+		} else {
+			run.Reset()
+		}
 		best, bestRule := -1, -1
 		alive := false
 		i := pos

@@ -1,0 +1,88 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"testing"
+
+	"aspen/internal/lang"
+)
+
+// Steady-state budget for one g.parse call. The residual allocations
+// are the two deferred runner-return closures inside the lexer scan
+// (one per Write/Close call with input) plus small interface boxing;
+// everything proportional to the input — tokens, stack, runner state,
+// copy buffer, the parser itself — is pooled or reused. If this number
+// creeps up, something started allocating per request.
+const steadyStateAllocBudget = 8
+
+// TestParseSteadyStateAllocs pins the acceptance criterion: after
+// warmup, a parse performs zero grammar compiles and at most a fixed
+// small number of allocations, independent of how many requests ran.
+func TestParseSteadyStateAllocs(t *testing.T) {
+	s, err := New(Options{Languages: []*lang.Language{lang.JSON()}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := s.grammars["JSON"]
+	doc := []byte(`{"k": [1, 2, {"n": [3, 4]}], "s": "str", "b": true}`)
+	ctx := context.Background()
+
+	run := func() {
+		out, inputErr, sysErr := g.parse(ctx, bytes.NewReader(doc))
+		if sysErr != nil || inputErr != nil || !out.Accepted {
+			t.Fatalf("parse: out=%+v inputErr=%v sysErr=%v", out, inputErr, sysErr)
+		}
+	}
+	// Warm the pools (parser, lexer runners, copy buffer) and let the
+	// reader settle.
+	for i := 0; i < 4; i++ {
+		run()
+	}
+	compilesBefore := s.Registry().Snapshot().Counters["serve_compiles_total"]
+
+	// bytes.Reader escapes to the io.Reader interface, so allocate it
+	// outside the measured region and rewind inside.
+	r := bytes.NewReader(doc)
+	allocs := testing.AllocsPerRun(50, func() {
+		r.Reset(doc)
+		out, inputErr, sysErr := g.parse(ctx, r)
+		if sysErr != nil || inputErr != nil || !out.Accepted {
+			t.Fatal("parse failed inside measured run")
+		}
+	})
+	if allocs > steadyStateAllocBudget {
+		t.Errorf("steady-state parse = %.1f allocs/run, budget %d", allocs, steadyStateAllocBudget)
+	}
+	t.Logf("steady-state parse: %.1f allocs/run", allocs)
+
+	if after := s.Registry().Snapshot().Counters["serve_compiles_total"]; after != compilesBefore {
+		t.Errorf("serve_compiles_total moved %d → %d during steady state", compilesBefore, after)
+	}
+	if compilesBefore != 1 {
+		t.Errorf("serve_compiles_total = %d, want 1 (one grammar, compiled once at startup)", compilesBefore)
+	}
+}
+
+// Capacity partitioning: every grammar gets a non-zero bank share and
+// worker width, and the shares never exceed the fabric budget.
+func TestFabricPartition(t *testing.T) {
+	s, err := New(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for _, name := range s.names {
+		g := s.grammars[name]
+		if g.cap.FabricBanks < 1 || g.cap.Contexts < 1 || g.workers < 1 {
+			t.Errorf("%s: degenerate capacity %+v workers=%d", name, g.cap, g.workers)
+		}
+		if g.workers != g.cap.Contexts {
+			t.Errorf("%s: workers=%d != contexts=%d (no override given)", name, g.workers, g.cap.Contexts)
+		}
+		total += g.cap.FabricBanks
+	}
+	if budget := s.cfg.FabricBanksOrDefault(); total > budget {
+		t.Errorf("grammar shares sum to %d banks, fabric budget %d", total, budget)
+	}
+}

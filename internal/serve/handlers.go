@@ -1,0 +1,232 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"os"
+	"strconv"
+	"time"
+
+	"aspen/internal/telemetry"
+)
+
+// ParseResponse is the body of a completed parse request. Rejection is
+// an answer, not a failure: an input outside the grammar's language
+// still gets 200 with accepted=false (and Error when the input could
+// not even be tokenized).
+type ParseResponse struct {
+	Grammar  string `json:"grammar"`
+	Accepted bool   `json:"accepted"`
+	Error    string `json:"error,omitempty"`
+	Bytes    int    `json:"bytes"`
+	Tokens   int    `json:"tokens"`
+	// Cycles is symbol cycles + ε-stalls, the machine's time on the
+	// fabric; LexScanCycles is the Cache-Automaton-side work.
+	Cycles        int   `json:"cycles"`
+	EpsilonStalls int   `json:"epsilonStalls"`
+	LexScanCycles int   `json:"lexScanCycles"`
+	MaxStackDepth int   `json:"maxStackDepth"`
+	Reports       int   `json:"reports"`
+	QueueNS       int64 `json:"queueNs"`
+	ParseNS       int64 `json:"parseNs"`
+}
+
+// ErrorResponse is the body of every non-200 answer.
+type ErrorResponse struct {
+	Error string `json:"error"`
+}
+
+// HealthResponse is the /healthz body.
+type HealthResponse struct {
+	Status   string   `json:"status"` // "ok" or "draining"
+	Grammars []string `json:"grammars"`
+	UptimeMS int64    `json:"uptimeMs"`
+}
+
+func (s *Server) buildMux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/parse/{grammar}", s.handleParse)
+	mux.HandleFunc("GET /v1/grammars", s.handleGrammars)
+	mux.HandleFunc("GET /healthz", s.handleHealth)
+	// The PR-1 debug endpoints share this mux: /metrics, /metrics.json,
+	// /debug/vars, /debug/pprof/...
+	telemetry.Routes(mux, s.reg)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
+	h := HealthResponse{
+		Status:   "ok",
+		Grammars: s.names,
+		UptimeMS: time.Since(s.started).Milliseconds(),
+	}
+	status := http.StatusOK
+	if s.draining.Load() {
+		h.Status = "draining"
+		status = http.StatusServiceUnavailable
+	}
+	writeJSON(w, status, h)
+}
+
+func (s *Server) handleGrammars(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, s.Grammars())
+}
+
+func (s *Server) handleParse(w http.ResponseWriter, r *http.Request) {
+	g, ok := s.grammars[r.PathValue("grammar")]
+	if !ok {
+		writeJSON(w, http.StatusNotFound, ErrorResponse{Error: "unknown grammar " + strconv.Quote(r.PathValue("grammar"))})
+		return
+	}
+	if s.draining.Load() {
+		s.m.drainDeny.Inc()
+		writeJSON(w, http.StatusServiceUnavailable, ErrorResponse{Error: "server is draining"})
+		return
+	}
+	// Backpressure: a full waiting room answers immediately instead of
+	// queueing without bound.
+	if err := g.admit(); err != nil {
+		s.m.throttled.Inc()
+		w.Header().Set("Retry-After", s.retryAfter(g))
+		writeJSON(w, http.StatusTooManyRequests, ErrorResponse{Error: "admission queue full for grammar " + g.name})
+		return
+	}
+	defer g.release()
+	s.inflight.Add(1)
+	defer s.inflight.Done()
+	s.m.requests.Inc()
+	g.m.requests.Inc()
+	s.m.inflight.Add(1)
+	defer s.m.inflight.Add(-1)
+
+	ctx, cancel := context.WithTimeout(r.Context(), s.opts.RequestTimeout)
+	defer cancel()
+
+	start := time.Now()
+	if err := g.acquireSlot(ctx); err != nil {
+		s.failCtx(w, g, err)
+		return
+	}
+	queueNS := time.Since(start).Nanoseconds()
+	// The parse loop checks ctx between reads, but a stalled client
+	// leaves Read blocked where no check runs — arm the connection
+	// deadline so the read itself is interrupted (best effort: recorders
+	// and exotic transports may not support it).
+	_ = http.NewResponseController(w).SetReadDeadline(start.Add(s.opts.RequestTimeout))
+	body := http.MaxBytesReader(w, r.Body, s.opts.MaxBodyBytes)
+	out, inputErr, sysErr := g.parse(ctx, body)
+	g.releaseSlot()
+	parseNS := time.Since(start).Nanoseconds() - queueNS
+
+	if sysErr != nil {
+		var tooBig *http.MaxBytesError
+		switch {
+		case errors.As(sysErr, &tooBig):
+			writeJSON(w, http.StatusRequestEntityTooLarge,
+				ErrorResponse{Error: "request body exceeds " + strconv.FormatInt(tooBig.Limit, 10) + " bytes"})
+		case errors.Is(sysErr, context.DeadlineExceeded), errors.Is(sysErr, context.Canceled):
+			s.failCtx(w, g, sysErr)
+		case errors.Is(sysErr, os.ErrDeadlineExceeded):
+			// The connection read deadline fired mid-body.
+			s.failCtx(w, g, context.DeadlineExceeded)
+		default:
+			g.m.errors.Inc()
+			writeJSON(w, http.StatusBadRequest, ErrorResponse{Error: sysErr.Error()})
+		}
+		return
+	}
+
+	resp := ParseResponse{
+		Grammar:       g.name,
+		Accepted:      out.Accepted,
+		Bytes:         out.Bytes,
+		Tokens:        out.Tokens,
+		Cycles:        out.Result.Consumed + out.Result.EpsilonStalls,
+		EpsilonStalls: out.Result.EpsilonStalls,
+		LexScanCycles: out.LexStats.ScanCycles,
+		MaxStackDepth: out.Result.MaxStackDepth,
+		Reports:       out.Result.ReportCount,
+		QueueNS:       queueNS,
+		ParseNS:       parseNS,
+	}
+	switch {
+	case inputErr != nil:
+		resp.Error = inputErr.Error()
+		g.m.errors.Inc()
+	case out.Accepted:
+		g.m.accepted.Inc()
+	default:
+		g.m.rejected.Inc()
+	}
+	g.m.bytes.Add(int64(out.Bytes))
+	g.m.tokens.Add(int64(out.Tokens))
+	total := time.Since(start).Nanoseconds()
+	s.m.requestNS.ObserveInt(total)
+	g.m.requestNS.ObserveInt(total)
+	s.sampleTrace(g, &resp, total)
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// failCtx answers a deadline/cancellation failure: 504 when the server
+// deadline expired, and a best-effort 499-style close (the client is
+// gone) otherwise.
+func (s *Server) failCtx(w http.ResponseWriter, g *grammarEntry, err error) {
+	if errors.Is(err, context.DeadlineExceeded) {
+		s.m.timeouts.Inc()
+		g.m.errors.Inc()
+		writeJSON(w, http.StatusGatewayTimeout, ErrorResponse{Error: "request deadline exceeded"})
+		return
+	}
+	s.m.canceled.Inc()
+	// Client cancellation: nobody is listening; record and return.
+}
+
+// retryAfter derives the 429 Retry-After hint from the mean observed
+// request latency of the grammar times the waiting room it would have
+// to drain, rounded up to at least one second.
+func (s *Server) retryAfter(g *grammarEntry) string {
+	secs := int64(1)
+	if n := g.m.requestNS.Count(); n > 0 {
+		meanNS := g.m.requestNS.Sum() / float64(n)
+		backlog := float64(len(g.queue)) / float64(g.workers)
+		if est := int64(meanNS * backlog / 1e9); est > secs {
+			secs = est
+		}
+	}
+	return strconv.FormatInt(secs, 10)
+}
+
+// sampleTrace emits every Nth completed request to the trace sink.
+func (s *Server) sampleTrace(g *grammarEntry, resp *ParseResponse, totalNS int64) {
+	if s.opts.Trace == nil {
+		return
+	}
+	every := int64(s.opts.TraceSample)
+	if every < 1 {
+		every = 1
+	}
+	if s.traceSeq.Add(1)%every != 0 {
+		return
+	}
+	s.opts.Trace.Emit(map[string]any{
+		"event":    "serve.request",
+		"grammar":  g.name,
+		"accepted": resp.Accepted,
+		"bytes":    resp.Bytes,
+		"tokens":   resp.Tokens,
+		"cycles":   resp.Cycles,
+		"queueNs":  resp.QueueNS,
+		"totalNs":  totalNS,
+		"error":    resp.Error,
+	})
+}

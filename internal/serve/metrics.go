@@ -1,0 +1,63 @@
+package serve
+
+import "aspen/internal/telemetry"
+
+// Request latency buckets in nanoseconds: 1 µs … ~4.3 s, ×4 per step.
+var requestNSBuckets = telemetry.ExponentialBuckets(1e3, 4, 12)
+
+// serviceMetrics are the global (grammar-independent) series. All are
+// resolved once at construction so the request path touches atomics
+// only.
+type serviceMetrics struct {
+	requests  *telemetry.Counter
+	throttled *telemetry.Counter
+	timeouts  *telemetry.Counter
+	canceled  *telemetry.Counter
+	drainDeny *telemetry.Counter
+	compiles  *telemetry.Counter
+	inflight  *telemetry.Gauge
+	draining  *telemetry.Gauge
+	requestNS *telemetry.Histogram
+}
+
+func newServiceMetrics(reg *telemetry.Registry) serviceMetrics {
+	return serviceMetrics{
+		requests:  reg.Counter("serve_requests_total", "parse requests admitted past routing"),
+		throttled: reg.Counter("serve_throttled_total", "requests answered 429 (admission queue full)"),
+		timeouts:  reg.Counter("serve_timeouts_total", "requests that exceeded the request deadline"),
+		canceled:  reg.Counter("serve_canceled_total", "requests abandoned by the client"),
+		drainDeny: reg.Counter("serve_drain_denied_total", "requests refused 503 while draining"),
+		compiles:  reg.Counter("serve_compiles_total", "grammar→hDPDA compiles (startup only; flat at steady state)"),
+		inflight:  reg.Gauge("serve_inflight", "requests currently admitted (queued or parsing)"),
+		draining:  reg.Gauge("serve_draining", "1 while Drain is in progress or complete"),
+		requestNS: reg.Histogram("serve_request_ns", "end-to-end request latency (ns), queue wait included", requestNSBuckets),
+	}
+}
+
+// grammarMetrics are the per-tenant, per-outcome series. The registry
+// has no label dimension, so the grammar name is folded into the series
+// name (sanitized), mirroring the bench tables' convention.
+type grammarMetrics struct {
+	requests  *telemetry.Counter
+	accepted  *telemetry.Counter
+	rejected  *telemetry.Counter // parse completed: input not in the language
+	errors    *telemetry.Counter // input unlexable or machine fault
+	bytes     *telemetry.Counter
+	tokens    *telemetry.Counter
+	queueLen  *telemetry.Gauge
+	requestNS *telemetry.Histogram
+}
+
+func newGrammarMetrics(reg *telemetry.Registry, grammar string) grammarMetrics {
+	p := "serve_" + telemetry.SanitizeMetricName(grammar) + "_"
+	return grammarMetrics{
+		requests:  reg.Counter(p+"requests_total", "parse requests for grammar "+grammar),
+		accepted:  reg.Counter(p+"accepted_total", "inputs accepted by the "+grammar+" hDPDA"),
+		rejected:  reg.Counter(p+"rejected_total", "inputs rejected (jam or non-accepting end state)"),
+		errors:    reg.Counter(p+"errors_total", "inputs that failed before the machine answered (lex error, machine fault)"),
+		bytes:     reg.Counter(p+"bytes_total", "request body bytes streamed into the parser"),
+		tokens:    reg.Counter(p+"tokens_total", "tokens fed to the "+grammar+" hDPDA"),
+		queueLen:  reg.Gauge(p+"queue_depth", "admission tickets held (running + waiting)"),
+		requestNS: reg.Histogram(p+"request_ns", "per-request latency (ns) for grammar "+grammar, requestNSBuckets),
+	}
+}

@@ -1,0 +1,100 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"io"
+	"sync"
+
+	"aspen/internal/stream"
+)
+
+// Scheduling. Each grammar owns a two-stage admission structure:
+//
+//   queue — buffered chan of tickets, capacity workers+QueueDepth. A
+//           non-blocking send is the admission decision: failure means
+//           the bounded waiting room is full → 429, never an unbounded
+//           backlog (the acceptance criterion's backpressure).
+//   slots — buffered chan of tokens, capacity workers (one per fabric
+//           context). Holding a token is being scheduled onto a bank-
+//           group; the wait honors the request deadline.
+//
+// The request's own goroutine executes the parse once it holds a slot,
+// so "worker pool" here is a pool of slots, not of goroutines — the
+// width is identical, and the body stream stays with its handler.
+
+// errThrottled is returned when the admission queue is full.
+var errThrottled = errors.New("serve: admission queue full")
+
+// admit takes an admission ticket, or fails fast when the waiting room
+// is at capacity.
+func (g *grammarEntry) admit() error {
+	select {
+	case g.queue <- struct{}{}:
+		g.m.queueLen.SetInt(int64(len(g.queue)))
+		return nil
+	default:
+		return errThrottled
+	}
+}
+
+// release returns the admission ticket.
+func (g *grammarEntry) release() {
+	<-g.queue
+	g.m.queueLen.SetInt(int64(len(g.queue)))
+}
+
+// acquireSlot waits for a worker slot, honoring the deadline.
+func (g *grammarEntry) acquireSlot(ctx context.Context) error {
+	select {
+	case g.slots <- struct{}{}:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+func (g *grammarEntry) releaseSlot() { <-g.slots }
+
+// copyBufs pools the request-body copy buffers (shared by all
+// grammars; a buffer has no tenant identity).
+var copyBufs = sync.Pool{New: func() any {
+	b := make([]byte, copyBufSize)
+	return &b
+}}
+
+// parse drains body through a pooled parser. It returns the stream
+// outcome plus a split error: inputErr is the document's fault (lex
+// error, token mismatch, machine stack fault) and still carries a
+// meaningful outcome; sysErr is transport/deadline trouble where no
+// outcome exists. At steady state this path performs zero compiles and
+// O(1) allocations (alloc_test.go pins it).
+func (g *grammarEntry) parse(ctx context.Context, body io.Reader) (out stream.Outcome, inputErr, sysErr error) {
+	p := g.parsers.Get().(*stream.Parser)
+	p.Reset()
+	defer g.parsers.Put(p)
+	bufp := copyBufs.Get().(*[]byte)
+	defer copyBufs.Put(bufp)
+	buf := *bufp
+
+	for {
+		if err := ctx.Err(); err != nil {
+			return stream.Outcome{}, nil, err
+		}
+		n, rerr := body.Read(buf)
+		if n > 0 {
+			if _, werr := p.Write(buf[:n]); werr != nil {
+				out, _ := p.Close()
+				return out, werr, nil
+			}
+		}
+		if rerr == io.EOF {
+			break
+		}
+		if rerr != nil {
+			return stream.Outcome{}, nil, rerr
+		}
+	}
+	out, err := p.Close()
+	return out, err, nil
+}

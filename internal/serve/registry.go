@@ -1,0 +1,119 @@
+package serve
+
+import (
+	"sync"
+
+	"aspen/internal/arch"
+	"aspen/internal/compile"
+	"aspen/internal/core"
+	"aspen/internal/lang"
+	"aspen/internal/stream"
+)
+
+// grammarEntry is one loaded tenant: the grammar compiled once into an
+// hDPDA, placed onto banks to measure its footprint, plus the pooled
+// execution state and scheduling structures every request for this
+// grammar shares.
+type grammarEntry struct {
+	name string
+	lang *lang.Language
+	cm   *compile.Compiled
+	cap  arch.Capacity
+
+	// workers is the worker-slot count (= cap.Contexts unless
+	// overridden); slots is the running set, queue the admission
+	// tickets: capacity workers+queueDepth, so a ticket means "running
+	// or in the bounded waiting room" and a failed ticket means 429.
+	workers int
+	slots   chan struct{}
+	queue   chan struct{}
+
+	// parsers pools reusable stream.Parser state. A Get either hands
+	// back a previously warmed parser (Reset, zero compile work) or
+	// constructs one against the already-compiled machine.
+	parsers sync.Pool
+
+	m grammarMetrics
+}
+
+// newGrammarEntry compiles and places l, derives the worker width from
+// its share of the fabric, and warms one parser so the first request
+// already runs the pooled path.
+func newGrammarEntry(s *Server, l *lang.Language, fabricShare int) (*grammarEntry, error) {
+	cm, err := l.Compile(compile.OptAll)
+	if err != nil {
+		return nil, err
+	}
+	s.m.compiles.Inc()
+	// Warm the lexer cache now: lang.Language builds it lazily without
+	// locking, so it must be constructed before concurrent requests.
+	if _, err := l.Lexer(); err != nil {
+		return nil, err
+	}
+	sim, err := arch.New(cm.Machine, s.cfg)
+	if err != nil {
+		return nil, err
+	}
+	cap := arch.CapacityFor(fabricShare, sim.NumBanks())
+	workers := s.opts.Workers
+	if workers <= 0 {
+		workers = cap.Contexts
+	}
+	g := &grammarEntry{
+		name:    l.Name,
+		lang:    l,
+		cm:      cm,
+		cap:     cap,
+		workers: workers,
+		slots:   make(chan struct{}, workers),
+		queue:   make(chan struct{}, workers+s.opts.QueueDepth),
+		m:       newGrammarMetrics(s.reg, l.Name),
+	}
+	g.parsers.New = func() any {
+		p, err := stream.NewParser(g.lang, g.cm, core.ExecOptions{})
+		if err != nil {
+			// Unreachable: NewParser can only fail building the lexer,
+			// which was constructed and cached at load time.
+			panic("serve: " + g.name + ": " + err.Error())
+		}
+		p.EnableTelemetry(s.reg)
+		return p
+	}
+	g.parsers.Put(g.parsers.New())
+	return g, nil
+}
+
+// GrammarInfo is the /v1/grammars description of one loaded tenant.
+type GrammarInfo struct {
+	Name string `json:"name"`
+	// Compiled machine shape (paper Tables III/IV).
+	States        int `json:"states"`
+	EpsilonStates int `json:"epsilonStates"`
+	TokenTypes    int `json:"tokenTypes"`
+	Productions   int `json:"productions"`
+	// Fabric mapping: banks per execution context, this grammar's bank
+	// share of the fabric, and the context count the share sustains.
+	BanksPerContext int `json:"banksPerContext"`
+	FabricShare     int `json:"fabricShare"`
+	Contexts        int `json:"contexts"`
+	OccupancyKB     int `json:"occupancyKB"`
+	// Scheduling: worker-slot width and admission queue capacity.
+	Workers    int `json:"workers"`
+	QueueDepth int `json:"queueDepth"`
+}
+
+func (g *grammarEntry) info(queueDepth int) GrammarInfo {
+	return GrammarInfo{
+		Name:            g.name,
+		States:          g.cm.Stats.States,
+		EpsilonStates:   g.cm.Stats.EpsStates,
+		TokenTypes:      g.cm.Stats.TokenTypes,
+		Productions:     g.cm.Stats.Productions,
+		BanksPerContext: g.cap.BanksPerContext,
+		FabricShare:     g.cap.FabricBanks,
+		Contexts:        g.cap.Contexts,
+		OccupancyKB:     g.cap.OccupancyKB,
+		Workers:         g.workers,
+		QueueDepth:      queueDepth,
+	}
+}

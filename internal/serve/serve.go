@@ -1,0 +1,200 @@
+// Package serve is the concurrent multi-tenant parsing service over the
+// simulated bank fabric — the first consumer of the paper's headline
+// claim that throughput comes from parallelism (§I, §IV-B: "hundreds of
+// different DPDAs in parallel as any number of LLC SRAM arrays can be
+// re-purposed"). A Server loads a set of named grammars once at
+// startup, compiling each into an hDPDA and placing it onto banks, and
+// then answers parse jobs over HTTP: POST /v1/parse/{grammar} streams
+// the request body chunk-by-chunk straight into a stream.Parser, so an
+// arbitrarily large document is parsed as it arrives, in the paper's
+// MBs-to-GBs operating regime.
+//
+// Concurrency mirrors the architecture. The LLC contributes a fixed
+// bank budget (arch.Config.FabricBanks); each grammar's machine
+// occupies a measured number of banks per execution context; the fabric
+// is statically partitioned across the loaded grammars and each grammar
+// gets one worker slot per context its share sustains (arch.CapacityFor).
+// Service concurrency is therefore bank-level parallelism, not an
+// arbitrary GOMAXPROCS-shaped pool.
+//
+// Production machinery: a bounded per-grammar admission queue answers
+// 429 + Retry-After instead of growing without bound; every request
+// carries a context deadline and honors client cancellation; parser and
+// copy-buffer state is pooled with sync.Pool so the steady-state request
+// path performs zero compiles and O(1) allocations (pinned by
+// alloc_test.go); Drain stops admission and waits for in-flight work
+// (wired to SIGTERM in cmd/aspend); and per-grammar/per-outcome metrics
+// plus sampled request traces flow through the internal/telemetry
+// registry, served on the same mux as the debug endpoints.
+package serve
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"aspen/internal/arch"
+	"aspen/internal/lang"
+	"aspen/internal/telemetry"
+)
+
+// Defaults for the zero Options value.
+const (
+	DefaultQueueDepth     = 64
+	DefaultRequestTimeout = 30 * time.Second
+	DefaultMaxBodyBytes   = 64 << 20
+	copyBufSize           = 32 << 10
+)
+
+// Options configures a Server. The zero value serves the five built-in
+// languages on the paper's default fabric.
+type Options struct {
+	// Languages is the grammar set to load (nil = the four Table III
+	// languages plus MiniC). Names are the URL path segment.
+	Languages []*lang.Language
+	// Arch parameterizes the simulated fabric the worker-pool widths are
+	// derived from (zero value = arch.DefaultConfig()).
+	Arch arch.Config
+	// QueueDepth bounds each grammar's admission queue — requests
+	// waiting for a worker slot beyond the running set. A full queue
+	// answers 429 with Retry-After (0 = DefaultQueueDepth, negative = 0:
+	// no waiting room, admission requires a free slot).
+	QueueDepth int
+	// Workers overrides the per-grammar worker-slot count (0 = derived
+	// from the grammar's fabric share; see Capacity accounting).
+	Workers int
+	// RequestTimeout bounds one request end-to-end, queue wait included
+	// (0 = DefaultRequestTimeout).
+	RequestTimeout time.Duration
+	// MaxBodyBytes caps one request body (0 = DefaultMaxBodyBytes).
+	MaxBodyBytes int64
+	// Registry receives service metrics (nil = a fresh registry;
+	// retrieve it with Server.Registry).
+	Registry *telemetry.Registry
+	// Trace, when non-nil, receives sampled per-request trace events.
+	Trace telemetry.TraceSink
+	// TraceSample emits every Nth request to Trace (0 with Trace set =
+	// every request).
+	TraceSample int
+}
+
+// Server is a loaded, ready-to-serve grammar registry plus its HTTP
+// surface. Construct with New, mount Handler, stop with Drain.
+type Server struct {
+	opts     Options
+	reg      *telemetry.Registry
+	cfg      arch.Config
+	grammars map[string]*grammarEntry
+	names    []string // registration order, for /v1/grammars
+	mux      *http.ServeMux
+	m        serviceMetrics
+
+	draining atomic.Bool
+	inflight sync.WaitGroup
+	traceSeq atomic.Int64
+	started  time.Time
+}
+
+// New compiles and places every grammar, sizes the per-grammar worker
+// pools from the fabric partition, and builds the HTTP surface. All
+// compile work happens here — the request path performs none.
+func New(opts Options) (*Server, error) {
+	langs := opts.Languages
+	if langs == nil {
+		langs = append(lang.All(), lang.MiniC())
+	}
+	if len(langs) == 0 {
+		return nil, fmt.Errorf("serve: no grammars to load")
+	}
+	cfg := opts.Arch
+	if cfg == (arch.Config{}) {
+		cfg = arch.DefaultConfig()
+	}
+	reg := opts.Registry
+	if reg == nil {
+		reg = telemetry.NewRegistry()
+	}
+	if opts.QueueDepth == 0 {
+		opts.QueueDepth = DefaultQueueDepth
+	}
+	if opts.QueueDepth < 0 {
+		opts.QueueDepth = 0
+	}
+	if opts.RequestTimeout == 0 {
+		opts.RequestTimeout = DefaultRequestTimeout
+	}
+	if opts.MaxBodyBytes == 0 {
+		opts.MaxBodyBytes = DefaultMaxBodyBytes
+	}
+	s := &Server{
+		opts:     opts,
+		reg:      reg,
+		cfg:      cfg,
+		grammars: make(map[string]*grammarEntry, len(langs)),
+		m:        newServiceMetrics(reg),
+		started:  time.Now(),
+	}
+	// Static fabric partition: every grammar gets an equal bank share,
+	// and one worker slot per context its share sustains.
+	share := cfg.FabricBanksOrDefault() / len(langs)
+	if share < 1 {
+		share = 1
+	}
+	for _, l := range langs {
+		if _, dup := s.grammars[l.Name]; dup {
+			return nil, fmt.Errorf("serve: duplicate grammar %q", l.Name)
+		}
+		g, err := newGrammarEntry(s, l, share)
+		if err != nil {
+			return nil, fmt.Errorf("serve: grammar %s: %w", l.Name, err)
+		}
+		s.grammars[l.Name] = g
+		s.names = append(s.names, l.Name)
+	}
+	s.mux = s.buildMux()
+	return s, nil
+}
+
+// Registry returns the metrics registry the server reports into.
+func (s *Server) Registry() *telemetry.Registry { return s.reg }
+
+// Grammars describes every loaded grammar in registration order — the
+// same payload /v1/grammars serves.
+func (s *Server) Grammars() []GrammarInfo {
+	infos := make([]GrammarInfo, 0, len(s.names))
+	for _, name := range s.names {
+		infos = append(infos, s.grammars[name].info(s.opts.QueueDepth))
+	}
+	return infos
+}
+
+// Handler returns the service mux: the /v1 API, /healthz, and the
+// telemetry debug endpoints (/metrics, /metrics.json, /debug/vars,
+// /debug/pprof) on the same mux.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Draining reports whether Drain has been called.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
+// Drain stops admitting new requests (they get 503) and waits for every
+// in-flight request to finish, or for ctx to expire. It is the
+// service-level half of graceful shutdown; pair it with
+// http.Server.Shutdown, which drains the connection level.
+func (s *Server) Drain(ctx context.Context) error {
+	s.draining.Store(true)
+	s.m.draining.SetInt(1)
+	done := make(chan struct{})
+	go func() {
+		s.inflight.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return fmt.Errorf("serve: drain interrupted with requests still in flight")
+	}
+}

@@ -26,8 +26,9 @@ type Parser struct {
 	exec *core.Execution
 
 	mode   string
-	tail   []byte // bytes not yet safely tokenized
-	offset int    // stream offset of tail[0]
+	tail   []byte        // bytes not yet safely tokenized
+	toks   []lexer.Token // per-chunk token scratch, reused across Writes
+	offset int           // stream offset of tail[0]
 
 	tokens   int
 	lexStats lexer.Stats
@@ -124,6 +125,32 @@ func NewParser(l *lang.Language, cm *compile.Compiled, opts core.ExecOptions) (*
 	}, nil
 }
 
+// Reset rewinds the parser to its initial configuration — start state,
+// empty stack, default lexer mode, zeroed counters — without touching
+// the compiled machine or the lexer, so a pooled parser is reused
+// across requests with zero compile work. Grown buffers (input tail,
+// token scratch, execution stack) keep their capacity; after a warm-up
+// run the reset parser's steady-state path allocates nothing. A reset
+// parser is equivalent to a freshly constructed one (asserted by
+// TestResetEquivalence). Telemetry routing survives the reset; the
+// registry totals keep accumulating across reuses.
+func (p *Parser) Reset() {
+	p.exec.Reset()
+	p.mode = lexer.DefaultMode
+	p.tail = p.tail[:0]
+	p.offset = 0
+	p.tokens = 0
+	p.lexStats = lexer.Stats{}
+	p.jammed = false
+	p.jamPos = 0
+	p.closed = false
+	p.err = nil
+	if p.tm != nil {
+		p.tm.prevTokens = 0
+		p.tm.prevCycles = 0
+	}
+}
+
 // Write feeds one chunk. It implements io.Writer.
 func (p *Parser) Write(chunk []byte) (int, error) {
 	if p.err != nil {
@@ -138,7 +165,8 @@ func (p *Parser) Write(chunk []byte) (int, error) {
 		p.tm.lastChunkBytes.SetInt(int64(len(chunk)))
 	}
 	p.tail = append(p.tail, chunk...)
-	toks, consumed, mode, stats, err := p.lx.TokenizeChunk(p.tail, p.mode)
+	toks, consumed, mode, stats, err := p.lx.TokenizeChunkInto(p.toks[:0], p.tail, p.mode)
+	p.toks = toks
 	p.accumulate(stats)
 	if err != nil {
 		p.err = p.locate(err)
@@ -168,7 +196,8 @@ func (p *Parser) Close() (Outcome, error) {
 	}
 	p.closed = true
 	// Final tokenization: end-of-stream semantics.
-	toks, stats, _, err := p.lx.TokenizeResume(p.tail, p.mode)
+	toks, stats, _, err := p.lx.TokenizeResumeInto(p.toks[:0], p.tail, p.mode)
+	p.toks = toks
 	p.accumulate(stats)
 	if err != nil {
 		p.err = p.locate(err)

@@ -68,6 +68,23 @@ func (f *Flags) Activate(reg *Registry) (*Session, error) {
 	return s, nil
 }
 
+// MustStart is the tools' one-call bootstrap, replacing the
+// Activate-check-announce boilerplate every binary used to repeat: it
+// activates the flag set against reg, announces the debug server on
+// stderr when -pprof-addr is set, and exits nonzero if activation
+// fails. Pair with a deferred Session.MustClose(tool).
+func (f *Flags) MustStart(tool string, reg *Registry) *Session {
+	s, err := f.Activate(reg)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "%s: %v\n", tool, err)
+		os.Exit(1)
+	}
+	if addr := s.ServerAddr(); addr != "" {
+		fmt.Fprintf(os.Stderr, "%s: debug server on http://%s\n", tool, addr)
+	}
+	return s
+}
+
 // Sink returns the trace sink (a NullSink when -trace-out is unset).
 func (s *Session) Sink() TraceSink { return s.sink }
 

@@ -44,14 +44,15 @@ type Server struct {
 	srv *http.Server
 }
 
-// NewServer starts serving on addr (e.g. "localhost:6060"; use port 0
-// for an ephemeral port, see Addr). The registry is also published to
-// expvar under "aspen".
-func NewServer(addr string, reg *Registry) (*Server, error) {
+// Routes registers the debug endpoints on a caller-provided mux and
+// publishes reg to expvar under "aspen". This is how a service that
+// already owns a mux (the aspend daemon) serves /metrics and
+// /debug/pprof next to its own handlers instead of on a second port;
+// NewServer is the standalone wrapper the -pprof-addr flag uses.
+func Routes(mux *http.ServeMux, reg *Registry) {
 	publishOnce()
 	expvarRegistry.Store(reg)
 
-	mux := http.NewServeMux()
 	mux.Handle("/debug/vars", expvar.Handler())
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -66,6 +67,14 @@ func NewServer(addr string, reg *Registry) (*Server, error) {
 		w.Header().Set("Content-Type", "application/json")
 		_ = reg.WriteJSON(w)
 	})
+}
+
+// NewServer starts serving on addr (e.g. "localhost:6060"; use port 0
+// for an ephemeral port, see Addr). The registry is also published to
+// expvar under "aspen".
+func NewServer(addr string, reg *Registry) (*Server, error) {
+	mux := http.NewServeMux()
+	Routes(mux, reg)
 
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {

@@ -1,0 +1,81 @@
+#!/bin/sh
+# serve-smoke: boot cmd/aspend on an ephemeral port, push one document
+# through the live service, check the health and metrics surfaces, then
+# shut it down gracefully (SIGTERM → drain). Exercises the real binary
+# end to end, which unit tests against serve.Server's handler cannot.
+set -eu
+
+GO=${GO:-go}
+workdir=$(mktemp -d)
+daemon_pid=""
+cleanup() {
+    if [ -n "$daemon_pid" ] && kill -0 "$daemon_pid" 2>/dev/null; then
+        kill -9 "$daemon_pid" 2>/dev/null || true
+    fi
+    rm -rf "$workdir"
+}
+trap cleanup EXIT
+
+fail() {
+    echo "serve-smoke: FAIL: $1" >&2
+    echo "--- aspend stderr ---" >&2
+    cat "$workdir/aspend.log" >&2 || true
+    exit 1
+}
+
+echo "serve-smoke: building aspend"
+$GO build -o "$workdir/aspend" ./cmd/aspend
+
+"$workdir/aspend" -addr 127.0.0.1:0 -langs JSON,XML \
+    -metrics "$workdir/metrics.json" 2> "$workdir/aspend.log" &
+daemon_pid=$!
+
+# The daemon prints "aspend: listening on http://ADDR" once bound.
+addr=""
+for _ in $(seq 1 50); do
+    addr=$(sed -n 's#^aspend: listening on http://##p' "$workdir/aspend.log")
+    [ -n "$addr" ] && break
+    kill -0 "$daemon_pid" 2>/dev/null || fail "daemon exited during startup"
+    sleep 0.1
+done
+[ -n "$addr" ] || fail "daemon never announced its address"
+echo "serve-smoke: daemon up on $addr"
+
+get() {
+    if command -v curl >/dev/null 2>&1; then
+        curl -fsS "$@"
+    else
+        fail "curl not available"
+    fi
+}
+
+health=$(get "http://$addr/healthz") || fail "/healthz unreachable"
+echo "$health" | grep -q '"status": "ok"' || fail "/healthz not ok: $health"
+echo "$health" | grep -q '"JSON"' || fail "/healthz missing JSON grammar"
+
+parse=$(printf '{"smoke": [1, 2, {"ok": true}]}' |
+    get -X POST --data-binary @- "http://$addr/v1/parse/JSON") ||
+    fail "parse request failed"
+echo "$parse" | grep -q '"accepted": true' || fail "document not accepted: $parse"
+
+metrics=$(get "http://$addr/metrics") || fail "/metrics unreachable"
+echo "$metrics" | grep -q '^serve_requests_total 1$' ||
+    fail "/metrics missing serve_requests_total 1"
+code=$(curl -sS -o /dev/null -w '%{http_code}' -X POST -d x \
+    "http://$addr/v1/parse/NoSuch") || fail "404 probe failed"
+[ "$code" = "404" ] || fail "unknown grammar answered $code, want 404"
+
+echo "serve-smoke: parse + health + metrics ok; draining"
+kill -TERM "$daemon_pid"
+i=0
+while kill -0 "$daemon_pid" 2>/dev/null; do
+    i=$((i + 1))
+    [ "$i" -gt 100 ] && fail "daemon did not exit after SIGTERM"
+    sleep 0.1
+done
+grep -q "aspend: drained" "$workdir/aspend.log" || fail "no drain message on shutdown"
+# The -metrics snapshot is written on clean exit.
+grep -q "serve_requests_total" "$workdir/metrics.json" ||
+    fail "-metrics snapshot missing serve counters"
+daemon_pid=""
+echo "serve-smoke: PASS"
