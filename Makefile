@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: build test check fmt vet race bench experiments serve-smoke
+.PHONY: build test check fmt vet race fuzz bench experiments serve-smoke
 
 build:
 	$(GO) build ./...
@@ -30,8 +30,17 @@ race:
 serve-smoke:
 	sh scripts/serve-smoke.sh
 
+# Short coverage-guided runs of the streaming-equivalence fuzz targets
+# (chunk-boundary lexing, chunked-vs-whole parsing). Checked-in seed
+# corpora run on plain `go test`; this explores beyond them. Bump
+# FUZZTIME for a real session.
+FUZZTIME ?= 5s
+fuzz:
+	$(GO) test -run '^$$' -fuzz FuzzTokenizeChunkResume -fuzztime $(FUZZTIME) ./internal/lexer
+	$(GO) test -run '^$$' -fuzz FuzzStreamChunkedVsWhole -fuzztime $(FUZZTIME) ./internal/stream
+
 # Pre-merge check: run before every merge/PR.
-check: vet fmt race serve-smoke
+check: vet fmt race serve-smoke fuzz
 
 bench:
 	$(GO) test -bench . -benchtime 1x ./internal/bench

@@ -346,6 +346,14 @@ type (
 	ServeGrammarInfo = serve.GrammarInfo
 	// FabricCapacity relates a bank budget to execution contexts.
 	FabricCapacity = arch.Capacity
+	// ChaosOptions arms the fault-injection + checkpointed-recovery
+	// layer of a parsing service (DESIGN.md §7).
+	ChaosOptions = serve.ChaosOptions
+	// FaultInjector is the hook core.Execution consults each activation;
+	// arch.Injector is the deterministic fabric-aware implementation.
+	FaultInjector = core.FaultInjector
+	// Fabric tracks live and permanently killed banks.
+	Fabric = arch.Fabric
 )
 
 var (

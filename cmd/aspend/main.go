@@ -9,6 +9,7 @@
 //	aspend -addr :8173
 //	aspend -addr 127.0.0.1:0 -langs JSON,XML -queue 32 -timeout 10s
 //	aspend -fabric-banks 128 -pprof-addr :6060 -metrics - -trace-out reqs.jsonl -trace-sample 100
+//	aspend -fault-rate 0.001 -fault-seed 42 -kill-bank-after 30s
 //
 // API:
 //
@@ -22,6 +23,13 @@
 // A full admission queue answers 429 with Retry-After. SIGINT/SIGTERM
 // starts a graceful drain: new requests get 503, in-flight requests
 // finish, then the process exits (writing the -metrics snapshot).
+//
+// Chaos mode: -fault-rate injects deterministic transient faults (state
+// bit flips, stuck-at stack columns) into every parse, exercising
+// checkpointed recovery; -kill-bank-after permanently kills one fabric
+// bank per interval, shrinking worker pools and flipping /healthz to
+// "degraded" (still 200). Answers stay byte-identical to a fault-free
+// run — chaos costs retries, never correctness.
 package main
 
 import (
@@ -54,6 +62,9 @@ func main() {
 		fabricBanks = flag.Int("fabric-banks", 0, "total LLC banks the fabric repurposes (0 = paper default)")
 		traceSample = flag.Int("trace-sample", 1, "with -trace-out: emit every Nth request")
 		drainWait   = flag.Duration("drain-timeout", 30*time.Second, "how long to wait for in-flight requests on shutdown")
+		faultRate   = flag.Float64("fault-rate", 0, "chaos: per-activation transient fault probability (0 = no injection)")
+		faultSeed   = flag.Int64("fault-seed", 1, "chaos: deterministic fault injector seed")
+		killAfter   = flag.Duration("kill-bank-after", 0, "chaos: permanently kill one fabric bank per interval (0 = never)")
 	)
 	tf := telemetry.RegisterFlags(flag.CommandLine)
 	flag.Parse()
@@ -81,6 +92,13 @@ func main() {
 		cfg.FabricBanks = *fabricBanks
 	}
 
+	// Arm the recovery layer whenever any chaos knob is set: bank kills
+	// need the injector active to be detected mid-run.
+	var chaos *serve.ChaosOptions
+	if *faultRate > 0 || *killAfter > 0 {
+		chaos = &serve.ChaosOptions{FaultRate: *faultRate, FaultSeed: *faultSeed}
+	}
+
 	srv, err := serve.New(serve.Options{
 		Languages:      langs,
 		Arch:           cfg,
@@ -91,9 +109,13 @@ func main() {
 		Registry:       reg,
 		Trace:          traceSink(sess, *traceSample),
 		TraceSample:    *traceSample,
+		Chaos:          chaos,
 	})
 	if err != nil {
 		fatal("%v", err)
+	}
+	if *killAfter > 0 {
+		go killBanks(srv, *killAfter)
 	}
 
 	ln, err := net.Listen("tcp", *addr)
@@ -127,6 +149,23 @@ func main() {
 			fmt.Fprintf(os.Stderr, "aspend: shutdown: %v\n", err)
 		}
 		fmt.Fprintln(os.Stderr, "aspend: drained")
+	}
+}
+
+// killBanks is the -kill-bank-after schedule: one permanent bank death
+// per interval, until the fabric is gone (the service itself keeps
+// answering on floor-one worker pools).
+func killBanks(srv *serve.Server, every time.Duration) {
+	t := time.NewTicker(every)
+	defer t.Stop()
+	for range t.C {
+		bank := srv.KillNextBank()
+		if bank < 0 {
+			fmt.Fprintln(os.Stderr, "aspend: chaos: every fabric bank is dead; serving on floor capacity")
+			return
+		}
+		fmt.Fprintf(os.Stderr, "aspend: chaos: killed bank %d (%d/%d live)\n",
+			bank, srv.Fabric().Live(), srv.Fabric().Total())
 	}
 }
 

@@ -1,0 +1,331 @@
+package arch
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"sync/atomic"
+
+	"aspen/internal/core"
+	"aspen/internal/telemetry"
+)
+
+// Fault model for the repurposed-LLC fabric. Real last-level-cache
+// silicon is not the perfect substrate the paper's evaluation assumes:
+// 6-T SRAM arrays suffer transient bit upsets (a flipped cell in the
+// one-hot active state vector silently diverts the machine), hard
+// stuck-at column faults (a stack SRAM column reads back with a bit
+// forced, corrupting the stack-match stage), and whole-bank retirement
+// (the cache controller maps a failing bank out permanently). This file
+// provides both halves of the reproduction's fault story:
+//
+//   - Fabric tracks the shared physical bank pool and its permanent
+//     losses, with a generation counter so in-flight executions can
+//     detect (cheaply, one atomic load per activation) that the fabric
+//     changed under them.
+//   - Injector implements core.FaultInjector: a deterministic, seeded
+//     source of transient faults plus the bank-kill signal, so chaos
+//     runs are reproducible bit-for-bit given the same seed and
+//     schedule.
+//
+// Detection relies on the injected-fault signal (the injector knows it
+// fired) and on deterministic re-execution: because an hDPDA is
+// deterministic, replaying the input from a checkpoint on a healthy
+// context reproduces the uninterrupted run exactly, which is what the
+// serving layer's recovery loop does.
+
+// bankKill is one permanent loss event in the fabric's append-only
+// history.
+type bankKill struct {
+	gen  uint64
+	bank int
+}
+
+// Fabric is the shared pool of physical banks a deployment runs on.
+// Banks die permanently (KillBank); they never come back. All methods
+// are safe for concurrent use; the hot-path query (Gen) is a single
+// atomic load.
+type Fabric struct {
+	total int
+	gen   atomic.Uint64 // bumped on every kill
+	live  atomic.Int64
+
+	mu    sync.Mutex
+	dead  []bool
+	kills []bankKill // append-only, ordered by gen
+
+	killsTotal *telemetry.Counter
+	liveBanks  *telemetry.Gauge
+}
+
+// NewFabric creates a fabric of total healthy banks.
+func NewFabric(total int) *Fabric {
+	if total < 1 {
+		total = 1
+	}
+	f := &Fabric{total: total, dead: make([]bool, total)}
+	f.live.Store(int64(total))
+	return f
+}
+
+// EnableTelemetry routes fabric health into reg.
+func (f *Fabric) EnableTelemetry(reg *telemetry.Registry) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	reg.Gauge("fabric_banks_total", "physical banks provisioned in the fabric").SetInt(int64(f.total))
+	f.liveBanks = reg.Gauge("fabric_live_banks", "banks still alive (total minus permanent kills)")
+	f.liveBanks.SetInt(f.live.Load())
+	f.killsTotal = reg.Counter("fabric_bank_kills_total", "permanent bank losses")
+}
+
+// Total returns the provisioned bank count.
+func (f *Fabric) Total() int { return f.total }
+
+// Live returns the number of banks still alive.
+func (f *Fabric) Live() int { return int(f.live.Load()) }
+
+// Gen returns the kill-generation counter: it changes exactly when a
+// bank dies, so an execution that snapshots it at start detects any
+// mid-run loss with one atomic load.
+func (f *Fabric) Gen() uint64 { return f.gen.Load() }
+
+// DeadBanks lists the killed bank indices in kill order.
+func (f *Fabric) DeadBanks() []int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	out := make([]int, len(f.kills))
+	for i, k := range f.kills {
+		out[i] = k.bank
+	}
+	return out
+}
+
+// KillBank permanently retires bank. It reports whether the bank was
+// alive (killing a dead or out-of-range bank is a no-op).
+func (f *Fabric) KillBank(bank int) bool {
+	if bank < 0 || bank >= f.total {
+		return false
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.dead[bank] {
+		return false
+	}
+	f.dead[bank] = true
+	g := f.gen.Add(1)
+	f.kills = append(f.kills, bankKill{gen: g, bank: bank})
+	f.live.Add(-1)
+	if f.liveBanks != nil {
+		f.liveBanks.SetInt(f.live.Load())
+	}
+	if f.killsTotal != nil {
+		f.killsTotal.Inc()
+	}
+	return true
+}
+
+// Alive reports whether bank exists and has not been killed.
+func (f *Fabric) Alive(bank int) bool {
+	if bank < 0 || bank >= f.total {
+		return false
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return !f.dead[bank]
+}
+
+// LiveInRange counts live banks in the half-open range [lo, hi) —
+// the accounting a tenant that owns a bank share uses to recompute its
+// Capacity after losses.
+func (f *Fabric) LiveInRange(lo, hi int) int {
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > f.total {
+		hi = f.total
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	n := 0
+	for b := lo; b < hi; b++ {
+		if !f.dead[b] {
+			n++
+		}
+	}
+	return n
+}
+
+// KilledInRangeSince reports whether any bank in [lo, hi) died after
+// generation gen — the signal an in-flight execution uses to decide its
+// context may have been on the lost silicon and must re-execute.
+func (f *Fabric) KilledInRangeSince(gen uint64, lo, hi int) bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	for i := len(f.kills) - 1; i >= 0; i-- {
+		k := f.kills[i]
+		if k.gen <= gen {
+			return false
+		}
+		if k.bank >= lo && k.bank < hi {
+			return true
+		}
+	}
+	return false
+}
+
+// CapacityInRange recomputes the context capacity of the live banks in
+// [lo, hi): capacity with k killed banks equals the capacity of a
+// fabric configured with n−k banks (CapacityFor floors Contexts at 1,
+// so a tenant never degrades to zero — the last context limps on).
+func (f *Fabric) CapacityInRange(lo, hi, banksPerContext int) Capacity {
+	return CapacityFor(f.LiveInRange(lo, hi), banksPerContext)
+}
+
+// FaultConfig parameterizes an Injector.
+type FaultConfig struct {
+	// Rate is the per-activation probability of a transient fault
+	// (split between active-state-vector bit flips and stuck-at stack
+	// columns by a fair coin). 0 disables transient injection.
+	Rate float64
+	// Seed makes the fault sequence reproducible. Two injectors with
+	// the same (Seed, Stream) draw identical sequences.
+	Seed int64
+	// Stream decorrelates injectors sharing one Seed (one per pooled
+	// execution context in the serving layer).
+	Stream int64
+}
+
+// Injector is a deterministic per-context fault source implementing
+// core.FaultInjector. It is not safe for concurrent use: give each
+// execution context its own (they stay reproducible via Stream).
+type Injector struct {
+	state  uint64 // splitmix64 PRNG state
+	thresh uint64 // fault when next() < thresh
+
+	numStates int
+	fabric    *Fabric
+	lo, hi    int // this context's bank range in the fabric
+
+	startGen uint64
+	flips    int
+	stucks   int
+	kills    int
+}
+
+// NewInjector builds an injector for a machine of numStates states
+// whose context occupies fabric banks [lo, hi). fabric may be nil
+// (transient faults only).
+func NewInjector(cfg FaultConfig, numStates int, fabric *Fabric, lo, hi int) *Injector {
+	rate := cfg.Rate
+	if rate < 0 {
+		rate = 0
+	}
+	// rate*2^64 is representable for every float64 rate < 1; rate ≥ 1
+	// (always fire) would overflow the conversion, so clamp explicitly.
+	thresh := ^uint64(0)
+	if rate < 1 {
+		thresh = uint64(rate * math.MaxUint64)
+	}
+	in := &Injector{
+		state:     splitmix64Seed(cfg.Seed, cfg.Stream),
+		thresh:    thresh,
+		numStates: numStates,
+		fabric:    fabric,
+		lo:        lo,
+		hi:        hi,
+	}
+	in.StartRun()
+	return in
+}
+
+func splitmix64Seed(seed, stream int64) uint64 {
+	s := uint64(seed)*0x9e3779b97f4a7c15 ^ uint64(stream)*0xbf58476d1ce4e5b9
+	if s == 0 {
+		s = 0x853c49e68282b1e5
+	}
+	return s
+}
+
+// next advances the splitmix64 generator.
+func (in *Injector) next() uint64 {
+	in.state += 0x9e3779b97f4a7c15
+	z := in.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// StartRun marks the beginning of a (re-)execution attempt: the fired
+// counters reset and the fabric generation is snapshotted, so kills
+// that predate the attempt are invisible — the attempt is modeled as
+// freshly placed on live banks.
+func (in *Injector) StartRun() {
+	in.flips, in.stucks, in.kills = 0, 0, 0
+	if in.fabric != nil {
+		in.startGen = in.fabric.Gen()
+	}
+}
+
+// Fired returns the number of faults injected since StartRun — the
+// detection signal the recovery layer keys on.
+func (in *Injector) Fired() int { return in.flips + in.stucks + in.kills }
+
+// Counts breaks Fired down by fault kind.
+func (in *Injector) Counts() (flips, stucks, kills int) {
+	return in.flips, in.stucks, in.kills
+}
+
+// Activation implements core.FaultInjector. It is allocation-free.
+func (in *Injector) Activation(_ int, cur core.StateID, tos core.Symbol) (core.Fault, bool) {
+	// Permanent loss first: a bank in this context's range died after
+	// the attempt started, so the context's silicon may be gone. The
+	// common case (no kill anywhere) is one atomic load.
+	if in.fabric != nil {
+		if g := in.fabric.Gen(); g != in.startGen {
+			if in.fabric.KilledInRangeSince(in.startGen, in.lo, in.hi) {
+				in.kills++
+				f := core.NoFault
+				f.Kill = true
+				return f, true
+			}
+			in.startGen = g // the kill was elsewhere; back to the fast path
+		}
+	}
+	if in.thresh == 0 {
+		return core.NoFault, false
+	}
+	r := in.next()
+	if r > in.thresh {
+		return core.NoFault, false
+	}
+	f := core.NoFault
+	if r&1 == 0 && in.numStates > 1 {
+		// Bit flip in the active state vector: flip one low bit of the
+		// active column index; if that lands outside the machine (or on
+		// the same state), divert modularly so the flip always moves.
+		bit := uint((r >> 1) % 8)
+		ns := cur ^ core.StateID(1<<bit)
+		if int(ns) >= in.numStates || ns == cur {
+			ns = core.StateID((uint64(cur) + 1 + (r>>9)%uint64(in.numStates-1)) % uint64(in.numStates))
+		}
+		f.NewState = ns
+		in.flips++
+	} else {
+		// Stuck-at stack column: one bit of the top-of-stack symbol
+		// reads back forced to 0 or 1.
+		bit := uint((r >> 1) % 8)
+		if (r>>4)&1 == 0 {
+			f.StuckTOS = int16(core.Symbol(tos) | core.Symbol(1)<<bit)
+		} else {
+			f.StuckTOS = int16(core.Symbol(tos) &^ (core.Symbol(1) << bit))
+		}
+		in.stucks++
+	}
+	return f, true
+}
+
+// String describes the injector configuration.
+func (in *Injector) String() string {
+	return fmt.Sprintf("arch.Injector{p=%.2g, banks=[%d,%d)}",
+		float64(in.thresh)/math.MaxUint64, in.lo, in.hi)
+}

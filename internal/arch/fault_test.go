@@ -1,0 +1,219 @@
+package arch
+
+import (
+	"testing"
+
+	"aspen/internal/core"
+	"aspen/internal/telemetry"
+)
+
+// drawSequence records what an injector produces over n activations of
+// a fixed (state, tos) stream.
+func drawSequence(in *Injector, n int) []core.Fault {
+	var out []core.Fault
+	for i := 0; i < n; i++ {
+		f, ok := in.Activation(i, core.StateID(i%7), core.Symbol('X'))
+		if !ok {
+			f = core.NoFault
+		}
+		out = append(out, f)
+	}
+	return out
+}
+
+func TestInjectorDeterministic(t *testing.T) {
+	cfg := FaultConfig{Rate: 0.05, Seed: 42}
+	a := NewInjector(cfg, 16, nil, 0, 0)
+	b := NewInjector(cfg, 16, nil, 0, 0)
+	sa, sb := drawSequence(a, 4096), drawSequence(b, 4096)
+	for i := range sa {
+		if sa[i] != sb[i] {
+			t.Fatalf("same-seed injectors diverged at draw %d: %+v vs %+v", i, sa[i], sb[i])
+		}
+	}
+	if a.Fired() == 0 {
+		t.Fatal("rate 0.05 over 4096 draws never fired")
+	}
+	flips, stucks, kills := a.Counts()
+	if flips+stucks != a.Fired() || kills != 0 {
+		t.Errorf("counts inconsistent: flips=%d stucks=%d kills=%d fired=%d", flips, stucks, kills, a.Fired())
+	}
+
+	// A different stream over the same seed must decorrelate.
+	c := NewInjector(FaultConfig{Rate: 0.05, Seed: 42, Stream: 1}, 16, nil, 0, 0)
+	sc := drawSequence(c, 4096)
+	same := 0
+	for i := range sa {
+		if sa[i] == sc[i] {
+			same++
+		}
+	}
+	if same == len(sa) {
+		t.Error("stream 1 reproduced stream 0 exactly")
+	}
+}
+
+func TestInjectorDisabled(t *testing.T) {
+	in := NewInjector(FaultConfig{Rate: 0}, 16, nil, 0, 0)
+	for i := 0; i < 1000; i++ {
+		if _, ok := in.Activation(i, 0, 'X'); ok {
+			t.Fatal("zero-rate injector fired")
+		}
+	}
+	if in.Fired() != 0 {
+		t.Errorf("Fired = %d, want 0", in.Fired())
+	}
+}
+
+func TestInjectorFaultsAreWellFormed(t *testing.T) {
+	const numStates = 5
+	in := NewInjector(FaultConfig{Rate: 1, Seed: 7}, numStates, nil, 0, 0)
+	for i := 0; i < 2000; i++ {
+		cur := core.StateID(i % numStates)
+		f, ok := in.Activation(i, cur, core.Symbol('Y'))
+		if !ok {
+			t.Fatalf("rate-1 injector did not fire at draw %d", i)
+		}
+		if f.Kill {
+			t.Fatal("transient injector produced a kill without a fabric")
+		}
+		if f.NewState >= 0 {
+			if int(f.NewState) >= numStates {
+				t.Fatalf("flip to out-of-range state %d", f.NewState)
+			}
+			if f.NewState == cur {
+				t.Fatalf("flip landed on the active state %d (no corruption)", cur)
+			}
+		} else if f.StuckTOS < 0 {
+			t.Fatalf("fired fault is disarmed: %+v", f)
+		}
+	}
+}
+
+func TestInjectorZeroAllocs(t *testing.T) {
+	fab := NewFabric(8)
+	in := NewInjector(FaultConfig{Rate: 0.5, Seed: 3}, 16, fab, 0, 8)
+	i := 0
+	allocs := testing.AllocsPerRun(2000, func() {
+		in.Activation(i, core.StateID(i%16), 'X')
+		i++
+	})
+	if allocs != 0 {
+		t.Errorf("Activation = %v allocs/op, want 0", allocs)
+	}
+}
+
+func TestFabricKillAccounting(t *testing.T) {
+	f := NewFabric(16)
+	reg := telemetry.NewRegistry()
+	f.EnableTelemetry(reg)
+	if f.Live() != 16 || f.Gen() != 0 {
+		t.Fatalf("fresh fabric: live=%d gen=%d", f.Live(), f.Gen())
+	}
+	if !f.KillBank(3) {
+		t.Fatal("first kill of bank 3 reported dead")
+	}
+	if f.KillBank(3) {
+		t.Fatal("second kill of bank 3 reported alive")
+	}
+	if f.KillBank(-1) || f.KillBank(16) {
+		t.Fatal("out-of-range kill succeeded")
+	}
+	f.KillBank(10)
+	if f.Live() != 14 || f.Gen() != 2 {
+		t.Errorf("after 2 kills: live=%d gen=%d, want 14, 2", f.Live(), f.Gen())
+	}
+	if got := f.DeadBanks(); len(got) != 2 || got[0] != 3 || got[1] != 10 {
+		t.Errorf("DeadBanks = %v, want [3 10]", got)
+	}
+	if got := f.LiveInRange(0, 8); got != 7 {
+		t.Errorf("LiveInRange(0,8) = %d, want 7", got)
+	}
+	if got := f.LiveInRange(8, 16); got != 7 {
+		t.Errorf("LiveInRange(8,16) = %d, want 7", got)
+	}
+}
+
+func TestKilledInRangeSince(t *testing.T) {
+	f := NewFabric(16)
+	gen0 := f.Gen()
+	f.KillBank(2) // gen 1
+	gen1 := f.Gen()
+	f.KillBank(12) // gen 2
+
+	if !f.KilledInRangeSince(gen0, 0, 8) {
+		t.Error("kill of bank 2 invisible from gen0 over [0,8)")
+	}
+	if f.KilledInRangeSince(gen1, 0, 8) {
+		t.Error("[0,8) reports a kill after gen1, but only bank 12 died since")
+	}
+	if !f.KilledInRangeSince(gen1, 8, 16) {
+		t.Error("kill of bank 12 invisible from gen1 over [8,16)")
+	}
+	if f.KilledInRangeSince(f.Gen(), 0, 16) {
+		t.Error("current-gen snapshot reports an old kill")
+	}
+}
+
+// TestInjectorKillSemantics pins the run-lifecycle model: only kills in
+// the context's own range, occurring after StartRun, kill the run; a
+// new attempt (StartRun) snapshots past the loss and proceeds.
+func TestInjectorKillSemantics(t *testing.T) {
+	fab := NewFabric(16)
+	in := NewInjector(FaultConfig{Rate: 0}, 8, fab, 0, 8)
+
+	if _, ok := in.Activation(0, 0, 'X'); ok {
+		t.Fatal("healthy fabric fired")
+	}
+	fab.KillBank(12) // outside [0,8)
+	if _, ok := in.Activation(1, 0, 'X'); ok {
+		t.Fatal("out-of-range kill fired")
+	}
+	fab.KillBank(4) // inside [0,8)
+	f, ok := in.Activation(2, 0, 'X')
+	if !ok || !f.Kill {
+		t.Fatalf("in-range kill did not surface: %+v ok=%v", f, ok)
+	}
+	if _, _, kills := in.Counts(); kills != 1 {
+		t.Errorf("kills = %d, want 1", kills)
+	}
+
+	// Recovery replays on a fresh attempt: the pre-existing loss is
+	// invisible, the (shrunken) context serves on.
+	in.StartRun()
+	if _, ok := in.Activation(0, 0, 'X'); ok {
+		t.Fatal("replay attempt saw the pre-StartRun kill")
+	}
+	if in.Fired() != 0 {
+		t.Errorf("Fired after StartRun = %d, want 0", in.Fired())
+	}
+}
+
+// TestCapacityAfterBankLoss is the degradation acceptance property:
+// capacity with k killed banks equals the capacity of a fabric
+// configured with n−k banks, and contexts never fall below 1 — even
+// with every bank dead the tenant limps along instead of dying.
+func TestCapacityAfterBankLoss(t *testing.T) {
+	const n, per = 64, 4
+	f := NewFabric(n)
+	for k := 0; k <= n; k++ {
+		got := f.CapacityInRange(0, n, per)
+		want := CapacityFor(n-k, per)
+		if got != want {
+			t.Fatalf("k=%d: CapacityInRange = %+v, want CapacityFor(%d, %d) = %+v", k, got, n-k, per, want)
+		}
+		if got.Contexts < 1 {
+			t.Fatalf("k=%d: contexts fell below 1: %+v", k, got)
+		}
+		if k < n {
+			// Kill in a scattered order so ranges see interior losses.
+			f.KillBank((k*7 + 3) % n)
+		}
+	}
+	if f.Live() != 0 {
+		t.Fatalf("expected fully dead fabric, live=%d", f.Live())
+	}
+	if got := f.CapacityInRange(0, n, per).Contexts; got != 1 {
+		t.Errorf("fully dead fabric contexts = %d, want floor 1", got)
+	}
+}

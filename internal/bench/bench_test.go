@@ -150,3 +150,24 @@ func TestServeTable(t *testing.T) {
 		t.Error("render missing title")
 	}
 }
+
+func TestServeChaosTable(t *testing.T) {
+	tbl, rows := ServeChaos(2 << 10)
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d, want 3 fault-rate points", len(rows))
+	}
+	if rows[0].FaultRate != 0 || rows[0].Faults != 0 || rows[0].Retries != 0 {
+		t.Errorf("clean row not clean: %+v", rows[0])
+	}
+	for _, r := range rows {
+		if r.ReqPerSec <= 0 {
+			t.Errorf("rate %g: non-positive throughput %+v", r.FaultRate, r)
+		}
+		if r.Recoveries < 0 || r.Recoveries > r.Retries {
+			t.Errorf("rate %g: recoveries %d outside retry count %d", r.FaultRate, r.Recoveries, r.Retries)
+		}
+	}
+	if !strings.Contains(tbl.Render(), "recovery overhead") {
+		t.Error("render missing title")
+	}
+}

@@ -1,0 +1,121 @@
+package bench
+
+import (
+	"bytes"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"time"
+
+	"aspen/internal/lang"
+	"aspen/internal/serve"
+	"aspen/internal/telemetry"
+)
+
+// ChaosRow is one fault-rate point of the recovery-overhead ladder.
+type ChaosRow struct {
+	FaultRate  float64
+	Requests   int
+	Faults     int64 // transient faults injected (flips + stuck-at)
+	Retries    int64 // checkpoint replay attempts
+	Recoveries int64 // faulted runs brought back to a clean answer
+	ReqPerSec  float64
+	RelThru    float64 // throughput relative to the fault-free row
+}
+
+// ServeChaos measures what fault tolerance costs: the same JSON load
+// driven at three transient-fault rates (0 = the recovery layer armed
+// but idle, then two escalating rates), reporting injected faults,
+// replay retries, recoveries, and throughput relative to fault-free.
+// Every response is still checked for 200 — chaos must never cost
+// correctness, only retries.
+func ServeChaos(sizeBytes int) (*Table, []ChaosRow) {
+	doc := jsonDocOfSize(sizeBytes)
+	rates := []float64{0, 1e-5, 1e-4}
+
+	var rows []ChaosRow
+	for _, rate := range rates {
+		reg := telemetry.NewRegistry()
+		srv, err := serve.New(serve.Options{
+			Languages: []*lang.Language{lang.JSON()},
+			Registry:  reg,
+			Chaos: &serve.ChaosOptions{
+				FaultRate: rate,
+				FaultSeed: 1,
+				// Checkpoint every 4 KiB so replay windows stay small
+				// relative to the fault rate at any -size: at 1e-4 a
+				// window expects ~0.8 faults, so 20 attempts converge.
+				CheckpointBytes:  4 << 10,
+				MaxAttempts:      20,
+				BackoffBase:      100 * time.Microsecond,
+				BackoffCap:       2 * time.Millisecond,
+				BreakerThreshold: -1, // measure recovery, not shedding
+			},
+		})
+		if err != nil {
+			panic(err)
+		}
+		ts := httptest.NewServer(srv.Handler())
+
+		info := srv.Grammars()[0]
+		clients := info.Workers
+		if clients > 8 {
+			clients = 8
+		}
+		perClient := 8
+		total := clients * perClient
+		url := ts.URL + "/v1/parse/JSON"
+
+		var wg sync.WaitGroup
+		start := time.Now()
+		for c := 0; c < clients; c++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := 0; i < perClient; i++ {
+					resp, err := http.Post(url, "application/octet-stream", bytes.NewReader(doc))
+					if err != nil {
+						panic(err)
+					}
+					if resp.StatusCode != http.StatusOK {
+						panic(fmt.Sprintf("bench chaos: rate %g answered %d", rate, resp.StatusCode))
+					}
+					resp.Body.Close()
+				}
+			}()
+		}
+		wg.Wait()
+		el := time.Since(start).Seconds()
+		ts.Close()
+
+		snap := reg.Snapshot()
+		rows = append(rows, ChaosRow{
+			FaultRate:  rate,
+			Requests:   total,
+			Faults:     snap.Counters["serve_JSON_fault_flips_total"] + snap.Counters["serve_JSON_fault_stuck_total"],
+			Retries:    snap.Counters["serve_JSON_retries_total"],
+			Recoveries: snap.Counters["serve_JSON_recoveries_total"],
+			ReqPerSec:  float64(total) / el,
+		})
+	}
+	for i := range rows {
+		rows[i].RelThru = rows[i].ReqPerSec / rows[0].ReqPerSec
+	}
+
+	tbl := &Table{
+		ID:    "chaos",
+		Title: "recovery overhead under transient fault injection (JSON tenant)",
+		Header: []string{"Fault rate", "Requests", "Faults", "Retries",
+			"Recoveries", "req/s", "vs clean"},
+		Notes: []string{
+			fmt.Sprintf("Same %d-byte document load as the serve table at escalating per-activation fault rates; every response is verified 200. Rate 0 carries the armed-but-idle recovery layer (checkpointing on, no faults).", sizeBytes),
+		},
+	}
+	for _, r := range rows {
+		tbl.Rows = append(tbl.Rows, []string{
+			fmt.Sprintf("%g", r.FaultRate), d(r.Requests), d(int(r.Faults)),
+			d(int(r.Retries)), d(int(r.Recoveries)), f0(r.ReqPerSec), f2(r.RelThru)})
+	}
+	return tbl, rows
+}

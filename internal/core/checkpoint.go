@@ -1,0 +1,48 @@
+package core
+
+// Checkpoint is a resumable snapshot of an Execution: active state,
+// stack contents, input position, the ε-run counter, and the statistics
+// accumulated so far. Because the machine is deterministic, restoring a
+// checkpoint and re-feeding the same symbols reproduces the
+// uninterrupted run exactly (TestCheckpointReplayEquivalence) — which
+// turns deterministic re-execution into a recovery primitive: a run
+// corrupted by a hardware fault is rolled back to its last checkpoint
+// and replayed on a healthy context.
+//
+// A Checkpoint owns its buffers. Checkpoint/Restore reuse them across
+// calls, so a long-lived (checkpoint, execution) pair reaches steady
+// state with zero per-checkpoint allocations once the buffers have
+// grown to the run's high-water marks.
+type Checkpoint struct {
+	Cur    StateID
+	Stack  []Symbol
+	Pos    int
+	EpsSeq int
+	Res    Result
+}
+
+// Checkpoint copies the execution's resumable state into cp,
+// overwriting whatever cp held. cp's slices are reused.
+func (e *Execution) Checkpoint(cp *Checkpoint) {
+	cp.Cur = e.cur
+	cp.Stack = append(cp.Stack[:0], e.stack...)
+	cp.Pos = e.pos
+	cp.EpsSeq = e.epsSeq
+	reports := append(cp.Res.Reports[:0], e.res.Reports...)
+	cp.Res = e.res
+	cp.Res.Reports = reports
+}
+
+// Restore rewinds the execution to cp. The execution must run the same
+// machine the checkpoint was taken from (stack depth and ε-budget are
+// properties of the execution and are kept). The execution's buffers
+// are reused; cp is not aliased and may be restored again later.
+func (e *Execution) Restore(cp *Checkpoint) {
+	e.cur = cp.Cur
+	e.stack = append(e.stack[:0], cp.Stack...)
+	e.pos = cp.Pos
+	e.epsSeq = cp.EpsSeq
+	reports := append(e.res.Reports[:0], cp.Res.Reports...)
+	e.res = cp.Res
+	e.res.Reports = reports
+}

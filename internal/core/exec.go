@@ -92,6 +92,10 @@ type ExecOptions struct {
 	// Hooks, when non-nil, receives step/stall/stack-op/report/jam
 	// events (see ExecHooks).
 	Hooks *ExecHooks
+	// Faults, when non-nil, is consulted on every state activation and
+	// may corrupt the run (see FaultInjector). nil models a perfect
+	// fabric and adds one nil check to the step path.
+	Faults FaultInjector
 }
 
 // Execution is an in-progress run of an hDPDA. The cycle-accurate
@@ -222,6 +226,13 @@ func (e *Execution) activate(id StateID) error {
 			}
 			if h != nil && h.Report != nil {
 				h.Report(r)
+			}
+		}
+	}
+	if inj := e.opts.Faults; inj != nil {
+		if f, ok := inj.Activation(e.res.Steps, e.cur, e.TOS()); ok {
+			if err := e.applyFault(f); err != nil {
+				return err
 			}
 		}
 	}

@@ -1,0 +1,65 @@
+package core
+
+import "errors"
+
+// ErrBankDead reports that the execution context's hardware was lost
+// mid-run: the SRAM bank(s) holding the machine's state columns were
+// retired from the fabric (a permanent fault, as opposed to the
+// transient upsets below). The run cannot continue on this context; a
+// recovery layer re-executes it from a checkpoint on a live context.
+var ErrBankDead = errors.New("core: execution context lost (bank hardware failure)")
+
+// Fault describes one injected hardware fault, in machine-level terms:
+//
+//   - NewState ≥ 0: a transient bit upset in the active state vector
+//     landed on a different IM/SM column — the machine silently
+//     continues from the wrong state.
+//   - StuckTOS ≥ 0: a stuck-at fault in a stack SRAM column — the
+//     top-of-stack symbol reads back with a bit forced, corrupting the
+//     stack-match stage from here on. Ignored while the stack holds
+//     only ⊥ (the bottom symbol is hardwired, §IV-B).
+//   - Kill: the bank holding this context was permanently retired; the
+//     run aborts with ErrBankDead.
+//
+// The zero Fault (NewState 0 is a real state) is NOT "no fault" — the
+// injector signals absence through its ok return instead, so the
+// disabled path never constructs one.
+type Fault struct {
+	NewState StateID
+	StuckTOS int16
+	Kill     bool
+}
+
+// NoFault is a Fault with every action disarmed; injectors start from
+// it so an unset field cannot alias state 0 or symbol 0.
+var NoFault = Fault{NewState: InvalidState, StuckTOS: -1}
+
+// FaultInjector is consulted once per state activation and may corrupt
+// the execution — the software analogue of transient upsets and hard
+// failures in the repurposed LLC arrays. A nil injector (the default)
+// costs one pointer nil check per activation and nothing else; the
+// zero-allocation contract of the step path is pinned by
+// TestStepZeroAllocsFaultsDisabled. Implementations must be cheap and
+// allocation-free: they run inside the hot loop.
+type FaultInjector interface {
+	// Activation observes the just-activated state and the current
+	// top-of-stack and returns the fault to apply, if any.
+	Activation(step int, cur StateID, tos Symbol) (Fault, bool)
+}
+
+// applyFault mutates the execution according to f. Corruption is
+// silent by design (the hardware has no parity on these arrays); only
+// a bank kill surfaces as an error.
+func (e *Execution) applyFault(f Fault) error {
+	if f.Kill {
+		return ErrBankDead
+	}
+	if f.NewState >= 0 && int(f.NewState) < len(e.M.States) {
+		e.cur = f.NewState
+		e.res.FinalState = f.NewState
+	}
+	if f.StuckTOS >= 0 && len(e.stack) > 1 {
+		e.stack[len(e.stack)-1] = Symbol(f.StuckTOS)
+	}
+	return nil
+}

@@ -1,0 +1,149 @@
+package lexer
+
+import (
+	"errors"
+	"testing"
+)
+
+// modalSpec is the fuzz lexer: modal (text vs tag), with longest-match
+// backtracking (AB/ABC), keyword-vs-identifier priority, and skip rules
+// — every boundary-carrying feature the streaming protocol must get
+// right.
+func modalSpec() Spec {
+	return Spec{Name: "fuzz", Rules: []Rule{
+		{Name: "LT", Pattern: "<", SetMode: "tag"},
+		{Name: "AB", Pattern: "ab"},
+		{Name: "ABC", Pattern: "abc"},
+		{Name: "IF", Pattern: "if"},
+		{Name: "ID", Pattern: `[a-z][a-z0-9]*`},
+		{Name: "INT", Pattern: `\d+`},
+		{Name: "WS", Pattern: `[ \t\r\n]+`, Skip: true},
+		{Name: "NAME", Pattern: `[a-z]+`, Mode: "tag"},
+		{Name: "EQ", Pattern: "=", Mode: "tag"},
+		{Name: "STR", Pattern: `"[^"]*"`, Mode: "tag"},
+		{Name: "GT", Pattern: ">", Mode: "tag", SetMode: DefaultMode},
+		{Name: "TWS", Pattern: `[ \t\r\n]+`, Mode: "tag", Skip: true},
+	}}
+}
+
+// FuzzTokenizeChunkResume is the chunk-boundary resumption property:
+// feeding arbitrary input through TokenizeChunk in arbitrary pieces
+// (carrying mode and unconsumed tail across boundaries, flushing with
+// TokenizeResume) must produce exactly the tokens, token count, and
+// error — same absolute position, byte, and mode — as one whole-input
+// Tokenize. Run `go test -fuzz=FuzzTokenizeChunkResume` to explore;
+// seeds run on plain `go test`.
+func FuzzTokenizeChunkResume(f *testing.F) {
+	seeds := []string{
+		"if x1 + 42",
+		"<a b=\"c\">abd abc ab<x>",
+		"abcabdab",
+		"text <tag key=\"v\" k2=\"\"> more 123",
+		"x @ y",       // lex error in default mode
+		"<a b=\"open", // unterminated string: error surfaces at flush
+		"", " ", "<", "<>", "ifif if0if",
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s), uint64(1))
+		f.Add([]byte(s), uint64(0x9e3779b97f4a7c15))
+	}
+	l, err := New(modalSpec())
+	if err != nil {
+		f.Fatal(err)
+	}
+
+	f.Fuzz(func(t *testing.T, data []byte, seed uint64) {
+		wantToks, wantStats, wantErr := l.Tokenize(data)
+
+		var (
+			got    []Token
+			gotErr error
+			tail   []byte
+			scan   Stats
+			mode   = DefaultMode
+			offset = 0
+			pos    = 0
+			rng    = seed
+		)
+		rebase := func(err error) error {
+			var le *Error
+			if errors.As(err, &le) {
+				e := *le
+				e.Pos += offset
+				return &e
+			}
+			return err
+		}
+		for pos < len(data) {
+			rng = rng*6364136223846793005 + 1442695040888963407
+			n := 1 + int((rng>>33)%7)
+			if pos+n > len(data) {
+				n = len(data) - pos
+			}
+			tail = append(tail, data[pos:pos+n]...)
+			pos += n
+			toks, consumed, m, st, err := l.TokenizeChunk(tail, mode)
+			scan.Tokens += st.Tokens
+			scan.ScanCycles += st.ScanCycles
+			scan.HandoffCycles += st.HandoffCycles
+			for _, tk := range toks {
+				tk.Start += offset
+				tk.End += offset
+				got = append(got, tk)
+			}
+			if err != nil {
+				gotErr = rebase(err)
+				break
+			}
+			mode = m
+			offset += consumed
+			tail = append(tail[:0], tail[consumed:]...)
+		}
+		if gotErr == nil {
+			// End of stream: the held-back tail resolves its longest match.
+			toks, st, _, err := l.TokenizeResume(tail, mode)
+			scan.Tokens += st.Tokens
+			scan.ScanCycles += st.ScanCycles
+			scan.HandoffCycles += st.HandoffCycles
+			for _, tk := range toks {
+				tk.Start += offset
+				tk.End += offset
+				got = append(got, tk)
+			}
+			if err != nil {
+				gotErr = rebase(err)
+			}
+		}
+
+		if (wantErr == nil) != (gotErr == nil) {
+			t.Fatalf("error mismatch: whole=%v chunked=%v (input %q seed %d)", wantErr, gotErr, data, seed)
+		}
+		if wantErr != nil {
+			var we, ge *Error
+			if !errors.As(wantErr, &we) || !errors.As(gotErr, &ge) {
+				t.Fatalf("non-lexer error: whole=%v chunked=%v", wantErr, gotErr)
+			}
+			if we.Pos != ge.Pos || we.Byte != ge.Byte || we.Mode != ge.Mode {
+				t.Fatalf("error diverged: whole=%+v chunked=%+v (input %q seed %d)", we, ge, data, seed)
+			}
+		}
+		if len(got) != len(wantToks) {
+			t.Fatalf("token count: chunked=%d whole=%d (input %q seed %d)", len(got), len(wantToks), data, seed)
+		}
+		for i := range got {
+			if got[i] != wantToks[i] {
+				t.Fatalf("token %d: chunked=%+v whole=%+v (input %q seed %d)", i, got[i], wantToks[i], data, seed)
+			}
+		}
+		if wantErr == nil {
+			// Lexeme and handoff counts are chunking-invariant; only scan
+			// cycles may grow (the tail is re-presented at each boundary).
+			if scan.Tokens != wantStats.Tokens || scan.HandoffCycles != wantStats.HandoffCycles {
+				t.Fatalf("stats diverged: chunked=%+v whole=%+v", scan, wantStats)
+			}
+			if scan.ScanCycles < wantStats.ScanCycles {
+				t.Fatalf("chunked scan cycles %d < whole %d — re-scanning can only add work", scan.ScanCycles, wantStats.ScanCycles)
+			}
+		}
+	})
+}

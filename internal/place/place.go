@@ -30,6 +30,16 @@ type Options struct {
 	Seed int64
 	// RefinePasses bounds KL refinement sweeps (default 8).
 	RefinePasses int
+	// DeadBanks marks banks that must receive no states — the fault
+	// model's permanent kills. Placement spills past them onto higher
+	// bank indices, modeling re-placement onto the surviving arrays;
+	// indices beyond len(DeadBanks) are live.
+	DeadBanks []bool
+}
+
+// dead reports whether bank b is marked unusable.
+func (o Options) dead(b int) bool {
+	return b < len(o.DeadBanks) && o.DeadBanks[b]
 }
 
 // Placement is a state→bank assignment.
@@ -56,7 +66,15 @@ func Partition(m *core.HDPDA, opts Options) (*Placement, error) {
 		return nil, fmt.Errorf("place: bank capacity %d", cap_)
 	}
 	n := m.NumStates()
-	numBanks := (n + cap_ - 1) / cap_
+	// The bank count covers n states of live capacity, spilling past any
+	// dead banks.
+	numBanks, live := 0, 0
+	for live*cap_ < n {
+		if !opts.dead(numBanks) {
+			live++
+		}
+		numBanks++
+	}
 	p := &Placement{
 		BankOf:     make([]int, n),
 		NumBanks:   numBanks,
@@ -64,6 +82,12 @@ func Partition(m *core.HDPDA, opts Options) (*Placement, error) {
 	}
 	if n == 0 {
 		return p, nil
+	}
+	capOf := func(b int) int {
+		if opts.dead(b) {
+			return 0
+		}
+		return cap_
 	}
 
 	// Undirected adjacency for locality decisions.
@@ -78,10 +102,16 @@ func Partition(m *core.HDPDA, opts Options) (*Placement, error) {
 	}
 
 	if opts.Random {
+		liveBanks := make([]int, 0, numBanks)
+		for b := 0; b < numBanks; b++ {
+			if !opts.dead(b) {
+				liveBanks = append(liveBanks, b)
+			}
+		}
 		r := rand.New(rand.NewSource(opts.Seed))
 		order := r.Perm(n)
 		for rank, s := range order {
-			p.BankOf[s] = rank % numBanks
+			p.BankOf[s] = liveBanks[rank%len(liveBanks)]
 		}
 		return p, nil
 	}
@@ -93,6 +123,9 @@ func Partition(m *core.HDPDA, opts Options) (*Placement, error) {
 	}
 	load := make([]int, numBanks)
 	bank := 0
+	for opts.dead(bank) {
+		bank++ // the start state anchors in the first live bank
+	}
 	var frontier []int32
 	assigned := 0
 	assign := func(s int32) {
@@ -104,8 +137,11 @@ func Partition(m *core.HDPDA, opts Options) (*Placement, error) {
 	assign(int32(m.Start))
 	next := 0
 	for assigned < n {
-		if load[bank] >= cap_ {
+		if load[bank] >= capOf(bank) {
 			bank++
+			for opts.dead(bank) {
+				bank++
+			}
 			frontier = frontier[:0]
 		}
 		// Prefer a neighbor of the current region; fall back to the
@@ -165,17 +201,24 @@ func refine(m *core.HDPDA, p *Placement, load []int, opts Options) {
 				continue // keep the start anchored in bank 0
 			}
 			cur := p.BankOf[s]
-			// Tally neighbor banks.
+			// Tally neighbor banks, keeping first-seen order so the scan
+			// below — and therefore the whole placement — is deterministic
+			// (map iteration order would reshuffle tie-breaks run to run).
 			counts := map[int]int{}
+			var banks []int
 			for _, t := range adj[s] {
-				counts[p.BankOf[t]]++
+				b := p.BankOf[t]
+				if counts[b] == 0 {
+					banks = append(banks, b)
+				}
+				counts[b]++
 			}
 			best, bestGain := cur, 0
-			for b, c := range counts {
-				if b == cur || load[b] >= p.BankStates {
+			for _, b := range banks {
+				if b == cur || load[b] >= p.BankStates || opts.dead(b) {
 					continue
 				}
-				gain := c - counts[cur]
+				gain := counts[b] - counts[cur]
 				if gain > bestGain {
 					best, bestGain = b, gain
 				}

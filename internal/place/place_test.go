@@ -111,3 +111,70 @@ func TestBadCapacity(t *testing.T) {
 		t.Error("negative capacity should error")
 	}
 }
+
+// TestPartitionDeadBanks pins re-placement onto a degraded fabric: banks
+// marked dead receive zero states, placement spills past them, and the
+// resulting placement is as good as one on a fabric that simply starts
+// at the first live bank.
+func TestPartitionDeadBanks(t *testing.T) {
+	m := coolMachine(t)
+	for _, random := range []bool{false, true} {
+		dead := []bool{true, false, true} // banks 0 and 2 are gone
+		p, err := Partition(m, Options{BankStates: 64, Random: random, DeadBanks: dead})
+		if err != nil {
+			t.Fatal(err)
+		}
+		loads := make([]int, p.NumBanks)
+		for s, b := range p.BankOf {
+			if b < 0 || b >= p.NumBanks {
+				t.Fatalf("random=%v: state %d in bank %d, out of range", random, s, b)
+			}
+			if b < len(dead) && dead[b] {
+				t.Fatalf("random=%v: state %d placed in dead bank %d", random, s, b)
+			}
+			loads[b]++
+		}
+		for b, l := range loads {
+			if l > 64 {
+				t.Errorf("random=%v: bank %d has %d states, capacity 64", random, b, l)
+			}
+		}
+		// Live-bank count must still cover the machine; no extra spill.
+		live := 0
+		for b := 0; b < p.NumBanks; b++ {
+			if !(b < len(dead) && dead[b]) {
+				live++
+			}
+		}
+		want := (m.NumStates() + 63) / 64
+		if live != want {
+			t.Errorf("random=%v: %d live banks used, want %d", random, live, want)
+		}
+		st := Evaluate(m, p)
+		if st.LocalEdges+st.CutEdges == 0 {
+			t.Errorf("random=%v: empty cut statistics", random)
+		}
+	}
+}
+
+// A fully-specified healthy fabric behaves exactly as before: DeadBanks
+// of all-false is a no-op.
+func TestPartitionNoDeadBanksUnchanged(t *testing.T) {
+	m := coolMachine(t)
+	base, err := Partition(m, Options{BankStates: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	masked, err := Partition(m, Options{BankStates: 64, DeadBanks: make([]bool, 8)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.NumBanks != masked.NumBanks {
+		t.Fatalf("bank count changed: %d vs %d", base.NumBanks, masked.NumBanks)
+	}
+	for s := range base.BankOf {
+		if base.BankOf[s] != masked.BankOf[s] {
+			t.Fatalf("state %d moved: %d vs %d", s, base.BankOf[s], masked.BankOf[s])
+		}
+	}
+}

@@ -29,9 +29,9 @@ func TestParseSteadyStateAllocs(t *testing.T) {
 	ctx := context.Background()
 
 	run := func() {
-		out, inputErr, sysErr := g.parse(ctx, bytes.NewReader(doc))
-		if sysErr != nil || inputErr != nil || !out.Accepted {
-			t.Fatalf("parse: out=%+v inputErr=%v sysErr=%v", out, inputErr, sysErr)
+		out, retries, inputErr, sysErr := g.parseGuarded(ctx, bytes.NewReader(doc))
+		if sysErr != nil || inputErr != nil || !out.Accepted || retries != 0 {
+			t.Fatalf("parse: out=%+v retries=%d inputErr=%v sysErr=%v", out, retries, inputErr, sysErr)
 		}
 	}
 	// Warm the pools (parser, lexer runners, copy buffer) and let the
@@ -46,7 +46,7 @@ func TestParseSteadyStateAllocs(t *testing.T) {
 	r := bytes.NewReader(doc)
 	allocs := testing.AllocsPerRun(50, func() {
 		r.Reset(doc)
-		out, inputErr, sysErr := g.parse(ctx, r)
+		out, _, inputErr, sysErr := g.parseGuarded(ctx, r)
 		if sysErr != nil || inputErr != nil || !out.Accepted {
 			t.Fatal("parse failed inside measured run")
 		}

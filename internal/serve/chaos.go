@@ -1,0 +1,434 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"io"
+	"sync"
+	"time"
+
+	"aspen/internal/arch"
+	"aspen/internal/stream"
+)
+
+// Recovery layer. The fabric is imperfect (see internal/arch/fault.go):
+// transient upsets silently corrupt a run, and banks die outright. The
+// service turns both into at-most-latency artifacts by exploiting the
+// machine's determinism: requests checkpoint on clean progress, buffer
+// the bytes written since the last checkpoint, and when a fault is
+// detected (the injector's fired signal, or a bank-loss error) they
+// roll back and replay on what is modeled as a freshly placed context.
+// Every accepted answer is therefore the verdict of a fault-free
+// execution — byte-identical to a run on perfect hardware (the chaos
+// e2e suite asserts exactly that).
+//
+// Repeated failure escalates instead of looping: replay attempts back
+// off exponentially with jitter, a request that exhausts its attempts
+// answers 503, and a per-grammar circuit breaker opens after
+// consecutive exhaustions so a poisoned tenant sheds load for a
+// cooldown instead of burning its worker slots. Permanent bank losses
+// additionally shrink the tenant's worker pool to its surviving
+// capacity (never below one slot): the service degrades, it does not
+// die.
+
+// Chaos defaults.
+const (
+	DefaultCheckpointBytes  = 64 << 10
+	DefaultMaxAttempts      = 5
+	DefaultBackoffBase      = 2 * time.Millisecond
+	DefaultBackoffCap       = 250 * time.Millisecond
+	DefaultBreakerThreshold = 5
+	DefaultBreakerCooldown  = 2 * time.Second
+)
+
+// ChaosOptions enables fault injection and configures the recovery
+// machinery. A nil *ChaosOptions in Options disables the whole layer:
+// requests take the unguarded parse path with zero added work.
+type ChaosOptions struct {
+	// FaultRate is the per-state-activation probability of a transient
+	// fault (bit flip or stuck-at). 0 still arms the machinery — bank
+	// kills are detected and recovered — without transient faults.
+	FaultRate float64
+	// FaultSeed makes the fault sequence reproducible.
+	FaultSeed int64
+	// CheckpointBytes is how much clean progress accumulates between
+	// checkpoints; it bounds both the replay buffer and the work lost
+	// to one fault (0 = DefaultCheckpointBytes).
+	CheckpointBytes int
+	// MaxAttempts bounds replay attempts per detected fault before the
+	// request fails with 503 (0 = DefaultMaxAttempts).
+	MaxAttempts int
+	// BackoffBase/BackoffCap shape the exponential backoff between
+	// replay attempts (0 = defaults). Jitter is applied on top.
+	BackoffBase time.Duration
+	BackoffCap  time.Duration
+	// BreakerThreshold is how many consecutive recovery exhaustions
+	// open the grammar's circuit breaker (0 = default; negative
+	// disables the breaker).
+	BreakerThreshold int
+	// BreakerCooldown is how long an open breaker sheds load before
+	// letting one probe request through (0 = default).
+	BreakerCooldown time.Duration
+}
+
+func (c *ChaosOptions) withDefaults() ChaosOptions {
+	out := *c
+	if out.CheckpointBytes <= 0 {
+		out.CheckpointBytes = DefaultCheckpointBytes
+	}
+	if out.MaxAttempts <= 0 {
+		out.MaxAttempts = DefaultMaxAttempts
+	}
+	if out.BackoffBase <= 0 {
+		out.BackoffBase = DefaultBackoffBase
+	}
+	if out.BackoffCap <= 0 {
+		out.BackoffCap = DefaultBackoffCap
+	}
+	if out.BreakerThreshold == 0 {
+		out.BreakerThreshold = DefaultBreakerThreshold
+	}
+	if out.BreakerCooldown <= 0 {
+		out.BreakerCooldown = DefaultBreakerCooldown
+	}
+	return out
+}
+
+// Failure modes the handler maps to 503.
+var (
+	errRecoveryExhausted = errors.New("serve: parse could not complete on the degraded fabric (replay attempts exhausted)")
+	errBreakerOpen       = errors.New("serve: circuit breaker open")
+)
+
+// parserUnit is one pooled guarded-execution context: a parser wired to
+// its own deterministic injector, the last clean checkpoint, and the
+// bytes written since it (the replay buffer). Units are per-request via
+// sync.Pool, so the injector's single-goroutine contract holds.
+type parserUnit struct {
+	p      *stream.Parser
+	inj    *arch.Injector
+	cp     stream.Checkpoint
+	replay []byte
+	rng    uint64 // backoff jitter; per-unit so attempts stay reproducible
+}
+
+func (u *parserUnit) nextRand() uint64 {
+	u.rng += 0x9e3779b97f4a7c15
+	z := u.rng
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// noteFaults flushes the injector's per-attempt fault counts into the
+// grammar's metrics. Call at each detection point, before StartRun
+// resets the counters.
+func (g *grammarEntry) noteFaults(u *parserUnit) {
+	flips, stucks, kills := u.inj.Counts()
+	if flips > 0 {
+		g.m.faultFlips.Add(int64(flips))
+	}
+	if stucks > 0 {
+		g.m.faultStuck.Add(int64(stucks))
+	}
+	if kills > 0 {
+		g.m.faultKills.Add(int64(kills))
+	}
+}
+
+// backoff sleeps before replay attempt n (1-based): exponential from
+// BackoffBase, capped at BackoffCap, with ±half jitter so concurrent
+// recoveries don't stampede the fabric in lockstep. Honors ctx.
+func (g *grammarEntry) backoff(ctx context.Context, u *parserUnit, attempt int) error {
+	d := g.chaos.BackoffBase << (attempt - 1)
+	if d > g.chaos.BackoffCap || d <= 0 {
+		d = g.chaos.BackoffCap
+	}
+	half := d / 2
+	if half > 0 {
+		d = half + time.Duration(u.nextRand()%uint64(half+1))
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}
+
+// recover rolls u back to its last clean checkpoint and replays the
+// buffered bytes until an attempt completes fault-free, backing off
+// between attempts. With andClose set the replay also re-runs the
+// stream close, and a successful recovery returns the final outcome
+// (done=true). done=true with inputErr set means a clean replay
+// surfaced a genuine document error that the faulted pass had masked.
+// sysErr is errRecoveryExhausted or a context error.
+func (g *grammarEntry) recover(ctx context.Context, u *parserUnit, andClose bool) (out stream.Outcome, done bool, inputErr, sysErr error) {
+	for attempt := 1; attempt <= g.chaos.MaxAttempts; attempt++ {
+		g.m.retries.Inc()
+		if err := g.backoff(ctx, u, attempt); err != nil {
+			return stream.Outcome{}, false, nil, err
+		}
+		u.p.Restore(&u.cp)
+		u.inj.StartRun()
+		var werr error
+		if len(u.replay) > 0 {
+			_, werr = u.p.Write(u.replay)
+		}
+		if u.inj.Fired() > 0 {
+			g.noteFaults(u)
+			continue
+		}
+		if werr != nil {
+			// Clean replay, real document error: conclude the parse.
+			out, _ := u.p.Close()
+			g.m.recoveries.Inc()
+			return out, true, werr, nil
+		}
+		if !andClose {
+			g.m.recoveries.Inc()
+			return stream.Outcome{}, false, nil, nil
+		}
+		out, cerr := u.p.Close()
+		if u.inj.Fired() > 0 {
+			g.noteFaults(u)
+			continue
+		}
+		g.m.recoveries.Inc()
+		return out, true, cerr, nil
+	}
+	g.m.recoveryExhausted.Inc()
+	return stream.Outcome{}, false, nil, errRecoveryExhausted
+}
+
+// parseGuarded is the chaos-aware request path. With the layer disabled
+// (Options.Chaos nil) it delegates straight to the unguarded parse —
+// the alloc regression test pins that this adds nothing to the
+// steady-state budget. Otherwise it streams the body through a guarded
+// unit: checkpoint on clean progress, detect via the injector's fired
+// signal, roll back and replay on faults. retries reports how many
+// replay attempts the request consumed (0 on an untroubled parse).
+func (g *grammarEntry) parseGuarded(ctx context.Context, body io.Reader) (out stream.Outcome, retries int, inputErr, sysErr error) {
+	if g.chaos == nil {
+		out, inputErr, sysErr = g.parse(ctx, body)
+		return out, 0, inputErr, sysErr
+	}
+	if !g.breaker.allow(time.Now()) {
+		g.m.breakerDenied.Inc()
+		return stream.Outcome{}, 0, nil, errBreakerOpen
+	}
+
+	u := g.units.Get().(*parserUnit)
+	defer g.units.Put(u)
+	u.p.Reset()
+	u.inj.StartRun()
+	u.replay = u.replay[:0]
+	u.p.Checkpoint(&u.cp)
+	g.m.checkpoints.Inc()
+
+	bufp := copyBufs.Get().(*[]byte)
+	defer copyBufs.Put(bufp)
+	buf := *bufp
+
+	fail := func(err error) (stream.Outcome, int, error, error) {
+		if errors.Is(err, errRecoveryExhausted) {
+			g.breaker.failure(time.Now())
+		}
+		return stream.Outcome{}, retries, nil, err
+	}
+
+	for {
+		if err := ctx.Err(); err != nil {
+			return stream.Outcome{}, retries, nil, err
+		}
+		n, rerr := body.Read(buf)
+		// Feed the parser in checkpoint-window-sized pieces: a single
+		// transport read can exceed CheckpointBytes (the copy buffer is
+		// 32 KiB), and the replay window — replay cost, and with it the
+		// odds that a replay attempt re-faults — must stay bounded by
+		// the cadence, not by however much the transport handed over.
+		for off := 0; off < n; {
+			end := off + (g.chaos.CheckpointBytes - len(u.replay))
+			if end > n {
+				end = n
+			}
+			chunk := buf[off:end]
+			off = end
+			u.replay = append(u.replay, chunk...)
+			_, werr := u.p.Write(chunk)
+			if u.inj.Fired() > 0 {
+				g.noteFaults(u)
+				rout, done, rierr, rserr := g.recover(ctx, u, false)
+				if rserr != nil {
+					return fail(rserr)
+				}
+				if done {
+					g.breaker.success()
+					return rout, retries, rierr, nil
+				}
+				retries++
+			} else if werr != nil {
+				// Genuine document error: same contract as the unguarded
+				// path — partial outcome plus the input error.
+				o, _ := u.p.Close()
+				g.breaker.success()
+				return o, retries, werr, nil
+			}
+			if u.inj.Fired() == 0 && len(u.replay) >= g.chaos.CheckpointBytes {
+				u.p.Checkpoint(&u.cp)
+				u.replay = u.replay[:0]
+				g.m.checkpoints.Inc()
+			}
+		}
+		if rerr == io.EOF {
+			break
+		}
+		if rerr != nil {
+			return stream.Outcome{}, retries, nil, rerr
+		}
+	}
+
+	o, cerr := u.p.Close()
+	if u.inj.Fired() > 0 {
+		g.noteFaults(u)
+		rout, _, rierr, rserr := g.recover(ctx, u, true)
+		retries++
+		if rserr != nil {
+			return fail(rserr)
+		}
+		g.breaker.success()
+		return rout, retries, rierr, nil
+	}
+	g.breaker.success()
+	return o, retries, cerr, nil
+}
+
+// breaker is a per-grammar circuit breaker over recovery exhaustion:
+// closed (serving) → open (shedding) after threshold consecutive
+// exhausted requests → half-open (one probe) after the cooldown. A
+// disabled breaker (threshold < 0) never opens.
+type breaker struct {
+	mu        sync.Mutex
+	threshold int
+	cooldown  time.Duration
+	failures  int
+	openUntil time.Time
+	probing   bool
+
+	m *grammarMetrics
+}
+
+func (b *breaker) allow(now time.Time) bool {
+	if b.threshold < 0 {
+		return true
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.openUntil.IsZero() {
+		return true
+	}
+	if now.Before(b.openUntil) {
+		return false
+	}
+	if b.probing {
+		return false // one half-open probe at a time
+	}
+	b.probing = true
+	return true
+}
+
+func (b *breaker) success() {
+	if b.threshold < 0 {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.failures = 0
+	b.probing = false
+	if !b.openUntil.IsZero() {
+		b.openUntil = time.Time{}
+		b.m.breakerOpen.SetInt(0)
+	}
+}
+
+func (b *breaker) failure(now time.Time) {
+	if b.threshold < 0 {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.failures++
+	if b.probing || b.failures >= b.threshold {
+		b.openUntil = now.Add(b.cooldown)
+		b.probing = false
+		b.failures = 0
+		b.m.breakerOpens.Inc()
+		b.m.breakerOpen.SetInt(1)
+	}
+}
+
+// applyBankLoss recomputes this grammar's live capacity and parks
+// worker slots the surviving banks can no longer back. Parking is a
+// goroutine that takes a slot token and holds it forever — banks never
+// revive — so the effective pool shrinks without restructuring the
+// slot channel, and never below one slot (CapacityFor's floor).
+func (g *grammarEntry) applyBankLoss() {
+	if g.fabric == nil {
+		return
+	}
+	c := g.fabric.CapacityInRange(g.bankLo, g.bankHi, g.cap.BanksPerContext)
+	g.parkMu.Lock()
+	defer g.parkMu.Unlock()
+	desired := c.Contexts
+	if desired > g.workers {
+		desired = g.workers
+	}
+	if desired < 1 {
+		desired = 1
+	}
+	for g.workers-g.parked > desired {
+		g.parked++
+		go func() { g.slots <- struct{}{} }()
+	}
+	g.m.workersEffective.SetInt(int64(g.workers - g.parked))
+}
+
+// effectiveWorkers is the worker-slot count the surviving fabric backs.
+func (g *grammarEntry) effectiveWorkers() int {
+	g.parkMu.Lock()
+	defer g.parkMu.Unlock()
+	return g.workers - g.parked
+}
+
+// Fabric exposes the server's shared bank pool (for chaos drivers and
+// tests).
+func (s *Server) Fabric() *arch.Fabric { return s.fabric }
+
+// KillBank permanently retires one fabric bank, shrinking the worker
+// pool of whichever grammar owned it. It reports whether the bank was
+// alive. In-flight executions guarded by an injector detect the loss
+// and recover onto surviving capacity.
+func (s *Server) KillBank(bank int) bool {
+	if !s.fabric.KillBank(bank) {
+		return false
+	}
+	s.m.degraded.SetInt(1)
+	for _, name := range s.names {
+		s.grammars[name].applyBankLoss()
+	}
+	return true
+}
+
+// KillNextBank retires the lowest-numbered live bank and returns its
+// index, or -1 when the fabric is already fully dead. It is the
+// deterministic kill schedule cmd/aspend's -kill-bank-after drives.
+func (s *Server) KillNextBank() int {
+	for b := 0; b < s.fabric.Total(); b++ {
+		if s.fabric.Alive(b) && s.KillBank(b) {
+			return b
+		}
+	}
+	return -1
+}

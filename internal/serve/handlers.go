@@ -38,11 +38,18 @@ type ErrorResponse struct {
 	Error string `json:"error"`
 }
 
-// HealthResponse is the /healthz body.
+// HealthResponse is the /healthz body. A fabric that has lost banks
+// reports "degraded" with 200 — shrunken capacity is a state to route
+// around, not an outage — while "draining" keeps its 503.
 type HealthResponse struct {
-	Status   string   `json:"status"` // "ok" or "draining"
+	Status   string   `json:"status"` // "ok", "degraded", or "draining"
 	Grammars []string `json:"grammars"`
 	UptimeMS int64    `json:"uptimeMs"`
+	// Fabric health: provisioned vs surviving banks, and the worker
+	// slots each grammar still has backing.
+	FabricBanks      int            `json:"fabricBanks"`
+	LiveBanks        int            `json:"liveBanks"`
+	EffectiveWorkers map[string]int `json:"effectiveWorkers"`
 }
 
 func (s *Server) buildMux() *http.ServeMux {
@@ -66,11 +73,20 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 
 func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
 	h := HealthResponse{
-		Status:   "ok",
-		Grammars: s.names,
-		UptimeMS: time.Since(s.started).Milliseconds(),
+		Status:           "ok",
+		Grammars:         s.names,
+		UptimeMS:         time.Since(s.started).Milliseconds(),
+		FabricBanks:      s.fabric.Total(),
+		LiveBanks:        s.fabric.Live(),
+		EffectiveWorkers: make(map[string]int, len(s.names)),
+	}
+	for _, name := range s.names {
+		h.EffectiveWorkers[name] = s.grammars[name].effectiveWorkers()
 	}
 	status := http.StatusOK
+	if h.LiveBanks < h.FabricBanks {
+		h.Status = "degraded"
+	}
 	if s.draining.Load() {
 		h.Status = "draining"
 		status = http.StatusServiceUnavailable
@@ -124,7 +140,7 @@ func (s *Server) handleParse(w http.ResponseWriter, r *http.Request) {
 	// and exotic transports may not support it).
 	_ = http.NewResponseController(w).SetReadDeadline(start.Add(s.opts.RequestTimeout))
 	body := http.MaxBytesReader(w, r.Body, s.opts.MaxBodyBytes)
-	out, inputErr, sysErr := g.parse(ctx, body)
+	out, _, inputErr, sysErr := g.parseGuarded(ctx, body)
 	g.releaseSlot()
 	parseNS := time.Since(start).Nanoseconds() - queueNS
 
@@ -139,6 +155,12 @@ func (s *Server) handleParse(w http.ResponseWriter, r *http.Request) {
 		case errors.Is(sysErr, os.ErrDeadlineExceeded):
 			// The connection read deadline fired mid-body.
 			s.failCtx(w, g, context.DeadlineExceeded)
+		case errors.Is(sysErr, errBreakerOpen):
+			w.Header().Set("Retry-After", clampRetrySecs(int64(g.chaos.BreakerCooldown/time.Second)))
+			writeJSON(w, http.StatusServiceUnavailable, ErrorResponse{Error: "grammar " + g.name + " is shedding load (circuit breaker open)"})
+		case errors.Is(sysErr, errRecoveryExhausted):
+			g.m.errors.Inc()
+			writeJSON(w, http.StatusServiceUnavailable, ErrorResponse{Error: sysErr.Error()})
 		default:
 			g.m.errors.Inc()
 			writeJSON(w, http.StatusBadRequest, ErrorResponse{Error: sysErr.Error()})
@@ -191,9 +213,25 @@ func (s *Server) failCtx(w http.ResponseWriter, g *grammarEntry, err error) {
 	// Client cancellation: nobody is listening; record and return.
 }
 
+// Retry-After clamp: never below 1 (a cold start with no latency
+// history — or a sub-second estimate truncating to 0 — must not tell
+// clients to retry immediately) and never above maxRetryAfterSecs (a
+// latency spike must not push clients away for minutes).
+const maxRetryAfterSecs = 60
+
+func clampRetrySecs(secs int64) string {
+	if secs < 1 {
+		secs = 1
+	}
+	if secs > maxRetryAfterSecs {
+		secs = maxRetryAfterSecs
+	}
+	return strconv.FormatInt(secs, 10)
+}
+
 // retryAfter derives the 429 Retry-After hint from the mean observed
 // request latency of the grammar times the waiting room it would have
-// to drain, rounded up to at least one second.
+// to drain, clamped to [1, maxRetryAfterSecs].
 func (s *Server) retryAfter(g *grammarEntry) string {
 	secs := int64(1)
 	if n := g.m.requestNS.Count(); n > 0 {
@@ -203,7 +241,7 @@ func (s *Server) retryAfter(g *grammarEntry) string {
 			secs = est
 		}
 	}
-	return strconv.FormatInt(secs, 10)
+	return clampRetrySecs(secs)
 }
 
 // sampleTrace emits every Nth completed request to the trace sink.

@@ -17,6 +17,7 @@ type serviceMetrics struct {
 	compiles  *telemetry.Counter
 	inflight  *telemetry.Gauge
 	draining  *telemetry.Gauge
+	degraded  *telemetry.Gauge
 	requestNS *telemetry.Histogram
 }
 
@@ -30,6 +31,7 @@ func newServiceMetrics(reg *telemetry.Registry) serviceMetrics {
 		compiles:  reg.Counter("serve_compiles_total", "grammar→hDPDA compiles (startup only; flat at steady state)"),
 		inflight:  reg.Gauge("serve_inflight", "requests currently admitted (queued or parsing)"),
 		draining:  reg.Gauge("serve_draining", "1 while Drain is in progress or complete"),
+		degraded:  reg.Gauge("serve_degraded", "1 once any fabric bank has been lost"),
 		requestNS: reg.Histogram("serve_request_ns", "end-to-end request latency (ns), queue wait included", requestNSBuckets),
 	}
 }
@@ -46,6 +48,21 @@ type grammarMetrics struct {
 	tokens    *telemetry.Counter
 	queueLen  *telemetry.Gauge
 	requestNS *telemetry.Histogram
+
+	// Recovery-layer series (chaos.go). Registered unconditionally —
+	// flat zeros on a healthy fabric cost nothing and keep dashboards
+	// stable across deployments with and without injection.
+	faultFlips        *telemetry.Counter
+	faultStuck        *telemetry.Counter
+	faultKills        *telemetry.Counter
+	retries           *telemetry.Counter
+	checkpoints       *telemetry.Counter
+	recoveries        *telemetry.Counter
+	recoveryExhausted *telemetry.Counter
+	breakerOpens      *telemetry.Counter
+	breakerDenied     *telemetry.Counter
+	breakerOpen       *telemetry.Gauge
+	workersEffective  *telemetry.Gauge
 }
 
 func newGrammarMetrics(reg *telemetry.Registry, grammar string) grammarMetrics {
@@ -59,5 +76,17 @@ func newGrammarMetrics(reg *telemetry.Registry, grammar string) grammarMetrics {
 		tokens:    reg.Counter(p+"tokens_total", "tokens fed to the "+grammar+" hDPDA"),
 		queueLen:  reg.Gauge(p+"queue_depth", "admission tickets held (running + waiting)"),
 		requestNS: reg.Histogram(p+"request_ns", "per-request latency (ns) for grammar "+grammar, requestNSBuckets),
+
+		faultFlips:        reg.Counter(p+"fault_flips_total", "injected active-state-vector bit flips"),
+		faultStuck:        reg.Counter(p+"fault_stuck_total", "injected stuck-at stack-column faults"),
+		faultKills:        reg.Counter(p+"fault_kills_total", "runs aborted by mid-run bank loss"),
+		retries:           reg.Counter(p+"retries_total", "checkpoint replay attempts"),
+		checkpoints:       reg.Counter(p+"checkpoints_total", "clean-progress checkpoints taken"),
+		recoveries:        reg.Counter(p+"recoveries_total", "faulted runs recovered by replay"),
+		recoveryExhausted: reg.Counter(p+"recovery_exhausted_total", "requests that failed after exhausting replay attempts"),
+		breakerOpens:      reg.Counter(p+"breaker_opens_total", "circuit breaker open transitions"),
+		breakerDenied:     reg.Counter(p+"breaker_denied_total", "requests shed by an open circuit breaker"),
+		breakerOpen:       reg.Gauge(p+"breaker_open", "1 while the circuit breaker is open"),
+		workersEffective:  reg.Gauge(p+"workers_effective", "worker slots backed by surviving banks"),
 	}
 }

@@ -2,6 +2,7 @@ package serve
 
 import (
 	"sync"
+	"sync/atomic"
 
 	"aspen/internal/arch"
 	"aspen/internal/compile"
@@ -33,7 +34,58 @@ type grammarEntry struct {
 	// constructs one against the already-compiled machine.
 	parsers sync.Pool
 
+	// Recovery layer (see chaos.go). bankLo/bankHi is this tenant's
+	// contiguous share of the physical fabric; units pools guarded
+	// parser+injector contexts when chaos is armed; parked counts
+	// worker slots retired by bank losses.
+	fabric  *arch.Fabric
+	bankLo  int
+	bankHi  int
+	chaos   *ChaosOptions
+	units   sync.Pool
+	unitSeq atomic.Int64
+	breaker breaker
+
+	parkMu sync.Mutex
+	parked int
+
 	m grammarMetrics
+}
+
+// initChaos wires the recovery layer after the bank range is assigned:
+// the fabric reference (always — bank kills shrink pools regardless),
+// and, when chaos is armed, the guarded-unit pool and breaker. Each
+// unit gets its own injector stream so pooled units draw decorrelated
+// but reproducible fault sequences.
+func (g *grammarEntry) initChaos(s *Server) {
+	g.fabric = s.fabric
+	g.m.workersEffective.SetInt(int64(g.workers))
+	g.chaos = s.opts.Chaos
+	if g.chaos == nil {
+		return
+	}
+	g.breaker = breaker{
+		threshold: g.chaos.BreakerThreshold,
+		cooldown:  g.chaos.BreakerCooldown,
+		m:         &g.m,
+	}
+	reg := s.reg
+	g.units.New = func() any {
+		stream_ := g.unitSeq.Add(1)
+		inj := arch.NewInjector(arch.FaultConfig{
+			Rate:   g.chaos.FaultRate,
+			Seed:   g.chaos.FaultSeed,
+			Stream: stream_,
+		}, len(g.cm.Machine.States), g.fabric, g.bankLo, g.bankHi)
+		p, err := stream.NewParser(g.lang, g.cm, core.ExecOptions{Faults: inj})
+		if err != nil {
+			// Unreachable: the lexer was constructed at load time.
+			panic("serve: " + g.name + ": " + err.Error())
+		}
+		p.EnableTelemetry(reg)
+		return &parserUnit{p: p, inj: inj, rng: uint64(g.chaos.FaultSeed)*0x9e3779b97f4a7c15 + uint64(stream_)}
+	}
+	g.units.Put(g.units.New())
 }
 
 // newGrammarEntry compiles and places l, derives the worker width from
@@ -97,23 +149,26 @@ type GrammarInfo struct {
 	FabricShare     int `json:"fabricShare"`
 	Contexts        int `json:"contexts"`
 	OccupancyKB     int `json:"occupancyKB"`
-	// Scheduling: worker-slot width and admission queue capacity.
-	Workers    int `json:"workers"`
-	QueueDepth int `json:"queueDepth"`
+	// Scheduling: worker-slot width (as provisioned and as currently
+	// backed by surviving banks) and admission queue capacity.
+	Workers          int `json:"workers"`
+	WorkersEffective int `json:"workersEffective"`
+	QueueDepth       int `json:"queueDepth"`
 }
 
 func (g *grammarEntry) info(queueDepth int) GrammarInfo {
 	return GrammarInfo{
-		Name:            g.name,
-		States:          g.cm.Stats.States,
-		EpsilonStates:   g.cm.Stats.EpsStates,
-		TokenTypes:      g.cm.Stats.TokenTypes,
-		Productions:     g.cm.Stats.Productions,
-		BanksPerContext: g.cap.BanksPerContext,
-		FabricShare:     g.cap.FabricBanks,
-		Contexts:        g.cap.Contexts,
-		OccupancyKB:     g.cap.OccupancyKB,
-		Workers:         g.workers,
-		QueueDepth:      queueDepth,
+		Name:             g.name,
+		States:           g.cm.Stats.States,
+		EpsilonStates:    g.cm.Stats.EpsStates,
+		TokenTypes:       g.cm.Stats.TokenTypes,
+		Productions:      g.cm.Stats.Productions,
+		BanksPerContext:  g.cap.BanksPerContext,
+		FabricShare:      g.cap.FabricBanks,
+		Contexts:         g.cap.Contexts,
+		OccupancyKB:      g.cap.OccupancyKB,
+		Workers:          g.workers,
+		WorkersEffective: g.effectiveWorkers(),
+		QueueDepth:       queueDepth,
 	}
 }

@@ -1,0 +1,60 @@
+package serve
+
+import (
+	"testing"
+	"time"
+
+	"aspen/internal/lang"
+)
+
+func TestClampRetrySecs(t *testing.T) {
+	cases := []struct {
+		in   int64
+		want string
+	}{
+		{-5, "1"},
+		{0, "1"}, // the cold-start bug: an empty histogram must not emit 0
+		{1, "1"},
+		{42, "42"},
+		{60, "60"},
+		{61, "60"},
+		{1 << 40, "60"},
+	}
+	for _, c := range cases {
+		if got := clampRetrySecs(c.in); got != c.want {
+			t.Errorf("clampRetrySecs(%d) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+// TestRetryAfterBounds pins the 429 hint at both ends: a cold server
+// with no latency history answers at least 1 second, and a pathological
+// backlog estimate is capped at maxRetryAfterSecs.
+func TestRetryAfterBounds(t *testing.T) {
+	s, err := New(Options{Languages: []*lang.Language{lang.JSON()}, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := s.grammars["JSON"]
+
+	// Cold start: empty histogram, empty queue.
+	if got := s.retryAfter(g); got != "1" {
+		t.Errorf("cold-start Retry-After = %q, want %q", got, "1")
+	}
+
+	// A sub-second mean must round up to 1, never truncate to 0.
+	g.m.requestNS.ObserveInt((50 * time.Millisecond).Nanoseconds())
+	if err := g.admit(); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.retryAfter(g); got != "1" {
+		t.Errorf("sub-second estimate Retry-After = %q, want %q", got, "1")
+	}
+
+	// A huge mean latency times a backlog is capped, not propagated.
+	g.m.requestNS.ObserveInt((10 * time.Minute).Nanoseconds())
+	if got := s.retryAfter(g); got != "60" {
+		t.Errorf("pathological estimate Retry-After = %q, want %q", got, "60")
+	}
+	g.release()
+}

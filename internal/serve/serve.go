@@ -79,6 +79,10 @@ type Options struct {
 	// TraceSample emits every Nth request to Trace (0 with Trace set =
 	// every request).
 	TraceSample int
+	// Chaos, when non-nil, arms fault injection and the
+	// checkpoint/replay recovery layer (see ChaosOptions). nil keeps
+	// the unguarded request path; bank kills still shrink worker pools.
+	Chaos *ChaosOptions
 }
 
 // Server is a loaded, ready-to-serve grammar registry plus its HTTP
@@ -91,6 +95,7 @@ type Server struct {
 	names    []string // registration order, for /v1/grammars
 	mux      *http.ServeMux
 	m        serviceMetrics
+	fabric   *arch.Fabric
 
 	draining atomic.Bool
 	inflight sync.WaitGroup
@@ -129,21 +134,28 @@ func New(opts Options) (*Server, error) {
 	if opts.MaxBodyBytes == 0 {
 		opts.MaxBodyBytes = DefaultMaxBodyBytes
 	}
+	if opts.Chaos != nil {
+		c := opts.Chaos.withDefaults()
+		opts.Chaos = &c
+	}
 	s := &Server{
 		opts:     opts,
 		reg:      reg,
 		cfg:      cfg,
 		grammars: make(map[string]*grammarEntry, len(langs)),
 		m:        newServiceMetrics(reg),
+		fabric:   arch.NewFabric(cfg.FabricBanksOrDefault()),
 		started:  time.Now(),
 	}
-	// Static fabric partition: every grammar gets an equal bank share,
-	// and one worker slot per context its share sustains.
+	s.fabric.EnableTelemetry(reg)
+	// Static fabric partition: every grammar gets an equal, contiguous
+	// bank share, and one worker slot per context its share sustains.
+	// The range bounds let bank kills be attributed to their tenant.
 	share := cfg.FabricBanksOrDefault() / len(langs)
 	if share < 1 {
 		share = 1
 	}
-	for _, l := range langs {
+	for i, l := range langs {
 		if _, dup := s.grammars[l.Name]; dup {
 			return nil, fmt.Errorf("serve: duplicate grammar %q", l.Name)
 		}
@@ -151,6 +163,12 @@ func New(opts Options) (*Server, error) {
 		if err != nil {
 			return nil, fmt.Errorf("serve: grammar %s: %w", l.Name, err)
 		}
+		g.bankLo = i * share
+		g.bankHi = g.bankLo + share
+		if g.bankHi > s.fabric.Total() {
+			g.bankHi = s.fabric.Total()
+		}
+		g.initChaos(s)
 		s.grammars[l.Name] = g
 		s.names = append(s.names, l.Name)
 	}

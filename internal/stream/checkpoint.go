@@ -1,0 +1,65 @@
+package stream
+
+import (
+	"aspen/internal/core"
+	"aspen/internal/lexer"
+)
+
+// Checkpoint is a resumable snapshot of a streaming parse: the
+// machine-level core.Checkpoint plus the lexer boundary state (mode,
+// untokenized tail, stream offset) and the parser's own counters.
+// Restoring it and re-writing the same byte stream from the checkpoint
+// onward reproduces the uninterrupted parse exactly
+// (TestStreamCheckpointReplay) — the property the serving layer's
+// recovery loop relies on when it rolls a fault-corrupted request back
+// and replays the bytes buffered since the last clean point.
+type Checkpoint struct {
+	Exec core.Checkpoint
+
+	Mode     string
+	Tail     []byte
+	Offset   int
+	Tokens   int
+	LexStats lexer.Stats
+	Jammed   bool
+	JamPos   int
+}
+
+// Checkpoint copies the parser's resumable state into cp, reusing cp's
+// buffers. The parser must not have failed or been closed: checkpoints
+// mark known-good progress, and the recovery layer only takes them on
+// clean boundaries.
+func (p *Parser) Checkpoint(cp *Checkpoint) {
+	p.exec.Checkpoint(&cp.Exec)
+	cp.Mode = p.mode
+	cp.Tail = append(cp.Tail[:0], p.tail...)
+	cp.Offset = p.offset
+	cp.Tokens = p.tokens
+	cp.LexStats = p.lexStats
+	cp.Jammed = p.jammed
+	cp.JamPos = p.jamPos
+}
+
+// Restore rewinds the parser to cp, clearing any error or close mark
+// picked up since — rollback exists precisely to discard a corrupted or
+// aborted continuation. Telemetry keeps accumulating across the
+// rollback (the counters measure work performed, and replayed work is
+// work), but the per-run delta trackers rewind so post-restore deltas
+// stay non-negative.
+func (p *Parser) Restore(cp *Checkpoint) {
+	p.exec.Restore(&cp.Exec)
+	p.mode = cp.Mode
+	p.tail = append(p.tail[:0], cp.Tail...)
+	p.offset = cp.Offset
+	p.tokens = cp.Tokens
+	p.lexStats = cp.LexStats
+	p.jammed = cp.Jammed
+	p.jamPos = cp.JamPos
+	p.closed = false
+	p.err = nil
+	if p.tm != nil {
+		res := p.exec.Result()
+		p.tm.prevTokens = p.tokens
+		p.tm.prevCycles = res.Consumed + res.EpsilonStalls
+	}
+}

@@ -1,0 +1,224 @@
+package stream
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"aspen/internal/compile"
+	"aspen/internal/core"
+	"aspen/internal/lang"
+	"aspen/internal/telemetry"
+)
+
+// writeChunks feeds doc to p using the chunk boundaries in cuts
+// (ascending offsets into doc). It returns the first Write error.
+func writeChunks(p *Parser, doc []byte, cuts []int) error {
+	prev := 0
+	for _, c := range cuts {
+		if _, err := p.Write(doc[prev:c]); err != nil {
+			return err
+		}
+		prev = c
+	}
+	if prev < len(doc) {
+		if _, err := p.Write(doc[prev:]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// TestStreamCheckpointReplay is the stream-level replay-equivalence
+// property: checkpoint mid-stream, let the parser run (or diverge), then
+// restore and re-write the bytes after the checkpoint — the Outcome,
+// including lexer statistics, must equal the uninterrupted parse's.
+func TestStreamCheckpointReplay(t *testing.T) {
+	const seed = 0x57e4_c4e1
+	r := rand.New(rand.NewSource(seed))
+	t.Logf("seed %#x", seed)
+	for _, l := range lang.All() {
+		cm, err := l.Compile(compile.OptAll)
+		if err != nil {
+			t.Fatal(err)
+		}
+		doc := []byte(sampleOf[l.Name])
+		for trial := 0; trial < 12; trial++ {
+			// Random ascending chunk boundaries, and a checkpoint after a
+			// random prefix of the chunks.
+			var cuts []int
+			for pos := 0; pos < len(doc); {
+				pos += 1 + r.Intn(len(doc)/3+1)
+				if pos < len(doc) {
+					cuts = append(cuts, pos)
+				}
+			}
+			cpAfter := r.Intn(len(cuts) + 1)
+
+			// Reference: uninterrupted parse over the same chunking.
+			ref, err := NewParser(l, cm, core.ExecOptions{CollectReports: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := writeChunks(ref, doc, cuts); err != nil {
+				t.Fatalf("%s: %v", l.Name, err)
+			}
+			want, err := ref.Close()
+			if err != nil {
+				t.Fatalf("%s: %v", l.Name, err)
+			}
+
+			// Interrupted parse: checkpoint after cpAfter chunks, finish,
+			// then roll back and replay the remainder.
+			p, err := NewParser(l, cm, core.ExecOptions{CollectReports: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			var mark int
+			if cpAfter < len(cuts) {
+				mark = cuts[cpAfter]
+			} else {
+				mark = len(doc)
+			}
+			if err := writeChunks(p, doc[:mark], cuts[:cpAfter]); err != nil {
+				t.Fatalf("%s: %v", l.Name, err)
+			}
+			var cp Checkpoint
+			p.Checkpoint(&cp)
+
+			rest := doc[mark:]
+			var restCuts []int
+			for _, c := range cuts {
+				if c > mark {
+					restCuts = append(restCuts, c-mark)
+				}
+			}
+
+			// First continuation: run to completion (maximal divergence
+			// from the checkpoint).
+			if err := writeChunks(p, rest, restCuts); err != nil {
+				t.Fatalf("%s: %v", l.Name, err)
+			}
+			if got, err := p.Close(); err != nil || !reflect.DeepEqual(got, want) {
+				t.Fatalf("%s: uninterrupted continuation diverged:\n got %+v (err %v)\nwant %+v", l.Name, got, err, want)
+			}
+
+			// Recovery path: restore the closed, finished parser and
+			// replay the same chunks — full Outcome equality, lexer
+			// statistics included.
+			p.Restore(&cp)
+			if err := writeChunks(p, rest, restCuts); err != nil {
+				t.Fatalf("%s: replay write: %v", l.Name, err)
+			}
+			got, err := p.Close()
+			if err != nil {
+				t.Fatalf("%s: replay close: %v", l.Name, err)
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("%s: replay-from-checkpoint diverged:\n got %+v\nwant %+v", l.Name, got, want)
+			}
+
+			// Coalesced replay (one Write for all remaining bytes — what
+			// the serving layer's replay buffer does): every
+			// chunking-invariant field must still match. Lexer ScanCycles
+			// legitimately differ because the unconsumed tail is
+			// re-scanned per Write.
+			p.Restore(&cp)
+			if _, err := p.Write(rest); err != nil {
+				t.Fatalf("%s: coalesced replay write: %v", l.Name, err)
+			}
+			got2, err := p.Close()
+			if err != nil {
+				t.Fatalf("%s: coalesced replay close: %v", l.Name, err)
+			}
+			if got2.Accepted != want.Accepted || got2.Tokens != want.Tokens ||
+				got2.Bytes != want.Bytes || !reflect.DeepEqual(got2.Result, want.Result) {
+				t.Fatalf("%s: coalesced replay diverged:\n got %+v\nwant %+v", l.Name, got2, want)
+			}
+		}
+	}
+}
+
+// TestStreamRestoreClearsFailure pins that Restore discards a poisoned
+// continuation: a parser that hit a lex error after the checkpoint
+// replays cleanly.
+func TestStreamRestoreClearsFailure(t *testing.T) {
+	l := lang.JSON()
+	cm, err := l.Compile(compile.OptAll)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := NewParser(l, cm, core.ExecOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Write([]byte(`[1, 2, `)); err != nil {
+		t.Fatal(err)
+	}
+	var cp Checkpoint
+	p.Checkpoint(&cp)
+	if _, err := p.Write([]byte{0x01}); err == nil { // not a JSON byte
+		t.Fatal("expected lex error")
+	}
+	if _, err := p.Write([]byte(`3]`)); err == nil {
+		t.Fatal("poisoned parser accepted a write")
+	}
+	p.Restore(&cp)
+	if _, err := p.Write([]byte(`3]`)); err != nil {
+		t.Fatalf("restored parser: %v", err)
+	}
+	out, err := p.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.Accepted {
+		t.Fatalf("restored parse rejected: %+v", out)
+	}
+}
+
+// TestStreamCheckpointTelemetryMonotone pins that rollback+replay keeps
+// the cumulative counters monotone (replayed work counts as work; deltas
+// never go negative).
+func TestStreamCheckpointTelemetryMonotone(t *testing.T) {
+	l := lang.JSON()
+	cm, err := l.Compile(compile.OptAll)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := NewParser(l, cm, core.ExecOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := telemetry.NewRegistry()
+	p.EnableTelemetry(reg)
+	doc := []byte(lang.JSONSample)
+	half := len(doc) / 2
+	if _, err := p.Write(doc[:half]); err != nil {
+		t.Fatal(err)
+	}
+	var cp Checkpoint
+	p.Checkpoint(&cp)
+	tokensBefore := reg.Counter("stream_tokens_total", "").Value()
+	if _, err := p.Write(doc[half:]); err != nil {
+		t.Fatal(err)
+	}
+	p.Restore(&cp)
+	if _, err := p.Write(doc[half:]); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+	tokensAfter := reg.Counter("stream_tokens_total", "").Value()
+	if tokensAfter < tokensBefore {
+		t.Fatalf("stream_tokens_total went backwards: %d -> %d", tokensBefore, tokensAfter)
+	}
+	// The second half was parsed twice; the counter reflects both passes.
+	whole, err := l.Parse(cm, doc, core.ExecOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tokensAfter <= int64(whole.Tokens) {
+		t.Errorf("replayed work not counted: counter %d, single-pass tokens %d", tokensAfter, whole.Tokens)
+	}
+}

@@ -49,7 +49,19 @@ get() {
     fi
 }
 
-health=$(get "http://$addr/healthz") || fail "/healthz unreachable"
+# The listener is bound before the announcement, but give the accept
+# loop a bounded grace period rather than trusting a single shot (or a
+# fixed sleep): poll /healthz until it answers.
+health=""
+for _ in $(seq 1 50); do
+    if health=$(get "http://$addr/healthz" 2>/dev/null) && [ -n "$health" ]; then
+        break
+    fi
+    health=""
+    kill -0 "$daemon_pid" 2>/dev/null || fail "daemon exited before /healthz answered"
+    sleep 0.1
+done
+[ -n "$health" ] || fail "/healthz never became reachable"
 echo "$health" | grep -q '"status": "ok"' || fail "/healthz not ok: $health"
 echo "$health" | grep -q '"JSON"' || fail "/healthz missing JSON grammar"
 
