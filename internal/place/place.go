@@ -198,7 +198,7 @@ func refine(m *core.HDPDA, p *Placement, load []int, opts Options) {
 		moved := 0
 		for s := 0; s < n; s++ {
 			if s == int(m.Start) {
-				continue // keep the start anchored in bank 0
+				continue // keep the start anchored in its first live bank
 			}
 			cur := p.BankOf[s]
 			// Tally neighbor banks, keeping first-seen order so the scan

@@ -215,9 +215,28 @@ func (g *grammarEntry) parseGuarded(ctx context.Context, body io.Reader) (out st
 		out, inputErr, sysErr = g.parse(ctx, body)
 		return out, 0, inputErr, sysErr
 	}
-	if !g.breaker.allow(time.Now()) {
+	allowed, probe := g.breaker.allow(time.Now())
+	if !allowed {
 		g.m.breakerDenied.Inc()
 		return stream.Outcome{}, 0, nil, errBreakerOpen
+	}
+	// A half-open probe must be resolved on every exit path. Success and
+	// recovery exhaustion resolve it below; any other exit — a request
+	// deadline at the loop head, a transport read error, a context error
+	// surfaced mid-recovery — says nothing about fabric health, so it
+	// releases the probe claim instead. Without this the probing flag
+	// would stay set and the breaker would answer 503 until restart.
+	resolved := false
+	if probe {
+		defer func() {
+			if !resolved {
+				g.breaker.probeAbort()
+			}
+		}()
+	}
+	succeed := func() {
+		resolved = true
+		g.breaker.success()
 	}
 
 	u := g.units.Get().(*parserUnit)
@@ -234,6 +253,7 @@ func (g *grammarEntry) parseGuarded(ctx context.Context, body io.Reader) (out st
 
 	fail := func(err error) (stream.Outcome, int, error, error) {
 		if errors.Is(err, errRecoveryExhausted) {
+			resolved = true
 			g.breaker.failure(time.Now())
 		}
 		return stream.Outcome{}, retries, nil, err
@@ -265,7 +285,7 @@ func (g *grammarEntry) parseGuarded(ctx context.Context, body io.Reader) (out st
 					return fail(rserr)
 				}
 				if done {
-					g.breaker.success()
+					succeed()
 					return rout, retries, rierr, nil
 				}
 				retries++
@@ -273,7 +293,7 @@ func (g *grammarEntry) parseGuarded(ctx context.Context, body io.Reader) (out st
 				// Genuine document error: same contract as the unguarded
 				// path — partial outcome plus the input error.
 				o, _ := u.p.Close()
-				g.breaker.success()
+				succeed()
 				return o, retries, werr, nil
 			}
 			if u.inj.Fired() == 0 && len(u.replay) >= g.chaos.CheckpointBytes {
@@ -298,10 +318,10 @@ func (g *grammarEntry) parseGuarded(ctx context.Context, body io.Reader) (out st
 		if rserr != nil {
 			return fail(rserr)
 		}
-		g.breaker.success()
+		succeed()
 		return rout, retries, rierr, nil
 	}
-	g.breaker.success()
+	succeed()
 	return o, retries, cerr, nil
 }
 
@@ -320,23 +340,26 @@ type breaker struct {
 	m *grammarMetrics
 }
 
-func (b *breaker) allow(now time.Time) bool {
+// allow reports whether a request may proceed, and whether it proceeds
+// as the half-open probe. A probe caller owns the probing claim and
+// must resolve it — success, failure, or probeAbort — on every path.
+func (b *breaker) allow(now time.Time) (ok, probe bool) {
 	if b.threshold < 0 {
-		return true
+		return true, false
 	}
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	if b.openUntil.IsZero() {
-		return true
+		return true, false
 	}
 	if now.Before(b.openUntil) {
-		return false
+		return false, false
 	}
 	if b.probing {
-		return false // one half-open probe at a time
+		return false, false // one half-open probe at a time
 	}
 	b.probing = true
-	return true
+	return true, true
 }
 
 func (b *breaker) success() {
@@ -351,6 +374,19 @@ func (b *breaker) success() {
 		b.openUntil = time.Time{}
 		b.m.breakerOpen.SetInt(0)
 	}
+}
+
+// probeAbort releases the half-open probe claim when the probe request
+// exited without a verdict on fabric health (request deadline,
+// transport error, cancellation mid-recovery). The breaker is neither
+// closed nor re-opened: the next request simply becomes the probe.
+func (b *breaker) probeAbort() {
+	if b.threshold < 0 {
+		return
+	}
+	b.mu.Lock()
+	b.probing = false
+	b.mu.Unlock()
 }
 
 func (b *breaker) failure(now time.Time) {
@@ -373,7 +409,10 @@ func (b *breaker) failure(now time.Time) {
 // worker slots the surviving banks can no longer back. Parking is a
 // goroutine that takes a slot token and holds it forever — banks never
 // revive — so the effective pool shrinks without restructuring the
-// slot channel, and never below one slot (CapacityFor's floor).
+// slot channel, and never below one slot (CapacityFor's floor). The
+// goroutine waits for channel capacity under a select against the
+// server's stop signal, so Drain on a busy pool reclaims parkers
+// instead of leaking them (tests create and destroy Servers in-process).
 func (g *grammarEntry) applyBankLoss() {
 	if g.fabric == nil {
 		return
@@ -390,7 +429,12 @@ func (g *grammarEntry) applyBankLoss() {
 	}
 	for g.workers-g.parked > desired {
 		g.parked++
-		go func() { g.slots <- struct{}{} }()
+		go func() {
+			select {
+			case g.slots <- struct{}{}:
+			case <-g.stop:
+			}
+		}()
 	}
 	g.m.workersEffective.SetInt(int64(g.workers - g.parked))
 }

@@ -2,7 +2,9 @@ package serve
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
@@ -332,6 +334,34 @@ func TestChaosRecoveryExhaustionOpensBreaker(t *testing.T) {
 	}
 	if snap.Counters["serve_JSON_breaker_opens_total"] != 2 {
 		t.Errorf("failed probe did not reopen: opens = %d, want 2", snap.Counters["serve_JSON_breaker_opens_total"])
+	}
+
+	// A half-open probe whose request exits without a verdict on fabric
+	// health — here a context already canceled before the first byte —
+	// must release the probe claim. Otherwise the probing flag wedges
+	// and every later request is denied until process restart.
+	time.Sleep(200 * time.Millisecond) // cooldown after the reopen above
+	g := s.grammars["JSON"]
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, _, _, sysErr := g.parseGuarded(ctx, bytes.NewReader(doc))
+	if !errors.Is(sysErr, context.Canceled) {
+		t.Fatalf("canceled probe: sysErr = %v, want context.Canceled", sysErr)
+	}
+	// The next request must become the new probe and actually execute
+	// (it exhausts and reopens), not bounce off a leaked probing flag.
+	resp, _ = postWhole(t, ts, "JSON", doc)
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("post-abort probe status %d, want 503", resp.StatusCode)
+	}
+	snap = s.Registry().Snapshot()
+	if snap.Counters["serve_JSON_recovery_exhausted_total"] != 4 {
+		t.Errorf("probe wedged after aborted probe: exhausted = %d, want 4",
+			snap.Counters["serve_JSON_recovery_exhausted_total"])
+	}
+	if snap.Counters["serve_JSON_breaker_denied_total"] != 1 {
+		t.Errorf("post-abort probe was denied: denied = %d, want still 1",
+			snap.Counters["serve_JSON_breaker_denied_total"])
 	}
 
 	// Healthy tenants are unaffected by this one's breaker: the fabric

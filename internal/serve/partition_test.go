@@ -1,0 +1,66 @@
+package serve
+
+import (
+	"testing"
+
+	"aspen/internal/arch"
+	"aspen/internal/lang"
+)
+
+// TestBankPartitionCoversFabric pins the static partition invariant:
+// tenant bank ranges are contiguous, non-overlapping, and together own
+// every physical bank — the division remainder goes to the last tenant,
+// so no bank's death is invisible to pool shrinking and injectors.
+func TestBankPartitionCoversFabric(t *testing.T) {
+	langs := append(lang.All(), lang.MiniC())
+	s, err := New(Options{Languages: langs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := s.fabric.Total()
+	if total%len(langs) == 0 {
+		t.Logf("fabric %d divides evenly across %d tenants; remainder path not exercised", total, len(langs))
+	}
+	prevHi := 0
+	for _, name := range s.names {
+		g := s.grammars[name]
+		if g.bankLo != prevHi {
+			t.Errorf("%s: bankLo %d, want %d (gap or overlap)", name, g.bankLo, prevHi)
+		}
+		if g.bankHi < g.bankLo {
+			t.Errorf("%s: inverted range [%d,%d)", name, g.bankLo, g.bankHi)
+		}
+		prevHi = g.bankHi
+	}
+	if prevHi != total {
+		t.Errorf("remainder banks unowned: last bankHi %d, fabric total %d", prevHi, total)
+	}
+}
+
+// TestBankPartitionMoreGrammarsThanBanks pins the documented degenerate
+// case: with fewer banks than tenants, ranges stay well-formed (empty
+// for tenants past the fabric end) and construction still succeeds with
+// every pool floored at one worker slot.
+func TestBankPartitionMoreGrammarsThanBanks(t *testing.T) {
+	langs := append(lang.All(), lang.MiniC())
+	cfg := arch.DefaultConfig()
+	cfg.FabricBanks = 3
+	s, err := New(Options{Languages: langs, Arch: cfg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := s.fabric.Total()
+	for _, name := range s.names {
+		g := s.grammars[name]
+		if g.bankLo > g.bankHi || g.bankHi > total {
+			t.Errorf("%s: malformed range [%d,%d) on a %d-bank fabric", name, g.bankLo, g.bankHi, total)
+		}
+		if g.workers < 1 {
+			t.Errorf("%s: workers %d, want >= 1", name, g.workers)
+		}
+	}
+	last := s.grammars[s.names[len(s.names)-1]]
+	if last.bankHi != total && last.bankHi != last.bankLo {
+		t.Errorf("last tenant range [%d,%d) neither reaches total %d nor is empty", last.bankLo, last.bankHi, total)
+	}
+}

@@ -37,10 +37,12 @@ type grammarEntry struct {
 	// Recovery layer (see chaos.go). bankLo/bankHi is this tenant's
 	// contiguous share of the physical fabric; units pools guarded
 	// parser+injector contexts when chaos is armed; parked counts
-	// worker slots retired by bank losses.
+	// worker slots retired by bank losses; stop (the server's drain
+	// signal) reclaims parked-slot goroutines at shutdown.
 	fabric  *arch.Fabric
 	bankLo  int
 	bankHi  int
+	stop    chan struct{}
 	chaos   *ChaosOptions
 	units   sync.Pool
 	unitSeq atomic.Int64
@@ -59,6 +61,7 @@ type grammarEntry struct {
 // but reproducible fault sequences.
 func (g *grammarEntry) initChaos(s *Server) {
 	g.fabric = s.fabric
+	g.stop = s.stop
 	g.m.workersEffective.SetInt(int64(g.workers))
 	g.chaos = s.opts.Chaos
 	if g.chaos == nil {

@@ -98,6 +98,7 @@ type Server struct {
 	fabric   *arch.Fabric
 
 	draining atomic.Bool
+	stop     chan struct{} // closed by Drain; reclaims parked-slot goroutines
 	inflight sync.WaitGroup
 	traceSeq atomic.Int64
 	started  time.Time
@@ -145,12 +146,19 @@ func New(opts Options) (*Server, error) {
 		grammars: make(map[string]*grammarEntry, len(langs)),
 		m:        newServiceMetrics(reg),
 		fabric:   arch.NewFabric(cfg.FabricBanksOrDefault()),
+		stop:     make(chan struct{}),
 		started:  time.Now(),
 	}
 	s.fabric.EnableTelemetry(reg)
 	// Static fabric partition: every grammar gets an equal, contiguous
 	// bank share, and one worker slot per context its share sustains.
-	// The range bounds let bank kills be attributed to their tenant.
+	// The range bounds let bank kills be attributed to their tenant. The
+	// last tenant absorbs the division remainder so every physical bank
+	// has an owner — an unowned bank's death would shrink no pool and be
+	// invisible to injectors. With more grammars than banks (share
+	// clamped to 1), tenants past the fabric end get empty ranges: they
+	// still serve (CapacityFor floors the pool at one slot) but own no
+	// physical banks, so kills never degrade them.
 	share := cfg.FabricBanksOrDefault() / len(langs)
 	if share < 1 {
 		share = 1
@@ -165,8 +173,11 @@ func New(opts Options) (*Server, error) {
 		}
 		g.bankLo = i * share
 		g.bankHi = g.bankLo + share
-		if g.bankHi > s.fabric.Total() {
+		if i == len(langs)-1 || g.bankHi > s.fabric.Total() {
 			g.bankHi = s.fabric.Total()
+		}
+		if g.bankLo > g.bankHi {
+			g.bankLo = g.bankHi
 		}
 		g.initChaos(s)
 		s.grammars[l.Name] = g
@@ -202,7 +213,9 @@ func (s *Server) Draining() bool { return s.draining.Load() }
 // service-level half of graceful shutdown; pair it with
 // http.Server.Shutdown, which drains the connection level.
 func (s *Server) Drain(ctx context.Context) error {
-	s.draining.Store(true)
+	if s.draining.CompareAndSwap(false, true) {
+		close(s.stop) // release parked-slot goroutines (see applyBankLoss)
+	}
 	s.m.draining.SetInt(1)
 	done := make(chan struct{})
 	go func() {
