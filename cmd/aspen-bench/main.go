@@ -27,7 +27,7 @@ import (
 
 func main() {
 	var (
-		only  = flag.String("only", "", "run a single experiment (fig2, table1..table5, fig8, fig9, fig10, ablations, serve, chaos)")
+		only  = flag.String("only", "", "run a single experiment (fig2, table1..table5, fig8, fig9, fig10, ablations, serve, chaos, verify)")
 		size  = flag.Int("size", 32<<10, "per-document size for XML experiments (bytes)")
 		scale = flag.Int("scale", 200, "dataset scale divisor for mining experiments")
 		out   = flag.String("o", "", "write Markdown to this file instead of stdout")
@@ -86,6 +86,10 @@ func main() {
 	}
 	if want("chaos") {
 		t, _ := bench.ServeChaos(*size)
+		render(t)
+	}
+	if want("verify") {
+		t, _ := bench.ServeVerify(*size)
 		render(t)
 	}
 	if want("fig9") || want("fig10") {

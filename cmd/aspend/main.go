@@ -9,7 +9,7 @@
 //	aspend -addr :8173
 //	aspend -addr 127.0.0.1:0 -langs JSON,XML -queue 32 -timeout 10s
 //	aspend -fabric-banks 128 -pprof-addr :6060 -metrics - -trace-out reqs.jsonl -trace-sample 100
-//	aspend -fault-rate 0.001 -fault-seed 42 -kill-bank-after 30s
+//	aspend -fault-rate 0.001 -fault-seed 42 -kill-bank-after 30s -verify-mode tmr
 //
 // API:
 //
@@ -28,8 +28,12 @@
 // bit flips, stuck-at stack columns) into every parse, exercising
 // checkpointed recovery; -kill-bank-after permanently kills one fabric
 // bank per interval, shrinking worker pools and flipping /healthz to
-// "degraded" (still 200). Answers stay byte-identical to a fault-free
-// run — chaos costs retries, never correctness.
+// "degraded" (still 200). Detection is oracle-free: -verify-mode picks
+// how silent corruption is caught (scrub = invariant scrubbing on one
+// context; dmr/tmr = redundant execution on disjoint banks, which
+// consumes real fabric capacity and visibly shrinks worker pools).
+// Answers stay byte-identical to a fault-free run — chaos costs
+// retries, never correctness.
 package main
 
 import (
@@ -49,6 +53,7 @@ import (
 	"aspen/internal/lang"
 	"aspen/internal/serve"
 	"aspen/internal/telemetry"
+	"aspen/internal/verify"
 )
 
 func main() {
@@ -65,6 +70,7 @@ func main() {
 		faultRate   = flag.Float64("fault-rate", 0, "chaos: per-activation transient fault probability (0 = no injection)")
 		faultSeed   = flag.Int64("fault-seed", 1, "chaos: deterministic fault injector seed")
 		killAfter   = flag.Duration("kill-bank-after", 0, "chaos: permanently kill one fabric bank per interval (0 = never)")
+		verifyMode  = flag.String("verify-mode", "tmr", "silent-corruption detection: off|scrub|dmr|tmr (dmr/tmr run redundant contexts and shrink worker pools; applies whenever the recovery layer is armed)")
 	)
 	tf := telemetry.RegisterFlags(flag.CommandLine)
 	flag.Parse()
@@ -92,11 +98,23 @@ func main() {
 		cfg.FabricBanks = *fabricBanks
 	}
 
-	// Arm the recovery layer whenever any chaos knob is set: bank kills
-	// need the injector active to be detected mid-run.
+	vm, err := verify.ParseMode(*verifyMode)
+	if err != nil {
+		fatal("%v", err)
+	}
+	// Arm the recovery layer whenever any chaos knob is set — or when the
+	// operator explicitly asked for a detection mode (running dmr/tmr on
+	// a healthy fabric is a legitimate hardening posture; detection must
+	// not depend on injection being configured).
+	verifySet := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "verify-mode" {
+			verifySet = true
+		}
+	})
 	var chaos *serve.ChaosOptions
-	if *faultRate > 0 || *killAfter > 0 {
-		chaos = &serve.ChaosOptions{FaultRate: *faultRate, FaultSeed: *faultSeed}
+	if *faultRate > 0 || *killAfter > 0 || verifySet {
+		chaos = &serve.ChaosOptions{FaultRate: *faultRate, FaultSeed: *faultSeed, Verify: vm}
 	}
 
 	srv, err := serve.New(serve.Options{

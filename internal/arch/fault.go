@@ -28,11 +28,15 @@ import (
 //     runs are reproducible bit-for-bit given the same seed and
 //     schedule.
 //
-// Detection relies on the injected-fault signal (the injector knows it
-// fired) and on deterministic re-execution: because an hDPDA is
-// deterministic, replaying the input from a checkpoint on a healthy
-// context reproduces the uninterrupted run exactly, which is what the
-// serving layer's recovery loop does.
+// Detection is deliberately NOT the injector's job: the serving layer
+// finds corruption through internal/verify (redundant execution,
+// invariant scrubbing, checkpoint seals) without ever asking the
+// injector whether it fired — a real upset announces nothing. The
+// injector's fired counters remain as ground truth for tests and
+// benchmarks, which grade the detectors' recall and false-positive
+// rate against them. Recovery still relies on deterministic
+// re-execution: replaying the input from a checkpoint on a healthy
+// context reproduces the uninterrupted run exactly.
 
 // bankKill is one permanent loss event in the fabric's append-only
 // history.
@@ -210,6 +214,14 @@ type Injector struct {
 	flips    int
 	stucks   int
 	kills    int
+
+	// Optional injection-side telemetry: the fault source itself
+	// publishes what it injected (ground truth), so the serving layer
+	// can expose injected-vs-detected without its detection path ever
+	// reading the injector.
+	cFlips  *telemetry.Counter
+	cStucks *telemetry.Counter
+	cKills  *telemetry.Counter
 }
 
 // NewInjector builds an injector for a machine of numStates states
@@ -275,6 +287,14 @@ func (in *Injector) Counts() (flips, stucks, kills int) {
 	return in.flips, in.stucks, in.kills
 }
 
+// SetCounters routes per-kind injection totals into telemetry counters
+// (any may be nil). They increment at injection time and never reset,
+// so operators see cumulative injected-fault ground truth alongside the
+// oracle-free detection metrics the verify layer publishes.
+func (in *Injector) SetCounters(flips, stucks, kills *telemetry.Counter) {
+	in.cFlips, in.cStucks, in.cKills = flips, stucks, kills
+}
+
 // Activation implements core.FaultInjector. It is allocation-free.
 func (in *Injector) Activation(_ int, cur core.StateID, tos core.Symbol) (core.Fault, bool) {
 	// Permanent loss first: a bank in this context's range died after
@@ -284,6 +304,9 @@ func (in *Injector) Activation(_ int, cur core.StateID, tos core.Symbol) (core.F
 		if g := in.fabric.Gen(); g != in.startGen {
 			if in.fabric.KilledInRangeSince(in.startGen, in.lo, in.hi) {
 				in.kills++
+				if in.cKills != nil {
+					in.cKills.Inc()
+				}
 				f := core.NoFault
 				f.Kill = true
 				return f, true
@@ -310,6 +333,9 @@ func (in *Injector) Activation(_ int, cur core.StateID, tos core.Symbol) (core.F
 		}
 		f.NewState = ns
 		in.flips++
+		if in.cFlips != nil {
+			in.cFlips.Inc()
+		}
 	} else {
 		// Stuck-at stack column: one bit of the top-of-stack symbol
 		// reads back forced to 0 or 1.
@@ -320,6 +346,9 @@ func (in *Injector) Activation(_ int, cur core.StateID, tos core.Symbol) (core.F
 			f.StuckTOS = int16(core.Symbol(tos) &^ (core.Symbol(1) << bit))
 		}
 		in.stucks++
+		if in.cStucks != nil {
+			in.cStucks.Inc()
+		}
 	}
 	return f, true
 }

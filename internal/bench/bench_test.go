@@ -171,3 +171,62 @@ func TestServeChaosTable(t *testing.T) {
 		t.Error("render missing title")
 	}
 }
+
+// TestServeVerifyTable grades the oracle-free detection grid: redundant
+// modes must catch essentially all observable corruption (recall ≥ 0.99
+// where corruption occurred) with zero false positives and zero corrupt
+// served answers, while their bank footprint visibly narrows the worker
+// pool; mode off at the highest rate must show the exposure (corrupt
+// answers served) that motivates the layer.
+func TestServeVerifyTable(t *testing.T) {
+	tbl, rows := ServeVerify(8 << 10)
+	if len(rows) != 16 {
+		t.Fatalf("rows = %d, want 4 modes x 4 rates", len(rows))
+	}
+	byKey := map[string]VerifyRow{}
+	for _, r := range rows {
+		byKey[r.Mode+"@"+f2(r.FaultRate*1e5)] = r
+	}
+	get := func(mode string, rate float64) VerifyRow {
+		r, ok := byKey[mode+"@"+f2(rate*1e5)]
+		if !ok {
+			t.Fatalf("missing row %s@%g", mode, rate)
+		}
+		return r
+	}
+
+	off0 := get("off", 0)
+	if off0.Corrupted != 0 || off0.FalsePos != 0 || off0.CorruptAnswers != 0 {
+		t.Errorf("off@0 not clean: %+v", off0)
+	}
+	if hot := get("off", 1e-4); hot.CorruptAnswers == 0 {
+		t.Errorf("off@1e-4 served no corrupt answers — the exposure the detectors close is invisible: %+v", hot)
+	}
+	for _, mode := range []string{"dmr", "tmr"} {
+		for _, rate := range []float64{0, 1e-6, 1e-5, 1e-4} {
+			r := get(mode, rate)
+			if r.FalsePos != 0 {
+				t.Errorf("%s@%g: %d false positives", mode, rate, r.FalsePos)
+			}
+			if r.CorruptAnswers != 0 {
+				t.Errorf("%s@%g: %d corrupt answers served", mode, rate, r.CorruptAnswers)
+			}
+			if r.Corrupted > 0 && r.Recall < 0.99 {
+				t.Errorf("%s@%g: recall %.3f < 0.99 (%d/%d)", mode, rate, r.Recall, r.Detected, r.Corrupted)
+			}
+			if r.Workers < 1 {
+				t.Errorf("%s@%g: workers %d", mode, rate, r.Workers)
+			}
+		}
+	}
+	if hot := get("tmr", 1e-4); hot.Corrupted == 0 {
+		t.Error("tmr@1e-4 corrupted no trials — recall was not exercised")
+	}
+	// Capacity accounting: redundancy costs visible worker width.
+	if off0.Workers > 1 && get("tmr", 0).Workers >= off0.Workers {
+		t.Errorf("tmr workers %d not below off workers %d", get("tmr", 0).Workers, off0.Workers)
+	}
+	if !strings.Contains(tbl.Render(), "oracle-free") {
+		t.Error("render missing title")
+	}
+}

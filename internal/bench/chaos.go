@@ -11,6 +11,7 @@ import (
 	"aspen/internal/lang"
 	"aspen/internal/serve"
 	"aspen/internal/telemetry"
+	"aspen/internal/verify"
 )
 
 // ChaosRow is one fault-rate point of the recovery-overhead ladder.
@@ -51,6 +52,11 @@ func ServeChaos(sizeBytes int) (*Table, []ChaosRow) {
 				BackoffBase:      100 * time.Microsecond,
 				BackoffCap:       2 * time.Millisecond,
 				BreakerThreshold: -1, // measure recovery, not shedding
+				// TMR detection: corruption is caught by replica voting
+				// (oracle-free), so the ladder measures the full
+				// detect-and-recover path; the injector's counters below
+				// are ground truth only.
+				Verify: verify.ModeTMR,
 			},
 		})
 		if err != nil {

@@ -1,0 +1,321 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"time"
+
+	"aspen/internal/arch"
+	"aspen/internal/compile"
+	"aspen/internal/core"
+	"aspen/internal/lang"
+	"aspen/internal/serve"
+	"aspen/internal/stream"
+	"aspen/internal/telemetry"
+	"aspen/internal/verify"
+)
+
+// VerifyRow is one (detection mode × fault rate) point of the
+// oracle-free verification grid.
+type VerifyRow struct {
+	Mode      string
+	FaultRate float64
+	// Capacity and throughput of the served path: redundant modes run
+	// 2–3 replicas per request, which occupies real fabric banks
+	// (narrower Workers) and costs wall-clock (RelThru vs off@0).
+	Workers   int
+	ReqPerSec float64
+	RelThru   float64
+	// Detection accuracy over Trials single-pass guard runs, graded
+	// against bench-side ground truth (a trace digest per replica, with
+	// the same fold protocol as the guard, compared to a fault-free
+	// reference — NOT the injector's fired signal): Corrupted is how
+	// many runs were observably corrupted, Detected how many of those
+	// the detectors flagged, FalsePos how many clean runs they flagged.
+	Trials    int
+	Corrupted int
+	Detected  int
+	FalsePos  int
+	Recall    float64 // -1 when no run was corrupted (undefined)
+	FPR       float64
+	// CorruptAnswers counts served responses that differed from the
+	// fault-free reference (latency fields excluded) — silently wrong
+	// 200s, plus any non-200. The whole point of dmr/tmr is driving
+	// this to zero while off at the same rate shows the exposure.
+	CorruptAnswers int
+}
+
+// gtState is the bench-side ground-truth observer for one replica: its
+// own TraceDigest chained behind the guard's hooks, folded with the
+// same window protocol, so "corrupted" means "this replica's observable
+// trace differs from the fault-free trace" — a fault that perturbs
+// nothing observable (flip to a state with the identical continuation)
+// is correctly not counted against detector recall.
+type gtState struct {
+	dig verify.TraceDigest
+	e   *core.Execution
+}
+
+// cleanTraceSum is the fault-free reference digest for doc written in
+// window-sized pieces, with a Config fold at every window boundary —
+// the identical protocol detectionTrial applies to each replica.
+func cleanTraceSum(l *lang.Language, cm *compile.Compiled, doc []byte, window int) uint64 {
+	var d verify.TraceDigest
+	d.Reset()
+	p, err := stream.NewParser(l, cm, core.ExecOptions{Hooks: d.Hooks()})
+	if err != nil {
+		panic(err)
+	}
+	e := p.Execution()
+	for off := 0; off < len(doc); off += window {
+		end := off + window
+		if end > len(doc) {
+			end = len(doc)
+		}
+		if _, err := p.Write(doc[off:end]); err != nil {
+			panic(err)
+		}
+		d.Config(e.Current(), e.StackLen(), e.TOS(), e.Pos())
+	}
+	if _, err := p.Close(); err != nil {
+		panic(err)
+	}
+	d.Config(e.Current(), e.StackLen(), e.TOS(), e.Pos())
+	return d.Sum()
+}
+
+// detectionTrial runs doc through a fresh Guard once, with NO recovery
+// (verdicts are collected, never acted on), and reports whether the run
+// was observably corrupted (ground truth) and whether any window was
+// judged non-clean (detection). Each replica draws faults from its own
+// injector stream, mirroring the serving layer's decorrelated placement.
+func detectionTrial(l *lang.Language, cm *compile.Compiled, mode verify.Mode, rate float64, trial int64, doc []byte, window int, cleanSum uint64) (corrupted, detected bool) {
+	var gts []*gtState
+	g, err := verify.New(verify.Options{
+		Mode:    mode,
+		Machine: cm.Machine,
+		NewReplica: func(i int, hooks *core.ExecHooks) (*stream.Parser, error) {
+			gt := &gtState{}
+			gt.dig.Reset()
+			inj := arch.NewInjector(arch.FaultConfig{
+				Rate: rate, Seed: 0xbe9c, Stream: trial*4 + int64(i),
+			}, len(cm.Machine.States), nil, 0, 0)
+			p, err := stream.NewParser(l, cm, core.ExecOptions{
+				Hooks:  verify.ChainHooks(hooks, gt.dig.Hooks()),
+				Faults: inj,
+			})
+			if err != nil {
+				return nil, err
+			}
+			gt.e = p.Execution()
+			gts = append(gts, gt)
+			return p, nil
+		},
+	})
+	if err != nil {
+		panic(err)
+	}
+	fold := func() {
+		for _, gt := range gts {
+			gt.dig.Config(gt.e.Current(), gt.e.StackLen(), gt.e.TOS(), gt.e.Pos())
+		}
+	}
+	g.Reset()
+	for off := 0; off < len(doc); off += window {
+		end := off + window
+		if end > len(doc) {
+			end = len(doc)
+		}
+		v, werr := g.Write(doc[off:end])
+		fold()
+		if v != verify.Clean {
+			detected = true
+		}
+		if werr != nil {
+			break // fault-induced document error: replicas are stopped
+		}
+	}
+	if v, _, _ := g.Close(); v != verify.Clean {
+		detected = true
+	}
+	fold()
+	for _, gt := range gts {
+		if gt.dig.Sum() != cleanSum {
+			corrupted = true
+		}
+	}
+	return corrupted, detected
+}
+
+// canonicalResponse strips the latency fields that legitimately vary
+// run to run; everything else must match the fault-free reference
+// bit-for-bit.
+func canonicalResponse(pr serve.ParseResponse) serve.ParseResponse {
+	pr.LexScanCycles = 0
+	pr.QueueNS = 0
+	pr.ParseNS = 0
+	return pr
+}
+
+// ServeVerify measures what oracle-free corruption detection buys and
+// costs: for every mode (off, scrub, dmr, tmr) at fault rates {0, 1e-6,
+// 1e-5, 1e-4} it reports (a) detection recall and false-positive rate
+// against bench-side ground truth, (b) served throughput and the worker
+// width the mode's bank footprint leaves, and (c) how many served
+// answers differed from the fault-free reference — the silent-corruption
+// exposure the detectors exist to close.
+func ServeVerify(sizeBytes int) (*Table, []VerifyRow) {
+	const (
+		window = 2 << 10
+		trials = 32
+	)
+	doc := jsonDocOfSize(sizeBytes)
+	l := lang.JSON()
+	cm, err := l.Compile(compile.OptAll)
+	if err != nil {
+		panic(err)
+	}
+	cleanSum := cleanTraceSum(l, cm, doc, window)
+
+	// Fault-free serving reference for the answer-integrity column.
+	cleanSrv, err := serve.New(serve.Options{
+		Languages: []*lang.Language{lang.JSON()},
+		Registry:  telemetry.NewRegistry(),
+	})
+	if err != nil {
+		panic(err)
+	}
+	cts := httptest.NewServer(cleanSrv.Handler())
+	want, ok := postCanonical(cts.URL, doc)
+	cts.Close()
+	if !ok {
+		panic("bench verify: fault-free reference request failed")
+	}
+
+	modes := []verify.Mode{verify.ModeOff, verify.ModeScrub, verify.ModeDMR, verify.ModeTMR}
+	rates := []float64{0, 1e-6, 1e-5, 1e-4}
+	var rows []VerifyRow
+	for _, mode := range modes {
+		for _, rate := range rates {
+			row := VerifyRow{Mode: mode.String(), FaultRate: rate, Trials: trials}
+
+			// (a) Detection accuracy, no recovery in the loop.
+			for tr := 0; tr < trials; tr++ {
+				corrupted, detected := detectionTrial(l, cm, mode, rate, int64(tr), doc, window, cleanSum)
+				if corrupted {
+					row.Corrupted++
+					if detected {
+						row.Detected++
+					}
+				} else if detected {
+					row.FalsePos++
+				}
+			}
+			row.Recall = -1
+			if row.Corrupted > 0 {
+				row.Recall = float64(row.Detected) / float64(row.Corrupted)
+			}
+			if clean := trials - row.Corrupted; clean > 0 {
+				row.FPR = float64(row.FalsePos) / float64(clean)
+			}
+
+			// (b)+(c) Served throughput, capacity, and answer integrity
+			// with the full recovery loop engaged.
+			reg := telemetry.NewRegistry()
+			srv, err := serve.New(serve.Options{
+				Languages: []*lang.Language{lang.JSON()},
+				Registry:  reg,
+				Chaos: &serve.ChaosOptions{
+					FaultRate:       rate,
+					FaultSeed:       1,
+					CheckpointBytes: window,
+					MaxAttempts:     30,
+					BackoffBase:     100 * time.Microsecond,
+					BackoffCap:      2 * time.Millisecond,
+					// Measure detection and recovery, not shedding.
+					BreakerThreshold: -1,
+					Verify:           mode,
+				},
+			})
+			if err != nil {
+				panic(err)
+			}
+			ts := httptest.NewServer(srv.Handler())
+			row.Workers = srv.Grammars()[0].Workers
+
+			clients := row.Workers
+			if clients > 8 {
+				clients = 8
+			}
+			const perClient = 6
+			total := clients * perClient
+			var wg sync.WaitGroup
+			var mu sync.Mutex
+			start := time.Now()
+			for c := 0; c < clients; c++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					for i := 0; i < perClient; i++ {
+						got, ok := postCanonical(ts.URL, doc)
+						if !ok || got != want {
+							mu.Lock()
+							row.CorruptAnswers++
+							mu.Unlock()
+						}
+					}
+				}()
+			}
+			wg.Wait()
+			row.ReqPerSec = float64(total) / time.Since(start).Seconds()
+			ts.Close()
+			rows = append(rows, row)
+		}
+	}
+	for i := range rows {
+		rows[i].RelThru = rows[i].ReqPerSec / rows[0].ReqPerSec
+	}
+
+	tbl := &Table{
+		ID:    "verify",
+		Title: "oracle-free corruption detection: recall, false positives, and cost (JSON tenant)",
+		Header: []string{"Mode", "Fault rate", "Workers", "req/s", "vs off@0",
+			"Corrupted", "Detected", "Recall", "FPR", "Corrupt answers"},
+		Notes: []string{
+			fmt.Sprintf("Recall/FPR: %d single-pass guard runs per cell over a %d-byte document, graded against a bench-side trace digest per replica (ground truth; the detectors never see it) — Corrupted counts observably corrupted runs, Detected those the guard flagged, Recall their ratio ('—' when nothing was corrupted).", trials, sizeBytes),
+			fmt.Sprintf("Cost: the same document served over HTTP with checkpointed recovery (%d-byte windows); Workers is the pool the mode's bank footprint leaves (dmr/tmr replicas occupy real banks), and Corrupt answers counts responses differing from the fault-free reference — the exposure off/scrub leave open and dmr/tmr must close.", window),
+		},
+	}
+	for _, r := range rows {
+		recall := "—"
+		if r.Recall >= 0 {
+			recall = f2(r.Recall)
+		}
+		tbl.Rows = append(tbl.Rows, []string{
+			r.Mode, fmt.Sprintf("%g", r.FaultRate), d(r.Workers), f0(r.ReqPerSec), f2(r.RelThru),
+			fmt.Sprintf("%d/%d", r.Corrupted, r.Trials), d(r.Detected), recall, f2(r.FPR), d(r.CorruptAnswers)})
+	}
+	return tbl, rows
+}
+
+// postCanonical posts doc and returns the canonicalized response;
+// ok=false on any non-200 or transport/decode failure.
+func postCanonical(baseURL string, doc []byte) (serve.ParseResponse, bool) {
+	resp, err := http.Post(baseURL+"/v1/parse/JSON", "application/octet-stream", bytes.NewReader(doc))
+	if err != nil {
+		return serve.ParseResponse{}, false
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return serve.ParseResponse{}, false
+	}
+	var pr serve.ParseResponse
+	if err := json.NewDecoder(resp.Body).Decode(&pr); err != nil {
+		return serve.ParseResponse{}, false
+	}
+	return canonicalResponse(pr), true
+}

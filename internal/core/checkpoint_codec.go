@@ -1,0 +1,188 @@
+package core
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// Binary checkpoint codec. A checkpoint that leaves the process (spilled
+// to disk, shipped to a standby) travels as a fixed-layout little-endian
+// record carrying its integrity seal, so the receiving side can verify
+// the snapshot survived storage before resuming from it:
+//
+//	magic "ACP1" | Cur | Pos | EpsSeq | stack len | stack bytes |
+//	Res scalars | report count | reports | Digest
+//
+// The encoding is canonical (one byte string per checkpoint value), so
+// any byte-level corruption either fails to parse or decodes to fields
+// that no longer match the digest — FuzzCheckpointRestoreRoundTrip
+// pins both properties.
+
+var errCheckpointEncoding = errors.New("core: malformed checkpoint encoding")
+
+const checkpointMagic = "ACP1"
+
+// MarshalBinary encodes the checkpoint, seal included. It implements
+// encoding.BinaryMarshaler.
+func (cp *Checkpoint) MarshalBinary() ([]byte, error) {
+	size := 4 + 8*4 + len(cp.Stack) + 8*8 + 24*len(cp.Res.Reports) + 8
+	out := make([]byte, 0, size)
+	out = append(out, checkpointMagic...)
+	put := func(v uint64) { out = binary.LittleEndian.AppendUint64(out, v) }
+	putBool := func(b bool) {
+		if b {
+			put(1)
+		} else {
+			put(0)
+		}
+	}
+	put(uint64(int64(cp.Cur)))
+	put(uint64(int64(cp.Pos)))
+	put(uint64(int64(cp.EpsSeq)))
+	put(uint64(len(cp.Stack)))
+	for _, s := range cp.Stack {
+		out = append(out, byte(s))
+	}
+	putBool(cp.Res.Accepted)
+	put(uint64(int64(cp.Res.Consumed)))
+	putBool(cp.Res.Jammed)
+	put(uint64(int64(cp.Res.EpsilonStalls)))
+	put(uint64(int64(cp.Res.Steps)))
+	put(uint64(int64(cp.Res.FinalState)))
+	put(uint64(int64(cp.Res.MaxStackDepth)))
+	put(uint64(int64(cp.Res.ReportCount)))
+	put(uint64(len(cp.Res.Reports)))
+	for _, r := range cp.Res.Reports {
+		put(uint64(int64(r.Pos)))
+		put(uint64(int64(r.State)))
+		put(uint64(int64(r.Code)))
+	}
+	put(cp.Digest)
+	return out, nil
+}
+
+// UnmarshalBinary decodes data into cp, reusing cp's buffers. It never
+// panics on arbitrary input: structural damage returns a parse error,
+// and the caller still must check Verify (or let Restore do it) — a
+// record can parse cleanly yet carry corrupted field values, which only
+// the seal catches. It implements encoding.BinaryUnmarshaler.
+func (cp *Checkpoint) UnmarshalBinary(data []byte) error {
+	if len(data) < 4 || string(data[:4]) != checkpointMagic {
+		return fmt.Errorf("%w: missing magic", errCheckpointEncoding)
+	}
+	orig := data
+	data = data[4:]
+	take := func() (uint64, error) {
+		if len(data) < 8 {
+			return 0, fmt.Errorf("%w: truncated", errCheckpointEncoding)
+		}
+		v := binary.LittleEndian.Uint64(data)
+		data = data[8:]
+		return v, nil
+	}
+	takeInt := func(dst *int) error {
+		v, err := take()
+		*dst = int(int64(v))
+		return err
+	}
+	takeBool := func(dst *bool) error {
+		v, err := take()
+		if err == nil && v > 1 {
+			return fmt.Errorf("%w: boolean out of range", errCheckpointEncoding)
+		}
+		*dst = v == 1
+		return err
+	}
+	var cur int
+	if err := takeInt(&cur); err != nil {
+		return err
+	}
+	cp.Cur = StateID(cur)
+	if err := takeInt(&cp.Pos); err != nil {
+		return err
+	}
+	if err := takeInt(&cp.EpsSeq); err != nil {
+		return err
+	}
+	stackLen, err := take()
+	if err != nil {
+		return err
+	}
+	if stackLen > uint64(len(data)) {
+		return fmt.Errorf("%w: stack length %d exceeds payload", errCheckpointEncoding, stackLen)
+	}
+	cp.Stack = cp.Stack[:0]
+	for _, b := range data[:stackLen] {
+		cp.Stack = append(cp.Stack, Symbol(b))
+	}
+	data = data[stackLen:]
+	if err := takeBool(&cp.Res.Accepted); err != nil {
+		return err
+	}
+	if err := takeInt(&cp.Res.Consumed); err != nil {
+		return err
+	}
+	if err := takeBool(&cp.Res.Jammed); err != nil {
+		return err
+	}
+	if err := takeInt(&cp.Res.EpsilonStalls); err != nil {
+		return err
+	}
+	if err := takeInt(&cp.Res.Steps); err != nil {
+		return err
+	}
+	var fin int
+	if err := takeInt(&fin); err != nil {
+		return err
+	}
+	cp.Res.FinalState = StateID(fin)
+	if err := takeInt(&cp.Res.MaxStackDepth); err != nil {
+		return err
+	}
+	if err := takeInt(&cp.Res.ReportCount); err != nil {
+		return err
+	}
+	nReports, err := take()
+	if err != nil {
+		return err
+	}
+	if nReports > uint64(len(data))/24 {
+		return fmt.Errorf("%w: report count %d exceeds payload", errCheckpointEncoding, nReports)
+	}
+	cp.Res.Reports = cp.Res.Reports[:0]
+	for i := uint64(0); i < nReports; i++ {
+		var r Report
+		var st, code int
+		if err := takeInt(&r.Pos); err != nil {
+			return err
+		}
+		if err := takeInt(&st); err != nil {
+			return err
+		}
+		if err := takeInt(&code); err != nil {
+			return err
+		}
+		r.State = StateID(st)
+		r.Code = int32(code)
+		cp.Res.Reports = append(cp.Res.Reports, r)
+	}
+	dig, err := take()
+	if err != nil {
+		return err
+	}
+	if len(data) != 0 {
+		return fmt.Errorf("%w: %d trailing bytes", errCheckpointEncoding, len(data))
+	}
+	cp.Digest = dig
+	// Canonicality check: decoded values that don't re-encode to the
+	// original bytes (e.g. a wide integer truncated into StateID) mean
+	// the record was damaged in bits the field types would silently
+	// drop — reject instead of letting corruption alias a valid value.
+	reenc, err := cp.MarshalBinary()
+	if err != nil || !bytes.Equal(reenc, orig) {
+		return fmt.Errorf("%w: non-canonical encoding", errCheckpointEncoding)
+	}
+	return nil
+}

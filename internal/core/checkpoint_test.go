@@ -97,14 +97,18 @@ func checkReplay(t *testing.T, m *HDPDA, input []Symbol, cpAt int) {
 
 	// Restore into a fresh execution and replay.
 	fresh := NewExecution(m, opts)
-	fresh.Restore(&cp)
+	if err := fresh.Restore(&cp); err != nil {
+		t.Fatalf("restore into fresh execution rejected: %v", err)
+	}
 	if got := finish(fresh, rest); !reflect.DeepEqual(got, want) {
 		t.Fatalf("restore into fresh execution diverged:\n got %+v\nwant %+v", got, want)
 	}
 
 	// Roll the original (now-completed, i.e. maximally diverged)
 	// execution back to the checkpoint and replay — the recovery path.
-	e.Restore(&cp)
+	if err := e.Restore(&cp); err != nil {
+		t.Fatalf("rollback restore rejected: %v", err)
+	}
 	if got := finish(e, rest); !reflect.DeepEqual(got, want) {
 		t.Fatalf("rollback-and-replay diverged:\n got %+v\nwant %+v", got, want)
 	}
@@ -233,7 +237,9 @@ func TestCheckpointBufferReuse(t *testing.T) {
 	e.Checkpoint(&cp)
 	allocs := testing.AllocsPerRun(100, func() {
 		e.Checkpoint(&cp)
-		e.Restore(&cp)
+		if err := e.Restore(&cp); err != nil {
+			t.Error(err)
+		}
 	})
 	if allocs != 0 {
 		t.Errorf("steady-state Checkpoint+Restore = %v allocs/op, want 0", allocs)
@@ -306,7 +312,9 @@ func TestFaultInjectionCorruptsAndRecovers(t *testing.T) {
 	// Recovery: disarm the fault (transient upsets don't repeat), roll
 	// back, replay.
 	inj.at = -1
-	e.Restore(&cp)
+	if err := e.Restore(&cp); err != nil {
+		t.Fatalf("restore rejected: %v", err)
+	}
 	if got := finish(e, input[fed:]); !reflect.DeepEqual(got, want) {
 		t.Fatalf("recovered run diverged:\n got %+v\nwant %+v", got, want)
 	}

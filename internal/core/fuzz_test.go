@@ -1,0 +1,136 @@
+package core
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+)
+
+// palInput maps arbitrary fuzz bytes onto the palindrome machine's
+// input alphabet so most generated inputs exercise real runs instead of
+// jamming on the first symbol.
+func palInput(data []byte) []Symbol {
+	alpha := []Symbol{'0', '1', 'c'}
+	out := make([]Symbol, len(data))
+	for i, b := range data {
+		out[i] = alpha[int(b)%len(alpha)]
+	}
+	return out
+}
+
+// FuzzCheckpointRestoreRoundTrip pins the two halves of the checkpoint
+// integrity contract on arbitrary inputs and snapshot points:
+//
+//  1. restore(unmarshal(marshal(snapshot(e)))) resumes byte-identically
+//     to the uninterrupted run, and
+//  2. any single-byte corruption of the marshaled snapshot is rejected
+//     (parse error or digest mismatch) — never restored, never a panic.
+func FuzzCheckpointRestoreRoundTrip(f *testing.F) {
+	f.Add([]byte("010c010"), 3, 0, byte(0))
+	f.Add([]byte("0110c0110"), 5, 8, byte(0xff))
+	f.Add([]byte("c"), 0, 2, byte(1))
+	f.Add([]byte("0101010101"), 9, 40, byte(0x80))
+	f.Add([]byte{}, 0, 0, byte(7))
+	f.Fuzz(func(t *testing.T, data []byte, cpAt int, corruptOff int, corruptXor byte) {
+		m := PalindromeHDPDA()
+		input := palInput(data)
+		if cpAt < 0 {
+			cpAt = -cpAt
+		}
+		if cpAt > len(input) {
+			cpAt = len(input)
+		}
+
+		ref := NewExecution(m, ExecOptions{CollectReports: true})
+		want := finish(ref, input)
+
+		e := NewExecution(m, ExecOptions{CollectReports: true})
+		fed, ended, err := drive(e, input, cpAt)
+		if ended || err != nil {
+			return // run over before the snapshot point: nothing to resume
+		}
+		var cp Checkpoint
+		e.Checkpoint(&cp)
+		raw, merr := cp.MarshalBinary()
+		if merr != nil {
+			t.Fatalf("marshal: %v", merr)
+		}
+
+		// Round trip through the codec, then resume and compare.
+		var cp2 Checkpoint
+		if err := cp2.UnmarshalBinary(raw); err != nil {
+			t.Fatalf("unmarshal of pristine encoding failed: %v", err)
+		}
+		fresh := NewExecution(m, ExecOptions{CollectReports: true})
+		if err := fresh.Restore(&cp2); err != nil {
+			t.Fatalf("restore of pristine round-trip rejected: %v", err)
+		}
+		if got := finish(fresh, input[fed:]); !reflect.DeepEqual(got, want) {
+			t.Fatalf("round-tripped resume diverged:\n got %+v\nwant %+v", got, want)
+		}
+
+		// Corrupt one byte: the snapshot must be rejected, not replayed.
+		if corruptXor != 0 && len(raw) > 0 {
+			mut := append([]byte(nil), raw...)
+			mut[((corruptOff%len(mut))+len(mut))%len(mut)] ^= corruptXor
+			var cp3 Checkpoint
+			if uerr := cp3.UnmarshalBinary(mut); uerr == nil {
+				victim := NewExecution(m, ExecOptions{CollectReports: true})
+				if rerr := victim.Restore(&cp3); !errors.Is(rerr, ErrCheckpointCorrupt) {
+					t.Fatalf("corrupted snapshot restored (off %d xor %#x): err=%v",
+						corruptOff, corruptXor, rerr)
+				}
+			}
+		}
+
+		// Arbitrary bytes must never panic the decoder.
+		var junk Checkpoint
+		_ = junk.UnmarshalBinary(data)
+	})
+}
+
+// TestCheckpointDigestRejectsTamper pins the integrity seal at the
+// field level: any direct mutation of a sealed checkpoint makes Restore
+// answer ErrCheckpointCorrupt.
+func TestCheckpointDigestRejectsTamper(t *testing.T) {
+	m := PalindromeHDPDA()
+	e := NewExecution(m, ExecOptions{CollectReports: true})
+	if _, _, err := drive(e, []Symbol{'0', '1', '0'}, 3); err != nil {
+		t.Fatal(err)
+	}
+	var cp Checkpoint
+	e.Checkpoint(&cp)
+	if !cp.Verify() {
+		t.Fatal("fresh checkpoint fails its own seal")
+	}
+
+	tampers := []struct {
+		name string
+		mut  func(c *Checkpoint)
+	}{
+		{"cur", func(c *Checkpoint) { c.Cur++ }},
+		{"pos", func(c *Checkpoint) { c.Pos += 3 }},
+		{"stack", func(c *Checkpoint) { c.Stack[len(c.Stack)-1] ^= 0x4 }},
+		{"steps", func(c *Checkpoint) { c.Res.Steps-- }},
+		{"stalls", func(c *Checkpoint) { c.Res.EpsilonStalls += 2 }},
+	}
+	for _, tc := range tampers {
+		c := cp
+		c.Stack = append([]Symbol(nil), cp.Stack...)
+		c.Res.Reports = append([]Report(nil), cp.Res.Reports...)
+		tc.mut(&c)
+		victim := NewExecution(m, ExecOptions{})
+		if err := victim.Restore(&c); !errors.Is(err, ErrCheckpointCorrupt) {
+			t.Errorf("%s tamper: Restore = %v, want ErrCheckpointCorrupt", tc.name, err)
+		}
+	}
+
+	// Reseal after a legitimate mutation: accepted again.
+	c := cp
+	c.Pos++
+	c.Seal()
+	victim := NewExecution(m, ExecOptions{})
+	if err := victim.Restore(&c); err != nil {
+		t.Errorf("resealed checkpoint rejected: %v", err)
+	}
+}

@@ -41,14 +41,20 @@ Item       : Element | TEXT | COMMENT | CDATA | PI ;
 			{Name: "DOCTYPE", Pattern: `<!DOCTYPE[^>]*>`},
 			{Name: "COMMENT", Pattern: `<!--([^-]|-[^-])*-->`},
 			{Name: "CDATA", Pattern: `<!\[CDATA\[([^\]]|\]+[^\]>])*\]+\]>`},
-			{Name: "LTSLASH", Pattern: `</`, SetMode: "tag"},
-			{Name: "LT", Pattern: `<`, SetMode: "tag"},
+			// `<` and `</` must be followed immediately by a name (XML
+			// forbids whitespace there), so they enter a strict tagname
+			// mode with no whitespace rule; the name itself opens the
+			// normal tag mode where attribute whitespace is skippable.
+			{Name: "LTSLASH", Pattern: `</`, SetMode: "tagname"},
+			{Name: "LT", Pattern: `<`, SetMode: "tagname"},
 			// Whitespace-only runs between markup are ignorable; a run
 			// containing any character data is a longer TEXT match and
 			// wins the longest-match race.
 			{Name: "WS", Pattern: `[ \t\r\n]+`, Skip: true},
 			{Name: "TEXT", Pattern: `[^<]+`},
-			// Tag mode: names, attributes, closers.
+			// Tag modes: the element name (strict, right after `<`/`</`),
+			// then attributes and closers.
+			{Name: "NAME", Pattern: nameRE, Mode: "tagname", SetMode: "tag"},
 			{Name: "NAME", Pattern: nameRE, Mode: "tag"},
 			{Name: "EQ", Pattern: `=`, Mode: "tag"},
 			{Name: "STRING", Pattern: `"[^"]*"|'[^']*'`, Mode: "tag"},

@@ -9,18 +9,25 @@ import (
 
 	"aspen/internal/arch"
 	"aspen/internal/stream"
+	"aspen/internal/verify"
 )
 
 // Recovery layer. The fabric is imperfect (see internal/arch/fault.go):
 // transient upsets silently corrupt a run, and banks die outright. The
 // service turns both into at-most-latency artifacts by exploiting the
 // machine's determinism: requests checkpoint on clean progress, buffer
-// the bytes written since the last checkpoint, and when a fault is
-// detected (the injector's fired signal, or a bank-loss error) they
-// roll back and replay on what is modeled as a freshly placed context.
-// Every accepted answer is therefore the verdict of a fault-free
-// execution — byte-identical to a run on perfect hardware (the chaos
-// e2e suite asserts exactly that).
+// the bytes written since the last checkpoint, and when corruption is
+// detected they roll back and replay on what is modeled as a freshly
+// placed context. Detection is oracle-free: nothing in this path reads
+// the injector's fired signal — a verify.Guard judges every checkpoint
+// window from redundant execution (DMR/TMR on disjoint banks),
+// invariant scrubbing, and hardware-announced bank loss alone, and the
+// checkpoints themselves carry integrity seals so a corrupted snapshot
+// is refused rather than replayed. Every accepted answer is therefore
+// the verdict of an execution the detectors judged fault-free —
+// byte-identical to a run on perfect hardware (the chaos e2e suite
+// asserts exactly that, using the injector only as test-side ground
+// truth).
 //
 // Repeated failure escalates instead of looping: replay attempts back
 // off exponentially with jitter, a request that exhausts its attempts
@@ -69,6 +76,22 @@ type ChaosOptions struct {
 	// BreakerCooldown is how long an open breaker sheds load before
 	// letting one probe request through (0 = default).
 	BreakerCooldown time.Duration
+	// Verify selects the oracle-free corruption detector guarded parses
+	// run under (off | scrub | dmr | tmr). The zero value is
+	// verify.ModeOff — detection then rests on hardware-announced bank
+	// loss alone. It is deliberately not defaulted higher: dmr/tmr
+	// replicas occupy real fabric banks and shrink the worker pool (see
+	// registry.go), a cost the operator must opt into.
+	Verify verify.Mode
+}
+
+// verifyModeOf is the detection mode a chaos config implies (ModeOff
+// for a disarmed layer).
+func verifyModeOf(c *ChaosOptions) verify.Mode {
+	if c == nil {
+		return verify.ModeOff
+	}
+	return c.Verify
 }
 
 func (c *ChaosOptions) withDefaults() ChaosOptions {
@@ -97,17 +120,21 @@ func (c *ChaosOptions) withDefaults() ChaosOptions {
 // Failure modes the handler maps to 503.
 var (
 	errRecoveryExhausted = errors.New("serve: parse could not complete on the degraded fabric (replay attempts exhausted)")
+	errCheckpointCorrupt = errors.New("serve: recovery checkpoint failed its integrity check")
 	errBreakerOpen       = errors.New("serve: circuit breaker open")
 )
 
-// parserUnit is one pooled guarded-execution context: a parser wired to
-// its own deterministic injector, the last clean checkpoint, and the
-// bytes written since it (the replay buffer). Units are per-request via
-// sync.Pool, so the injector's single-goroutine contract holds.
+// parserUnit is one pooled guarded-execution context: a verify.Guard
+// fanning writes across its replica parsers (each wired to its own
+// deterministic injector on its own bank sub-range), plus the bytes
+// written since the last clean checkpoint (the replay buffer — the
+// checkpoints themselves live inside the Guard). Units are per-request
+// via sync.Pool, so the injectors' single-goroutine contract holds. The
+// injectors are held only to mark attempt boundaries (StartRun) — the
+// detection path never reads them.
 type parserUnit struct {
-	p      *stream.Parser
-	inj    *arch.Injector
-	cp     stream.Checkpoint
+	det    *verify.Guard
+	injs   []*arch.Injector
 	replay []byte
 	rng    uint64 // backoff jitter; per-unit so attempts stay reproducible
 }
@@ -120,20 +147,24 @@ func (u *parserUnit) nextRand() uint64 {
 	return z ^ (z >> 31)
 }
 
-// noteFaults flushes the injector's per-attempt fault counts into the
-// grammar's metrics. Call at each detection point, before StartRun
-// resets the counters.
-func (g *grammarEntry) noteFaults(u *parserUnit) {
-	flips, stucks, kills := u.inj.Counts()
-	if flips > 0 {
-		g.m.faultFlips.Add(int64(flips))
+// startAttempt marks an attempt boundary on every replica's injector
+// (re-placing the unit onto the current fabric generation).
+func (u *parserUnit) startAttempt() {
+	for _, inj := range u.injs {
+		inj.StartRun()
 	}
-	if stucks > 0 {
-		g.m.faultStuck.Add(int64(stucks))
+}
+
+// traceVerify emits a detection trace event when tracing is configured.
+func (g *grammarEntry) traceVerify(event string) {
+	if g.trace == nil {
+		return
 	}
-	if kills > 0 {
-		g.m.faultKills.Add(int64(kills))
-	}
+	g.trace.Emit(map[string]any{
+		"event":   event,
+		"grammar": g.name,
+		"mode":    g.verifyMode().String(),
+	})
 }
 
 // backoff sleeps before replay attempt n (1-based): exponential from
@@ -159,31 +190,36 @@ func (g *grammarEntry) backoff(ctx context.Context, u *parserUnit, attempt int) 
 }
 
 // recover rolls u back to its last clean checkpoint and replays the
-// buffered bytes until an attempt completes fault-free, backing off
-// between attempts. With andClose set the replay also re-runs the
-// stream close, and a successful recovery returns the final outcome
-// (done=true). done=true with inputErr set means a clean replay
-// surfaced a genuine document error that the faulted pass had masked.
-// sysErr is errRecoveryExhausted or a context error.
+// buffered bytes until an attempt the detectors judge uncorrupted,
+// backing off between attempts. With andClose set the replay also
+// re-runs the stream close, and a successful recovery returns the final
+// outcome (done=true). done=true with inputErr set means a clean replay
+// surfaced a genuine document error that the corrupted pass had masked.
+// sysErr is errRecoveryExhausted, errCheckpointCorrupt (the snapshot
+// itself failed its integrity seal — there is nothing sound to replay
+// from), or a context error.
 func (g *grammarEntry) recover(ctx context.Context, u *parserUnit, andClose bool) (out stream.Outcome, done bool, inputErr, sysErr error) {
 	for attempt := 1; attempt <= g.chaos.MaxAttempts; attempt++ {
 		g.m.retries.Inc()
 		if err := g.backoff(ctx, u, attempt); err != nil {
 			return stream.Outcome{}, false, nil, err
 		}
-		u.p.Restore(&u.cp)
-		u.inj.StartRun()
+		if err := u.det.Restore(); err != nil {
+			g.m.checkpointCorrupt.Inc()
+			return stream.Outcome{}, false, nil, errCheckpointCorrupt
+		}
+		u.startAttempt()
+		verdict := verify.Clean
 		var werr error
 		if len(u.replay) > 0 {
-			_, werr = u.p.Write(u.replay)
+			verdict, werr = u.det.Write(u.replay)
 		}
-		if u.inj.Fired() > 0 {
-			g.noteFaults(u)
+		if verdict == verify.Corrupt {
 			continue
 		}
 		if werr != nil {
 			// Clean replay, real document error: conclude the parse.
-			out, _ := u.p.Close()
+			_, out, _ := u.det.Close()
 			g.m.recoveries.Inc()
 			return out, true, werr, nil
 		}
@@ -191,9 +227,8 @@ func (g *grammarEntry) recover(ctx context.Context, u *parserUnit, andClose bool
 			g.m.recoveries.Inc()
 			return stream.Outcome{}, false, nil, nil
 		}
-		out, cerr := u.p.Close()
-		if u.inj.Fired() > 0 {
-			g.noteFaults(u)
+		cv, out, cerr := u.det.Close()
+		if cv == verify.Corrupt {
 			continue
 		}
 		g.m.recoveries.Inc()
@@ -207,9 +242,10 @@ func (g *grammarEntry) recover(ctx context.Context, u *parserUnit, andClose bool
 // (Options.Chaos nil) it delegates straight to the unguarded parse —
 // the alloc regression test pins that this adds nothing to the
 // steady-state budget. Otherwise it streams the body through a guarded
-// unit: checkpoint on clean progress, detect via the injector's fired
-// signal, roll back and replay on faults. retries reports how many
-// replay attempts the request consumed (0 on an untroubled parse).
+// unit: checkpoint on clean progress, judge every window with the
+// unit's verify.Guard (never the injector), roll back and replay on a
+// Corrupt verdict. retries reports how many replay attempts the request
+// consumed (0 on an untroubled parse).
 func (g *grammarEntry) parseGuarded(ctx context.Context, body io.Reader) (out stream.Outcome, retries int, inputErr, sysErr error) {
 	if g.chaos == nil {
 		out, inputErr, sysErr = g.parse(ctx, body)
@@ -241,10 +277,10 @@ func (g *grammarEntry) parseGuarded(ctx context.Context, body io.Reader) (out st
 
 	u := g.units.Get().(*parserUnit)
 	defer g.units.Put(u)
-	u.p.Reset()
-	u.inj.StartRun()
+	u.det.Reset()
+	u.startAttempt()
 	u.replay = u.replay[:0]
-	u.p.Checkpoint(&u.cp)
+	u.det.Checkpoint()
 	g.m.checkpoints.Inc()
 
 	bufp := copyBufs.Get().(*[]byte)
@@ -252,7 +288,7 @@ func (g *grammarEntry) parseGuarded(ctx context.Context, body io.Reader) (out st
 	buf := *bufp
 
 	fail := func(err error) (stream.Outcome, int, error, error) {
-		if errors.Is(err, errRecoveryExhausted) {
+		if errors.Is(err, errRecoveryExhausted) || errors.Is(err, errCheckpointCorrupt) {
 			resolved = true
 			g.breaker.failure(time.Now())
 		}
@@ -269,6 +305,8 @@ func (g *grammarEntry) parseGuarded(ctx context.Context, body io.Reader) (out st
 		// 32 KiB), and the replay window — replay cost, and with it the
 		// odds that a replay attempt re-faults — must stay bounded by
 		// the cadence, not by however much the transport handed over.
+		// The cadence is also the detection granularity: the Guard
+		// judges every piece.
 		for off := 0; off < n; {
 			end := off + (g.chaos.CheckpointBytes - len(u.replay))
 			if end > n {
@@ -277,9 +315,10 @@ func (g *grammarEntry) parseGuarded(ctx context.Context, body io.Reader) (out st
 			chunk := buf[off:end]
 			off = end
 			u.replay = append(u.replay, chunk...)
-			_, werr := u.p.Write(chunk)
-			if u.inj.Fired() > 0 {
-				g.noteFaults(u)
+			verdict, werr := u.det.Write(chunk)
+			switch {
+			case verdict == verify.Corrupt:
+				g.traceVerify("serve.corruption_detected")
 				rout, done, rierr, rserr := g.recover(ctx, u, false)
 				if rserr != nil {
 					return fail(rserr)
@@ -289,15 +328,19 @@ func (g *grammarEntry) parseGuarded(ctx context.Context, body io.Reader) (out st
 					return rout, retries, rierr, nil
 				}
 				retries++
-			} else if werr != nil {
-				// Genuine document error: same contract as the unguarded
-				// path — partial outcome plus the input error.
-				o, _ := u.p.Close()
+			case werr != nil:
+				// Genuine document error (replicated identically on every
+				// replica, so the verdict is not Corrupt): same contract
+				// as the unguarded path — partial outcome plus the input
+				// error.
+				_, o, _ := u.det.Close()
 				succeed()
 				return o, retries, werr, nil
+			case verdict == verify.Arbitrated:
+				g.traceVerify("serve.vote_arbitrated")
 			}
-			if u.inj.Fired() == 0 && len(u.replay) >= g.chaos.CheckpointBytes {
-				u.p.Checkpoint(&u.cp)
+			if len(u.replay) >= g.chaos.CheckpointBytes {
+				u.det.Checkpoint()
 				u.replay = u.replay[:0]
 				g.m.checkpoints.Inc()
 			}
@@ -310,9 +353,9 @@ func (g *grammarEntry) parseGuarded(ctx context.Context, body io.Reader) (out st
 		}
 	}
 
-	o, cerr := u.p.Close()
-	if u.inj.Fired() > 0 {
-		g.noteFaults(u)
+	cv, o, cerr := u.det.Close()
+	if cv == verify.Corrupt {
+		g.traceVerify("serve.corruption_detected")
 		rout, _, rierr, rserr := g.recover(ctx, u, true)
 		retries++
 		if rserr != nil {
@@ -320,6 +363,9 @@ func (g *grammarEntry) parseGuarded(ctx context.Context, body io.Reader) (out st
 		}
 		succeed()
 		return rout, retries, rierr, nil
+	}
+	if cv == verify.Arbitrated {
+		g.traceVerify("serve.vote_arbitrated")
 	}
 	succeed()
 	return o, retries, cerr, nil
@@ -417,7 +463,7 @@ func (g *grammarEntry) applyBankLoss() {
 	if g.fabric == nil {
 		return
 	}
-	c := g.fabric.CapacityInRange(g.bankLo, g.bankHi, g.cap.BanksPerContext)
+	c := g.fabric.CapacityInRange(g.bankLo, g.bankHi, g.unitBanks)
 	g.parkMu.Lock()
 	defer g.parkMu.Unlock()
 	desired := c.Contexts

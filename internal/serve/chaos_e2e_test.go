@@ -14,6 +14,7 @@ import (
 
 	"aspen/internal/arch"
 	"aspen/internal/lang"
+	"aspen/internal/verify"
 )
 
 // responseBytes canonicalizes a ParseResponse for byte-identity
@@ -51,26 +52,13 @@ func jsonWide(n int) []byte {
 // TestChaosTransientByteIdentical is the headline chaos property:
 // concurrent chunked parses on a fabric injecting transient faults
 // produce responses byte-identical to a fault-free server's — faults
-// cost retries (visible in metrics), never answers.
+// cost retries (visible in metrics), never answers. Detection is
+// entirely the verify layer's (redundant execution + scrubbing): the
+// serving path never reads the injector, whose counters appear below
+// only as test-side ground truth that faults really fired.
 func TestChaosTransientByteIdentical(t *testing.T) {
 	langs := []*lang.Language{lang.JSON(), lang.XML()}
 	_, clean := newTestServer(t, Options{Languages: langs})
-	chaosSrv, chaos := newTestServer(t, Options{
-		Languages: langs,
-		// Calibration: activations ≈ 2/byte, so ~33 kB of total load at
-		// rate 1e-3 injects ~65 faults regardless of how requests land on
-		// pooled units; a ≤256-byte replay window keeps per-attempt replay
-		// failure ≈ 0.4, so 20 attempts make exhaustion ≈ impossible.
-		Chaos: &ChaosOptions{
-			FaultRate:        1e-3,
-			FaultSeed:        0xC4A0_5EED,
-			CheckpointBytes:  256,
-			MaxAttempts:      20,
-			BackoffBase:      50 * time.Microsecond,
-			BackoffCap:       2 * time.Millisecond,
-			BreakerThreshold: -1, // exhaustion is the failure under test, not shedding
-		},
-	})
 
 	type tc struct {
 		grammar string
@@ -99,46 +87,81 @@ func TestChaosTransientByteIdentical(t *testing.T) {
 		want[i] = responseBytes(t, pr)
 	}
 
-	const clients = 8
-	var wg sync.WaitGroup
-	errs := make(chan error, clients*len(cases))
-	for w := 0; w < clients; w++ {
-		wg.Add(1)
-		go func(w int) {
-			defer wg.Done()
-			for i, c := range cases {
-				chunk := 3 + (w+i)%11
-				resp, got := postChunked(t, chaos, c.grammar, c.doc, chunk)
-				if resp.StatusCode != http.StatusOK {
-					errs <- fmt.Errorf("client %d case %d: status %d", w, i, resp.StatusCode)
-					continue
-				}
-				if gb := responseBytes(t, got); !bytes.Equal(gb, want[i]) {
-					errs <- fmt.Errorf("client %d case %d: corrupted answer accepted:\nchaos %s\nclean %s", w, i, gb, want[i])
+	for _, mode := range []verify.Mode{verify.ModeDMR, verify.ModeTMR} {
+		t.Run(mode.String(), func(t *testing.T) {
+			chaosSrv, chaos := newTestServer(t, Options{
+				Languages: langs,
+				// Calibration: activations ≈ 2/byte/replica, so a ≤256-byte
+				// replay window corrupts a given replica with p ≈ 0.4 at rate
+				// 1e-3. DMR rolls back on any single corruption (window fails
+				// ≈ 0.64), TMR arbitrates singles and only rolls back on ≥2;
+				// 30 attempts make exhaustion vanishingly unlikely either way.
+				Chaos: &ChaosOptions{
+					FaultRate:        1e-3,
+					FaultSeed:        0xC4A0_5EED,
+					CheckpointBytes:  256,
+					MaxAttempts:      30,
+					BackoffBase:      50 * time.Microsecond,
+					BackoffCap:       2 * time.Millisecond,
+					BreakerThreshold: -1, // exhaustion is the failure under test, not shedding
+					Verify:           mode,
+				},
+			})
+
+			const clients = 8
+			var wg sync.WaitGroup
+			errs := make(chan error, clients*len(cases))
+			for w := 0; w < clients; w++ {
+				wg.Add(1)
+				go func(w int) {
+					defer wg.Done()
+					for i, c := range cases {
+						chunk := 3 + (w+i)%11
+						resp, got := postChunked(t, chaos, c.grammar, c.doc, chunk)
+						if resp.StatusCode != http.StatusOK {
+							errs <- fmt.Errorf("client %d case %d: status %d", w, i, resp.StatusCode)
+							continue
+						}
+						if gb := responseBytes(t, got); !bytes.Equal(gb, want[i]) {
+							errs <- fmt.Errorf("client %d case %d: corrupted answer accepted:\nchaos %s\nclean %s", w, i, gb, want[i])
+						}
+					}
+				}(w)
+			}
+			wg.Wait()
+			close(errs)
+			for err := range errs {
+				t.Error(err)
+			}
+
+			// The run must actually have exercised the machinery: faults
+			// fired (ground truth) and the detectors both caught corruption
+			// (verify_* series) and recovered it.
+			snap := chaosSrv.Registry().Snapshot()
+			faults := snap.Counters["serve_JSON_fault_flips_total"] + snap.Counters["serve_JSON_fault_stuck_total"] +
+				snap.Counters["serve_XML_fault_flips_total"] + snap.Counters["serve_XML_fault_stuck_total"]
+			if faults == 0 {
+				t.Error("no transient faults fired — the chaos run tested nothing")
+			}
+			detected := snap.Counters["serve_JSON_verify_divergences_total"] + snap.Counters["serve_XML_verify_divergences_total"] +
+				snap.Counters["serve_JSON_verify_votes_total"] + snap.Counters["serve_XML_verify_votes_total"] +
+				snap.Counters["serve_JSON_verify_scrub_failures_total"] + snap.Counters["serve_XML_verify_scrub_failures_total"]
+			if detected == 0 {
+				t.Error("faults fired but no detector counter moved")
+			}
+			if mode == verify.ModeTMR {
+				if snap.Counters["serve_JSON_verify_votes_total"]+snap.Counters["serve_XML_verify_votes_total"] == 0 {
+					t.Error("TMR run arbitrated nothing — majority voting untested")
 				}
 			}
-		}(w)
-	}
-	wg.Wait()
-	close(errs)
-	for err := range errs {
-		t.Error(err)
-	}
-
-	// The run must actually have exercised the machinery: faults fired
-	// and were recovered somewhere across the tenants.
-	snap := chaosSrv.Registry().Snapshot()
-	faults := snap.Counters["serve_JSON_fault_flips_total"] + snap.Counters["serve_JSON_fault_stuck_total"] +
-		snap.Counters["serve_XML_fault_flips_total"] + snap.Counters["serve_XML_fault_stuck_total"]
-	if faults == 0 {
-		t.Error("no transient faults fired — the chaos run tested nothing")
-	}
-	recoveries := snap.Counters["serve_JSON_recoveries_total"] + snap.Counters["serve_XML_recoveries_total"]
-	if recoveries == 0 {
-		t.Error("faults fired but no recoveries recorded")
-	}
-	if snap.Counters["serve_JSON_recovery_exhausted_total"]+snap.Counters["serve_XML_recovery_exhausted_total"] > 0 {
-		t.Error("recovery exhausted during the transient-fault run (rate/attempts miscalibrated)")
+			recoveries := snap.Counters["serve_JSON_recoveries_total"] + snap.Counters["serve_XML_recoveries_total"]
+			if mode == verify.ModeDMR && recoveries == 0 {
+				t.Error("faults fired but no recoveries recorded")
+			}
+			if snap.Counters["serve_JSON_recovery_exhausted_total"]+snap.Counters["serve_XML_recovery_exhausted_total"] > 0 {
+				t.Error("recovery exhausted during the transient-fault run (rate/attempts miscalibrated)")
+			}
+		})
 	}
 }
 
@@ -293,6 +316,10 @@ func TestChaosRecoveryExhaustionOpensBreaker(t *testing.T) {
 			BackoffCap:       time.Millisecond,
 			BreakerThreshold: 2,
 			BreakerCooldown:  150 * time.Millisecond,
+			// TMR so the saturating corruption is actually *detected*
+			// (independently corrupted replicas three-way split every
+			// window) — the escalation ladder runs without any oracle.
+			Verify: verify.ModeTMR,
 		},
 	})
 	doc := []byte(`[1, 2, 3]`)
@@ -375,5 +402,119 @@ func TestChaosRecoveryExhaustionOpensBreaker(t *testing.T) {
 		return r.StatusCode, nil
 	}(); code != http.StatusOK {
 		t.Errorf("healthz during breaker-open = %d, want 200", code)
+	}
+}
+
+// TestChaosStackOverflowIs422: an input that overruns the provisioned
+// stack depth is the *client's* problem — a deterministic, replicated
+// rejection. It must answer 422, count only parse_rejected_depth, and
+// must not read as corruption: no replay retries, no error count, no
+// breaker movement (replaying a deterministic overflow would reproduce
+// it MaxAttempts times and then open the breaker for a healthy fabric).
+func TestChaosStackOverflowIs422(t *testing.T) {
+	s, ts := newTestServer(t, Options{
+		Languages: []*lang.Language{lang.JSON()},
+		Chaos: &ChaosOptions{
+			FaultSeed:        11, // rate 0: the overflow is the only event
+			BreakerThreshold: 2,
+			Verify:           verify.ModeTMR,
+		},
+	})
+	deep := bytes.Repeat([]byte("["), 2048) // default depth budget is far smaller
+	resp, _ := postWhole(t, ts, "JSON", deep)
+	if resp.StatusCode != http.StatusUnprocessableEntity {
+		t.Fatalf("deep input: status %d, want 422", resp.StatusCode)
+	}
+	snap := s.Registry().Snapshot()
+	if got := snap.Counters["serve_JSON_parse_rejected_depth_total"]; got != 1 {
+		t.Errorf("parse_rejected_depth = %d, want 1", got)
+	}
+	if got := snap.Counters["serve_JSON_errors_total"]; got != 0 {
+		t.Errorf("errors = %d, want 0 (a depth rejection is not a machine fault)", got)
+	}
+	if got := snap.Counters["serve_JSON_retries_total"]; got != 0 {
+		t.Errorf("retries = %d, want 0 (deterministic rejection must not trigger replay)", got)
+	}
+	if got := snap.Counters["serve_JSON_breaker_opens_total"]; got != 0 {
+		t.Errorf("breaker_opens = %d, want 0", got)
+	}
+	// The same tenant still serves normal documents afterwards.
+	if resp, out := postWhole(t, ts, "JSON", []byte(`[1, [2, 3]]`)); resp.StatusCode != http.StatusOK || !out.Accepted {
+		t.Fatalf("post-rejection parse: status %d accepted %v", resp.StatusCode, out.Accepted)
+	}
+}
+
+// TestChaosTMRCapacityAccounting pins the cost side of redundant
+// execution: a TMR unit occupies 3× the banks of a bare context, so the
+// derived worker width shrinks accordingly, the replicas run on
+// disjoint sub-ranges of the tenant's banks, and both /healthz and
+// /v1/grammars surface the mode and replica count.
+func TestChaosTMRCapacityAccounting(t *testing.T) {
+	off, _ := newTestServer(t, Options{Languages: []*lang.Language{lang.JSON()}})
+	s, ts := newTestServer(t, Options{
+		Languages: []*lang.Language{lang.JSON()},
+		Chaos:     &ChaosOptions{FaultSeed: 5, Verify: verify.ModeTMR},
+	})
+	g := s.grammars["JSON"]
+	per := g.cap.BanksPerContext
+	share := g.bankHi - g.bankLo
+
+	if g.replicas != 3 || g.unitBanks != 3*per {
+		t.Fatalf("TMR unit shape: replicas=%d unitBanks=%d, want 3 and %d", g.replicas, g.unitBanks, 3*per)
+	}
+	want := arch.CapacityFor(share, 3*per).Contexts
+	if g.workers != want {
+		t.Errorf("TMR workers = %d, want %d (capacity at 3 contexts/unit)", g.workers, want)
+	}
+	if offW := off.grammars["JSON"].workers; offW > 1 && g.workers >= offW {
+		t.Errorf("TMR workers %d not below unguarded %d — redundancy cost invisible", g.workers, offW)
+	}
+	// Replica placement partitions the tenant's range: disjoint,
+	// contiguous, fully covering.
+	prev := g.bankLo
+	for i := 0; i < g.replicas; i++ {
+		lo, hi := g.replicaBanks(i)
+		if lo != prev || hi <= lo || hi > g.bankHi {
+			t.Fatalf("replica %d banks [%d,%d) break the partition of [%d,%d)", i, lo, hi, g.bankLo, g.bankHi)
+		}
+		prev = hi
+	}
+	if prev != g.bankHi {
+		t.Fatalf("replica partition stops at %d, want %d", prev, g.bankHi)
+	}
+
+	// Surfacing: healthz carries the mode; the grammar listing carries
+	// mode, replicas, and the (shrunken) worker width.
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var h HealthResponse
+	if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if h.VerifyMode != "tmr" {
+		t.Errorf("healthz verifyMode = %q, want tmr", h.VerifyMode)
+	}
+	if h.EffectiveWorkers["JSON"] != g.workers {
+		t.Errorf("healthz effectiveWorkers = %d, want %d", h.EffectiveWorkers["JSON"], g.workers)
+	}
+	resp, err = http.Get(ts.URL + "/v1/grammars")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var infos []GrammarInfo
+	if err := json.NewDecoder(resp.Body).Decode(&infos); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if len(infos) != 1 || infos[0].VerifyMode != "tmr" || infos[0].Replicas != 3 || infos[0].Workers != g.workers {
+		t.Errorf("grammar info %+v, want tmr/3 replicas/%d workers", infos, g.workers)
+	}
+
+	// And the guarded path still parses cleanly at rate 0.
+	if resp, out := postWhole(t, ts, "JSON", []byte(`{"k": [1, 2, 3]}`)); resp.StatusCode != http.StatusOK || !out.Accepted {
+		t.Fatalf("TMR clean parse: status %d accepted %v", resp.StatusCode, out.Accepted)
 	}
 }

@@ -9,6 +9,7 @@ import (
 	"strconv"
 	"time"
 
+	"aspen/internal/core"
 	"aspen/internal/telemetry"
 )
 
@@ -50,6 +51,11 @@ type HealthResponse struct {
 	FabricBanks      int            `json:"fabricBanks"`
 	LiveBanks        int            `json:"liveBanks"`
 	EffectiveWorkers map[string]int `json:"effectiveWorkers"`
+	// VerifyMode is the silent-corruption detection mode requests run
+	// under ("off" when the chaos layer is disarmed). Redundant modes
+	// show their cost in EffectiveWorkers: dmr/tmr replicas occupy real
+	// fabric banks.
+	VerifyMode string `json:"verifyMode"`
 }
 
 func (s *Server) buildMux() *http.ServeMux {
@@ -79,6 +85,7 @@ func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
 		FabricBanks:      s.fabric.Total(),
 		LiveBanks:        s.fabric.Live(),
 		EffectiveWorkers: make(map[string]int, len(s.names)),
+		VerifyMode:       verifyModeOf(s.opts.Chaos).String(),
 	}
 	for _, name := range s.names {
 		h.EffectiveWorkers[name] = s.grammars[name].effectiveWorkers()
@@ -158,13 +165,24 @@ func (s *Server) handleParse(w http.ResponseWriter, r *http.Request) {
 		case errors.Is(sysErr, errBreakerOpen):
 			w.Header().Set("Retry-After", clampRetrySecs(int64(g.chaos.BreakerCooldown/time.Second)))
 			writeJSON(w, http.StatusServiceUnavailable, ErrorResponse{Error: "grammar " + g.name + " is shedding load (circuit breaker open)"})
-		case errors.Is(sysErr, errRecoveryExhausted):
+		case errors.Is(sysErr, errRecoveryExhausted), errors.Is(sysErr, errCheckpointCorrupt):
 			g.m.errors.Inc()
 			writeJSON(w, http.StatusServiceUnavailable, ErrorResponse{Error: sysErr.Error()})
 		default:
 			g.m.errors.Inc()
 			writeJSON(w, http.StatusBadRequest, ErrorResponse{Error: sysErr.Error()})
 		}
+		return
+	}
+
+	// A stack-depth overflow is the client's document exceeding the
+	// provisioned nesting budget — a well-defined rejection (422), not a
+	// machine fault: it must not count as an error, trip the breaker, or
+	// trigger replay (it is deterministic; replaying reproduces it).
+	if errors.Is(inputErr, core.ErrStackOverflow) {
+		g.m.rejectedDepth.Inc()
+		writeJSON(w, http.StatusUnprocessableEntity,
+			ErrorResponse{Error: "input exceeds the provisioned stack depth for grammar " + g.name + ": " + inputErr.Error()})
 		return
 	}
 

@@ -63,6 +63,16 @@ type grammarMetrics struct {
 	breakerDenied     *telemetry.Counter
 	breakerOpen       *telemetry.Gauge
 	workersEffective  *telemetry.Gauge
+
+	// Oracle-free detection series (internal/verify). The fault_* series
+	// above are injection-side ground truth (published by the injector
+	// itself); these are what the detectors actually caught — the gap
+	// between the two is the recall the bench tables grade.
+	verifyDivergences *telemetry.Counter
+	verifyVotes       *telemetry.Counter
+	verifyScrubFail   *telemetry.Counter
+	checkpointCorrupt *telemetry.Counter
+	rejectedDepth     *telemetry.Counter
 }
 
 func newGrammarMetrics(reg *telemetry.Registry, grammar string) grammarMetrics {
@@ -88,5 +98,11 @@ func newGrammarMetrics(reg *telemetry.Registry, grammar string) grammarMetrics {
 		breakerDenied:     reg.Counter(p+"breaker_denied_total", "requests shed by an open circuit breaker"),
 		breakerOpen:       reg.Gauge(p+"breaker_open", "1 while the circuit breaker is open"),
 		workersEffective:  reg.Gauge(p+"workers_effective", "worker slots backed by surviving banks"),
+
+		verifyDivergences: reg.Counter(p+"verify_divergences_total", "replica digest divergences with no majority (window rolled back)"),
+		verifyVotes:       reg.Counter(p+"verify_votes_total", "TMR majority arbitrations (minority replica repaired in place)"),
+		verifyScrubFail:   reg.Counter(p+"verify_scrub_failures_total", "invariant violations found by the scrubber"),
+		checkpointCorrupt: reg.Counter(p+"checkpoint_corrupt_total", "recovery checkpoints rejected by their integrity seal"),
+		rejectedDepth:     reg.Counter(p+"parse_rejected_depth_total", "inputs rejected 422 for exceeding the configured stack depth"),
 	}
 }

@@ -9,6 +9,8 @@ import (
 	"aspen/internal/core"
 	"aspen/internal/lang"
 	"aspen/internal/stream"
+	"aspen/internal/telemetry"
+	"aspen/internal/verify"
 )
 
 // grammarEntry is one loaded tenant: the grammar compiled once into an
@@ -36,17 +38,26 @@ type grammarEntry struct {
 
 	// Recovery layer (see chaos.go). bankLo/bankHi is this tenant's
 	// contiguous share of the physical fabric; units pools guarded
-	// parser+injector contexts when chaos is armed; parked counts
-	// worker slots retired by bank losses; stop (the server's drain
-	// signal) reclaims parked-slot goroutines at shutdown.
-	fabric  *arch.Fabric
-	bankLo  int
-	bankHi  int
-	stop    chan struct{}
-	chaos   *ChaosOptions
-	units   sync.Pool
-	unitSeq atomic.Int64
-	breaker breaker
+	// detector contexts when chaos is armed; parked counts worker
+	// slots retired by bank losses; stop (the server's drain signal)
+	// reclaims parked-slot goroutines at shutdown.
+	//
+	// replicas is how many independent execution contexts one guarded
+	// unit runs (verify.Mode.Replicas(): 1 unguarded/scrub, 2 DMR,
+	// 3 TMR); unitBanks is the banks a unit therefore occupies. The
+	// worker width is derived from unitBanks, so redundancy consumes
+	// real fabric capacity — turning on TMR visibly shrinks the pool.
+	fabric    *arch.Fabric
+	bankLo    int
+	bankHi    int
+	replicas  int
+	unitBanks int
+	stop      chan struct{}
+	chaos     *ChaosOptions
+	trace     telemetry.TraceSink
+	units     sync.Pool
+	unitSeq   atomic.Int64
+	breaker   breaker
 
 	parkMu sync.Mutex
 	parked int
@@ -54,14 +65,29 @@ type grammarEntry struct {
 	m grammarMetrics
 }
 
+// replicaBanks splits this tenant's bank range into g.replicas
+// contiguous disjoint sub-ranges, one per redundant execution context —
+// the placement discipline DMR/TMR rest on: a single physical upset (or
+// bank kill) lands in at most one replica's silicon, so replicas cannot
+// corrupt coherently.
+func (g *grammarEntry) replicaBanks(i int) (lo, hi int) {
+	span := g.bankHi - g.bankLo
+	lo = g.bankLo + span*i/g.replicas
+	hi = g.bankLo + span*(i+1)/g.replicas
+	return lo, hi
+}
+
 // initChaos wires the recovery layer after the bank range is assigned:
 // the fabric reference (always — bank kills shrink pools regardless),
 // and, when chaos is armed, the guarded-unit pool and breaker. Each
-// unit gets its own injector stream so pooled units draw decorrelated
-// but reproducible fault sequences.
+// unit builds a verify.Guard whose replicas run on disjoint bank
+// sub-ranges with decorrelated (but reproducible) injector streams; the
+// injectors publish their own injected-fault counters — nothing in the
+// serving path reads them back.
 func (g *grammarEntry) initChaos(s *Server) {
 	g.fabric = s.fabric
 	g.stop = s.stop
+	g.trace = s.opts.Trace
 	g.m.workersEffective.SetInt(int64(g.workers))
 	g.chaos = s.opts.Chaos
 	if g.chaos == nil {
@@ -74,19 +100,45 @@ func (g *grammarEntry) initChaos(s *Server) {
 	}
 	reg := s.reg
 	g.units.New = func() any {
-		stream_ := g.unitSeq.Add(1)
-		inj := arch.NewInjector(arch.FaultConfig{
-			Rate:   g.chaos.FaultRate,
-			Seed:   g.chaos.FaultSeed,
-			Stream: stream_,
-		}, len(g.cm.Machine.States), g.fabric, g.bankLo, g.bankHi)
-		p, err := stream.NewParser(g.lang, g.cm, core.ExecOptions{Faults: inj})
+		seq := g.unitSeq.Add(1)
+		u := &parserUnit{rng: uint64(g.chaos.FaultSeed)*0x9e3779b97f4a7c15 + uint64(seq)}
+		det, err := verify.New(verify.Options{
+			Mode:    g.chaos.Verify,
+			Machine: g.cm.Machine,
+			Metrics: verify.Metrics{
+				Divergences:   g.m.verifyDivergences,
+				Votes:         g.m.verifyVotes,
+				ScrubFailures: g.m.verifyScrubFail,
+			},
+			NewReplica: func(i int, hooks *core.ExecHooks) (*stream.Parser, error) {
+				lo, hi := g.replicaBanks(i)
+				inj := arch.NewInjector(arch.FaultConfig{
+					Rate:   g.chaos.FaultRate,
+					Seed:   g.chaos.FaultSeed,
+					Stream: seq*int64(g.replicas) + int64(i),
+				}, len(g.cm.Machine.States), g.fabric, lo, hi)
+				inj.SetCounters(g.m.faultFlips, g.m.faultStuck, g.m.faultKills)
+				u.injs = append(u.injs, inj)
+				p, err := stream.NewParser(g.lang, g.cm, core.ExecOptions{Hooks: hooks, Faults: inj})
+				if err != nil {
+					return nil, err
+				}
+				// Stream totals count the canonical replica only;
+				// redundant work shows up as capacity (narrower pools)
+				// and in the verify_* series, not as inflated token
+				// throughput.
+				if i == 0 {
+					p.EnableTelemetry(reg)
+				}
+				return p, nil
+			},
+		})
 		if err != nil {
 			// Unreachable: the lexer was constructed at load time.
 			panic("serve: " + g.name + ": " + err.Error())
 		}
-		p.EnableTelemetry(reg)
-		return &parserUnit{p: p, inj: inj, rng: uint64(g.chaos.FaultSeed)*0x9e3779b97f4a7c15 + uint64(stream_)}
+		u.det = det
+		return u
 	}
 	g.units.Put(g.units.New())
 }
@@ -110,19 +162,29 @@ func newGrammarEntry(s *Server, l *lang.Language, fabricShare int) (*grammarEntr
 		return nil, err
 	}
 	cap := arch.CapacityFor(fabricShare, sim.NumBanks())
+	// Redundant execution is not free: a DMR/TMR unit occupies 2–3
+	// execution contexts' worth of banks, so the worker width is derived
+	// from the unit footprint, not the single-context one.
+	replicas := 1
+	if s.opts.Chaos != nil {
+		replicas = s.opts.Chaos.Verify.Replicas()
+	}
+	unitBanks := cap.BanksPerContext * replicas
 	workers := s.opts.Workers
 	if workers <= 0 {
-		workers = cap.Contexts
+		workers = arch.CapacityFor(fabricShare, unitBanks).Contexts
 	}
 	g := &grammarEntry{
-		name:    l.Name,
-		lang:    l,
-		cm:      cm,
-		cap:     cap,
-		workers: workers,
-		slots:   make(chan struct{}, workers),
-		queue:   make(chan struct{}, workers+s.opts.QueueDepth),
-		m:       newGrammarMetrics(s.reg, l.Name),
+		name:      l.Name,
+		lang:      l,
+		cm:        cm,
+		cap:       cap,
+		replicas:  replicas,
+		unitBanks: unitBanks,
+		workers:   workers,
+		slots:     make(chan struct{}, workers),
+		queue:     make(chan struct{}, workers+s.opts.QueueDepth),
+		m:         newGrammarMetrics(s.reg, l.Name),
 	}
 	g.parsers.New = func() any {
 		p, err := stream.NewParser(g.lang, g.cm, core.ExecOptions{})
@@ -157,6 +219,11 @@ type GrammarInfo struct {
 	Workers          int `json:"workers"`
 	WorkersEffective int `json:"workersEffective"`
 	QueueDepth       int `json:"queueDepth"`
+	// Verification: the corruption-detection mode and the redundant
+	// execution contexts each guarded unit consumes (reflected in
+	// Workers — replicas eat fabric capacity).
+	VerifyMode string `json:"verifyMode"`
+	Replicas   int    `json:"replicas"`
 }
 
 func (g *grammarEntry) info(queueDepth int) GrammarInfo {
@@ -173,5 +240,11 @@ func (g *grammarEntry) info(queueDepth int) GrammarInfo {
 		Workers:          g.workers,
 		WorkersEffective: g.effectiveWorkers(),
 		QueueDepth:       queueDepth,
+		VerifyMode:       g.verifyMode().String(),
+		Replicas:         g.replicas,
 	}
 }
+
+// verifyMode is the detection mode this grammar serves under (ModeOff
+// when the chaos layer is disarmed).
+func (g *grammarEntry) verifyMode() verify.Mode { return verifyModeOf(g.chaos) }

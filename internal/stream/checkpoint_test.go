@@ -1,6 +1,7 @@
 package stream
 
 import (
+	"errors"
 	"math/rand"
 	"reflect"
 	"testing"
@@ -106,7 +107,9 @@ func TestStreamCheckpointReplay(t *testing.T) {
 			// Recovery path: restore the closed, finished parser and
 			// replay the same chunks — full Outcome equality, lexer
 			// statistics included.
-			p.Restore(&cp)
+			if err := p.Restore(&cp); err != nil {
+				t.Fatalf("%s: restore rejected: %v", l.Name, err)
+			}
 			if err := writeChunks(p, rest, restCuts); err != nil {
 				t.Fatalf("%s: replay write: %v", l.Name, err)
 			}
@@ -123,7 +126,9 @@ func TestStreamCheckpointReplay(t *testing.T) {
 			// chunking-invariant field must still match. Lexer ScanCycles
 			// legitimately differ because the unconsumed tail is
 			// re-scanned per Write.
-			p.Restore(&cp)
+			if err := p.Restore(&cp); err != nil {
+				t.Fatalf("%s: coalesced restore rejected: %v", l.Name, err)
+			}
 			if _, err := p.Write(rest); err != nil {
 				t.Fatalf("%s: coalesced replay write: %v", l.Name, err)
 			}
@@ -163,7 +168,9 @@ func TestStreamRestoreClearsFailure(t *testing.T) {
 	if _, err := p.Write([]byte(`3]`)); err == nil {
 		t.Fatal("poisoned parser accepted a write")
 	}
-	p.Restore(&cp)
+	if err := p.Restore(&cp); err != nil {
+		t.Fatalf("restore rejected: %v", err)
+	}
 	if _, err := p.Write([]byte(`3]`)); err != nil {
 		t.Fatalf("restored parser: %v", err)
 	}
@@ -202,7 +209,9 @@ func TestStreamCheckpointTelemetryMonotone(t *testing.T) {
 	if _, err := p.Write(doc[half:]); err != nil {
 		t.Fatal(err)
 	}
-	p.Restore(&cp)
+	if err := p.Restore(&cp); err != nil {
+		t.Fatal(err)
+	}
 	if _, err := p.Write(doc[half:]); err != nil {
 		t.Fatal(err)
 	}
@@ -220,5 +229,49 @@ func TestStreamCheckpointTelemetryMonotone(t *testing.T) {
 	}
 	if tokensAfter <= int64(whole.Tokens) {
 		t.Errorf("replayed work not counted: counter %d, single-pass tokens %d", tokensAfter, whole.Tokens)
+	}
+}
+
+// TestStreamCheckpointDigestRejectsTamper pins the snapshot integrity
+// seal at stream level: corrupting either the stream fields or the
+// embedded machine checkpoint makes Restore refuse with
+// core.ErrCheckpointCorrupt, leaving the parser unpoisoned.
+func TestStreamCheckpointDigestRejectsTamper(t *testing.T) {
+	l := lang.JSON()
+	cm, err := l.Compile(compile.OptAll)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := NewParser(l, cm, core.ExecOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Write([]byte(`[1, 2, `)); err != nil {
+		t.Fatal(err)
+	}
+	var cp Checkpoint
+	p.Checkpoint(&cp)
+
+	streamTamper := cp
+	streamTamper.Tokens += 5
+	if err := p.Restore(&streamTamper); !errors.Is(err, core.ErrCheckpointCorrupt) {
+		t.Fatalf("stream-field tamper: Restore = %v, want ErrCheckpointCorrupt", err)
+	}
+	execTamper := cp
+	execTamper.Exec.Pos++
+	if err := p.Restore(&execTamper); !errors.Is(err, core.ErrCheckpointCorrupt) {
+		t.Fatalf("exec-field tamper: Restore = %v, want ErrCheckpointCorrupt", err)
+	}
+
+	// The parser survives the refusals and finishes the document.
+	if err := p.Restore(&cp); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Write([]byte(`3]`)); err != nil {
+		t.Fatal(err)
+	}
+	out, err := p.Close()
+	if err != nil || !out.Accepted {
+		t.Fatalf("parse after refused restores: out=%+v err=%v", out, err)
 	}
 }

@@ -125,6 +125,12 @@ func NewParser(l *lang.Language, cm *compile.Compiled, opts core.ExecOptions) (*
 	}, nil
 }
 
+// Execution exposes the underlying machine execution for observers
+// that need the live configuration (the invariant scrubber in
+// internal/verify reads the active state, stack depth and TOS at window
+// boundaries). Callers must not mutate the execution.
+func (p *Parser) Execution() *core.Execution { return p.exec }
+
 // Reset rewinds the parser to its initial configuration — start state,
 // empty stack, default lexer mode, zeroed counters — without touching
 // the compiled machine or the lexer, so a pooled parser is reused

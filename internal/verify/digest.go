@@ -1,0 +1,182 @@
+// Package verify is the oracle-free silent-corruption detection layer.
+//
+// The repurposed LLC arrays the paper executes on have no parity or ECC
+// (§IV-B), and the reproduction's fault model honours that: a transient
+// upset corrupts a run silently. A real deployment has no injector to
+// ask "did you fire?" — detection must work from the outside, the way
+// SDC scrubbing does in large fleets. This package provides three
+// composable detectors, none of which ever consults the injector:
+//
+//   - Redundant execution (DMR/TMR): each checkpoint window runs on 2
+//     or 3 independent execution contexts placed on disjoint banks; a
+//     cheap FNV-1a digest over the state/stack-op trace (fed through
+//     the 0-alloc core.ExecHooks) is compared at every window boundary.
+//     DMR detects; TMR additionally arbitrates by majority vote, so a
+//     single corrupted replica is repaired in place without rollback.
+//   - Checkpoint integrity: core/stream checkpoints carry self-digests
+//     (see core.ErrCheckpointCorrupt), so a corrupted snapshot is
+//     rejected rather than replayed. The Guard surfaces that rejection
+//     through Restore.
+//   - Invariant scrubbing: a per-window well-formedness pass over the
+//     machine configuration — active state in range and reachable from
+//     the previously observed state, stack depth matching a shadow
+//     push/pop ledger, TOS within the machine's stack alphabet, and
+//     monotone cycle accounting (Steps = Consumed + ε-stalls, counters
+//     nondecreasing). Scrubbing is free of redundancy cost and catches
+//     a useful subset of corruptions on its own (ModeScrub), and runs
+//     under DMR/TMR too, where it catches corruptions that replicate
+//     identically.
+//
+// The serving layer consumes this package through the Detector
+// interface; the injector remains only as ground truth in tests and
+// benchmarks, which report detector recall and false-positive rate.
+package verify
+
+import "aspen/internal/core"
+
+// FNV-1a parameters.
+const (
+	fnvOffset = 0xcbf29ce484222325
+	fnvPrime  = 0x100000001b3
+)
+
+// TraceDigest folds the observable execution trace — state activations,
+// stack operations, reports, jams — into a single running FNV-1a word.
+// Determinism makes the digest a complete witness for redundant
+// execution: two replicas of the same machine fed the same bytes fold
+// identical event sequences, so any divergence in their digests means
+// at least one replica's execution was corrupted. Folding is
+// allocation-free and costs a few shifts and multiplies per event, so
+// it rides the 0-alloc ExecHooks contract.
+type TraceDigest struct {
+	h uint64
+}
+
+// Reset rewinds the digest to the empty-trace value.
+func (d *TraceDigest) Reset() { d.h = fnvOffset }
+
+// Sum returns the current fold.
+func (d *TraceDigest) Sum() uint64 { return d.h }
+
+// SetSum overwrites the fold — used when rewinding a replica to a
+// checkpointed digest, or syncing an outvoted replica to the majority.
+func (d *TraceDigest) SetSum(v uint64) { d.h = v }
+
+func (d *TraceDigest) fold(b byte) { d.h = (d.h ^ uint64(b)) * fnvPrime }
+
+func (d *TraceDigest) foldU32(v uint32) {
+	d.fold(byte(v))
+	d.fold(byte(v >> 8))
+	d.fold(byte(v >> 16))
+	d.fold(byte(v >> 24))
+}
+
+// Step folds one state activation (ExecHooks.Step).
+func (d *TraceDigest) Step(id core.StateID, epsilon bool) {
+	d.fold(0x01)
+	d.foldU32(uint32(id))
+	if epsilon {
+		d.fold(1)
+	} else {
+		d.fold(0)
+	}
+}
+
+// StackOp folds one non-nop stack update (ExecHooks.StackOp).
+func (d *TraceDigest) StackOp(op core.StackOp, depth int) {
+	d.fold(0x02)
+	d.fold(op.Pop)
+	if op.HasPush {
+		d.fold(1)
+		d.fold(byte(op.Push))
+	} else {
+		d.fold(0)
+		d.fold(0)
+	}
+	d.foldU32(uint32(depth))
+}
+
+// Report folds one accept-state report (ExecHooks.Report).
+func (d *TraceDigest) Report(r core.Report) {
+	d.fold(0x03)
+	d.foldU32(uint32(r.Pos))
+	d.foldU32(uint32(r.State))
+	d.foldU32(uint32(r.Code))
+}
+
+// Jam folds a jam event (ExecHooks.Jam).
+func (d *TraceDigest) Jam(pos int, sym core.Symbol) {
+	d.fold(0x04)
+	d.foldU32(uint32(pos))
+	d.fold(byte(sym))
+}
+
+// Config folds the machine's current resting configuration. Hooks fire
+// before a fault lands (faults apply at the end of an activation), so a
+// corruption on a window's final activation would be invisible to the
+// event folds alone; folding (state, depth, TOS, position) at each
+// window boundary closes that gap — the corrupted configuration itself
+// disagrees across replicas.
+func (d *TraceDigest) Config(cur core.StateID, stackLen int, tos core.Symbol, pos int) {
+	d.fold(0x05)
+	d.foldU32(uint32(cur))
+	d.foldU32(uint32(stackLen))
+	d.fold(byte(tos))
+	d.foldU32(uint32(pos))
+}
+
+// Hooks returns an ExecHooks wired to fold every event into d.
+func (d *TraceDigest) Hooks() *core.ExecHooks {
+	return &core.ExecHooks{
+		Step:    d.Step,
+		StackOp: d.StackOp,
+		Report:  d.Report,
+		Jam:     d.Jam,
+	}
+}
+
+// ChainHooks composes two hook sets so both observe every event (either
+// may be nil). Benchmarks use it to ride a ground-truth digest alongside
+// the Guard's own hooks without perturbing them.
+func ChainHooks(a, b *core.ExecHooks) *core.ExecHooks {
+	if a == nil {
+		return b
+	}
+	if b == nil {
+		return a
+	}
+	return &core.ExecHooks{
+		Step: func(id core.StateID, epsilon bool) {
+			if a.Step != nil {
+				a.Step(id, epsilon)
+			}
+			if b.Step != nil {
+				b.Step(id, epsilon)
+			}
+		},
+		StackOp: func(op core.StackOp, depth int) {
+			if a.StackOp != nil {
+				a.StackOp(op, depth)
+			}
+			if b.StackOp != nil {
+				b.StackOp(op, depth)
+			}
+		},
+		Report: func(r core.Report) {
+			if a.Report != nil {
+				a.Report(r)
+			}
+			if b.Report != nil {
+				b.Report(r)
+			}
+		},
+		Jam: func(pos int, sym core.Symbol) {
+			if a.Jam != nil {
+				a.Jam(pos, sym)
+			}
+			if b.Jam != nil {
+				b.Jam(pos, sym)
+			}
+		},
+	}
+}

@@ -1,0 +1,445 @@
+package verify
+
+import (
+	"errors"
+	"fmt"
+
+	"aspen/internal/core"
+	"aspen/internal/stream"
+	"aspen/internal/telemetry"
+)
+
+// Mode selects which detectors a Guard runs.
+type Mode int
+
+const (
+	// ModeOff disables silent-corruption detection entirely: one
+	// replica, no hooks, no scrubbing. Hard bank deaths (ErrBankDead)
+	// still surface as Corrupt — the hardware announces those itself.
+	ModeOff Mode = iota
+	// ModeScrub runs the invariant scrubber on a single replica: no
+	// redundancy cost, partial coverage.
+	ModeScrub
+	// ModeDMR runs two replicas on disjoint banks and compares trace
+	// digests at every window boundary: detects any single-replica
+	// corruption but cannot tell which replica is wrong.
+	ModeDMR
+	// ModeTMR runs three replicas and arbitrates divergence by majority
+	// vote: a single corrupted replica is out-voted and repaired in
+	// place from the majority, without rolling the window back.
+	ModeTMR
+)
+
+// Replicas is the number of independent execution contexts the mode
+// consumes — the real capacity cost of verification (each replica
+// occupies its own banks in the fabric).
+func (m Mode) Replicas() int {
+	switch m {
+	case ModeDMR:
+		return 2
+	case ModeTMR:
+		return 3
+	default:
+		return 1
+	}
+}
+
+func (m Mode) String() string {
+	switch m {
+	case ModeOff:
+		return "off"
+	case ModeScrub:
+		return "scrub"
+	case ModeDMR:
+		return "dmr"
+	case ModeTMR:
+		return "tmr"
+	default:
+		return fmt.Sprintf("Mode(%d)", int(m))
+	}
+}
+
+// ParseMode parses the -verify-mode flag values off|scrub|dmr|tmr.
+func ParseMode(s string) (Mode, error) {
+	switch s {
+	case "off":
+		return ModeOff, nil
+	case "scrub":
+		return ModeScrub, nil
+	case "dmr":
+		return ModeDMR, nil
+	case "tmr":
+		return ModeTMR, nil
+	default:
+		return ModeOff, fmt.Errorf("verify: unknown mode %q (want off|scrub|dmr|tmr)", s)
+	}
+}
+
+// Verdict is a Guard's judgement of one window of execution.
+type Verdict int
+
+const (
+	// Clean: every detector agreed the window executed uncorrupted.
+	Clean Verdict = iota
+	// Arbitrated: replicas diverged but a TMR majority agreed; the
+	// minority replica was repaired from the majority and the window's
+	// result is trusted without a rollback.
+	Arbitrated
+	// Corrupt: corruption detected (or hardware lost) with no majority
+	// to arbitrate — the window must be rolled back and replayed.
+	Corrupt
+)
+
+func (v Verdict) String() string {
+	switch v {
+	case Clean:
+		return "clean"
+	case Arbitrated:
+		return "arbitrated"
+	case Corrupt:
+		return "corrupt"
+	default:
+		return fmt.Sprintf("Verdict(%d)", int(v))
+	}
+}
+
+// Detector is the corruption-detection contract the serving layer's
+// recovery loop runs against. It is deliberately oracle-free: nothing
+// in the interface (or its implementations here) can observe the fault
+// injector — detection must come from redundancy, invariants, and
+// checkpoint seals alone.
+type Detector interface {
+	// Reset rewinds every replica to the initial configuration (pooled
+	// reuse across requests).
+	Reset()
+	// Checkpoint snapshots every replica at a clean window boundary.
+	Checkpoint()
+	// Restore rolls every replica back to its last Checkpoint. A
+	// corrupted snapshot is refused with an error wrapping
+	// core.ErrCheckpointCorrupt, and the caller must fail the request
+	// rather than replay garbage.
+	Restore() error
+	// Write feeds one chunk to every replica and judges the window.
+	// The error is the document's own (deterministic) parse error, if
+	// any — only meaningful when the verdict is not Corrupt.
+	Write(p []byte) (Verdict, error)
+	// Close finishes the parse on every replica and returns the final
+	// judgement and the trusted outcome.
+	Close() (Verdict, stream.Outcome, error)
+}
+
+// Metrics are the detection counters a Guard publishes. Nil fields are
+// skipped.
+type Metrics struct {
+	// Divergences counts windows where replica digests disagreed with
+	// no majority to repair from (every DMR mismatch; TMR three-way
+	// splits).
+	Divergences *telemetry.Counter
+	// Votes counts TMR majority arbitrations (a minority replica was
+	// out-voted and repaired).
+	Votes *telemetry.Counter
+	// ScrubFailures counts invariant violations found by the scrubber.
+	ScrubFailures *telemetry.Counter
+}
+
+// ReplicaFactory builds replica i of a guarded parser with the guard's
+// observation hooks installed (hooks is nil in ModeOff). The factory
+// owns placement: the serving layer hands each replica a disjoint bank
+// range so a single upset cannot corrupt two replicas coherently.
+type ReplicaFactory func(i int, hooks *core.ExecHooks) (*stream.Parser, error)
+
+// Options configure a Guard.
+type Options struct {
+	Mode Mode
+	// Machine is the compiled hDPDA the replicas run — the scrubber
+	// checks invariants against its state graph and stack alphabet.
+	Machine *core.HDPDA
+	// NewReplica is called Mode.Replicas() times.
+	NewReplica ReplicaFactory
+	Metrics    Metrics
+}
+
+// replica is one independent execution context under guard.
+type replica struct {
+	p    *stream.Parser
+	exec *core.Execution
+	dig  *TraceDigest
+	scr  *Scrubber
+
+	cp    stream.Checkpoint
+	cpDig uint64
+
+	err error // sticky per-replica write/close error
+	out stream.Outcome
+}
+
+// Guard is the Detector implementation: it fans every chunk out to
+// Mode.Replicas() independent parsers, folds their traces into digests,
+// scrubs machine invariants, and judges each window boundary.
+type Guard struct {
+	mode    Mode
+	m       Metrics
+	rep     []replica
+	trusted int               // index of the replica judge() last ruled authoritative
+	scratch stream.Checkpoint // majority snapshot used to repair an out-voted replica
+}
+
+// New builds a Guard. The factory is invoked once per replica, index
+// ascending, with the guard's hooks pre-wired.
+func New(opts Options) (*Guard, error) {
+	if opts.NewReplica == nil {
+		return nil, errors.New("verify: Options.NewReplica is required")
+	}
+	g := &Guard{mode: opts.Mode, m: opts.Metrics}
+	n := opts.Mode.Replicas()
+	for i := 0; i < n; i++ {
+		var r replica
+		var hooks *core.ExecHooks
+		if opts.Mode != ModeOff {
+			if opts.Machine == nil {
+				return nil, errors.New("verify: Options.Machine is required for scrub/dmr/tmr")
+			}
+			r.dig = &TraceDigest{}
+			r.dig.Reset()
+			r.scr = NewScrubber(opts.Machine)
+			dig, scr := r.dig, r.scr
+			hooks = &core.ExecHooks{
+				Step: func(id core.StateID, epsilon bool) {
+					dig.Step(id, epsilon)
+					scr.Step(id, epsilon)
+				},
+				StackOp: dig.StackOp,
+				Report:  dig.Report,
+				Jam:     dig.Jam,
+			}
+		}
+		p, err := opts.NewReplica(i, hooks)
+		if err != nil {
+			return nil, fmt.Errorf("verify: replica %d: %w", i, err)
+		}
+		r.p = p
+		r.exec = p.Execution()
+		if r.scr != nil {
+			r.scr.Bind(r.exec)
+		}
+		g.rep = append(g.rep, r)
+	}
+	return g, nil
+}
+
+// Mode returns the guard's configured mode.
+func (g *Guard) Mode() Mode { return g.mode }
+
+// Reset implements Detector.
+func (g *Guard) Reset() {
+	for i := range g.rep {
+		r := &g.rep[i]
+		r.p.Reset()
+		if r.dig != nil {
+			r.dig.Reset()
+		}
+		if r.scr != nil {
+			r.scr.Resync()
+		}
+		r.err = nil
+		r.out = stream.Outcome{}
+	}
+}
+
+// Checkpoint implements Detector. Call only after a non-Corrupt window
+// with no document error — checkpoints mark known-good progress.
+func (g *Guard) Checkpoint() {
+	for i := range g.rep {
+		r := &g.rep[i]
+		r.p.Checkpoint(&r.cp)
+		if r.dig != nil {
+			r.cpDig = r.dig.Sum()
+		}
+	}
+}
+
+// Restore implements Detector.
+func (g *Guard) Restore() error {
+	for i := range g.rep {
+		r := &g.rep[i]
+		if err := r.p.Restore(&r.cp); err != nil {
+			return err
+		}
+		if r.dig != nil {
+			r.dig.SetSum(r.cpDig)
+		}
+		if r.scr != nil {
+			r.scr.Resync()
+		}
+		r.err = nil
+		r.out = stream.Outcome{}
+	}
+	return nil
+}
+
+// Write implements Detector.
+func (g *Guard) Write(p []byte) (Verdict, error) {
+	for i := range g.rep {
+		r := &g.rep[i]
+		if r.err != nil {
+			continue
+		}
+		if _, err := r.p.Write(p); err != nil {
+			r.err = err
+		}
+	}
+	return g.judge(false)
+}
+
+// Close implements Detector.
+func (g *Guard) Close() (Verdict, stream.Outcome, error) {
+	for i := range g.rep {
+		r := &g.rep[i]
+		// Close even an error-stopped replica: stream.Close on an errored
+		// parser returns the partial outcome (bytes/tokens consumed before
+		// the document error), which the serving layer surfaces alongside
+		// the input error.
+		out, err := r.p.Close()
+		r.out = out
+		if r.err == nil {
+			r.err = err
+		}
+	}
+	verdict, err := g.judge(true)
+	// Under TMR arbitration the trusted outcome must come from a
+	// majority member, which judge records in g.trusted.
+	return verdict, g.rep[g.trusted].out, err
+}
+
+func errsAgree(a, b error) bool {
+	if (a == nil) != (b == nil) {
+		return false
+	}
+	return a == nil || a.Error() == b.Error()
+}
+
+// judge runs the window-boundary judgement: hardware loss, invariant
+// scrub, then digest comparison (with TMR majority repair). closing
+// suppresses the in-place repair of an out-voted replica — a closed
+// parser cannot be rolled forward, and pooled reuse Resets it anyway.
+func (g *Guard) judge(closing bool) (Verdict, error) {
+	g.trusted = 0
+	// Hardware loss is not silent corruption — the fabric announces it.
+	// It still voids the window: the surviving replicas' results are
+	// fine, but the unit has lost its placement and the serving layer
+	// must re-run on live banks.
+	for i := range g.rep {
+		if errors.Is(g.rep[i].err, core.ErrBankDead) {
+			return Corrupt, g.rep[i].err
+		}
+	}
+	// Fold each replica's resting configuration into its digest before
+	// comparing: a fault landing on the window's *final* activation is
+	// invisible to the event folds (hooks fire before the fault), but
+	// the corrupted configuration itself disagrees here.
+	scrubFails := 0
+	for i := range g.rep {
+		r := &g.rep[i]
+		if r.dig != nil {
+			e := r.exec
+			r.dig.Config(e.Current(), e.StackLen(), e.TOS(), e.Pos())
+		}
+		if r.scr == nil {
+			continue
+		}
+		if r.err != nil {
+			// An error-stopped replica can abort mid-activation (a
+			// stack-overflow rejection fires between the pop and the
+			// push), leaving the shadow ledger legitimately out of sync
+			// with the live configuration. The error itself is the
+			// visible signal — errsAgree below judges whether it
+			// replicated deterministically — so realign the scrubber
+			// rather than judging a half-applied activation.
+			r.scr.Resync()
+			continue
+		}
+		scrubFails += r.scr.CheckWindow()
+	}
+	if scrubFails > 0 {
+		if c := g.m.ScrubFailures; c != nil {
+			c.Add(int64(scrubFails))
+		}
+		return Corrupt, nil
+	}
+	switch g.mode {
+	case ModeOff, ModeScrub:
+		return Clean, g.rep[0].err
+	case ModeDMR:
+		a, b := &g.rep[0], &g.rep[1]
+		if a.dig.Sum() != b.dig.Sum() || !errsAgree(a.err, b.err) {
+			if c := g.m.Divergences; c != nil {
+				c.Inc()
+			}
+			return Corrupt, nil
+		}
+		return Clean, a.err
+	case ModeTMR:
+		return g.judgeTMR(closing)
+	}
+	return Clean, g.rep[0].err
+}
+
+// judgeTMR compares the three replica digests and arbitrates by
+// majority.
+func (g *Guard) judgeTMR(closing bool) (Verdict, error) {
+	sums := [3]uint64{g.rep[0].dig.Sum(), g.rep[1].dig.Sum(), g.rep[2].dig.Sum()}
+	agree01 := sums[0] == sums[1] && errsAgree(g.rep[0].err, g.rep[1].err)
+	agree02 := sums[0] == sums[2] && errsAgree(g.rep[0].err, g.rep[2].err)
+	agree12 := sums[1] == sums[2] && errsAgree(g.rep[1].err, g.rep[2].err)
+	if agree01 && agree02 && agree12 {
+		return Clean, g.rep[0].err
+	}
+	var maj, min int
+	switch {
+	case agree01:
+		maj, min = 0, 2
+	case agree02:
+		maj, min = 0, 1
+	case agree12:
+		maj, min = 1, 0
+	default:
+		// Three-way split: no quorum to trust.
+		if c := g.m.Divergences; c != nil {
+			c.Inc()
+		}
+		return Corrupt, nil
+	}
+	if c := g.m.Votes; c != nil {
+		c.Inc()
+	}
+	g.trusted = maj
+	g.repair(maj, min, closing)
+	return Arbitrated, g.rep[maj].err
+}
+
+// repair brings the out-voted replica back in line with the majority by
+// snapshotting a majority member and restoring the minority from it —
+// the TMR "forward recovery": the window's work is kept, only the
+// corrupted replica rewinds (to the *end* of the window, not its
+// start).
+func (g *Guard) repair(maj, min int, closing bool) {
+	if closing || g.rep[maj].err != nil {
+		// A closed or error-stopped majority parser cannot be
+		// checkpointed (checkpoints mark clean resumable progress); the
+		// minority replica is abandoned for the remainder of this
+		// request and pooled Reset reconverges it.
+		return
+	}
+	m, n := &g.rep[maj], &g.rep[min]
+	m.p.Checkpoint(&g.scratch)
+	if err := n.p.Restore(&g.scratch); err != nil {
+		// Snapshot refused (cannot happen for a just-sealed checkpoint,
+		// but fail safe): leave the minority stopped; the next window
+		// still has a 2-replica majority.
+		n.err = err
+		return
+	}
+	n.dig.SetSum(m.dig.Sum())
+	n.scr.Resync()
+	n.err = nil
+}

@@ -1,0 +1,325 @@
+package verify
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+
+	"aspen/internal/compile"
+	"aspen/internal/core"
+	"aspen/internal/lang"
+	"aspen/internal/stream"
+	"aspen/internal/telemetry"
+)
+
+// onceFlip silently diverts the at-th activation to state `to` —
+// exactly one transient active-state-vector upset.
+type onceFlip struct {
+	at, n int
+	to    core.StateID
+}
+
+func (f *onceFlip) Activation(int, core.StateID, core.Symbol) (core.Fault, bool) {
+	f.n++
+	if f.n == f.at {
+		fl := core.NoFault
+		fl.NewState = f.to
+		return fl, true
+	}
+	return core.NoFault, false
+}
+
+// onceStuck corrupts the top-of-stack at the at-th activation to a
+// *neighbouring* symbol — the corruption class the scrubber's alphabet
+// check cannot see (the value stays plausible), so only redundant
+// execution exposes it.
+type onceStuck struct{ at, n int }
+
+func (f *onceStuck) Activation(_ int, _ core.StateID, tos core.Symbol) (core.Fault, bool) {
+	f.n++
+	if f.n != f.at {
+		return core.NoFault, false
+	}
+	fl := core.NoFault
+	if tos >= 2 {
+		fl.StuckTOS = int16(tos - 1)
+	} else {
+		fl.StuckTOS = int16(tos + 1)
+	}
+	return fl, true
+}
+
+// onceKill loses the context's bank at the at-th activation.
+type onceKill struct{ at, n int }
+
+func (f *onceKill) Activation(int, core.StateID, core.Symbol) (core.Fault, bool) {
+	f.n++
+	if f.n == f.at {
+		fl := core.NoFault
+		fl.Kill = true
+		return fl, true
+	}
+	return core.NoFault, false
+}
+
+// newJSONGuard builds a Guard over the compiled JSON machine. injFor
+// picks the fault injector per replica (nil = healthy replica).
+func newJSONGuard(t *testing.T, mode Mode, injFor func(i int) core.FaultInjector, m Metrics) *Guard {
+	t.Helper()
+	l := lang.JSON()
+	cm, err := l.Compile(compile.OptAll)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := New(Options{
+		Mode:    mode,
+		Machine: cm.Machine,
+		Metrics: m,
+		NewReplica: func(i int, hooks *core.ExecHooks) (*stream.Parser, error) {
+			eo := core.ExecOptions{Hooks: hooks}
+			if injFor != nil {
+				eo.Faults = injFor(i)
+			}
+			return stream.NewParser(l, cm, eo)
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+// refOutcome is the fault-free reference for doc written as one chunk.
+func refOutcome(t *testing.T, doc []byte) stream.Outcome {
+	t.Helper()
+	l := lang.JSON()
+	cm, err := l.Compile(compile.OptAll)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := stream.NewParser(l, cm, core.ExecOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Write(doc); err != nil {
+		t.Fatal(err)
+	}
+	out, err := p.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+// TestGuardCleanAllModes: on a healthy fabric every mode judges every
+// window Clean and reproduces the reference outcome exactly.
+func TestGuardCleanAllModes(t *testing.T) {
+	doc := []byte(lang.JSONSample)
+	for _, mode := range []Mode{ModeOff, ModeScrub, ModeDMR, ModeTMR} {
+		g := newJSONGuard(t, mode, nil, Metrics{})
+		// Reference computed with the same chunking as the guard run.
+		want := refOutcome(t, doc)
+		g.Reset()
+		g.Checkpoint()
+		half := len(doc) / 2
+		for _, chunk := range [][]byte{doc[:half], doc[half:]} {
+			v, err := g.Write(chunk)
+			if v != Clean || err != nil {
+				t.Fatalf("%v: Write = (%v, %v), want (clean, nil)", mode, v, err)
+			}
+			g.Checkpoint()
+		}
+		v, out, err := g.Close()
+		if v != Clean || err != nil {
+			t.Fatalf("%v: Close = (%v, %v), want (clean, nil)", mode, v, err)
+		}
+		// Chunking-invariant fields match the single-chunk reference;
+		// ScanCycles legitimately depend on chunking, so compare the
+		// invariant parts.
+		if out.Accepted != want.Accepted || out.Tokens != want.Tokens ||
+			out.Bytes != want.Bytes || !reflect.DeepEqual(out.Result, want.Result) {
+			t.Fatalf("%v: outcome diverged:\n got %+v\nwant %+v", mode, out, want)
+		}
+	}
+}
+
+// TestGuardDMRDetectsFlipAndRecovers: a single silent state flip on one
+// of two replicas is detected (without any injector signal), and
+// rollback + replay converges on the reference result.
+func TestGuardDMRDetectsFlipAndRecovers(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	div := reg.Counter("div", "")
+	scrub := reg.Counter("scrub", "")
+	g := newJSONGuard(t, ModeDMR, func(i int) core.FaultInjector {
+		if i == 1 {
+			return &onceFlip{at: 25, to: 0}
+		}
+		return nil
+	}, Metrics{Divergences: div, ScrubFailures: scrub})
+	doc := []byte(lang.JSONSample)
+	want := refOutcome(t, doc)
+
+	g.Reset()
+	g.Checkpoint()
+	v, _ := g.Write(doc)
+	if v != Corrupt {
+		t.Fatalf("Write verdict = %v after silent flip, want corrupt", v)
+	}
+	if div.Value()+scrub.Value() == 0 {
+		t.Fatal("corruption detected but no detector counter moved")
+	}
+
+	// Roll back and replay: the transient fired once; the replay is
+	// clean and must be byte-identical to the fault-free run.
+	if err := g.Restore(); err != nil {
+		t.Fatalf("Restore: %v", err)
+	}
+	if v, err := g.Write(doc); v != Clean || err != nil {
+		t.Fatalf("replay Write = (%v, %v), want (clean, nil)", v, err)
+	}
+	v, out, err := g.Close()
+	if v != Clean || err != nil {
+		t.Fatalf("replay Close = (%v, %v), want (clean, nil)", v, err)
+	}
+	if !reflect.DeepEqual(out, want) {
+		t.Fatalf("replayed outcome diverged:\n got %+v\nwant %+v", out, want)
+	}
+}
+
+// TestGuardTMRArbitratesSingleCorruptReplica is the majority-vote
+// property: when exactly one of three replicas is silently corrupted,
+// TMR picks the uncorrupted pair, repairs the minority in place, and
+// finishes without any rollback — the outcome equals the fault-free
+// reference.
+func TestGuardTMRArbitratesSingleCorruptReplica(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	votes := reg.Counter("votes", "")
+	div := reg.Counter("div", "")
+	scrub := reg.Counter("scrub", "")
+	g := newJSONGuard(t, ModeTMR, func(i int) core.FaultInjector {
+		if i == 1 {
+			return &onceStuck{at: 40}
+		}
+		return nil
+	}, Metrics{Votes: votes, Divergences: div, ScrubFailures: scrub})
+	doc := []byte(lang.JSONSample)
+	want := refOutcome(t, doc)
+
+	g.Reset()
+	g.Checkpoint()
+	v, err := g.Write(doc)
+	if err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	if v != Arbitrated {
+		t.Fatalf("Write verdict = %v (votes=%d div=%d scrub=%d), want arbitrated",
+			v, votes.Value(), div.Value(), scrub.Value())
+	}
+	if votes.Value() != 1 {
+		t.Fatalf("votes = %d, want 1", votes.Value())
+	}
+	cv, out, cerr := g.Close()
+	if cv != Clean || cerr != nil {
+		t.Fatalf("Close = (%v, %v), want (clean, nil) after in-place repair", cv, cerr)
+	}
+	if !reflect.DeepEqual(out, want) {
+		t.Fatalf("arbitrated outcome diverged from fault-free reference:\n got %+v\nwant %+v", out, want)
+	}
+	if div.Value() != 0 {
+		t.Fatalf("divergences = %d, want 0 (majority repaired, no rollback)", div.Value())
+	}
+}
+
+// TestGuardDeterministicDocErrorIsClean: a malformed document fails
+// identically on every replica — that is the document's fault, not the
+// hardware's, and must not read as corruption.
+func TestGuardDeterministicDocErrorIsClean(t *testing.T) {
+	for _, mode := range []Mode{ModeScrub, ModeDMR, ModeTMR} {
+		g := newJSONGuard(t, mode, nil, Metrics{})
+		g.Reset()
+		g.Checkpoint()
+		if v, err := g.Write([]byte(`[1, 2, `)); v != Clean || err != nil {
+			t.Fatalf("%v: prefix Write = (%v, %v)", mode, v, err)
+		}
+		v, err := g.Write([]byte{0x01}) // not a JSON byte: deterministic lex error
+		if v != Clean {
+			t.Fatalf("%v: doc-error verdict = %v, want clean (error replicates identically)", mode, v)
+		}
+		if err == nil {
+			t.Fatalf("%v: expected the document's lex error", mode)
+		}
+	}
+}
+
+// TestGuardBankDeathIsCorrupt: hardware loss voids the window in every
+// mode, including ModeOff — the fabric announces it, no detector needed.
+func TestGuardBankDeathIsCorrupt(t *testing.T) {
+	for _, mode := range []Mode{ModeOff, ModeTMR} {
+		g := newJSONGuard(t, mode, func(i int) core.FaultInjector {
+			if i == 0 {
+				return &onceKill{at: 10}
+			}
+			return nil
+		}, Metrics{})
+		g.Reset()
+		g.Checkpoint()
+		v, _ := g.Write([]byte(lang.JSONSample))
+		if v != Corrupt {
+			t.Fatalf("%v: verdict = %v after bank death, want corrupt", mode, v)
+		}
+	}
+}
+
+// TestGuardRestoreRejectsTamperedSnapshot: a corrupted checkpoint is
+// refused, not replayed.
+func TestGuardRestoreRejectsTamperedSnapshot(t *testing.T) {
+	g := newJSONGuard(t, ModeDMR, nil, Metrics{})
+	g.Reset()
+	if v, err := g.Write([]byte(`[1, `)); v != Clean || err != nil {
+		t.Fatalf("Write = (%v, %v)", v, err)
+	}
+	g.Checkpoint()
+	g.rep[0].cp.Tokens += 3 // bit rot between checkpoint and restore
+	if err := g.Restore(); !errors.Is(err, core.ErrCheckpointCorrupt) {
+		t.Fatalf("Restore = %v, want ErrCheckpointCorrupt", err)
+	}
+}
+
+// TestGuardScrubCatchesOutOfAlphabetTOS: a stuck-at fault that forces
+// the TOS outside the compiled machine's stack alphabet is caught by
+// scrubbing alone — no redundancy needed.
+func TestGuardScrubCatchesOutOfAlphabetTOS(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	scrub := reg.Counter("scrub", "")
+	g := newJSONGuard(t, ModeScrub, func(int) core.FaultInjector {
+		return &stuckTo{at: 40, sym: 0xFE}
+	}, Metrics{ScrubFailures: scrub})
+	if n := len(g.rep[0].exec.M.States); n > 0xFE {
+		t.Skipf("JSON machine has %d states; 0xFE is in-alphabet", n)
+	}
+	g.Reset()
+	g.Checkpoint()
+	v, _ := g.Write([]byte(lang.JSONSample))
+	if v != Corrupt {
+		t.Fatalf("verdict = %v, want corrupt (TOS 0xFE is outside the stack alphabet)", v)
+	}
+	if scrub.Value() == 0 {
+		t.Fatal("scrub-failure counter did not move")
+	}
+}
+
+// stuckTo forces the TOS to a fixed symbol at the at-th activation.
+type stuckTo struct {
+	at, n int
+	sym   core.Symbol
+}
+
+func (f *stuckTo) Activation(int, core.StateID, core.Symbol) (core.Fault, bool) {
+	f.n++
+	if f.n == f.at {
+		fl := core.NoFault
+		fl.StuckTOS = int16(f.sym)
+		return fl, true
+	}
+	return core.NoFault, false
+}

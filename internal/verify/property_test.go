@@ -1,0 +1,166 @@
+package verify
+
+import (
+	"math/rand"
+	"testing"
+
+	"aspen/internal/arch"
+	"aspen/internal/core"
+)
+
+// effectLog wraps a fault injector and records only the faults that
+// actually changed machine state (a stuck-at that rewrites the TOS to
+// the value it already had, or lands on an empty stack, corrupts
+// nothing). The log is test-side ground truth — the digests under test
+// never see it.
+type effectLog struct {
+	in  core.FaultInjector
+	e   *core.Execution
+	log []uint64
+}
+
+func (l *effectLog) Activation(step int, cur core.StateID, tos core.Symbol) (core.Fault, bool) {
+	f, fired := l.in.Activation(step, cur, tos)
+	if !fired {
+		return f, fired
+	}
+	if f.Kill {
+		l.log = append(l.log, uint64(step)<<16|0x1000)
+	}
+	if f.NewState != core.InvalidState && f.NewState != cur {
+		l.log = append(l.log, uint64(step)<<16|0x2000|uint64(uint16(f.NewState))&0xfff)
+	}
+	if f.StuckTOS >= 0 && core.Symbol(f.StuckTOS) != l.e.TOS() && l.e.StackLen() > 0 {
+		l.log = append(l.log, uint64(step)<<16|0x3000|uint64(f.StuckTOS)&0xff)
+	}
+	return f, fired
+}
+
+func logsEqual(a, b []uint64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// driveDigest runs the palindrome machine over input with inj
+// installed, folding the trace into a window digest with a Config fold
+// at every quiesce point — after each ε-drain and after each symbol
+// (the Guard's boundary protocol at its finest window granularity; a
+// fold after drains matters because a fault landing on a drain's final
+// activation would otherwise be overwritten by the next symbol's
+// activation before any fold sees it, letting two differently-flipped
+// replicas reconverge onto a shared successor unobserved). It returns
+// the digest and the injector's effective-fault log.
+func driveDigest(m *core.HDPDA, input []core.Symbol, inj core.FaultInjector) (uint64, []uint64) {
+	var d TraceDigest
+	d.Reset()
+	var el *effectLog
+	opts := core.ExecOptions{Hooks: d.Hooks()}
+	if inj != nil {
+		el = &effectLog{in: inj}
+		opts.Faults = el
+	}
+	e := core.NewExecution(m, opts)
+	if el != nil {
+		el.e = e
+	}
+	fold := func() { d.Config(e.Current(), e.StackLen(), e.TOS(), e.Pos()) }
+	failed := false
+	for _, s := range input {
+		if _, err := e.DrainEpsilon(); err != nil {
+			failed = true
+			break
+		}
+		fold()
+		ok, err := e.Feed(s)
+		fold()
+		if err != nil || !ok {
+			failed = true
+			break
+		}
+	}
+	if !failed {
+		_, _ = e.DrainEpsilon()
+	}
+	fold()
+	if el == nil {
+		return d.Sum(), nil
+	}
+	return d.Sum(), el.log
+}
+
+// TestDMRDistinctSeedsNeverCollideCorrupted is the property DMR's
+// soundness rests on: two replicas drawing faults from distinct seeds
+// do not corrupt coherently. Across 10k trials, whenever both replicas'
+// digests are corrupted (≠ the clean digest) by *different* effective
+// fault sequences, the corrupted digests themselves differ — so the
+// window-boundary comparison cannot be fooled. Trials where both seeds
+// happen to inject the identical effective fault sequence necessarily
+// produce identical (deterministic) executions; those model a coherent
+// double-fault, which disjoint-bank placement is there to make
+// physically implausible — the test counts them separately and requires
+// them to be rare.
+func TestDMRDistinctSeedsNeverCollideCorrupted(t *testing.T) {
+	const (
+		trials = 10000
+		seed   = 0x5eed_a5de
+		rate   = 0.03
+	)
+	m := core.PalindromeHDPDA()
+	r := rand.New(rand.NewSource(seed))
+	t.Logf("seed %#x", seed)
+
+	corruptedPairs, identicalFaults := 0, 0
+	for trial := 0; trial < trials; trial++ {
+		// Random input over the palindrome alphabet, sometimes an actual
+		// palindrome, length 9..48.
+		n := 9 + r.Intn(40)
+		input := make([]core.Symbol, n)
+		for i := range input {
+			input[i] = []core.Symbol{'0', '1', 'c'}[r.Intn(3)]
+		}
+		if trial%2 == 0 { // make half the trials well-formed
+			mid := n / 2
+			input[mid] = 'c'
+			for i := 0; i < mid; i++ {
+				if input[i] == 'c' {
+					input[i] = '0'
+				}
+				input[n-1-i] = input[i]
+			}
+		}
+		clean, _ := driveDigest(m, input, nil)
+		injA := arch.NewInjector(arch.FaultConfig{Rate: rate, Seed: seed, Stream: int64(2 * trial)}, len(m.States), nil, 0, 0)
+		injB := arch.NewInjector(arch.FaultConfig{Rate: rate, Seed: seed, Stream: int64(2*trial + 1)}, len(m.States), nil, 0, 0)
+		digA, logA := driveDigest(m, input, injA)
+		digB, logB := driveDigest(m, input, injB)
+		if digA == clean || digB == clean {
+			continue // at most one replica corrupted: DMR trivially safe
+		}
+		corruptedPairs++
+		if logsEqual(logA, logB) {
+			identicalFaults++
+			if digA != digB {
+				t.Fatalf("trial %d: identical effective faults yet different digests — digest is not a function of the trace", trial)
+			}
+			continue
+		}
+		if digA == digB {
+			t.Fatalf("trial %d: distinct fault seeds (logs %x vs %x) produced identical corrupted digest %#x",
+				trial, logA, logB, digA)
+		}
+	}
+	t.Logf("corrupted pairs: %d/%d trials; coherent double-faults: %d", corruptedPairs, trials, identicalFaults)
+	if corruptedPairs < 100 {
+		t.Fatalf("only %d double-corrupted trials — the property was not exercised", corruptedPairs)
+	}
+	if identicalFaults*100 > corruptedPairs {
+		t.Fatalf("coherent double-faults too common: %d of %d pairs", identicalFaults, corruptedPairs)
+	}
+}

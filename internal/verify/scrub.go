@@ -1,0 +1,174 @@
+package verify
+
+import "aspen/internal/core"
+
+// Scrubber checks structural invariants of an hDPDA run — the
+// well-formedness properties every uncorrupted execution of a valid
+// machine obeys at every step (the blockfreeness-enforcement literature
+// on DPDAs motivates exactly this angle: a well-formed run is checkable
+// without re-execution). It costs no redundant context, so it composes
+// with DMR/TMR for free and carries ModeScrub alone.
+//
+// What it catches, and why:
+//
+//   - Edge membership: every change to the active state goes through an
+//     activation that fires the Step hook — except a fault, which moves
+//     the state silently after the hook. The next hooked activation is
+//     therefore drawn from Succ(corrupted state); if that activation is
+//     not in Succ(last observed state), the flip is exposed. A flip can
+//     hide only when the corrupted lineage happens to re-enter the
+//     observed state's successor set.
+//   - Boundary configuration: at a quiesce point the live state must
+//     equal the last hooked activation (a flip with no activation after
+//     it is caught here), the live stack depth must match the shadow
+//     push/pop ledger, and the TOS must be in the machine's stack
+//     alphabet (∪ ⊥) — a stuck-at fault that forces the TOS outside the
+//     alphabet is exposed even before it perturbs a stack match.
+//   - Cycle accounting: Steps = Consumed + ε-stalls always (faults move
+//     state, not counters), and all counters are nondecreasing across
+//     windows.
+//
+// What it misses (the honest half of the detector matrix): flips onto a
+// successor of the observed state, and stuck-at faults that land on
+// another in-alphabet symbol. Those need redundancy to catch — which is
+// what DMR/TMR are for.
+//
+// A Scrubber observes exactly one Execution; bind it, feed its step
+// method from the Step hook, and call CheckWindow at window boundaries.
+// It is not safe for concurrent use.
+type Scrubber struct {
+	m          *core.HDPDA
+	alpha      core.SymbolSet // stack alphabet ∪ ⊥
+	checkAlpha bool           // false when the machine leaves StackAlphabet open
+	exec       *core.Execution
+
+	prev        core.StateID // last hooked activation
+	shadowDepth int          // push/pop ledger since last resync
+	prevRes     core.Result  // counters at the last window boundary
+	failures    int          // invariant violations since last CheckWindow
+}
+
+// NewScrubber builds a scrubber for machine m. The TOS-alphabet check
+// only arms when the machine declares a stack alphabet (compiled
+// machines do; StackAlphabet is optional on hand-built ones).
+func NewScrubber(m *core.HDPDA) *Scrubber {
+	s := &Scrubber{m: m}
+	if !m.StackAlphabet.IsEmpty() {
+		s.alpha = m.StackAlphabet
+		s.alpha.Add(core.BottomOfStack)
+		s.checkAlpha = true
+	}
+	return s
+}
+
+// Bind attaches the scrubber to the execution it observes and aligns it
+// with the current configuration.
+func (s *Scrubber) Bind(e *core.Execution) {
+	s.exec = e
+	s.Resync()
+}
+
+// Resync re-aligns the scrubber with the execution's live configuration
+// — call after Reset, Restore, or a TMR majority repair, when the
+// execution legitimately moved without the hooks firing.
+func (s *Scrubber) Resync() {
+	s.failures = 0
+	if s.exec == nil {
+		return
+	}
+	s.prev = s.exec.Current()
+	s.shadowDepth = s.exec.StackLen()
+	s.prevRes = s.exec.Result()
+}
+
+// Step is the per-activation check; feed it from ExecHooks.Step. It is
+// allocation-free.
+func (s *Scrubber) Step(id core.StateID, _ bool) {
+	if id < 0 || int(id) >= len(s.m.States) {
+		s.failures++
+		return
+	}
+	if !s.isSucc(s.prev, id) {
+		s.failures++
+	}
+	st := &s.m.States[id]
+	s.shadowDepth -= int(st.Op.Pop)
+	if st.Op.HasPush {
+		s.shadowDepth++
+	}
+	if s.shadowDepth < 0 {
+		// The engine guards real underflow with an error before the hook
+		// fires, so a negative ledger means the trace itself is corrupt.
+		s.shadowDepth = 0
+		s.failures++
+	}
+	s.prev = id
+}
+
+// isSucc reports whether `to` is in Succ(from) (sorted ascending, so
+// binary search).
+func (s *Scrubber) isSucc(from, to core.StateID) bool {
+	if from < 0 || int(from) >= len(s.m.States) {
+		return false
+	}
+	succ := s.m.States[from].Succ
+	lo, hi := 0, len(succ)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if succ[mid] < to {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo < len(succ) && succ[lo] == to
+}
+
+// CheckWindow runs the boundary invariants against the live execution,
+// returning the number of violations found this window (per-step
+// failures included) and starting the next window. Zero means the
+// window scrubbed clean.
+func (s *Scrubber) CheckWindow() int {
+	fails := s.failures
+	s.failures = 0
+	e := s.exec
+	if e == nil {
+		return fails
+	}
+	cur := e.Current()
+	if cur < 0 || int(cur) >= len(s.m.States) {
+		s.failures = 0
+		s.prevRes = e.Result()
+		return fails + 1
+	}
+	// A silent flip with no activation after it: the live state moved
+	// without a hook firing.
+	if cur != s.prev {
+		fails++
+		s.prev = cur // realign so one flip isn't double-counted next window
+	}
+	if e.StackLen() != s.shadowDepth {
+		fails++
+		s.shadowDepth = e.StackLen()
+	}
+	if s.checkAlpha && !s.alpha.Contains(e.TOS()) {
+		fails++
+	}
+	res := e.Result()
+	// Cycle accounting: every activation consumes a symbol or stalls.
+	if res.Steps != res.Consumed+res.EpsilonStalls {
+		fails++
+	}
+	// Monotonicity: counters never rewind between boundaries.
+	if res.Consumed < s.prevRes.Consumed || res.Steps < s.prevRes.Steps ||
+		res.EpsilonStalls < s.prevRes.EpsilonStalls ||
+		res.ReportCount < s.prevRes.ReportCount ||
+		res.MaxStackDepth < s.prevRes.MaxStackDepth {
+		fails++
+	}
+	if res.MaxStackDepth < e.StackLen() {
+		fails++
+	}
+	s.prevRes = res
+	return fails
+}

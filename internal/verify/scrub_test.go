@@ -1,0 +1,124 @@
+package verify
+
+import (
+	"testing"
+
+	"aspen/internal/core"
+)
+
+// palFeed drives the palindrome machine over input, counting hooked
+// activations through the scrubber, and returns the execution.
+func palFeed(t *testing.T, inj core.FaultInjector, scr *Scrubber, input []core.Symbol) *core.Execution {
+	t.Helper()
+	m := core.PalindromeHDPDA()
+	e := core.NewExecution(m, core.ExecOptions{
+		Hooks:  &core.ExecHooks{Step: scr.Step},
+		Faults: inj,
+	})
+	scr.Bind(e)
+	for _, s := range input {
+		if _, err := e.DrainEpsilon(); err != nil {
+			t.Fatalf("drain: %v", err)
+		}
+		if _, err := e.Feed(s); err != nil {
+			t.Fatalf("feed %q: %v", s, err)
+		}
+	}
+	if _, err := e.DrainEpsilon(); err != nil {
+		t.Fatalf("final drain: %v", err)
+	}
+	return e
+}
+
+var palInputOK = []core.Symbol{'0', '1', '0', 'c', '0', '1', '0'}
+
+// TestScrubberCleanRun: an uncorrupted run scrubs clean at every
+// boundary, including the hand-built machine with no declared stack
+// alphabet (the TOS check must stay disarmed, not false-positive).
+func TestScrubberCleanRun(t *testing.T) {
+	m := core.PalindromeHDPDA()
+	scr := NewScrubber(m)
+	if scr.checkAlpha {
+		t.Fatal("hand-built machine has no StackAlphabet; the TOS check must be disarmed")
+	}
+	e := palFeed(t, nil, scr, palInputOK)
+	if n := scr.CheckWindow(); n != 0 {
+		t.Fatalf("clean run: CheckWindow = %d violations, want 0", n)
+	}
+	if !e.InAccept() {
+		t.Fatal("palindrome not accepted")
+	}
+	// A second window over no new work is also clean.
+	if n := scr.CheckWindow(); n != 0 {
+		t.Fatalf("idle window: CheckWindow = %d, want 0", n)
+	}
+}
+
+// TestScrubberCatchesTrailingFlip: a state flip on the window's *final*
+// activation leaves no subsequent hooked activation to betray it — the
+// boundary check (live state vs last observed activation) is the only
+// detector, and it must fire.
+func TestScrubberCatchesTrailingFlip(t *testing.T) {
+	// Count activations of the clean run first.
+	m := core.PalindromeHDPDA()
+	clean := NewScrubber(m)
+	acts := 0
+	e := core.NewExecution(m, core.ExecOptions{Hooks: &core.ExecHooks{
+		Step: func(id core.StateID, eps bool) { acts++; clean.Step(id, eps) },
+	}})
+	clean.Bind(e)
+	for _, s := range palInputOK {
+		if _, err := e.DrainEpsilon(); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := e.Feed(s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := e.DrainEpsilon(); err != nil {
+		t.Fatal(err)
+	}
+	if acts == 0 {
+		t.Fatal("no activations observed")
+	}
+
+	// Same run, flipped on the last activation.
+	scr := NewScrubber(m)
+	e2 := palFeed(t, &onceFlip{at: acts, to: 0}, scr, palInputOK)
+	if n := scr.CheckWindow(); n == 0 {
+		t.Fatalf("trailing flip escaped the scrubber (cur=%d)", e2.Current())
+	}
+}
+
+// TestScrubberCatchesMidRunFlipToNonSuccessor: a flip to a state with a
+// disjoint successor set is exposed by edge membership as soon as the
+// machine takes its next (corrupted-lineage) activation.
+func TestScrubberCatchesMidRunFlipToNonSuccessor(t *testing.T) {
+	// Palindrome machine shape: the pushing states (1, 2) cannot follow
+	// the popping states (4, 5). Flip mid-second-half back to the
+	// pushing lineage: state 0 (the ε start) has successors {1,2,3},
+	// none of which the popping states reach.
+	m := core.PalindromeHDPDA()
+	scr := NewScrubber(m)
+	// Activation 5 lands mid-run (the input drives ≥ 8 activations);
+	// flipping to the synthetic start state forces the next activation
+	// out of the observed state's successor set or jams the run — the
+	// scrubber must flag the window either way.
+	inj := &onceFlip{at: 5, to: 0}
+	e := core.NewExecution(m, core.ExecOptions{
+		Hooks:  &core.ExecHooks{Step: scr.Step},
+		Faults: inj,
+	})
+	scr.Bind(e)
+	for _, s := range palInputOK {
+		if _, err := e.DrainEpsilon(); err != nil {
+			break
+		}
+		if ok, err := e.Feed(s); err != nil || !ok {
+			break
+		}
+	}
+	if n := scr.CheckWindow(); n == 0 {
+		t.Fatalf("mid-run flip escaped the scrubber (fired=%v cur=%d)", inj.n >= inj.at, e.Current())
+	}
+}
