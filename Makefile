@@ -32,11 +32,11 @@ serve-smoke:
 
 # Short coverage-guided runs of every native fuzz target: streaming
 # equivalence (chunk-boundary lexing, chunked-vs-whole parsing), the
-# software-parser differential, the XML pipeline, and checkpoint
-# serialize/restore round-tripping. Checked-in seed corpora run on
-# plain `go test`; this explores beyond them. Bump FUZZTIME for a real
-# session. Go allows one -fuzz pattern per invocation, hence one line
-# per target.
+# software-parser differential, the XML pipeline, checkpoint
+# serialize/restore round-tripping, and the registry journal record
+# codec. Checked-in seed corpora run on plain `go test`; this explores
+# beyond them. Bump FUZZTIME for a real session. Go allows one -fuzz
+# pattern per invocation, hence one line per target.
 FUZZTIME ?= 5s
 fuzz:
 	$(GO) test -run '^$$' -fuzz FuzzTokenizeChunkResume -fuzztime $(FUZZTIME) ./internal/lexer
@@ -44,6 +44,7 @@ fuzz:
 	$(GO) test -run '^$$' -fuzz FuzzParsers -fuzztime $(FUZZTIME) ./internal/swparse
 	$(GO) test -run '^$$' -fuzz FuzzXMLPipeline -fuzztime $(FUZZTIME) ./internal/lang
 	$(GO) test -run '^$$' -fuzz FuzzCheckpointRestoreRoundTrip -fuzztime $(FUZZTIME) ./internal/core
+	$(GO) test -run '^$$' -fuzz FuzzJournalRecord -fuzztime $(FUZZTIME) ./internal/store
 
 # Pre-merge check: run before every merge/PR.
 check: vet fmt race serve-smoke fuzz

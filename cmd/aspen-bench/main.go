@@ -27,7 +27,7 @@ import (
 
 func main() {
 	var (
-		only  = flag.String("only", "", "run a single experiment (fig2, table1..table5, fig8, fig9, fig10, ablations, serve, chaos, verify)")
+		only  = flag.String("only", "", "run a single experiment (fig2, table1..table5, fig8, fig9, fig10, ablations, serve, chaos, verify, store)")
 		size  = flag.Int("size", 32<<10, "per-document size for XML experiments (bytes)")
 		scale = flag.Int("scale", 200, "dataset scale divisor for mining experiments")
 		out   = flag.String("o", "", "write Markdown to this file instead of stdout")
@@ -90,6 +90,10 @@ func main() {
 	}
 	if want("verify") {
 		t, _ := bench.ServeVerify(*size)
+		render(t)
+	}
+	if want("store") {
+		t, _ := bench.StoreDurability(256)
 		render(t)
 	}
 	if want("fig9") || want("fig10") {

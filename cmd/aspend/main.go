@@ -52,6 +52,7 @@ import (
 	"aspen"
 	"aspen/internal/lang"
 	"aspen/internal/serve"
+	"aspen/internal/store"
 	"aspen/internal/telemetry"
 	"aspen/internal/verify"
 )
@@ -71,6 +72,7 @@ func main() {
 		faultSeed   = flag.Int64("fault-seed", 1, "chaos: deterministic fault injector seed")
 		killAfter   = flag.Duration("kill-bank-after", 0, "chaos: permanently kill one fabric bank per interval (0 = never)")
 		verifyMode  = flag.String("verify-mode", "tmr", "silent-corruption detection: off|scrub|dmr|tmr (dmr/tmr run redundant contexts and shrink worker pools; applies whenever the recovery layer is armed)")
+		stateDir    = flag.String("state-dir", "", "durable control-plane state directory: registry mutations are journaled and replayed on restart, and ?session= parses checkpoint here (empty = in-memory only)")
 	)
 	tf := telemetry.RegisterFlags(flag.CommandLine)
 	flag.Parse()
@@ -83,12 +85,9 @@ func main() {
 	if *langsFlag != "" {
 		for _, name := range strings.Split(*langsFlag, ",") {
 			name = strings.TrimSpace(name)
-			l := lang.ByName(name)
-			if l == nil && name == "MiniC" {
-				l = lang.MiniC()
-			}
+			l := serve.ResolveBuiltin(name)
 			if l == nil {
-				fatal("unknown grammar %q (have Cool, DOT, JSON, XML, MiniC)", name)
+				usage("unknown grammar %q in -langs (have Cool, DOT, JSON, XML, MiniC)", name)
 			}
 			langs = append(langs, l)
 		}
@@ -100,7 +99,7 @@ func main() {
 
 	vm, err := verify.ParseMode(*verifyMode)
 	if err != nil {
-		fatal("%v", err)
+		usage("%v", err)
 	}
 	// Arm the recovery layer whenever any chaos knob is set — or when the
 	// operator explicitly asked for a detection mode (running dmr/tmr on
@@ -117,6 +116,22 @@ func main() {
 		chaos = &serve.ChaosOptions{FaultRate: *faultRate, FaultSeed: *faultSeed, Verify: vm}
 	}
 
+	var st *store.Store
+	if *stateDir != "" {
+		st, err = store.Open(*stateDir)
+		if err != nil {
+			fatal("%v", err)
+		}
+		defer st.Close()
+		if n := len(st.Replay.Records); n > 0 {
+			fmt.Fprintf(os.Stderr, "aspend: replayed %d journal record(s) from %s\n", n, *stateDir)
+		}
+		if st.Replay.DroppedBytes > 0 {
+			fmt.Fprintf(os.Stderr, "aspend: journal: dropped %d trailing byte(s) (%s); valid prefix kept\n",
+				st.Replay.DroppedBytes, st.Replay.DropCause)
+		}
+	}
+
 	srv, err := serve.New(serve.Options{
 		Languages:      langs,
 		Arch:           cfg,
@@ -128,6 +143,8 @@ func main() {
 		Trace:          traceSink(sess, *traceSample),
 		TraceSample:    *traceSample,
 		Chaos:          chaos,
+		Store:          st,
+		Resolver:       serve.ResolveBuiltin,
 	})
 	if err != nil {
 		fatal("%v", err)
@@ -135,6 +152,21 @@ func main() {
 	if *killAfter > 0 {
 		go killBanks(srv, *killAfter)
 	}
+
+	// SIGHUP: hitless reload — every loaded grammar is recompiled and
+	// swapped in while in-flight requests finish on the old entries.
+	hup := make(chan os.Signal, 1)
+	signal.Notify(hup, syscall.SIGHUP)
+	go func() {
+		for range hup {
+			n, err := srv.Reload()
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "aspend: reload: %v\n", err)
+				continue
+			}
+			fmt.Fprintf(os.Stderr, "aspend: reload: swapped %d grammar(s)\n", n)
+		}
+	}()
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
@@ -198,4 +230,11 @@ func traceSink(sess *telemetry.Session, sample int) telemetry.TraceSink {
 func fatal(format string, args ...any) {
 	fmt.Fprintf(os.Stderr, "aspend: "+format+"\n", args...)
 	os.Exit(1)
+}
+
+// usage rejects bad flag values: one line on stderr, exit code 2 (the
+// conventional usage-error status, distinct from runtime failures).
+func usage(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "aspend: "+format+"\n", args...)
+	os.Exit(2)
 }

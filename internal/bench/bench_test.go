@@ -230,3 +230,25 @@ func TestServeVerifyTable(t *testing.T) {
 		t.Error("render missing title")
 	}
 }
+
+func TestStoreDurabilityTable(t *testing.T) {
+	tbl, rows := StoreDurability(32)
+	if len(rows) != 5 {
+		t.Fatalf("rows = %d, want 5 operations", len(rows))
+	}
+	for _, r := range rows {
+		if r.MicrosPerOp <= 0 || r.OpsPerSec <= 0 {
+			t.Errorf("%s: non-positive timing %+v", r.Op, r)
+		}
+	}
+	// fsync'd appends cannot be meaningfully cheaper than unsynced ones
+	// (equal is possible on filesystems where fsync is nearly free; a
+	// 2x inversion means the measurement itself is broken).
+	if rows[0].MicrosPerOp*2 < rows[1].MicrosPerOp {
+		t.Errorf("fsync append (%.1fus) half the cost of no-fsync (%.1fus)",
+			rows[0].MicrosPerOp, rows[1].MicrosPerOp)
+	}
+	if !strings.Contains(tbl.Render(), "Durability cost") {
+		t.Error("render missing title")
+	}
+}

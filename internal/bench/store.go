@@ -1,0 +1,173 @@
+package bench
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"aspen/internal/compile"
+	"aspen/internal/core"
+	"aspen/internal/lang"
+	"aspen/internal/store"
+	"aspen/internal/stream"
+)
+
+// StoreRow is one operation of the durability-cost ladder.
+type StoreRow struct {
+	Op          string
+	Ops         int
+	MicrosPerOp float64
+	OpsPerSec   float64
+}
+
+// StoreDurability prices the control plane's durability primitives:
+// journal appends with the fsync that makes a mutation crash-durable,
+// the same appends without it (isolating the disk-flush cost from the
+// encoding cost), journal replay on reopen (the restart path), and
+// checkpoint save/load round-trips carrying a real mid-parse streaming
+// snapshot. n scales the journal record count; checkpoint ops run n/4
+// times (each save is a write+fsync+rename+dirsync sequence).
+func StoreDurability(n int) (*Table, []StoreRow) {
+	if n < 8 {
+		n = 8
+	}
+	dir, err := os.MkdirTemp("", "aspen-bench-store-")
+	if err != nil {
+		panic(err)
+	}
+	defer os.RemoveAll(dir)
+
+	rec := func(int) store.Record {
+		// Append assigns sequence numbers itself.
+		return store.Record{Op: store.OpSwapGrammar, Name: "JSON"}
+	}
+	var rows []StoreRow
+	timed := func(op string, ops int, f func()) {
+		start := time.Now()
+		f()
+		el := time.Since(start)
+		rows = append(rows, StoreRow{
+			Op:          op,
+			Ops:         ops,
+			MicrosPerOp: float64(el.Microseconds()) / float64(ops),
+			OpsPerSec:   float64(ops) / el.Seconds(),
+		})
+	}
+
+	// Durable appends: every record fsync'd before Append returns —
+	// the cost one admin mutation pays for surviving kill -9.
+	fsyncPath := filepath.Join(dir, "fsync.journal")
+	j, _, err := store.OpenJournal(fsyncPath)
+	if err != nil {
+		panic(err)
+	}
+	timed("journal append (fsync)", n, func() {
+		for i := 0; i < n; i++ {
+			if err := j.Append(rec(i)); err != nil {
+				panic(err)
+			}
+		}
+	})
+	j.Close()
+
+	// The same appends without the flush: what the encoding and write
+	// cost alone would be (NOT crash-durable; benchmarks only).
+	nosyncPath := filepath.Join(dir, "nosync.journal")
+	jn, _, err := store.OpenJournal(nosyncPath)
+	if err != nil {
+		panic(err)
+	}
+	jn.SetNoSync(true)
+	timed("journal append (no fsync)", n, func() {
+		for i := 0; i < n; i++ {
+			if err := jn.Append(rec(i)); err != nil {
+				panic(err)
+			}
+		}
+	})
+	jn.Close()
+
+	// Replay: reopening the fsync'd journal decodes and CRC-checks
+	// every record — the daemon's restart path.
+	timed("journal replay", n, func() {
+		j2, res, err := store.OpenJournal(fsyncPath)
+		if err != nil {
+			panic(err)
+		}
+		if len(res.Records) != n {
+			panic(fmt.Sprintf("bench store: replayed %d of %d records", len(res.Records), n))
+		}
+		j2.Close()
+	})
+
+	// Checkpoint save/load with a real streaming snapshot: parse half a
+	// document, checkpoint, then price the durable round-trip.
+	l := lang.JSON()
+	cm, err := l.Compile(compile.OptAll)
+	if err != nil {
+		panic(err)
+	}
+	p, err := stream.NewParser(l, cm, core.ExecOptions{})
+	if err != nil {
+		panic(err)
+	}
+	doc := jsonDocOfSize(16 << 10)
+	if _, err := p.Write(doc[:len(doc)/2]); err != nil {
+		panic(err)
+	}
+	var cp stream.Checkpoint
+	p.Checkpoint(&cp)
+	cs, err := store.OpenCheckpoints(filepath.Join(dir, "checkpoints"))
+	if err != nil {
+		panic(err)
+	}
+	ckOps := n / 4
+	if ckOps < 4 {
+		ckOps = 4
+	}
+	timed("checkpoint save", ckOps, func() {
+		for i := 0; i < ckOps; i++ {
+			if err := cs.Save("sess-bench", &cp); err != nil {
+				panic(err)
+			}
+		}
+	})
+	var in stream.Checkpoint
+	timed("checkpoint load+verify", ckOps, func() {
+		for i := 0; i < ckOps; i++ {
+			if err := cs.Load("sess-bench", &in); err != nil {
+				panic(err)
+			}
+		}
+	})
+
+	t := &Table{
+		ID:     "store",
+		Title:  "Durability cost: journal appends, replay, and checkpoint round-trips",
+		Header: []string{"Operation", "Ops", "us/op", "Ops/s"},
+		Notes: []string{
+			"journal append (fsync) is the price of one crash-durable registry mutation; " +
+				"the no-fsync row isolates encode+write cost. Replay is the restart path. " +
+				"Checkpoint rows carry a real mid-parse streaming snapshot " +
+				fmt.Sprintf("(%d bytes encoded).", checkpointSize(&cp)),
+		},
+	}
+	for _, r := range rows {
+		t.Rows = append(t.Rows, []string{
+			r.Op,
+			fmt.Sprintf("%d", r.Ops),
+			fmt.Sprintf("%.1f", r.MicrosPerOp),
+			fmt.Sprintf("%.0f", r.OpsPerSec),
+		})
+	}
+	return t, rows
+}
+
+func checkpointSize(cp *stream.Checkpoint) int {
+	b, err := cp.MarshalBinary()
+	if err != nil {
+		return 0
+	}
+	return len(b)
+}

@@ -2,6 +2,7 @@ package compile
 
 import (
 	"fmt"
+	"sort"
 	"time"
 
 	"aspen/internal/core"
@@ -154,6 +155,20 @@ type constructor struct {
 	gotoIdx map[gotoKey]core.StateID
 }
 
+// sortedTerms returns the ACTION row's terminals in symbol order.
+// State IDs are assigned in iteration order, and the machine must come
+// out identical on every compile: durable checkpoints carry raw state
+// IDs across process restarts, so a map-order walk here would make a
+// recompiled machine silently incompatible with its own snapshots.
+func sortedTerms(row map[grammar.Sym]lr.Action) []grammar.Sym {
+	terms := make([]grammar.Sym, 0, len(row))
+	for term := range row {
+		terms = append(terms, term)
+	}
+	sort.Slice(terms, func(i, j int) bool { return terms[i] < terms[j] })
+	return terms
+}
+
 // build emits the unoptimized machine: per (state, terminal) a lookahead
 // state and an action entry state, per reduction a pop chain, and per
 // (lhs, lookahead, exposed state) a goto state.
@@ -164,7 +179,7 @@ func (c *constructor) build() {
 	// Pass 1: lookahead and action-entry states for every defined ACTION
 	// cell.
 	for s := 0; s < c.tbl.NumStates(); s++ {
-		for term := range c.tbl.Actions[s] {
+		for _, term := range sortedTerms(c.tbl.Actions[s]) {
 			key := stateTerm{s, term}
 			code, _ := c.tm.Code(term)
 			c.lookIdx[key] = m.AddState(core.State{
@@ -192,7 +207,8 @@ func (c *constructor) build() {
 
 	// Pass 2: wire each action.
 	for s := 0; s < c.tbl.NumStates(); s++ {
-		for term, a := range c.tbl.Actions[s] {
+		for _, term := range sortedTerms(c.tbl.Actions[s]) {
+			a := c.tbl.Actions[s][term]
 			key := stateTerm{s, term}
 			look, act := c.lookIdx[key], c.actIdx[key]
 			m.AddEdge(look, act)
@@ -218,7 +234,7 @@ func (c *constructor) build() {
 // connectDispatch connects from to the lookahead states of
 // parsing-automaton state t (the "read next token" fan-out).
 func (c *constructor) connectDispatch(from core.StateID, t int) {
-	for term := range c.tbl.Actions[t] {
+	for _, term := range sortedTerms(c.tbl.Actions[t]) {
 		c.m.AddEdge(from, c.lookIdx[stateTerm{t, term}])
 	}
 }

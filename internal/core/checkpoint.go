@@ -1,6 +1,9 @@
 package core
 
-import "errors"
+import (
+	"errors"
+	"fmt"
+)
 
 // ErrCheckpointCorrupt reports that a checkpoint failed its integrity
 // digest: the snapshot bytes were corrupted between Checkpoint and
@@ -119,6 +122,14 @@ func (e *Execution) Checkpoint(cp *Checkpoint) {
 func (e *Execution) Restore(cp *Checkpoint) error {
 	if !cp.Verify() {
 		return ErrCheckpointCorrupt
+	}
+	// A snapshot can carry a valid seal yet belong to a different
+	// machine (a durable checkpoint restored after a grammar swap):
+	// refuse a state the executing machine does not have rather than
+	// resuming into out-of-range indexing.
+	if cp.Cur < 0 || int(cp.Cur) >= len(e.M.States) {
+		return fmt.Errorf("%w: state %d outside this machine's %d states",
+			ErrCheckpointCorrupt, cp.Cur, len(e.M.States))
 	}
 	e.cur = cp.Cur
 	e.stack = append(e.stack[:0], cp.Stack...)

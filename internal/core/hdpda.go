@@ -137,6 +137,43 @@ func (m *HDPDA) AddEdge(from, to StateID) {
 	s.Succ[i] = to
 }
 
+// Fingerprint returns an FNV-1a digest of the machine's structure:
+// every state's match labels, stack action, report wiring, and
+// successor row, plus the start state and stack depth. Two machines
+// with equal fingerprints execute identically, so a durable checkpoint
+// stamped with the fingerprint of the machine that took it can prove —
+// across a process restart and a recompile — that the machine resuming
+// it is the same build. Labels are excluded: they are diagnostics, not
+// behavior.
+func (m *HDPDA) Fingerprint() uint64 {
+	h := fnv64(fnvOffset64)
+	h.u64(uint64(int64(m.Start)))
+	h.u64(uint64(int64(m.StackDepth)))
+	hashSet := func(s SymbolSet) {
+		for _, w := range s {
+			h.u64(w)
+		}
+	}
+	hashSet(m.InputAlphabet)
+	hashSet(m.StackAlphabet)
+	for i := range m.States {
+		st := &m.States[i]
+		h.bool(st.Epsilon)
+		hashSet(st.Input)
+		hashSet(st.Stack)
+		h.byte(st.Op.Pop)
+		h.byte(byte(st.Op.Push))
+		h.bool(st.Op.HasPush)
+		h.bool(st.Accept)
+		h.u64(uint64(int64(st.Report)))
+		h.u64(uint64(len(st.Succ)))
+		for _, t := range st.Succ {
+			h.u64(uint64(int64(t)))
+		}
+	}
+	return uint64(h)
+}
+
 // EpsilonStates returns the number of ε-states, the quantity the paper's
 // Table IV reports and that the ε-merging/multipop optimizations reduce.
 func (m *HDPDA) EpsilonStates() int {

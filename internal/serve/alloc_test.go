@@ -24,7 +24,7 @@ func TestParseSteadyStateAllocs(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	g := s.grammars["JSON"]
+	g := s.grammar("JSON")
 	doc := []byte(`{"k": [1, 2, {"n": [3, 4]}], "s": "str", "b": true}`)
 	ctx := context.Background()
 
@@ -72,8 +72,8 @@ func TestFabricPartition(t *testing.T) {
 		t.Fatal(err)
 	}
 	total := 0
-	for _, name := range s.names {
-		g := s.grammars[name]
+	for _, name := range s.tenantNames() {
+		g := s.grammar(name)
 		if g.cap.FabricBanks < 1 || g.cap.Contexts < 1 || g.workers < 1 {
 			t.Errorf("%s: degenerate capacity %+v workers=%d", name, g.cap, g.workers)
 		}

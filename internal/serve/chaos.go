@@ -505,8 +505,9 @@ func (s *Server) KillBank(bank int) bool {
 		return false
 	}
 	s.m.degraded.SetInt(1)
-	for _, name := range s.names {
-		s.grammars[name].applyBankLoss()
+	ts := s.tenants.Load()
+	for _, name := range ts.names {
+		ts.byName[name].applyBankLoss()
 	}
 	return true
 }

@@ -175,7 +175,7 @@ func TestChaosBankKillDegradation(t *testing.T) {
 		Languages: []*lang.Language{lang.JSON()},
 		Chaos:     &ChaosOptions{FaultSeed: 7}, // rate 0: kills only
 	})
-	g := s.grammars["JSON"]
+	g := s.grammar("JSON")
 	per := g.cap.BanksPerContext
 	share := g.bankHi - g.bankLo
 	if g.effectiveWorkers() != g.workers {
@@ -368,7 +368,7 @@ func TestChaosRecoveryExhaustionOpensBreaker(t *testing.T) {
 	// must release the probe claim. Otherwise the probing flag wedges
 	// and every later request is denied until process restart.
 	time.Sleep(200 * time.Millisecond) // cooldown after the reopen above
-	g := s.grammars["JSON"]
+	g := s.grammar("JSON")
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
 	_, _, _, sysErr := g.parseGuarded(ctx, bytes.NewReader(doc))
@@ -455,7 +455,7 @@ func TestChaosTMRCapacityAccounting(t *testing.T) {
 		Languages: []*lang.Language{lang.JSON()},
 		Chaos:     &ChaosOptions{FaultSeed: 5, Verify: verify.ModeTMR},
 	})
-	g := s.grammars["JSON"]
+	g := s.grammar("JSON")
 	per := g.cap.BanksPerContext
 	share := g.bankHi - g.bankLo
 
@@ -466,7 +466,7 @@ func TestChaosTMRCapacityAccounting(t *testing.T) {
 	if g.workers != want {
 		t.Errorf("TMR workers = %d, want %d (capacity at 3 contexts/unit)", g.workers, want)
 	}
-	if offW := off.grammars["JSON"].workers; offW > 1 && g.workers >= offW {
+	if offW := off.grammar("JSON").workers; offW > 1 && g.workers >= offW {
 		t.Errorf("TMR workers %d not below unguarded %d — redundancy cost invisible", g.workers, offW)
 	}
 	// Replica placement partitions the tenant's range: disjoint,

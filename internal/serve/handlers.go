@@ -21,8 +21,13 @@ type ParseResponse struct {
 	Grammar  string `json:"grammar"`
 	Accepted bool   `json:"accepted"`
 	Error    string `json:"error,omitempty"`
-	Bytes    int    `json:"bytes"`
-	Tokens   int    `json:"tokens"`
+	// Session/Partial identify durable-session chunks (see session.go):
+	// Partial acknowledges a persisted checkpoint, with Bytes/Tokens as
+	// the durable offsets.
+	Session string `json:"session,omitempty"`
+	Partial bool   `json:"partial,omitempty"`
+	Bytes   int    `json:"bytes"`
+	Tokens  int    `json:"tokens"`
 	// Cycles is symbol cycles + ε-stalls, the machine's time on the
 	// fabric; LexScanCycles is the Cache-Automaton-side work.
 	Cycles        int   `json:"cycles"`
@@ -62,6 +67,8 @@ func (s *Server) buildMux() *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/parse/{grammar}", s.handleParse)
 	mux.HandleFunc("GET /v1/grammars", s.handleGrammars)
+	mux.HandleFunc("POST /v1/admin/grammars", s.handleAdminGrammars)
+	mux.HandleFunc("GET /v1/admin/grammars", s.handleGrammars)
 	mux.HandleFunc("GET /healthz", s.handleHealth)
 	// The PR-1 debug endpoints share this mux: /metrics, /metrics.json,
 	// /debug/vars, /debug/pprof/...
@@ -78,17 +85,18 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 }
 
 func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
+	ts := s.tenants.Load()
 	h := HealthResponse{
 		Status:           "ok",
-		Grammars:         s.names,
+		Grammars:         ts.names,
 		UptimeMS:         time.Since(s.started).Milliseconds(),
 		FabricBanks:      s.fabric.Total(),
 		LiveBanks:        s.fabric.Live(),
-		EffectiveWorkers: make(map[string]int, len(s.names)),
+		EffectiveWorkers: make(map[string]int, len(ts.names)),
 		VerifyMode:       verifyModeOf(s.opts.Chaos).String(),
 	}
-	for _, name := range s.names {
-		h.EffectiveWorkers[name] = s.grammars[name].effectiveWorkers()
+	for _, name := range ts.names {
+		h.EffectiveWorkers[name] = ts.byName[name].effectiveWorkers()
 	}
 	status := http.StatusOK
 	if h.LiveBanks < h.FabricBanks {
@@ -106,27 +114,17 @@ func (s *Server) handleGrammars(w http.ResponseWriter, _ *http.Request) {
 }
 
 func (s *Server) handleParse(w http.ResponseWriter, r *http.Request) {
-	g, ok := s.grammars[r.PathValue("grammar")]
-	if !ok {
-		writeJSON(w, http.StatusNotFound, ErrorResponse{Error: "unknown grammar " + strconv.Quote(r.PathValue("grammar"))})
-		return
-	}
-	if s.draining.Load() {
-		s.m.drainDeny.Inc()
-		writeJSON(w, http.StatusServiceUnavailable, ErrorResponse{Error: "server is draining"})
-		return
-	}
-	// Backpressure: a full waiting room answers immediately instead of
-	// queueing without bound.
-	if err := g.admit(); err != nil {
-		s.m.throttled.Inc()
-		w.Header().Set("Retry-After", s.retryAfter(g))
-		writeJSON(w, http.StatusTooManyRequests, ErrorResponse{Error: "admission queue full for grammar " + g.name})
+	g, status, errResp := s.admitRequest(r.PathValue("grammar"))
+	if g == nil {
+		if status == http.StatusTooManyRequests {
+			w.Header().Set("Retry-After", errResp.retryAfter)
+		}
+		writeJSON(w, status, ErrorResponse{Error: errResp.msg})
 		return
 	}
 	defer g.release()
-	s.inflight.Add(1)
 	defer s.inflight.Done()
+	defer g.inflight.Done()
 	s.m.requests.Inc()
 	g.m.requests.Inc()
 	s.m.inflight.Add(1)
@@ -147,31 +145,23 @@ func (s *Server) handleParse(w http.ResponseWriter, r *http.Request) {
 	// and exotic transports may not support it).
 	_ = http.NewResponseController(w).SetReadDeadline(start.Add(s.opts.RequestTimeout))
 	body := http.MaxBytesReader(w, r.Body, s.opts.MaxBodyBytes)
+	// Durable sessions branch off here: same admission, queueing, and
+	// slot discipline, but the parser state persists across requests
+	// (and restarts) through the checkpoint store.
+	if r.URL.RawQuery != "" {
+		if q := r.URL.Query(); q.Get("session") != "" {
+			final := q.Get("final") == "1" || q.Get("final") == "true"
+			s.serveSession(w, ctx, g, body, q.Get("session"), final, start, queueNS)
+			g.releaseSlot()
+			return
+		}
+	}
 	out, _, inputErr, sysErr := g.parseGuarded(ctx, body)
 	g.releaseSlot()
 	parseNS := time.Since(start).Nanoseconds() - queueNS
 
 	if sysErr != nil {
-		var tooBig *http.MaxBytesError
-		switch {
-		case errors.As(sysErr, &tooBig):
-			writeJSON(w, http.StatusRequestEntityTooLarge,
-				ErrorResponse{Error: "request body exceeds " + strconv.FormatInt(tooBig.Limit, 10) + " bytes"})
-		case errors.Is(sysErr, context.DeadlineExceeded), errors.Is(sysErr, context.Canceled):
-			s.failCtx(w, g, sysErr)
-		case errors.Is(sysErr, os.ErrDeadlineExceeded):
-			// The connection read deadline fired mid-body.
-			s.failCtx(w, g, context.DeadlineExceeded)
-		case errors.Is(sysErr, errBreakerOpen):
-			w.Header().Set("Retry-After", clampRetrySecs(int64(g.chaos.BreakerCooldown/time.Second)))
-			writeJSON(w, http.StatusServiceUnavailable, ErrorResponse{Error: "grammar " + g.name + " is shedding load (circuit breaker open)"})
-		case errors.Is(sysErr, errRecoveryExhausted), errors.Is(sysErr, errCheckpointCorrupt):
-			g.m.errors.Inc()
-			writeJSON(w, http.StatusServiceUnavailable, ErrorResponse{Error: sysErr.Error()})
-		default:
-			g.m.errors.Inc()
-			writeJSON(w, http.StatusBadRequest, ErrorResponse{Error: sysErr.Error()})
-		}
+		s.writeSysErr(w, g, sysErr)
 		return
 	}
 
@@ -215,6 +205,73 @@ func (s *Server) handleParse(w http.ResponseWriter, r *http.Request) {
 	g.m.requestNS.ObserveInt(total)
 	s.sampleTrace(g, &resp, total)
 	writeJSON(w, http.StatusOK, resp)
+}
+
+// admitDenial carries a rejected admission's response pieces.
+type admitDenial struct {
+	msg        string
+	retryAfter string
+}
+
+// admitRequest is the serialized admission decision: snapshot lookup,
+// drain check, backpressure, and in-flight registration happen inside
+// one drainMu read-section. The lock is what makes drain and entry
+// retirement sound: every in-flight registration happens-before any
+// Wait on the corresponding wait group (Drain and retireEntry barrier
+// on drainMu's write side), so a request can never slip past a
+// completed drain, and a snapshot entry can never gain a request after
+// its retirement barrier. On success the caller owns one admission
+// ticket and one registration on both s.inflight and g.inflight.
+func (s *Server) admitRequest(name string) (*grammarEntry, int, admitDenial) {
+	s.drainMu.RLock()
+	defer s.drainMu.RUnlock()
+	g := s.tenants.Load().byName[name]
+	if g == nil {
+		return nil, http.StatusNotFound, admitDenial{msg: "unknown grammar " + strconv.Quote(name)}
+	}
+	if s.draining.Load() {
+		s.m.drainDeny.Inc()
+		return nil, http.StatusServiceUnavailable, admitDenial{msg: "server is draining"}
+	}
+	// Backpressure: a full waiting room answers immediately instead of
+	// queueing without bound.
+	if err := g.admit(); err != nil {
+		s.m.throttled.Inc()
+		return nil, http.StatusTooManyRequests, admitDenial{
+			msg:        "admission queue full for grammar " + g.name,
+			retryAfter: s.retryAfter(g),
+		}
+	}
+	s.inflight.Add(1)
+	g.inflight.Add(1)
+	return g, http.StatusOK, admitDenial{}
+}
+
+// writeSysErr maps a transport/recovery failure (no parse outcome
+// exists) to its status: 413 oversized body, 504/cancel for deadlines,
+// 503 for breaker and recovery exhaustion, 400 otherwise. Shared by the
+// one-shot and durable-session request paths.
+func (s *Server) writeSysErr(w http.ResponseWriter, g *grammarEntry, sysErr error) {
+	var tooBig *http.MaxBytesError
+	switch {
+	case errors.As(sysErr, &tooBig):
+		writeJSON(w, http.StatusRequestEntityTooLarge,
+			ErrorResponse{Error: "request body exceeds " + strconv.FormatInt(tooBig.Limit, 10) + " bytes"})
+	case errors.Is(sysErr, context.DeadlineExceeded), errors.Is(sysErr, context.Canceled):
+		s.failCtx(w, g, sysErr)
+	case errors.Is(sysErr, os.ErrDeadlineExceeded):
+		// The connection read deadline fired mid-body.
+		s.failCtx(w, g, context.DeadlineExceeded)
+	case errors.Is(sysErr, errBreakerOpen):
+		w.Header().Set("Retry-After", clampRetrySecs(int64(g.chaos.BreakerCooldown/time.Second)))
+		writeJSON(w, http.StatusServiceUnavailable, ErrorResponse{Error: "grammar " + g.name + " is shedding load (circuit breaker open)"})
+	case errors.Is(sysErr, errRecoveryExhausted), errors.Is(sysErr, errCheckpointCorrupt):
+		g.m.errors.Inc()
+		writeJSON(w, http.StatusServiceUnavailable, ErrorResponse{Error: sysErr.Error()})
+	default:
+		g.m.errors.Inc()
+		writeJSON(w, http.StatusBadRequest, ErrorResponse{Error: sysErr.Error()})
+	}
 }
 
 // failCtx answers a deadline/cancellation failure: 504 when the server

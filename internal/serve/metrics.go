@@ -19,6 +19,13 @@ type serviceMetrics struct {
 	draining  *telemetry.Gauge
 	degraded  *telemetry.Gauge
 	requestNS *telemetry.Histogram
+
+	// Durable-control-plane series (admin.go, session.go, store wiring).
+	// Registered unconditionally: flat zeros without -state-dir.
+	journalAppends *telemetry.Counter
+	reloadSwaps    *telemetry.Counter
+	ckptCorrupt    *telemetry.Counter
+	journalReplay  *telemetry.Gauge
 }
 
 func newServiceMetrics(reg *telemetry.Registry) serviceMetrics {
@@ -33,6 +40,11 @@ func newServiceMetrics(reg *telemetry.Registry) serviceMetrics {
 		draining:  reg.Gauge("serve_draining", "1 while Drain is in progress or complete"),
 		degraded:  reg.Gauge("serve_degraded", "1 once any fabric bank has been lost"),
 		requestNS: reg.Histogram("serve_request_ns", "end-to-end request latency (ns), queue wait included", requestNSBuckets),
+
+		journalAppends: reg.Counter("journal_appends_total", "registry mutation records fsync'd to the write-ahead journal"),
+		reloadSwaps:    reg.Counter("reload_swaps_total", "atomic registry snapshot swaps (admin mutations and SIGHUP reloads)"),
+		ckptCorrupt:    reg.Counter("checkpoint_store_corrupt_total", "stored session checkpoints refused by their integrity seals"),
+		journalReplay:  reg.Gauge("journal_replay_records", "journal records replayed at the last startup"),
 	}
 }
 

@@ -22,8 +22,8 @@ func TestBankPartitionCoversFabric(t *testing.T) {
 		t.Logf("fabric %d divides evenly across %d tenants; remainder path not exercised", total, len(langs))
 	}
 	prevHi := 0
-	for _, name := range s.names {
-		g := s.grammars[name]
+	for _, name := range s.tenantNames() {
+		g := s.grammar(name)
 		if g.bankLo != prevHi {
 			t.Errorf("%s: bankLo %d, want %d (gap or overlap)", name, g.bankLo, prevHi)
 		}
@@ -50,8 +50,8 @@ func TestBankPartitionMoreGrammarsThanBanks(t *testing.T) {
 		t.Fatal(err)
 	}
 	total := s.fabric.Total()
-	for _, name := range s.names {
-		g := s.grammars[name]
+	for _, name := range s.tenantNames() {
+		g := s.grammar(name)
 		if g.bankLo > g.bankHi || g.bankHi > total {
 			t.Errorf("%s: malformed range [%d,%d) on a %d-bank fabric", name, g.bankLo, g.bankHi, total)
 		}
@@ -59,7 +59,8 @@ func TestBankPartitionMoreGrammarsThanBanks(t *testing.T) {
 			t.Errorf("%s: workers %d, want >= 1", name, g.workers)
 		}
 	}
-	last := s.grammars[s.names[len(s.names)-1]]
+	names := s.tenantNames()
+	last := s.grammar(names[len(names)-1])
 	if last.bankHi != total && last.bankHi != last.bankLo {
 		t.Errorf("last tenant range [%d,%d) neither reaches total %d nor is empty", last.bankLo, last.bankHi, total)
 	}

@@ -36,11 +36,20 @@ type grammarEntry struct {
 	// constructs one against the already-compiled machine.
 	parsers sync.Pool
 
+	// Lifecycle. Entries are immutable once published in a tenant
+	// snapshot; a reload/swap builds a replacement off to the side and
+	// retires this one. inflight counts requests currently executing
+	// against this entry (the retire path waits for it); stop is
+	// per-entry and closed exactly once — at retirement, or at server
+	// drain — releasing any parked-slot goroutines.
+	inflight sync.WaitGroup
+	stopOnce sync.Once
+
 	// Recovery layer (see chaos.go). bankLo/bankHi is this tenant's
 	// contiguous share of the physical fabric; units pools guarded
 	// detector contexts when chaos is armed; parked counts worker
-	// slots retired by bank losses; stop (the server's drain signal)
-	// reclaims parked-slot goroutines at shutdown.
+	// slots retired by bank losses; stop reclaims parked-slot
+	// goroutines at retirement or shutdown.
 	//
 	// replicas is how many independent execution contexts one guarded
 	// unit runs (verify.Mode.Replicas(): 1 unguarded/scrub, 2 DMR,
@@ -77,6 +86,11 @@ func (g *grammarEntry) replicaBanks(i int) (lo, hi int) {
 	return lo, hi
 }
 
+// closeStop releases this entry's parked-slot goroutines (idempotent).
+func (g *grammarEntry) closeStop() {
+	g.stopOnce.Do(func() { close(g.stop) })
+}
+
 // initChaos wires the recovery layer after the bank range is assigned:
 // the fabric reference (always — bank kills shrink pools regardless),
 // and, when chaos is armed, the guarded-unit pool and breaker. Each
@@ -86,10 +100,15 @@ func (g *grammarEntry) replicaBanks(i int) (lo, hi int) {
 // serving path reads them back.
 func (g *grammarEntry) initChaos(s *Server) {
 	g.fabric = s.fabric
-	g.stop = s.stop
 	g.trace = s.opts.Trace
 	g.m.workersEffective.SetInt(int64(g.workers))
 	g.chaos = s.opts.Chaos
+	// An entry built after banks have already died (a reload/swap on a
+	// degraded fabric) must start at its surviving capacity, not its
+	// provisioned width — bank kills are permanent.
+	if s.fabric.Live() < s.fabric.Total() {
+		g.applyBankLoss()
+	}
 	if g.chaos == nil {
 		return
 	}
@@ -184,6 +203,7 @@ func newGrammarEntry(s *Server, l *lang.Language, fabricShare int) (*grammarEntr
 		workers:   workers,
 		slots:     make(chan struct{}, workers),
 		queue:     make(chan struct{}, workers+s.opts.QueueDepth),
+		stop:      make(chan struct{}),
 		m:         newGrammarMetrics(s.reg, l.Name),
 	}
 	g.parsers.New = func() any {

@@ -35,7 +35,7 @@ func TestRetryAfterBounds(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	g := s.grammars["JSON"]
+	g := s.grammar("JSON")
 
 	// Cold start: empty histogram, empty queue.
 	if got := s.retryAfter(g); got != "1" {

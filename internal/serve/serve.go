@@ -2,20 +2,31 @@
 // simulated bank fabric — the first consumer of the paper's headline
 // claim that throughput comes from parallelism (§I, §IV-B: "hundreds of
 // different DPDAs in parallel as any number of LLC SRAM arrays can be
-// re-purposed"). A Server loads a set of named grammars once at
-// startup, compiling each into an hDPDA and placing it onto banks, and
-// then answers parse jobs over HTTP: POST /v1/parse/{grammar} streams
-// the request body chunk-by-chunk straight into a stream.Parser, so an
-// arbitrarily large document is parsed as it arrives, in the paper's
-// MBs-to-GBs operating regime.
+// re-purposed"). A Server loads a set of named grammars, compiling each
+// into an hDPDA and placing it onto banks, and then answers parse jobs
+// over HTTP: POST /v1/parse/{grammar} streams the request body
+// chunk-by-chunk straight into a stream.Parser, so an arbitrarily large
+// document is parsed as it arrives, in the paper's MBs-to-GBs operating
+// regime.
 //
 // Concurrency mirrors the architecture. The LLC contributes a fixed
 // bank budget (arch.Config.FabricBanks); each grammar's machine
 // occupies a measured number of banks per execution context; the fabric
-// is statically partitioned across the loaded grammars and each grammar
-// gets one worker slot per context its share sustains (arch.CapacityFor).
+// is partitioned across the loaded grammars and each grammar gets one
+// worker slot per context its share sustains (arch.CapacityFor).
 // Service concurrency is therefore bank-level parallelism, not an
 // arbitrary GOMAXPROCS-shaped pool.
+//
+// The registry is dynamic. The loaded tenant set lives in an immutable
+// snapshot behind an atomic pointer; admin mutations (add, remove,
+// swap, reload — see admin.go) build replacement entries off to the
+// side, journal the mutation to the durable store (when configured),
+// and atomically publish the new snapshot. Requests in flight against a
+// replaced entry finish on it; the old entry retires once they drain.
+// With Options.Store set, every mutation is write-ahead journaled and a
+// restarted server replays the journal to resume the same registry
+// state — the crash-durability half of the control plane (see
+// internal/store and DESIGN.md §9).
 //
 // Production machinery: a bounded per-grammar admission queue answers
 // 429 + Retry-After instead of growing without bound; every request
@@ -38,7 +49,9 @@ import (
 
 	"aspen/internal/arch"
 	"aspen/internal/lang"
+	"aspen/internal/store"
 	"aspen/internal/telemetry"
+	"aspen/internal/verify"
 )
 
 // Defaults for the zero Options value.
@@ -53,7 +66,9 @@ const (
 // languages on the paper's default fabric.
 type Options struct {
 	// Languages is the grammar set to load (nil = the four Table III
-	// languages plus MiniC). Names are the URL path segment.
+	// languages plus MiniC). Names are the URL path segment. With a
+	// non-empty journal in Store, the journal's membership wins and
+	// Languages only seeds the resolvable-name set.
 	Languages []*lang.Language
 	// Arch parameterizes the simulated fabric the worker-pool widths are
 	// derived from (zero value = arch.DefaultConfig()).
@@ -83,30 +98,80 @@ type Options struct {
 	// checkpoint/replay recovery layer (see ChaosOptions). nil keeps
 	// the unguarded request path; bank kills still shrink worker pools.
 	Chaos *ChaosOptions
+	// Store, when non-nil, makes the control plane crash-durable:
+	// registry mutations are write-ahead journaled before taking effect,
+	// startup replays the journal (journal state overrides
+	// Languages/Chaos.Verify when records exist), and durable parse
+	// sessions persist checkpoints through Store.Checkpoints. The caller
+	// keeps ownership: close the store after Drain.
+	Store *store.Store
+	// Resolver maps a grammar name to its definition for admin adds of
+	// grammars not in the startup set and for journal replay (nil =
+	// built-ins only, via ResolveBuiltin).
+	Resolver func(name string) *lang.Language
+}
+
+// tenantSet is one immutable registry snapshot: the loaded grammars in
+// registration order. Lookups load the current snapshot; mutations
+// build a new set and atomically replace it, so readers never see a
+// half-updated registry.
+type tenantSet struct {
+	byName map[string]*grammarEntry
+	names  []string // registration order, for /v1/grammars
 }
 
 // Server is a loaded, ready-to-serve grammar registry plus its HTTP
 // surface. Construct with New, mount Handler, stop with Drain.
 type Server struct {
-	opts     Options
-	reg      *telemetry.Registry
-	cfg      arch.Config
-	grammars map[string]*grammarEntry
-	names    []string // registration order, for /v1/grammars
-	mux      *http.ServeMux
-	m        serviceMetrics
-	fabric   *arch.Fabric
+	opts    Options
+	reg     *telemetry.Registry
+	cfg     arch.Config
+	tenants atomic.Pointer[tenantSet]
+	mux     *http.ServeMux
+	m       serviceMetrics
+	fabric  *arch.Fabric
+	st      *store.Store
 
+	// Control-plane state: adminMu serializes mutations (the data plane
+	// never takes it); known is every grammar name the server can
+	// resolve to a definition, adminMu-guarded after New.
+	adminMu sync.Mutex
+	known   map[string]*lang.Language
+
+	sessions sessionJar
+
+	// drainMu orders in-flight registration against Drain and entry
+	// retirement: requests register on the wait groups inside a read
+	// section (admitRequest); Drain flips the flag and retireEntry
+	// barriers on the write side, so every Add happens-before the
+	// corresponding Wait and no request slips past a completed drain.
+	drainMu  sync.RWMutex
 	draining atomic.Bool
-	stop     chan struct{} // closed by Drain; reclaims parked-slot goroutines
+	stop     chan struct{} // closed by Drain; releases retiring entries
 	inflight sync.WaitGroup
 	traceSeq atomic.Int64
 	started  time.Time
 }
 
+// ResolveBuiltin maps a built-in grammar name (the four Table III
+// languages plus MiniC) to its definition, nil if unknown. It is the
+// default Options.Resolver and the name validator cmd/aspend uses.
+func ResolveBuiltin(name string) *lang.Language {
+	if l := lang.ByName(name); l != nil {
+		return l
+	}
+	if name == "MiniC" {
+		return lang.MiniC()
+	}
+	return nil
+}
+
 // New compiles and places every grammar, sizes the per-grammar worker
 // pools from the fabric partition, and builds the HTTP surface. All
-// compile work happens here — the request path performs none.
+// compile work happens here — the request path performs none. With a
+// durable store attached, a non-empty journal overrides the flag-derived
+// membership and verify mode (the journal is the source of truth after
+// the first boot); an empty journal is bootstrapped from them.
 func New(opts Options) (*Server, error) {
 	langs := opts.Languages
 	if langs == nil {
@@ -135,40 +200,170 @@ func New(opts Options) (*Server, error) {
 	if opts.MaxBodyBytes == 0 {
 		opts.MaxBodyBytes = DefaultMaxBodyBytes
 	}
+	known := make(map[string]*lang.Language, len(langs))
+	for _, l := range langs {
+		known[l.Name] = l
+	}
+	// Journal replay: with recorded mutations, the journal's membership
+	// and verify mode override the configured ones — flags describe the
+	// first boot, the journal describes every boot since.
+	replayed := false
+	if opts.Store != nil && len(opts.Store.Replay.Records) > 0 {
+		names, mode, err := replayRegistry(opts.Store.Replay.Records)
+		if err != nil {
+			return nil, err
+		}
+		langs = make([]*lang.Language, 0, len(names))
+		for _, n := range names {
+			l := known[n]
+			if l == nil {
+				l = resolveWith(opts.Resolver, n)
+			}
+			if l == nil {
+				return nil, fmt.Errorf("serve: journal names unresolvable grammar %q", n)
+			}
+			known[n] = l
+			langs = append(langs, l)
+		}
+		if mode != "" {
+			vm, perr := verify.ParseMode(mode)
+			if perr != nil {
+				return nil, fmt.Errorf("serve: journaled verify mode: %w", perr)
+			}
+			opts.Chaos = withVerifyMode(opts.Chaos, vm)
+		}
+		replayed = true
+	}
 	if opts.Chaos != nil {
 		c := opts.Chaos.withDefaults()
 		opts.Chaos = &c
 	}
 	s := &Server{
-		opts:     opts,
-		reg:      reg,
-		cfg:      cfg,
-		grammars: make(map[string]*grammarEntry, len(langs)),
-		m:        newServiceMetrics(reg),
-		fabric:   arch.NewFabric(cfg.FabricBanksOrDefault()),
-		stop:     make(chan struct{}),
-		started:  time.Now(),
+		opts:    opts,
+		reg:     reg,
+		cfg:     cfg,
+		known:   known,
+		m:       newServiceMetrics(reg),
+		fabric:  arch.NewFabric(cfg.FabricBanksOrDefault()),
+		st:      opts.Store,
+		stop:    make(chan struct{}),
+		started: time.Now(),
 	}
 	s.fabric.EnableTelemetry(reg)
-	// Static fabric partition: every grammar gets an equal, contiguous
-	// bank share, and one worker slot per context its share sustains.
-	// The range bounds let bank kills be attributed to their tenant. The
-	// last tenant absorbs the division remainder so every physical bank
-	// has an owner — an unowned bank's death would shrink no pool and be
-	// invisible to injectors. With more grammars than banks (share
-	// clamped to 1), tenants past the fabric end get empty ranges: they
-	// still serve (CapacityFor floors the pool at one slot) but own no
-	// physical banks, so kills never degrade them.
-	share := cfg.FabricBanksOrDefault() / len(langs)
+	if s.st != nil {
+		s.m.journalReplay.SetInt(int64(len(s.st.Replay.Records)))
+	}
+	ts, err := s.buildTenantSet(langs)
+	if err != nil {
+		return nil, err
+	}
+	s.tenants.Store(ts)
+	// First boot with a durable store: seed the journal so a crash
+	// before any mutation still replays to this exact registry.
+	if s.st != nil && !replayed {
+		for _, name := range ts.names {
+			if err := s.journalAppend(store.Record{Op: store.OpAddGrammar, Name: name}); err != nil {
+				return nil, fmt.Errorf("serve: bootstrap journal: %w", err)
+			}
+		}
+		mode := verifyModeOf(s.opts.Chaos).String()
+		if err := s.journalAppend(store.Record{Op: store.OpVerifyMode, Name: mode}); err != nil {
+			return nil, fmt.Errorf("serve: bootstrap journal: %w", err)
+		}
+		if err := s.journalPartition(ts); err != nil {
+			return nil, fmt.Errorf("serve: bootstrap journal: %w", err)
+		}
+	}
+	s.mux = s.buildMux()
+	return s, nil
+}
+
+// replayRegistry folds journaled mutations into the surviving
+// membership (in add order) and the last recorded verify mode. Replay
+// is forgiving about redundant mutations — an add of a loaded grammar
+// or a remove/swap of a missing one is a no-op, not an error — because
+// the journal already survived CRC and sequence checks; only a final
+// state the server cannot serve (empty registry) is fatal.
+func replayRegistry(recs []store.Record) (names []string, mode string, err error) {
+	loaded := make(map[string]bool)
+	for _, r := range recs {
+		switch r.Op {
+		case store.OpAddGrammar:
+			if !loaded[r.Name] {
+				loaded[r.Name] = true
+				names = append(names, r.Name)
+			}
+		case store.OpRemoveGrammar:
+			if loaded[r.Name] {
+				delete(loaded, r.Name)
+				for i, n := range names {
+					if n == r.Name {
+						names = append(names[:i], names[i+1:]...)
+						break
+					}
+				}
+			}
+		case store.OpVerifyMode:
+			mode = r.Name
+		case store.OpSwapGrammar, store.OpPartition:
+			// Swaps rebuild an entry without changing membership; the
+			// partition is recomputed from membership on every boot (the
+			// record exists for offline inspection and cross-checks).
+		}
+	}
+	if len(names) == 0 {
+		return nil, "", fmt.Errorf("serve: journal replays to an empty registry")
+	}
+	return names, mode, nil
+}
+
+func resolveWith(r func(string) *lang.Language, name string) *lang.Language {
+	if r != nil {
+		if l := r(name); l != nil {
+			return l
+		}
+	}
+	return ResolveBuiltin(name)
+}
+
+// withVerifyMode overlays a journaled verify mode onto the configured
+// chaos options without mutating the caller's struct.
+func withVerifyMode(c *ChaosOptions, vm verify.Mode) *ChaosOptions {
+	if c == nil {
+		if vm == verify.ModeOff {
+			return nil
+		}
+		return &ChaosOptions{Verify: vm}
+	}
+	cp := *c
+	cp.Verify = vm
+	return &cp
+}
+
+// buildTenantSet compiles and places langs as a complete registry
+// snapshot: every grammar gets an equal, contiguous bank share, and one
+// worker slot per context its share sustains. The range bounds let bank
+// kills be attributed to their tenant. The last tenant absorbs the
+// division remainder so every physical bank has an owner — an unowned
+// bank's death would shrink no pool and be invisible to injectors. With
+// more grammars than banks (share clamped to 1), tenants past the
+// fabric end get empty ranges: they still serve (CapacityFor floors the
+// pool at one slot) but own no physical banks, so kills never degrade
+// them.
+func (s *Server) buildTenantSet(langs []*lang.Language) (*tenantSet, error) {
+	ts := &tenantSet{byName: make(map[string]*grammarEntry, len(langs))}
+	share := s.cfg.FabricBanksOrDefault() / len(langs)
 	if share < 1 {
 		share = 1
 	}
 	for i, l := range langs {
-		if _, dup := s.grammars[l.Name]; dup {
+		if _, dup := ts.byName[l.Name]; dup {
+			discardTenantSet(ts)
 			return nil, fmt.Errorf("serve: duplicate grammar %q", l.Name)
 		}
 		g, err := newGrammarEntry(s, l, share)
 		if err != nil {
+			discardTenantSet(ts)
 			return nil, fmt.Errorf("serve: grammar %s: %w", l.Name, err)
 		}
 		g.bankLo = i * share
@@ -180,12 +375,33 @@ func New(opts Options) (*Server, error) {
 			g.bankLo = g.bankHi
 		}
 		g.initChaos(s)
-		s.grammars[l.Name] = g
-		s.names = append(s.names, l.Name)
+		ts.byName[l.Name] = g
+		ts.names = append(ts.names, l.Name)
 	}
-	s.mux = s.buildMux()
-	return s, nil
+	return ts, nil
 }
+
+// discardTenantSet releases entries that were built but never
+// published (an aborted mutation): closing each entry's stop channel
+// reclaims any parked-slot goroutines created against a degraded
+// fabric.
+func discardTenantSet(ts *tenantSet) {
+	if ts == nil {
+		return
+	}
+	for _, g := range ts.byName {
+		g.closeStop()
+	}
+}
+
+// grammar returns the named entry from the current snapshot, nil if
+// not loaded.
+func (s *Server) grammar(name string) *grammarEntry {
+	return s.tenants.Load().byName[name]
+}
+
+// tenantNames returns the current snapshot's registration order.
+func (s *Server) tenantNames() []string { return s.tenants.Load().names }
 
 // Registry returns the metrics registry the server reports into.
 func (s *Server) Registry() *telemetry.Registry { return s.reg }
@@ -193,16 +409,17 @@ func (s *Server) Registry() *telemetry.Registry { return s.reg }
 // Grammars describes every loaded grammar in registration order — the
 // same payload /v1/grammars serves.
 func (s *Server) Grammars() []GrammarInfo {
-	infos := make([]GrammarInfo, 0, len(s.names))
-	for _, name := range s.names {
-		infos = append(infos, s.grammars[name].info(s.opts.QueueDepth))
+	ts := s.tenants.Load()
+	infos := make([]GrammarInfo, 0, len(ts.names))
+	for _, name := range ts.names {
+		infos = append(infos, ts.byName[name].info(s.opts.QueueDepth))
 	}
 	return infos
 }
 
-// Handler returns the service mux: the /v1 API, /healthz, and the
-// telemetry debug endpoints (/metrics, /metrics.json, /debug/vars,
-// /debug/pprof) on the same mux.
+// Handler returns the service mux: the /v1 API (including the admin
+// surface), /healthz, and the telemetry debug endpoints (/metrics,
+// /metrics.json, /debug/vars, /debug/pprof) on the same mux.
 func (s *Server) Handler() http.Handler { return s.mux }
 
 // Draining reports whether Drain has been called.
@@ -211,10 +428,26 @@ func (s *Server) Draining() bool { return s.draining.Load() }
 // Drain stops admitting new requests (they get 503) and waits for every
 // in-flight request to finish, or for ctx to expire. It is the
 // service-level half of graceful shutdown; pair it with
-// http.Server.Shutdown, which drains the connection level.
+// http.Server.Shutdown, which drains the connection level. Admin
+// mutations race-free reject after Drain: the draining flag is checked
+// under adminMu before any journal write, so a drained server never
+// appends another record.
 func (s *Server) Drain(ctx context.Context) error {
 	if s.draining.CompareAndSwap(false, true) {
-		close(s.stop) // release parked-slot goroutines (see applyBankLoss)
+		// Take adminMu once so any mutation already journaling finishes
+		// publishing before the drain proceeds; later mutations see the
+		// flag and reject without touching the journal. The drainMu
+		// write-section is the barrier against admission: after it, any
+		// request still deciding observes the flag and rejects, so no
+		// registration can race the Wait below.
+		s.adminMu.Lock()
+		s.drainMu.Lock()
+		close(s.stop) // release parked-slot and retiring-entry goroutines
+		for _, g := range s.tenants.Load().byName {
+			g.closeStop()
+		}
+		s.drainMu.Unlock()
+		s.adminMu.Unlock()
 	}
 	s.m.draining.SetInt(1)
 	done := make(chan struct{})

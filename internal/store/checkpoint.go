@@ -1,0 +1,154 @@
+package store
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"aspen/internal/stream"
+)
+
+// CheckpointStore persists self-digest-sealed stream checkpoints as
+// one file per key, written atomically (temp file + fsync + rename +
+// directory fsync) so a crash leaves either the old image or the new
+// one, never a torn hybrid. Loading verifies both integrity seals; a
+// bit-flipped image is refused with ErrCheckpointCorrupt — detected,
+// never resumed from.
+type CheckpointStore struct {
+	dir string
+}
+
+// ErrCheckpointCorrupt reports a stored checkpoint image that failed to
+// decode or failed its integrity seals.
+var ErrCheckpointCorrupt = errors.New("store: checkpoint image corrupt")
+
+// ErrBadKey reports a checkpoint key outside [A-Za-z0-9._-]{1,128} —
+// keys become file names, so anything fancier is refused outright.
+var ErrBadKey = errors.New("store: invalid checkpoint key")
+
+const checkpointExt = ".ckpt"
+
+// OpenCheckpoints opens (creating if needed) a checkpoint store rooted
+// at dir.
+func OpenCheckpoints(dir string) (*CheckpointStore, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	return &CheckpointStore{dir: dir}, nil
+}
+
+// ValidKey reports whether key is usable as a checkpoint key:
+// [A-Za-z0-9._-]{1,128}, not dot-led. Callers deriving keys from
+// request input can pre-validate instead of round-tripping ErrBadKey.
+func ValidKey(key string) bool { return validKey(key) }
+
+func validKey(key string) bool {
+	if len(key) == 0 || len(key) > 128 {
+		return false
+	}
+	for i := 0; i < len(key); i++ {
+		c := key[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9',
+			c == '.', c == '_', c == '-':
+		default:
+			return false
+		}
+	}
+	// Dot-led names could alias the temp-file prefix or hidden files.
+	return key[0] != '.'
+}
+
+func (cs *CheckpointStore) path(key string) string {
+	return filepath.Join(cs.dir, key+checkpointExt)
+}
+
+// Save atomically persists cp under key. The image carries both seals
+// (Seal/Checkpoint must have been called — Parser.Checkpoint does).
+func (cs *CheckpointStore) Save(key string, cp *stream.Checkpoint) error {
+	if !validKey(key) {
+		return fmt.Errorf("%w: %q", ErrBadKey, key)
+	}
+	data, err := cp.MarshalBinary()
+	if err != nil {
+		return err
+	}
+	tmp, err := os.CreateTemp(cs.dir, ".tmp-"+key+"-*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp.Name(), cs.path(key)); err != nil {
+		return err
+	}
+	if d, err := os.Open(cs.dir); err == nil {
+		_ = d.Sync() // best effort: some filesystems refuse directory fsync
+		d.Close()
+	}
+	return nil
+}
+
+// Load reads the image under key into cp and verifies both seals.
+// A missing key returns an error satisfying errors.Is(err,
+// os.ErrNotExist); a damaged image returns ErrCheckpointCorrupt.
+func (cs *CheckpointStore) Load(key string, cp *stream.Checkpoint) error {
+	if !validKey(key) {
+		return fmt.Errorf("%w: %q", ErrBadKey, key)
+	}
+	data, err := os.ReadFile(cs.path(key))
+	if err != nil {
+		return err
+	}
+	if err := cp.UnmarshalBinary(data); err != nil {
+		return fmt.Errorf("%w: %v", ErrCheckpointCorrupt, err)
+	}
+	if !cp.Verify() || !cp.Exec.Verify() {
+		return fmt.Errorf("%w: integrity seal mismatch", ErrCheckpointCorrupt)
+	}
+	return nil
+}
+
+// Delete removes the image under key (idempotent: deleting a missing
+// key is not an error).
+func (cs *CheckpointStore) Delete(key string) error {
+	if !validKey(key) {
+		return fmt.Errorf("%w: %q", ErrBadKey, key)
+	}
+	err := os.Remove(cs.path(key))
+	if err != nil && !errors.Is(err, os.ErrNotExist) {
+		return err
+	}
+	return nil
+}
+
+// Keys lists the stored checkpoint keys, sorted.
+func (cs *CheckpointStore) Keys() ([]string, error) {
+	ents, err := os.ReadDir(cs.dir)
+	if err != nil {
+		return nil, err
+	}
+	var keys []string
+	for _, e := range ents {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, checkpointExt) || strings.HasPrefix(name, ".") {
+			continue
+		}
+		keys = append(keys, strings.TrimSuffix(name, checkpointExt))
+	}
+	sort.Strings(keys)
+	return keys, nil
+}

@@ -1,0 +1,150 @@
+package store
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"aspen/internal/compile"
+	"aspen/internal/core"
+	"aspen/internal/lang"
+	"aspen/internal/stream"
+)
+
+// sampleCheckpoint parses half a JSON document and snapshots the
+// parser mid-stream.
+func sampleCheckpoint(t *testing.T) (*stream.Parser, *stream.Checkpoint, []byte) {
+	t.Helper()
+	l := lang.JSON()
+	cm, err := l.Compile(compile.OptAll)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := stream.NewParser(l, cm, core.ExecOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc := []byte(`{"a": [1, 2, {"b": "c"}], "d": {"e": [true, false, null]}}`)
+	half := len(doc) / 2
+	if _, err := p.Write(doc[:half]); err != nil {
+		t.Fatal(err)
+	}
+	var cp stream.Checkpoint
+	p.Checkpoint(&cp)
+	return p, &cp, doc[half:]
+}
+
+func TestCheckpointStoreSaveLoadResume(t *testing.T) {
+	cs, err := OpenCheckpoints(filepath.Join(t.TempDir(), "ckpt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, cp, rest := sampleCheckpoint(t)
+	if err := cs.Save("sess-1", cp); err != nil {
+		t.Fatal(err)
+	}
+	// Reference: finish the parse directly from the live parser.
+	if _, err := p.Write(rest); err != nil {
+		t.Fatal(err)
+	}
+	want, err := p.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Load into a fresh checkpoint, restore a reset parser, finish.
+	var loaded stream.Checkpoint
+	if err := cs.Load("sess-1", &loaded); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(&loaded, cp) {
+		t.Fatalf("loaded checkpoint differs from saved")
+	}
+	p.Reset()
+	if err := p.Restore(&loaded); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Write(rest); err != nil {
+		t.Fatal(err)
+	}
+	got, err := p.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("resumed outcome differs:\n got %+v\nwant %+v", got, want)
+	}
+	keys, err := cs.Keys()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(keys) != 1 || keys[0] != "sess-1" {
+		t.Fatalf("Keys = %v", keys)
+	}
+	if err := cs.Delete("sess-1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := cs.Delete("sess-1"); err != nil {
+		t.Fatalf("second delete: %v", err)
+	}
+	if err := cs.Load("sess-1", &loaded); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("load after delete = %v, want ErrNotExist", err)
+	}
+}
+
+// TestCheckpointStoreRefusesCorruption flips every byte of a stored
+// image and asserts Load refuses each mutant — either the codec's
+// structural checks or the integrity seals must catch it.
+func TestCheckpointStoreRefusesCorruption(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "ckpt")
+	cs, err := OpenCheckpoints(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, cp, _ := sampleCheckpoint(t)
+	if err := cs.Save("s", cp); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, "s.ckpt")
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var loaded stream.Checkpoint
+	for pos := range data {
+		mut := append([]byte(nil), data...)
+		mut[pos] ^= 0x10
+		if err := os.WriteFile(path, mut, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if err := cs.Load("s", &loaded); !errors.Is(err, ErrCheckpointCorrupt) {
+			t.Fatalf("flip at %d: Load = %v, want ErrCheckpointCorrupt", pos, err)
+		}
+	}
+	// Truncations too.
+	for cut := 0; cut < len(data); cut += 7 {
+		if err := os.WriteFile(path, data[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if err := cs.Load("s", &loaded); !errors.Is(err, ErrCheckpointCorrupt) {
+			t.Fatalf("cut at %d: Load = %v, want ErrCheckpointCorrupt", cut, err)
+		}
+	}
+}
+
+func TestCheckpointStoreRejectsBadKeys(t *testing.T) {
+	cs, err := OpenCheckpoints(filepath.Join(t.TempDir(), "ckpt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var cp stream.Checkpoint
+	for _, key := range []string{"", "a/b", "../x", ".hidden", "a b", string(make([]byte, 200))} {
+		if err := cs.Save(key, &cp); !errors.Is(err, ErrBadKey) {
+			t.Fatalf("Save(%q) = %v, want ErrBadKey", key, err)
+		}
+		if err := cs.Load(key, &cp); !errors.Is(err, ErrBadKey) {
+			t.Fatalf("Load(%q) = %v, want ErrBadKey", key, err)
+		}
+	}
+}

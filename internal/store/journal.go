@@ -1,0 +1,190 @@
+package store
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+)
+
+// Journal is the fsync'd write-ahead log of registry mutations. Appends
+// are durable before they return (write + fsync); open replays the
+// existing file and recovers from a torn or bit-flipped tail by
+// truncating back to the longest valid record prefix — detected, never
+// panicking, and never replaying a record the CRC cannot vouch for.
+//
+// Replay semantics: records apply strictly in sequence (Seq = 1, 2, …).
+// A record whose frame, CRC, or sequence number is wrong ends the valid
+// prefix; everything from that byte on is discarded (a crash tears only
+// the tail, so an interior mismatch means the file was corrupted at
+// rest — the prefix is still exactly the state the journal had vouched
+// for at some earlier moment, which is the strongest sound claim).
+type Journal struct {
+	mu     sync.Mutex
+	f      *os.File
+	path   string
+	seq    uint64
+	closed bool
+	// noSync disables the per-append fsync (benchmarks only — a
+	// control plane that skips the fsync is not crash-durable).
+	noSync bool
+
+	buf []byte // append scratch, reused
+}
+
+// ReplayResult describes what opening a journal recovered.
+type ReplayResult struct {
+	// Records is the valid prefix, in append order.
+	Records []Record
+	// DroppedBytes is how many trailing bytes were discarded (0 for a
+	// clean file): a torn append or at-rest corruption, truncated away.
+	DroppedBytes int
+	// DropCause is why the suffix was dropped (nil when DroppedBytes
+	// is 0).
+	DropCause error
+}
+
+// OpenJournal opens (creating if absent) the journal at path, replays
+// it, truncates any invalid suffix, and leaves the file positioned for
+// appending. The parent directory must exist.
+func OpenJournal(path string) (*Journal, ReplayResult, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, ReplayResult{}, err
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		f.Close()
+		return nil, ReplayResult{}, err
+	}
+	var res ReplayResult
+	valid := 0
+	var seq uint64
+	for valid < len(data) {
+		r, n, err := DecodeRecord(data[valid:])
+		if err != nil {
+			res.DropCause = err
+			break
+		}
+		if r.Seq != seq+1 {
+			res.DropCause = fmt.Errorf("%w: sequence %d after %d (duplicate or gap)", ErrRecordCorrupt, r.Seq, seq)
+			break
+		}
+		seq = r.Seq
+		res.Records = append(res.Records, r)
+		valid += n
+	}
+	res.DroppedBytes = len(data) - valid
+	if res.DroppedBytes > 0 {
+		// Recover by truncating to the valid prefix: the discarded suffix
+		// is either a torn final append (the crash the journal exists to
+		// survive) or at-rest damage; either way appends must restart
+		// from the last record the CRC vouches for.
+		if err := f.Truncate(int64(valid)); err != nil {
+			f.Close()
+			return nil, ReplayResult{}, err
+		}
+		if err := f.Sync(); err != nil {
+			f.Close()
+			return nil, ReplayResult{}, err
+		}
+	}
+	if _, err := f.Seek(int64(valid), 0); err != nil {
+		f.Close()
+		return nil, ReplayResult{}, err
+	}
+	j := &Journal{f: f, path: path, seq: seq}
+	if err := j.syncDir(); err != nil {
+		f.Close()
+		return nil, ReplayResult{}, err
+	}
+	return j, res, nil
+}
+
+// syncDir fsyncs the journal's parent directory so a freshly created
+// file survives a crash of the directory entry itself.
+func (j *Journal) syncDir() error {
+	d, err := os.Open(filepath.Dir(j.path))
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	// Some filesystems refuse directory fsync; the file-level fsyncs
+	// still hold, so degrade silently rather than failing the open.
+	_ = d.Sync()
+	return nil
+}
+
+// ErrJournalClosed reports an append after Close.
+var ErrJournalClosed = errors.New("store: journal is closed")
+
+// Append assigns the next sequence number to r, encodes it, writes it,
+// and fsyncs before returning — the mutation is durable (or reported
+// failed) by the time the caller applies it to the in-memory registry.
+func (j *Journal) Append(r Record) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.closed {
+		return ErrJournalClosed
+	}
+	r.Seq = j.seq + 1
+	buf, err := AppendRecord(j.buf[:0], r)
+	if err != nil {
+		return err
+	}
+	j.buf = buf
+	if _, err := j.f.Write(buf); err != nil {
+		return fmt.Errorf("store: journal append: %w", err)
+	}
+	if !j.noSync {
+		if err := j.f.Sync(); err != nil {
+			return fmt.Errorf("store: journal fsync: %w", err)
+		}
+	}
+	j.seq = r.Seq
+	return nil
+}
+
+// Seq returns the sequence number of the last durable record (0 for an
+// empty journal).
+func (j *Journal) Seq() uint64 {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.seq
+}
+
+// SetNoSync disables the per-append fsync. Benchmarks only: without the
+// fsync an append is not durable against power loss.
+func (j *Journal) SetNoSync(v bool) {
+	j.mu.Lock()
+	j.noSync = v
+	j.mu.Unlock()
+}
+
+// Size returns the journal's current byte length.
+func (j *Journal) Size() (int64, error) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	st, err := j.f.Stat()
+	if err != nil {
+		return 0, err
+	}
+	return st.Size(), nil
+}
+
+// Close fsyncs and closes the journal. Further appends fail.
+func (j *Journal) Close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.closed {
+		return nil
+	}
+	j.closed = true
+	serr := j.f.Sync()
+	cerr := j.f.Close()
+	if serr != nil {
+		return serr
+	}
+	return cerr
+}

@@ -1,0 +1,237 @@
+package store
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+func testRecords() []Record {
+	return []Record{
+		{Op: OpAddGrammar, Name: "JSON"},
+		{Op: OpAddGrammar, Name: "XML"},
+		{Op: OpVerifyMode, Name: "tmr"},
+		{Op: OpPartition, Banks: 48, Tenants: []TenantRange{
+			{Name: "JSON", Lo: 0, Hi: 24}, {Name: "XML", Lo: 24, Hi: 48}}},
+		{Op: OpSwapGrammar, Name: "JSON"},
+		{Op: OpRemoveGrammar, Name: "XML"},
+	}
+}
+
+// writeJournal appends recs to a fresh journal at path and returns the
+// records as replay should see them (with sequence numbers assigned).
+func writeJournal(t *testing.T, path string, recs []Record) []Record {
+	t.Helper()
+	j, res, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Records) != 0 || res.DroppedBytes != 0 {
+		t.Fatalf("fresh journal replayed %+v", res)
+	}
+	for _, r := range recs {
+		if err := j.Append(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	want := make([]Record, len(recs))
+	for i, r := range recs {
+		r.Seq = uint64(i + 1)
+		want[i] = r
+	}
+	return want
+}
+
+func TestJournalAppendReplay(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "j")
+	want := writeJournal(t, path, testRecords())
+	j, res, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j.Close()
+	if res.DroppedBytes != 0 {
+		t.Fatalf("clean journal dropped %d bytes (%v)", res.DroppedBytes, res.DropCause)
+	}
+	if !reflect.DeepEqual(res.Records, want) {
+		t.Fatalf("replay mismatch:\n got %+v\nwant %+v", res.Records, want)
+	}
+	// Appends continue the sequence.
+	if err := j.Append(Record{Op: OpAddGrammar, Name: "MiniC"}); err != nil {
+		t.Fatal(err)
+	}
+	if got := j.Seq(); got != uint64(len(want)+1) {
+		t.Fatalf("seq after append = %d, want %d", got, len(want)+1)
+	}
+}
+
+// TestJournalTruncatedAtEveryByte is the crash-tail property the whole
+// design rests on: for EVERY prefix length of a multi-record journal,
+// opening the truncated file recovers the longest valid record prefix,
+// never panics, and leaves the journal appendable.
+func TestJournalTruncatedAtEveryByte(t *testing.T) {
+	dir := t.TempDir()
+	full := filepath.Join(dir, "full")
+	want := writeJournal(t, full, testRecords())
+	data, err := os.ReadFile(full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Record boundaries, for computing the expected recovered prefix.
+	bounds := []int{0}
+	for off := 0; off < len(data); {
+		_, n, err := DecodeRecord(data[off:])
+		if err != nil {
+			t.Fatalf("full journal corrupt at %d: %v", off, err)
+		}
+		off += n
+		bounds = append(bounds, off)
+	}
+	path := filepath.Join(dir, "trunc")
+	for cut := 0; cut <= len(data); cut++ {
+		if err := os.WriteFile(path, data[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		j, res, err := OpenJournal(path)
+		if err != nil {
+			t.Fatalf("cut=%d: open: %v", cut, err)
+		}
+		wantN := 0
+		for wantN+1 < len(bounds) && bounds[wantN+1] <= cut {
+			wantN++
+		}
+		if len(res.Records) != wantN {
+			t.Fatalf("cut=%d: recovered %d records, want %d", cut, len(res.Records), wantN)
+		}
+		if wantN > 0 && !reflect.DeepEqual(res.Records, want[:wantN]) {
+			t.Fatalf("cut=%d: prefix mismatch", cut)
+		}
+		if wantDrop := cut - bounds[wantN]; res.DroppedBytes != wantDrop {
+			t.Fatalf("cut=%d: dropped %d bytes, want %d", cut, res.DroppedBytes, wantDrop)
+		}
+		// The journal must be usable after recovery: append, reopen, see
+		// the prefix plus the new record.
+		if err := j.Append(Record{Op: OpAddGrammar, Name: "Cool"}); err != nil {
+			t.Fatalf("cut=%d: append after recovery: %v", cut, err)
+		}
+		if err := j.Close(); err != nil {
+			t.Fatal(err)
+		}
+		j2, res2, err := OpenJournal(path)
+		if err != nil {
+			t.Fatalf("cut=%d: reopen: %v", cut, err)
+		}
+		if len(res2.Records) != wantN+1 || res2.DroppedBytes != 0 {
+			t.Fatalf("cut=%d: reopen recovered %d records (dropped %d), want %d clean",
+				cut, len(res2.Records), res2.DroppedBytes, wantN+1)
+		}
+		j2.Close()
+	}
+}
+
+// TestJournalBitFlips flips every byte of a journal (one at a time) and
+// asserts replay never panics and never returns a full valid sequence
+// containing the damaged record's slot unchanged — it either drops from
+// the damaged record onward or (for flips inside a record that somehow
+// still frames) refuses the CRC.
+func TestJournalBitFlips(t *testing.T) {
+	dir := t.TempDir()
+	full := filepath.Join(dir, "full")
+	want := writeJournal(t, full, testRecords())
+	data, err := os.ReadFile(full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bounds := []int{0}
+	for off := 0; off < len(data); {
+		_, n, err := DecodeRecord(data[off:])
+		if err != nil {
+			t.Fatal(err)
+		}
+		off += n
+		bounds = append(bounds, off)
+	}
+	path := filepath.Join(dir, "flipped")
+	for pos := 0; pos < len(data); pos++ {
+		mut := append([]byte(nil), data...)
+		mut[pos] ^= 0x40
+		if err := os.WriteFile(path, mut, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		j, res, err := OpenJournal(path)
+		if err != nil {
+			t.Fatalf("pos=%d: open: %v", pos, err)
+		}
+		j.Close()
+		// The record containing pos, and everything after it, must be gone.
+		rec := 0
+		for rec+1 < len(bounds) && bounds[rec+1] <= pos {
+			rec++
+		}
+		if len(res.Records) > rec {
+			t.Fatalf("pos=%d: replay kept %d records past the damaged record %d",
+				pos, len(res.Records), rec)
+		}
+		if len(res.Records) > 0 && !reflect.DeepEqual(res.Records, want[:len(res.Records)]) {
+			t.Fatalf("pos=%d: surviving prefix mismatch", pos)
+		}
+		if res.DropCause == nil {
+			t.Fatalf("pos=%d: no drop cause for a damaged journal", pos)
+		}
+	}
+}
+
+// TestJournalDuplicateRecordRejected: replay refuses a record whose
+// sequence number repeats (a double-applied mutation) — the file is
+// recovered up to the duplicate.
+func TestJournalDuplicateRecordRejected(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "dup")
+	writeJournal(t, path, testRecords()[:3])
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Duplicate the second record (bytes of record 2) at the tail.
+	_, n1, err := DecodeRecord(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, n2, err := DecodeRecord(data[n1:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	dup := append(append([]byte(nil), data...), data[n1:n1+n2]...)
+	if err := os.WriteFile(path, dup, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	j, res, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+	if len(res.Records) != 3 {
+		t.Fatalf("replay kept %d records, want 3 (duplicate dropped)", len(res.Records))
+	}
+	if !errors.Is(res.DropCause, ErrRecordCorrupt) {
+		t.Fatalf("drop cause = %v, want ErrRecordCorrupt", res.DropCause)
+	}
+}
+
+func TestJournalClosedAppend(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "j")
+	j, _, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Append(Record{Op: OpAddGrammar, Name: "JSON"}); !errors.Is(err, ErrJournalClosed) {
+		t.Fatalf("append after close = %v, want ErrJournalClosed", err)
+	}
+}

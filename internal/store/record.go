@@ -1,0 +1,227 @@
+package store
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+)
+
+// Journal record codec. Every control-plane mutation travels as one
+// CRC-framed, length-prefixed, little-endian record:
+//
+//	magic "AJL1" | seq u64 | op u8 | payload len u32 | payload | crc32 u32
+//
+// The CRC (IEEE, over seq..payload) makes a bit flip anywhere in the
+// record detectable; the magic and length prefix make a torn tail
+// detectable (a crash mid-append leaves a record that fails to frame).
+// Decoding never panics on arbitrary bytes: structural damage returns
+// ErrRecordCorrupt, and a record that parses but does not re-encode to
+// the same bytes (a value smuggled in via non-canonical encoding) is
+// rejected too — FuzzJournalRecord pins round-trip-or-reject.
+
+// Op is a registry mutation kind.
+type Op uint8
+
+const (
+	// OpAddGrammar loads a grammar into the registry (Name).
+	OpAddGrammar Op = 1
+	// OpRemoveGrammar unloads a grammar (Name).
+	OpRemoveGrammar Op = 2
+	// OpSwapGrammar rebuilds a loaded grammar's entry in place (Name) —
+	// membership is unchanged, the entry generation advances.
+	OpSwapGrammar Op = 3
+	// OpVerifyMode records the silent-corruption detection mode the
+	// registry serves under (Name holds the mode string, off|scrub|dmr|tmr).
+	OpVerifyMode Op = 4
+	// OpPartition records the fabric partition derived from the current
+	// membership: total banks plus every tenant's contiguous range. It is
+	// written after every membership change so replay can cross-check the
+	// recomputed partition.
+	OpPartition Op = 5
+)
+
+func (o Op) String() string {
+	switch o {
+	case OpAddGrammar:
+		return "add"
+	case OpRemoveGrammar:
+		return "remove"
+	case OpSwapGrammar:
+		return "swap"
+	case OpVerifyMode:
+		return "verify-mode"
+	case OpPartition:
+		return "partition"
+	default:
+		return fmt.Sprintf("Op(%d)", int(o))
+	}
+}
+
+// TenantRange is one grammar's contiguous bank share in an OpPartition
+// record.
+type TenantRange struct {
+	Name   string
+	Lo, Hi int
+}
+
+// Record is one journaled registry mutation. Seq is assigned by the
+// journal (strictly increasing from 1); replay refuses gaps and
+// duplicates, so a re-appended or re-ordered record reads as corruption
+// rather than silently double-applying.
+type Record struct {
+	Seq     uint64
+	Op      Op
+	Name    string        // grammar name, or the mode string for OpVerifyMode
+	Banks   int           // OpPartition: fabric total
+	Tenants []TenantRange // OpPartition
+}
+
+// ErrRecordCorrupt reports a record that failed to frame, failed its
+// CRC, or decoded non-canonically.
+var ErrRecordCorrupt = errors.New("store: corrupt journal record")
+
+const (
+	recordMagic = "AJL1"
+	// maxPayload bounds one record payload so a garbage length field
+	// cannot drive a huge allocation. Partition records grow with tenant
+	// count; 1 MiB is ~10k tenants of headroom.
+	maxPayload = 1 << 20
+	// maxName bounds one encoded string.
+	maxName = 1 << 10
+)
+
+var crcTable = crc32.MakeTable(crc32.IEEE)
+
+func appendString(out []byte, s string) []byte {
+	out = binary.LittleEndian.AppendUint16(out, uint16(len(s)))
+	return append(out, s...)
+}
+
+func takeString(data []byte) (string, []byte, error) {
+	if len(data) < 2 {
+		return "", nil, fmt.Errorf("%w: truncated string length", ErrRecordCorrupt)
+	}
+	n := int(binary.LittleEndian.Uint16(data))
+	data = data[2:]
+	if n > maxName || n > len(data) {
+		return "", nil, fmt.Errorf("%w: string length %d exceeds payload", ErrRecordCorrupt, n)
+	}
+	return string(data[:n]), data[n:], nil
+}
+
+// payload encodes the op-specific fields.
+func (r *Record) payload() ([]byte, error) {
+	switch r.Op {
+	case OpAddGrammar, OpRemoveGrammar, OpSwapGrammar, OpVerifyMode:
+		if len(r.Name) == 0 || len(r.Name) > maxName {
+			return nil, fmt.Errorf("store: record name length %d out of range", len(r.Name))
+		}
+		return appendString(nil, r.Name), nil
+	case OpPartition:
+		out := binary.LittleEndian.AppendUint32(nil, uint32(r.Banks))
+		out = binary.LittleEndian.AppendUint16(out, uint16(len(r.Tenants)))
+		for _, t := range r.Tenants {
+			if len(t.Name) == 0 || len(t.Name) > maxName {
+				return nil, fmt.Errorf("store: tenant name length %d out of range", len(t.Name))
+			}
+			out = appendString(out, t.Name)
+			out = binary.LittleEndian.AppendUint32(out, uint32(t.Lo))
+			out = binary.LittleEndian.AppendUint32(out, uint32(t.Hi))
+		}
+		return out, nil
+	default:
+		return nil, fmt.Errorf("store: unknown op %d", r.Op)
+	}
+}
+
+// AppendRecord encodes r onto out. It fails only on a malformed record
+// (unknown op, oversized name), never on size grounds a caller could
+// hit with real registry state.
+func AppendRecord(out []byte, r Record) ([]byte, error) {
+	p, err := r.payload()
+	if err != nil {
+		return nil, err
+	}
+	start := len(out)
+	out = append(out, recordMagic...)
+	out = binary.LittleEndian.AppendUint64(out, r.Seq)
+	out = append(out, byte(r.Op))
+	out = binary.LittleEndian.AppendUint32(out, uint32(len(p)))
+	out = append(out, p...)
+	crc := crc32.Checksum(out[start+4:], crcTable)
+	return binary.LittleEndian.AppendUint32(out, crc), nil
+}
+
+// DecodeRecord decodes the first record in data, returning it and the
+// number of bytes consumed. Any structural damage — short buffer, bad
+// magic, oversized length, CRC mismatch, trailing payload bytes, or a
+// non-canonical encoding — returns ErrRecordCorrupt. It never panics.
+func DecodeRecord(data []byte) (Record, int, error) {
+	const header = 4 + 8 + 1 + 4 // magic + seq + op + payload len
+	if len(data) < header {
+		return Record{}, 0, fmt.Errorf("%w: truncated header", ErrRecordCorrupt)
+	}
+	if string(data[:4]) != recordMagic {
+		return Record{}, 0, fmt.Errorf("%w: bad magic", ErrRecordCorrupt)
+	}
+	seq := binary.LittleEndian.Uint64(data[4:])
+	op := Op(data[12])
+	plen := int(binary.LittleEndian.Uint32(data[13:]))
+	if plen > maxPayload {
+		return Record{}, 0, fmt.Errorf("%w: payload length %d exceeds limit", ErrRecordCorrupt, plen)
+	}
+	total := header + plen + 4
+	if len(data) < total {
+		return Record{}, 0, fmt.Errorf("%w: truncated payload", ErrRecordCorrupt)
+	}
+	want := binary.LittleEndian.Uint32(data[header+plen:])
+	if crc32.Checksum(data[4:header+plen], crcTable) != want {
+		return Record{}, 0, fmt.Errorf("%w: CRC mismatch", ErrRecordCorrupt)
+	}
+	r := Record{Seq: seq, Op: op}
+	p := data[header : header+plen]
+	var err error
+	switch op {
+	case OpAddGrammar, OpRemoveGrammar, OpSwapGrammar, OpVerifyMode:
+		r.Name, p, err = takeString(p)
+		if err != nil {
+			return Record{}, 0, err
+		}
+	case OpPartition:
+		if len(p) < 6 {
+			return Record{}, 0, fmt.Errorf("%w: truncated partition", ErrRecordCorrupt)
+		}
+		r.Banks = int(binary.LittleEndian.Uint32(p))
+		n := int(binary.LittleEndian.Uint16(p[4:]))
+		p = p[6:]
+		for i := 0; i < n; i++ {
+			var t TenantRange
+			t.Name, p, err = takeString(p)
+			if err != nil {
+				return Record{}, 0, err
+			}
+			if len(p) < 8 {
+				return Record{}, 0, fmt.Errorf("%w: truncated tenant range", ErrRecordCorrupt)
+			}
+			t.Lo = int(binary.LittleEndian.Uint32(p))
+			t.Hi = int(binary.LittleEndian.Uint32(p[4:]))
+			p = p[8:]
+			r.Tenants = append(r.Tenants, t)
+		}
+	default:
+		return Record{}, 0, fmt.Errorf("%w: unknown op %d", ErrRecordCorrupt, op)
+	}
+	if len(p) != 0 {
+		return Record{}, 0, fmt.Errorf("%w: %d trailing payload bytes", ErrRecordCorrupt, len(p))
+	}
+	// Canonicality: a record whose decoded fields re-encode differently
+	// (e.g. a length field inflated past the data it frames) was damaged
+	// in bits the field types would silently normalize — reject instead
+	// of letting corruption alias a valid mutation.
+	reenc, err := AppendRecord(nil, r)
+	if err != nil || len(reenc) != total || string(reenc) != string(data[:total]) {
+		return Record{}, 0, fmt.Errorf("%w: non-canonical encoding", ErrRecordCorrupt)
+	}
+	return r, total, nil
+}

@@ -1,0 +1,63 @@
+package store
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+)
+
+func TestRecordRoundTrip(t *testing.T) {
+	for i, r := range testRecords() {
+		r.Seq = uint64(i + 1)
+		enc, err := AppendRecord(nil, r)
+		if err != nil {
+			t.Fatalf("%+v: %v", r, err)
+		}
+		dec, n, err := DecodeRecord(enc)
+		if err != nil {
+			t.Fatalf("%+v: decode: %v", r, err)
+		}
+		if n != len(enc) {
+			t.Fatalf("%+v: consumed %d of %d bytes", r, n, len(enc))
+		}
+		if !reflect.DeepEqual(dec, r) {
+			t.Fatalf("round trip:\n got %+v\nwant %+v", dec, r)
+		}
+	}
+}
+
+func TestRecordRejectsDamage(t *testing.T) {
+	r := Record{Seq: 7, Op: OpPartition, Banks: 48,
+		Tenants: []TenantRange{{Name: "JSON", Lo: 0, Hi: 48}}}
+	enc, err := AppendRecord(nil, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every single-byte flip must be detected.
+	for pos := range enc {
+		mut := append([]byte(nil), enc...)
+		mut[pos] ^= 0x01
+		if _, _, err := DecodeRecord(mut); !errors.Is(err, ErrRecordCorrupt) {
+			t.Fatalf("flip at %d: err = %v, want ErrRecordCorrupt", pos, err)
+		}
+	}
+	// Every truncation must be detected.
+	for cut := 0; cut < len(enc); cut++ {
+		if _, _, err := DecodeRecord(enc[:cut]); !errors.Is(err, ErrRecordCorrupt) {
+			t.Fatalf("cut at %d: err = %v, want ErrRecordCorrupt", cut, err)
+		}
+	}
+}
+
+func TestRecordRejectsMalformedOnEncode(t *testing.T) {
+	cases := []Record{
+		{Op: 0, Name: "x"}, // unknown op
+		{Op: OpAddGrammar}, // empty name
+		{Op: OpPartition, Tenants: []TenantRange{{Name: ""}}}, // empty tenant
+	}
+	for _, r := range cases {
+		if _, err := AppendRecord(nil, r); err == nil {
+			t.Fatalf("%+v: encode succeeded, want error", r)
+		}
+	}
+}

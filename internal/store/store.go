@@ -1,0 +1,58 @@
+// Package store is the crash-durable control plane of the serving
+// layer: a CRC-framed, fsync'd write-ahead journal of registry
+// mutations (grammar add/remove/swap, verify mode, fabric partition)
+// plus a durable store of self-digest-sealed stream checkpoints. A
+// daemon that is SIGKILLed, OOM-killed, or power-cycled reopens the
+// same state directory, replays the journal's valid prefix, refuses
+// torn or bit-flipped records and checkpoint images (detected, never
+// panicking, never trusted), and resumes into the serving state it had
+// vouched for — the operational-property-preservation concern of the
+// DPDA-enforcement literature applied to the machine that serves the
+// machines.
+//
+// Layout of a state directory:
+//
+//	registry.journal   append-only mutation log (see record.go)
+//	checkpoints/       one sealed stream.Checkpoint image per key
+package store
+
+import (
+	"os"
+	"path/filepath"
+)
+
+// JournalName is the registry journal's file name inside a state dir.
+const JournalName = "registry.journal"
+
+// Store is an opened state directory.
+type Store struct {
+	// Dir is the state directory root.
+	Dir string
+	// Journal is the registry mutation log, positioned for appending.
+	Journal *Journal
+	// Checkpoints is the durable checkpoint store.
+	Checkpoints *CheckpointStore
+	// Replay is what opening the journal recovered.
+	Replay ReplayResult
+}
+
+// Open opens (creating as needed) the state directory at dir, replaying
+// the registry journal.
+func Open(dir string) (*Store, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	j, res, err := OpenJournal(filepath.Join(dir, JournalName))
+	if err != nil {
+		return nil, err
+	}
+	cs, err := OpenCheckpoints(filepath.Join(dir, "checkpoints"))
+	if err != nil {
+		j.Close()
+		return nil, err
+	}
+	return &Store{Dir: dir, Journal: j, Checkpoints: cs, Replay: res}, nil
+}
+
+// Close closes the journal (checkpoint files are opened per operation).
+func (s *Store) Close() error { return s.Journal.Close() }

@@ -1,6 +1,7 @@
 package stream
 
 import (
+	"errors"
 	"fmt"
 
 	"aspen/internal/core"
@@ -31,6 +32,16 @@ type Checkpoint struct {
 	LexStats lexer.Stats
 	Jammed   bool
 	JamPos   int
+
+	// Machine is the HDPDA.Fingerprint of the machine that took the
+	// snapshot. Checkpoint state embeds raw state IDs and stack
+	// symbols, which only mean anything on the exact machine build that
+	// wrote them — Restore refuses a snapshot stamped with a different
+	// fingerprint (ErrMachineMismatch) rather than resuming into
+	// silently wrong behavior. Compilation is deterministic
+	// (TestCompileDeterministic), so a restart that recompiles the same
+	// grammar reproduces the same fingerprint and resumes cleanly.
+	Machine uint64
 
 	// Digest is the stream-level FNV-1a seal, written by
 	// Parser.Checkpoint (or Seal) and verified by Parser.Restore.
@@ -74,6 +85,7 @@ func (cp *Checkpoint) computeDigest() uint64 {
 	h.int(cp.LexStats.HandoffCycles)
 	h.bool(cp.Jammed)
 	h.int(cp.JamPos)
+	h.int(int(cp.Machine))
 	return uint64(h)
 }
 
@@ -98,8 +110,13 @@ func (p *Parser) Checkpoint(cp *Checkpoint) {
 	cp.LexStats = p.lexStats
 	cp.Jammed = p.jammed
 	cp.JamPos = p.jamPos
+	cp.Machine = p.mfp
 	cp.Seal()
 }
+
+// ErrMachineMismatch reports a restore attempted on a machine build
+// other than the one that took the snapshot.
+var ErrMachineMismatch = errors.New("stream: checkpoint was taken on a different machine build")
 
 // Restore rewinds the parser to cp, clearing any error or close mark
 // picked up since — rollback exists precisely to discard a corrupted or
@@ -113,6 +130,9 @@ func (p *Parser) Checkpoint(cp *Checkpoint) {
 func (p *Parser) Restore(cp *Checkpoint) error {
 	if !cp.Verify() {
 		return fmt.Errorf("stream: %w", core.ErrCheckpointCorrupt)
+	}
+	if cp.Machine != p.mfp {
+		return fmt.Errorf("%w (snapshot %016x, this build %016x)", ErrMachineMismatch, cp.Machine, p.mfp)
 	}
 	if err := p.exec.Restore(&cp.Exec); err != nil {
 		return fmt.Errorf("stream: %w", err)

@@ -1,0 +1,114 @@
+package stream
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+
+	"aspen/internal/compile"
+	"aspen/internal/core"
+	"aspen/internal/lang"
+)
+
+// TestCheckpointCodecRoundTrip: marshal → unmarshal reproduces the
+// snapshot exactly (seals included), and the decoded image restores a
+// parser that finishes identically to the uninterrupted one.
+func TestCheckpointCodecRoundTrip(t *testing.T) {
+	for _, l := range lang.All() {
+		cm, err := l.Compile(compile.OptAll)
+		if err != nil {
+			t.Fatal(err)
+		}
+		doc := []byte(sampleOf[l.Name])
+		p, err := NewParser(l, cm, core.ExecOptions{CollectReports: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		half := len(doc) / 2
+		if _, err := p.Write(doc[:half]); err != nil {
+			t.Fatalf("%s: %v", l.Name, err)
+		}
+		var cp Checkpoint
+		p.Checkpoint(&cp)
+		raw, err := cp.MarshalBinary()
+		if err != nil {
+			t.Fatal(err)
+		}
+		var cp2 Checkpoint
+		if err := cp2.UnmarshalBinary(raw); err != nil {
+			t.Fatalf("%s: unmarshal: %v", l.Name, err)
+		}
+		if !reflect.DeepEqual(cp2, cp) {
+			t.Fatalf("%s: round trip mismatch", l.Name)
+		}
+		if _, err := p.Write(doc[half:]); err != nil {
+			t.Fatalf("%s: %v", l.Name, err)
+		}
+		want, werr := p.Close()
+		p.Reset()
+		if err := p.Restore(&cp2); err != nil {
+			t.Fatalf("%s: restore: %v", l.Name, err)
+		}
+		if _, err := p.Write(doc[half:]); err != nil {
+			t.Fatalf("%s: %v", l.Name, err)
+		}
+		got, gerr := p.Close()
+		if !reflect.DeepEqual(got, want) || !errsMatch(gerr, werr) {
+			t.Fatalf("%s: resumed outcome diverged:\n got %+v (%v)\nwant %+v (%v)",
+				l.Name, got, gerr, want, werr)
+		}
+	}
+}
+
+func errsMatch(a, b error) bool {
+	if (a == nil) != (b == nil) {
+		return false
+	}
+	return a == nil || a.Error() == b.Error()
+}
+
+// TestCheckpointCodecRejectsDamage: every single-byte flip and every
+// truncation of an encoded checkpoint is refused — by the codec's
+// structural checks, the canonical re-encode, or the integrity seals.
+func TestCheckpointCodecRejectsDamage(t *testing.T) {
+	l := lang.JSON()
+	cm, err := l.Compile(compile.OptAll)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := NewParser(l, cm, core.ExecOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Write([]byte(`{"k": [1, 2`)); err != nil {
+		t.Fatal(err)
+	}
+	var cp Checkpoint
+	p.Checkpoint(&cp)
+	raw, err := cp.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rejected := func(data []byte) bool {
+		var m Checkpoint
+		if err := m.UnmarshalBinary(data); err != nil {
+			if !errors.Is(err, ErrCheckpointEncoding) {
+				t.Fatalf("decode error outside ErrCheckpointEncoding: %v", err)
+			}
+			return true
+		}
+		return !m.Verify() || !m.Exec.Verify()
+	}
+	for pos := range raw {
+		mut := append([]byte(nil), raw...)
+		mut[pos] ^= 0x08
+		if !rejected(mut) {
+			t.Fatalf("flip at byte %d survived decode and both seals", pos)
+		}
+	}
+	for cut := 0; cut < len(raw); cut++ {
+		if !rejected(raw[:cut]) {
+			t.Fatalf("truncation at %d survived", cut)
+		}
+	}
+}

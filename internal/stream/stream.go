@@ -24,6 +24,7 @@ type Parser struct {
 	cm   *compile.Compiled
 	lx   *lexer.Lexer
 	exec *core.Execution
+	mfp  uint64 // machine fingerprint, stamped into checkpoints
 
 	mode   string
 	tail   []byte        // bytes not yet safely tokenized
@@ -121,6 +122,7 @@ func NewParser(l *lang.Language, cm *compile.Compiled, opts core.ExecOptions) (*
 	return &Parser{
 		l: l, cm: cm, lx: lx,
 		exec: core.NewExecution(cm.Machine, opts),
+		mfp:  cm.Machine.Fingerprint(),
 		mode: lexer.DefaultMode,
 	}, nil
 }

@@ -1,8 +1,12 @@
 #!/bin/sh
 # serve-smoke: boot cmd/aspend on an ephemeral port, push one document
 # through the live service, check the health and metrics surfaces, then
-# shut it down gracefully (SIGTERM → drain). Exercises the real binary
-# end to end, which unit tests against serve.Server's handler cannot.
+# exercise the durability contract: admin-load an extra grammar, kill
+# the daemon with SIGKILL, restart it on the same -state-dir with
+# contradicting flags, and require the journaled registry and
+# byte-identical answers to come back. Finally shut down gracefully
+# (SIGTERM → drain). Exercises the real binary end to end, which unit
+# tests against serve.Server's handler cannot.
 set -eu
 
 GO=${GO:-go}
@@ -16,30 +20,13 @@ cleanup() {
 }
 trap cleanup EXIT
 
+log="$workdir/aspend.log"
 fail() {
     echo "serve-smoke: FAIL: $1" >&2
     echo "--- aspend stderr ---" >&2
-    cat "$workdir/aspend.log" >&2 || true
+    cat "$log" >&2 || true
     exit 1
 }
-
-echo "serve-smoke: building aspend"
-$GO build -o "$workdir/aspend" ./cmd/aspend
-
-"$workdir/aspend" -addr 127.0.0.1:0 -langs JSON,XML \
-    -metrics "$workdir/metrics.json" 2> "$workdir/aspend.log" &
-daemon_pid=$!
-
-# The daemon prints "aspend: listening on http://ADDR" once bound.
-addr=""
-for _ in $(seq 1 50); do
-    addr=$(sed -n 's#^aspend: listening on http://##p' "$workdir/aspend.log")
-    [ -n "$addr" ] && break
-    kill -0 "$daemon_pid" 2>/dev/null || fail "daemon exited during startup"
-    sleep 0.1
-done
-[ -n "$addr" ] || fail "daemon never announced its address"
-echo "serve-smoke: daemon up on $addr"
 
 get() {
     if command -v curl >/dev/null 2>&1; then
@@ -49,26 +36,53 @@ get() {
     fi
 }
 
-# The listener is bound before the announcement, but give the accept
-# loop a bounded grace period rather than trusting a single shot (or a
-# fixed sleep): poll /healthz until it answers.
-health=""
-for _ in $(seq 1 50); do
-    if health=$(get "http://$addr/healthz" 2>/dev/null) && [ -n "$health" ]; then
-        break
-    fi
+# wait_up: poll the daemon's log for its announced address, then poll
+# /healthz until it answers. Sets $addr.
+wait_up() {
+    addr=""
+    for _ in $(seq 1 50); do
+        addr=$(sed -n 's#^aspend: listening on http://##p' "$log")
+        [ -n "$addr" ] && break
+        kill -0 "$daemon_pid" 2>/dev/null || fail "daemon exited during startup"
+        sleep 0.1
+    done
+    [ -n "$addr" ] || fail "daemon never announced its address"
     health=""
-    kill -0 "$daemon_pid" 2>/dev/null || fail "daemon exited before /healthz answered"
-    sleep 0.1
-done
-[ -n "$health" ] || fail "/healthz never became reachable"
+    for _ in $(seq 1 50); do
+        if health=$(get "http://$addr/healthz" 2>/dev/null) && [ -n "$health" ]; then
+            break
+        fi
+        health=""
+        kill -0 "$daemon_pid" 2>/dev/null || fail "daemon exited before /healthz answered"
+        sleep 0.1
+    done
+    [ -n "$health" ] || fail "/healthz never became reachable"
+}
+
+# normalize: strip the per-request timing fields so answers from
+# different runs can be compared byte for byte.
+normalize() {
+    grep -v 'queueNs\|parseNs'
+}
+
+doc='{"smoke": [1, 2, {"ok": true}]}'
+
+echo "serve-smoke: building aspend"
+$GO build -o "$workdir/aspend" ./cmd/aspend
+
+"$workdir/aspend" -addr 127.0.0.1:0 -langs JSON,XML \
+    -state-dir "$workdir/state" 2> "$log" &
+daemon_pid=$!
+wait_up
+echo "serve-smoke: daemon up on $addr"
 echo "$health" | grep -q '"status": "ok"' || fail "/healthz not ok: $health"
 echo "$health" | grep -q '"JSON"' || fail "/healthz missing JSON grammar"
 
-parse=$(printf '{"smoke": [1, 2, {"ok": true}]}' |
+parse=$(printf '%s' "$doc" |
     get -X POST --data-binary @- "http://$addr/v1/parse/JSON") ||
     fail "parse request failed"
 echo "$parse" | grep -q '"accepted": true' || fail "document not accepted: $parse"
+before=$(echo "$parse" | normalize)
 
 metrics=$(get "http://$addr/metrics") || fail "/metrics unreachable"
 echo "$metrics" | grep -q '^serve_requests_total 1$' ||
@@ -77,7 +91,43 @@ code=$(curl -sS -o /dev/null -w '%{http_code}' -X POST -d x \
     "http://$addr/v1/parse/NoSuch") || fail "404 probe failed"
 [ "$code" = "404" ] || fail "unknown grammar answered $code, want 404"
 
-echo "serve-smoke: parse + health + metrics ok; draining"
+# Registry mutation that exists only in the journal: MiniC is loaded
+# over the admin API, never on the command line.
+admin=$(get -X POST -d '{"op":"add","grammar":"MiniC"}' \
+    "http://$addr/v1/admin/grammars") || fail "admin add MiniC failed"
+echo "$admin" | grep -q '"MiniC"' || fail "admin add response missing MiniC: $admin"
+
+echo "serve-smoke: parse + health + metrics + admin ok; kill -9"
+kill -9 "$daemon_pid"
+i=0
+while kill -0 "$daemon_pid" 2>/dev/null; do
+    i=$((i + 1))
+    [ "$i" -gt 100 ] && fail "daemon did not die after SIGKILL"
+    sleep 0.1
+done
+
+# Restart on the same state dir with contradicting flags: the journal
+# must win (-langs XML alone would drop JSON and MiniC).
+log="$workdir/aspend2.log"
+"$workdir/aspend" -addr 127.0.0.1:0 -langs XML \
+    -state-dir "$workdir/state" -metrics "$workdir/metrics.json" 2> "$log" &
+daemon_pid=$!
+wait_up
+echo "serve-smoke: daemon restarted on $addr"
+grep -q 'replayed' "$log" || fail "restart did not replay the journal"
+echo "$health" | grep -q '"JSON"' || fail "journaled JSON grammar lost across kill -9"
+echo "$health" | grep -q '"MiniC"' || fail "admin-loaded MiniC lost across kill -9"
+
+after=$(printf '%s' "$doc" |
+    get -X POST --data-binary @- "http://$addr/v1/parse/JSON" | normalize) ||
+    fail "post-restart parse failed"
+[ "$before" = "$after" ] || fail "answers differ across kill -9:
+--- before
+$before
+--- after
+$after"
+
+echo "serve-smoke: crash recovery ok; draining"
 kill -TERM "$daemon_pid"
 i=0
 while kill -0 "$daemon_pid" 2>/dev/null; do
@@ -85,7 +135,7 @@ while kill -0 "$daemon_pid" 2>/dev/null; do
     [ "$i" -gt 100 ] && fail "daemon did not exit after SIGTERM"
     sleep 0.1
 done
-grep -q "aspend: drained" "$workdir/aspend.log" || fail "no drain message on shutdown"
+grep -q "aspend: drained" "$log" || fail "no drain message on shutdown"
 # The -metrics snapshot is written on clean exit.
 grep -q "serve_requests_total" "$workdir/metrics.json" ||
     fail "-metrics snapshot missing serve counters"
