@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: build test check fmt vet race fuzz bench experiments serve-smoke
+.PHONY: build test check fmt vet race fuzz bench bench-json experiments serve-smoke
 
 build:
 	$(GO) build ./...
@@ -51,6 +51,12 @@ check: vet fmt race serve-smoke fuzz
 
 bench:
 	$(GO) test -bench . -benchtime 1x ./internal/bench
+
+# Refresh the committed perf-trajectory baseline (BENCH_serve.json at
+# the repo root). Diff against a previous snapshot with
+# scripts/bench-compare.sh OLD.json BENCH_serve.json.
+bench-json:
+	$(GO) run ./cmd/aspen-bench -only serve -json .
 
 experiments:
 	$(GO) run ./cmd/aspen-bench -o EXPERIMENTS.md

@@ -7,17 +7,28 @@
 //	aspen-bench                       # print all experiments
 //	aspen-bench -only fig8 -size 65536
 //	aspen-bench -o EXPERIMENTS.md -metrics bench-metrics.json
+//	aspen-bench -only serve -json .   # also write BENCH_serve.json
+//	aspen-bench -compare BENCH_serve.json new/BENCH_serve.json
 //
 // Every numeric cell of every rendered table is also published to the
 // telemetry registry as a bench_<id>_<row>_<column> gauge, so -metrics
 // (or a live scrape via -pprof-addr) exposes each figure/table value in
 // queryable form without changing the rendered Markdown.
+//
+// -json DIR additionally writes each rendered table as a perf-
+// trajectory snapshot DIR/BENCH_<id>.json (host, commit, and parameter
+// metadata included). -compare OLD NEW diffs two such snapshots and
+// exits 1 when any metric moved more than -threshold in its bad
+// direction — the regression gate scripts/bench-compare.sh and CI run.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"os/exec"
+	"path/filepath"
+	"strconv"
 	"strings"
 	"time"
 
@@ -25,25 +36,71 @@ import (
 	"aspen/internal/telemetry"
 )
 
+// gitCommit best-effort identifies the working tree for trajectory
+// metadata; empty when git or the repo is unavailable.
+func gitCommit() string {
+	out, err := exec.Command("git", "rev-parse", "--short", "HEAD").Output()
+	if err != nil {
+		return ""
+	}
+	return strings.TrimSpace(string(out))
+}
+
 func main() {
 	var (
-		only  = flag.String("only", "", "run a single experiment (fig2, table1..table5, fig8, fig9, fig10, ablations, serve, chaos, verify, store)")
-		size  = flag.Int("size", 32<<10, "per-document size for XML experiments (bytes)")
-		scale = flag.Int("scale", 200, "dataset scale divisor for mining experiments")
-		out   = flag.String("o", "", "write Markdown to this file instead of stdout")
+		only      = flag.String("only", "", "run a single experiment (fig2, table1..table5, fig8, fig9, fig10, ablations, serve, chaos, verify, store)")
+		size      = flag.Int("size", 32<<10, "per-document size for XML experiments (bytes)")
+		scale     = flag.Int("scale", 200, "dataset scale divisor for mining experiments")
+		out       = flag.String("o", "", "write Markdown to this file instead of stdout")
+		jsonDir   = flag.String("json", "", "also write each table as a BENCH_<id>.json trajectory snapshot into this directory")
+		compare   = flag.String("compare", "", "compare two trajectory snapshots: -compare OLD (with NEW as the remaining argument); exits 1 on regression")
+		threshold = flag.Float64("threshold", bench.DefaultRegressionThreshold, "relative movement -compare flags as a regression")
+		verbose   = flag.Bool("v", false, "with -compare, print unchanged metrics too")
 	)
 	tf := telemetry.RegisterFlags(flag.CommandLine)
 	flag.Parse()
+
+	if *compare != "" {
+		if flag.NArg() != 1 {
+			fmt.Fprintln(os.Stderr, "usage: aspen-bench -compare OLD.json NEW.json")
+			os.Exit(2)
+		}
+		res, err := bench.CompareFiles(*compare, flag.Arg(0), *threshold)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "aspen-bench: %v\n", err)
+			os.Exit(2)
+		}
+		fmt.Print(res.Render(*verbose))
+		if res.Regressions() > 0 {
+			os.Exit(1)
+		}
+		return
+	}
 
 	reg := telemetry.NewRegistry()
 	sess := tf.MustStart("aspen-bench", reg)
 	defer sess.MustClose("aspen-bench")
 
+	commit := gitCommit()
+	params := map[string]string{
+		"size":  strconv.Itoa(*size),
+		"scale": strconv.Itoa(*scale),
+	}
 	want := func(id string) bool { return *only == "" || *only == id }
 	var b strings.Builder
 	render := func(t *bench.Table) {
 		t.Publish(reg)
 		b.WriteString(t.Render())
+		if *jsonDir != "" {
+			tr := bench.NewTrajectory(t, commit, params)
+			path := filepath.Join(*jsonDir, bench.TrajectoryFile(t.ID))
+			if err := tr.WriteFile(path); err != nil {
+				fmt.Fprintf(os.Stderr, "aspen-bench: writing %s: %v\n", path, err)
+				sess.Close()
+				os.Exit(1)
+			}
+			fmt.Fprintf(os.Stderr, "wrote %s\n", path)
+		}
 		if sess.Tracing() {
 			sess.Sink().Emit(map[string]any{
 				"event": "table", "id": t.ID, "title": t.Title, "rows": len(t.Rows),

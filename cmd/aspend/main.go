@@ -16,9 +16,17 @@
 //	POST /v1/parse/{grammar}   stream a document; chunked bodies are fed
 //	                           incrementally into the hDPDA as they arrive
 //	GET  /v1/grammars          loaded grammars, machine shapes, fabric mapping
+//	GET  /v1/debug/requests    flight recorder: recently completed requests
+//	                           plus a slow/error ring, filterable by
+//	                           ?grammar= ?outcome= ?min_ms= ?trace=
 //	GET  /healthz              ok / draining
 //	GET  /metrics              Prometheus text (same mux; also /metrics.json,
 //	                           /debug/vars, /debug/pprof/...)
+//
+// Every response — including 4xx/5xx — carries an X-Aspen-Trace header;
+// the ID joins the flight recorder (?trace=) and per-request trace
+// output. -flight sizes the recorder; -slow sets the latency beyond
+// which a request is retained in its notable ring.
 //
 // A full admission queue answers 429 with Retry-After. SIGINT/SIGTERM
 // starts a graceful drain: new requests get 503, in-flight requests
@@ -72,6 +80,8 @@ func main() {
 		faultSeed   = flag.Int64("fault-seed", 1, "chaos: deterministic fault injector seed")
 		killAfter   = flag.Duration("kill-bank-after", 0, "chaos: permanently kill one fabric bank per interval (0 = never)")
 		verifyMode  = flag.String("verify-mode", "tmr", "silent-corruption detection: off|scrub|dmr|tmr (dmr/tmr run redundant contexts and shrink worker pools; applies whenever the recovery layer is armed)")
+		flightSize  = flag.Int("flight", telemetry.DefaultFlightSize, "flight-recorder capacity: completed requests kept for /v1/debug/requests (slow/error requests keep a quarter of this on top)")
+		slowThresh  = flag.Duration("slow", time.Duration(telemetry.DefaultSlowNS), "latency at which a request is retained in the flight recorder's notable ring")
 		stateDir    = flag.String("state-dir", "", "durable control-plane state directory: registry mutations are journaled and replayed on restart, and ?session= parses checkpoint here (empty = in-memory only)")
 	)
 	tf := telemetry.RegisterFlags(flag.CommandLine)
@@ -145,6 +155,8 @@ func main() {
 		Chaos:          chaos,
 		Store:          st,
 		Resolver:       serve.ResolveBuiltin,
+		FlightSize:     *flightSize,
+		SlowThreshold:  *slowThresh,
 	})
 	if err != nil {
 		fatal("%v", err)

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"net/http"
 	"net/http/httptest"
+	"runtime"
 	"strings"
 	"sync"
 	"time"
@@ -17,14 +18,16 @@ import (
 
 // ServeRow is one grammar's measured service throughput.
 type ServeRow struct {
-	Grammar     string
-	FabricBanks int
-	Contexts    int
-	Clients     int
-	Requests    int
-	ReqPerSec   float64
-	MBPerSec    float64
-	P50us       float64 // wall-clock per request at full concurrency
+	Grammar      string
+	FabricBanks  int
+	Contexts     int
+	Clients      int
+	Requests     int
+	ReqPerSec    float64
+	MBPerSec     float64
+	P50us        float64 // wall-clock per request at full concurrency
+	NSPerKB      float64 // normalized cost: wall-clock ns per KiB of document
+	AllocsPerReq float64 // heap allocations per request, whole process (client side included)
 }
 
 // Serve measures cmd/aspend's serving path end to end: a multi-tenant
@@ -61,6 +64,9 @@ func Serve(sizeBytes int) (*Table, []ServeRow) {
 		total := clients * perClient
 		url := ts.URL + "/v1/parse/" + info.Name
 
+		var ms0, ms1 runtime.MemStats
+		runtime.GC()
+		runtime.ReadMemStats(&ms0)
 		var wg sync.WaitGroup
 		start := time.Now()
 		for c := 0; c < clients; c++ {
@@ -81,16 +87,19 @@ func Serve(sizeBytes int) (*Table, []ServeRow) {
 		}
 		wg.Wait()
 		el := time.Since(start).Seconds()
+		runtime.ReadMemStats(&ms1)
 
 		rows = append(rows, ServeRow{
-			Grammar:     info.Name,
-			FabricBanks: info.FabricShare,
-			Contexts:    info.Contexts,
-			Clients:     clients,
-			Requests:    total,
-			ReqPerSec:   float64(total) / el,
-			MBPerSec:    float64(total*len(doc)) / el / (1 << 20),
-			P50us:       el / float64(total) * float64(clients) * 1e6,
+			Grammar:      info.Name,
+			FabricBanks:  info.FabricShare,
+			Contexts:     info.Contexts,
+			Clients:      clients,
+			Requests:     total,
+			ReqPerSec:    float64(total) / el,
+			MBPerSec:     float64(total*len(doc)) / el / (1 << 20),
+			P50us:        el / float64(total) * float64(clients) * 1e6,
+			NSPerKB:      el * 1e9 / (float64(total*len(doc)) / 1024),
+			AllocsPerReq: float64(ms1.Mallocs-ms0.Mallocs) / float64(total),
 		})
 	}
 
@@ -98,15 +107,17 @@ func Serve(sizeBytes int) (*Table, []ServeRow) {
 		ID:    "serve",
 		Title: "aspend service throughput at bank-derived concurrency",
 		Header: []string{"Grammar", "Fabric banks", "Contexts", "Clients",
-			"Requests", "req/s", "MB/s", "µs/req"},
+			"Requests", "req/s", "MB/s", "µs/req", "ns/KiB", "allocs/req"},
 		Notes: []string{
 			fmt.Sprintf("Each grammar is driven at min(contexts, 8) concurrent HTTP clients with %d-byte documents; contexts derive from the grammar's bank share (§IV-C).", sizeBytes),
+			"allocs/req is whole-process (HTTP client included) and so an upper bound on the server's per-request allocation.",
 		},
 	}
 	for _, r := range rows {
 		tbl.Rows = append(tbl.Rows, []string{
 			r.Grammar, d(r.FabricBanks), d(r.Contexts), d(r.Clients),
-			d(r.Requests), f0(r.ReqPerSec), f2(r.MBPerSec), f0(r.P50us)})
+			d(r.Requests), f0(r.ReqPerSec), f2(r.MBPerSec), f0(r.P50us),
+			f0(r.NSPerKB), f0(r.AllocsPerReq)})
 	}
 	return tbl, rows
 }

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"time"
 
 	"aspen/internal/lang"
 	"aspen/internal/store"
@@ -52,7 +53,10 @@ func (s *Server) journalAppend(r store.Record) error {
 	if s.st == nil {
 		return nil
 	}
-	if err := s.st.Journal.Append(r); err != nil {
+	t0 := time.Now()
+	err := s.st.Journal.Append(r)
+	s.m.journalCommitNS.ObserveInt(time.Since(t0).Nanoseconds())
+	if err != nil {
 		return fmt.Errorf("serve: journal append: %w", err)
 	}
 	s.m.journalAppends.Inc()

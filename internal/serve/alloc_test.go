@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"context"
 	"testing"
+	"time"
 
 	"aspen/internal/lang"
 )
@@ -29,7 +30,7 @@ func TestParseSteadyStateAllocs(t *testing.T) {
 	ctx := context.Background()
 
 	run := func() {
-		out, retries, inputErr, sysErr := g.parseGuarded(ctx, bytes.NewReader(doc))
+		out, retries, inputErr, sysErr := g.parseGuarded(ctx, bytes.NewReader(doc), nil)
 		if sysErr != nil || inputErr != nil || !out.Accepted || retries != 0 {
 			t.Fatalf("parse: out=%+v retries=%d inputErr=%v sysErr=%v", out, retries, inputErr, sysErr)
 		}
@@ -46,7 +47,7 @@ func TestParseSteadyStateAllocs(t *testing.T) {
 	r := bytes.NewReader(doc)
 	allocs := testing.AllocsPerRun(50, func() {
 		r.Reset(doc)
-		out, _, inputErr, sysErr := g.parseGuarded(ctx, r)
+		out, _, inputErr, sysErr := g.parseGuarded(ctx, r, nil)
 		if sysErr != nil || inputErr != nil || !out.Accepted {
 			t.Fatal("parse failed inside measured run")
 		}
@@ -55,6 +56,31 @@ func TestParseSteadyStateAllocs(t *testing.T) {
 		t.Errorf("steady-state parse = %.1f allocs/run, budget %d", allocs, steadyStateAllocBudget)
 	}
 	t.Logf("steady-state parse: %.1f allocs/run", allocs)
+
+	// Tracing must ride along for free: the same parse with a live span —
+	// phase attribution, per-grammar phase histograms, and the flight-
+	// recorder write — stays within the same budget (the span is stack
+	// state, the record a fixed-size copy, the outcome a constant string).
+	var sp span
+	tracedAllocs := testing.AllocsPerRun(50, func() {
+		r.Reset(doc)
+		sp = span{id: 1, start: time.Now(), grammar: g.name, g: g,
+			status: 200, outcome: outcomeAccepted}
+		out, _, inputErr, sysErr := g.parseGuarded(ctx, r, &sp)
+		if sysErr != nil || inputErr != nil || !out.Accepted {
+			t.Fatal("traced parse failed inside measured run")
+		}
+		sp.bytes = int64(out.Bytes)
+		s.recordSpan(&sp)
+	})
+	if tracedAllocs > steadyStateAllocBudget {
+		t.Errorf("traced steady-state parse = %.1f allocs/run, budget %d (tracing must not allocate)",
+			tracedAllocs, steadyStateAllocBudget)
+	}
+	if tracedAllocs > allocs {
+		t.Errorf("tracing added heap allocations: %.1f traced vs %.1f untraced", tracedAllocs, allocs)
+	}
+	t.Logf("traced steady-state parse: %.1f allocs/run", tracedAllocs)
 
 	if after := s.Registry().Snapshot().Counters["serve_compiles_total"]; after != compilesBefore {
 		t.Errorf("serve_compiles_total moved %d → %d during steady state", compilesBefore, after)

@@ -245,10 +245,13 @@ func (g *grammarEntry) recover(ctx context.Context, u *parserUnit, andClose bool
 // unit: checkpoint on clean progress, judge every window with the
 // unit's verify.Guard (never the injector), roll back and replay on a
 // Corrupt verdict. retries reports how many replay attempts the request
-// consumed (0 on an untroubled parse).
-func (g *grammarEntry) parseGuarded(ctx context.Context, body io.Reader) (out stream.Outcome, retries int, inputErr, sysErr error) {
+// consumed (0 on an untroubled parse). sp attributes time to the span
+// phases — read, parse (replica execution + vote), verify (checkpoint
+// seals), retry (rollback + backoff + replay) — and receives the
+// Guard's per-request verdict tallies; nil disables all of it.
+func (g *grammarEntry) parseGuarded(ctx context.Context, body io.Reader, sp *span) (out stream.Outcome, retries int, inputErr, sysErr error) {
 	if g.chaos == nil {
-		out, inputErr, sysErr = g.parse(ctx, body)
+		out, inputErr, sysErr = g.parse(ctx, body, sp)
 		return out, 0, inputErr, sysErr
 	}
 	allowed, probe := g.breaker.allow(time.Now())
@@ -278,9 +281,19 @@ func (g *grammarEntry) parseGuarded(ctx context.Context, body io.Reader) (out st
 	u := g.units.Get().(*parserUnit)
 	defer g.units.Put(u)
 	u.det.Reset()
+	if sp != nil {
+		// The Guard tallies verdicts per request (Reset cleared them);
+		// copy the counts out on every exit path.
+		defer func() {
+			_, arb, cor := u.det.WindowCounts()
+			sp.arbit, sp.corrupt = int32(arb), int32(cor)
+		}()
+	}
 	u.startAttempt()
 	u.replay = u.replay[:0]
+	t0 := sp.now()
 	u.det.Checkpoint()
+	sp.addSince(phaseVerify, t0)
 	g.m.checkpoints.Inc()
 
 	bufp := copyBufs.Get().(*[]byte)
@@ -299,7 +312,9 @@ func (g *grammarEntry) parseGuarded(ctx context.Context, body io.Reader) (out st
 		if err := ctx.Err(); err != nil {
 			return stream.Outcome{}, retries, nil, err
 		}
+		t0 = sp.now()
 		n, rerr := body.Read(buf)
+		sp.addSince(phaseRead, t0)
 		// Feed the parser in checkpoint-window-sized pieces: a single
 		// transport read can exceed CheckpointBytes (the copy buffer is
 		// 32 KiB), and the replay window — replay cost, and with it the
@@ -315,11 +330,15 @@ func (g *grammarEntry) parseGuarded(ctx context.Context, body io.Reader) (out st
 			chunk := buf[off:end]
 			off = end
 			u.replay = append(u.replay, chunk...)
+			t0 = sp.now()
 			verdict, werr := u.det.Write(chunk)
+			sp.addSince(phaseParse, t0)
 			switch {
 			case verdict == verify.Corrupt:
 				g.traceVerify("serve.corruption_detected")
+				t0 = sp.now()
 				rout, done, rierr, rserr := g.recover(ctx, u, false)
+				sp.addSince(phaseRetry, t0)
 				if rserr != nil {
 					return fail(rserr)
 				}
@@ -340,7 +359,9 @@ func (g *grammarEntry) parseGuarded(ctx context.Context, body io.Reader) (out st
 				g.traceVerify("serve.vote_arbitrated")
 			}
 			if len(u.replay) >= g.chaos.CheckpointBytes {
+				t0 = sp.now()
 				u.det.Checkpoint()
+				sp.addSince(phaseVerify, t0)
 				u.replay = u.replay[:0]
 				g.m.checkpoints.Inc()
 			}
@@ -353,10 +374,14 @@ func (g *grammarEntry) parseGuarded(ctx context.Context, body io.Reader) (out st
 		}
 	}
 
+	t0 = sp.now()
 	cv, o, cerr := u.det.Close()
+	sp.addSince(phaseParse, t0)
 	if cv == verify.Corrupt {
 		g.traceVerify("serve.corruption_detected")
+		t0 = sp.now()
 		rout, _, rierr, rserr := g.recover(ctx, u, true)
+		sp.addSince(phaseRetry, t0)
 		retries++
 		if rserr != nil {
 			return fail(rserr)

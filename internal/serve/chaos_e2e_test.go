@@ -371,7 +371,7 @@ func TestChaosRecoveryExhaustionOpensBreaker(t *testing.T) {
 	g := s.grammar("JSON")
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
-	_, _, _, sysErr := g.parseGuarded(ctx, bytes.NewReader(doc))
+	_, _, _, sysErr := g.parseGuarded(ctx, bytes.NewReader(doc), nil)
 	if !errors.Is(sysErr, context.Canceled) {
 		t.Fatalf("canceled probe: sysErr = %v, want context.Canceled", sysErr)
 	}

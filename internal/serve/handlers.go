@@ -70,6 +70,9 @@ func (s *Server) buildMux() *http.ServeMux {
 	mux.HandleFunc("POST /v1/admin/grammars", s.handleAdminGrammars)
 	mux.HandleFunc("GET /v1/admin/grammars", s.handleGrammars)
 	mux.HandleFunc("GET /healthz", s.handleHealth)
+	// Flight recorder: the last N completed requests with per-phase
+	// latency attribution, joinable to X-Aspen-Trace (see trace.go).
+	mux.Handle("GET /v1/debug/requests", s.flight)
 	// The PR-1 debug endpoints share this mux: /metrics, /metrics.json,
 	// /debug/vars, /debug/pprof/...
 	telemetry.Routes(mux, s.reg)
@@ -114,14 +117,20 @@ func (s *Server) handleGrammars(w http.ResponseWriter, _ *http.Request) {
 }
 
 func (s *Server) handleParse(w http.ResponseWriter, r *http.Request) {
-	g, status, errResp := s.admitRequest(r.PathValue("grammar"))
+	// The span opens before admission (so denials carry X-Aspen-Trace
+	// too) and records on every exit path.
+	sp := s.beginSpan(w)
+	defer s.recordSpan(&sp)
+	sp.grammar = r.PathValue("grammar")
+	g, status, denial := s.admitRequest(sp.grammar)
 	if g == nil {
 		if status == http.StatusTooManyRequests {
-			w.Header().Set("Retry-After", errResp.retryAfter)
+			w.Header().Set("Retry-After", denial.retryAfter)
 		}
-		writeJSON(w, status, ErrorResponse{Error: errResp.msg})
+		s.writeErr(w, &sp, denial.entry, status, outcomeDenied, denial.msg)
 		return
 	}
+	sp.g = g
 	defer g.release()
 	defer s.inflight.Done()
 	defer g.inflight.Done()
@@ -135,10 +144,11 @@ func (s *Server) handleParse(w http.ResponseWriter, r *http.Request) {
 
 	start := time.Now()
 	if err := g.acquireSlot(ctx); err != nil {
-		s.failCtx(w, g, err)
+		s.failCtx(w, &sp, g, err)
 		return
 	}
 	queueNS := time.Since(start).Nanoseconds()
+	sp.add(phaseQueue, time.Duration(queueNS))
 	// The parse loop checks ctx between reads, but a stalled client
 	// leaves Read blocked where no check runs — arm the connection
 	// deadline so the read itself is interrupted (best effort: recorders
@@ -151,17 +161,19 @@ func (s *Server) handleParse(w http.ResponseWriter, r *http.Request) {
 	if r.URL.RawQuery != "" {
 		if q := r.URL.Query(); q.Get("session") != "" {
 			final := q.Get("final") == "1" || q.Get("final") == "true"
-			s.serveSession(w, ctx, g, body, q.Get("session"), final, start, queueNS)
+			s.serveSession(w, ctx, g, body, q.Get("session"), final, start, queueNS, &sp)
 			g.releaseSlot()
 			return
 		}
 	}
-	out, _, inputErr, sysErr := g.parseGuarded(ctx, body)
+	out, retries, inputErr, sysErr := g.parseGuarded(ctx, body, &sp)
 	g.releaseSlot()
+	sp.retries = int32(retries)
+	sp.bytes = int64(out.Bytes)
 	parseNS := time.Since(start).Nanoseconds() - queueNS
 
 	if sysErr != nil {
-		s.writeSysErr(w, g, sysErr)
+		s.writeSysErr(w, &sp, g, sysErr)
 		return
 	}
 
@@ -171,8 +183,8 @@ func (s *Server) handleParse(w http.ResponseWriter, r *http.Request) {
 	// trigger replay (it is deterministic; replaying reproduces it).
 	if errors.Is(inputErr, core.ErrStackOverflow) {
 		g.m.rejectedDepth.Inc()
-		writeJSON(w, http.StatusUnprocessableEntity,
-			ErrorResponse{Error: "input exceeds the provisioned stack depth for grammar " + g.name + ": " + inputErr.Error()})
+		s.writeErr(w, &sp, g, http.StatusUnprocessableEntity, outcomeDepth,
+			"input exceeds the provisioned stack depth for grammar "+g.name+": "+inputErr.Error())
 		return
 	}
 
@@ -192,10 +204,12 @@ func (s *Server) handleParse(w http.ResponseWriter, r *http.Request) {
 	switch {
 	case inputErr != nil:
 		resp.Error = inputErr.Error()
+		sp.outcome = outcomeInputErr
 		g.m.errors.Inc()
 	case out.Accepted:
 		g.m.accepted.Inc()
 	default:
+		sp.outcome = outcomeRejected
 		g.m.rejected.Inc()
 	}
 	g.m.bytes.Add(int64(out.Bytes))
@@ -204,13 +218,18 @@ func (s *Server) handleParse(w http.ResponseWriter, r *http.Request) {
 	s.m.requestNS.ObserveInt(total)
 	g.m.requestNS.ObserveInt(total)
 	s.sampleTrace(g, &resp, total)
+	t0 := time.Now()
 	writeJSON(w, http.StatusOK, resp)
+	sp.addSince(phaseRespond, t0)
 }
 
-// admitDenial carries a rejected admission's response pieces.
+// admitDenial carries a rejected admission's response pieces. entry is
+// the grammar the denial is attributable to (nil when the name never
+// resolved).
 type admitDenial struct {
 	msg        string
 	retryAfter string
+	entry      *grammarEntry
 }
 
 // admitRequest is the serialized admission decision: snapshot lookup,
@@ -240,6 +259,7 @@ func (s *Server) admitRequest(name string) (*grammarEntry, int, admitDenial) {
 		return nil, http.StatusTooManyRequests, admitDenial{
 			msg:        "admission queue full for grammar " + g.name,
 			retryAfter: s.retryAfter(g),
+			entry:      g,
 		}
 	}
 	s.inflight.Add(1)
@@ -247,45 +267,61 @@ func (s *Server) admitRequest(name string) (*grammarEntry, int, admitDenial) {
 	return g, http.StatusOK, admitDenial{}
 }
 
+// writeErr answers a non-2xx response, stamping the span's disposition
+// and attributing the error to the serve_errors_total{code=...} series
+// (g may be nil when routing never resolved a tenant).
+func (s *Server) writeErr(w http.ResponseWriter, sp *span, g *grammarEntry, status int, outcome, msg string) {
+	sp.status = status
+	sp.outcome = outcome
+	s.countError(g, status)
+	t0 := sp.now()
+	writeJSON(w, status, ErrorResponse{Error: msg})
+	sp.addSince(phaseRespond, t0)
+}
+
 // writeSysErr maps a transport/recovery failure (no parse outcome
 // exists) to its status: 413 oversized body, 504/cancel for deadlines,
 // 503 for breaker and recovery exhaustion, 400 otherwise. Shared by the
 // one-shot and durable-session request paths.
-func (s *Server) writeSysErr(w http.ResponseWriter, g *grammarEntry, sysErr error) {
+func (s *Server) writeSysErr(w http.ResponseWriter, sp *span, g *grammarEntry, sysErr error) {
 	var tooBig *http.MaxBytesError
 	switch {
 	case errors.As(sysErr, &tooBig):
-		writeJSON(w, http.StatusRequestEntityTooLarge,
-			ErrorResponse{Error: "request body exceeds " + strconv.FormatInt(tooBig.Limit, 10) + " bytes"})
+		s.writeErr(w, sp, g, http.StatusRequestEntityTooLarge, outcomeError,
+			"request body exceeds "+strconv.FormatInt(tooBig.Limit, 10)+" bytes")
 	case errors.Is(sysErr, context.DeadlineExceeded), errors.Is(sysErr, context.Canceled):
-		s.failCtx(w, g, sysErr)
+		s.failCtx(w, sp, g, sysErr)
 	case errors.Is(sysErr, os.ErrDeadlineExceeded):
 		// The connection read deadline fired mid-body.
-		s.failCtx(w, g, context.DeadlineExceeded)
+		s.failCtx(w, sp, g, context.DeadlineExceeded)
 	case errors.Is(sysErr, errBreakerOpen):
 		w.Header().Set("Retry-After", clampRetrySecs(int64(g.chaos.BreakerCooldown/time.Second)))
-		writeJSON(w, http.StatusServiceUnavailable, ErrorResponse{Error: "grammar " + g.name + " is shedding load (circuit breaker open)"})
+		s.writeErr(w, sp, g, http.StatusServiceUnavailable, outcomeDenied,
+			"grammar "+g.name+" is shedding load (circuit breaker open)")
 	case errors.Is(sysErr, errRecoveryExhausted), errors.Is(sysErr, errCheckpointCorrupt):
 		g.m.errors.Inc()
-		writeJSON(w, http.StatusServiceUnavailable, ErrorResponse{Error: sysErr.Error()})
+		s.writeErr(w, sp, g, http.StatusServiceUnavailable, outcomeError, sysErr.Error())
 	default:
 		g.m.errors.Inc()
-		writeJSON(w, http.StatusBadRequest, ErrorResponse{Error: sysErr.Error()})
+		s.writeErr(w, sp, g, http.StatusBadRequest, outcomeError, sysErr.Error())
 	}
 }
 
 // failCtx answers a deadline/cancellation failure: 504 when the server
 // deadline expired, and a best-effort 499-style close (the client is
 // gone) otherwise.
-func (s *Server) failCtx(w http.ResponseWriter, g *grammarEntry, err error) {
+func (s *Server) failCtx(w http.ResponseWriter, sp *span, g *grammarEntry, err error) {
 	if errors.Is(err, context.DeadlineExceeded) {
 		s.m.timeouts.Inc()
 		g.m.errors.Inc()
-		writeJSON(w, http.StatusGatewayTimeout, ErrorResponse{Error: "request deadline exceeded"})
+		s.writeErr(w, sp, g, http.StatusGatewayTimeout, outcomeTimeout, "request deadline exceeded")
 		return
 	}
 	s.m.canceled.Inc()
-	// Client cancellation: nobody is listening; record and return.
+	// Client cancellation: nobody is listening; record the span (499 by
+	// convention: the client closed the request) and return.
+	sp.status = 499
+	sp.outcome = outcomeCanceled
 }
 
 // Retry-After clamp: never below 1 (a cold start with no latency

@@ -1,9 +1,55 @@
 package serve
 
-import "aspen/internal/telemetry"
+import (
+	"strconv"
+
+	"aspen/internal/telemetry"
+)
 
 // Request latency buckets in nanoseconds: 1 µs … ~4.3 s, ×4 per step.
 var requestNSBuckets = telemetry.ExponentialBuckets(1e3, 4, 12)
+
+// Phase latency buckets: 100 ns … ~6.7 s, ×4 per step. Phases start
+// finer than whole requests — a checkpoint seal or a response encode is
+// sub-microsecond work worth resolving.
+var phaseNSBuckets = telemetry.ExponentialBuckets(100, 4, 14)
+
+// errorCodes are the statuses pre-registered per grammar on
+// serve_errors_total{grammar=...,code=...}. Codes outside this set (and
+// errors with no routed grammar) fall back to the server-level series;
+// see Server.countError.
+var errorCodes = []int{400, 409, 410, 413, 422, 429, 500, 503, 504}
+
+func errorCounters(reg *telemetry.Registry, labels ...string) map[int]*telemetry.Counter {
+	m := make(map[int]*telemetry.Counter, len(errorCodes))
+	for _, code := range errorCodes {
+		kv := append(append([]string{}, labels...), "code", strconv.Itoa(code))
+		m[code] = reg.Counter(telemetry.LabeledName("serve_errors_total", kv...),
+			"non-2xx responses by status code")
+	}
+	return m
+}
+
+// countError attributes one non-2xx response to its grammar's
+// serve_errors_total{code=...} series (the server-level series when
+// routing never resolved a grammar, or for a code outside the
+// pre-registered set). Pre-resolved counters keep the common paths
+// allocation-free; the lazy fallback pays a registry lookup only on
+// exotic codes.
+func (s *Server) countError(g *grammarEntry, code int) {
+	if g != nil {
+		if c := g.m.errByCode[code]; c != nil {
+			c.Inc()
+			return
+		}
+	}
+	if c := s.m.errByCode[code]; c != nil {
+		c.Inc()
+		return
+	}
+	s.reg.Counter(telemetry.LabeledName("serve_errors_total", "code", strconv.Itoa(code)),
+		"non-2xx responses by status code").Inc()
+}
 
 // serviceMetrics are the global (grammar-independent) series. All are
 // resolved once at construction so the request path touches atomics
@@ -22,10 +68,15 @@ type serviceMetrics struct {
 
 	// Durable-control-plane series (admin.go, session.go, store wiring).
 	// Registered unconditionally: flat zeros without -state-dir.
-	journalAppends *telemetry.Counter
-	reloadSwaps    *telemetry.Counter
-	ckptCorrupt    *telemetry.Counter
-	journalReplay  *telemetry.Gauge
+	journalAppends  *telemetry.Counter
+	reloadSwaps     *telemetry.Counter
+	ckptCorrupt     *telemetry.Counter
+	journalReplay   *telemetry.Gauge
+	journalCommitNS *telemetry.Histogram
+
+	// errByCode counts non-2xx answers with no routed grammar (404
+	// unknown grammar, 503 drain denial); see countError.
+	errByCode map[int]*telemetry.Counter
 }
 
 func newServiceMetrics(reg *telemetry.Registry) serviceMetrics {
@@ -41,10 +92,13 @@ func newServiceMetrics(reg *telemetry.Registry) serviceMetrics {
 		degraded:  reg.Gauge("serve_degraded", "1 once any fabric bank has been lost"),
 		requestNS: reg.Histogram("serve_request_ns", "end-to-end request latency (ns), queue wait included", requestNSBuckets),
 
-		journalAppends: reg.Counter("journal_appends_total", "registry mutation records fsync'd to the write-ahead journal"),
-		reloadSwaps:    reg.Counter("reload_swaps_total", "atomic registry snapshot swaps (admin mutations and SIGHUP reloads)"),
-		ckptCorrupt:    reg.Counter("checkpoint_store_corrupt_total", "stored session checkpoints refused by their integrity seals"),
-		journalReplay:  reg.Gauge("journal_replay_records", "journal records replayed at the last startup"),
+		journalAppends:  reg.Counter("journal_appends_total", "registry mutation records fsync'd to the write-ahead journal"),
+		reloadSwaps:     reg.Counter("reload_swaps_total", "atomic registry snapshot swaps (admin mutations and SIGHUP reloads)"),
+		ckptCorrupt:     reg.Counter("checkpoint_store_corrupt_total", "stored session checkpoints refused by their integrity seals"),
+		journalReplay:   reg.Gauge("journal_replay_records", "journal records replayed at the last startup"),
+		journalCommitNS: reg.Histogram("serve_journal_commit_ns", "write-ahead journal append+fsync latency (ns)", phaseNSBuckets),
+
+		errByCode: errorCounters(reg),
 	}
 }
 
@@ -60,6 +114,14 @@ type grammarMetrics struct {
 	tokens    *telemetry.Counter
 	queueLen  *telemetry.Gauge
 	requestNS *telemetry.Histogram
+
+	// Span-phase latency attribution (trace.go): one histogram per
+	// lifecycle phase, serve_phase_ns{grammar=...,phase=...}. Resolved
+	// once here so recording a span touches atomics only.
+	phaseNS [numPhases]*telemetry.Histogram
+	// errByCode counts this grammar's non-2xx answers on
+	// serve_errors_total{grammar=...,code=...}.
+	errByCode map[int]*telemetry.Counter
 
 	// Recovery-layer series (chaos.go). Registered unconditionally —
 	// flat zeros on a healthy fabric cost nothing and keep dashboards
@@ -89,7 +151,16 @@ type grammarMetrics struct {
 
 func newGrammarMetrics(reg *telemetry.Registry, grammar string) grammarMetrics {
 	p := "serve_" + telemetry.SanitizeMetricName(grammar) + "_"
+	var phaseNS [numPhases]*telemetry.Histogram
+	for i := range phaseNS {
+		phaseNS[i] = reg.Histogram(
+			telemetry.LabeledName("serve_phase_ns", "grammar", grammar, "phase", phaseNames[i]),
+			"request lifecycle phase latency (ns), attributed by the request span",
+			phaseNSBuckets)
+	}
 	return grammarMetrics{
+		phaseNS:   phaseNS,
+		errByCode: errorCounters(reg, "grammar", grammar),
 		requests:  reg.Counter(p+"requests_total", "parse requests for grammar "+grammar),
 		accepted:  reg.Counter(p+"accepted_total", "inputs accepted by the "+grammar+" hDPDA"),
 		rejected:  reg.Counter(p+"rejected_total", "inputs rejected (jam or non-accepting end state)"),

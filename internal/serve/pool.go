@@ -67,9 +67,10 @@ var copyBufs = sync.Pool{New: func() any {
 // outcome plus a split error: inputErr is the document's fault (lex
 // error, token mismatch, machine stack fault) and still carries a
 // meaningful outcome; sysErr is transport/deadline trouble where no
-// outcome exists. At steady state this path performs zero compiles and
-// O(1) allocations (alloc_test.go pins it).
-func (g *grammarEntry) parse(ctx context.Context, body io.Reader) (out stream.Outcome, inputErr, sysErr error) {
+// outcome exists. sp attributes time to the read and parse span phases
+// (nil disables the clock reads entirely). At steady state this path
+// performs zero compiles and O(1) allocations (alloc_test.go pins it).
+func (g *grammarEntry) parse(ctx context.Context, body io.Reader, sp *span) (out stream.Outcome, inputErr, sysErr error) {
 	p := g.parsers.Get().(*stream.Parser)
 	p.Reset()
 	defer g.parsers.Put(p)
@@ -81,9 +82,14 @@ func (g *grammarEntry) parse(ctx context.Context, body io.Reader) (out stream.Ou
 		if err := ctx.Err(); err != nil {
 			return stream.Outcome{}, nil, err
 		}
+		t0 := sp.now()
 		n, rerr := body.Read(buf)
+		sp.addSince(phaseRead, t0)
 		if n > 0 {
-			if _, werr := p.Write(buf[:n]); werr != nil {
+			t0 = sp.now()
+			_, werr := p.Write(buf[:n])
+			sp.addSince(phaseParse, t0)
+			if werr != nil {
 				out, _ := p.Close()
 				return out, werr, nil
 			}
@@ -95,6 +101,8 @@ func (g *grammarEntry) parse(ctx context.Context, body io.Reader) (out stream.Ou
 			return stream.Outcome{}, nil, rerr
 		}
 	}
+	t0 := sp.now()
 	out, err := p.Close()
+	sp.addSince(phaseParse, t0)
 	return out, err, nil
 }

@@ -109,6 +109,15 @@ type Options struct {
 	// grammars not in the startup set and for journal replay (nil =
 	// built-ins only, via ResolveBuiltin).
 	Resolver func(name string) *lang.Language
+	// FlightSize is the capacity of the flight recorder's recent ring —
+	// the last N completed requests inspectable at /v1/debug/requests
+	// (0 = telemetry.DefaultFlightSize). The notable (slow/error) ring is
+	// sized to a quarter of it.
+	FlightSize int
+	// SlowThreshold is the latency at which a completed request is also
+	// retained in the flight recorder's notable ring, surviving bursts of
+	// healthy traffic (0 = telemetry.DefaultSlowNS).
+	SlowThreshold time.Duration
 }
 
 // tenantSet is one immutable registry snapshot: the loaded grammars in
@@ -151,6 +160,12 @@ type Server struct {
 	inflight sync.WaitGroup
 	traceSeq atomic.Int64
 	started  time.Time
+
+	// Request-scoped tracing (trace.go): the flight recorder behind
+	// /v1/debug/requests, and the trace-ID generator state.
+	flight    *telemetry.FlightRecorder
+	traceBase uint64
+	idSeq     atomic.Uint64
 }
 
 // ResolveBuiltin maps a built-in grammar name (the four Table III
@@ -248,7 +263,10 @@ func New(opts Options) (*Server, error) {
 		st:      opts.Store,
 		stop:    make(chan struct{}),
 		started: time.Now(),
+		flight: telemetry.NewFlightRecorder(opts.FlightSize, opts.FlightSize/4,
+			int64(opts.SlowThreshold), phaseNames),
 	}
+	s.traceBase = uint64(s.started.UnixNano())
 	s.fabric.EnableTelemetry(reg)
 	if s.st != nil {
 		s.m.journalReplay.SetInt(int64(len(s.st.Replay.Records)))

@@ -68,21 +68,23 @@ var checkpoints = sync.Pool{New: func() any { return new(stream.Checkpoint) }}
 func sessionKey(grammar, id string) string { return "sess-" + grammar + "-" + id }
 
 // serveSession handles one durable-session chunk. The caller has
-// admitted the request and holds a worker slot; this owns the response.
-func (s *Server) serveSession(w http.ResponseWriter, ctx context.Context, g *grammarEntry, body io.Reader, id string, final bool, start time.Time, queueNS int64) {
+// admitted the request and holds a worker slot; this owns the response
+// and the span's disposition (checkpoint load/save time lands in the
+// persist phase).
+func (s *Server) serveSession(w http.ResponseWriter, ctx context.Context, g *grammarEntry, body io.Reader, id string, final bool, start time.Time, queueNS int64, sp *span) {
 	if s.st == nil {
-		writeJSON(w, http.StatusBadRequest,
-			ErrorResponse{Error: "durable sessions require a state directory (start aspend with -state-dir)"})
+		s.writeErr(w, sp, g, http.StatusBadRequest, outcomeError,
+			"durable sessions require a state directory (start aspend with -state-dir)")
 		return
 	}
 	key := sessionKey(g.name, id)
 	if !store.ValidKey(key) {
-		writeJSON(w, http.StatusBadRequest, ErrorResponse{Error: "invalid session id " + id})
+		s.writeErr(w, sp, g, http.StatusBadRequest, outcomeError, "invalid session id "+id)
 		return
 	}
 	if !s.sessions.acquire(key) {
-		writeJSON(w, http.StatusConflict,
-			ErrorResponse{Error: "session " + id + " has a request in flight"})
+		s.writeErr(w, sp, g, http.StatusConflict, outcomeDenied,
+			"session "+id+" has a request in flight")
 		return
 	}
 	defer s.sessions.release(key)
@@ -95,7 +97,10 @@ func (s *Server) serveSession(w http.ResponseWriter, ctx context.Context, g *gra
 	defer checkpoints.Put(cp)
 
 	// Resume, if the session has history.
-	switch err := s.st.Checkpoints.Load(key, cp); {
+	t0 := sp.now()
+	err := s.st.Checkpoints.Load(key, cp)
+	sp.addSince(phasePersist, t0)
+	switch {
 	case err == nil:
 		if rerr := p.Restore(cp); rerr != nil {
 			// The image passed its seals but this machine refuses it — the
@@ -103,8 +108,8 @@ func (s *Server) serveSession(w http.ResponseWriter, ctx context.Context, g *gra
 			// session. The session is unresumable; say so once and forget it.
 			s.m.ckptCorrupt.Inc()
 			_ = s.st.Checkpoints.Delete(key)
-			writeJSON(w, http.StatusGone,
-				ErrorResponse{Error: "session " + id + " cannot resume on the current grammar build: " + rerr.Error()})
+			s.writeErr(w, sp, g, http.StatusGone, outcomeError,
+				"session "+id+" cannot resume on the current grammar build: "+rerr.Error())
 			return
 		}
 	case errors.Is(err, os.ErrNotExist):
@@ -112,12 +117,12 @@ func (s *Server) serveSession(w http.ResponseWriter, ctx context.Context, g *gra
 	case errors.Is(err, store.ErrCheckpointCorrupt):
 		s.m.ckptCorrupt.Inc()
 		_ = s.st.Checkpoints.Delete(key)
-		writeJSON(w, http.StatusGone,
-			ErrorResponse{Error: "stored checkpoint for session " + id + " failed its integrity seals"})
+		s.writeErr(w, sp, g, http.StatusGone, outcomeError,
+			"stored checkpoint for session "+id+" failed its integrity seals")
 		return
 	default:
 		g.m.errors.Inc()
-		writeJSON(w, http.StatusInternalServerError, ErrorResponse{Error: err.Error()})
+		s.writeErr(w, sp, g, http.StatusInternalServerError, outcomeError, err.Error())
 		return
 	}
 
@@ -128,12 +133,17 @@ func (s *Server) serveSession(w http.ResponseWriter, ctx context.Context, g *gra
 pump:
 	for {
 		if err := ctx.Err(); err != nil {
-			s.writeSysErr(w, g, err)
+			s.writeSysErr(w, sp, g, err)
 			return
 		}
+		t0 = sp.now()
 		n, rerr := body.Read(buf)
+		sp.addSince(phaseRead, t0)
 		if n > 0 {
-			if _, werr := p.Write(buf[:n]); werr != nil {
+			t0 = sp.now()
+			_, werr := p.Write(buf[:n])
+			sp.addSince(phaseParse, t0)
+			if werr != nil {
 				inputErr = werr
 				break pump
 			}
@@ -145,7 +155,7 @@ pump:
 			// Transport failure mid-chunk: the stored checkpoint is
 			// untouched, so the client resumes from the last acknowledged
 			// offset.
-			s.writeSysErr(w, g, rerr)
+			s.writeSysErr(w, sp, g, rerr)
 			return
 		}
 	}
@@ -153,11 +163,14 @@ pump:
 	if inputErr == nil && !final {
 		// Checkpoint and acknowledge. The response's Bytes/Tokens are the
 		// durable offsets: everything up to them survives kill -9.
+		t0 = sp.now()
 		p.Checkpoint(cp)
-		if err := s.st.Checkpoints.Save(key, cp); err != nil {
+		err := s.st.Checkpoints.Save(key, cp)
+		sp.addSince(phasePersist, t0)
+		if err != nil {
 			g.m.errors.Inc()
-			writeJSON(w, http.StatusInternalServerError,
-				ErrorResponse{Error: "persisting session checkpoint: " + err.Error()})
+			s.writeErr(w, sp, g, http.StatusInternalServerError, outcomeError,
+				"persisting session checkpoint: "+err.Error())
 			return
 		}
 		resp := ParseResponse{
@@ -169,24 +182,32 @@ pump:
 			QueueNS: queueNS,
 			ParseNS: time.Since(start).Nanoseconds() - queueNS,
 		}
+		sp.outcome = outcomePartial
+		sp.bytes = int64(resp.Bytes)
 		total := time.Since(start).Nanoseconds()
 		s.m.requestNS.ObserveInt(total)
 		g.m.requestNS.ObserveInt(total)
+		t0 = sp.now()
 		writeJSON(w, http.StatusOK, resp)
+		sp.addSince(phaseRespond, t0)
 		return
 	}
 
 	// Conclusion: a final chunk, or a document error that ends the
 	// session early. Either way the stored image is spent.
+	t0 = sp.now()
 	out, cerr := p.Close()
+	sp.addSince(phaseParse, t0)
 	if inputErr == nil {
 		inputErr = cerr
 	}
+	t0 = sp.now()
 	_ = s.st.Checkpoints.Delete(key)
+	sp.addSince(phasePersist, t0)
 	if errors.Is(inputErr, core.ErrStackOverflow) {
 		g.m.rejectedDepth.Inc()
-		writeJSON(w, http.StatusUnprocessableEntity,
-			ErrorResponse{Error: "input exceeds the provisioned stack depth for grammar " + g.name + ": " + inputErr.Error()})
+		s.writeErr(w, sp, g, http.StatusUnprocessableEntity, outcomeDepth,
+			"input exceeds the provisioned stack depth for grammar "+g.name+": "+inputErr.Error())
 		return
 	}
 	resp := ParseResponse{
@@ -206,17 +227,22 @@ pump:
 	switch {
 	case inputErr != nil:
 		resp.Error = inputErr.Error()
+		sp.outcome = outcomeInputErr
 		g.m.errors.Inc()
 	case out.Accepted:
 		g.m.accepted.Inc()
 	default:
+		sp.outcome = outcomeRejected
 		g.m.rejected.Inc()
 	}
+	sp.bytes = int64(out.Bytes)
 	g.m.bytes.Add(int64(out.Bytes))
 	g.m.tokens.Add(int64(out.Tokens))
 	total := time.Since(start).Nanoseconds()
 	s.m.requestNS.ObserveInt(total)
 	g.m.requestNS.ObserveInt(total)
 	s.sampleTrace(g, &resp, total)
+	t0 = sp.now()
 	writeJSON(w, http.StatusOK, resp)
+	sp.addSince(phaseRespond, t0)
 }

@@ -1,0 +1,293 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"aspen/internal/lang"
+)
+
+// flightResponse mirrors the /v1/debug/requests JSON for tests.
+type flightResponse struct {
+	Total      uint64        `json:"totalRecorded"`
+	PhaseNames []string      `json:"phases"`
+	Recent     []flightEntry `json:"recent"`
+	Notable    []flightEntry `json:"notable"`
+}
+
+type flightEntry struct {
+	Trace   string           `json:"trace"`
+	Grammar string           `json:"grammar"`
+	Outcome string           `json:"outcome"`
+	Status  int              `json:"status"`
+	Bytes   int64            `json:"bytes"`
+	TotalNS int64            `json:"totalNs"`
+	Phases  map[string]int64 `json:"phaseNs"`
+}
+
+func getFlight(t *testing.T, base, query string) flightResponse {
+	t.Helper()
+	resp, err := http.Get(base + "/v1/debug/requests" + query)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/v1/debug/requests answered %d", resp.StatusCode)
+	}
+	var out flightResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+// phaseSum totals a record's attributed phase time.
+func phaseSum(e flightEntry) int64 {
+	var sum int64
+	for _, ns := range e.Phases {
+		sum += ns
+	}
+	return sum
+}
+
+// checkRecord asserts the flight record for one trace ID is
+// self-consistent: phases sum to no more than the recorded total.
+func checkRecord(t *testing.T, e flightEntry) {
+	t.Helper()
+	if e.TotalNS <= 0 {
+		t.Errorf("trace %s: totalNs = %d, want > 0", e.Trace, e.TotalNS)
+	}
+	if sum := phaseSum(e); sum > e.TotalNS {
+		t.Errorf("trace %s: phases sum to %d ns > total %d ns", e.Trace, sum, e.TotalNS)
+	}
+}
+
+// TestTraceRoundTrip pins the tentpole contract end to end: every
+// response carries X-Aspen-Trace, and presenting that ID to
+// /v1/debug/requests retrieves a self-consistent record of where the
+// request's time went.
+func TestTraceRoundTrip(t *testing.T) {
+	_, ts := newTestServer(t, Options{Languages: []*lang.Language{lang.JSON()}})
+	doc := []byte(`{"k": [1, 2, 3], "s": "str"}`)
+
+	resp, pr := postWhole(t, ts, "JSON", doc)
+	id := resp.Header.Get(TraceHeader)
+	if len(id) != 16 {
+		t.Fatalf("X-Aspen-Trace = %q, want 16 hex digits", id)
+	}
+	if !pr.Accepted {
+		t.Fatal("document not accepted")
+	}
+
+	fl := getFlight(t, ts.URL, "?trace="+id)
+	if len(fl.Recent) != 1 {
+		t.Fatalf("trace %s: %d records, want 1", id, len(fl.Recent))
+	}
+	rec := fl.Recent[0]
+	if rec.Trace != id || rec.Grammar != "JSON" || rec.Outcome != "accepted" || rec.Status != 200 {
+		t.Fatalf("record mismatch: %+v", rec)
+	}
+	if rec.Bytes != int64(len(doc)) {
+		t.Errorf("record bytes = %d, want %d", rec.Bytes, len(doc))
+	}
+	if rec.Phases["parse"] <= 0 {
+		t.Errorf("no parse phase time attributed: %+v", rec.Phases)
+	}
+	checkRecord(t, rec)
+
+	// Filters compose with the live server.
+	if fl := getFlight(t, ts.URL, "?grammar=JSON&outcome=accepted"); len(fl.Recent) != 1 {
+		t.Errorf("grammar+outcome filter found %d records, want 1", len(fl.Recent))
+	}
+	if fl := getFlight(t, ts.URL, "?outcome=denied"); len(fl.Recent) != 0 {
+		t.Errorf("outcome=denied matched %d records, want 0", len(fl.Recent))
+	}
+}
+
+// TestTraceHeaderOnErrors: denials and rejections carry the trace
+// header too, their records land in the notable ring (status ≥ 400),
+// and the serve_errors_total{code=...} counters attribute them.
+func TestTraceHeaderOnErrors(t *testing.T) {
+	s, ts := newTestServer(t, Options{Languages: []*lang.Language{lang.JSON()}})
+
+	// 404: unknown grammar — no tenant to attribute to, so the
+	// server-level error series counts it.
+	resp, err := http.Post(ts.URL+"/v1/parse/NoSuch", "application/octet-stream", strings.NewReader("1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown grammar answered %d, want 404", resp.StatusCode)
+	}
+	id404 := resp.Header.Get(TraceHeader)
+	if len(id404) != 16 {
+		t.Fatalf("404 without X-Aspen-Trace (got %q)", id404)
+	}
+	fl := getFlight(t, ts.URL, "?trace="+id404)
+	if len(fl.Notable) != 1 || fl.Notable[0].Status != 404 || fl.Notable[0].Outcome != "denied" {
+		t.Fatalf("404 not retained in notable ring: %+v", fl.Notable)
+	}
+	if fl.Notable[0].Grammar != "NoSuch" {
+		t.Errorf("404 record grammar = %q, want the requested name", fl.Notable[0].Grammar)
+	}
+	counters := s.Registry().Snapshot().Counters
+	if got := counters[`serve_errors_total{code="404"}`]; got != 1 {
+		t.Errorf(`serve_errors_total{code="404"} = %d, want 1`, got)
+	}
+
+	// Drain → 503, still traced, attributed on the server-level series.
+	if err := s.Drain(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	resp, _ = postWhole(t, ts, "JSON", []byte(`1`))
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("draining server answered %d, want 503", resp.StatusCode)
+	}
+	id503 := resp.Header.Get(TraceHeader)
+	if len(id503) != 16 || id503 == id404 {
+		t.Fatalf("503 trace header %q (404's was %q)", id503, id404)
+	}
+	fl = getFlight(t, ts.URL, "?trace="+id503)
+	if len(fl.Notable) != 1 || fl.Notable[0].Status != 503 {
+		t.Fatalf("503 not retained in notable ring: %+v", fl.Notable)
+	}
+	if got := s.Registry().Snapshot().Counters[`serve_errors_total{code="503"}`]; got != 1 {
+		t.Errorf(`serve_errors_total{code="503"} = %d, want 1`, got)
+	}
+}
+
+// TestSlowRequestNotable: a request slower than SlowThreshold is
+// retained in the notable ring with its latency attributed — the stall
+// here is transport time, so the read phase must carry it, and the
+// phase sum must stay ≤ the total (self-consistency under -race).
+func TestSlowRequestNotable(t *testing.T) {
+	_, ts := newTestServer(t, Options{
+		Languages:     []*lang.Language{lang.JSON()},
+		SlowThreshold: 20 * time.Millisecond,
+	})
+
+	const stall = 60 * time.Millisecond
+	pr, pw := io.Pipe()
+	req, err := http.NewRequest("POST", ts.URL+"/v1/parse/JSON", pr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.ContentLength = -1
+	go func() {
+		_, _ = pw.Write([]byte(`{"a": [1, `))
+		time.Sleep(stall)
+		_, _ = pw.Write([]byte(`2]}`))
+		pw.Close()
+	}()
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	id := resp.Header.Get(TraceHeader)
+
+	fl := getFlight(t, ts.URL, "?trace="+id)
+	if len(fl.Notable) != 1 {
+		t.Fatalf("slow request not in notable ring (trace %s): %+v", id, fl)
+	}
+	rec := fl.Notable[0]
+	checkRecord(t, rec)
+	if rec.TotalNS < int64(stall) {
+		t.Errorf("slow request totalNs = %d, want ≥ the %v stall", rec.TotalNS, stall)
+	}
+	if rec.Phases["read"] < int64(stall)/2 {
+		t.Errorf("stalled transport not attributed to the read phase: %+v", rec.Phases)
+	}
+	// The stall dominates this request, and it happened inside traced
+	// phases: the attributed time must account for most of the total.
+	if sum := phaseSum(rec); sum < rec.TotalNS/2 {
+		t.Errorf("phases sum to %d ns of a %d ns request — attribution lost the stall", sum, rec.TotalNS)
+	}
+
+	// min_ms filtering finds it; an absurd floor does not.
+	if fl := getFlight(t, ts.URL, "?min_ms=30"); len(fl.Notable) != 1 {
+		t.Errorf("min_ms=30 missed the slow request")
+	}
+	if fl := getFlight(t, ts.URL, "?trace="+id+"&min_ms=600000"); len(fl.Notable) != 0 {
+		t.Errorf("min_ms=600000 still matched")
+	}
+}
+
+// TestPhaseMetricsExposed: the per-grammar phase histograms and the
+// error counters ride the Prometheus exposition with merged labels.
+func TestPhaseMetricsExposed(t *testing.T) {
+	_, ts := newTestServer(t, Options{Languages: []*lang.Language{lang.JSON()}})
+	postWhole(t, ts, "JSON", []byte(`[1, 2, 3]`))
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var sb strings.Builder
+	if _, err := io.Copy(&sb, resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	text := sb.String()
+	for _, want := range []string{
+		`serve_phase_ns_bucket{grammar="JSON",phase="parse",le="`,
+		`serve_phase_ns_count{grammar="JSON",phase="parse"}`,
+		`serve_phase_ns_p99{grammar="JSON",phase="parse"}`,
+		"# TYPE serve_phase_ns histogram",
+		"# TYPE serve_errors_total counter",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+	// One HELP/TYPE block per family, however many label combinations.
+	if n := strings.Count(text, "# TYPE serve_phase_ns histogram"); n != 1 {
+		t.Errorf("serve_phase_ns family described %d times, want once", n)
+	}
+}
+
+// benchParse pushes one document through parseGuarded count times with
+// or without a span, reporting ns/op — the traced-overhead comparison
+// (BenchmarkParseTraced vs BenchmarkParseUntraced) backs the <2%
+// overhead acceptance criterion.
+func benchParse(b *testing.B, traced bool) {
+	s, err := New(Options{Languages: []*lang.Language{lang.JSON()}})
+	if err != nil {
+		b.Fatal(err)
+	}
+	g := s.grammar("JSON")
+	doc := bytes.Repeat([]byte(`{"k": [1, 2, {"n": [3, 4]}], "s": "str"}`+"\n"), 64)
+	doc = append([]byte("["), append(bytes.ReplaceAll(doc, []byte("\n"), []byte(",")), []byte("null]")...)...)
+	ctx := context.Background()
+	r := bytes.NewReader(doc)
+	var sp span
+	b.SetBytes(int64(len(doc)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.Reset(doc)
+		var spp *span
+		if traced {
+			sp = span{id: 1, start: time.Now(), grammar: g.name, g: g, status: 200, outcome: outcomeAccepted}
+			spp = &sp
+		}
+		out, _, inputErr, sysErr := g.parseGuarded(ctx, r, spp)
+		if sysErr != nil || inputErr != nil || !out.Accepted {
+			b.Fatalf("parse: %+v %v %v", out, inputErr, sysErr)
+		}
+		if traced {
+			s.recordSpan(&sp)
+		}
+	}
+}
+
+func BenchmarkParseUntraced(b *testing.B) { benchParse(b, false) }
+func BenchmarkParseTraced(b *testing.B)   { benchParse(b, true) }

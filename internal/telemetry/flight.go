@@ -1,0 +1,315 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+)
+
+// Flight recorder: an always-on, fixed-size ring of completed request
+// records, the post-hoc half of request observability. Histograms say
+// the service *was* slow; the recorder says which requests, and where
+// inside each one the time went — without restarting the process,
+// raising a sampling rate, or reproducing the request. Two rings are
+// kept: "recent" sees every completed request and is overwritten
+// round-robin, while "notable" retains only slow or non-2xx requests,
+// so a burst of healthy traffic cannot flush the one record that
+// explains an incident. Records are fixed-size values (the grammar and
+// outcome fields are shared constant strings), so recording is one
+// short critical section copying ~200 bytes — no allocation, no
+// serialization; JSON rendering happens only when /v1/debug/requests is
+// actually read.
+
+// MaxPhases bounds the per-record phase array. Producers define the
+// phase vocabulary (see NewFlightRecorder); unused slots stay zero and
+// are omitted from rendered JSON.
+const MaxPhases = 12
+
+// RequestRecord is one completed request, as remembered by the flight
+// recorder. All fields are plain values: recording copies the record
+// into the ring, and nothing retains a pointer into request state.
+type RequestRecord struct {
+	// TraceID is the request's trace identity — the same value the
+	// X-Aspen-Trace response header carried, so a user-reported failure
+	// is joinable to this record.
+	TraceID uint64
+	// UnixNS is the request's start time (wall clock).
+	UnixNS int64
+	// Grammar is the tenant the request was routed to ("" when routing
+	// itself failed, e.g. an unknown grammar).
+	Grammar string
+	// Outcome is a small-vocabulary disposition ("accepted", "rejected",
+	// "input_error", "denied", "timeout", ...). Producers use constant
+	// strings so recording does not allocate.
+	Outcome string
+	// Status is the HTTP status answered (499 for a client that
+	// disappeared before an answer existed).
+	Status int
+	// Bytes is how much of the request body was consumed.
+	Bytes int64
+	// Retries counts checkpoint-replay attempts the request consumed;
+	// Arbitrated/CorruptWindows are the verify.Guard verdict tallies
+	// (TMR majority votes and rolled-back windows) for the request.
+	Retries        int32
+	Arbitrated     int32
+	CorruptWindows int32
+	// TotalNS is end-to-end latency; Phases is its attribution, indexed
+	// by the recorder's phase vocabulary. Phases sum to ≤ TotalNS (the
+	// remainder is unattributed scheduling/handler overhead).
+	TotalNS int64
+	Phases  [MaxPhases]int64
+}
+
+// FlightRecorder is the concurrency-safe ring pair. The zero value is
+// unusable; construct with NewFlightRecorder.
+type FlightRecorder struct {
+	phaseNames []string
+	slowNS     int64
+
+	mu      sync.Mutex
+	recent  []RequestRecord
+	notable []RequestRecord
+	nRec    uint64 // total records ever (ring head = nRec % len)
+	nNot    uint64
+}
+
+// Defaults for NewFlightRecorder's size parameters.
+const (
+	DefaultFlightSize  = 256
+	DefaultNotableSize = 64
+	DefaultSlowNS      = int64(250 * time.Millisecond)
+)
+
+// NewFlightRecorder builds a recorder holding the last `size` completed
+// requests plus the last `notableSize` slow-or-failed ones. slowNS is
+// the slow-retention threshold (a record with TotalNS ≥ slowNS, or a
+// status ≥ 400, is also written to the notable ring). Zero parameters
+// take the defaults. phaseNames names the Phases slots for rendering;
+// at most MaxPhases are kept.
+func NewFlightRecorder(size, notableSize int, slowNS int64, phaseNames []string) *FlightRecorder {
+	if size <= 0 {
+		size = DefaultFlightSize
+	}
+	if notableSize <= 0 {
+		notableSize = DefaultNotableSize
+	}
+	if slowNS <= 0 {
+		slowNS = DefaultSlowNS
+	}
+	if len(phaseNames) > MaxPhases {
+		phaseNames = phaseNames[:MaxPhases]
+	}
+	names := make([]string, len(phaseNames))
+	copy(names, phaseNames)
+	return &FlightRecorder{
+		phaseNames: names,
+		slowNS:     slowNS,
+		recent:     make([]RequestRecord, size),
+		notable:    make([]RequestRecord, notableSize),
+	}
+}
+
+// SlowNS returns the slow-retention threshold.
+func (f *FlightRecorder) SlowNS() int64 { return f.slowNS }
+
+// Record remembers one completed request. The record is copied; the
+// caller keeps ownership of r. Safe for concurrent use; allocation-free.
+func (f *FlightRecorder) Record(r *RequestRecord) {
+	notable := r.Status >= 400 || r.TotalNS >= f.slowNS
+	f.mu.Lock()
+	f.recent[f.nRec%uint64(len(f.recent))] = *r
+	f.nRec++
+	if notable {
+		f.notable[f.nNot%uint64(len(f.notable))] = *r
+		f.nNot++
+	}
+	f.mu.Unlock()
+}
+
+// Total reports how many requests have ever been recorded.
+func (f *FlightRecorder) Total() uint64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.nRec
+}
+
+// FlightFilter selects records from a snapshot. Zero fields match
+// everything.
+type FlightFilter struct {
+	// TraceID, when non-zero, matches exactly one request.
+	TraceID uint64
+	// Grammar matches the record's routed tenant.
+	Grammar string
+	// Outcome matches the record's disposition string.
+	Outcome string
+	// MinNS drops records faster than this.
+	MinNS int64
+}
+
+func (q FlightFilter) match(r *RequestRecord) bool {
+	if r.UnixNS == 0 {
+		return false // never-written slot
+	}
+	if q.TraceID != 0 && r.TraceID != q.TraceID {
+		return false
+	}
+	if q.Grammar != "" && r.Grammar != q.Grammar {
+		return false
+	}
+	if q.Outcome != "" && r.Outcome != q.Outcome {
+		return false
+	}
+	if q.MinNS > 0 && r.TotalNS < q.MinNS {
+		return false
+	}
+	return true
+}
+
+// snapshotRing copies the matching records of one ring, oldest first.
+func snapshotRing(ring []RequestRecord, n uint64, q FlightFilter) []RequestRecord {
+	size := uint64(len(ring))
+	start := uint64(0)
+	if n > size {
+		start = n - size
+	}
+	out := make([]RequestRecord, 0, size)
+	for i := start; i < n; i++ {
+		r := &ring[i%size]
+		if q.match(r) {
+			out = append(out, *r)
+		}
+	}
+	return out
+}
+
+// Snapshot returns the matching records of both rings, oldest first.
+// The slices are fresh copies; the recorder keeps writing concurrently.
+func (f *FlightRecorder) Snapshot(q FlightFilter) (recent, notable []RequestRecord) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return snapshotRing(f.recent, f.nRec, q), snapshotRing(f.notable, f.nNot, q)
+}
+
+// Lookup finds the record for one trace ID, preferring the notable ring
+// (it retains longer). ok is false when the ring has already recycled
+// the slot.
+func (f *FlightRecorder) Lookup(traceID uint64) (RequestRecord, bool) {
+	recent, notable := f.Snapshot(FlightFilter{TraceID: traceID})
+	if len(notable) > 0 {
+		return notable[len(notable)-1], true
+	}
+	if len(recent) > 0 {
+		return recent[len(recent)-1], true
+	}
+	return RequestRecord{}, false
+}
+
+// TraceIDString renders a trace ID the way the X-Aspen-Trace header
+// carries it: 16 lowercase hex digits.
+func TraceIDString(id uint64) string {
+	const hexdigits = "0123456789abcdef"
+	var b [16]byte
+	for i := 15; i >= 0; i-- {
+		b[i] = hexdigits[id&0xf]
+		id >>= 4
+	}
+	return string(b[:])
+}
+
+// ParseTraceID inverts TraceIDString (forgivingly: any valid hex
+// uint64).
+func ParseTraceID(s string) (uint64, bool) {
+	v, err := strconv.ParseUint(s, 16, 64)
+	return v, err == nil
+}
+
+// requestJSON is the rendered form of one record.
+type requestJSON struct {
+	Trace          string           `json:"trace"`
+	Time           string           `json:"time"`
+	Grammar        string           `json:"grammar,omitempty"`
+	Outcome        string           `json:"outcome"`
+	Status         int              `json:"status"`
+	Bytes          int64            `json:"bytes"`
+	Retries        int32            `json:"retries,omitempty"`
+	Arbitrated     int32            `json:"arbitrated,omitempty"`
+	CorruptWindows int32            `json:"corruptWindows,omitempty"`
+	TotalNS        int64            `json:"totalNs"`
+	Phases         map[string]int64 `json:"phaseNs"`
+}
+
+func (f *FlightRecorder) render(r *RequestRecord) requestJSON {
+	phases := make(map[string]int64, len(f.phaseNames))
+	for i, name := range f.phaseNames {
+		if r.Phases[i] != 0 {
+			phases[name] = r.Phases[i]
+		}
+	}
+	return requestJSON{
+		Trace:          TraceIDString(r.TraceID),
+		Time:           time.Unix(0, r.UnixNS).UTC().Format(time.RFC3339Nano),
+		Grammar:        r.Grammar,
+		Outcome:        r.Outcome,
+		Status:         r.Status,
+		Bytes:          r.Bytes,
+		Retries:        r.Retries,
+		Arbitrated:     r.Arbitrated,
+		CorruptWindows: r.CorruptWindows,
+		TotalNS:        r.TotalNS,
+		Phases:         phases,
+	}
+}
+
+// ServeHTTP answers the /v1/debug/requests endpoint: the recorder's
+// rings as JSON, filterable with query parameters —
+//
+//	?trace=<hex id>      exactly one request (joins X-Aspen-Trace)
+//	?grammar=<name>      one tenant's requests
+//	?outcome=<string>    one disposition ("accepted", "denied", ...)
+//	?min_ms=<float>      only requests at least this slow
+//
+// The response carries both rings: "recent" (every completed request,
+// round-robin) and "notable" (slow/error retention).
+func (f *FlightRecorder) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	q := FlightFilter{
+		Grammar: r.URL.Query().Get("grammar"),
+		Outcome: r.URL.Query().Get("outcome"),
+	}
+	if s := r.URL.Query().Get("trace"); s != "" {
+		id, ok := ParseTraceID(s)
+		if !ok {
+			http.Error(w, "bad trace id "+strconv.Quote(s), http.StatusBadRequest)
+			return
+		}
+		q.TraceID = id
+	}
+	if s := r.URL.Query().Get("min_ms"); s != "" {
+		ms, err := strconv.ParseFloat(s, 64)
+		if err != nil {
+			http.Error(w, "bad min_ms "+strconv.Quote(s), http.StatusBadRequest)
+			return
+		}
+		q.MinNS = int64(ms * 1e6)
+	}
+	recent, notable := f.Snapshot(q)
+	render := func(rs []RequestRecord) []requestJSON {
+		out := make([]requestJSON, len(rs))
+		for i := range rs {
+			out[i] = f.render(&rs[i])
+		}
+		return out
+	}
+	resp := struct {
+		Total      uint64        `json:"totalRecorded"`
+		SlowMS     float64       `json:"slowThresholdMs"`
+		PhaseNames []string      `json:"phases"`
+		Recent     []requestJSON `json:"recent"`
+		Notable    []requestJSON `json:"notable"`
+	}{f.Total(), float64(f.slowNS) / 1e6, f.phaseNames, render(recent), render(notable)}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(resp)
+}

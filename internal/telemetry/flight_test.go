@@ -1,0 +1,217 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+)
+
+// consistentRecord builds a record whose fields are all derived from
+// one seed, so a torn read (fields from two different writes) is
+// detectable.
+func consistentRecord(seed uint64) RequestRecord {
+	r := RequestRecord{
+		TraceID: seed,
+		UnixNS:  int64(seed) + 1, // non-zero: zero marks a never-written slot
+		Grammar: "G",
+		Outcome: "accepted",
+		Status:  200,
+		Bytes:   int64(seed),
+		TotalNS: int64(seed),
+	}
+	for i := range r.Phases {
+		r.Phases[i] = int64(seed)
+	}
+	return r
+}
+
+func checkConsistent(t *testing.T, r *RequestRecord) {
+	t.Helper()
+	seed := r.TraceID
+	if r.UnixNS != int64(seed)+1 || r.Bytes != int64(seed) || r.TotalNS != int64(seed) {
+		t.Fatalf("torn record: %+v", *r)
+	}
+	for i := range r.Phases {
+		if r.Phases[i] != int64(seed) {
+			t.Fatalf("torn phase %d in record %d: %d", i, seed, r.Phases[i])
+		}
+	}
+}
+
+// TestFlightRecorderConcurrent hammers the ring with parallel writers
+// while readers snapshot, asserting no snapshot ever contains a torn
+// record. Run under -race (make race / CI) this also proves the
+// synchronization discipline.
+func TestFlightRecorderConcurrent(t *testing.T) {
+	f := NewFlightRecorder(64, 16, int64(time.Hour), []string{"queue", "parse"})
+	const writers = 8
+	const perWriter = 2000
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				rec := consistentRecord(uint64(w*perWriter + i + 1))
+				f.Record(&rec)
+			}
+		}(w)
+	}
+	var readers sync.WaitGroup
+	for r := 0; r < 4; r++ {
+		readers.Add(1)
+		go func() {
+			defer readers.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				recent, notable := f.Snapshot(FlightFilter{})
+				for i := range recent {
+					checkConsistent(t, &recent[i])
+				}
+				for i := range notable {
+					checkConsistent(t, &notable[i])
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(stop)
+	readers.Wait()
+	if got, want := f.Total(), uint64(writers*perWriter); got != want {
+		t.Fatalf("Total() = %d, want %d", got, want)
+	}
+	recent, _ := f.Snapshot(FlightFilter{})
+	if len(recent) != 64 {
+		t.Fatalf("recent ring holds %d records, want full 64", len(recent))
+	}
+}
+
+// TestFlightRecorderRetention pins the notable ring's slow/error
+// retention: healthy traffic overwrites the recent ring, but a slow
+// request and an error survive in the notable ring.
+func TestFlightRecorderRetention(t *testing.T) {
+	f := NewFlightRecorder(4, 4, int64(10*time.Millisecond), []string{"parse"})
+	slow := consistentRecord(1)
+	slow.TotalNS = int64(20 * time.Millisecond)
+	slow.Bytes = slow.TotalNS // keep derived-field consistency out of it
+	f.Record(&slow)
+	failed := RequestRecord{TraceID: 2, UnixNS: 2, Outcome: "denied", Status: 429, TotalNS: 5}
+	f.Record(&failed)
+	for i := uint64(10); i < 20; i++ { // fast, healthy: flushes the recent ring
+		rec := consistentRecord(i)
+		f.Record(&rec)
+	}
+
+	if _, ok := f.Lookup(1); !ok {
+		t.Fatal("slow request evicted despite notable retention")
+	}
+	if rec, ok := f.Lookup(2); !ok || rec.Status != 429 {
+		t.Fatalf("429 request not retained: ok=%v rec=%+v", ok, rec)
+	}
+	recent, notable := f.Snapshot(FlightFilter{})
+	if len(recent) != 4 {
+		t.Fatalf("recent ring = %d records, want 4", len(recent))
+	}
+	if len(notable) != 2 {
+		t.Fatalf("notable ring = %d records, want 2 (slow + 429)", len(notable))
+	}
+}
+
+func TestFlightRecorderFilter(t *testing.T) {
+	f := NewFlightRecorder(16, 4, int64(time.Hour), nil)
+	f.Record(&RequestRecord{TraceID: 1, UnixNS: 1, Grammar: "JSON", Outcome: "accepted", Status: 200, TotalNS: 100})
+	f.Record(&RequestRecord{TraceID: 2, UnixNS: 2, Grammar: "XML", Outcome: "rejected", Status: 200, TotalNS: 900})
+	f.Record(&RequestRecord{TraceID: 3, UnixNS: 3, Grammar: "JSON", Outcome: "denied", Status: 429, TotalNS: 10})
+
+	if recent, _ := f.Snapshot(FlightFilter{Grammar: "JSON"}); len(recent) != 2 {
+		t.Fatalf("grammar filter: %d records, want 2", len(recent))
+	}
+	if recent, _ := f.Snapshot(FlightFilter{Outcome: "rejected"}); len(recent) != 1 || recent[0].TraceID != 2 {
+		t.Fatalf("outcome filter: %+v", recent)
+	}
+	if recent, _ := f.Snapshot(FlightFilter{MinNS: 500}); len(recent) != 1 || recent[0].TraceID != 2 {
+		t.Fatalf("latency filter: %+v", recent)
+	}
+	if recent, _ := f.Snapshot(FlightFilter{TraceID: 3}); len(recent) != 1 || recent[0].Status != 429 {
+		t.Fatalf("trace filter: %+v", recent)
+	}
+}
+
+func TestFlightRecorderHTTP(t *testing.T) {
+	f := NewFlightRecorder(16, 4, int64(time.Second), []string{"queue", "parse"})
+	rec := RequestRecord{TraceID: 0xabcd, UnixNS: time.Now().UnixNano(),
+		Grammar: "JSON", Outcome: "accepted", Status: 200, Bytes: 42, TotalNS: 5000}
+	rec.Phases[0], rec.Phases[1] = 1000, 3500
+	f.Record(&rec)
+
+	req := httptest.NewRequest("GET", "/v1/debug/requests?trace="+TraceIDString(0xabcd), nil)
+	w := httptest.NewRecorder()
+	f.ServeHTTP(w, req)
+	if w.Code != 200 {
+		t.Fatalf("status %d", w.Code)
+	}
+	var resp struct {
+		Total      uint64   `json:"totalRecorded"`
+		PhaseNames []string `json:"phases"`
+		Recent     []struct {
+			Trace   string           `json:"trace"`
+			Grammar string           `json:"grammar"`
+			TotalNS int64            `json:"totalNs"`
+			Phases  map[string]int64 `json:"phaseNs"`
+		} `json:"recent"`
+	}
+	if err := json.Unmarshal(w.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Total != 1 || len(resp.Recent) != 1 {
+		t.Fatalf("total=%d recent=%d, want 1/1", resp.Total, len(resp.Recent))
+	}
+	r := resp.Recent[0]
+	if r.Trace != TraceIDString(0xabcd) || r.Grammar != "JSON" || r.TotalNS != 5000 {
+		t.Fatalf("record: %+v", r)
+	}
+	if r.Phases["queue"] != 1000 || r.Phases["parse"] != 3500 {
+		t.Fatalf("phases: %+v", r.Phases)
+	}
+
+	// Filter errors are 400s, not panics.
+	w = httptest.NewRecorder()
+	f.ServeHTTP(w, httptest.NewRequest("GET", "/v1/debug/requests?trace=zzz", nil))
+	if w.Code != 400 {
+		t.Fatalf("bad trace id answered %d, want 400", w.Code)
+	}
+}
+
+func TestTraceIDStringRoundTrip(t *testing.T) {
+	for _, id := range []uint64{0, 1, 0xdeadbeef, ^uint64(0)} {
+		s := TraceIDString(id)
+		if len(s) != 16 {
+			t.Fatalf("TraceIDString(%d) = %q, want 16 hex digits", id, s)
+		}
+		back, ok := ParseTraceID(s)
+		if !ok || back != id {
+			t.Fatalf("round trip %d → %q → %d (ok=%v)", id, s, back, ok)
+		}
+	}
+}
+
+// TestFlightRecordNoAlloc pins the recording path's allocation budget:
+// Record must copy into the ring without allocating (it sits on the
+// serve hot path).
+func TestFlightRecordNoAlloc(t *testing.T) {
+	f := NewFlightRecorder(32, 8, int64(time.Hour), []string{"queue"})
+	rec := consistentRecord(7)
+	allocs := testing.AllocsPerRun(100, func() {
+		f.Record(&rec)
+	})
+	if allocs != 0 {
+		t.Errorf("FlightRecorder.Record = %.1f allocs/op, want 0", allocs)
+	}
+}

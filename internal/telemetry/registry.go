@@ -124,6 +124,9 @@ func (h *Histogram) snapshot() HistogramValue {
 	for i := range h.counts {
 		hv.Counts[i] = h.counts[i].Load()
 	}
+	hv.P50 = hv.Quantile(0.50)
+	hv.P90 = hv.Quantile(0.90)
+	hv.P99 = hv.Quantile(0.99)
 	return hv
 }
 
@@ -251,12 +254,57 @@ func (r *Registry) Histogram(name, help string, bounds []float64) *Histogram {
 
 // HistogramValue is an exported histogram snapshot. Counts are
 // per-bucket (the final entry is the +Inf overflow bucket), not
-// cumulative.
+// cumulative. P50/P90/P99 are estimated quantiles (see Quantile),
+// computed at snapshot time so both the JSON and Prometheus surfaces
+// carry them without re-deriving bucket math downstream.
 type HistogramValue struct {
 	Bounds []float64 `json:"bounds"`
 	Counts []int64   `json:"counts"`
 	Count  int64     `json:"count"`
 	Sum    float64   `json:"sum"`
+	P50    float64   `json:"p50"`
+	P90    float64   `json:"p90"`
+	P99    float64   `json:"p99"`
+}
+
+// Quantile estimates the q-quantile (0 < q ≤ 1) by linear interpolation
+// within the bucket that contains the target rank — the same estimate
+// Prometheus's histogram_quantile computes server-side. The first
+// bucket interpolates from 0 (or from its bound when the bound is
+// negative); a rank landing in the +Inf overflow bucket returns the
+// largest finite bound, since there is no upper edge to interpolate
+// toward. An empty histogram returns 0.
+func (hv HistogramValue) Quantile(q float64) float64 {
+	if hv.Count <= 0 || len(hv.Bounds) == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(hv.Count)
+	var cum float64
+	for i, c := range hv.Counts {
+		lo := cum
+		cum += float64(c)
+		if cum < rank || c == 0 {
+			continue
+		}
+		if i >= len(hv.Bounds) { // overflow bucket: no finite upper edge
+			return hv.Bounds[len(hv.Bounds)-1]
+		}
+		lower := 0.0
+		if i > 0 {
+			lower = hv.Bounds[i-1]
+		} else if hv.Bounds[0] < 0 {
+			lower = hv.Bounds[0]
+		}
+		upper := hv.Bounds[i]
+		return lower + (upper-lower)*(rank-lo)/float64(c)
+	}
+	return hv.Bounds[len(hv.Bounds)-1]
 }
 
 // Snapshot is a point-in-time copy of every registered series.
@@ -297,18 +345,79 @@ func (r *Registry) WriteJSON(w io.Writer) error {
 	return enc.Encode(r.Snapshot())
 }
 
+// SplitSeriesName splits a registered series name into its base metric
+// name and inline label set: "serve_phase_ns{phase=\"queue\"}" →
+// ("serve_phase_ns", `phase="queue"`). A name without braces has an
+// empty label set. This is the registry's label convention: labels are
+// folded into the registered name, and the exposition layer re-derives
+// the metric family from the base so Prometheus sees one family with
+// many labeled series instead of many families.
+func SplitSeriesName(name string) (base, labels string) {
+	if i := strings.IndexByte(name, '{'); i >= 0 && strings.HasSuffix(name, "}") {
+		return name[:i], name[i+1 : len(name)-1]
+	}
+	return name, ""
+}
+
+// LabeledName builds a registered series name carrying inline labels:
+// LabeledName("serve_phase_ns", "grammar", "JSON", "phase", "queue") →
+// `serve_phase_ns{grammar="JSON",phase="queue"}`. Pairs are
+// key1, value1, key2, value2, ...
+func LabeledName(base string, pairs ...string) string {
+	var b strings.Builder
+	b.WriteString(base)
+	b.WriteByte('{')
+	for i := 0; i+1 < len(pairs); i += 2 {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(pairs[i])
+		b.WriteString("=\"")
+		b.WriteString(pairs[i+1])
+		b.WriteString("\"")
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// seriesSuffix appends a suffix to the base of a possibly-labeled
+// series name, preserving the labels and merging extra label pairs:
+// seriesSuffix("h{a=\"1\"}", "_bucket", `le="5"`) → `h_bucket{a="1",le="5"}`.
+func seriesSuffix(name, suffix, extra string) string {
+	base, labels := SplitSeriesName(name)
+	switch {
+	case labels == "" && extra == "":
+		return base + suffix
+	case labels == "":
+		return base + suffix + "{" + extra + "}"
+	case extra == "":
+		return base + suffix + "{" + labels + "}"
+	default:
+		return base + suffix + "{" + labels + "," + extra + "}"
+	}
+}
+
 // WritePrometheus writes the registry in the Prometheus text exposition
-// format, in registration order.
+// format, in registration order. Series registered with inline labels
+// (see LabeledName) are grouped into one metric family: HELP/TYPE lines
+// are emitted once per base name, on first encounter. Histograms also
+// expose their estimated quantiles as _p50/_p90/_p99 series (untyped —
+// they are derived values, not samples).
 func (r *Registry) WritePrometheus(w io.Writer) error {
 	r.mu.RLock()
 	defer r.mu.RUnlock()
 	var b strings.Builder
+	described := make(map[string]bool, len(r.order))
 	for _, name := range r.order {
 		e := r.byName[name]
-		if e.help != "" {
-			fmt.Fprintf(&b, "# HELP %s %s\n", name, e.help)
+		base, _ := SplitSeriesName(name)
+		if !described[base] {
+			described[base] = true
+			if e.help != "" {
+				fmt.Fprintf(&b, "# HELP %s %s\n", base, e.help)
+			}
+			fmt.Fprintf(&b, "# TYPE %s %s\n", base, e.kind)
 		}
-		fmt.Fprintf(&b, "# TYPE %s %s\n", name, e.kind)
 		switch e.kind {
 		case counterKind:
 			fmt.Fprintf(&b, "%s %d\n", name, e.c.Value())
@@ -323,10 +432,13 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 				if i < len(hv.Bounds) {
 					le = formatFloat(hv.Bounds[i])
 				}
-				fmt.Fprintf(&b, "%s_bucket{le=%q} %d\n", name, le, cum)
+				fmt.Fprintf(&b, "%s %d\n", seriesSuffix(name, "_bucket", "le="+strconv.Quote(le)), cum)
 			}
-			fmt.Fprintf(&b, "%s_sum %s\n", name, formatFloat(hv.Sum))
-			fmt.Fprintf(&b, "%s_count %d\n", name, hv.Count)
+			fmt.Fprintf(&b, "%s %s\n", seriesSuffix(name, "_sum", ""), formatFloat(hv.Sum))
+			fmt.Fprintf(&b, "%s %d\n", seriesSuffix(name, "_count", ""), hv.Count)
+			fmt.Fprintf(&b, "%s %s\n", seriesSuffix(name, "_p50", ""), formatFloat(hv.P50))
+			fmt.Fprintf(&b, "%s %s\n", seriesSuffix(name, "_p90", ""), formatFloat(hv.P90))
+			fmt.Fprintf(&b, "%s %s\n", seriesSuffix(name, "_p99", ""), formatFloat(hv.P99))
 		}
 	}
 	_, err := io.WriteString(w, b.String())

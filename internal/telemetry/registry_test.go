@@ -156,3 +156,117 @@ func TestSanitizeMetricName(t *testing.T) {
 		}
 	}
 }
+
+// TestHistogramQuantiles pins the linear-interpolation estimate: 100
+// uniform observations over (0,100] against bounds {25,50,75,100} put
+// p50 at ~50 and p99 at ~99, and the snapshot carries the estimates.
+func TestHistogramQuantiles(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("q", "quantile fodder", []float64{25, 50, 75, 100})
+	for i := 1; i <= 100; i++ {
+		h.ObserveInt(int64(i))
+	}
+	hv := r.Snapshot().Histograms["q"]
+	for _, c := range []struct{ q, want, tol float64 }{
+		{0.50, 50, 1}, {0.90, 90, 1}, {0.99, 99, 1}, {0.10, 10, 1},
+	} {
+		if got := hv.Quantile(c.q); got < c.want-c.tol || got > c.want+c.tol {
+			t.Errorf("Quantile(%v) = %v, want %v±%v", c.q, got, c.want, c.tol)
+		}
+	}
+	if hv.P50 != hv.Quantile(0.50) || hv.P90 != hv.Quantile(0.90) || hv.P99 != hv.Quantile(0.99) {
+		t.Errorf("snapshot quantiles %v/%v/%v disagree with Quantile()", hv.P50, hv.P90, hv.P99)
+	}
+
+	// Overflow bucket: no finite upper edge to interpolate toward.
+	h2 := r.Histogram("q2", "", []float64{10})
+	h2.Observe(1e9)
+	if got := r.Snapshot().Histograms["q2"].Quantile(0.99); got != 10 {
+		t.Errorf("overflow-bucket quantile = %v, want last finite bound 10", got)
+	}
+	// Empty histogram: defined (0), not NaN — NaN would poison WriteJSON.
+	if got := (HistogramValue{Bounds: []float64{1}, Counts: []int64{0, 0}}).Quantile(0.5); got != 0 {
+		t.Errorf("empty-histogram quantile = %v, want 0", got)
+	}
+}
+
+// TestPrometheusQuantileLines: the estimated quantiles surface in the
+// text exposition next to _sum/_count.
+func TestPrometheusQuantileLines(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat_ns", "latency", []float64{100, 200})
+	h.Observe(100)
+	h.Observe(100)
+	var b bytes.Buffer
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, frag := range []string{"lat_ns_p50 ", "lat_ns_p90 ", "lat_ns_p99 "} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("exposition missing %q:\n%s", frag, out)
+		}
+	}
+}
+
+// TestLabeledSeries pins the inline-label convention: series registered
+// via LabeledName share one metric family (HELP/TYPE emitted once, on
+// the base name) and histogram suffixes merge the labels with le.
+func TestLabeledSeries(t *testing.T) {
+	r := NewRegistry()
+	r.Counter(LabeledName("errs_total", "code", "429"), "errors by code").Add(2)
+	r.Counter(LabeledName("errs_total", "code", "503"), "errors by code").Inc()
+	h := r.Histogram(LabeledName("phase_ns", "grammar", "JSON", "phase", "queue"), "phase latency", []float64{10})
+	h.Observe(5)
+
+	var b bytes.Buffer
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, frag := range []string{
+		"# HELP errs_total errors by code",
+		"# TYPE errs_total counter",
+		`errs_total{code="429"} 2`,
+		`errs_total{code="503"} 1`,
+		"# TYPE phase_ns histogram",
+		`phase_ns_bucket{grammar="JSON",phase="queue",le="10"} 1`,
+		`phase_ns_bucket{grammar="JSON",phase="queue",le="+Inf"} 1`,
+		`phase_ns_sum{grammar="JSON",phase="queue"} 5`,
+		`phase_ns_count{grammar="JSON",phase="queue"} 1`,
+		`phase_ns_p50{grammar="JSON",phase="queue"} `,
+	} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("exposition missing %q:\n%s", frag, out)
+		}
+	}
+	if n := strings.Count(out, "# TYPE errs_total counter"); n != 1 {
+		t.Errorf("TYPE errs_total emitted %d times, want once per family", n)
+	}
+
+	if base, labels := SplitSeriesName(`phase_ns{phase="queue"}`); base != "phase_ns" || labels != `phase="queue"` {
+		t.Errorf("SplitSeriesName = %q / %q", base, labels)
+	}
+	if base, labels := SplitSeriesName("plain"); base != "plain" || labels != "" {
+		t.Errorf("SplitSeriesName(plain) = %q / %q", base, labels)
+	}
+}
+
+// TestPrometheusSelfDescribing: every metric family in the exposition
+// carries a # HELP line when registered with help text — the
+// dashboards' self-description contract.
+func TestPrometheusSelfDescribing(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("a_total", "what a counts").Inc()
+	r.Histogram("b_ns", "what b measures", []float64{1}).Observe(1)
+	var b bytes.Buffer
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, fam := range []string{"a_total", "b_ns"} {
+		if !strings.Contains(out, "# HELP "+fam+" ") {
+			t.Errorf("family %s has no # HELP line:\n%s", fam, out)
+		}
+	}
+}

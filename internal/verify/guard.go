@@ -182,6 +182,13 @@ type Guard struct {
 	rep     []replica
 	trusted int               // index of the replica judge() last ruled authoritative
 	scratch stream.Checkpoint // majority snapshot used to repair an out-voted replica
+
+	// windows tallies this request's verdicts (indexed by Verdict),
+	// including replayed windows; Reset clears it. The serving layer
+	// copies the tallies into the request's span record so a trace ID
+	// retrieves not just "slow" but "slow because two windows rolled
+	// back and replayed".
+	windows [3]int64
 }
 
 // New builds a Guard. The factory is invoked once per replica, index
@@ -244,6 +251,16 @@ func (g *Guard) Reset() {
 		r.err = nil
 		r.out = stream.Outcome{}
 	}
+	g.windows = [3]int64{}
+}
+
+// WindowCounts reports how many windows since Reset were judged clean,
+// arbitrated (TMR out-vote + repair), and corrupt (rolled back and
+// replayed). Replay windows count too: a request that faulted once and
+// recovered cleanly shows 1 corrupt window and its replacement clean
+// ones.
+func (g *Guard) WindowCounts() (clean, arbitrated, corrupt int64) {
+	return g.windows[Clean], g.windows[Arbitrated], g.windows[Corrupt]
 }
 
 // Checkpoint implements Detector. Call only after a non-Corrupt window
@@ -288,7 +305,9 @@ func (g *Guard) Write(p []byte) (Verdict, error) {
 			r.err = err
 		}
 	}
-	return g.judge(false)
+	v, err := g.judge(false)
+	g.windows[v]++
+	return v, err
 }
 
 // Close implements Detector.
@@ -306,6 +325,7 @@ func (g *Guard) Close() (Verdict, stream.Outcome, error) {
 		}
 	}
 	verdict, err := g.judge(true)
+	g.windows[verdict]++
 	// Under TMR arbitration the trusted outcome must come from a
 	// majority member, which judge records in g.trusted.
 	return verdict, g.rep[g.trusted].out, err

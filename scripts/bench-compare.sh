@@ -1,0 +1,18 @@
+#!/usr/bin/env bash
+# bench-compare.sh OLD.json NEW.json [threshold]
+#
+# Diff two perf-trajectory snapshots (BENCH_<table>.json, written by
+# `aspen-bench -json DIR`) and fail when any metric moved more than the
+# threshold (default 0.15 = 15%) in its bad direction — latency-like
+# metrics regressing up, throughput-like metrics regressing down.
+#
+# Exit codes: 0 no regressions, 1 regressions found, 2 usage/IO error.
+set -u
+
+if [ $# -lt 2 ] || [ $# -gt 3 ]; then
+    echo "usage: $0 OLD.json NEW.json [threshold]" >&2
+    exit 2
+fi
+
+cd "$(dirname "$0")/.."
+exec go run ./cmd/aspen-bench -compare "$1" ${3:+-threshold "$3"} "$2"

@@ -87,9 +87,26 @@ before=$(echo "$parse" | normalize)
 metrics=$(get "http://$addr/metrics") || fail "/metrics unreachable"
 echo "$metrics" | grep -q '^serve_requests_total 1$' ||
     fail "/metrics missing serve_requests_total 1"
+echo "$metrics" | grep -q 'serve_phase_ns_bucket{grammar="JSON",phase="parse",le="' ||
+    fail "/metrics missing per-phase latency histograms"
 code=$(curl -sS -o /dev/null -w '%{http_code}' -X POST -d x \
     "http://$addr/v1/parse/NoSuch") || fail "404 probe failed"
 [ "$code" = "404" ] || fail "unknown grammar answered $code, want 404"
+
+# Trace round-trip: every response carries X-Aspen-Trace, and the ID
+# retrieves the request's record from the flight recorder.
+trace=$(printf '%s' "$doc" |
+    curl -fsS -D - -o /dev/null -X POST --data-binary @- \
+        "http://$addr/v1/parse/JSON" |
+    sed -n 's/^[Xx]-[Aa]spen-[Tt]race: *//p' | tr -d '\r') ||
+    fail "traced parse request failed"
+[ -n "$trace" ] || fail "parse response missing X-Aspen-Trace header"
+flight=$(get "http://$addr/v1/debug/requests?trace=$trace") ||
+    fail "/v1/debug/requests unreachable"
+echo "$flight" | grep -q "\"$trace\"" ||
+    fail "flight recorder has no record for trace $trace: $flight"
+echo "$flight" | grep -q '"grammar": "JSON"' ||
+    fail "flight record for $trace missing grammar: $flight"
 
 # Registry mutation that exists only in the journal: MiniC is loaded
 # over the admin API, never on the command line.
