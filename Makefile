@@ -45,6 +45,7 @@ fuzz:
 	$(GO) test -run '^$$' -fuzz FuzzXMLPipeline -fuzztime $(FUZZTIME) ./internal/lang
 	$(GO) test -run '^$$' -fuzz FuzzCheckpointRestoreRoundTrip -fuzztime $(FUZZTIME) ./internal/core
 	$(GO) test -run '^$$' -fuzz FuzzJournalRecord -fuzztime $(FUZZTIME) ./internal/store
+	$(GO) test -run '^$$' -fuzz FuzzEngineDifferential -fuzztime $(FUZZTIME) ./internal/engine
 
 # Pre-merge check: run before every merge/PR.
 check: vet fmt race serve-smoke fuzz
@@ -52,11 +53,12 @@ check: vet fmt race serve-smoke fuzz
 bench:
 	$(GO) test -bench . -benchtime 1x ./internal/bench
 
-# Refresh the committed perf-trajectory baseline (BENCH_serve.json at
-# the repo root). Diff against a previous snapshot with
-# scripts/bench-compare.sh OLD.json BENCH_serve.json.
+# Refresh the committed perf-trajectory baselines (BENCH_serve.json and
+# BENCH_engine.json at the repo root). Diff against a previous snapshot
+# with scripts/bench-compare.sh OLD.json BENCH_serve.json.
 bench-json:
 	$(GO) run ./cmd/aspen-bench -only serve -json .
+	$(GO) run ./cmd/aspen-bench -only engine -json .
 
 experiments:
 	$(GO) run ./cmd/aspen-bench -o EXPERIMENTS.md

@@ -48,7 +48,7 @@ func gitCommit() string {
 
 func main() {
 	var (
-		only      = flag.String("only", "", "run a single experiment (fig2, table1..table5, fig8, fig9, fig10, ablations, serve, chaos, verify, store)")
+		only      = flag.String("only", "", "run a single experiment (fig2, table1..table5, fig8, fig9, fig10, ablations, serve, engine, chaos, verify, store)")
 		size      = flag.Int("size", 32<<10, "per-document size for XML experiments (bytes)")
 		scale     = flag.Int("scale", 200, "dataset scale divisor for mining experiments")
 		out       = flag.String("o", "", "write Markdown to this file instead of stdout")
@@ -139,6 +139,10 @@ func main() {
 	}
 	if want("serve") {
 		t, _ := bench.Serve(*size)
+		render(t)
+	}
+	if want("engine") {
+		t, _ := bench.Engine(*size)
 		render(t)
 	}
 	if want("chaos") {

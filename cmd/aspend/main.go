@@ -10,6 +10,7 @@
 //	aspend -addr 127.0.0.1:0 -langs JSON,XML -queue 32 -timeout 10s
 //	aspend -fabric-banks 128 -pprof-addr :6060 -metrics - -trace-out reqs.jsonl -trace-sample 100
 //	aspend -fault-rate 0.001 -fault-seed 42 -kill-bank-after 30s -verify-mode tmr
+//	aspend -engine sim   # pin every parse to the cycle-accurate simulator
 //
 // API:
 //
@@ -83,6 +84,7 @@ func main() {
 		flightSize  = flag.Int("flight", telemetry.DefaultFlightSize, "flight-recorder capacity: completed requests kept for /v1/debug/requests (slow/error requests keep a quarter of this on top)")
 		slowThresh  = flag.Duration("slow", time.Duration(telemetry.DefaultSlowNS), "latency at which a request is retained in the flight recorder's notable ring")
 		stateDir    = flag.String("state-dir", "", "durable control-plane state directory: registry mutations are journaled and replayed on restart, and ?session= parses checkpoint here (empty = in-memory only)")
+		engineSel   = flag.String("engine", serve.EngineFast, "execution backend: fast (batched table-driven engine) or sim (cycle-accurate simulator; chaos-guarded parses always run sim)")
 	)
 	tf := telemetry.RegisterFlags(flag.CommandLine)
 	flag.Parse()
@@ -108,6 +110,10 @@ func main() {
 	}
 
 	vm, err := verify.ParseMode(*verifyMode)
+	if err != nil {
+		usage("%v", err)
+	}
+	eng, err := serve.ParseEngine(*engineSel)
 	if err != nil {
 		usage("%v", err)
 	}
@@ -157,6 +163,7 @@ func main() {
 		Resolver:       serve.ResolveBuiltin,
 		FlightSize:     *flightSize,
 		SlowThreshold:  *slowThresh,
+		Engine:         eng,
 	})
 	if err != nil {
 		fatal("%v", err)

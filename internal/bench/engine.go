@@ -1,0 +1,186 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"aspen/internal/compile"
+	"aspen/internal/core"
+	"aspen/internal/engine"
+	"aspen/internal/lang"
+	"aspen/internal/stream"
+	"aspen/internal/xmlgen"
+)
+
+// EngineRow is one grammar's fast-path engine measurements against the
+// cycle-accurate simulator, at the machine level (pre-tokenized codes)
+// and through the full streaming parse path (lexing included).
+type EngineRow struct {
+	Grammar string
+	States  int
+	TableKB int
+	Tokens  int
+
+	SimExecNSPerKB  float64 // core.Execution over token codes
+	EngExecNSPerKB  float64 // engine.Exec over the same codes
+	Batch8NSPerKB   float64 // 8-lane lockstep batch, per-document cost
+	ExecSpeedup     float64 // sim / engine (single lane)
+	SimParseNSPerKB float64 // stream.Parser on the simulator backend
+	EngParseNSPerKB float64 // stream.Parser on the engine backend
+	ParseSpeedup    float64 // sim / engine, full parse path
+}
+
+// Engine measures the fast-path execution engine against the simulator
+// it was split from. The exec columns isolate the machine-dispatch cost
+// (documents tokenized once, codes replayed), which is where the
+// flattened tables pay off; the parse columns run the whole streaming
+// pipeline, where lexing bounds the achievable end-to-end gain. Both
+// backends are differentially tested byte-identical, so every speedup
+// here is a free lunch — same answers, fewer cycles.
+func Engine(sizeBytes int) (*Table, []EngineRow) {
+	docs := []struct {
+		grammar string
+		lang    *lang.Language
+		data    []byte
+	}{
+		{"JSON", lang.JSON(), jsonDocOfSize(sizeBytes)},
+		{"XML", lang.XML(), xmlgen.Corpus(sizeBytes)[0].Data},
+	}
+
+	var rows []EngineRow
+	for _, d := range docs {
+		cm, err := d.lang.Compile(compile.OptAll)
+		if err != nil {
+			panic(err)
+		}
+		prog, err := cm.Engine()
+		if err != nil {
+			panic(err)
+		}
+		lx, err := d.lang.Lexer()
+		if err != nil {
+			panic(err)
+		}
+		toks, _, err := lx.Tokenize(d.data)
+		if err != nil {
+			panic(err)
+		}
+		// Token codes the way stream.Parser derives them, with the
+		// end-of-input terminal appended — the machine-level input both
+		// backends replay.
+		codes := make([]core.Symbol, 0, len(toks)+1)
+		for _, tk := range toks {
+			rule := d.lang.LexSpec.Rules[tk.Rule]
+			if rule.Skip {
+				continue
+			}
+			code, ok := cm.Tokens.Code(d.lang.Grammar.Lookup(rule.Name))
+			if !ok {
+				panic(fmt.Sprintf("bench engine: %s: token %q has no machine code", d.grammar, rule.Name))
+			}
+			codes = append(codes, code)
+		}
+		codes = append(codes, compile.EndCode)
+		kb := float64(len(d.data)) / 1024
+
+		check := func(res core.Result, err error, who string) {
+			if err != nil || !res.Accepted {
+				panic(fmt.Sprintf("bench engine: %s: %s rejected the document (err=%v)", d.grammar, who, err))
+			}
+		}
+
+		simNS := measureNS(20*time.Millisecond, func() {
+			res, err := cm.Machine.Run(codes, core.ExecOptions{})
+			check(res, err, "simulator")
+		})
+		engNS := measureNS(20*time.Millisecond, func() {
+			res, err := prog.Run(codes, engine.Options{})
+			check(res, err, "engine")
+		})
+
+		// Lockstep batch: 8 lanes replaying the same document, the
+		// serving layer's combining-wave shape. Cost is per document,
+		// so perfect lockstep overlap would match the single-lane
+		// number; the delta is the scheduling overhead.
+		const lanes = 8
+		execs := make([]*engine.Exec, lanes)
+		for i := range execs {
+			execs[i] = engine.NewExec(prog, engine.Options{})
+		}
+		batch := engine.NewBatch()
+		batchNS := measureNS(20*time.Millisecond, func() {
+			batch.Reset()
+			for _, x := range execs {
+				x.Reset()
+				batch.Add(x, codes)
+			}
+			batch.Run()
+			for i := 0; i < lanes; i++ {
+				if st := batch.Status(i); st.Err != nil || st.Jammed {
+					panic(fmt.Sprintf("bench engine: %s: batch lane %d failed: %+v", d.grammar, i, st))
+				}
+			}
+		}) / lanes
+
+		// Full parse path: lexing + token dispatch, pooled parsers
+		// reused across iterations exactly like the serving layer.
+		simParser, err := stream.NewParser(d.lang, cm, core.ExecOptions{})
+		if err != nil {
+			panic(err)
+		}
+		engParser, err := stream.NewParserBackend(d.lang, cm, engine.NewExec(prog, engine.Options{}))
+		if err != nil {
+			panic(err)
+		}
+		parse := func(p *stream.Parser) func() {
+			return func() {
+				p.Reset()
+				if _, err := p.Write(d.data); err != nil {
+					panic(fmt.Sprintf("bench engine: %s: %v", d.grammar, err))
+				}
+				out, err := p.Close()
+				if err != nil || !out.Result.Accepted {
+					panic(fmt.Sprintf("bench engine: %s: parse rejected (err=%v)", d.grammar, err))
+				}
+			}
+		}
+		simParseNS := measureNS(20*time.Millisecond, parse(simParser))
+		engParseNS := measureNS(20*time.Millisecond, parse(engParser))
+
+		rows = append(rows, EngineRow{
+			Grammar:         d.grammar,
+			States:          prog.NumStates(),
+			TableKB:         prog.TableBytes() >> 10,
+			Tokens:          len(codes),
+			SimExecNSPerKB:  simNS / kb,
+			EngExecNSPerKB:  engNS / kb,
+			Batch8NSPerKB:   batchNS / kb,
+			ExecSpeedup:     simNS / engNS,
+			SimParseNSPerKB: simParseNS / kb,
+			EngParseNSPerKB: engParseNS / kb,
+			ParseSpeedup:    simParseNS / engParseNS,
+		})
+	}
+
+	tbl := &Table{
+		ID:    "engine",
+		Title: "fast-path engine vs cycle-accurate simulator",
+		Header: []string{"Grammar", "States", "Table KB", "Tokens",
+			"sim exec ns/KiB", "engine exec ns/KiB", "batch8 ns/KiB",
+			"exec speedup", "sim parse ns/KiB", "engine parse ns/KiB",
+			"parse speedup"},
+		Notes: []string{
+			fmt.Sprintf("Documents are %d bytes, tokenized once; exec columns replay the token codes through each backend, parse columns run the full streaming pipeline (lexing included).", sizeBytes),
+			"batch8 is the per-document cost of an 8-lane lockstep wave — the serving layer's combining-batch shape.",
+			"Both backends are differentially fuzzed byte-identical (internal/engine); the simulator remains the ground truth for every other table.",
+		},
+	}
+	for _, r := range rows {
+		tbl.Rows = append(tbl.Rows, []string{
+			r.Grammar, d(r.States), d(r.TableKB), d(r.Tokens),
+			f0(r.SimExecNSPerKB), f0(r.EngExecNSPerKB), f0(r.Batch8NSPerKB),
+			f2(r.ExecSpeedup), f0(r.SimParseNSPerKB), f0(r.EngParseNSPerKB),
+			f2(r.ParseSpeedup)})
+	}
+	return tbl, rows
+}

@@ -64,6 +64,9 @@ type Compiled struct {
 	Tokens  *TokenMap
 	Machine *core.HDPDA
 	Stats   Stats
+
+	// eng caches the fast-path lowering (see engine.go / Engine).
+	eng engineCache
 }
 
 // FromGrammar compiles g to an hDPDA.

@@ -1,0 +1,36 @@
+package compile
+
+import (
+	"sync"
+
+	"aspen/internal/engine"
+)
+
+// Fast-path lowering. A Compiled machine can additionally be lowered
+// into internal/engine's flattened transition tables — the hook the
+// serving layer uses to route requests through the batched engine
+// instead of the cycle-accurate simulator. The lowering is pure table
+// construction over the already-built hDPDA, done once per Compiled and
+// cached on it: tenants share one Program across every pooled
+// execution, and the tables retire with the Compiled they were lowered
+// from.
+
+// engineCache is the once-per-Compiled lowering state.
+type engineCache struct {
+	once sync.Once
+	prog *engine.Program
+	err  error
+}
+
+// Engine returns the fast-path engine.Program lowered from this
+// machine, building it on first use and caching it for the Compiled's
+// lifetime. Lowering re-validates the machine (the dense dispatch
+// tables require the determinism condition); a machine the engine
+// cannot lower reports the same error on every call, and callers fall
+// back to the simulator.
+func (c *Compiled) Engine() (*engine.Program, error) {
+	c.eng.once.Do(func() {
+		c.eng.prog, c.eng.err = engine.Compile(c.Machine)
+	})
+	return c.eng.prog, c.eng.err
+}

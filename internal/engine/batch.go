@@ -1,0 +1,107 @@
+package engine
+
+import "aspen/internal/core"
+
+// Batch steps many executions sharing one Program in lockstep lanes:
+// each round gives every active lane one bounded stride of symbols
+// (drain ε-moves, consume one symbol, batchStride times). Lanes retire
+// — drop out of the active set — the moment their input is exhausted,
+// they jam, or they fault, so short documents never stall the batch.
+// The active set is a swap-compacted index list (the active-lane mask),
+// so a round costs exactly the live lanes, not the allocated width.
+//
+// Per-lane semantics are identical to feeding the lane's symbols
+// through its Exec alone: a lane performs the same drain/feed sequence,
+// in the same order, as the single-lane path, and lanes share nothing
+// but the read-only Program. Errors and jams surface per lane in
+// LaneStatus, with the same counting contract stream.Parser's token
+// loop uses (Fed counts symbols consumed before the jam/error).
+//
+// A Batch is reusable: Reset, Add lanes, Run, read Status. It is not
+// safe for concurrent use; the serving layer serializes rounds through
+// a per-grammar leader (see internal/serve).
+type Batch struct {
+	execs  []*Exec
+	inputs [][]core.Symbol
+	status []LaneStatus
+	active []int
+}
+
+// LaneStatus is one lane's outcome after Run.
+type LaneStatus struct {
+	// Fed counts input symbols successfully consumed. On a jam or
+	// error, the offending symbol is input[Fed].
+	Fed int
+	// Jammed is set when no successor was enabled for some symbol.
+	Jammed bool
+	// Err is the machine fault (stack overflow/underflow, ε-limit)
+	// that retired the lane, nil otherwise.
+	Err error
+}
+
+// NewBatch returns an empty batch.
+func NewBatch() *Batch { return &Batch{} }
+
+// Reset empties the batch, keeping capacity.
+func (b *Batch) Reset() {
+	b.execs = b.execs[:0]
+	b.inputs = b.inputs[:0]
+	b.status = b.status[:0]
+}
+
+// Add enrolls an execution with its pending input symbols and returns
+// its lane index. The input slice is read, not retained past Run.
+func (b *Batch) Add(e *Exec, input []core.Symbol) int {
+	b.execs = append(b.execs, e)
+	b.inputs = append(b.inputs, input)
+	b.status = append(b.status, LaneStatus{})
+	return len(b.execs) - 1
+}
+
+// Lanes returns the enrolled lane count.
+func (b *Batch) Lanes() int { return len(b.execs) }
+
+// Status returns lane i's outcome (valid after Run).
+func (b *Batch) Status(i int) LaneStatus { return b.status[i] }
+
+// batchStride is how many symbols one lane consumes per lockstep round.
+// The round granularity is invisible per lane (the drain/feed sequence
+// is identical to the single-lane path regardless of where rounds cut);
+// it only trades fairness across lanes against per-round dispatch
+// overhead. 64 symbols keeps a lane's working set hot while bounding
+// how long a long document can monopolize a round.
+const batchStride = 64
+
+// Run steps every lane to completion in lockstep rounds.
+func (b *Batch) Run() {
+	act := b.active[:0]
+	for i := range b.execs {
+		act = append(act, i)
+	}
+	for len(act) > 0 {
+		k := 0
+		for k < len(act) {
+			i := act[k]
+			st := &b.status[i]
+			span := b.inputs[i][st.Fed:]
+			if len(span) > batchStride {
+				span = span[:batchStride]
+			}
+			fed, jammed, err := b.execs[i].feedSpan(span)
+			st.Fed += fed
+			switch {
+			case err != nil:
+				st.Err = err
+			case jammed:
+				st.Jammed = true
+			case st.Fed < len(b.inputs[i]):
+				k++
+				continue
+			}
+			// Retire: swap the last active lane into this slot.
+			act[k] = act[len(act)-1]
+			act = act[:len(act)-1]
+		}
+	}
+	b.active = act[:0]
+}

@@ -1,0 +1,374 @@
+package engine
+
+import (
+	"fmt"
+
+	"aspen/internal/core"
+)
+
+// Options configures an Exec. It is the hook-free subset of
+// core.ExecOptions: anything needing per-activation observation (hooks,
+// fault injection) belongs on the simulator.
+type Options struct {
+	// StackDepth overrides the program's stack depth (0 = program
+	// default).
+	StackDepth int
+	// EpsilonBudget bounds consecutive ε-activations between two input
+	// symbols (0 = the same default formula core uses). Exceeding it
+	// returns core.ErrEpsilonLimit.
+	EpsilonBudget int
+	// CollectReports records each report event in Result.Reports.
+	CollectReports bool
+}
+
+// Exec is an in-progress run of a Program. Its stepping functions
+// mirror core.Execution exactly — same counters, same error classes,
+// same error strings — so the two backends are interchangeable behind
+// stream.Parser and differential-testable state for state.
+type Exec struct {
+	p *Program
+
+	cur      int32
+	stack    []core.Symbol
+	depth    int
+	pos      int
+	res      core.Result
+	epsSeq   int
+	epsLimit int
+	collect  bool
+}
+
+// NewExec creates a fresh execution of p positioned at its start state
+// with an empty stack (⊥ pre-loaded).
+func NewExec(p *Program, opts Options) *Exec {
+	depth := opts.StackDepth
+	if depth == 0 {
+		depth = p.stackDepth
+	}
+	lim := opts.EpsilonBudget
+	if lim == 0 {
+		// Same default as core.NewExecution: legitimate ε-cascades are
+		// bounded by stack contents plus per-state work.
+		lim = 4*(p.numStates+depth) + 64
+	}
+	e := &Exec{
+		p:        p,
+		cur:      p.start,
+		stack:    make([]core.Symbol, 1, 16),
+		depth:    depth,
+		epsLimit: lim,
+		collect:  opts.CollectReports,
+	}
+	e.stack[0] = core.BottomOfStack
+	e.res.FinalState = core.StateID(p.start)
+	return e
+}
+
+// Program returns the program this execution runs.
+func (e *Exec) Program() *Program { return e.p }
+
+// Reset rewinds the execution to the program's start configuration
+// without reallocating (the pooling contract core.Execution.Reset
+// documents).
+func (e *Exec) Reset() {
+	e.cur = e.p.start
+	e.stack = e.stack[:1]
+	e.stack[0] = core.BottomOfStack
+	e.pos = 0
+	e.epsSeq = 0
+	e.res = core.Result{FinalState: core.StateID(e.p.start)}
+}
+
+// Pos returns the number of input symbols consumed so far.
+func (e *Exec) Pos() int { return e.pos }
+
+// Current returns the active state.
+func (e *Exec) Current() core.StateID { return core.StateID(e.cur) }
+
+// TOS returns the current top-of-stack symbol.
+func (e *Exec) TOS() core.Symbol { return e.stack[len(e.stack)-1] }
+
+// StackLen returns the number of symbols on the stack above ⊥.
+func (e *Exec) StackLen() int { return len(e.stack) - 1 }
+
+// activate performs the entry actions of state id, mirroring
+// core.Execution.activate field for field (including the exact error
+// strings — serve responses embed them, and the two backends must
+// answer byte-identically).
+func (e *Exec) activate(id int32) error {
+	f := e.p.flags[id]
+	if n := int(e.p.popCnt[id]); n > 0 {
+		if n > len(e.stack)-1 {
+			return fmt.Errorf("%w: state %d (%s) pops %d with depth %d",
+				core.ErrStackUnderflow, id, e.p.labels[id], n, len(e.stack)-1)
+		}
+		e.stack = e.stack[:len(e.stack)-n]
+	}
+	if f&flagPush != 0 {
+		if len(e.stack)-1 >= e.depth {
+			return fmt.Errorf("%w: state %d (%s) at depth %d",
+				core.ErrStackOverflow, id, e.p.labels[id], e.depth)
+		}
+		e.stack = append(e.stack, e.p.pushSym[id])
+	}
+	if d := len(e.stack) - 1; d > e.res.MaxStackDepth {
+		e.res.MaxStackDepth = d
+	}
+	e.cur = id
+	e.res.FinalState = core.StateID(id)
+	e.res.Steps++
+	if f&flagEps != 0 {
+		e.res.EpsilonStalls++
+		e.epsSeq++
+	} else {
+		e.epsSeq = 0
+	}
+	if f&flagAccept != 0 {
+		e.res.ReportCount++
+		if e.collect {
+			e.res.Reports = append(e.res.Reports,
+				core.Report{Pos: e.pos, State: core.StateID(id), Code: e.p.report[id]})
+		}
+	}
+	return nil
+}
+
+// StepEpsilon takes one enabled ε-transition; false when none is
+// enabled.
+func (e *Exec) StepEpsilon() (bool, error) {
+	t := e.p.epsNext[uint32(e.cur)<<8|uint32(e.stack[len(e.stack)-1])]
+	if t == noState {
+		return false, nil
+	}
+	if e.epsSeq >= e.epsLimit {
+		return false, fmt.Errorf("%w: state %d after %d ε-steps", core.ErrEpsilonLimit, e.cur, e.epsSeq)
+	}
+	return true, e.activate(t)
+}
+
+// DrainEpsilon takes ε-transitions until none is enabled, returning the
+// number taken.
+func (e *Exec) DrainEpsilon() (int, error) {
+	n := 0
+	for {
+		t := e.p.epsNext[uint32(e.cur)<<8|uint32(e.stack[len(e.stack)-1])]
+		if t == noState {
+			return n, nil
+		}
+		if e.epsSeq >= e.epsLimit {
+			return n, fmt.Errorf("%w: state %d after %d ε-steps", core.ErrEpsilonLimit, e.cur, e.epsSeq)
+		}
+		if err := e.activate(t); err != nil {
+			return n, err
+		}
+		n++
+	}
+}
+
+// Feed consumes one input symbol (ε-moves must be drained first). It
+// returns false when no successor is enabled: the machine jams.
+func (e *Exec) Feed(sym core.Symbol) (bool, error) {
+	tos := e.stack[len(e.stack)-1]
+	i := e.p.inHead[uint32(e.cur)<<8|uint32(sym)]
+	for i != 0 {
+		t := e.p.candTarget[i]
+		if e.p.stackSet[t].Contains(tos) {
+			// Count the symbol before activating, exactly as core does:
+			// a report (or stack fault) fired by the consuming state
+			// sees the post-consumption position.
+			e.pos++
+			e.res.Consumed = e.pos
+			if err := e.activate(t); err != nil {
+				return false, err
+			}
+			return true, nil
+		}
+		i = e.p.candNext[i]
+	}
+	return false, nil
+}
+
+// FeedAll consumes codes in order — drain ε-moves, feed, per symbol —
+// and reports how many were consumed, whether the machine jammed on
+// codes[fed], and any machine fault (the faulting symbol stays
+// uncounted). It is the single-lane bulk path: stream.Runner-shaped, so
+// an uncontended request skips batch enrollment entirely.
+func (e *Exec) FeedAll(codes []core.Symbol) (fed int, jammed bool, err error) {
+	return e.feedSpan(codes)
+}
+
+// feedSpan is the fused hot loop behind FeedAll and Batch.Run: the
+// drain/feed sequence of the stepping functions above with the
+// execution state held in locals, written back once per call instead of
+// once per activation. Its observable behavior — counters, error
+// classes, error strings, state left behind — is exactly that of
+// DrainEpsilon+Feed per symbol; the differential suite pins this.
+func (e *Exec) feedSpan(codes []core.Symbol) (fed int, jammed bool, err error) {
+	if e.collect {
+		// Report collection needs the per-activation position, so the
+		// rare collecting path takes the plain stepping functions.
+		return e.feedSlow(codes)
+	}
+	p := e.p
+	cur := uint32(e.cur)
+	stack := e.stack
+	pos := e.pos
+	epsSeq := e.epsSeq
+	steps := e.res.Steps
+	stalls := e.res.EpsilonStalls
+	maxDepth := e.res.MaxStackDepth
+	reports := e.res.ReportCount
+
+	fed = len(codes)
+loop:
+	for i, c := range codes {
+		// Drain ε-moves.
+		for {
+			t := p.epsNext[cur<<8|uint32(stack[len(stack)-1])]
+			if t == noState {
+				break
+			}
+			if epsSeq >= e.epsLimit {
+				fed, err = i, fmt.Errorf("%w: state %d after %d ε-steps", core.ErrEpsilonLimit, cur, epsSeq)
+				break loop
+			}
+			f := p.flags[t]
+			if n := int(p.popCnt[t]); n > 0 {
+				if n > len(stack)-1 {
+					fed, err = i, fmt.Errorf("%w: state %d (%s) pops %d with depth %d",
+						core.ErrStackUnderflow, t, p.labels[t], n, len(stack)-1)
+					break loop
+				}
+				stack = stack[:len(stack)-n]
+			}
+			if f&flagPush != 0 {
+				if len(stack)-1 >= e.depth {
+					fed, err = i, fmt.Errorf("%w: state %d (%s) at depth %d",
+						core.ErrStackOverflow, t, p.labels[t], e.depth)
+					break loop
+				}
+				stack = append(stack, p.pushSym[t])
+			}
+			if d := len(stack) - 1; d > maxDepth {
+				maxDepth = d
+			}
+			cur = uint32(t)
+			steps++
+			stalls++
+			epsSeq++
+			if f&flagAccept != 0 {
+				reports++
+			}
+		}
+		// Feed c.
+		tos := stack[len(stack)-1]
+		idx := p.inHead[cur<<8|uint32(c)]
+		for idx != 0 {
+			t := p.candTarget[idx]
+			if p.stackSet[t].Contains(tos) {
+				pos++
+				f := p.flags[t]
+				if n := int(p.popCnt[t]); n > 0 {
+					if n > len(stack)-1 {
+						fed, err = i, fmt.Errorf("%w: state %d (%s) pops %d with depth %d",
+							core.ErrStackUnderflow, t, p.labels[t], n, len(stack)-1)
+						break loop
+					}
+					stack = stack[:len(stack)-n]
+				}
+				if f&flagPush != 0 {
+					if len(stack)-1 >= e.depth {
+						fed, err = i, fmt.Errorf("%w: state %d (%s) at depth %d",
+							core.ErrStackOverflow, t, p.labels[t], e.depth)
+						break loop
+					}
+					stack = append(stack, p.pushSym[t])
+				}
+				if d := len(stack) - 1; d > maxDepth {
+					maxDepth = d
+				}
+				cur = uint32(t)
+				steps++
+				epsSeq = 0
+				if f&flagAccept != 0 {
+					reports++
+				}
+				continue loop
+			}
+			idx = p.candNext[idx]
+		}
+		fed, jammed = i, true
+		break loop
+	}
+
+	e.cur = int32(cur)
+	e.stack = stack
+	e.pos = pos
+	e.epsSeq = epsSeq
+	e.res.Steps = steps
+	e.res.EpsilonStalls = stalls
+	e.res.MaxStackDepth = maxDepth
+	e.res.ReportCount = reports
+	e.res.Consumed = pos
+	e.res.FinalState = core.StateID(cur)
+	return fed, jammed, err
+}
+
+// feedSlow is feedSpan through the plain stepping functions, used when
+// report collection needs per-activation state.
+func (e *Exec) feedSlow(codes []core.Symbol) (fed int, jammed bool, err error) {
+	for i, c := range codes {
+		if _, err := e.DrainEpsilon(); err != nil {
+			return i, false, err
+		}
+		ok, err := e.Feed(c)
+		if err != nil {
+			return i, false, err
+		}
+		if !ok {
+			return i, true, nil
+		}
+	}
+	return len(codes), false, nil
+}
+
+// InAccept reports whether the active state is an accept state.
+func (e *Exec) InAccept() bool { return e.p.flags[e.cur]&flagAccept != 0 }
+
+// Result returns a snapshot of the run statistics so far.
+func (e *Exec) Result() core.Result { return e.res }
+
+// Checkpoint copies the execution's resumable state into cp and seals
+// it — the same core.Checkpoint the simulator writes, so a session
+// checkpointed under one backend restores under the other.
+func (e *Exec) Checkpoint(cp *core.Checkpoint) {
+	cp.Cur = core.StateID(e.cur)
+	cp.Stack = append(cp.Stack[:0], e.stack...)
+	cp.Pos = e.pos
+	cp.EpsSeq = e.epsSeq
+	reports := append(cp.Res.Reports[:0], e.res.Reports...)
+	cp.Res = e.res
+	cp.Res.Reports = reports
+	cp.Seal()
+}
+
+// Restore rewinds the execution to cp after verifying the seal,
+// rejecting corrupted snapshots and out-of-range states exactly as
+// core.Execution.Restore does.
+func (e *Exec) Restore(cp *core.Checkpoint) error {
+	if !cp.Verify() {
+		return core.ErrCheckpointCorrupt
+	}
+	if cp.Cur < 0 || int(cp.Cur) >= e.p.numStates {
+		return fmt.Errorf("%w: state %d outside this machine's %d states",
+			core.ErrCheckpointCorrupt, cp.Cur, e.p.numStates)
+	}
+	e.cur = int32(cp.Cur)
+	e.stack = append(e.stack[:0], cp.Stack...)
+	e.pos = cp.Pos
+	e.epsSeq = cp.EpsSeq
+	reports := append(e.res.Reports[:0], cp.Res.Reports...)
+	e.res = cp.Res
+	e.res.Reports = reports
+	return nil
+}

@@ -1,0 +1,158 @@
+package engine_test
+
+// FuzzEngineDifferential is the engine↔simulator equivalence property
+// under coverage guidance: an arbitrary document, parsed at arbitrary
+// chunk boundaries under an arbitrary stack depth, must produce the
+// same outcome, counters, and error string through the engine backend
+// (both the per-token path and the bulk Runner path) as through the
+// cycle-accurate simulator. A second selector exercises the machine
+// level directly on the palindrome hDPDA, where the raw bytes are the
+// input symbols. Run via `make fuzz`; seeds run on plain `go test`.
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+
+	"aspen/internal/compile"
+	"aspen/internal/core"
+	"aspen/internal/engine"
+	"aspen/internal/lang"
+	"aspen/internal/stream"
+)
+
+type fuzzLang struct {
+	l    *lang.Language
+	cm   *compile.Compiled
+	prog *engine.Program
+}
+
+var fuzzOnce struct {
+	sync.Once
+	langs []fuzzLang
+	pal   *engine.Program
+	err   error
+}
+
+func fuzzSetup(t testing.TB) ([]fuzzLang, *engine.Program) {
+	fuzzOnce.Do(func() {
+		for _, l := range []*lang.Language{lang.JSON(), lang.XML()} {
+			cm, err := l.Compile(compile.OptAll)
+			if err != nil {
+				fuzzOnce.err = err
+				return
+			}
+			prog, err := cm.Engine()
+			if err != nil {
+				fuzzOnce.err = err
+				return
+			}
+			fuzzOnce.langs = append(fuzzOnce.langs, fuzzLang{l, cm, prog})
+		}
+		fuzzOnce.pal, fuzzOnce.err = engine.Compile(core.PalindromeHDPDA())
+	})
+	if fuzzOnce.err != nil {
+		t.Fatal(fuzzOnce.err)
+	}
+	return fuzzOnce.langs, fuzzOnce.pal
+}
+
+// fuzzParse runs doc through a streaming parse, chunked by the rng
+// stream, on the selected backend (0 = simulator, 1 = engine per-token,
+// 2 = engine bulk Runner).
+func fuzzParse(t testing.TB, fl fuzzLang, mode int, doc []byte, seed uint64, depth int) (stream.Outcome, error) {
+	var p *stream.Parser
+	var err error
+	switch mode {
+	case 0:
+		p, err = stream.NewParser(fl.l, fl.cm, core.ExecOptions{StackDepth: depth})
+	default:
+		x := engine.NewExec(fl.prog, engine.Options{StackDepth: depth})
+		p, err = stream.NewParserBackend(fl.l, fl.cm, x)
+		if err == nil && mode == 2 {
+			p.SetRunner(x.FeedAll)
+		}
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng, pos := seed, 0
+	for pos < len(doc) {
+		rng = rng*6364136223846793005 + 1442695040888963407
+		n := 1 + int((rng>>33)%9)
+		if pos+n > len(doc) {
+			n = len(doc) - pos
+		}
+		if _, werr := p.Write(doc[pos : pos+n]); werr != nil {
+			out, _ := p.Close()
+			return out, werr
+		}
+		pos += n
+	}
+	return p.Close()
+}
+
+func FuzzEngineDifferential(f *testing.F) {
+	// Seeds: the stream fuzzer's historical crasher shapes, documents
+	// that reach every error class, and palindrome-selector inputs.
+	seeds := []struct {
+		doc  string
+		sel  byte
+		seed uint64
+		dep  uint8
+	}{
+		{`{"k": [1, 2, {"n": null}], "s": "str"}`, 0, 7, 0},
+		{`{"bad" 1}`, 0, 7, 0},
+		{`{"x": ` + "\x01", 0, 3, 0},
+		{`{"truncated": [`, 0, 0xdeadbeef, 0},
+		{`[[[[[[[[[[1]]]]]]]]]]`, 0, 11, 4}, // depth overflow
+		{``, 0, 1, 0},
+		{`[1,]`, 0, 2, 0},
+		{`<r a="1">text<b/></r>`, 1, 7, 0},
+		{`<r></q>`, 1, 5, 0},
+		{`<r><a><b/></a>`, 1, 9, 3},
+		{"010c010", 2, 0, 0},
+		{"0110c0110", 2, 0, 3},
+		{"01c01", 2, 0, 0},
+		{"000111", 2, 0, 0},
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s.doc), s.sel, s.seed, s.dep)
+	}
+
+	f.Fuzz(func(t *testing.T, doc []byte, sel byte, seed uint64, dep uint8) {
+		langs, pal := fuzzSetup(t)
+		depth := int(dep) // 0 = backend default (256)
+
+		if sel%3 == 2 {
+			// Machine-level: raw bytes are input symbols for the
+			// palindrome hDPDA (its alphabet handles all 256 values).
+			syms := core.BytesToSymbols(doc)
+			want, wantErr := core.PalindromeHDPDA().Run(syms,
+				core.ExecOptions{StackDepth: depth, CollectReports: true})
+			got, gotErr := pal.Run(syms, engine.Options{StackDepth: depth, CollectReports: true})
+			if errString(gotErr) != errString(wantErr) {
+				t.Fatalf("palindrome err: engine %q, sim %q (in %q depth %d)",
+					errString(gotErr), errString(wantErr), doc, depth)
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("palindrome result: engine %+v, sim %+v (in %q depth %d)", got, want, doc, depth)
+			}
+			return
+		}
+
+		fl := langs[int(sel%3)%len(langs)]
+		want, wantErr := fuzzParse(t, fl, 0, doc, seed, depth)
+		for mode := 1; mode <= 2; mode++ {
+			got, gotErr := fuzzParse(t, fl, mode, doc, seed, depth)
+			if errString(gotErr) != errString(wantErr) {
+				t.Fatalf("%s mode %d err: engine %q, sim %q (doc %q seed %d depth %d)",
+					fl.l.Name, mode, errString(gotErr), errString(wantErr), doc, seed, depth)
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("%s mode %d outcome: engine %+v, sim %+v (doc %q seed %d depth %d)",
+					fl.l.Name, mode, got, want, doc, seed, depth)
+			}
+		}
+	})
+}

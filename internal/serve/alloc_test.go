@@ -20,8 +20,17 @@ const steadyStateAllocBudget = 8
 // TestParseSteadyStateAllocs pins the acceptance criterion: after
 // warmup, a parse performs zero grammar compiles and at most a fixed
 // small number of allocations, independent of how many requests ran.
+// Both execution backends are held to the same ceiling — the fast-path
+// engine (pooled Execs, standing batch tickets) must not buy its speed
+// with per-request garbage.
 func TestParseSteadyStateAllocs(t *testing.T) {
-	s, err := New(Options{Languages: []*lang.Language{lang.JSON()}})
+	for _, eng := range []string{EngineFast, EngineSim} {
+		t.Run(eng, func(t *testing.T) { testParseSteadyStateAllocs(t, eng) })
+	}
+}
+
+func testParseSteadyStateAllocs(t *testing.T, eng string) {
+	s, err := New(Options{Languages: []*lang.Language{lang.JSON()}, Engine: eng})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -77,7 +86,10 @@ func TestParseSteadyStateAllocs(t *testing.T) {
 		t.Errorf("traced steady-state parse = %.1f allocs/run, budget %d (tracing must not allocate)",
 			tracedAllocs, steadyStateAllocBudget)
 	}
-	if tracedAllocs > allocs {
+	// The race runtime allocates shadow state lazily, which makes the
+	// traced-vs-untraced comparison noisy by ±1–2 allocs; the absolute
+	// budget above still holds there.
+	if !raceEnabled && tracedAllocs > allocs {
 		t.Errorf("tracing added heap allocations: %.1f traced vs %.1f untraced", tracedAllocs, allocs)
 	}
 	t.Logf("traced steady-state parse: %.1f allocs/run", tracedAllocs)

@@ -124,8 +124,18 @@ func xmlDoc(n int) []byte {
 // on every machine-side field. Run under -race this also proves the
 // pooled parsers never share state across concurrent requests.
 func TestE2EConcurrentChunked(t *testing.T) {
+	// Both execution backends answer identically; the fast path
+	// additionally exercises the lockstep wave batcher under the
+	// concurrent clients below.
+	for _, eng := range []string{EngineFast, EngineSim} {
+		t.Run(eng, func(t *testing.T) { testE2EConcurrentChunked(t, eng) })
+	}
+}
+
+func testE2EConcurrentChunked(t *testing.T, eng string) {
 	s, ts := newTestServer(t, Options{
 		Languages: []*lang.Language{lang.JSON(), lang.XML()},
+		Engine:    eng,
 	})
 	type tc struct {
 		grammar  string
@@ -184,6 +194,26 @@ func TestE2EConcurrentChunked(t *testing.T) {
 	}
 	if got := snap.Counters["serve_compiles_total"]; got != 2 {
 		t.Errorf("serve_compiles_total = %d, want 2 (startup only)", got)
+	}
+	switch eng {
+	case EngineFast:
+		if got := snap.Counters["engine_batches_total"]; got == 0 {
+			t.Error("engine_batches_total = 0: fast-path requests never reached the batcher")
+		}
+		for _, reason := range []string{"config", "chaos", "compile"} {
+			name := telemetry.LabeledName("engine_fallback_total", "reason", reason)
+			if got := snap.Counters[name]; got != 0 {
+				t.Errorf("%s = %d, want 0 on an unguarded fast-path server", name, got)
+			}
+		}
+	case EngineSim:
+		name := telemetry.LabeledName("engine_fallback_total", "reason", "config")
+		if got := snap.Counters[name]; got != wantTotal {
+			t.Errorf("%s = %d, want %d (every request pinned to the simulator)", name, got, wantTotal)
+		}
+		if got := snap.Counters["engine_batches_total"]; got != 0 {
+			t.Errorf("engine_batches_total = %d, want 0 under -engine=sim", got)
+		}
 	}
 }
 

@@ -74,9 +74,47 @@ type serviceMetrics struct {
 	journalReplay   *telemetry.Gauge
 	journalCommitNS *telemetry.Histogram
 
+	// Fast-path dispatch series (engine.go). Registered unconditionally:
+	// flat zeros under -engine=sim keep dashboards stable either way.
+	engine engineMetrics
+
 	// errByCode counts non-2xx answers with no routed grammar (404
 	// unknown grammar, 503 drain denial); see countError.
 	errByCode map[int]*telemetry.Counter
+}
+
+// engineMetrics are the fast-path dispatch series: wave occupancy for
+// the lockstep batcher, and the simulator-fallback tallies by reason.
+type engineMetrics struct {
+	occupancy *telemetry.Gauge   // lanes in the most recent wave
+	batches   *telemetry.Counter // waves run
+	lanes     *telemetry.Counter // lane-chunks across all waves (lanes/batches = mean occupancy)
+
+	fbConfig  *telemetry.Counter // -engine=sim pinned the request to the simulator
+	fbChaos   *telemetry.Counter // guarded parse: detection needs execution hooks
+	fbCompile *telemetry.Counter // machine could not be lowered to engine tables
+}
+
+// observe records one completed wave.
+func (em *engineMetrics) observe(lanes int) {
+	em.occupancy.SetInt(int64(lanes))
+	em.batches.Inc()
+	em.lanes.Add(int64(lanes))
+}
+
+func newEngineMetrics(reg *telemetry.Registry) engineMetrics {
+	fb := func(reason string) *telemetry.Counter {
+		return reg.Counter(telemetry.LabeledName("engine_fallback_total", "reason", reason),
+			"requests served by the simulator instead of the fast-path engine, by reason")
+	}
+	return engineMetrics{
+		occupancy: reg.Gauge("engine_batch_occupancy", "lanes in the most recent fast-path batch wave"),
+		batches:   reg.Counter("engine_batches_total", "fast-path lockstep waves run"),
+		lanes:     reg.Counter("engine_batch_lanes_total", "lane-chunks executed across all fast-path waves"),
+		fbConfig:  fb("config"),
+		fbChaos:   fb("chaos"),
+		fbCompile: fb("compile"),
+	}
 }
 
 func newServiceMetrics(reg *telemetry.Registry) serviceMetrics {
@@ -97,6 +135,8 @@ func newServiceMetrics(reg *telemetry.Registry) serviceMetrics {
 		ckptCorrupt:     reg.Counter("checkpoint_store_corrupt_total", "stored session checkpoints refused by their integrity seals"),
 		journalReplay:   reg.Gauge("journal_replay_records", "journal records replayed at the last startup"),
 		journalCommitNS: reg.Histogram("serve_journal_commit_ns", "write-ahead journal append+fsync latency (ns)", phaseNSBuckets),
+
+		engine: newEngineMetrics(reg),
 
 		errByCode: errorCounters(reg),
 	}

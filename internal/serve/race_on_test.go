@@ -1,0 +1,8 @@
+//go:build race
+
+package serve
+
+// raceEnabled reports whether the race detector instruments this build.
+// Alloc-exactness assertions are relaxed under it: the race runtime
+// allocates shadow state lazily, which perturbs testing.AllocsPerRun.
+const raceEnabled = true

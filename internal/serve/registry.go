@@ -7,6 +7,7 @@ import (
 	"aspen/internal/arch"
 	"aspen/internal/compile"
 	"aspen/internal/core"
+	"aspen/internal/engine"
 	"aspen/internal/lang"
 	"aspen/internal/stream"
 	"aspen/internal/telemetry"
@@ -35,6 +36,19 @@ type grammarEntry struct {
 	// back a previously warmed parser (Reset, zero compile work) or
 	// constructs one against the already-compiled machine.
 	parsers sync.Pool
+
+	// Fast-path engine (engine.go). prog is the lowered program the
+	// parser pool runs on (nil = the pool runs the simulator), batcher
+	// the grammar's lockstep wave scheduler, em the shared dispatch
+	// series. fallback, when non-nil, is the reason counter bumped per
+	// unguarded request the pool serves on the simulator ("config" or
+	// "compile"); wantEngine records that the operator asked for the
+	// fast path (so guarded parses count reason "chaos").
+	prog       *engine.Program
+	batcher    *engineBatcher
+	em         *engineMetrics
+	fallback   *telemetry.Counter
+	wantEngine bool
 
 	// Lifecycle. Entries are immutable once published in a tenant
 	// snapshot; a reload/swap builds a replacement off to the side and
@@ -206,11 +220,41 @@ func newGrammarEntry(s *Server, l *lang.Language, fabricShare int) (*grammarEntr
 		stop:      make(chan struct{}),
 		m:         newGrammarMetrics(s.reg, l.Name),
 	}
+	// Fast-path lowering happens here, at load time like every other
+	// compile: the request path never lowers. A machine the engine
+	// cannot represent serves on the simulator instead of failing the
+	// load — the fallback is counted, never silent.
+	g.em = &s.m.engine
+	g.wantEngine = s.opts.Engine != EngineSim
+	if !g.wantEngine {
+		g.fallback = g.em.fbConfig
+	} else if prog, perr := cm.Engine(); perr != nil {
+		g.fallback = g.em.fbCompile
+	} else {
+		g.prog = prog
+		g.batcher = newEngineBatcher(g.em)
+	}
 	g.parsers.New = func() any {
-		p, err := stream.NewParser(g.lang, g.cm, core.ExecOptions{})
+		var p *stream.Parser
+		var err error
+		if g.prog != nil {
+			// Engine-backed parser: its Exec enrolls chunks into the
+			// grammar's wave batcher through a standing job ticket (one
+			// per pooled parser, allocated here, reused per chunk).
+			x := engine.NewExec(g.prog, engine.Options{})
+			p, err = stream.NewParserBackend(g.lang, g.cm, x)
+			if err == nil {
+				j := &engineJob{x: x, done: make(chan struct{}, 1)}
+				p.SetRunner(func(codes []core.Symbol) (int, bool, error) {
+					return g.batcher.run(j, codes)
+				})
+			}
+		} else {
+			p, err = stream.NewParser(g.lang, g.cm, core.ExecOptions{})
+		}
 		if err != nil {
-			// Unreachable: NewParser can only fail building the lexer,
-			// which was constructed and cached at load time.
+			// Unreachable: parser construction can only fail building the
+			// lexer, which was constructed and cached at load time.
 			panic("serve: " + g.name + ": " + err.Error())
 		}
 		p.EnableTelemetry(s.reg)
@@ -244,10 +288,22 @@ type GrammarInfo struct {
 	// Workers — replicas eat fabric capacity).
 	VerifyMode string `json:"verifyMode"`
 	Replicas   int    `json:"replicas"`
+	// Execution backend: "fast" when pooled parses run the lowered
+	// engine tables (EngineTableKB is their footprint), "sim" when
+	// they run the cycle-accurate simulator.
+	Engine        string `json:"engine"`
+	EngineTableKB int    `json:"engineTableKB,omitempty"`
 }
 
 func (g *grammarEntry) info(queueDepth int) GrammarInfo {
+	eng, tableKB := EngineSim, 0
+	if g.prog != nil {
+		eng = EngineFast
+		tableKB = g.prog.TableBytes() >> 10
+	}
 	return GrammarInfo{
+		Engine:           eng,
+		EngineTableKB:    tableKB,
 		Name:             g.name,
 		States:           g.cm.Stats.States,
 		EpsilonStates:    g.cm.Stats.EpsStates,

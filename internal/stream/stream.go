@@ -18,13 +18,44 @@ import (
 	"aspen/internal/telemetry"
 )
 
+// Backend is the machine-execution surface the Parser drives. Two
+// implementations exist: *core.Execution (the cycle-accurate simulator,
+// ground truth, hook- and fault-capable) and *engine.Exec (the fast
+// path lowered into flat tables). They are semantically interchangeable
+// — byte-identical outcomes, error classes, and checkpoints — which the
+// engine's differential tests pin.
+type Backend interface {
+	Reset()
+	DrainEpsilon() (int, error)
+	Feed(core.Symbol) (bool, error)
+	InAccept() bool
+	Result() core.Result
+	Checkpoint(*core.Checkpoint)
+	Restore(*core.Checkpoint) error
+}
+
+// Runner is a bulk token-feed hook (see SetRunner): it consumes codes
+// through the parser's backend — possibly batched in lockstep with
+// other parsers sharing the grammar — and reports how many symbols were
+// consumed, whether the machine jammed on codes[fed], and any machine
+// fault. The per-symbol contract must match the default loop: drain
+// ε-moves, then feed, for each code in order.
+type Runner func(codes []core.Symbol) (fed int, jammed bool, err error)
+
 // Parser is an incremental lex+parse pipeline.
 type Parser struct {
 	l    *lang.Language
 	cm   *compile.Compiled
 	lx   *lexer.Lexer
-	exec *core.Execution
+	exec Backend
+	run  Runner
 	mfp  uint64 // machine fingerprint, stamped into checkpoints
+
+	// ruleCodes maps a lexer rule index straight to its machine input
+	// code (-1 = not a terminal), replacing two map lookups per token
+	// on the feed path.
+	ruleCodes []int16
+	codes     []core.Symbol // per-chunk code scratch for the Runner path
 
 	mode   string
 	tail   []byte        // bytes not yet safely tokenized
@@ -113,25 +144,56 @@ type Outcome struct {
 }
 
 // NewParser builds a streaming parser for the language using an
-// already-compiled machine.
+// already-compiled machine, backed by the cycle-accurate simulator.
 func NewParser(l *lang.Language, cm *compile.Compiled, opts core.ExecOptions) (*Parser, error) {
+	return NewParserBackend(l, cm, core.NewExecution(cm.Machine, opts))
+}
+
+// NewParserBackend builds a streaming parser driving an explicit
+// execution backend (the fast-path engine, or a pre-configured
+// simulator execution). The backend must run the machine cm compiled.
+func NewParserBackend(l *lang.Language, cm *compile.Compiled, b Backend) (*Parser, error) {
 	lx, err := l.Lexer()
 	if err != nil {
 		return nil, err
 	}
+	rc := make([]int16, len(l.LexSpec.Rules))
+	for i, r := range l.LexSpec.Rules {
+		rc[i] = -1
+		if r.Skip {
+			continue
+		}
+		if code, ok := cm.Tokens.Code(l.Grammar.Lookup(r.Name)); ok {
+			rc[i] = int16(code)
+		}
+	}
 	return &Parser{
 		l: l, cm: cm, lx: lx,
-		exec: core.NewExecution(cm.Machine, opts),
-		mfp:  cm.Machine.Fingerprint(),
-		mode: lexer.DefaultMode,
+		exec:      b,
+		ruleCodes: rc,
+		mfp:       cm.Machine.Fingerprint(),
+		mode:      lexer.DefaultMode,
 	}, nil
 }
+
+// SetRunner installs a bulk feed hook: each chunk's token codes are
+// handed to run in one call instead of the default per-token loop. The
+// serving layer uses this to enroll the parser's engine backend into a
+// per-grammar lockstep batch. Call before the first Write.
+func (p *Parser) SetRunner(run Runner) { p.run = run }
 
 // Execution exposes the underlying machine execution for observers
 // that need the live configuration (the invariant scrubber in
 // internal/verify reads the active state, stack depth and TOS at window
-// boundaries). Callers must not mutate the execution.
-func (p *Parser) Execution() *core.Execution { return p.exec }
+// boundaries). It returns nil when the parser runs a non-simulator
+// backend — observers requiring hooks construct simulator-backed
+// parsers. Callers must not mutate the execution.
+func (p *Parser) Execution() *core.Execution {
+	if e, ok := p.exec.(*core.Execution); ok {
+		return e
+	}
+	return nil
+}
 
 // Reset rewinds the parser to its initial configuration — start state,
 // empty stack, default lexer mode, zeroed counters — without touching
@@ -247,9 +309,11 @@ func (p *Parser) feed(toks []lexer.Token, buf []byte) error {
 	if p.jammed {
 		return nil
 	}
+	if p.run != nil {
+		return p.feedBulk(toks)
+	}
 	for _, tk := range toks {
-		sym := p.l.Grammar.Lookup(tk.Name)
-		code, ok := p.cm.Tokens.Code(sym)
+		code, ok := p.tokenCode(tk)
 		if !ok {
 			return fmt.Errorf("stream: token %q is not a terminal", tk.Name)
 		}
@@ -266,6 +330,57 @@ func (p *Parser) feed(toks []lexer.Token, buf []byte) error {
 			p.jamPos = p.offset + tk.Start
 			return nil
 		}
+	}
+	return nil
+}
+
+// tokenCode resolves a token's machine input code through the
+// precomputed rule table.
+func (p *Parser) tokenCode(tk lexer.Token) (core.Symbol, bool) {
+	if tk.Rule >= 0 && tk.Rule < len(p.ruleCodes) {
+		if c := p.ruleCodes[tk.Rule]; c >= 0 {
+			return core.Symbol(c), true
+		}
+	}
+	return 0, false
+}
+
+// feedBulk is the Runner path: translate the chunk's tokens to codes up
+// front and consume them in one call. The per-token accounting is
+// identical to the default loop — fed symbols count, a jamming token
+// counts and records its position, a machine fault leaves the faulting
+// token uncounted — so the two paths produce byte-identical outcomes.
+// A non-terminal token truncates the translated prefix: the prefix is
+// consumed first, and the error surfaces only if the machine got
+// through it, exactly where the per-token loop would have raised it.
+func (p *Parser) feedBulk(toks []lexer.Token) error {
+	codes := p.codes[:0]
+	bad := -1
+	for i, tk := range toks {
+		code, ok := p.tokenCode(tk)
+		if !ok {
+			bad = i
+			break
+		}
+		codes = append(codes, code)
+	}
+	p.codes = codes
+	fed, jammed, err := 0, false, error(nil)
+	if len(codes) > 0 {
+		fed, jammed, err = p.run(codes)
+	}
+	p.tokens += fed
+	if err != nil {
+		return err
+	}
+	if jammed {
+		p.tokens++
+		p.jammed = true
+		p.jamPos = p.offset + toks[fed].Start
+		return nil
+	}
+	if bad >= 0 {
+		return fmt.Errorf("stream: token %q is not a terminal", toks[bad].Name)
 	}
 	return nil
 }

@@ -89,6 +89,12 @@ echo "$metrics" | grep -q '^serve_requests_total 1$' ||
     fail "/metrics missing serve_requests_total 1"
 echo "$metrics" | grep -q 'serve_phase_ns_bucket{grammar="JSON",phase="parse",le="' ||
     fail "/metrics missing per-phase latency histograms"
+# Fast-path engine dispatch surfaces: the batch-occupancy gauge and the
+# per-reason fallback counters are registered whichever backend serves.
+echo "$metrics" | grep -q '^engine_batch_occupancy ' ||
+    fail "/metrics missing engine_batch_occupancy"
+echo "$metrics" | grep -q '^engine_fallback_total{reason="config"} ' ||
+    fail "/metrics missing engine_fallback_total{reason=...}"
 code=$(curl -sS -o /dev/null -w '%{http_code}' -X POST -d x \
     "http://$addr/v1/parse/NoSuch") || fail "404 probe failed"
 [ "$code" = "404" ] || fail "unknown grammar answered $code, want 404"
