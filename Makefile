@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: build test check fmt vet race fuzz bench bench-json experiments serve-smoke
+.PHONY: build test check fmt vet race fuzz bench bench-json experiments serve-smoke fleet-smoke
 
 build:
 	$(GO) build ./...
@@ -30,6 +30,12 @@ race:
 serve-smoke:
 	sh scripts/serve-smoke.sh
 
+# Boot a real 3-node fleet behind aspen-router, fan out an admin
+# mutation, SIGKILL a session's owner mid-stream, and require the
+# byte-identical failover conclusion plus membership reconvergence.
+fleet-smoke:
+	sh scripts/fleet-smoke.sh
+
 # Short coverage-guided runs of every native fuzz target: streaming
 # equivalence (chunk-boundary lexing, chunked-vs-whole parsing), the
 # software-parser differential, the XML pipeline, checkpoint
@@ -48,7 +54,7 @@ fuzz:
 	$(GO) test -run '^$$' -fuzz FuzzEngineDifferential -fuzztime $(FUZZTIME) ./internal/engine
 
 # Pre-merge check: run before every merge/PR.
-check: vet fmt race serve-smoke fuzz
+check: vet fmt race serve-smoke fleet-smoke fuzz
 
 bench:
 	$(GO) test -bench . -benchtime 1x ./internal/bench

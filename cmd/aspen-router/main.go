@@ -1,0 +1,149 @@
+// Command aspen-router is the ASPEN fleet front tier: it places
+// grammars and durable parse sessions across N aspend nodes with
+// consistent hashing, health-checks every node, absorbs node loss
+// with bounded retries and circuit breakers, and fails durable
+// sessions over to a replacement node by shipping their latest sealed
+// checkpoint.
+//
+// Usage:
+//
+//	aspen-router -nodes 127.0.0.1:8173,127.0.0.1:8174,127.0.0.1:8175
+//	aspen-router -addr :8170 -nodes host-a:8173,host-b:8173 -retries 3
+//
+// API (mirrors aspend where it proxies):
+//
+//	POST /v1/parse/{grammar}     forwarded to the grammar's ranked node;
+//	                             ?session= streams stay sticky to their
+//	                             owner and fail over when it dies
+//	GET  /v1/grammars            fleet registry view (first ready node)
+//	POST /v1/admin/grammars      fanned out to every node's journal
+//	GET  /healthz                per-node states, registry convergence,
+//	                             session placements
+//	GET  /v1/debug/requests      router flight recorder (pick/forward/
+//	                             retry/failover phase attribution)
+//	GET  /metrics                Prometheus text (also /metrics.json)
+//
+// Nodes are health-checked via /readyz: a node that flips unready
+// (SIGTERM grace, hitless-swap retirement) stops receiving new work
+// before it starts refusing it. Forwarding failures open per-node
+// circuit breakers so a dead node costs one connection error per
+// cooldown, not one per request. Downstream 429/Retry-After is
+// honored, never retried against a different node's queue, and never
+// counted against the throttling node's health.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"aspen/internal/fleet"
+	"aspen/internal/telemetry"
+)
+
+func main() {
+	var (
+		addr      = flag.String("addr", "localhost:8170", "listen address (port 0 = ephemeral, printed on stderr)")
+		nodesFlag = flag.String("nodes", "", "comma-separated aspend nodes (host:port), required")
+		probeInt  = flag.Duration("probe-interval", fleet.DefaultProbeInterval, "health-probe period per node")
+		probeTO   = flag.Duration("probe-timeout", fleet.DefaultProbeTimeout, "health-probe request timeout")
+		failThr   = flag.Int("fail-threshold", fleet.DefaultFailThreshold, "consecutive probe failures before a node is down")
+		timeout   = flag.Duration("timeout", fleet.DefaultRequestTimeout, "per-request deadline, retries and failover included")
+		maxBody   = flag.Int64("max-body", fleet.DefaultMaxBodyBytes, "maximum request body bytes (bodies buffer for retry re-sends)")
+		retries   = flag.Int("retries", fleet.DefaultMaxRetries, "forward attempts beyond the first (negative = none)")
+		backoff   = flag.Duration("retry-backoff", fleet.DefaultRetryBackoff, "base retry backoff (exponential, jittered; downstream Retry-After overrides when longer)")
+		brThr     = flag.Int("breaker-threshold", fleet.DefaultBreakerThreshold, "consecutive forward failures that open a node's circuit breaker")
+		brCool    = flag.Duration("breaker-cooldown", fleet.DefaultBreakerCooldown, "how long an open breaker refuses a node before the half-open probe")
+		vnodes    = flag.Int("vnodes", fleet.DefaultVNodes, "virtual points per node on the placement ring")
+		flightSz  = flag.Int("flight", telemetry.DefaultFlightSize, "flight-recorder capacity for /v1/debug/requests")
+		slow      = flag.Duration("slow", time.Duration(telemetry.DefaultSlowNS), "latency at which a request is retained in the notable ring")
+	)
+	tf := telemetry.RegisterFlags(flag.CommandLine)
+	flag.Parse()
+
+	if *nodesFlag == "" {
+		usage("-nodes is required (comma-separated aspend addresses)")
+	}
+	var nodes []string
+	for _, n := range strings.Split(*nodesFlag, ",") {
+		if n = strings.TrimSpace(n); n != "" {
+			nodes = append(nodes, n)
+		}
+	}
+	if len(nodes) == 0 {
+		usage("-nodes is required (comma-separated aspend addresses)")
+	}
+
+	reg := telemetry.NewRegistry()
+	sess := tf.MustStart("aspen-router", reg)
+	defer sess.MustClose("aspen-router")
+
+	rt, err := fleet.New(fleet.Options{
+		Nodes:            nodes,
+		Registry:         reg,
+		ProbeInterval:    *probeInt,
+		ProbeTimeout:     *probeTO,
+		FailThreshold:    *failThr,
+		RequestTimeout:   *timeout,
+		MaxBodyBytes:     *maxBody,
+		MaxRetries:       *retries,
+		RetryBackoff:     *backoff,
+		BreakerThreshold: *brThr,
+		BreakerCooldown:  *brCool,
+		VNodes:           *vnodes,
+		FlightSize:       *flightSz,
+		SlowThreshold:    *slow,
+	})
+	if err != nil {
+		fatal("%v", err)
+	}
+	defer rt.Close()
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fatal("%v", err)
+	}
+	httpSrv := &http.Server{Handler: rt.Handler()}
+	fmt.Fprintf(os.Stderr, "aspen-router: routing %d node(s): %s\n", len(nodes), strings.Join(nodes, ", "))
+	fmt.Fprintf(os.Stderr, "aspen-router: listening on http://%s\n", ln.Addr())
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	done := make(chan error, 1)
+	go func() { done <- httpSrv.Serve(ln) }()
+
+	select {
+	case err := <-done:
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			fatal("%v", err)
+		}
+	case <-ctx.Done():
+		stop()
+		fmt.Fprintln(os.Stderr, "aspen-router: shutting down...")
+		sctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		if err := httpSrv.Shutdown(sctx); err != nil {
+			fmt.Fprintf(os.Stderr, "aspen-router: shutdown: %v\n", err)
+		}
+		fmt.Fprintln(os.Stderr, "aspen-router: stopped")
+	}
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "aspen-router: "+format+"\n", args...)
+	os.Exit(1)
+}
+
+// usage rejects bad flag values: one line on stderr, exit code 2.
+func usage(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "aspen-router: "+format+"\n", args...)
+	os.Exit(2)
+}

@@ -77,6 +77,7 @@ func main() {
 		fabricBanks = flag.Int("fabric-banks", 0, "total LLC banks the fabric repurposes (0 = paper default)")
 		traceSample = flag.Int("trace-sample", 1, "with -trace-out: emit every Nth request")
 		drainWait   = flag.Duration("drain-timeout", 30*time.Second, "how long to wait for in-flight requests on shutdown")
+		drainGrace  = flag.Duration("drain-grace", 0, "on SIGTERM, time between flipping /readyz unready and starting the drain (lets fleet routers stop routing here before requests start getting 503)")
 		faultRate   = flag.Float64("fault-rate", 0, "chaos: per-activation transient fault probability (0 = no injection)")
 		faultSeed   = flag.Int64("fault-seed", 1, "chaos: deterministic fault injector seed")
 		killAfter   = flag.Duration("kill-bank-after", 0, "chaos: permanently kill one fabric bank per interval (0 = never)")
@@ -206,6 +207,14 @@ func main() {
 		}
 	case <-ctx.Done():
 		stop()
+		// Readiness flips first: a health-checking router sees /readyz go
+		// 503 and stops placing new work here while this node can still
+		// answer, then the drain starts refusing what arrives anyway.
+		srv.SetReady(false)
+		if *drainGrace > 0 {
+			fmt.Fprintf(os.Stderr, "aspend: unready; draining in %s...\n", *drainGrace)
+			time.Sleep(*drainGrace)
+		}
 		fmt.Fprintf(os.Stderr, "aspend: draining (up to %s)...\n", *drainWait)
 		dctx, cancel := context.WithTimeout(context.Background(), *drainWait)
 		defer cancel()

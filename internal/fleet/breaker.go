@@ -1,0 +1,78 @@
+package fleet
+
+import (
+	"sync"
+	"time"
+)
+
+// breaker is the per-node circuit breaker guarding forwards. Closed
+// while the node answers; threshold consecutive forwarding failures
+// open it, and while open the placement layer skips the node entirely —
+// a dead member costs one connection-refused per cooldown, not one per
+// request. After the cooldown one probe request is allowed through
+// (half-open); its outcome closes the breaker or re-arms the cooldown.
+//
+// Forwarding failures are transport errors and 5xx answers that mean
+// "this node cannot take the work" (502/503/504). Backpressure (429)
+// never counts: a node shedding load by design is healthy.
+type breaker struct {
+	threshold int
+	cooldown  time.Duration
+
+	mu        sync.Mutex
+	fails     int
+	openUntil time.Time
+	probing   bool
+	openedAt  int64 // total opens, for metrics reads under mu
+}
+
+// allow reports whether a forward may be sent to this node now.
+// During half-open, exactly one caller gets probe=true and must report
+// the outcome via success/failure — other callers are refused until it
+// does.
+func (b *breaker) allow(now time.Time) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.fails < b.threshold {
+		return true
+	}
+	if now.Before(b.openUntil) || b.probing {
+		return false
+	}
+	b.probing = true // half-open: this caller carries the probe
+	return true
+}
+
+// success records a completed forward: the breaker closes.
+func (b *breaker) success() {
+	b.mu.Lock()
+	b.fails = 0
+	b.probing = false
+	b.mu.Unlock()
+}
+
+// failure records a failed forward, opening the breaker at threshold
+// (and re-arming the cooldown on a failed half-open probe). Reports
+// whether this failure transitioned the breaker to open.
+func (b *breaker) failure(now time.Time) (opened bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	wasOpen := b.fails >= b.threshold
+	b.fails++
+	b.probing = false
+	if b.fails >= b.threshold {
+		b.openUntil = now.Add(b.cooldown)
+		if !wasOpen {
+			b.openedAt++
+			return true
+		}
+	}
+	return false
+}
+
+// open reports whether the breaker is currently refusing forwards.
+func (b *breaker) open(now time.Time) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.fails >= b.threshold && (now.Before(b.openUntil) || b.probing)
+}

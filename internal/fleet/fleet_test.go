@@ -1,0 +1,419 @@
+package fleet
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"aspen/internal/lang"
+	"aspen/internal/serve"
+	"aspen/internal/store"
+)
+
+// testNode is one real aspend server (durable, multi-grammar) in an
+// in-process fleet.
+type testNode struct {
+	srv *serve.Server
+	ts  *httptest.Server
+}
+
+func (n *testNode) name() string { return strings.TrimPrefix(n.ts.URL, "http://") }
+
+// kill simulates SIGKILL: connections sever, nothing drains.
+func (n *testNode) kill() {
+	n.ts.CloseClientConnections()
+	n.ts.Close()
+}
+
+func startNode(t *testing.T, langs ...*lang.Language) *testNode {
+	t.Helper()
+	st, err := store.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { st.Close() })
+	srv, err := serve.New(serve.Options{Languages: langs, Store: st})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	return &testNode{srv: srv, ts: ts}
+}
+
+// startFleet boots n real nodes and a router over them with
+// test-speed probing and backoff.
+func startFleet(t *testing.T, n int, langs ...*lang.Language) (*Router, []*testNode) {
+	t.Helper()
+	if len(langs) == 0 {
+		langs = []*lang.Language{lang.JSON()}
+	}
+	nodes := make([]*testNode, n)
+	urls := make([]string, n)
+	for i := range nodes {
+		nodes[i] = startNode(t, langs...)
+		urls[i] = nodes[i].ts.URL
+	}
+	rt, err := New(Options{
+		Nodes:         urls,
+		ProbeInterval: 50 * time.Millisecond,
+		RetryBackoff:  5 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(rt.Close)
+	return rt, nodes
+}
+
+func routerServer(t *testing.T, rt *Router) *httptest.Server {
+	t.Helper()
+	ts := httptest.NewServer(rt.Handler())
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+func postParse(t *testing.T, base, grammar, query string, body []byte) (*http.Response, serve.ParseResponse) {
+	t.Helper()
+	url := base + "/v1/parse/" + grammar
+	if query != "" {
+		url += "?" + query
+	}
+	resp, err := http.Post(url, "application/octet-stream", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var pr serve.ParseResponse
+	raw, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode == http.StatusOK {
+		if err := json.Unmarshal(raw, &pr); err != nil {
+			t.Fatalf("decoding parse response: %v (%s)", err, raw)
+		}
+	}
+	return resp, pr
+}
+
+func routerHealth(t *testing.T, base string) RouterHealth {
+	t.Helper()
+	resp, err := http.Get(base + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var h RouterHealth
+	if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
+		t.Fatal(err)
+	}
+	return h
+}
+
+// waitHealth polls router /healthz until cond holds (the prober needs
+// a few rounds to notice state changes).
+func waitHealth(t *testing.T, base string, what string, cond func(RouterHealth) bool) RouterHealth {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		h := routerHealth(t, base)
+		if cond(h) {
+			return h
+		}
+		if time.Now().After(deadline) {
+			raw, _ := json.Marshal(h)
+			t.Fatalf("timed out waiting for %s; last health: %s", what, raw)
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+}
+
+// TestFleetPlainParse pins the stateless forward path: parses through
+// the router answer exactly like a direct node parse.
+func TestFleetPlainParse(t *testing.T) {
+	rt, nodes := startFleet(t, 3)
+	ts := routerServer(t, rt)
+	doc := []byte(lang.JSONSample)
+
+	_, direct := postParse(t, nodes[0].ts.URL, "JSON", "", doc)
+	resp, viaRouter := postParse(t, ts.URL, "JSON", "", doc)
+	if resp.StatusCode != http.StatusOK || !viaRouter.Accepted {
+		t.Fatalf("router parse: status %d accepted %v", resp.StatusCode, viaRouter.Accepted)
+	}
+	if viaRouter.Bytes != direct.Bytes || viaRouter.Tokens != direct.Tokens ||
+		viaRouter.MaxStackDepth != direct.MaxStackDepth || viaRouter.Reports != direct.Reports {
+		t.Fatalf("router answer differs from direct:\nrouter: %+v\ndirect: %+v", viaRouter, direct)
+	}
+	if resp.Header.Get(traceHeader) == "" {
+		t.Fatal("router response missing X-Aspen-Trace")
+	}
+	// An unknown grammar is a non-retryable 404, relayed verbatim.
+	resp404, _ := postParse(t, ts.URL, "NoSuch", "", doc)
+	if resp404.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown grammar via router: status %d, want 404", resp404.StatusCode)
+	}
+}
+
+// TestFleetStickySessions pins sticky placement: every chunk of a
+// session lands on one owner, the owner is visible on /healthz, and a
+// concluded session leaves the table.
+func TestFleetStickySessions(t *testing.T) {
+	rt, _ := startFleet(t, 3)
+	ts := routerServer(t, rt)
+	doc := []byte(lang.JSONSample)
+	third := len(doc) / 3
+
+	resp, pr := postParse(t, ts.URL, "JSON", "session=sticky", doc[:third])
+	if resp.StatusCode != http.StatusOK || !pr.Partial {
+		t.Fatalf("chunk 1: status %d partial %v", resp.StatusCode, pr.Partial)
+	}
+	h := routerHealth(t, ts.URL)
+	owner := h.Sessions["JSON/sticky"]
+	if owner == "" {
+		t.Fatalf("session missing from router /healthz placements: %+v", h.Sessions)
+	}
+	resp, _ = postParse(t, ts.URL, "JSON", "session=sticky", doc[third:2*third])
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("chunk 2: status %d", resp.StatusCode)
+	}
+	if got := routerHealth(t, ts.URL).Sessions["JSON/sticky"]; got != owner {
+		t.Fatalf("session moved from %s to %s with every node healthy", owner, got)
+	}
+	resp, final := postParse(t, ts.URL, "JSON", "session=sticky&final=1", doc[2*third:])
+	if resp.StatusCode != http.StatusOK || !final.Accepted {
+		t.Fatalf("conclusion: status %d accepted %v err %q", resp.StatusCode, final.Accepted, final.Error)
+	}
+	if got := routerHealth(t, ts.URL).Sessions["JSON/sticky"]; got != "" {
+		t.Fatalf("concluded session still placed on %s", got)
+	}
+}
+
+// TestFleetSessionFailover is the tentpole contract in-process: kill
+// the session's owner mid-stream, and the conclusion on the
+// replacement is byte-identical to an uninterrupted whole-document
+// parse.
+func TestFleetSessionFailover(t *testing.T) {
+	rt, nodes := startFleet(t, 3)
+	ts := routerServer(t, rt)
+	doc := []byte(lang.JSONSample)
+	half := len(doc) / 2
+
+	// Reference: whole-document parse through the router.
+	_, ref := postParse(t, ts.URL, "JSON", "", doc)
+	if !ref.Accepted {
+		t.Fatal("reference parse rejected")
+	}
+
+	resp, _ := postParse(t, ts.URL, "JSON", "session=fo", doc[:half])
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("chunk 1: status %d", resp.StatusCode)
+	}
+	owner := routerHealth(t, ts.URL).Sessions["JSON/fo"]
+	var victim *testNode
+	for _, n := range nodes {
+		if n.name() == owner {
+			victim = n
+		}
+	}
+	if victim == nil {
+		t.Fatalf("owner %q not among fleet nodes", owner)
+	}
+	victim.kill()
+
+	resp, final := postParse(t, ts.URL, "JSON", "session=fo&final=1", doc[half:])
+	if resp.StatusCode != http.StatusOK || !final.Accepted {
+		t.Fatalf("post-kill conclusion: status %d accepted %v err %q", resp.StatusCode, final.Accepted, final.Error)
+	}
+	if final.Bytes != ref.Bytes || final.Tokens != ref.Tokens ||
+		final.MaxStackDepth != ref.MaxStackDepth || final.Reports != ref.Reports {
+		t.Fatalf("failover conclusion differs from whole parse:\nfailover: %+v\n   whole: %+v", final, ref)
+	}
+	if got := rt.m.failovers.Value(); got < 1 {
+		t.Fatalf("fleet_failovers_total = %d, want ≥ 1", got)
+	}
+	// Membership reconverges around the loss: degraded, two ready.
+	waitHealth(t, ts.URL, "degraded health after kill", func(h RouterHealth) bool {
+		return h.Status == "degraded" && h.ReadyNodes == 2
+	})
+}
+
+// TestFleetDoubleFailover pins idempotent resume: the session survives
+// losing its owner twice, and the conclusion still matches.
+func TestFleetDoubleFailover(t *testing.T) {
+	rt, nodes := startFleet(t, 3)
+	ts := routerServer(t, rt)
+	doc := []byte(lang.JSONSample)
+	third := len(doc) / 3
+
+	_, ref := postParse(t, ts.URL, "JSON", "", doc)
+
+	byName := map[string]*testNode{}
+	for _, n := range nodes {
+		byName[n.name()] = n
+	}
+	killOwner := func() {
+		owner := routerHealth(t, ts.URL).Sessions["JSON/dfo"]
+		n := byName[owner]
+		if n == nil {
+			t.Fatalf("owner %q not found", owner)
+		}
+		n.kill()
+		delete(byName, owner)
+	}
+
+	if resp, _ := postParse(t, ts.URL, "JSON", "session=dfo", doc[:third]); resp.StatusCode != http.StatusOK {
+		t.Fatalf("chunk 1: status %d", resp.StatusCode)
+	}
+	killOwner()
+	if resp, _ := postParse(t, ts.URL, "JSON", "session=dfo", doc[third:2*third]); resp.StatusCode != http.StatusOK {
+		t.Fatalf("chunk 2 (first failover): status %d", resp.StatusCode)
+	}
+	killOwner()
+	resp, final := postParse(t, ts.URL, "JSON", "session=dfo&final=1", doc[2*third:])
+	if resp.StatusCode != http.StatusOK || !final.Accepted {
+		t.Fatalf("chunk 3 (second failover): status %d accepted %v err %q", resp.StatusCode, final.Accepted, final.Error)
+	}
+	if final.Bytes != ref.Bytes || final.Tokens != ref.Tokens ||
+		final.MaxStackDepth != ref.MaxStackDepth || final.Reports != ref.Reports {
+		t.Fatalf("double-failover conclusion differs:\ngot:  %+v\nwant: %+v", final, ref)
+	}
+	if got := rt.m.failovers.Value(); got < 2 {
+		t.Fatalf("fleet_failovers_total = %d, want ≥ 2", got)
+	}
+}
+
+// TestFleetDegradation pins graceful degradation: with a node dead,
+// every plain parse still answers 200 — zero dropped requests for a
+// healthy grammar.
+func TestFleetDegradation(t *testing.T) {
+	rt, nodes := startFleet(t, 3)
+	ts := routerServer(t, rt)
+	doc := []byte(lang.JSONSample)
+
+	nodes[1].kill()
+	for i := 0; i < 20; i++ {
+		resp, pr := postParse(t, ts.URL, "JSON", "", doc)
+		if resp.StatusCode != http.StatusOK || !pr.Accepted {
+			t.Fatalf("parse %d after node loss: status %d accepted %v", i, resp.StatusCode, pr.Accepted)
+		}
+	}
+	h := waitHealth(t, ts.URL, "degraded health", func(h RouterHealth) bool {
+		return h.Status == "degraded" && h.ReadyNodes == 2
+	})
+	for _, n := range h.Nodes {
+		if n.Node == nodes[1].name() && n.State == "ready" {
+			t.Fatalf("killed node still reported ready: %+v", n)
+		}
+	}
+	if got := rt.reg.Snapshot(); got.Counters == nil {
+		_ = got // snapshot shape is asserted by telemetry's own tests
+	}
+}
+
+// TestFleetAdminFanoutAndDivergence pins control-plane convergence:
+// mutations through the router reach every journal; a node mutated
+// behind the router's back surfaces as divergence on /healthz until a
+// fleet-wide mutation re-converges it.
+func TestFleetAdminFanoutAndDivergence(t *testing.T) {
+	rt, nodes := startFleet(t, 3)
+	ts := routerServer(t, rt)
+
+	adminBody := func(op, grammar string) []byte {
+		b, _ := json.Marshal(map[string]string{"op": op, "grammar": grammar})
+		return b
+	}
+	resp, err := http.Post(ts.URL+"/v1/admin/grammars", "application/json", bytes.NewReader(adminBody("add", "XML")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var fanout AdminFanoutResponse
+	if err := json.NewDecoder(resp.Body).Decode(&fanout); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || !fanout.OK || len(fanout.Nodes) != 3 {
+		t.Fatalf("admin fanout: status %d ok %v nodes %d: %+v", resp.StatusCode, fanout.OK, len(fanout.Nodes), fanout)
+	}
+	// Every node now serves XML.
+	for _, n := range nodes {
+		if r, pr := postParse(t, n.ts.URL, "XML", "", []byte(lang.XMLSample)); r.StatusCode != http.StatusOK || !pr.Accepted {
+			t.Fatalf("node %s refused XML after fanout: status %d", n.name(), r.StatusCode)
+		}
+	}
+	if h := routerHealth(t, ts.URL); !h.RegistryConverged {
+		t.Fatalf("registry diverged after a full fanout: %+v", h)
+	}
+
+	// Mutate one node behind the router's back: divergence surfaces.
+	resp, err = http.Post(nodes[0].ts.URL+"/v1/admin/grammars", "application/json", bytes.NewReader(adminBody("add", "DOT")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	waitHealth(t, ts.URL, "registry divergence", func(h RouterHealth) bool {
+		return !h.RegistryConverged
+	})
+	if rt.m.diverged.Value() != 1 {
+		t.Fatal("fleet_registry_diverged gauge not raised")
+	}
+
+	// A fleet-wide fanout of the same mutation re-converges (the node
+	// that already has it answers 409 conflict — surfaced, not hidden).
+	resp, err = http.Post(ts.URL+"/v1/admin/grammars", "application/json", bytes.NewReader(adminBody("add", "DOT")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	waitHealth(t, ts.URL, "registry reconvergence", func(h RouterHealth) bool {
+		return h.RegistryConverged
+	})
+}
+
+// TestFleetSessionBusy pins chunk serialization at the router tier: a
+// second chunk for a session with one in flight answers 409 without
+// touching a node.
+func TestFleetSessionBusy(t *testing.T) {
+	rt, _ := startFleet(t, 1)
+	ts := routerServer(t, rt)
+
+	se := rt.sessions.acquire("JSON/busy")
+	se.mu.Lock()
+	defer se.mu.Unlock()
+	resp, _ := postParse(t, ts.URL, "JSON", "session=busy", []byte("{}"))
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("concurrent chunk: status %d, want 409", resp.StatusCode)
+	}
+}
+
+// TestFleetHealthzDown pins the router's own readiness: with every
+// node gone, /healthz answers 503 "down" — a load balancer above a
+// dead fleet sees the truth.
+func TestFleetHealthzDown(t *testing.T) {
+	rt, nodes := startFleet(t, 2)
+	ts := routerServer(t, rt)
+	for _, n := range nodes {
+		n.kill()
+	}
+	waitHealth(t, ts.URL, "fleet down", func(h RouterHealth) bool {
+		return h.Status == "down" && h.ReadyNodes == 0
+	})
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("/healthz with no nodes: status %d, want 503", resp.StatusCode)
+	}
+	// And the data plane refuses with Retry-After rather than hanging.
+	presp, _ := postParse(t, ts.URL, "JSON", "", []byte("{}"))
+	if presp.StatusCode != http.StatusServiceUnavailable || presp.Header.Get("Retry-After") == "" {
+		t.Fatalf("parse with no nodes: status %d Retry-After %q", presp.StatusCode, presp.Header.Get("Retry-After"))
+	}
+}

@@ -1,0 +1,223 @@
+package fleet
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"aspen/internal/telemetry"
+)
+
+// Member health states, as decided by the prober (and accelerated by
+// forwarding failures through the breaker).
+const (
+	stateReady   = int32(iota) // /readyz answers 200: place work here
+	stateUnready               // /readyz answers non-200: alive but refusing new work (draining, retiring)
+	stateDown                  // /readyz unreachable failThreshold times in a row
+)
+
+func stateName(s int32) string {
+	switch s {
+	case stateReady:
+		return "ready"
+	case stateUnready:
+		return "unready"
+	default:
+		return "down"
+	}
+}
+
+// member is one aspend node the router places work on.
+type member struct {
+	name string // display name and ring identity (host:port)
+	base string // http://host:port
+
+	state atomic.Int32
+	fails atomic.Int32 // consecutive probe transport failures
+
+	br breaker
+
+	// grammars is the node's latest /v1/grammars poll: name →
+	// fingerprint, in a sorted "name=fp" list for cheap convergence
+	// comparison. nil until the first successful poll.
+	grammars atomic.Pointer[[]string]
+
+	lastErr atomic.Pointer[string]
+
+	// Per-node series: state-loss transitions, forwards, forwarding
+	// failures, breaker opens.
+	unhealthyTotal *telemetry.Counter
+	forwards       *telemetry.Counter
+	forwardErrs    *telemetry.Counter
+	breakerOpens   *telemetry.Counter
+	readyGauge     *telemetry.Gauge
+}
+
+func newMember(addr string, reg *telemetry.Registry) *member {
+	base := addr
+	if !strings.Contains(base, "://") {
+		base = "http://" + base
+	}
+	name := strings.TrimPrefix(strings.TrimPrefix(base, "http://"), "https://")
+	m := &member{
+		name: name,
+		base: strings.TrimRight(base, "/"),
+		unhealthyTotal: reg.Counter(telemetry.LabeledName("fleet_node_unhealthy_total", "node", name),
+			"transitions of a fleet member out of the ready state, by node"),
+		forwards: reg.Counter(telemetry.LabeledName("fleet_node_forwards_total", "node", name),
+			"requests forwarded to each fleet member"),
+		forwardErrs: reg.Counter(telemetry.LabeledName("fleet_node_forward_errors_total", "node", name),
+			"forwards that failed at the transport or with a retryable 5xx, by node"),
+		breakerOpens: reg.Counter(telemetry.LabeledName("fleet_breaker_opens_total", "node", name),
+			"circuit-breaker open transitions, by node"),
+		readyGauge: reg.Gauge(telemetry.LabeledName("fleet_node_ready", "node", name),
+			"1 while the member's /readyz answers 200"),
+	}
+	m.readyGauge.SetInt(1) // optimistic until the first probe says otherwise
+	return m
+}
+
+// setState publishes a probe verdict, counting ready→non-ready
+// transitions.
+func (m *member) setState(s int32) {
+	prev := m.state.Swap(s)
+	if prev == stateReady && s != stateReady {
+		m.unhealthyTotal.Inc()
+	}
+	if s == stateReady {
+		m.readyGauge.SetInt(1)
+	} else {
+		m.readyGauge.SetInt(0)
+	}
+}
+
+func (m *member) setErr(err error) {
+	if err == nil {
+		m.lastErr.Store(nil)
+		return
+	}
+	s := err.Error()
+	m.lastErr.Store(&s)
+}
+
+// usable reports whether new work may be placed on this member right
+// now: probed ready and not breaker-open.
+func (m *member) usable(now time.Time) bool {
+	return m.state.Load() == stateReady && !m.br.open(now)
+}
+
+// noteForwardFailure records a failed forward against the breaker,
+// counting open transitions; a transport-level failure also flips the
+// member straight to down — the prober will bring it back, but traffic
+// must stop routing here immediately, not after failThreshold probes.
+func (m *member) noteForwardFailure(now time.Time, transport bool) {
+	m.forwardErrs.Inc()
+	if m.br.failure(now) {
+		m.breakerOpens.Inc()
+	}
+	if transport {
+		m.setState(stateDown)
+	}
+}
+
+// probe runs one health-check round: /readyz decides the state, and on
+// a ready node /v1/grammars refreshes the registry view used for
+// placement keys and convergence checks.
+func (m *member) probe(client *http.Client, timeout time.Duration, failThreshold int) {
+	st, err := m.probeReady(client, timeout)
+	switch {
+	case err != nil:
+		m.setErr(err)
+		if f := m.fails.Add(1); int(f) >= failThreshold {
+			m.setState(stateDown)
+		}
+		return
+	case st == http.StatusOK:
+		m.fails.Store(0)
+		m.setErr(nil)
+		m.setState(stateReady)
+		// Deliberately NOT br.success(): readiness is control-plane
+		// health, the breaker is data-plane health. A node can answer
+		// /readyz while its parse path fails; only a real forward
+		// (the half-open probe) closes the breaker.
+	default:
+		m.fails.Store(0)
+		m.setErr(fmt.Errorf("/readyz answered %d", st))
+		m.setState(stateUnready)
+		return
+	}
+	if gs, err := fetchGrammars(client, m.base, timeout); err == nil {
+		m.grammars.Store(&gs)
+	}
+}
+
+func (m *member) probeReady(client *http.Client, timeout time.Duration) (int, error) {
+	req, err := http.NewRequest(http.MethodGet, m.base+"/readyz", nil)
+	if err != nil {
+		return 0, err
+	}
+	ctx, cancel := timeoutCtx(timeout)
+	defer cancel()
+	resp, err := client.Do(req.WithContext(ctx))
+	if err != nil {
+		return 0, err
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	return resp.StatusCode, nil
+}
+
+// grammarList is the subset of serve.GrammarInfo the router reads.
+// Declared locally so the fleet package has no import cycle with
+// internal/serve.
+type grammarList []struct {
+	Name        string `json:"name"`
+	Fingerprint string `json:"fingerprint"`
+}
+
+// fetchGrammars polls a node's /v1/grammars into the sorted
+// "name=fingerprint" form members compare for convergence.
+func fetchGrammars(client *http.Client, base string, timeout time.Duration) ([]string, error) {
+	req, err := http.NewRequest(http.MethodGet, base+"/v1/grammars", nil)
+	if err != nil {
+		return nil, err
+	}
+	ctx, cancel := timeoutCtx(timeout)
+	defer cancel()
+	resp, err := client.Do(req.WithContext(ctx))
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, resp.Body)
+		return nil, fmt.Errorf("/v1/grammars answered %d", resp.StatusCode)
+	}
+	var infos grammarList
+	if err := json.NewDecoder(resp.Body).Decode(&infos); err != nil {
+		return nil, err
+	}
+	out := make([]string, 0, len(infos))
+	for _, g := range infos {
+		out = append(out, g.Name+"="+g.Fingerprint)
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+// fingerprintOf extracts the fingerprint for name from a member's
+// polled registry view ("" when unknown).
+func fingerprintOf(gs []string, name string) string {
+	prefix := name + "="
+	for _, g := range gs {
+		if strings.HasPrefix(g, prefix) {
+			return g[len(prefix):]
+		}
+	}
+	return ""
+}

@@ -1,0 +1,57 @@
+package fleet
+
+import (
+	"aspen/internal/telemetry"
+)
+
+// Router span phases, in lifecycle order: choosing a node, the forward
+// itself, retry overhead (backoff sleeps + re-sends), and session
+// failover (checkpoint fetch + ship + resume).
+const (
+	phasePick = iota
+	phaseForward
+	phaseRetry
+	phaseFailover
+	numPhases
+)
+
+var phaseNames = []string{"pick", "forward", "retry", "failover"}
+
+// Phase latency buckets: 100 ns … ~6.7 s, ×4 per step (matches the
+// node-side serve_phase_ns resolution so cross-tier comparisons line
+// up bucket for bucket).
+var phaseNSBuckets = telemetry.ExponentialBuckets(100, 4, 14)
+
+// routerMetrics are the fleet-level series; per-node series live on
+// each member. All resolved at construction so the forward path
+// touches atomics only.
+type routerMetrics struct {
+	requests  *telemetry.Counter // requests admitted by the router
+	retries   *telemetry.Counter // forward attempts beyond each request's first
+	failovers *telemetry.Counter // sessions moved to a replacement node
+	noNodes   *telemetry.Counter // requests refused 503: no usable member
+	sessions  *telemetry.Gauge   // sessions currently tracked (sticky placements)
+	diverged  *telemetry.Gauge   // 1 while ready members disagree on the grammar registry
+	ready     *telemetry.Gauge   // members currently probed ready
+
+	phaseNS [numPhases]*telemetry.Histogram
+}
+
+func newRouterMetrics(reg *telemetry.Registry) routerMetrics {
+	m := routerMetrics{
+		requests:  reg.Counter("fleet_requests_total", "requests admitted by the fleet router"),
+		retries:   reg.Counter("fleet_retries_total", "forward attempts beyond each request's first"),
+		failovers: reg.Counter("fleet_failovers_total", "durable sessions resumed on a replacement node"),
+		noNodes:   reg.Counter("fleet_no_node_total", "requests refused 503 because no usable member remained"),
+		sessions:  reg.Gauge("fleet_sessions", "durable sessions with a sticky placement tracked by the router"),
+		diverged:  reg.Gauge("fleet_registry_diverged", "1 while ready members disagree on the grammar registry"),
+		ready:     reg.Gauge("fleet_nodes_ready", "members currently probed ready"),
+	}
+	for i := range m.phaseNS {
+		m.phaseNS[i] = reg.Histogram(
+			telemetry.LabeledName("fleet_phase_ns", "phase", phaseNames[i]),
+			"router request phase latency (ns): node pick, forward, retry overhead, session failover",
+			phaseNSBuckets)
+	}
+	return m
+}

@@ -1,0 +1,81 @@
+package fleet
+
+import (
+	"sort"
+	"strconv"
+)
+
+// Consistent-hash ring. Each member contributes vnodes virtual points
+// (FNV-1a of "name#i") on a 64-bit ring; a key is owned by the first
+// point clockwise from its hash. Placement is therefore stable under
+// membership health changes — when a node dies, only the keys it owned
+// move (to the next point clockwise), and they move back when it
+// recovers, which is what makes health-checked placement cheap: the
+// ring itself never rebuilds, lookups just skip unusable members.
+//
+// Keys are grammar identities: the compiled machine's
+// HDPDA.Fingerprint when the fleet has reported one (identical on
+// every node, because compilation is deterministic), else the grammar
+// name — and durable sessions fold the session ID in, so one grammar's
+// sessions spread across nodes while each individual session stays
+// sticky.
+type ring struct {
+	points []ringPoint
+}
+
+type ringPoint struct {
+	hash uint64
+	m    *member
+}
+
+// fnv64 is the 64-bit FNV-1a the ring and keys hash with.
+func fnv64(parts ...string) uint64 {
+	h := uint64(0xcbf29ce484222325)
+	for _, p := range parts {
+		for i := 0; i < len(p); i++ {
+			h = (h ^ uint64(p[i])) * 0x100000001b3
+		}
+		h = (h ^ 0x1f) * 0x100000001b3 // part separator, so ("ab","c") != ("a","bc")
+	}
+	return h
+}
+
+// newRing places every member's virtual points and sorts the ring.
+func newRing(members []*member, vnodes int) *ring {
+	if vnodes < 1 {
+		vnodes = 1
+	}
+	r := &ring{points: make([]ringPoint, 0, len(members)*vnodes)}
+	for _, m := range members {
+		for i := 0; i < vnodes; i++ {
+			r.points = append(r.points, ringPoint{hash: fnv64(m.name, strconv.Itoa(i)), m: m})
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool { return r.points[i].hash < r.points[j].hash })
+	return r
+}
+
+// ranked returns every distinct member in preference order for key:
+// the owner first, then each successive distinct member clockwise.
+// Callers filter by health/breaker state — the ring is pure placement.
+func (r *ring) ranked(key uint64, out []*member) []*member {
+	out = out[:0]
+	if len(r.points) == 0 {
+		return out
+	}
+	start := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= key })
+	for i := 0; i < len(r.points); i++ {
+		m := r.points[(start+i)%len(r.points)].m
+		seen := false
+		for _, o := range out {
+			if o == m {
+				seen = true
+				break
+			}
+		}
+		if !seen {
+			out = append(out, m)
+		}
+	}
+	return out
+}

@@ -1,0 +1,132 @@
+package fleet
+
+import (
+	"testing"
+	"time"
+
+	"aspen/internal/telemetry"
+)
+
+func testMembers(n int) []*member {
+	reg := telemetry.NewRegistry()
+	names := []string{"alpha:1", "bravo:2", "charlie:3", "delta:4", "echo:5"}
+	ms := make([]*member, 0, n)
+	for i := 0; i < n; i++ {
+		ms = append(ms, newMember(names[i%len(names)], reg))
+	}
+	return ms
+}
+
+// TestRingRankedCoversAllMembers pins that ranked() is a full
+// preference order: every member appears exactly once, owner first.
+func TestRingRankedCoversAllMembers(t *testing.T) {
+	ms := testMembers(5)
+	r := newRing(ms, DefaultVNodes)
+	for _, key := range []uint64{0, 1, fnv64("JSON"), fnv64("XML", "sess-42"), ^uint64(0)} {
+		got := r.ranked(key, nil)
+		if len(got) != len(ms) {
+			t.Fatalf("ranked(%d) returned %d members, want %d", key, len(got), len(ms))
+		}
+		seen := map[*member]bool{}
+		for _, m := range got {
+			if seen[m] {
+				t.Fatalf("ranked(%d) repeated member %s", key, m.name)
+			}
+			seen[m] = true
+		}
+	}
+}
+
+// TestRingPlacementStable pins the consistent-hashing property the
+// fleet depends on: rankings are deterministic, and the owner for a
+// key never changes merely because other keys exist.
+func TestRingPlacementStable(t *testing.T) {
+	ms := testMembers(5)
+	r1 := newRing(ms, DefaultVNodes)
+	r2 := newRing(ms, DefaultVNodes)
+	for i := 0; i < 100; i++ {
+		key := fnv64("grammar", string(rune('a'+i%26)), "x")
+		a, b := r1.ranked(key, nil), r2.ranked(key, nil)
+		for j := range a {
+			if a[j] != b[j] {
+				t.Fatalf("ranking for key %d differs between identical rings at position %d", key, j)
+			}
+		}
+	}
+}
+
+// TestRingSpreadsKeys pins that distinct sessions of one grammar land
+// on different owners (the point of folding the session ID into the
+// key).
+func TestRingSpreadsKeys(t *testing.T) {
+	ms := testMembers(5)
+	r := newRing(ms, DefaultVNodes)
+	owners := map[*member]int{}
+	for i := 0; i < 200; i++ {
+		key := fnv64("fp-json", "session-"+string(rune('a'+i%26))+string(rune('0'+i%10)))
+		owners[r.ranked(key, nil)[0]]++
+	}
+	if len(owners) < 4 {
+		t.Fatalf("200 sessions landed on only %d/5 members: %v", len(owners), owners)
+	}
+}
+
+// TestBreakerStateMachine pins closed → open at threshold → half-open
+// single probe after cooldown → closed on probe success / re-armed on
+// probe failure.
+func TestBreakerStateMachine(t *testing.T) {
+	b := breaker{threshold: 3, cooldown: time.Minute}
+	now := time.Now()
+
+	for i := 0; i < 3; i++ {
+		if !b.allow(now) {
+			t.Fatalf("breaker refused while closed (failure %d)", i)
+		}
+		opened := b.failure(now)
+		if want := i == 2; opened != want {
+			t.Fatalf("failure %d opened=%v, want %v", i, opened, want)
+		}
+	}
+	if b.allow(now) {
+		t.Fatal("breaker allowed a forward while open")
+	}
+	if !b.open(now) {
+		t.Fatal("open() = false right after opening")
+	}
+
+	// After the cooldown: exactly one probe goes through.
+	later := now.Add(2 * time.Minute)
+	if !b.allow(later) {
+		t.Fatal("breaker refused the half-open probe")
+	}
+	if b.allow(later) {
+		t.Fatal("breaker allowed a second concurrent half-open probe")
+	}
+	// Probe fails: re-armed, still refusing.
+	if opened := b.failure(later); opened {
+		t.Fatal("failed probe counted as a fresh open transition")
+	}
+	if b.allow(later) {
+		t.Fatal("breaker allowed traffic right after a failed probe")
+	}
+	// Next probe succeeds: closed, traffic flows.
+	again := later.Add(2 * time.Minute)
+	if !b.allow(again) {
+		t.Fatal("breaker refused the second half-open probe")
+	}
+	b.success()
+	if !b.allow(again) || b.open(again) {
+		t.Fatal("breaker still refusing after a successful probe")
+	}
+}
+
+// TestFnv64PartSeparation pins that the part separator keeps composite
+// keys unambiguous.
+func TestFnv64PartSeparation(t *testing.T) {
+	if fnv64("ab", "c") == fnv64("a", "bc") {
+		t.Fatal(`fnv64("ab","c") == fnv64("a","bc"): parts not separated`)
+	}
+	if fnv64("x") == fnv64("x", "") {
+		t.Fatal(`fnv64("x") == fnv64("x",""): empty part indistinct`)
+	}
+}

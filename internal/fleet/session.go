@@ -1,0 +1,322 @@
+package fleet
+
+import (
+	"context"
+	"net/http"
+	"net/url"
+	"sync"
+	"time"
+
+	"aspen/internal/telemetry"
+)
+
+// Durable-session routing. A session is sticky: every chunk goes to
+// the node that owns it, because only that node holds the stream's
+// durable checkpoint. The router tracks each session's owner and a
+// cached copy of its latest sealed checkpoint image; when the owner
+// dies mid-stream, the image ships to the next ranked node (PUT
+// /v1/sessions/{g}/{id}/checkpoint) and the unacknowledged chunk is
+// re-sent there.
+//
+// The cache-update ordering is the correctness core: after the owner
+// acknowledges a chunk (200 partial), the router fetches the owner's
+// fresh checkpoint BEFORE relaying the ack to the client. So at every
+// instant, the cached image covers every byte any client believes is
+// durable. If the fetch fails (the owner died in the window between
+// persisting and answering the fetch), the ack is NOT relayed —
+// instead the router fails over onto the previous image and re-sends
+// the chunk, which is exactly the single-node crash-recovery
+// semantics: un-acked work is replayed, acked work is never lost.
+//
+// Wrong-machine (410) and torn-image (422) answers from a replacement
+// PUT relay to the client non-retryable: they mean the fleet's grammar
+// builds diverged, which retrying cannot fix.
+
+// session is one durable stream's routing state.
+type session struct {
+	mu    sync.Mutex // serializes chunks (concurrent chunk = 409, like the node)
+	owner *member    // current sticky owner, nil until first placed
+	image []byte     // latest fetched checkpoint image, nil before the first ack
+}
+
+// sessionTable tracks live sessions by "grammar/id".
+type sessionTable struct {
+	mu sync.Mutex
+	s  map[string]*session
+	rm *routerMetrics
+}
+
+func (t *sessionTable) init(rm *routerMetrics) {
+	t.s = make(map[string]*session)
+	t.rm = rm
+}
+
+// acquire returns the session entry, creating it on first use.
+func (t *sessionTable) acquire(key string) *session {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	se := t.s[key]
+	if se == nil {
+		se = &session{}
+		t.s[key] = se
+		t.rm.sessions.SetInt(int64(len(t.s)))
+	}
+	return se
+}
+
+// drop forgets a concluded session.
+func (t *sessionTable) drop(key string) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	delete(t.s, key)
+	t.rm.sessions.SetInt(int64(len(t.s)))
+}
+
+// placements snapshots session → owner-node for /healthz (the chaos
+// harness reads this to decide which node to kill).
+func (t *sessionTable) placements() map[string]string {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if len(t.s) == 0 {
+		return nil
+	}
+	out := make(map[string]string, len(t.s))
+	for k, se := range t.s {
+		if o := se.owner; o != nil {
+			out[k] = o.name
+		}
+	}
+	return out
+}
+
+// serveSession routes one durable-session chunk: sticky forward to the
+// owner, with checkpoint-fetch-before-ack and failover when the owner
+// is gone.
+func (rt *Router) serveSession(ctx context.Context, w http.ResponseWriter, sp *span, grammar, id, rawQuery string, body []byte) {
+	skey := grammar + "/" + id
+	se := rt.sessions.acquire(skey)
+	if !se.mu.TryLock() {
+		sp.status, sp.outcome = http.StatusConflict, outcomeDenied
+		httpError(w, http.StatusConflict, "session %q has a chunk in flight", id)
+		return
+	}
+	defer se.mu.Unlock()
+
+	key := fnv64(rt.fingerprintFor(grammar), id)
+	path := "/v1/parse/" + grammar + "?" + rawQuery
+	ckptPath := "/v1/sessions/" + grammar + "/" + url.PathEscape(id) + "/checkpoint"
+	final := isFinal(rawQuery)
+	trace := telemetry.TraceIDString(sp.id)
+	failedOver := false
+
+	tried := make(map[*member]bool)
+	for attempt := 0; ; attempt++ {
+		// Resolve the owner. A dead owner (or none yet) means placing on
+		// the best usable candidate — with a checkpoint ship when the
+		// session has history.
+		t0 := time.Now()
+		owner := se.owner
+		if owner == nil || !owner.usable(time.Now()) || tried[owner] {
+			prev := se.owner
+			repl, done := rt.placeSession(ctx, w, sp, se, key, ckptPath, tried, trace)
+			if done {
+				return // placeSession already answered (non-retryable or no nodes)
+			}
+			if prev != nil && repl != prev {
+				failedOver = true
+			}
+			se.owner = repl
+			owner = repl
+		}
+		ph := phasePick
+		if attempt > 0 {
+			ph = phaseRetry
+		}
+		sp.addSince(ph, t0)
+
+		t0 = time.Now()
+		status, hdr, respBody, err := rt.roundTrip(ctx, owner, http.MethodPost, path, body, trace)
+		sp.addSince(phaseForward, t0)
+
+		wait := time.Duration(0)
+		switch {
+		case err != nil:
+			if ctx.Err() != nil {
+				sp.status, sp.outcome = http.StatusGatewayTimeout, outcomeTimeout
+				httpError(w, http.StatusGatewayTimeout, "request deadline exhausted forwarding session %q", id)
+				return
+			}
+			owner.noteForwardFailure(time.Now(), true)
+			tried[owner] = true
+		case status == http.StatusTooManyRequests:
+			owner.br.success()
+			wait = retryAfter(hdr)
+		case retryableStatus(status):
+			owner.noteForwardFailure(time.Now(), false)
+			tried[owner] = true
+			wait = retryAfter(hdr)
+		case status == http.StatusOK && !final:
+			// Partial ack. Fetch the owner's fresh checkpoint BEFORE the
+			// client hears the ack; a failed fetch voids the ack and the
+			// chunk is re-sent on a replacement.
+			owner.br.success()
+			t0 = time.Now()
+			img, ferr := rt.fetchCheckpoint(ctx, owner, ckptPath, trace)
+			sp.addSince(phaseForward, t0)
+			if ferr != nil {
+				owner.noteForwardFailure(time.Now(), true)
+				tried[owner] = true
+				break // retry loop: failover and re-send this chunk
+			}
+			se.image = img
+			if failedOver {
+				sp.outcome = outcomeFailover
+			}
+			sp.status = status
+			relay(w, status, hdr, respBody)
+			return
+		default:
+			// Conclusion (200 final), client errors, 410, 422, 500: relay
+			// verbatim. A concluded session leaves the table.
+			owner.br.success()
+			if final && status == http.StatusOK {
+				rt.sessions.drop(skey)
+			}
+			if failedOver {
+				sp.outcome = outcomeFailover
+			}
+			sp.status = status
+			relay(w, status, hdr, respBody)
+			return
+		}
+
+		if attempt >= rt.opt.MaxRetries {
+			sp.status, sp.outcome = http.StatusBadGateway, outcomeDenied
+			httpError(w, http.StatusBadGateway, "exhausted %d forward attempts for session %q", attempt+1, id)
+			return
+		}
+		rt.m.retries.Inc()
+		sp.retries++
+		t0 = time.Now()
+		ok := rt.backoff(ctx, attempt, wait)
+		sp.addSince(phaseRetry, t0)
+		if !ok {
+			sp.status, sp.outcome = http.StatusGatewayTimeout, outcomeTimeout
+			httpError(w, http.StatusGatewayTimeout, "request deadline exhausted retrying session %q", id)
+			return
+		}
+	}
+}
+
+// placeSession picks (or re-picks) a session's node. For a session
+// with history this is failover: prefer a fresh checkpoint from the
+// old owner when it still answers (it may merely be draining), fall
+// back to the router's cached image, ship it to the replacement, and
+// only then hand the replacement back for the chunk re-send. Shipping
+// is idempotent — a double failover PUTs the same sealed image again,
+// which the store happily overwrites.
+//
+// Returns (node, false) on success; (nil, true) when it already wrote
+// the client answer (no usable nodes, or the replacement refused the
+// image non-retryably: 410 wrong machine, 422 torn).
+func (rt *Router) placeSession(ctx context.Context, w http.ResponseWriter, sp *span, se *session, key uint64, ckptPath string, tried map[*member]bool, trace string) (*member, bool) {
+	hasHistory := se.image != nil || se.owner != nil
+	t0 := time.Now()
+	defer func() {
+		if hasHistory {
+			sp.addSince(phaseFailover, t0)
+		}
+	}()
+
+	// Best image available: the old owner's live checkpoint when
+	// reachable (it may have sealed state newer than our cache — e.g.
+	// an ack we relayed just before it started draining), else the
+	// cache.
+	image := se.image
+	if old := se.owner; old != nil && !tried[old] {
+		if img, err := rt.fetchCheckpoint(ctx, old, ckptPath, trace); err == nil {
+			image = img
+		}
+	}
+
+	for {
+		usable, _ := rt.candidatesFor(key)
+		var repl *member
+		for _, m := range usable {
+			if !tried[m] {
+				repl = m
+				break
+			}
+		}
+		if repl == nil {
+			sp.status, sp.outcome = http.StatusServiceUnavailable, outcomeDenied
+			rt.m.noNodes.Inc()
+			w.Header().Set("Retry-After", "1")
+			httpError(w, http.StatusServiceUnavailable, "no usable fleet member for session failover")
+			return nil, true
+		}
+		if repl == se.owner || image == nil {
+			// Same node back (it recovered), or a fresh session with no
+			// state to ship: nothing to transfer.
+			if hasHistory && repl != se.owner {
+				rt.m.failovers.Inc()
+			}
+			return repl, false
+		}
+
+		status, hdr, body, err := rt.roundTrip(ctx, repl, http.MethodPut, ckptPath, image, trace)
+		switch {
+		case err != nil:
+			repl.noteForwardFailure(time.Now(), true)
+			tried[repl] = true
+			continue
+		case retryableStatus(status) || status == http.StatusTooManyRequests:
+			if status != http.StatusTooManyRequests {
+				repl.noteForwardFailure(time.Now(), false)
+			}
+			tried[repl] = true
+			continue
+		case status == http.StatusOK:
+			repl.br.success()
+			rt.m.failovers.Inc()
+			return repl, false
+		default:
+			// 410 wrong machine / 422 torn / anything else: the fleet's
+			// builds disagree — retrying elsewhere cannot help the client.
+			repl.br.success()
+			sp.status, sp.outcome = status, outcomeDenied
+			relay(w, status, hdr, body)
+			return nil, true
+		}
+	}
+}
+
+// fetchCheckpoint GETs a session's sealed checkpoint image from a
+// member.
+func (rt *Router) fetchCheckpoint(ctx context.Context, m *member, ckptPath, trace string) ([]byte, error) {
+	status, _, body, err := rt.roundTrip(ctx, m, http.MethodGet, ckptPath, nil, trace)
+	if err != nil {
+		return nil, err
+	}
+	if status != http.StatusOK {
+		return nil, &checkpointError{status: status}
+	}
+	return body, nil
+}
+
+type checkpointError struct{ status int }
+
+func (e *checkpointError) Error() string {
+	return "checkpoint fetch answered " + http.StatusText(e.status)
+}
+
+// isFinal reports whether the chunk query marks the session's
+// conclusion (?final=1, matching the node's convention).
+func isFinal(rawQuery string) bool {
+	q, err := url.ParseQuery(rawQuery)
+	if err != nil {
+		return false
+	}
+	v := q.Get("final")
+	return v != "" && v != "0" && v != "false"
+}

@@ -113,7 +113,13 @@ func (s *Server) publish(old, next *tenantSet) {
 // later admission resolves the replacement entry — no request can
 // register on g after its Wait begins.
 func (s *Server) retireEntry(g *grammarEntry) {
+	// Readiness dips while the retirement is in flight (incremented
+	// here, synchronously, so the mutation's caller observes the blip
+	// before its response): a router health-checking /readyz pauses new
+	// placements until the old entry has fully drained.
+	s.retiring.Add(1)
 	go func() {
+		defer s.retiring.Add(-1)
 		s.drainMu.Lock()
 		//lint:ignore SA2001 empty write-section is the barrier itself
 		s.drainMu.Unlock()

@@ -70,6 +70,11 @@ func (s *Server) buildMux() *http.ServeMux {
 	mux.HandleFunc("POST /v1/admin/grammars", s.handleAdminGrammars)
 	mux.HandleFunc("GET /v1/admin/grammars", s.handleGrammars)
 	mux.HandleFunc("GET /healthz", s.handleHealth)
+	mux.HandleFunc("GET /readyz", s.handleReady)
+	// Session checkpoint handoff: a fleet router ships sealed session
+	// images between nodes through these (see handoff.go).
+	mux.HandleFunc("GET /v1/sessions/{grammar}/{id}/checkpoint", s.handleSessionGet)
+	mux.HandleFunc("PUT /v1/sessions/{grammar}/{id}/checkpoint", s.handleSessionPut)
 	// Flight recorder: the last N completed requests with per-phase
 	// latency attribution, joinable to X-Aspen-Trace (see trace.go).
 	mux.Handle("GET /v1/debug/requests", s.flight)
@@ -112,6 +117,32 @@ func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, status, h)
 }
 
+// ReadyResponse is the /readyz body. Readiness is routing advice, not
+// liveness: 503 here means "place new work elsewhere", while /healthz
+// keeps answering 200 for the node's own sake.
+type ReadyResponse struct {
+	Ready bool `json:"ready"`
+	// Reason explains a false Ready: "draining", "retiring", or
+	// "unready" (SetReady(false), e.g. SIGTERM received).
+	Reason string `json:"reason,omitempty"`
+}
+
+func (s *Server) handleReady(w http.ResponseWriter, _ *http.Request) {
+	if s.Ready() {
+		writeJSON(w, http.StatusOK, ReadyResponse{Ready: true})
+		return
+	}
+	reason := "unready"
+	switch {
+	case s.draining.Load():
+		reason = "draining"
+	case s.retiring.Load() > 0:
+		reason = "retiring"
+	}
+	w.Header().Set("Retry-After", "1")
+	writeJSON(w, http.StatusServiceUnavailable, ReadyResponse{Reason: reason})
+}
+
 func (s *Server) handleGrammars(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, s.Grammars())
 }
@@ -119,12 +150,12 @@ func (s *Server) handleGrammars(w http.ResponseWriter, _ *http.Request) {
 func (s *Server) handleParse(w http.ResponseWriter, r *http.Request) {
 	// The span opens before admission (so denials carry X-Aspen-Trace
 	// too) and records on every exit path.
-	sp := s.beginSpan(w)
+	sp := s.beginSpan(w, r)
 	defer s.recordSpan(&sp)
 	sp.grammar = r.PathValue("grammar")
 	g, status, denial := s.admitRequest(sp.grammar)
 	if g == nil {
-		if status == http.StatusTooManyRequests {
+		if denial.retryAfter != "" {
 			w.Header().Set("Retry-After", denial.retryAfter)
 		}
 		s.writeErr(w, &sp, denial.entry, status, outcomeDenied, denial.msg)
@@ -250,7 +281,10 @@ func (s *Server) admitRequest(name string) (*grammarEntry, int, admitDenial) {
 	}
 	if s.draining.Load() {
 		s.m.drainDeny.Inc()
-		return nil, http.StatusServiceUnavailable, admitDenial{msg: "server is draining"}
+		// Drain 503s carry Retry-After: a client (or fleet router) that
+		// raced the readiness flip should retry elsewhere promptly, not
+		// treat the denial as terminal.
+		return nil, http.StatusServiceUnavailable, admitDenial{msg: "server is draining", retryAfter: "1"}
 	}
 	// Backpressure: a full waiting room answers immediately instead of
 	// queueing without bound.

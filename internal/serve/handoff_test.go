@@ -1,0 +1,277 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"aspen/internal/lang"
+	"aspen/internal/store"
+)
+
+// newHandoffServer boots a durable single- or multi-grammar server for
+// the handoff-endpoint tests.
+func newHandoffServer(t *testing.T, langs ...*lang.Language) (*Server, *httptest.Server) {
+	t.Helper()
+	st, err := store.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { st.Close() })
+	return newTestServer(t, Options{Languages: langs, Store: st})
+}
+
+func putImage(t *testing.T, ts *httptest.Server, grammar, id string, img []byte) *http.Response {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodPut,
+		ts.URL+"/v1/sessions/"+grammar+"/"+id+"/checkpoint", bytes.NewReader(img))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { resp.Body.Close() })
+	return resp
+}
+
+// TestSessionHandoffRoundTrip pins the file-transfer contract: a
+// checkpoint GET from one node, PUT to another, and the session
+// concludes on the receiver byte-identically to a whole-document parse.
+func TestSessionHandoffRoundTrip(t *testing.T) {
+	doc := []byte(lang.JSONSample)
+	half := len(doc) / 2
+
+	_, tsA := newHandoffServer(t, lang.JSON())
+	_, tsB := newHandoffServer(t, lang.JSON())
+
+	// Reference: whole-document parse on the receiver.
+	refResp, ref := postWhole(t, tsB, "JSON", doc)
+	if refResp.StatusCode != http.StatusOK || !ref.Accepted {
+		t.Fatalf("reference parse: status %d accepted %v", refResp.StatusCode, ref.Accepted)
+	}
+
+	// Feed half a session on node A, then ship its checkpoint to B.
+	resp, err := http.Post(tsA.URL+"/v1/parse/JSON?session=ship", "application/octet-stream", bytes.NewReader(doc[:half]))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("session chunk: status %d", resp.StatusCode)
+	}
+
+	getResp, err := http.Get(tsA.URL + "/v1/sessions/JSON/ship/checkpoint")
+	if err != nil {
+		t.Fatal(err)
+	}
+	img, _ := io.ReadAll(getResp.Body)
+	getResp.Body.Close()
+	if getResp.StatusCode != http.StatusOK {
+		t.Fatalf("checkpoint GET: status %d: %s", getResp.StatusCode, img)
+	}
+	if got := getResp.Header.Get("X-Aspen-Session-Bytes"); got == "" || got == "0" {
+		t.Fatalf("checkpoint GET missing durable offset header, got %q", got)
+	}
+
+	put := putImage(t, tsB, "JSON", "ship", img)
+	if put.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(put.Body)
+		t.Fatalf("checkpoint PUT: status %d: %s", put.StatusCode, body)
+	}
+	var ack HandoffResponse
+	if err := json.NewDecoder(put.Body).Decode(&ack); err != nil {
+		t.Fatal(err)
+	}
+	if ack.Bytes != half {
+		t.Fatalf("PUT ack bytes = %d, want %d", ack.Bytes, half)
+	}
+
+	// Conclude on B; the stitched result must match the whole parse.
+	resp, err = http.Post(tsB.URL+"/v1/parse/JSON?session=ship&final=1", "application/octet-stream", bytes.NewReader(doc[half:]))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var final ParseResponse
+	if err := json.NewDecoder(resp.Body).Decode(&final); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || !final.Accepted {
+		t.Fatalf("resumed conclusion: status %d accepted %v err %q", resp.StatusCode, final.Accepted, final.Error)
+	}
+	if final.Bytes != ref.Bytes || final.Tokens != ref.Tokens ||
+		final.MaxStackDepth != ref.MaxStackDepth || final.Reports != ref.Reports {
+		t.Fatalf("resumed conclusion differs from whole parse:\nresumed: %+v\n  whole: %+v", final, ref)
+	}
+}
+
+// TestSessionHandoffTornUpload pins the torn-transfer contract: a
+// truncated or bit-flipped image is refused 422 and nothing is stored.
+func TestSessionHandoffTornUpload(t *testing.T) {
+	doc := []byte(lang.JSONSample)
+	_, tsA := newHandoffServer(t, lang.JSON())
+	sB, tsB := newHandoffServer(t, lang.JSON())
+
+	resp, err := http.Post(tsA.URL+"/v1/parse/JSON?session=torn", "application/octet-stream", bytes.NewReader(doc[:len(doc)/2]))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	getResp, err := http.Get(tsA.URL + "/v1/sessions/JSON/torn/checkpoint")
+	if err != nil {
+		t.Fatal(err)
+	}
+	img, _ := io.ReadAll(getResp.Body)
+	getResp.Body.Close()
+
+	for name, bad := range map[string][]byte{
+		"truncated": img[:len(img)/2],
+		"bitflip":   append(append([]byte{}, img[:len(img)-3]...), img[len(img)-3]^0x40, img[len(img)-2], img[len(img)-1]),
+		"garbage":   []byte("not a checkpoint"),
+	} {
+		if got := putImage(t, tsB, "JSON", "torn", bad).StatusCode; got != http.StatusUnprocessableEntity {
+			t.Errorf("%s upload: status %d, want 422", name, got)
+		}
+	}
+	// Nothing was stored: the receiver has no image for the session.
+	if keys, _ := sB.st.Checkpoints.Keys(); len(keys) != 0 {
+		t.Fatalf("torn uploads left stored checkpoints: %v", keys)
+	}
+	// And the intact image still lands fine afterwards.
+	if got := putImage(t, tsB, "JSON", "torn", img).StatusCode; got != http.StatusOK {
+		t.Fatalf("intact upload after torn attempts: status %d, want 200", got)
+	}
+}
+
+// TestSessionHandoffWrongMachine pins restore-on-wrong-node: an image
+// taken on one grammar's machine is refused 410 by a node serving a
+// different build — at upload time, before any resume could go wrong.
+func TestSessionHandoffWrongMachine(t *testing.T) {
+	doc := []byte(lang.JSONSample)
+	_, tsA := newHandoffServer(t, lang.JSON())
+	// The receiver serves XML under the name... no — it serves both, and
+	// the image is PUT under the XML grammar, whose machine fingerprint
+	// cannot match a JSON-taken checkpoint.
+	_, tsB := newHandoffServer(t, lang.JSON(), lang.XML())
+
+	resp, err := http.Post(tsA.URL+"/v1/parse/JSON?session=wrong", "application/octet-stream", bytes.NewReader(doc[:len(doc)/2]))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	getResp, err := http.Get(tsA.URL + "/v1/sessions/JSON/wrong/checkpoint")
+	if err != nil {
+		t.Fatal(err)
+	}
+	img, _ := io.ReadAll(getResp.Body)
+	getResp.Body.Close()
+
+	put := putImage(t, tsB, "XML", "wrong", img)
+	body, _ := io.ReadAll(put.Body)
+	if put.StatusCode != http.StatusGone {
+		t.Fatalf("wrong-machine upload: status %d (%s), want 410", put.StatusCode, body)
+	}
+}
+
+// TestReadyzLifecycle pins the readiness state machine: ready while
+// serving, unready (503 + Retry-After) after SetReady(false) while
+// /healthz stays 200, and unready for good once draining.
+func TestReadyzLifecycle(t *testing.T) {
+	s, ts := newTestServer(t, Options{Languages: []*lang.Language{lang.JSON()}})
+
+	check := func(wantStatus int, wantReason string) {
+		t.Helper()
+		resp, err := http.Get(ts.URL + "/readyz")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != wantStatus {
+			t.Fatalf("/readyz status = %d, want %d", resp.StatusCode, wantStatus)
+		}
+		var rr ReadyResponse
+		if err := json.NewDecoder(resp.Body).Decode(&rr); err != nil {
+			t.Fatal(err)
+		}
+		if rr.Reason != wantReason {
+			t.Fatalf("/readyz reason = %q, want %q", rr.Reason, wantReason)
+		}
+		if wantStatus != http.StatusOK && resp.Header.Get("Retry-After") == "" {
+			t.Fatal("unready /readyz missing Retry-After")
+		}
+	}
+
+	check(http.StatusOK, "")
+	s.SetReady(false)
+	check(http.StatusServiceUnavailable, "unready")
+	// Liveness is unaffected: the node still parses and reports healthy.
+	if resp, pr := postWhole(t, ts, "JSON", []byte(lang.JSONSample)); resp.StatusCode != http.StatusOK || !pr.Accepted {
+		t.Fatalf("unready node refused a parse: status %d", resp.StatusCode)
+	}
+	hresp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hresp.Body.Close()
+	if hresp.StatusCode != http.StatusOK {
+		t.Fatalf("/healthz = %d while merely unready, want 200", hresp.StatusCode)
+	}
+	s.SetReady(true)
+	check(http.StatusOK, "")
+
+	drainDone := make(chan error, 1)
+	go func() { drainDone <- s.Drain(t.Context()) }()
+	<-drainDone
+	check(http.StatusServiceUnavailable, "draining")
+	// Drain denials carry Retry-After now.
+	resp, err := http.Post(ts.URL+"/v1/parse/JSON", "application/octet-stream", bytes.NewReader([]byte("{}")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable || resp.Header.Get("Retry-After") == "" {
+		t.Fatalf("drain denial: status %d Retry-After %q, want 503 with Retry-After", resp.StatusCode, resp.Header.Get("Retry-After"))
+	}
+}
+
+// TestTraceIDReusedAcrossHop pins the router-hop correlation contract:
+// a request arriving with X-Aspen-Trace keeps that ID in its response
+// and flight-recorder entry instead of being re-stamped.
+func TestTraceIDReusedAcrossHop(t *testing.T) {
+	_, ts := newTestServer(t, Options{Languages: []*lang.Language{lang.JSON()}})
+	const inbound = "00000000deadbeef"
+	req, err := http.NewRequest(http.MethodPost, ts.URL+"/v1/parse/JSON", bytes.NewReader([]byte(lang.JSONSample)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set(TraceHeader, inbound)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if got := resp.Header.Get(TraceHeader); got != inbound {
+		t.Fatalf("response trace ID = %q, want the forwarded %q", got, inbound)
+	}
+	// A garbage inbound header falls back to a fresh ID, never empty.
+	req, _ = http.NewRequest(http.MethodPost, ts.URL+"/v1/parse/JSON", bytes.NewReader([]byte(lang.JSONSample)))
+	req.Header.Set(TraceHeader, "not-hex!")
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if got := resp.Header.Get(TraceHeader); got == "" || got == "not-hex!" {
+		t.Fatalf("garbage inbound trace produced %q, want a fresh valid ID", got)
+	}
+}

@@ -267,6 +267,12 @@ func newGrammarEntry(s *Server, l *lang.Language, fabricShare int) (*grammarEntr
 // GrammarInfo is the /v1/grammars description of one loaded tenant.
 type GrammarInfo struct {
 	Name string `json:"name"`
+	// Fingerprint is the compiled HDPDA's structural fingerprint
+	// (16 hex digits). Compilation is deterministic, so every node that
+	// compiles the same grammar reports the same value — the fleet
+	// router hashes it for consistent placement and uses disagreement
+	// between nodes as a registry-divergence signal.
+	Fingerprint string `json:"fingerprint"`
 	// Compiled machine shape (paper Tables III/IV).
 	States        int `json:"states"`
 	EpsilonStates int `json:"epsilonStates"`
@@ -305,6 +311,7 @@ func (g *grammarEntry) info(queueDepth int) GrammarInfo {
 		Engine:           eng,
 		EngineTableKB:    tableKB,
 		Name:             g.name,
+		Fingerprint:      telemetry.TraceIDString(g.cm.Machine.Fingerprint()),
 		States:           g.cm.Stats.States,
 		EpsilonStates:    g.cm.Stats.EpsStates,
 		TokenTypes:       g.cm.Stats.TokenTypes,

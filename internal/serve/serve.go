@@ -170,6 +170,15 @@ type Server struct {
 	traceSeq atomic.Int64
 	started  time.Time
 
+	// Readiness, split from liveness for fleet routing (/readyz):
+	// notReady is flipped by SetReady(false) — wired to SIGTERM in
+	// cmd/aspend before Drain begins — and retiring counts in-progress
+	// hitless-swap retirements, so a router stops placing new work on
+	// this node before it starts refusing it. Liveness (/healthz) is
+	// unaffected: an unready node still answers in-flight work.
+	notReady atomic.Bool
+	retiring atomic.Int32
+
 	// Request-scoped tracing (trace.go): the flight recorder behind
 	// /v1/debug/requests, and the trace-ID generator state.
 	flight    *telemetry.FlightRecorder
@@ -456,6 +465,21 @@ func (s *Server) Handler() http.Handler { return s.mux }
 
 // Draining reports whether Drain has been called.
 func (s *Server) Draining() bool { return s.draining.Load() }
+
+// SetReady flips the node's readiness signal (/readyz). cmd/aspend
+// calls SetReady(false) the moment SIGTERM arrives — before Drain —
+// so a health-checking router stops routing to this node while it can
+// still answer; Drain itself also flips it as a backstop for embedders
+// that never wire signals.
+func (s *Server) SetReady(ready bool) { s.notReady.Store(!ready) }
+
+// Ready reports whether the node is accepting new routed work: not
+// marked unready, not draining, and not mid-retirement of a swapped
+// entry (a brief unready blip during hitless swaps keeps a router from
+// racing a retiring entry's drain barrier).
+func (s *Server) Ready() bool {
+	return !s.notReady.Load() && !s.draining.Load() && s.retiring.Load() == 0
+}
 
 // Drain stops admitting new requests (they get 503) and waits for every
 // in-flight request to finish, or for ctx to expire. It is the

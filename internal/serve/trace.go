@@ -119,9 +119,21 @@ func (s *Server) nextTraceID() uint64 {
 }
 
 // beginSpan opens the request's span and stamps the trace header —
-// before admission, so 404/429/503 denials carry it too.
-func (s *Server) beginSpan(w http.ResponseWriter) span {
-	sp := span{id: s.nextTraceID(), start: time.Now(), status: http.StatusOK, outcome: outcomeAccepted}
+// before admission, so 404/429/503 denials carry it too. An inbound
+// X-Aspen-Trace header (a fleet router forwarding a request it already
+// traced) is reused instead of minting a fresh ID, so one trace ID
+// correlates the router's flight-recorder entry with this node's.
+func (s *Server) beginSpan(w http.ResponseWriter, r *http.Request) span {
+	id := uint64(0)
+	if h := r.Header.Get(TraceHeader); h != "" {
+		if v, ok := telemetry.ParseTraceID(h); ok && v != 0 {
+			id = v
+		}
+	}
+	if id == 0 {
+		id = s.nextTraceID()
+	}
+	sp := span{id: id, start: time.Now(), status: http.StatusOK, outcome: outcomeAccepted}
 	w.Header().Set(TraceHeader, telemetry.TraceIDString(sp.id))
 	return sp
 }

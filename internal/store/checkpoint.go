@@ -76,6 +76,13 @@ func (cs *CheckpointStore) Save(key string, cp *stream.Checkpoint) error {
 	if err != nil {
 		return err
 	}
+	return cs.writeAtomic(key, data)
+}
+
+// writeAtomic is the shared temp+fsync+rename+dirsync write both Save
+// and SaveBytes commit through: a crash leaves either the old image or
+// the new one, never a torn hybrid.
+func (cs *CheckpointStore) writeAtomic(key string, data []byte) error {
 	tmp, err := os.CreateTemp(cs.dir, ".tmp-"+key+"-*")
 	if err != nil {
 		return err
@@ -120,6 +127,49 @@ func (cs *CheckpointStore) Load(key string, cp *stream.Checkpoint) error {
 		return fmt.Errorf("%w: integrity seal mismatch", ErrCheckpointCorrupt)
 	}
 	return nil
+}
+
+// SaveBytes persists an already-encoded checkpoint image under key
+// after proving it sound: the bytes must decode and pass both integrity
+// seals, or the write is refused with ErrCheckpointCorrupt and the
+// previously stored image (if any) is left untouched. This is the
+// cross-node handoff path — a router shipping a sealed image to a
+// replacement node must not be able to tear it in transit and have the
+// torn copy accepted.
+func (cs *CheckpointStore) SaveBytes(key string, data []byte) error {
+	if !validKey(key) {
+		return fmt.Errorf("%w: %q", ErrBadKey, key)
+	}
+	var cp stream.Checkpoint
+	if err := cp.UnmarshalBinary(data); err != nil {
+		return fmt.Errorf("%w: %v", ErrCheckpointCorrupt, err)
+	}
+	if !cp.Verify() || !cp.Exec.Verify() {
+		return fmt.Errorf("%w: integrity seal mismatch", ErrCheckpointCorrupt)
+	}
+	return cs.writeAtomic(key, data)
+}
+
+// LoadBytes reads and validates the image under key, returning the raw
+// encoded bytes (suitable for shipping to another node) and the decoded
+// checkpoint. A missing key satisfies errors.Is(err, os.ErrNotExist); a
+// damaged image returns ErrCheckpointCorrupt.
+func (cs *CheckpointStore) LoadBytes(key string) ([]byte, *stream.Checkpoint, error) {
+	if !validKey(key) {
+		return nil, nil, fmt.Errorf("%w: %q", ErrBadKey, key)
+	}
+	data, err := os.ReadFile(cs.path(key))
+	if err != nil {
+		return nil, nil, err
+	}
+	cp := new(stream.Checkpoint)
+	if err := cp.UnmarshalBinary(data); err != nil {
+		return nil, nil, fmt.Errorf("%w: %v", ErrCheckpointCorrupt, err)
+	}
+	if !cp.Verify() || !cp.Exec.Verify() {
+		return nil, nil, fmt.Errorf("%w: integrity seal mismatch", ErrCheckpointCorrupt)
+	}
+	return data, cp, nil
 }
 
 // Delete removes the image under key (idempotent: deleting a missing
