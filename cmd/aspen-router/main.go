@@ -63,6 +63,7 @@ func main() {
 		brThr     = flag.Int("breaker-threshold", fleet.DefaultBreakerThreshold, "consecutive forward failures that open a node's circuit breaker")
 		brCool    = flag.Duration("breaker-cooldown", fleet.DefaultBreakerCooldown, "how long an open breaker refuses a node before the half-open probe")
 		vnodes    = flag.Int("vnodes", fleet.DefaultVNodes, "virtual points per node on the placement ring")
+		sessTTL   = flag.Duration("session-ttl", fleet.DefaultSessionIdleTTL, "idle time before the router forgets a session's placement and cached checkpoint (node-side durable state is untouched)")
 		flightSz  = flag.Int("flight", telemetry.DefaultFlightSize, "flight-recorder capacity for /v1/debug/requests")
 		slow      = flag.Duration("slow", time.Duration(telemetry.DefaultSlowNS), "latency at which a request is retained in the notable ring")
 	)
@@ -99,6 +100,7 @@ func main() {
 		BreakerThreshold: *brThr,
 		BreakerCooldown:  *brCool,
 		VNodes:           *vnodes,
+		SessionIdleTTL:   *sessTTL,
 		FlightSize:       *flightSz,
 		SlowThreshold:    *slow,
 	})

@@ -32,6 +32,7 @@ package fleet
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"sort"
@@ -54,6 +55,7 @@ const (
 	DefaultBreakerThreshold = 5
 	DefaultBreakerCooldown  = 2 * time.Second
 	DefaultVNodes           = 64
+	DefaultSessionIdleTTL   = 15 * time.Minute
 )
 
 // Options configures a Router. Nodes is required; everything else has
@@ -91,6 +93,12 @@ type Options struct {
 
 	// VNodes is each member's virtual-point count on the placement ring.
 	VNodes int
+
+	// SessionIdleTTL reaps router session state (sticky placement plus
+	// cached checkpoint image) untouched for this long. Only the
+	// router's memory is reclaimed — the node-side durable checkpoint
+	// stays, so a returning client resumes while its owner node lives.
+	SessionIdleTTL time.Duration
 
 	// Client overrides the outbound HTTP client (tests).
 	Client *http.Client
@@ -138,6 +146,9 @@ func (o *Options) withDefaults() error {
 	}
 	if o.VNodes <= 0 {
 		o.VNodes = DefaultVNodes
+	}
+	if o.SessionIdleTTL <= 0 {
+		o.SessionIdleTTL = DefaultSessionIdleTTL
 	}
 	if o.Client == nil {
 		o.Client = &http.Client{}
@@ -235,6 +246,7 @@ func (rt *Router) probeLoop() {
 			return
 		case <-t.C:
 			rt.probeAll()
+			rt.sessions.sweep(time.Now(), rt.opt.SessionIdleTTL)
 		}
 	}
 }
@@ -401,7 +413,12 @@ func (rt *Router) handleGrammars(w http.ResponseWriter, r *http.Request) {
 		}
 		status, hdr, body, err := rt.roundTrip(r.Context(), m, http.MethodGet, "/v1/grammars", nil, "")
 		if err != nil {
-			m.noteForwardFailure(time.Now(), true)
+			// A dead client context (or the router's own body cap) is not
+			// evidence against the node — charging it would let one expired
+			// request mark the whole fleet down as the loop iterates.
+			if r.Context().Err() == nil && !errors.Is(err, errResponseTooLarge) {
+				m.noteForwardFailure(time.Now(), true)
+			}
 			continue
 		}
 		m.br.success()

@@ -381,7 +381,7 @@ func TestFleetSessionBusy(t *testing.T) {
 	rt, _ := startFleet(t, 1)
 	ts := routerServer(t, rt)
 
-	se := rt.sessions.acquire("JSON/busy")
+	se := rt.sessions.acquire("JSON/busy", time.Now())
 	se.mu.Lock()
 	defer se.mu.Unlock()
 	resp, _ := postParse(t, ts.URL, "JSON", "session=busy", []byte("{}"))

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"io"
 	"math/rand"
 	"net/http"
@@ -127,8 +128,20 @@ func (rt *Router) roundTrip(ctx context.Context, m *member, method, pathAndQuery
 	if err != nil {
 		return 0, nil, nil, err
 	}
+	if int64(len(b)) > rt.opt.MaxBodyBytes {
+		// Relaying a silently truncated body under the original status
+		// would hand the client a corrupt payload with no error signal;
+		// fail the round trip instead. Not a node-health event — the node
+		// answered, the router's cap is just smaller.
+		return 0, nil, nil, errResponseTooLarge
+	}
 	return resp.StatusCode, resp.Header, b, nil
 }
+
+// errResponseTooLarge marks a downstream answer bigger than
+// MaxBodyBytes; callers surface it as a 502 without charging the
+// node's breaker.
+var errResponseTooLarge = errors.New("downstream response exceeds the configured body cap")
 
 // relay writes a downstream answer to the client verbatim (selected
 // headers; the router's own X-Aspen-Trace stamp is already set and the
@@ -268,6 +281,11 @@ func (rt *Router) forwardParse(ctx context.Context, w http.ResponseWriter, sp *s
 			if ctx.Err() != nil {
 				sp.status, sp.outcome = http.StatusGatewayTimeout, outcomeTimeout
 				httpError(w, http.StatusGatewayTimeout, "request deadline exhausted forwarding to %s", target.name)
+				return
+			}
+			if errors.Is(err, errResponseTooLarge) {
+				sp.status, sp.outcome = http.StatusBadGateway, outcomeDenied
+				httpError(w, http.StatusBadGateway, "node %s answered more than %d bytes", target.name, rt.opt.MaxBodyBytes)
 				return
 			}
 			target.noteForwardFailure(time.Now(), true)

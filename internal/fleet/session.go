@@ -2,6 +2,8 @@ package fleet
 
 import (
 	"context"
+	"encoding/json"
+	"errors"
 	"net/http"
 	"net/url"
 	"sync"
@@ -21,12 +23,24 @@ import (
 // The cache-update ordering is the correctness core: after the owner
 // acknowledges a chunk (200 partial), the router fetches the owner's
 // fresh checkpoint BEFORE relaying the ack to the client. So at every
-// instant, the cached image covers every byte any client believes is
-// durable. If the fetch fails (the owner died in the window between
-// persisting and answering the fetch), the ack is NOT relayed —
-// instead the router fails over onto the previous image and re-sends
-// the chunk, which is exactly the single-node crash-recovery
-// semantics: un-acked work is replayed, acked work is never lost.
+// instant, the cached image covers exactly the bytes any client
+// believes are durable — the cache is the acked prefix, authoritative
+// over whatever a node's disk holds. If the fetch fails (the owner
+// died in the window between persisting and answering the fetch), the
+// ack is NOT relayed; the owner now holds state AHEAD of the acked
+// prefix, so the session is marked dirty and no chunk is re-sent to
+// any node until that node has been reset to the cached image (PUT),
+// or to nothing (DELETE) when no bytes were ever acknowledged.
+// Re-sending without the reset would append the chunk on top of a
+// checkpoint that already contains it — silent double-apply. The
+// dirty mark lives on the session entry, not the request, so a client
+// retry minutes later still goes through the reset.
+//
+// A 200 on a non-final chunk is NOT always an ack: a document error
+// concludes the session early with 200 + Error set and the node's
+// checkpoint already deleted. The router classifies by the response
+// body's "partial" field — only a partial:true answer is an ack worth
+// a checkpoint fetch; anything else is a conclusion, relayed verbatim.
 //
 // Wrong-machine (410) and torn-image (422) answers from a replacement
 // PUT relay to the client non-retryable: they mean the fleet's grammar
@@ -37,6 +51,15 @@ type session struct {
 	mu    sync.Mutex // serializes chunks (concurrent chunk = 409, like the node)
 	owner *member    // current sticky owner, nil until first placed
 	image []byte     // latest fetched checkpoint image, nil before the first ack
+	// dirty marks the owner's durable state as possibly ahead of image:
+	// chunk bytes were sent but the outcome never reached the client (a
+	// transport error mid-forward, or an ack voided by a failed
+	// checkpoint fetch). The owner must be reset to the cached image
+	// before any re-send, or the un-acked chunk could apply twice.
+	dirty bool
+	// lastUnixNS is when a request last touched this session (guarded
+	// by the table mutex, not mu); the idle sweeper reads it.
+	lastUnixNS int64
 }
 
 // sessionTable tracks live sessions by "grammar/id".
@@ -51,8 +74,9 @@ func (t *sessionTable) init(rm *routerMetrics) {
 	t.rm = rm
 }
 
-// acquire returns the session entry, creating it on first use.
-func (t *sessionTable) acquire(key string) *session {
+// acquire returns the session entry, creating it on first use and
+// refreshing its idle clock.
+func (t *sessionTable) acquire(key string, now time.Time) *session {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	se := t.s[key]
@@ -61,6 +85,7 @@ func (t *sessionTable) acquire(key string) *session {
 		t.s[key] = se
 		t.rm.sessions.SetInt(int64(len(t.s)))
 	}
+	se.lastUnixNS = now.UnixNano()
 	return se
 }
 
@@ -69,6 +94,26 @@ func (t *sessionTable) drop(key string) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	delete(t.s, key)
+	t.rm.sessions.SetInt(int64(len(t.s)))
+}
+
+// sweep reaps sessions idle past ttl: abandoned streams, and sessions
+// that concluded via relays the router does not recognize as final,
+// would otherwise pin their cached images (up to MaxBodyBytes each)
+// forever. An in-flight session (mu held) is never reaped. The
+// node-side durable checkpoint is untouched, so a returning client
+// still resumes as long as its ring-placed owner is alive.
+func (t *sessionTable) sweep(now time.Time, ttl time.Duration) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	cutoff := now.Add(-ttl).UnixNano()
+	for k, se := range t.s {
+		if se.lastUnixNS > cutoff || !se.mu.TryLock() {
+			continue
+		}
+		se.mu.Unlock()
+		delete(t.s, k)
+	}
 	t.rm.sessions.SetInt(int64(len(t.s)))
 }
 
@@ -89,12 +134,38 @@ func (t *sessionTable) placements() map[string]string {
 	return out
 }
 
+// isPartialAck reports whether a 200 answer to a non-final chunk is a
+// partial acknowledgment (checkpoint persisted, "partial":true in the
+// body) rather than an early conclusion — a document error ends the
+// session with 200 + Error and no remaining checkpoint, and mistaking
+// it for an ack would send the router chasing a checkpoint that is
+// legitimately gone.
+func isPartialAck(body []byte) bool {
+	var pr struct {
+		Partial bool `json:"partial"`
+	}
+	return json.Unmarshal(body, &pr) == nil && pr.Partial
+}
+
+// concludesSession reports whether a relayed answer ends the session
+// on the node: the final-chunk 200, wrong-build 410, and
+// depth-overflow 422 all leave no durable state behind.
+func concludesSession(status int, final bool) bool {
+	switch status {
+	case http.StatusOK:
+		return final
+	case http.StatusGone, http.StatusUnprocessableEntity:
+		return true
+	}
+	return false
+}
+
 // serveSession routes one durable-session chunk: sticky forward to the
 // owner, with checkpoint-fetch-before-ack and failover when the owner
 // is gone.
 func (rt *Router) serveSession(ctx context.Context, w http.ResponseWriter, sp *span, grammar, id, rawQuery string, body []byte) {
 	skey := grammar + "/" + id
-	se := rt.sessions.acquire(skey)
+	se := rt.sessions.acquire(skey, time.Now())
 	if !se.mu.TryLock() {
 		sp.status, sp.outcome = http.StatusConflict, outcomeDenied
 		httpError(w, http.StatusConflict, "session %q has a chunk in flight", id)
@@ -113,12 +184,13 @@ func (rt *Router) serveSession(ctx context.Context, w http.ResponseWriter, sp *s
 	for attempt := 0; ; attempt++ {
 		// Resolve the owner. A dead owner (or none yet) means placing on
 		// the best usable candidate — with a checkpoint ship when the
-		// session has history.
+		// session has history. A dirty owner re-places too: placeSession
+		// is where the reset-to-cached-image happens.
 		t0 := time.Now()
 		owner := se.owner
-		if owner == nil || !owner.usable(time.Now()) || tried[owner] {
+		if owner == nil || !owner.usable(time.Now()) || tried[owner] || se.dirty {
 			prev := se.owner
-			repl, done := rt.placeSession(ctx, w, sp, se, key, ckptPath, tried, trace)
+			repl, done := rt.placeSession(ctx, w, sp, se, skey, key, ckptPath, tried, trace)
 			if done {
 				return // placeSession already answered (non-retryable or no nodes)
 			}
@@ -141,9 +213,18 @@ func (rt *Router) serveSession(ctx context.Context, w http.ResponseWriter, sp *s
 		wait := time.Duration(0)
 		switch {
 		case err != nil:
+			// The chunk may have landed (the node can persist and then die
+			// before the response arrives): dirty until a reset proves
+			// otherwise.
+			se.dirty = true
 			if ctx.Err() != nil {
 				sp.status, sp.outcome = http.StatusGatewayTimeout, outcomeTimeout
 				httpError(w, http.StatusGatewayTimeout, "request deadline exhausted forwarding session %q", id)
+				return
+			}
+			if errors.Is(err, errResponseTooLarge) {
+				sp.status, sp.outcome = http.StatusBadGateway, outcomeDenied
+				httpError(w, http.StatusBadGateway, "node %s answered more than %d bytes", owner.name, rt.opt.MaxBodyBytes)
 				return
 			}
 			owner.noteForwardFailure(time.Now(), true)
@@ -155,20 +236,50 @@ func (rt *Router) serveSession(ctx context.Context, w http.ResponseWriter, sp *s
 			owner.noteForwardFailure(time.Now(), false)
 			tried[owner] = true
 			wait = retryAfter(hdr)
+		case status == http.StatusOK && !final && !isPartialAck(respBody):
+			// Early conclusion: a document error on a non-final chunk
+			// answers 200 with Error set, the node's checkpoint already
+			// deleted. The healthy owner answered definitively — relay it
+			// and forget the session; fetching the (gone) checkpoint here
+			// would misread this as an owner death.
+			owner.br.success()
+			rt.sessions.drop(skey)
+			if failedOver {
+				sp.outcome = outcomeFailover
+			}
+			sp.status = status
+			relay(w, status, hdr, respBody)
+			return
 		case status == http.StatusOK && !final:
 			// Partial ack. Fetch the owner's fresh checkpoint BEFORE the
 			// client hears the ack; a failed fetch voids the ack and the
-			// chunk is re-sent on a replacement.
+			// chunk is re-sent on a replacement (after a reset — the owner
+			// holds the voided chunk durably).
 			owner.br.success()
 			t0 = time.Now()
 			img, ferr := rt.fetchCheckpoint(ctx, owner, ckptPath, trace)
 			sp.addSince(phaseForward, t0)
 			if ferr != nil {
-				owner.noteForwardFailure(time.Now(), true)
+				se.dirty = true
+				if ctx.Err() != nil {
+					sp.status, sp.outcome = http.StatusGatewayTimeout, outcomeTimeout
+					httpError(w, http.StatusGatewayTimeout, "request deadline exhausted forwarding session %q", id)
+					return
+				}
+				var ce *checkpointError
+				if errors.As(ferr, &ce) {
+					// The node answered, just not with the image — an anomaly,
+					// not a transport death; feed the breaker without flipping
+					// a live node straight to down.
+					owner.noteForwardFailure(time.Now(), false)
+				} else {
+					owner.noteForwardFailure(time.Now(), true)
+				}
 				tried[owner] = true
 				break // retry loop: failover and re-send this chunk
 			}
 			se.image = img
+			se.dirty = false
 			if failedOver {
 				sp.outcome = outcomeFailover
 			}
@@ -176,10 +287,10 @@ func (rt *Router) serveSession(ctx context.Context, w http.ResponseWriter, sp *s
 			relay(w, status, hdr, respBody)
 			return
 		default:
-			// Conclusion (200 final), client errors, 410, 422, 500: relay
+			// Conclusion (200 final, 410, 422), client errors, 500: relay
 			// verbatim. A concluded session leaves the table.
 			owner.br.success()
-			if final && status == http.StatusOK {
+			if concludesSession(status, final) {
 				rt.sessions.drop(skey)
 			}
 			if failedOver {
@@ -208,18 +319,24 @@ func (rt *Router) serveSession(ctx context.Context, w http.ResponseWriter, sp *s
 	}
 }
 
-// placeSession picks (or re-picks) a session's node. For a session
-// with history this is failover: prefer a fresh checkpoint from the
-// old owner when it still answers (it may merely be draining), fall
-// back to the router's cached image, ship it to the replacement, and
-// only then hand the replacement back for the chunk re-send. Shipping
-// is idempotent — a double failover PUTs the same sealed image again,
-// which the store happily overwrites.
+// placeSession picks (or re-picks) a session's node, restoring the
+// invariant that the chosen node's durable state equals the router's
+// cached image before any chunk is re-sent. A fresh session has
+// nothing to transfer; a session with history resets the target — PUT
+// of the cached image (idempotent; a double failover ships the same
+// sealed image again and the store overwrites), or DELETE of whatever
+// un-acked checkpoint the node may hold when no bytes were ever
+// acknowledged. The same node back skips the reset only when its state
+// is known clean (not dirty). The cached image is authoritative: a
+// node's own, possibly newer, checkpoint is exactly the un-acked state
+// the reset exists to discard, so it is never fetched and adopted
+// here.
 //
 // Returns (node, false) on success; (nil, true) when it already wrote
-// the client answer (no usable nodes, or the replacement refused the
-// image non-retryably: 410 wrong machine, 422 torn).
-func (rt *Router) placeSession(ctx context.Context, w http.ResponseWriter, sp *span, se *session, key uint64, ckptPath string, tried map[*member]bool, trace string) (*member, bool) {
+// the client answer (no usable nodes, deadline exhausted, or the
+// replacement refused the image non-retryably: 410 wrong machine, 422
+// torn — which also ends the session).
+func (rt *Router) placeSession(ctx context.Context, w http.ResponseWriter, sp *span, se *session, skey string, key uint64, ckptPath string, tried map[*member]bool, trace string) (*member, bool) {
 	hasHistory := se.image != nil || se.owner != nil
 	t0 := time.Now()
 	defer func() {
@@ -227,17 +344,6 @@ func (rt *Router) placeSession(ctx context.Context, w http.ResponseWriter, sp *s
 			sp.addSince(phaseFailover, t0)
 		}
 	}()
-
-	// Best image available: the old owner's live checkpoint when
-	// reachable (it may have sealed state newer than our cache — e.g.
-	// an ack we relayed just before it started draining), else the
-	// cache.
-	image := se.image
-	if old := se.owner; old != nil && !tried[old] {
-		if img, err := rt.fetchCheckpoint(ctx, old, ckptPath, trace); err == nil {
-			image = img
-		}
-	}
 
 	for {
 		usable, _ := rt.candidatesFor(key)
@@ -255,35 +361,54 @@ func (rt *Router) placeSession(ctx context.Context, w http.ResponseWriter, sp *s
 			httpError(w, http.StatusServiceUnavailable, "no usable fleet member for session failover")
 			return nil, true
 		}
-		if repl == se.owner || image == nil {
-			// Same node back (it recovered), or a fresh session with no
-			// state to ship: nothing to transfer.
-			if hasHistory && repl != se.owner {
-				rt.m.failovers.Inc()
-			}
+		if !hasHistory || (repl == se.owner && !se.dirty) {
 			return repl, false
 		}
 
-		status, hdr, body, err := rt.roundTrip(ctx, repl, http.MethodPut, ckptPath, image, trace)
+		method, payload := http.MethodPut, se.image
+		if se.image == nil {
+			method, payload = http.MethodDelete, nil
+		}
+		status, hdr, body, err := rt.roundTrip(ctx, repl, method, ckptPath, payload, trace)
 		switch {
 		case err != nil:
+			if ctx.Err() != nil {
+				// The request's deadline died mid-failover; the node did not.
+				sp.status, sp.outcome = http.StatusGatewayTimeout, outcomeTimeout
+				httpError(w, http.StatusGatewayTimeout, "request deadline exhausted during session failover")
+				return nil, true
+			}
+			if errors.Is(err, errResponseTooLarge) {
+				sp.status, sp.outcome = http.StatusBadGateway, outcomeDenied
+				httpError(w, http.StatusBadGateway, "node %s answered more than %d bytes", repl.name, rt.opt.MaxBodyBytes)
+				return nil, true
+			}
 			repl.noteForwardFailure(time.Now(), true)
 			tried[repl] = true
 			continue
-		case retryableStatus(status) || status == http.StatusTooManyRequests:
-			if status != http.StatusTooManyRequests {
-				repl.noteForwardFailure(time.Now(), false)
-			}
+		case retryableStatus(status):
+			repl.noteForwardFailure(time.Now(), false)
+			tried[repl] = true
+			continue
+		case status == http.StatusTooManyRequests || status == http.StatusConflict:
+			// Backpressure, or the node has a stale in-flight request for
+			// this session: healthy, just not placeable right now.
+			repl.br.success()
 			tried[repl] = true
 			continue
 		case status == http.StatusOK:
 			repl.br.success()
-			rt.m.failovers.Inc()
+			se.dirty = false
+			if repl != se.owner {
+				rt.m.failovers.Inc()
+			}
 			return repl, false
 		default:
 			// 410 wrong machine / 422 torn / anything else: the fleet's
-			// builds disagree — retrying elsewhere cannot help the client.
+			// builds disagree — retrying elsewhere cannot help the client,
+			// and the session cannot continue.
 			repl.br.success()
+			rt.sessions.drop(skey)
 			sp.status, sp.outcome = status, outcomeDenied
 			relay(w, status, hdr, body)
 			return nil, true

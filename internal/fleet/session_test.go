@@ -1,0 +1,337 @@
+package fleet
+
+import (
+	"bytes"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// Session-path regression tests over scripted stubs: conclusion
+// classification, the dirty-reset protocol, deadline-vs-health
+// accounting, entry lifecycle, and the response body cap.
+
+func postSession(t *testing.T, base, query string, body []byte) (*http.Response, string) {
+	t.Helper()
+	resp, err := http.Post(base+"/v1/parse/JSON?"+query, "application/octet-stream", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	return resp, string(raw)
+}
+
+// TestRouterSessionEarlyConclusionRelayed pins the high-severity
+// misclassification: a document error on a NON-final chunk answers 200
+// with Error set and no partial flag (checkpoint already deleted).
+// That is a conclusion — the router must relay it verbatim, never
+// consult the (gone) checkpoint, keep the healthy owner routable, and
+// forget the session.
+func TestRouterSessionEarlyConclusionRelayed(t *testing.T) {
+	var ckptHits atomic.Int64
+	stub := newStub(t, func(n int64, w http.ResponseWriter, r *http.Request) {
+		if strings.HasSuffix(r.URL.Path, "/checkpoint") {
+			ckptHits.Add(1)
+			w.WriteHeader(http.StatusNotFound)
+			io.WriteString(w, `{"error":"no stored checkpoint for session ec"}`)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		io.WriteString(w, `{"grammar":"JSON","session":"ec","accepted":false,"error":"lex error at byte 3","bytes":3,"tokens":1}`)
+	})
+	rt, ts := stubRouter(t, Options{}, stub)
+
+	resp, body := postSession(t, ts.URL, "session=ec", []byte("{]"))
+	if resp.StatusCode != http.StatusOK || !strings.Contains(body, "lex error at byte 3") {
+		t.Fatalf("early conclusion: status %d body %q, want the node's 200 answer relayed", resp.StatusCode, body)
+	}
+	if got := ckptHits.Load(); got != 0 {
+		t.Fatalf("router fetched the checkpoint %d times after a conclusion, want 0", got)
+	}
+	m := rt.members[0]
+	if m.state.Load() != stateReady || m.br.open(time.Now()) || m.forwardErrs.Value() != 0 {
+		t.Fatalf("healthy owner penalized for a conclusion: state %s breaker-open %v errs %d",
+			stateName(m.state.Load()), m.br.open(time.Now()), m.forwardErrs.Value())
+	}
+	if got := rt.m.retries.Value(); got != 0 {
+		t.Fatalf("fleet_retries_total = %d after a conclusion, want 0", got)
+	}
+	if got := rt.sessions.placements(); got != nil {
+		t.Fatalf("concluded session still tracked: %v", got)
+	}
+}
+
+// checkpointedStub models a node's durable session state as the
+// concatenation of applied chunk bodies, so double-applied chunks are
+// directly visible in the "checkpoint" content.
+type checkpointedStub struct {
+	mu      sync.Mutex
+	ckpt    string
+	failGet bool
+	resets  []string // "PUT:<image>" / "DELETE" in arrival order
+}
+
+func (c *checkpointedStub) serve(n int64, w http.ResponseWriter, r *http.Request) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	switch {
+	case strings.HasPrefix(r.URL.Path, "/v1/parse/"):
+		b, _ := io.ReadAll(r.Body)
+		c.ckpt += string(b)
+		w.Header().Set("Content-Type", "application/json")
+		io.WriteString(w, `{"grammar":"JSON","session":"s","partial":true,"bytes":`+
+			strconv.Itoa(len(c.ckpt))+`,"tokens":1}`)
+	case r.Method == http.MethodGet:
+		if c.failGet {
+			c.failGet = false
+			w.WriteHeader(http.StatusServiceUnavailable)
+			return
+		}
+		w.Header().Set("Content-Type", "application/octet-stream")
+		io.WriteString(w, c.ckpt)
+	case r.Method == http.MethodPut:
+		b, _ := io.ReadAll(r.Body)
+		c.ckpt = string(b)
+		c.resets = append(c.resets, "PUT:"+c.ckpt)
+		io.WriteString(w, `{"grammar":"JSON","session":"s"}`)
+	case r.Method == http.MethodDelete:
+		c.ckpt = ""
+		c.resets = append(c.resets, "DELETE")
+		io.WriteString(w, `{"grammar":"JSON","session":"s"}`)
+	default:
+		w.WriteHeader(http.StatusNotFound)
+	}
+}
+
+func (c *checkpointedStub) state() (ckpt string, resets []string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ckpt, append([]string(nil), c.resets...)
+}
+
+// TestRouterSessionVoidedAckResetsOwner pins the double-apply fix: a
+// chunk the owner persisted but whose ack was voided (checkpoint fetch
+// failed) must not be blindly re-sent to the recovered owner on the
+// client's retry — the router resets the owner to the cached image
+// (the acked prefix) first.
+func TestRouterSessionVoidedAckResetsOwner(t *testing.T) {
+	cs := &checkpointedStub{}
+	stub := newStub(t, cs.serve)
+	rt, ts := stubRouter(t, Options{}, stub)
+
+	// Chunk A acks cleanly: node holds "A", router caches "A".
+	if resp, body := postSession(t, ts.URL, "session=s", []byte("A")); resp.StatusCode != http.StatusOK {
+		t.Fatalf("chunk A: status %d body %q", resp.StatusCode, body)
+	}
+	// Chunk B lands on the node, but the ack-fetch fails: the ack is
+	// voided, and with no other member the request fails upstream.
+	cs.mu.Lock()
+	cs.failGet = true
+	cs.mu.Unlock()
+	if resp, _ := postSession(t, ts.URL, "session=s", []byte("B")); resp.StatusCode == http.StatusOK {
+		t.Fatal("voided-ack chunk answered 200")
+	}
+	if ckpt, _ := cs.state(); ckpt != "AB" {
+		t.Fatalf("node checkpoint %q after voided chunk, want AB (chunk persisted, ack lost)", ckpt)
+	}
+	// The owner answered the failed fetch itself — a live node must not
+	// be flipped straight to down for it.
+	if m := rt.members[0]; m.state.Load() != stateReady {
+		t.Fatalf("owner marked %s after a non-transport fetch failure, want ready", stateName(m.state.Load()))
+	}
+	// The client retries chunk B. Without the reset the node would hold
+	// "ABB"; with it, the router PUTs the cached "A" back first.
+	if resp, body := postSession(t, ts.URL, "session=s", []byte("B")); resp.StatusCode != http.StatusOK {
+		t.Fatalf("retried chunk B: status %d body %q", resp.StatusCode, body)
+	}
+	ckpt, resets := cs.state()
+	if ckpt != "AB" {
+		t.Fatalf("node checkpoint %q after retry, want AB exactly once (resets: %v)", ckpt, resets)
+	}
+	if len(resets) != 1 || resets[0] != "PUT:A" {
+		t.Fatalf("resets %v, want exactly one PUT of the acked prefix \"A\"", resets)
+	}
+	// And the stream continues normally afterwards.
+	if resp, _ := postSession(t, ts.URL, "session=s", []byte("C")); resp.StatusCode != http.StatusOK {
+		t.Fatal("chunk C after recovery failed")
+	}
+	if ckpt, _ := cs.state(); ckpt != "ABC" {
+		t.Fatalf("final node checkpoint %q, want ABC", ckpt)
+	}
+}
+
+// TestRouterSessionFirstChunkReset pins the no-acked-bytes variant:
+// when the voided chunk was the session's first (nothing cached to PUT
+// back), the reset is a DELETE of whatever un-acked checkpoint the
+// node holds.
+func TestRouterSessionFirstChunkReset(t *testing.T) {
+	cs := &checkpointedStub{failGet: true} // first ack-fetch fails
+	stub := newStub(t, cs.serve)
+	_, ts := stubRouter(t, Options{}, stub)
+
+	if resp, _ := postSession(t, ts.URL, "session=s", []byte("A")); resp.StatusCode == http.StatusOK {
+		t.Fatal("voided first chunk answered 200")
+	}
+	if resp, body := postSession(t, ts.URL, "session=s", []byte("A")); resp.StatusCode != http.StatusOK {
+		t.Fatalf("retried first chunk: status %d body %q", resp.StatusCode, body)
+	}
+	ckpt, resets := cs.state()
+	if ckpt != "A" {
+		t.Fatalf("node checkpoint %q after retry, want A exactly once (resets: %v)", ckpt, resets)
+	}
+	if len(resets) != 1 || resets[0] != "DELETE" {
+		t.Fatalf("resets %v, want exactly one DELETE", resets)
+	}
+}
+
+// TestRouterDeadlineMidFailoverSparesNodes pins deadline accounting in
+// placeSession: when the request's deadline expires while shipping a
+// checkpoint to a replacement, the router answers 504 without charging
+// the replacement — one slow request must not cascade healthy members
+// to down.
+func TestRouterDeadlineMidFailoverSparesNodes(t *testing.T) {
+	script := func(posts *atomic.Int64) func(n int64, w http.ResponseWriter, r *http.Request) {
+		return func(n int64, w http.ResponseWriter, r *http.Request) {
+			switch {
+			case r.Method == http.MethodPost:
+				if posts.Add(1) == 1 {
+					w.Header().Set("Content-Type", "application/json")
+					io.WriteString(w, `{"grammar":"JSON","session":"s","partial":true,"bytes":1,"tokens":1}`)
+					return
+				}
+				// Later chunks: die mid-connection (transport error, live ctx).
+				c, _, err := w.(http.Hijacker).Hijack()
+				if err == nil {
+					c.Close()
+				}
+			case r.Method == http.MethodGet:
+				w.Header().Set("Content-Type", "application/octet-stream")
+				io.WriteString(w, "img")
+			case r.Method == http.MethodPut:
+				// The replacement is slow enough to outlive the request.
+				time.Sleep(400 * time.Millisecond)
+				io.WriteString(w, `{"grammar":"JSON","session":"s"}`)
+			}
+		}
+	}
+	var postsA, postsB atomic.Int64
+	var putA, putB atomic.Int64
+	a := newStub(t, func(n int64, w http.ResponseWriter, r *http.Request) {
+		if r.Method == http.MethodPut {
+			putA.Add(1)
+		}
+		script(&postsA)(n, w, r)
+	})
+	b := newStub(t, func(n int64, w http.ResponseWriter, r *http.Request) {
+		if r.Method == http.MethodPut {
+			putB.Add(1)
+		}
+		script(&postsB)(n, w, r)
+	})
+	rt, ts := stubRouter(t, Options{RequestTimeout: 150 * time.Millisecond}, a, b)
+
+	if resp, body := postSession(t, ts.URL, "session=s", []byte("A")); resp.StatusCode != http.StatusOK {
+		t.Fatalf("chunk 1: status %d body %q", resp.StatusCode, body)
+	}
+	resp, _ := postSession(t, ts.URL, "session=s", []byte("B"))
+	if resp.StatusCode != http.StatusGatewayTimeout {
+		t.Fatalf("deadline mid-failover: status %d, want 504", resp.StatusCode)
+	}
+	// The node that received the (timed-out) checkpoint ship must not be
+	// charged a forward failure.
+	puts := []*atomic.Int64{&putA, &putB}
+	var shipped *member
+	for i, st := range []*stubNode{a, b} {
+		if puts[i].Load() == 0 {
+			continue
+		}
+		for _, m := range rt.members {
+			if "http://"+m.name == st.ts.URL {
+				shipped = m
+			}
+		}
+	}
+	if shipped == nil {
+		t.Fatal("no node received the checkpoint ship")
+	}
+	if shipped.forwardErrs.Value() != 0 || shipped.br.open(time.Now()) {
+		t.Fatalf("replacement charged for the router's own deadline: errs %d breaker-open %v",
+			shipped.forwardErrs.Value(), shipped.br.open(time.Now()))
+	}
+}
+
+// TestRouterSessionIdleSweep pins the table lifecycle: a session
+// nobody concludes is reaped after SessionIdleTTL instead of pinning
+// its cached checkpoint image forever.
+func TestRouterSessionIdleSweep(t *testing.T) {
+	cs := &checkpointedStub{}
+	stub := newStub(t, cs.serve)
+	rt, ts := stubRouter(t, Options{SessionIdleTTL: 60 * time.Millisecond, ProbeInterval: 20 * time.Millisecond}, stub)
+
+	if resp, _ := postSession(t, ts.URL, "session=s", []byte("A")); resp.StatusCode != http.StatusOK {
+		t.Fatal("chunk failed")
+	}
+	if got := rt.sessions.placements(); got == nil {
+		t.Fatal("session not tracked after a chunk")
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for rt.sessions.placements() != nil {
+		if time.Now().After(deadline) {
+			t.Fatalf("idle session never swept: %v", rt.sessions.placements())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestRouterOversizedResponse502 pins the body cap on the response
+// side: a downstream answer larger than MaxBodyBytes fails the request
+// with 502 instead of relaying a silently truncated body as 200 — and
+// the anomaly is not a node-health event.
+func TestRouterOversizedResponse502(t *testing.T) {
+	stub := newStub(t, func(n int64, w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		w.Write(bytes.Repeat([]byte("x"), 4096))
+	})
+	rt, ts := stubRouter(t, Options{MaxBodyBytes: 1024}, stub)
+
+	resp, err := http.Post(ts.URL+"/v1/parse/JSON", "application/octet-stream", bytes.NewReader([]byte("{}")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadGateway {
+		t.Fatalf("oversized response: status %d (body %d bytes), want 502", resp.StatusCode, len(body))
+	}
+	m := rt.members[0]
+	if m.state.Load() != stateReady || m.forwardErrs.Value() != 0 {
+		t.Fatalf("node penalized for the router's own cap: state %s errs %d",
+			stateName(m.state.Load()), m.forwardErrs.Value())
+	}
+}
+
+// TestRouterSessionConcludedByDepthDropsEntry pins drop-on-conclusion
+// for the non-200 endings: a 422 depth overflow ends the session on
+// the node, so the router entry must go too.
+func TestRouterSessionConcludedByDepthDropsEntry(t *testing.T) {
+	stub := newStub(t, func(n int64, w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusUnprocessableEntity)
+		io.WriteString(w, `{"error":"input exceeds the provisioned stack depth"}`)
+	})
+	rt, ts := stubRouter(t, Options{}, stub)
+
+	resp, _ := postSession(t, ts.URL, "session=deep", []byte("((((("))
+	if resp.StatusCode != http.StatusUnprocessableEntity {
+		t.Fatalf("status %d, want 422 relayed", resp.StatusCode)
+	}
+	if got := rt.sessions.placements(); got != nil {
+		t.Fatalf("422-concluded session still tracked: %v", got)
+	}
+}

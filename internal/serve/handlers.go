@@ -75,6 +75,7 @@ func (s *Server) buildMux() *http.ServeMux {
 	// images between nodes through these (see handoff.go).
 	mux.HandleFunc("GET /v1/sessions/{grammar}/{id}/checkpoint", s.handleSessionGet)
 	mux.HandleFunc("PUT /v1/sessions/{grammar}/{id}/checkpoint", s.handleSessionPut)
+	mux.HandleFunc("DELETE /v1/sessions/{grammar}/{id}/checkpoint", s.handleSessionDelete)
 	// Flight recorder: the last N completed requests with per-phase
 	// latency attribution, joinable to X-Aspen-Trace (see trace.go).
 	mux.Handle("GET /v1/debug/requests", s.flight)

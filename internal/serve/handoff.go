@@ -97,6 +97,27 @@ func (s *Server) handleSessionGet(w http.ResponseWriter, r *http.Request) {
 	_, _ = w.Write(data)
 }
 
+// handleSessionDelete discards a session's durable state without
+// concluding it — the router's reset verb. Before re-sending a chunk
+// whose first delivery ended in uncertainty (the node may have
+// persisted it without the ack reaching anyone), the router restores
+// the node to the acknowledged prefix: PUT of its cached image, or
+// this DELETE when no bytes were ever acknowledged. Idempotent —
+// deleting an absent checkpoint answers 200.
+func (s *Server) handleSessionDelete(w http.ResponseWriter, r *http.Request) {
+	g, key, ok := s.handoffSession(w, r)
+	if !ok {
+		return
+	}
+	defer s.sessions.release(key)
+	if err := s.st.Checkpoints.Delete(key); err != nil {
+		g.m.errors.Inc()
+		writeJSON(w, http.StatusInternalServerError, ErrorResponse{Error: err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusOK, HandoffResponse{Grammar: g.name, Session: r.PathValue("id")})
+}
+
 // handleSessionPut accepts a shipped checkpoint image for this node to
 // resume from. The image must pass both integrity seals (422 — a torn
 // upload must never be trusted) and must have been taken on the exact

@@ -275,3 +275,65 @@ func TestTraceIDReusedAcrossHop(t *testing.T) {
 		t.Fatalf("garbage inbound trace produced %q, want a fresh valid ID", got)
 	}
 }
+
+// TestSessionCheckpointDelete pins the router's reset verb: DELETE
+// discards the durable state (the next chunk starts the session over),
+// and deleting an absent checkpoint is an idempotent 200.
+func TestSessionCheckpointDelete(t *testing.T) {
+	doc := []byte(lang.JSONSample)
+	_, ts := newHandoffServer(t, lang.JSON())
+
+	resp, err := http.Post(ts.URL+"/v1/parse/JSON?session=rst", "application/octet-stream", bytes.NewReader(doc[:len(doc)/2]))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("session chunk: status %d", resp.StatusCode)
+	}
+
+	del := func() int {
+		req, derr := http.NewRequest(http.MethodDelete, ts.URL+"/v1/sessions/JSON/rst/checkpoint", nil)
+		if derr != nil {
+			t.Fatal(derr)
+		}
+		dresp, derr := http.DefaultClient.Do(req)
+		if derr != nil {
+			t.Fatal(derr)
+		}
+		io.Copy(io.Discard, dresp.Body)
+		dresp.Body.Close()
+		return dresp.StatusCode
+	}
+	if got := del(); got != http.StatusOK {
+		t.Fatalf("DELETE with stored checkpoint: status %d, want 200", got)
+	}
+	if got := del(); got != http.StatusOK {
+		t.Fatalf("repeated DELETE: status %d, want idempotent 200", got)
+	}
+	getResp, err := http.Get(ts.URL + "/v1/sessions/JSON/rst/checkpoint")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, getResp.Body)
+	getResp.Body.Close()
+	if getResp.StatusCode != http.StatusNotFound {
+		t.Fatalf("checkpoint GET after delete: status %d, want 404", getResp.StatusCode)
+	}
+
+	// The session restarts cleanly: a whole-document feed under the same
+	// ID concludes like a fresh parse (no stale half-fed state).
+	resp, err = http.Post(ts.URL+"/v1/parse/JSON?session=rst&final=1", "application/octet-stream", bytes.NewReader(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var pr ParseResponse
+	if err := json.NewDecoder(resp.Body).Decode(&pr); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || !pr.Accepted || pr.Bytes != len(doc) {
+		t.Fatalf("post-delete restart: status %d accepted %v bytes %d want %d", resp.StatusCode, pr.Accepted, pr.Bytes, len(doc))
+	}
+}
