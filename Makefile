@@ -52,6 +52,7 @@ fuzz:
 	$(GO) test -run '^$$' -fuzz FuzzCheckpointRestoreRoundTrip -fuzztime $(FUZZTIME) ./internal/core
 	$(GO) test -run '^$$' -fuzz FuzzJournalRecord -fuzztime $(FUZZTIME) ./internal/store
 	$(GO) test -run '^$$' -fuzz FuzzEngineDifferential -fuzztime $(FUZZTIME) ./internal/engine
+	$(GO) test -run '^$$' -fuzz FuzzAdmitUpload -fuzztime $(FUZZTIME) ./internal/admit
 
 # Pre-merge check: run before every merge/PR.
 check: vet fmt race serve-smoke fleet-smoke fuzz

@@ -1,0 +1,746 @@
+package admit
+
+import (
+	"fmt"
+	"sort"
+
+	"aspen/internal/compile"
+	"aspen/internal/core"
+)
+
+// Static analysis over the final (end-marker-wired) hDPDA, built on
+// pushdown reachability: the machine is read as a pushdown system
+// (controls = states, stack = its stack) and the exact set of reachable
+// configurations is computed by post* saturation of a P-automaton
+// (Schwoon-style). Input symbols are existentially quantified — the
+// serving path accepts arbitrary byte streams, so "some input reaches
+// it" is the right notion of reachable.
+//
+// From the saturated automaton the checks fall out:
+//
+//   - underflow: a reachable configuration whose stack is shorter than
+//     an enabled successor's pop count;
+//   - depth: the reachable stack-content language is regular (paths to
+//     the automaton's final state); a cycle on a live path means
+//     unbounded depth, otherwise the longest path is the exact bound;
+//   - epsilon: for every reachable (state, top) head, the deterministic
+//     ε-chain from that head must come to rest, dip below its base
+//     (covered by another head), or be rejected as a livelock;
+//   - completeness: some accept state must be reachable at all, and
+//     every reachable state must be able to reach an accept state.
+//
+// All work is capped; machines that exceed the caps are rejected
+// conservatively under the limits check rather than stalling admission.
+
+const (
+	maxAutoEdges = 1 << 21 // saturation transition cap
+	maxPDSRules  = 1 << 21 // rule expansion cap
+	maxEpsWork   = 1 << 22 // total ε-simulation step cap
+)
+
+// pdsRule is one pushdown-system rule ⟨p,γ⟩ → ⟨p2, w⟩ with |w| ≤ 2.
+type pdsRule struct {
+	p2   int
+	kind int // 0: w=ε, 1: w=a, 2: w=ab (a on top)
+	a, b core.Symbol
+}
+
+type head struct {
+	p int
+	g core.Symbol
+}
+
+type autoEdge struct {
+	from int
+	sym  core.Symbol
+	to   int
+}
+
+type analyzer struct {
+	m     *core.HDPDA
+	lim   Limits
+	gamma []core.Symbol // reachable stack alphabet: ⊥ + pushed symbols
+
+	numReal int // controls 0..numReal-1 are machine states
+	numCtrl int // including aux multipop controls
+	final   int // automaton final state id == numCtrl
+	nextID  int // next automaton state id (mid states)
+
+	rules    map[head][]pdsRule
+	numRules int
+	auxID    map[[4]int]int // (target, remaining, push, hasPush) -> control
+	midID    map[head]int   // (control, pushed sym) -> mid state
+
+	edges   map[autoEdge]bool
+	out     map[int][]autoEdge
+	epsFrom map[int][]int // q -> controls with a saturated ε-move into q
+	work    []autoEdge
+
+	capped bool // a work cap tripped; verdict must be conservative
+}
+
+// analyze runs every static check. It returns the proven depth bound
+// (⊥ excluded) and an empty diagnostics slice on success, or the
+// failing check's diagnostics.
+func analyze(m *core.HDPDA, lim Limits) (int, []Diagnostic) {
+	a := &analyzer{m: m, lim: lim}
+	a.buildRules()
+	if !a.capped {
+		a.saturate()
+	}
+	if a.capped {
+		return 0, []Diagnostic{{
+			Check:   CheckLimits,
+			Message: fmt.Sprintf("reachability analysis exceeded its work cap (%d rules, %d transitions): machine too complex to verify; rejected conservatively", a.numRules, len(a.edges)),
+		}}
+	}
+
+	coreach := a.coreachable()
+	if d := a.checkUnderflow(coreach); d != nil {
+		return 0, d
+	}
+	bound, d := a.checkDepth(coreach)
+	if d != nil {
+		return 0, d
+	}
+	if d := a.checkEpsilon(coreach, bound); d != nil {
+		return 0, d
+	}
+	if d := a.checkCompleteness(coreach); d != nil {
+		return 0, d
+	}
+	return bound, nil
+}
+
+func (a *analyzer) stateName(p int) string {
+	if p >= a.numReal {
+		return fmt.Sprintf("multipop#%d", p)
+	}
+	if l := a.m.States[p].Label; l != "" {
+		return l
+	}
+	return fmt.Sprintf("q%d", p)
+}
+
+func symName(g core.Symbol) string {
+	if g == core.BottomOfStack {
+		return "⊥"
+	}
+	return fmt.Sprintf("%#02x", uint8(g))
+}
+
+// buildRules derives the PDS rules from the machine's successor
+// relation: one rule per (state, successor, matchable stack top).
+func (a *analyzer) buildRules() {
+	m := a.m
+	a.numReal = m.NumStates()
+	a.numCtrl = a.numReal
+	a.rules = map[head][]pdsRule{}
+	a.auxID = map[[4]int]int{}
+
+	gset := core.NewSymbolSet(core.BottomOfStack)
+	for i := range m.States {
+		if m.States[i].Op.HasPush {
+			gset.Add(m.States[i].Op.Push)
+		}
+	}
+	a.gamma = gset.Symbols()
+
+	addRule := func(p int, g core.Symbol, r pdsRule) {
+		if a.numRules++; a.numRules > maxPDSRules {
+			a.capped = true
+			return
+		}
+		h := head{p, g}
+		a.rules[h] = append(a.rules[h], r)
+	}
+
+	// aux returns the control chain entry for "pop rem more symbols,
+	// then land in t (pushing per t's op)". Chains are shared per
+	// (t, rem) since the push is a property of t.
+	var aux func(t int, rem int) int
+	aux = func(t int, rem int) int {
+		st := &m.States[t]
+		push, hasPush := 0, 0
+		if st.Op.HasPush {
+			push, hasPush = int(st.Op.Push), 1
+		}
+		key := [4]int{t, rem, push, hasPush}
+		if id, ok := a.auxID[key]; ok {
+			return id
+		}
+		id := a.numCtrl
+		a.numCtrl++
+		a.auxID[key] = id
+		next := -1
+		if rem > 1 {
+			next = aux(t, rem-1)
+		}
+		for _, g := range a.gamma {
+			if g == core.BottomOfStack {
+				continue // popping ⊥ is underflow, not a move
+			}
+			if rem == 1 {
+				if st.Op.HasPush {
+					addRule(id, g, pdsRule{p2: t, kind: 1, a: st.Op.Push})
+				} else {
+					addRule(id, g, pdsRule{p2: t, kind: 0})
+				}
+			} else {
+				addRule(id, g, pdsRule{p2: next, kind: 0})
+			}
+		}
+		return id
+	}
+
+	for q := range m.States {
+		for _, tid := range m.States[q].Succ {
+			if a.capped {
+				return
+			}
+			t := int(tid)
+			st := &m.States[t]
+			k := int(st.Op.Pop)
+			for _, g := range a.gamma {
+				if !st.Stack.Contains(g) {
+					continue
+				}
+				switch {
+				case k == 0 && !st.Op.HasPush:
+					addRule(q, g, pdsRule{p2: t, kind: 1, a: g})
+				case k == 0:
+					addRule(q, g, pdsRule{p2: t, kind: 2, a: st.Op.Push, b: g})
+				case g == core.BottomOfStack:
+					// Popping ⊥ underflows; reachability of this head is
+					// what checkUnderflow looks for. No rule.
+				case k == 1 && !st.Op.HasPush:
+					addRule(q, g, pdsRule{p2: t, kind: 0})
+				case k == 1:
+					addRule(q, g, pdsRule{p2: t, kind: 1, a: st.Op.Push})
+				default:
+					addRule(q, g, pdsRule{p2: aux(t, k-1), kind: 0})
+				}
+			}
+		}
+	}
+}
+
+// saturate runs post* to a fixpoint from the initial configuration
+// (Start, ⊥).
+func (a *analyzer) saturate() {
+	a.final = a.numCtrl
+	a.nextID = a.numCtrl + 1
+	a.midID = map[head]int{}
+	a.edges = map[autoEdge]bool{}
+	a.out = map[int][]autoEdge{}
+	a.epsFrom = map[int][]int{}
+
+	a.addEdge(int(a.m.Start), core.BottomOfStack, a.final)
+	for len(a.work) > 0 && !a.capped {
+		e := a.work[len(a.work)-1]
+		a.work = a.work[:len(a.work)-1]
+		for _, r := range a.rules[head{e.from, e.sym}] {
+			switch r.kind {
+			case 0:
+				a.addEps(r.p2, e.to)
+			case 1:
+				a.addEdge(r.p2, r.a, e.to)
+			case 2:
+				mid := a.mid(r.p2, r.a)
+				a.addEdge(r.p2, r.a, mid)
+				a.addEdge(mid, r.b, e.to)
+			}
+		}
+	}
+}
+
+func (a *analyzer) mid(p int, g core.Symbol) int {
+	h := head{p, g}
+	if id, ok := a.midID[h]; ok {
+		return id
+	}
+	id := a.nextID
+	a.nextID++
+	a.midID[h] = id
+	return id
+}
+
+func (a *analyzer) addEdge(from int, sym core.Symbol, to int) {
+	e := autoEdge{from, sym, to}
+	if a.edges[e] {
+		return
+	}
+	if len(a.edges) >= maxAutoEdges {
+		a.capped = true
+		return
+	}
+	a.edges[e] = true
+	a.out[from] = append(a.out[from], e)
+	a.work = append(a.work, e)
+	// ε-predecessors of from see this edge too.
+	for _, p := range a.epsFrom[from] {
+		a.addEdge(p, sym, to)
+	}
+}
+
+// addEps records the saturated ε-move p ⇒ q: p inherits every edge out
+// of q, now and as new ones appear.
+func (a *analyzer) addEps(p, q int) {
+	if p == q {
+		return
+	}
+	for _, seen := range a.epsFrom[q] {
+		if seen == p {
+			return
+		}
+	}
+	a.epsFrom[q] = append(a.epsFrom[q], p)
+	for _, e := range a.out[q] {
+		a.addEdge(p, e.sym, e.to)
+	}
+}
+
+// coreachable returns the automaton states with a path to final, and
+// each one's shortest distance (in edges) to final.
+func (a *analyzer) coreachable() map[int]int {
+	rev := map[int][]int{}
+	for e := range a.edges {
+		rev[e.to] = append(rev[e.to], e.from)
+	}
+	dist := map[int]int{a.final: 0}
+	queue := []int{a.final}
+	for len(queue) > 0 {
+		q := queue[0]
+		queue = queue[1:]
+		for _, p := range rev[q] {
+			if _, ok := dist[p]; !ok {
+				dist[p] = dist[q] + 1
+				queue = append(queue, p)
+			}
+		}
+	}
+	return dist
+}
+
+// live reports whether control p has any reachable configuration: an
+// outgoing automaton edge on a path to final.
+func (a *analyzer) live(p int, coreach map[int]int) bool {
+	for _, e := range a.out[p] {
+		if _, ok := coreach[e.to]; ok {
+			return true
+		}
+	}
+	return false
+}
+
+// checkUnderflow looks for a reachable configuration whose stack
+// (including ⊥) has at most k symbols while an enabled successor pops
+// k ≥ 1: the pop would consume ⊥.
+func (a *analyzer) checkUnderflow(coreach map[int]int) []Diagnostic {
+	for q := range a.m.States {
+		for _, tid := range a.m.States[q].Succ {
+			st := &a.m.States[tid]
+			k := int(st.Op.Pop)
+			if k == 0 {
+				continue
+			}
+			// Shortest reachable stack word from q whose top st matches:
+			// an edge (q, g, x) with g ∈ st.Stack and x within k-1 edges
+			// of final gives |w| ≤ k.
+			for _, e := range a.out[q] {
+				if !st.Stack.Contains(e.sym) {
+					continue
+				}
+				d, ok := coreach[e.to]
+				if !ok || d > k-1 {
+					continue
+				}
+				w := a.shortestWord(e, coreach)
+				return []Diagnostic{{
+					Check:  CheckUnderflow,
+					State:  a.stateName(q),
+					Symbol: symName(e.sym),
+					Message: fmt.Sprintf("state %s can be reached with only %d stack symbol(s) %s while successor %s pops %d",
+						a.stateName(q), d+1, wordString(w), a.stateName(int(tid)), k),
+					Witness: []string{
+						fmt.Sprintf("reachable stack (top first): %s", wordString(w)),
+						fmt.Sprintf("enabled successor %s pops %d with only %d symbol(s) above nothing — ⊥ would be consumed", a.stateName(int(tid)), k, d),
+					},
+				}}
+			}
+		}
+	}
+	return nil
+}
+
+// shortestWord reconstructs a shortest stack word starting with edge e.
+func (a *analyzer) shortestWord(e autoEdge, coreach map[int]int) []core.Symbol {
+	w := []core.Symbol{e.sym}
+	cur := e.to
+	for cur != a.final {
+		d := coreach[cur]
+		found := false
+		for _, n := range a.out[cur] {
+			if nd, ok := coreach[n.to]; ok && nd == d-1 {
+				w = append(w, n.sym)
+				cur = n.to
+				found = true
+				break
+			}
+		}
+		if !found {
+			break
+		}
+	}
+	return w
+}
+
+func wordString(w []core.Symbol) string {
+	s := "["
+	for i, g := range w {
+		if i > 0 {
+			s += " "
+		}
+		s += symName(g)
+	}
+	return s + "]"
+}
+
+// checkDepth bounds the reachable stack depth. Stack words of control p
+// are paths p → final; a cycle on a live path means unbounded depth,
+// otherwise the longest path (minus ⊥) is the exact bound.
+func (a *analyzer) checkDepth(coreach map[int]int) (int, []Diagnostic) {
+	// Nodes on live paths: forward-reachable from a real control AND
+	// co-reachable to final.
+	fwd := map[int]bool{}
+	var queue []int
+	for p := 0; p < a.numReal; p++ {
+		if !fwd[p] && a.live(p, coreach) {
+			fwd[p] = true
+			queue = append(queue, p)
+		}
+	}
+	for len(queue) > 0 {
+		q := queue[0]
+		queue = queue[1:]
+		for _, e := range a.out[q] {
+			if _, ok := coreach[e.to]; !ok {
+				continue
+			}
+			if !fwd[e.to] {
+				fwd[e.to] = true
+				queue = append(queue, e.to)
+			}
+		}
+	}
+	inSub := func(s int) bool {
+		_, co := coreach[s]
+		return co && fwd[s]
+	}
+
+	// Cycle detection + topological order over the live subgraph. The
+	// DFS keeps its path explicitly so a back edge yields the cycle as
+	// the unbounded-depth witness.
+	const (
+		white = 0
+		gray  = 1
+		black = 2
+	)
+	color := map[int]int{}
+	var order []int // reverse topological
+	var path []int
+	var cyc []int
+	var visit func(s int) bool
+	visit = func(s int) bool {
+		color[s] = gray
+		path = append(path, s)
+		for _, e := range a.out[s] {
+			if !inSub(e.to) {
+				continue
+			}
+			switch color[e.to] {
+			case white:
+				if !visit(e.to) {
+					return false
+				}
+			case gray:
+				// Back edge: the path from e.to to s is the cycle.
+				for i, n := range path {
+					if n == e.to {
+						cyc = append([]int(nil), path[i:]...)
+						break
+					}
+				}
+				return false
+			}
+		}
+		path = path[:len(path)-1]
+		color[s] = black
+		order = append(order, s)
+		return true
+	}
+	nodes := make([]int, 0, len(fwd))
+	for s := range fwd {
+		if inSub(s) {
+			nodes = append(nodes, s)
+		}
+	}
+	sort.Ints(nodes)
+	for _, s := range nodes {
+		if color[s] != white {
+			continue
+		}
+		path = path[:0]
+		if !visit(s) {
+			// Unbounded: a pumping cycle on a live path.
+			names := make([]string, 0, len(cyc))
+			for _, n := range cyc {
+				names = append(names, a.describeAuto(n))
+			}
+			return 0, []Diagnostic{{
+				Check:   CheckDepth,
+				State:   a.describeAuto(cyc[0]),
+				Message: "reachable stack depth is unbounded: the machine can push forever along a reachable loop",
+				Witness: append([]string{"growing stack cycle through:"}, names...),
+			}}
+		}
+	}
+
+	// DAG longest path to final.
+	longest := map[int]int{a.final: 0}
+	for _, s := range order { // reverse topo: successors first
+		if s == a.final {
+			continue
+		}
+		best := -1
+		for _, e := range a.out[s] {
+			if !inSub(e.to) {
+				continue
+			}
+			if l, ok := longest[e.to]; ok && l+1 > best {
+				best = l + 1
+			}
+		}
+		if best >= 0 {
+			longest[s] = best
+		}
+	}
+	bound := 0
+	for p := 0; p < a.numReal; p++ {
+		if l, ok := longest[p]; ok && l > bound {
+			bound = l
+		}
+	}
+	bound-- // the word always ends in ⊥, which the depth excludes
+	if bound < 0 {
+		bound = 0
+	}
+	if bound > a.lim.MaxDepth {
+		return 0, []Diagnostic{{
+			Check:   CheckDepth,
+			Message: fmt.Sprintf("proven stack depth bound %d exceeds the admission limit %d", bound, a.lim.MaxDepth),
+		}}
+	}
+	return bound, nil
+}
+
+func (a *analyzer) describeAuto(s int) string {
+	if s < a.numReal {
+		return a.stateName(s)
+	}
+	if s < a.numCtrl {
+		return fmt.Sprintf("multipop#%d", s)
+	}
+	if s == a.final {
+		return "⟨final⟩"
+	}
+	for h, id := range a.midID {
+		if id == s {
+			return fmt.Sprintf("push(%s@%s)", symName(h.g), a.stateName(h.p))
+		}
+	}
+	return fmt.Sprintf("auto#%d", s)
+}
+
+// checkEpsilon verifies every reachable (state, top) head's ε-behavior:
+// the deterministic ε-chain from that head must terminate (come to
+// rest, or pop below its base symbol — the continuation is then covered
+// by another reachable head). An exact configuration revisit is a
+// livelock; exceeding the runtime ε-budget is rejected conservatively
+// (the runtime would kill such an input anyway; admission keeps it out
+// entirely).
+func (a *analyzer) checkEpsilon(coreach map[int]int, bound int) []Diagnostic {
+	m := a.m
+	depth := bound
+	if depth < 1 {
+		depth = 1
+	}
+	budget := 4*(m.NumStates()+depth) + 64
+	work := 0
+
+	epsSucc := func(p int, top core.Symbol) int {
+		for _, t := range m.States[p].Succ {
+			st := &m.States[t]
+			if st.Epsilon && st.Stack.Contains(top) {
+				return int(t)
+			}
+		}
+		return -1
+	}
+
+	for p := 0; p < a.numReal; p++ {
+		// Heads (p, g) with a reachable configuration.
+		tried := map[core.Symbol]bool{}
+		for _, e := range a.out[p] {
+			if _, ok := coreach[e.to]; !ok || tried[e.sym] {
+				continue
+			}
+			tried[e.sym] = true
+			if epsSucc(p, e.sym) < 0 {
+				continue
+			}
+			// Simulate the deterministic ε-chain from stack [g].
+			type cfg struct {
+				state int
+				stack string
+			}
+			stack := []core.Symbol{e.sym}
+			state := p
+			seen := map[cfg]bool{}
+			var trace []string
+			for steps := 0; ; steps++ {
+				if work++; work > maxEpsWork {
+					return []Diagnostic{{
+						Check:   CheckLimits,
+						Message: "ε-chain analysis exceeded its work cap; rejected conservatively",
+					}}
+				}
+				if len(stack) == 0 {
+					break // dipped below the base: another head covers it
+				}
+				top := stack[len(stack)-1]
+				t := epsSucc(state, top)
+				if t < 0 {
+					break // at rest
+				}
+				c := cfg{t, string(symbolsToBytes(stack))}
+				step := fmt.Sprintf("%s --ε--> %s (stack %s)", a.stateName(state), a.stateName(t), wordStringRev(stack))
+				if len(trace) < 16 {
+					trace = append(trace, step)
+				}
+				if seen[c] {
+					return []Diagnostic{{
+						Check:  CheckEpsilon,
+						State:  a.stateName(t),
+						Symbol: symName(e.sym),
+						Message: fmt.Sprintf("ε-livelock: from reachable head (%s, top %s) the ε-chain revisits its own configuration without consuming input",
+							a.stateName(p), symName(e.sym)),
+						Witness: trace,
+					}}
+				}
+				seen[c] = true
+				st := &m.States[t]
+				k := int(st.Op.Pop)
+				if k > len(stack) {
+					stack = stack[:0] // pops through the base
+				} else {
+					stack = stack[:len(stack)-k]
+				}
+				if st.Op.HasPush {
+					stack = append(stack, st.Op.Push)
+				}
+				state = t
+				if steps > budget {
+					return []Diagnostic{{
+						Check:  CheckEpsilon,
+						State:  a.stateName(state),
+						Symbol: symName(e.sym),
+						Message: fmt.Sprintf("ε-chain from reachable head (%s, top %s) exceeds the runtime ε-budget (%d) without resting",
+							a.stateName(p), symName(e.sym), budget),
+						Witness: trace,
+					}}
+				}
+			}
+		}
+	}
+	return nil
+}
+
+func symbolsToBytes(w []core.Symbol) []byte {
+	b := make([]byte, len(w))
+	for i, s := range w {
+		b[i] = byte(s)
+	}
+	return b
+}
+
+func wordStringRev(w []core.Symbol) string {
+	r := make([]core.Symbol, len(w))
+	for i, s := range w {
+		r[len(w)-1-i] = s
+	}
+	return wordString(r)
+}
+
+// checkCompleteness enforces blockfreeness: the machine must be able to
+// accept something, and every reachable state must have a path (in the
+// successor graph) to an accept state — a reachable dead end jams every
+// input that touches it, which admission exists to prevent.
+func (a *analyzer) checkCompleteness(coreach map[int]int) []Diagnostic {
+	m := a.m
+	// Accept states: reporting states carrying the accept code.
+	acceptIDs := []int{}
+	for i := range m.States {
+		if m.States[i].Accept && m.States[i].Report == compile.ReportAccept {
+			acceptIDs = append(acceptIDs, i)
+		}
+	}
+	anyLive := false
+	for _, q := range acceptIDs {
+		if a.live(q, coreach) {
+			anyLive = true
+			break
+		}
+	}
+	if !anyLive {
+		return []Diagnostic{{
+			Check:   CheckCompleteness,
+			Message: "no accepting configuration is reachable: the machine accepts no input at all",
+		}}
+	}
+
+	// Reverse reachability to accept states over the successor graph.
+	rev := map[int][]int{}
+	for q := range m.States {
+		for _, t := range m.States[q].Succ {
+			rev[int(t)] = append(rev[int(t)], q)
+		}
+	}
+	canAccept := map[int]bool{}
+	queue := append([]int(nil), acceptIDs...)
+	for _, q := range acceptIDs {
+		canAccept[q] = true
+	}
+	for len(queue) > 0 {
+		q := queue[0]
+		queue = queue[1:]
+		for _, p := range rev[q] {
+			if !canAccept[p] {
+				canAccept[p] = true
+				queue = append(queue, p)
+			}
+		}
+	}
+	for p := 0; p < a.numReal; p++ {
+		if a.live(p, coreach) && !canAccept[p] {
+			return []Diagnostic{{
+				Check: CheckCompleteness,
+				State: a.stateName(p),
+				Message: fmt.Sprintf("state %s is reachable but can never reach an accepting state: inputs that activate it always jam",
+					a.stateName(p)),
+				Witness: []string{fmt.Sprintf("trapped state: %s", a.stateName(p))},
+			}}
+		}
+	}
+	return nil
+}

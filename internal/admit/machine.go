@@ -1,0 +1,149 @@
+package admit
+
+import (
+	"fmt"
+	"time"
+
+	"aspen/internal/compile"
+	"aspen/internal/core"
+	"aspen/internal/grammar"
+	"aspen/internal/lang"
+	"aspen/internal/lexer"
+)
+
+// Raw formats (MNRL, .pda) describe machines over raw byte inputs with
+// classical end-of-input acceptance: the input is accepted when it is
+// fully consumed and the machine rests in an accept state after
+// trailing ε-moves. The serving stack instead speaks token codes and
+// decides acceptance by feeding an explicit ⊣ end-marker (code 1).
+// finishRaw bridges the two worlds:
+//
+//  1. the raw input alphabet is collected and each byte is remapped to
+//     the token code the serving TokenMap will assign it (code 2+i in
+//     ascending byte order — code 0 is unused and code 1 is ⊣, so the
+//     remap can never collide with either);
+//  2. acceptance is rewired onto ⊣: every accept state grows an
+//     end-marker successor that fires exactly when the greedy ε-drain
+//     has come to rest there, and loses its Accept flag (raw accepts
+//     are positional claims about END of input, which only ⊣ proves);
+//  3. a synthetic one-terminal-per-byte grammar and tokenizer are
+//     fabricated so the registry's lex→syms→codes pipeline reproduces
+//     the remap byte-for-byte.
+func finishRaw(name, format string, m *core.HDPDA, lim Limits) (*lang.Language, *compile.Compiled, *Rejection) {
+	// 1. Collect and remap the raw input alphabet.
+	var raw core.SymbolSet
+	for i := range m.States {
+		st := &m.States[i]
+		if !st.Epsilon {
+			raw = raw.Union(st.Input)
+		}
+	}
+	bytes := raw.Symbols()
+	if len(bytes) == 0 {
+		return nil, nil, reject(name, format, Diagnostic{
+			Check:   CheckCompleteness,
+			Message: "machine consumes no input: no non-ε state matches any symbol"})
+	}
+	if len(bytes) > maxRawAlphabet {
+		return nil, nil, reject(name, format, Diagnostic{
+			Check:   CheckLimits,
+			Message: fmt.Sprintf("input alphabet has %d symbols; limit %d (code 0 is reserved, code 1 is the ⊣ end-marker)", len(bytes), maxRawAlphabet)})
+	}
+	code := make(map[core.Symbol]core.Symbol, len(bytes))
+	for i, b := range bytes {
+		code[b] = core.Symbol(2 + i)
+	}
+	for i := range m.States {
+		st := &m.States[i]
+		if st.Epsilon {
+			continue
+		}
+		var in core.SymbolSet
+		for _, b := range st.Input.Symbols() {
+			in.Add(code[b])
+		}
+		st.Input = in
+	}
+
+	// 2. Rewire acceptance onto the ⊣ end-marker. The end state for an
+	// accept state q matches exactly the stack tops on which q's
+	// ε-successors do NOT fire: the executor drains ε to a fixpoint
+	// before feeding ⊣, so at rest no ε-successor is enabled, and the
+	// complement restriction both preserves determinism (ε vs. input on
+	// a shared top would be a conflict) and matches the classical
+	// ε-first acceptance rule.
+	endCode := core.Symbol(compile.EndCode)
+	accepts := []core.StateID{}
+	for i := range m.States {
+		if m.States[i].Accept {
+			accepts = append(accepts, core.StateID(i))
+		}
+	}
+	for _, q := range accepts {
+		st := m.State(q)
+		endSet := core.AllSymbols()
+		for _, t := range st.Succ {
+			if s := m.State(t); s.Epsilon {
+				for _, sym := range s.Stack.Symbols() {
+					endSet.Remove(sym)
+				}
+			}
+		}
+		st.Accept = false
+		st.Report = 0
+		if endSet.IsEmpty() {
+			// An ε-move always fires here; acceptance can never be
+			// observed in q itself. The ε-target chain carries it.
+			continue
+		}
+		end := m.AddState(core.State{
+			Label:  fmt.Sprintf("%s:accept(⊣)", st.Label),
+			Input:  core.NewSymbolSet(endCode),
+			Stack:  endSet,
+			Accept: true,
+			Report: compile.ReportAccept,
+		})
+		m.AddEdge(q, end)
+	}
+
+	// 3. Fabricate the serving-side grammar and tokenizer. Terminals are
+	// declared in ascending byte order, so NewTokenMap assigns exactly
+	// the codes the remap used.
+	g := grammar.New(name)
+	spec := lexer.Spec{Name: name}
+	for _, b := range bytes {
+		tn := fmt.Sprintf("B%02X", uint8(b))
+		g.Terminal(tn)
+		spec.Rules = append(spec.Rules, lexer.Rule{
+			Name:    tn,
+			Pattern: fmt.Sprintf(`\x%02x`, uint8(b)),
+		})
+	}
+
+	m.Name = name
+	m.StackAlphabet = stackAlphabet(m)
+	cm, err := compile.FromMachine(g, m, time.Time{})
+	if err != nil {
+		// Construction left the machine nondeterministic or structurally
+		// broken; surface as a determinism finding with the validator's
+		// witness text.
+		return nil, nil, reject(name, format, Diagnostic{
+			Check: CheckDeterminism, Message: err.Error()})
+	}
+	l := &lang.Language{Name: name, Grammar: g, LexSpec: spec}
+	return l, cm, nil
+}
+
+// stackAlphabet computes the reachable stack content alphabet: ⊥ plus
+// every symbol some state can push. Stack *match* sets can mention
+// symbols that never occur on the stack; those are irrelevant to
+// sizing.
+func stackAlphabet(m *core.HDPDA) core.SymbolSet {
+	s := core.NewSymbolSet(core.BottomOfStack)
+	for i := range m.States {
+		if m.States[i].Op.HasPush {
+			s.Add(m.States[i].Op.Push)
+		}
+	}
+	return s
+}

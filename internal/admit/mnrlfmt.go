@@ -1,0 +1,28 @@
+package admit
+
+import (
+	"strings"
+
+	"aspen/internal/compile"
+	"aspen/internal/lang"
+	"aspen/internal/mnrl"
+)
+
+// admitMNRL parses an MNRL JSON upload. mnrl.ImportHDPDA performs the
+// full structural parse and runs the machine validator (including the
+// determinism condition), so parse-stage and determinism-stage failures
+// both surface here; an "imported machine invalid" error means the
+// document itself was readable and the machine it described failed
+// validation — a semantic defect, not a syntax one.
+func admitMNRL(name string, source []byte, lim Limits) (*lang.Language, *compile.Compiled, *Rejection) {
+	m, err := mnrl.ImportHDPDA(source)
+	if err != nil {
+		check := CheckParse
+		if strings.Contains(err.Error(), "imported machine invalid") {
+			check = CheckDeterminism
+		}
+		return nil, nil, reject(name, FormatMNRL, Diagnostic{
+			Check: check, Message: err.Error()})
+	}
+	return finishRaw(name, FormatMNRL, m, lim)
+}

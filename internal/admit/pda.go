@@ -1,0 +1,359 @@
+package admit
+
+import (
+	"fmt"
+	"strings"
+
+	"aspen/internal/compile"
+	"aspen/internal/core"
+	"aspen/internal/lang"
+)
+
+// The "pda" upload format is the sectioned classical-PDA text format
+// (after the 06cezar/pushdown-automata exemplar): clearly marked
+// sections, each terminated by the keyword End —
+//
+//	[States]       all states
+//	[Sigma]        input alphabet (single-byte symbols)
+//	[Stack Sigma]  stack alphabet
+//	[Rules]        current_state, input_symbol, pop_symbol, push_symbol, next_state
+//	[Start]        the initial state
+//	[Accept]       accepting states
+//
+// `epsilon` stands for ε in the input position (consume nothing), the
+// pop position (ignore the stack: no match, no pop), and the push
+// position (push nothing). A named pop symbol both matches the top of
+// stack and pops it. `#` starts a line comment; `/* ... */` is a block
+// comment.
+
+type pdaRule struct {
+	line             int
+	from, to         string
+	input, pop, push string // "" = epsilon
+}
+
+type pdaFile struct {
+	states    []string
+	sigma     []string
+	gamma     []string
+	rules     []pdaRule
+	start     string
+	accept    []string
+	startLine int
+}
+
+// stripBlockComments blanks /* ... */ runs, preserving newlines so line
+// numbers in diagnostics stay true to the uploaded source.
+func stripBlockComments(src string) string {
+	var b strings.Builder
+	b.Grow(len(src))
+	in := false
+	for i := 0; i < len(src); i++ {
+		switch {
+		case !in && strings.HasPrefix(src[i:], "/*"):
+			in = true
+			i++
+		case in && strings.HasPrefix(src[i:], "*/"):
+			in = false
+			i++
+		case in && src[i] != '\n':
+			// dropped
+		default:
+			b.WriteByte(src[i])
+		}
+	}
+	return b.String()
+}
+
+// parsePDAFile reads the sectioned format into its raw parts.
+func parsePDAFile(name string, source []byte) (*pdaFile, *Rejection) {
+	pf := &pdaFile{}
+	section := ""
+	parseErr := func(ln int, format string, args ...any) *Rejection {
+		return reject(name, FormatPDA, Diagnostic{
+			Check: CheckParse, Line: ln,
+			Message: fmt.Sprintf("line %d: %s", ln, fmt.Sprintf(format, args...))})
+	}
+	for i, raw := range strings.Split(stripBlockComments(string(source)), "\n") {
+		ln := i + 1
+		line := raw
+		if j := strings.IndexByte(line, '#'); j >= 0 {
+			line = line[:j]
+		}
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "[") {
+			if section != "" {
+				return nil, parseErr(ln, "section %q opened before %q was terminated with End", line, section)
+			}
+			switch strings.ToLower(line) {
+			case "[states]":
+				section = "states"
+			case "[sigma]":
+				section = "sigma"
+			case "[stack sigma]":
+				section = "gamma"
+			case "[rules]":
+				section = "rules"
+			case "[start]":
+				section = "start"
+			case "[accept]":
+				section = "accept"
+			default:
+				return nil, parseErr(ln, "unknown section %q", line)
+			}
+			continue
+		}
+		if line == "End" {
+			if section == "" {
+				return nil, parseErr(ln, "End outside any section")
+			}
+			section = ""
+			continue
+		}
+		switch section {
+		case "":
+			return nil, parseErr(ln, "content %q outside any section", line)
+		case "states":
+			pf.states = append(pf.states, strings.Fields(line)...)
+		case "sigma":
+			pf.sigma = append(pf.sigma, strings.Fields(line)...)
+		case "gamma":
+			pf.gamma = append(pf.gamma, strings.Fields(line)...)
+		case "start":
+			if pf.start != "" {
+				return nil, parseErr(ln, "multiple start states (%q and %q)", pf.start, line)
+			}
+			pf.start = line
+			pf.startLine = ln
+		case "accept":
+			pf.accept = append(pf.accept, strings.Fields(line)...)
+		case "rules":
+			parts := strings.Split(line, ",")
+			if len(parts) != 5 {
+				return nil, parseErr(ln, "rule needs 5 comma-separated fields (state, input, pop, push, state); got %d", len(parts))
+			}
+			r := pdaRule{line: ln}
+			fields := [5]*string{&r.from, &r.input, &r.pop, &r.push, &r.to}
+			for k, p := range parts {
+				v := strings.TrimSpace(p)
+				if v == "" {
+					return nil, parseErr(ln, "rule field %d is empty", k+1)
+				}
+				if v == "epsilon" {
+					v = ""
+				}
+				*fields[k] = v
+			}
+			if r.from == "" || r.to == "" {
+				return nil, parseErr(ln, "epsilon is not a state")
+			}
+			pf.rules = append(pf.rules, r)
+		}
+	}
+	if section != "" {
+		return nil, parseErr(strings.Count(string(source), "\n")+1, "section %q not terminated with End (truncated upload?)", section)
+	}
+	return pf, nil
+}
+
+// admitPDA parses a .pda upload, checks rule-level determinism with
+// source-line witnesses, lowers to a classical DPDA, homogenizes, and
+// hands the machine to finishRaw.
+func admitPDA(name string, source []byte, lim Limits) (*lang.Language, *compile.Compiled, *Rejection) {
+	pf, rej := parsePDAFile(name, source)
+	if rej != nil {
+		return nil, nil, rej
+	}
+
+	ruleErr := func(r pdaRule, check, symbol, format string, args ...any) *Rejection {
+		return reject(name, FormatPDA, Diagnostic{
+			Check: check, State: r.from, Symbol: symbol, Line: r.line,
+			Message: fmt.Sprintf("line %d: %s", r.line, fmt.Sprintf(format, args...))})
+	}
+
+	// Declarations.
+	stateID := map[string]int{}
+	for _, s := range pf.states {
+		if _, dup := stateID[s]; dup {
+			return nil, nil, reject(name, FormatPDA, Diagnostic{
+				Check: CheckParse, State: s,
+				Message: fmt.Sprintf("state %q declared twice", s)})
+		}
+		stateID[s] = len(stateID)
+	}
+	if len(pf.states) == 0 {
+		return nil, nil, reject(name, FormatPDA, Diagnostic{
+			Check: CheckParse, Message: "no states declared"})
+	}
+	inputSym := map[string]core.Symbol{}
+	for _, s := range pf.sigma {
+		if len(s) != 1 {
+			return nil, nil, reject(name, FormatPDA, Diagnostic{
+				Check: CheckParse, Symbol: s,
+				Message: fmt.Sprintf("input symbol %q is not a single byte", s)})
+		}
+		inputSym[s] = core.Symbol(s[0])
+	}
+	// Stack symbols are assigned codes 1.. in declaration order; code 0
+	// is the machine's internal ⊥ (an empty stack in the classical
+	// model).
+	stackSym := map[string]core.Symbol{}
+	for _, s := range pf.gamma {
+		if _, dup := stackSym[s]; dup {
+			return nil, nil, reject(name, FormatPDA, Diagnostic{
+				Check: CheckParse, Symbol: s,
+				Message: fmt.Sprintf("stack symbol %q declared twice", s)})
+		}
+		if len(stackSym) >= 255 {
+			return nil, nil, reject(name, FormatPDA, Diagnostic{
+				Check:   CheckLimits,
+				Message: "more than 255 stack symbols (8-bit stack encoding, code 0 reserved for ⊥)"})
+		}
+		stackSym[s] = core.Symbol(len(stackSym) + 1)
+	}
+	if pf.start == "" {
+		return nil, nil, reject(name, FormatPDA, Diagnostic{
+			Check: CheckParse, Message: "no [Start] state"})
+	}
+	if _, ok := stateID[pf.start]; !ok {
+		return nil, nil, reject(name, FormatPDA, Diagnostic{
+			Check: CheckParse, State: pf.start, Line: pf.startLine,
+			Message: fmt.Sprintf("start state %q not declared in [States]", pf.start)})
+	}
+	accept := map[int]bool{}
+	for _, s := range pf.accept {
+		id, ok := stateID[s]
+		if !ok {
+			return nil, nil, reject(name, FormatPDA, Diagnostic{
+				Check: CheckParse, State: s,
+				Message: fmt.Sprintf("accept state %q not declared in [States]", s)})
+		}
+		accept[id] = true
+	}
+	if len(accept) == 0 {
+		return nil, nil, reject(name, FormatPDA, Diagnostic{
+			Check:   CheckCompleteness,
+			Message: "no accepting states: the machine accepts nothing"})
+	}
+
+	// Reference checks per rule.
+	for _, r := range pf.rules {
+		if _, ok := stateID[r.from]; !ok {
+			return nil, nil, ruleErr(r, CheckParse, r.from, "state %q not declared", r.from)
+		}
+		if _, ok := stateID[r.to]; !ok {
+			return nil, nil, ruleErr(r, CheckParse, r.to, "state %q not declared", r.to)
+		}
+		if r.input != "" {
+			if _, ok := inputSym[r.input]; !ok {
+				return nil, nil, ruleErr(r, CheckParse, r.input, "input symbol %q not declared in [Sigma]", r.input)
+			}
+		}
+		if r.pop != "" {
+			if _, ok := stackSym[r.pop]; !ok {
+				return nil, nil, ruleErr(r, CheckParse, r.pop, "stack symbol %q not declared in [Stack Sigma]", r.pop)
+			}
+		}
+		if r.push != "" {
+			if _, ok := stackSym[r.push]; !ok {
+				return nil, nil, ruleErr(r, CheckParse, r.push, "stack symbol %q not declared in [Stack Sigma]", r.push)
+			}
+		}
+	}
+
+	// Rule-level determinism, with both source lines as the witness. Two
+	// rules from the same state conflict when their stack conditions can
+	// overlap (equal pop symbols, or either ignores the stack) and their
+	// input conditions can fire together (an ε-input rule coexisting
+	// with anything, or two rules on the same input symbol).
+	for i := 0; i < len(pf.rules); i++ {
+		for j := i + 1; j < len(pf.rules); j++ {
+			a, b := pf.rules[i], pf.rules[j]
+			if a.from != b.from {
+				continue
+			}
+			stackOverlap := a.pop == "" || b.pop == "" || a.pop == b.pop
+			if !stackOverlap {
+				continue
+			}
+			var why string
+			switch {
+			case a.input == "" && b.input == "":
+				why = "two ε-input rules"
+			case a.input == "" || b.input == "":
+				why = "an ε-input rule and an input rule"
+			case a.input == b.input:
+				why = fmt.Sprintf("two rules on input %q", a.input)
+			default:
+				continue
+			}
+			sym := a.pop
+			if sym == "" {
+				sym = b.pop
+			}
+			return nil, nil, reject(name, FormatPDA, Diagnostic{
+				Check: CheckDeterminism, State: a.from, Symbol: sym, Line: b.line,
+				Message: fmt.Sprintf("state %q: %s can fire on the same stack top", a.from, why),
+				Witness: []string{
+					fmt.Sprintf("line %d: %s, %s, %s, %s, %s", a.line, a.from, orEps(a.input), orEps(a.pop), orEps(a.push), a.to),
+					fmt.Sprintf("line %d: %s, %s, %s, %s, %s", b.line, b.from, orEps(b.input), orEps(b.pop), orEps(b.push), b.to),
+				}})
+		}
+	}
+
+	// Lower to the classical DPDA. A named pop symbol becomes StackTop +
+	// Pop 1; an ε-pop (ignore the stack) expands to one transition per
+	// possible top of stack — every declared stack symbol plus ⊥ — with
+	// no pop.
+	d := &core.DPDA{Name: name, NumStates: len(pf.states),
+		Start: stateID[pf.start], Accept: accept}
+	allTops := []core.Symbol{core.BottomOfStack}
+	for _, s := range pf.gamma {
+		allTops = append(allTops, stackSym[s])
+	}
+	for _, r := range pf.rules {
+		t := core.DPDATransition{
+			From: stateID[r.from],
+			To:   stateID[r.to],
+		}
+		if r.input == "" {
+			t.Epsilon = true
+		} else {
+			t.Input = inputSym[r.input]
+		}
+		if r.push != "" {
+			t.Op.Push = stackSym[r.push]
+			t.Op.HasPush = true
+		}
+		if r.pop != "" {
+			t.StackTop = stackSym[r.pop]
+			t.Op.Pop = 1
+			d.Trans = append(d.Trans, t)
+			continue
+		}
+		for _, top := range allTops {
+			tt := t
+			tt.StackTop = top
+			d.Trans = append(d.Trans, tt)
+		}
+	}
+
+	m, err := d.ToHomogeneous()
+	if err != nil {
+		// The rule-level check above should have caught any conflict;
+		// this is the exact validator's backstop.
+		return nil, nil, reject(name, FormatPDA, Diagnostic{
+			Check: CheckDeterminism, Message: err.Error()})
+	}
+	return finishRaw(name, FormatPDA, m, lim)
+}
+
+func orEps(s string) string {
+	if s == "" {
+		return "epsilon"
+	}
+	return s
+}

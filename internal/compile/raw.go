@@ -1,0 +1,43 @@
+package compile
+
+import (
+	"fmt"
+	"time"
+
+	"aspen/internal/core"
+	"aspen/internal/grammar"
+)
+
+// FromMachine wraps an already-constructed hDPDA as a Compiled unit, the
+// form the serving registry loads. It is the admission path for machines
+// that did not come out of the LR pipeline (MNRL documents, .pda files):
+// the caller supplies a synthetic grammar whose terminals are declared
+// in exactly the order the machine's input codes were assigned, so
+// NewTokenMap reproduces the same code ↔ symbol correspondence the
+// machine was built against.
+//
+// Table is left nil: the LR parsing table exists only for grammar-
+// compiled machines, and nothing on the serving path consults it — the
+// simulator and the engine lowering both work from Machine alone.
+func FromMachine(g *grammar.Grammar, m *core.HDPDA, startedAt time.Time) (*Compiled, error) {
+	if startedAt.IsZero() {
+		startedAt = time.Now()
+	}
+	tm, err := NewTokenMap(g)
+	if err != nil {
+		return nil, err
+	}
+	m.InputAlphabet = tm.Alphabet()
+	if err := m.Validate(); err != nil {
+		return nil, fmt.Errorf("compile: machine invalid: %w", err)
+	}
+	stats := Stats{
+		TokenTypes: g.NumTokenTypes(),
+		States:     m.NumStates(),
+		EpsStates:  m.EpsilonStates(),
+	}
+	stats.StatesRaw = stats.States
+	stats.EpsStatesRaw = stats.EpsStates
+	stats.CompileTime = time.Since(startedAt)
+	return &Compiled{Grammar: g, Tokens: tm, Machine: m, Stats: stats}, nil
+}

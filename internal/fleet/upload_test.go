@@ -1,0 +1,156 @@
+package fleet
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"testing"
+
+	"aspen/internal/serve"
+)
+
+// fleetUploadPDA is the (ab)* machine the fanout test ships fleet-wide.
+const fleetUploadPDA = `
+[States]
+q0 q1
+End
+[Sigma]
+a b
+End
+[Stack Sigma]
+A
+End
+[Rules]
+q0, a, epsilon, A, q1
+q1, b, A, epsilon, q0
+End
+[Start]
+q0
+End
+[Accept]
+q0
+End
+`
+
+// TestUploadFanout ships a tenant upload through the router's admin
+// fanout: every member must admit and journal it, the router's registry
+// view must converge on the new tenant, and parses routed anywhere in
+// the fleet must answer identically — same fingerprint, same verdicts.
+func TestUploadFanout(t *testing.T) {
+	rt, nodes := startFleet(t, 3)
+	ts := routerServer(t, rt)
+
+	body, err := json.Marshal(map[string]any{
+		"op": "upload", "grammar": "alt", "format": "pda", "source": fleetUploadPDA,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(ts.URL+"/v1/admin/grammars", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("upload fanout: status %d: %s", resp.StatusCode, raw)
+	}
+	var fr AdminFanoutResponse
+	if err := json.Unmarshal(raw, &fr); err != nil {
+		t.Fatal(err)
+	}
+	if !fr.OK || len(fr.Nodes) != len(nodes) {
+		t.Fatalf("fanout verdict: ok=%v nodes=%d: %s", fr.OK, len(fr.Nodes), raw)
+	}
+	for _, nr := range fr.Nodes {
+		if nr.Status != http.StatusOK || nr.Error != "" {
+			t.Errorf("member %s: status %d err %q", nr.Node, nr.Status, nr.Error)
+		}
+	}
+
+	// Every member admitted the identical machine: one fingerprint
+	// fleet-wide, with the proven bound surfaced.
+	fp := ""
+	for i, n := range nodes {
+		var info *serve.GrammarInfo
+		for _, gi := range n.srv.Grammars() {
+			if gi.Name == "alt" {
+				g := gi
+				info = &g
+			}
+		}
+		if info == nil {
+			t.Fatalf("member %d did not load the upload", i)
+		}
+		if info.StackBound != 1 || info.Format != "pda" {
+			t.Errorf("member %d: bound %d format %q", i, info.StackBound, info.Format)
+		}
+		if fp == "" {
+			fp = info.Fingerprint
+		} else if info.Fingerprint != fp {
+			t.Errorf("member %d fingerprint %s, fleet has %s", i, info.Fingerprint, fp)
+		}
+	}
+
+	// The fleet serves the tenant: routed parses answer the same verdict
+	// no matter which member takes them, and every member answers the
+	// same directly.
+	for _, c := range []struct {
+		doc  string
+		want bool
+	}{{"abab", true}, {"", true}, {"aab", false}, {"ba", false}} {
+		for round := 0; round < len(nodes); round++ {
+			resp, pr := postParse(t, ts.URL, "alt", "", []byte(c.doc))
+			if resp.StatusCode != http.StatusOK || pr.Accepted != c.want {
+				t.Fatalf("routed parse %q: status %d accepted=%v, want %v",
+					c.doc, resp.StatusCode, pr.Accepted, c.want)
+			}
+		}
+		for i, n := range nodes {
+			resp, pr := postParse(t, n.ts.URL, "alt", "", []byte(c.doc))
+			if resp.StatusCode != http.StatusOK || pr.Accepted != c.want {
+				t.Fatalf("member %d parse %q: status %d accepted=%v, want %v",
+					i, c.doc, resp.StatusCode, pr.Accepted, c.want)
+			}
+		}
+	}
+
+	// A hostile upload is rejected fleet-wide: 502 (no member admitted),
+	// every member answering 422 with diagnostics, and no member's
+	// registry grows.
+	body, _ = json.Marshal(map[string]any{
+		"op": "upload", "grammar": "bad", "format": "pda",
+		"source": "[States]\nq0\n",
+	})
+	resp, err = http.Post(ts.URL+"/v1/admin/grammars", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadGateway {
+		t.Fatalf("hostile fanout: status %d, want 502: %s", resp.StatusCode, raw)
+	}
+	if err := json.Unmarshal(raw, &fr); err != nil {
+		t.Fatal(err)
+	}
+	for _, nr := range fr.Nodes {
+		if nr.Status != http.StatusUnprocessableEntity {
+			t.Errorf("member %s: hostile upload status %d, want 422", nr.Node, nr.Status)
+		}
+		var rr serve.RejectionResponse
+		if err := json.Unmarshal([]byte(nr.Body), &rr); err != nil {
+			t.Errorf("member %s: rejection body not machine-readable: %v", nr.Node, err)
+		} else if len(rr.Diagnostics) == 0 || rr.Diagnostics[0].Check != "parse" {
+			t.Errorf("member %s: diagnostics %+v", nr.Node, rr.Diagnostics)
+		}
+	}
+	for i, n := range nodes {
+		for _, gi := range n.srv.Grammars() {
+			if gi.Name == "bad" {
+				t.Errorf("member %d loaded a rejected upload", i)
+			}
+		}
+	}
+}

@@ -25,6 +25,19 @@ type Language struct {
 	// "let"), as yacc-family tools do by default.
 	ResolveShiftReduce bool
 
+	// Prebuilt, when set, is the already-compiled machine Compile returns
+	// instead of running the LR pipeline. Admitted uploads in non-grammar
+	// formats (MNRL, .pda) arrive as finished hDPDAs; the registry still
+	// speaks *Language, so the machine rides in here.
+	Prebuilt *compile.Compiled
+	// StackBound is the statically proven maximum stack depth (excluding
+	// ⊥) for admitted machines; 0 means unproven (built-ins, which rely
+	// on the runtime guard instead).
+	StackBound int
+	// Format records which upload format this language was admitted from
+	// ("grammar", "mnrl", "pda"); empty for built-ins.
+	Format string
+
 	lex *lexer.Lexer
 }
 
@@ -46,7 +59,13 @@ func (l *Language) Lexer() (*lexer.Lexer, error) {
 }
 
 // Compile builds the language's hDPDA with the given optimization set.
+// A prebuilt machine (admitted MNRL/.pda upload) is returned as-is: it
+// was constructed and statically checked once at admission, and every
+// rebuild must serve the byte-identical machine.
 func (l *Language) Compile(opts compile.Options) (*compile.Compiled, error) {
+	if l.Prebuilt != nil {
+		return l.Prebuilt, nil
+	}
 	if l.ResolveShiftReduce {
 		opts.ResolveShiftReduce = true
 	}

@@ -7,6 +7,7 @@ import (
 	"net/http"
 	"time"
 
+	"aspen/internal/admit"
 	"aspen/internal/lang"
 	"aspen/internal/store"
 )
@@ -179,6 +180,58 @@ func (s *Server) AddGrammar(name string) error {
 	return nil
 }
 
+// UploadGrammar admits a tenant-uploaded machine definition and loads
+// it into the registry. The admission pipeline (internal/admit) runs
+// before any journal write: a rejected upload mutates nothing and
+// returns a *admit.Rejection carrying machine-readable diagnostics. An
+// admitted upload journals the full (format, source, limits) tuple —
+// replay re-runs the identical admission at boot, so the proven stack
+// bound and machine fingerprint survive kill -9 bit-for-bit.
+func (s *Server) UploadGrammar(name, format string, source []byte, lim admit.Limits) (*admit.Result, error) {
+	s.adminMu.Lock()
+	defer s.adminMu.Unlock()
+	if s.draining.Load() {
+		return nil, ErrDraining
+	}
+	cur := s.tenants.Load()
+	if _, ok := cur.byName[name]; ok {
+		return nil, fmt.Errorf("%w: %q", ErrGrammarLoaded, name)
+	}
+	// Normalize once and journal the normalized limits, so replay
+	// admission sees exactly the ceilings this admission enforced even
+	// if defaults change across builds.
+	lim = lim.Normalize()
+	res, err := admit.Admit(name, format, source, lim)
+	if err != nil {
+		var rej *admit.Rejection
+		if errors.As(err, &rej) {
+			s.countRejection(rej)
+		}
+		return nil, err
+	}
+	next, err := s.buildTenantSet(append(currentLangs(cur), res.Language))
+	if err != nil {
+		return nil, err
+	}
+	if err := s.journalPartition(next); err != nil {
+		discardTenantSet(next)
+		return nil, err
+	}
+	if err := s.journalAppend(store.Record{
+		Op: store.OpUpload, Name: name, Format: format, Source: source,
+		MaxStates: lim.MaxStates, MaxDepth: lim.MaxDepth, MaxTableKB: lim.MaxTableKB,
+	}); err != nil {
+		discardTenantSet(next)
+		return nil, err
+	}
+	s.known[name] = res.Language
+	s.publish(cur, next)
+	if c := s.m.admitAdmitted[format]; c != nil {
+		c.Inc()
+	}
+	return res, nil
+}
+
 // RemoveGrammar unloads name. The last grammar cannot be removed — an
 // empty registry serves nothing and would refuse to boot from its own
 // journal.
@@ -304,23 +357,49 @@ func cloneWith(ts *tenantSet, name string, g *grammarEntry) *tenantSet {
 	return next
 }
 
-// adminRequest is the POST /v1/admin/grammars body.
+// adminRequest is the POST /v1/admin/grammars body. The upload op adds
+// format/source/limits; the other ops ignore them.
 type adminRequest struct {
-	Op      string `json:"op"` // add | remove | swap | reload
+	Op      string `json:"op"` // add | remove | swap | reload | upload
 	Grammar string `json:"grammar"`
+	// Upload fields: the source format ("grammar" | "mnrl" | "pda"),
+	// the machine definition text, and optional admission ceilings.
+	Format string       `json:"format,omitempty"`
+	Source string       `json:"source,omitempty"`
+	Limits admit.Limits `json:"limits,omitempty"`
 }
+
+// adminBodyLimit bounds the admin request body: the admission source
+// ceiling plus generous JSON-escaping and envelope overhead.
+const adminBodyLimit = int64(admit.MaxSourceBytes)*4 + 1<<16
 
 // AdminResponse is the success body of an admin mutation.
 type AdminResponse struct {
-	Op       string        `json:"op"`
-	Grammar  string        `json:"grammar,omitempty"`
-	Swapped  int           `json:"swapped,omitempty"`
-	Grammars []GrammarInfo `json:"grammars"`
+	Op       string `json:"op"`
+	Grammar  string `json:"grammar,omitempty"`
+	Swapped  int    `json:"swapped,omitempty"`
+	Admitted bool   `json:"admitted,omitempty"`
+	// Upload admission facts: the proven stack depth bound and machine
+	// size of the newly admitted machine.
+	StackBound int           `json:"stackBound,omitempty"`
+	States     int           `json:"states,omitempty"`
+	Grammars   []GrammarInfo `json:"grammars"`
+}
+
+// RejectionResponse is the 422 body of a rejected upload: the
+// machine-readable admission diagnostics, verbatim from internal/admit.
+type RejectionResponse struct {
+	Op          string             `json:"op"`
+	Grammar     string             `json:"grammar"`
+	Format      string             `json:"format"`
+	Admitted    bool               `json:"admitted"`
+	Error       string             `json:"error"`
+	Diagnostics []admit.Diagnostic `json:"diagnostics"`
 }
 
 func (s *Server) handleAdminGrammars(w http.ResponseWriter, r *http.Request) {
 	var req adminRequest
-	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<16)).Decode(&req); err != nil {
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, adminBodyLimit)).Decode(&req); err != nil {
 		writeJSON(w, http.StatusBadRequest, ErrorResponse{Error: "malformed admin request: " + err.Error()})
 		return
 	}
@@ -335,6 +414,30 @@ func (s *Server) handleAdminGrammars(w http.ResponseWriter, r *http.Request) {
 		err = s.SwapGrammar(req.Grammar)
 	case "reload":
 		resp.Swapped, err = s.Reload()
+	case "upload":
+		sp := s.beginSpan(w, r)
+		sp.grammar = req.Grammar
+		t0 := sp.now()
+		var res *admit.Result
+		res, err = s.UploadGrammar(req.Grammar, req.Format, []byte(req.Source), req.Limits)
+		sp.addSince(phaseAdmit, t0)
+		var rej *admit.Rejection
+		if errors.As(err, &rej) {
+			sp.outcome, sp.status = outcomeRejected, http.StatusUnprocessableEntity
+			s.recordSpan(&sp)
+			writeJSON(w, http.StatusUnprocessableEntity, RejectionResponse{
+				Op: req.Op, Grammar: req.Grammar, Format: req.Format,
+				Error: rej.Error(), Diagnostics: rej.Diagnostics,
+			})
+			return
+		}
+		if err == nil {
+			resp.Admitted = true
+			resp.StackBound = res.StackBound
+			resp.States = res.States
+			sp.g = s.tenants.Load().byName[req.Grammar]
+		}
+		s.recordSpan(&sp)
 	default:
 		writeJSON(w, http.StatusBadRequest, ErrorResponse{Error: "unknown admin op " + fmt.Sprintf("%q", req.Op)})
 		return

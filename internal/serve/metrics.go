@@ -3,6 +3,7 @@ package serve
 import (
 	"strconv"
 
+	"aspen/internal/admit"
 	"aspen/internal/telemetry"
 )
 
@@ -78,6 +79,13 @@ type serviceMetrics struct {
 	// flat zeros under -engine=sim keep dashboards stable either way.
 	engine engineMetrics
 
+	// Upload-admission verdicts (admin.go): admissions by format,
+	// rejections by the check that fired. Pre-registered over the full
+	// check/format vocabulary so a zero-rejection deployment still
+	// exports every series.
+	admitAdmitted map[string]*telemetry.Counter
+	admitRejected map[string]*telemetry.Counter
+
 	// errByCode counts non-2xx answers with no routed grammar (404
 	// unknown grammar, 503 drain denial); see countError.
 	errByCode map[int]*telemetry.Counter
@@ -138,8 +146,36 @@ func newServiceMetrics(reg *telemetry.Registry) serviceMetrics {
 
 		engine: newEngineMetrics(reg),
 
+		admitAdmitted: admitCounters(reg, "admit_admitted_total", "format",
+			admit.Formats(), "tenant uploads admitted to the registry, by source format"),
+		admitRejected: admitCounters(reg, "admit_rejected_total", "check",
+			admit.Checks(), "tenant uploads rejected at admission, by the check that fired"),
+
 		errByCode: errorCounters(reg),
 	}
+}
+
+func admitCounters(reg *telemetry.Registry, name, label string, values []string, help string) map[string]*telemetry.Counter {
+	m := make(map[string]*telemetry.Counter, len(values))
+	for _, v := range values {
+		m[v] = reg.Counter(telemetry.LabeledName(name, label, v), help)
+	}
+	return m
+}
+
+// countRejection attributes one admission rejection to the first
+// diagnostic's check series.
+func (s *Server) countRejection(rej *admit.Rejection) {
+	check := "unknown"
+	if len(rej.Diagnostics) > 0 {
+		check = rej.Diagnostics[0].Check
+	}
+	if c := s.m.admitRejected[check]; c != nil {
+		c.Inc()
+		return
+	}
+	s.reg.Counter(telemetry.LabeledName("admit_rejected_total", "check", check),
+		"tenant uploads rejected at admission, by the check that fired").Inc()
 }
 
 // grammarMetrics are the per-tenant, per-outcome series. The registry

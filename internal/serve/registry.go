@@ -299,6 +299,11 @@ type GrammarInfo struct {
 	// they run the cycle-accurate simulator.
 	Engine        string `json:"engine"`
 	EngineTableKB int    `json:"engineTableKB,omitempty"`
+	// Provenance of tenant-uploaded machines: the upload format and the
+	// admission-proven stack depth bound (⊥ excluded). Both empty/zero
+	// for built-in grammars, whose depth is provisioned, not proven.
+	Format     string `json:"format,omitempty"`
+	StackBound int    `json:"stackBound,omitempty"`
 }
 
 func (g *grammarEntry) info(queueDepth int) GrammarInfo {
@@ -310,6 +315,8 @@ func (g *grammarEntry) info(queueDepth int) GrammarInfo {
 	return GrammarInfo{
 		Engine:           eng,
 		EngineTableKB:    tableKB,
+		Format:           g.lang.Format,
+		StackBound:       g.lang.StackBound,
 		Name:             g.name,
 		Fingerprint:      telemetry.TraceIDString(g.cm.Machine.Fingerprint()),
 		States:           g.cm.Stats.States,

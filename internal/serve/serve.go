@@ -47,6 +47,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"aspen/internal/admit"
 	"aspen/internal/arch"
 	"aspen/internal/lang"
 	"aspen/internal/store"
@@ -247,13 +248,16 @@ func New(opts Options) (*Server, error) {
 	// first boot, the journal describes every boot since.
 	replayed := false
 	if opts.Store != nil && len(opts.Store.Replay.Records) > 0 {
-		names, mode, err := replayRegistry(opts.Store.Replay.Records)
+		names, mode, uploads, err := replayRegistry(opts.Store.Replay.Records)
 		if err != nil {
 			return nil, err
 		}
 		langs = make([]*lang.Language, 0, len(names))
 		for _, n := range names {
-			l := known[n]
+			l := uploads[n]
+			if l == nil {
+				l = known[n]
+			}
 			if l == nil {
 				l = resolveWith(opts.Resolver, n)
 			}
@@ -320,16 +324,27 @@ func New(opts Options) (*Server, error) {
 }
 
 // replayRegistry folds journaled mutations into the surviving
-// membership (in add order) and the last recorded verify mode. Replay
-// is forgiving about redundant mutations — an add of a loaded grammar
-// or a remove/swap of a missing one is a no-op, not an error — because
-// the journal already survived CRC and sequence checks; only a final
-// state the server cannot serve (empty registry) is fatal.
-func replayRegistry(recs []store.Record) (names []string, mode string, err error) {
+// membership (in add order), the last recorded verify mode, and the
+// re-admitted tenant uploads. Replay is forgiving about redundant
+// mutations — an add of a loaded grammar or a remove/swap of a missing
+// one is a no-op, not an error — because the journal already survived
+// CRC and sequence checks; only a final state the server cannot serve
+// (empty registry, or an upload record that no longer admits) is fatal.
+func replayRegistry(recs []store.Record) (names []string, mode string, uploads map[string]*lang.Language, err error) {
 	loaded := make(map[string]bool)
+	uploadRec := make(map[string]store.Record)
 	for _, r := range recs {
 		switch r.Op {
 		case store.OpAddGrammar:
+			if !loaded[r.Name] {
+				loaded[r.Name] = true
+				names = append(names, r.Name)
+			}
+		case store.OpUpload:
+			// An upload is an add whose definition travels in the record.
+			// The latest upload wins the definition even across a
+			// remove/re-upload cycle, matching the live known-set behavior.
+			uploadRec[r.Name] = r
 			if !loaded[r.Name] {
 				loaded[r.Name] = true
 				names = append(names, r.Name)
@@ -353,9 +368,26 @@ func replayRegistry(recs []store.Record) (names []string, mode string, err error
 		}
 	}
 	if len(names) == 0 {
-		return nil, "", fmt.Errorf("serve: journal replays to an empty registry")
+		return nil, "", nil, fmt.Errorf("serve: journal replays to an empty registry")
 	}
-	return names, mode, nil
+	// Re-run the identical admission for every surviving upload.
+	// Admission is deterministic, so this can only fail on version skew
+	// (a checker grown stricter than the one that admitted the machine)
+	// — surfaced as a boot error, never as a silently weaker machine.
+	uploads = make(map[string]*lang.Language)
+	for _, n := range names {
+		r, ok := uploadRec[n]
+		if !ok {
+			continue
+		}
+		res, aerr := admit.Admit(r.Name, r.Format, r.Source, admit.Limits{
+			MaxStates: r.MaxStates, MaxDepth: r.MaxDepth, MaxTableKB: r.MaxTableKB})
+		if aerr != nil {
+			return nil, "", nil, fmt.Errorf("serve: journaled upload %q (%s) no longer admits: %w", n, r.Format, aerr)
+		}
+		uploads[n] = res.Language
+	}
+	return names, mode, uploads, nil
 }
 
 func resolveWith(r func(string) *lang.Language, name string) *lang.Language {

@@ -35,12 +35,13 @@ const (
 	phaseRetry          // rollback + backoff + replay after a Corrupt verdict
 	phasePersist        // durable-session checkpoint load/save
 	phaseRespond        // response encode
+	phaseAdmit          // upload static analysis (admin path only)
 	numPhases
 )
 
 // phaseNames indexes the phases for exposition (metric label values and
 // flight-record JSON keys).
-var phaseNames = []string{"queue", "read", "parse", "verify", "retry", "persist", "respond"}
+var phaseNames = []string{"queue", "read", "parse", "verify", "retry", "persist", "respond", "admit"}
 
 // Outcome vocabulary. Constant strings: recording a span must not
 // allocate, so outcomes are picked from this fixed set.

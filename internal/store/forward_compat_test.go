@@ -1,0 +1,137 @@
+package store
+
+import (
+	"encoding/binary"
+	"errors"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+// encodeRawRecord builds a structurally valid frame (good magic, length,
+// CRC) for an arbitrary op byte — including ops this build does not
+// know. AppendRecord refuses to produce these, so the test frames them
+// by hand, exactly as a newer build's codec would.
+func encodeRawRecord(seq uint64, op byte, payload []byte) []byte {
+	out := []byte(recordMagic)
+	out = binary.LittleEndian.AppendUint64(out, seq)
+	out = append(out, op)
+	out = binary.LittleEndian.AppendUint32(out, uint32(len(payload)))
+	out = append(out, payload...)
+	crc := crc32.Checksum(out[4:], crcTable)
+	return binary.LittleEndian.AppendUint32(out, crc)
+}
+
+// TestDecodeUnknownOpIsVersionedError pins that a CRC-valid record with
+// an op outside this build's vocabulary decodes to ErrUnknownOp — a
+// distinct, versioned error — and not to ErrRecordCorrupt.
+func TestDecodeUnknownOpIsVersionedError(t *testing.T) {
+	frame := encodeRawRecord(1, 99, []byte{0xde, 0xad})
+	_, _, err := DecodeRecord(frame)
+	if err == nil {
+		t.Fatal("unknown-op record decoded cleanly")
+	}
+	if !errors.Is(err, ErrUnknownOp) {
+		t.Fatalf("want ErrUnknownOp, got %v", err)
+	}
+	if errors.Is(err, ErrRecordCorrupt) {
+		t.Fatalf("unknown op misreported as corruption: %v", err)
+	}
+}
+
+// TestReplayUnknownOpFailsWithoutTruncation pins the forward-compat
+// contract: replaying a journal that contains a record from a newer op
+// vocabulary must fail loudly (wrapping ErrUnknownOp) and must NOT
+// truncate those bytes away — they are durable state, not damage. A
+// plain corrupt tail, by contrast, is still truncated and recovered.
+func TestReplayUnknownOpFailsWithoutTruncation(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "journal.ajl")
+
+	j, _, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Append(Record{Op: OpAddGrammar, Name: "JSON"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Append a valid frame with an op from the future, in sequence.
+	future := encodeRawRecord(2, 42, []byte("newer-build payload"))
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write(future); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	before, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	_, _, err = OpenJournal(path)
+	if err == nil {
+		t.Fatal("open succeeded over an unknown-op record")
+	}
+	if !errors.Is(err, ErrUnknownOp) {
+		t.Fatalf("want ErrUnknownOp from open, got %v", err)
+	}
+
+	after, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(before, after) {
+		t.Fatalf("journal bytes changed: %d -> %d bytes (newer-version record truncated?)", len(before), len(after))
+	}
+}
+
+// TestReplayCorruptTailStillTruncates guards the recovery path the
+// forward-compat change must not regress: genuine tail damage (here, a
+// torn half-record) is still truncated and the open succeeds.
+func TestReplayCorruptTailStillTruncates(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "journal.ajl")
+
+	j, _, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Append(Record{Op: OpAddGrammar, Name: "JSON"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("AJL1torn")); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	j2, res, err := OpenJournal(path)
+	if err != nil {
+		t.Fatalf("open over torn tail: %v", err)
+	}
+	defer j2.Close()
+	if len(res.Records) != 1 || res.DroppedBytes != 8 {
+		t.Fatalf("recovered %d records, dropped %d bytes", len(res.Records), res.DroppedBytes)
+	}
+	if !errors.Is(res.DropCause, ErrRecordCorrupt) {
+		t.Fatalf("drop cause: %v", res.DropCause)
+	}
+}

@@ -48,6 +48,14 @@ type ReplayResult struct {
 // OpenJournal opens (creating if absent) the journal at path, replays
 // it, truncates any invalid suffix, and leaves the file positioned for
 // appending. The parent directory must exist.
+//
+// One suffix is never truncated: a record whose frame and CRC verify
+// but whose op code is unknown (ErrUnknownOp). Those bytes are a valid
+// mutation written by a newer build, not damage — truncating them would
+// destroy durable state, and skipping them would silently fork the
+// registry. OpenJournal fails instead, wrapping ErrUnknownOp, so the
+// operator downgrades deliberately (or upgrades back) rather than by
+// data loss.
 func OpenJournal(path string) (*Journal, ReplayResult, error) {
 	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
 	if err != nil {
@@ -76,6 +84,10 @@ func OpenJournal(path string) (*Journal, ReplayResult, error) {
 		valid += n
 	}
 	res.DroppedBytes = len(data) - valid
+	if res.DropCause != nil && errors.Is(res.DropCause, ErrUnknownOp) {
+		f.Close()
+		return nil, ReplayResult{}, fmt.Errorf("store: journal %s: %w", path, res.DropCause)
+	}
 	if res.DroppedBytes > 0 {
 		// Recover by truncating to the valid prefix: the discarded suffix
 		// is either a torn final append (the crash the journal exists to

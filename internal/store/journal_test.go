@@ -17,6 +17,8 @@ func testRecords() []Record {
 			{Name: "JSON", Lo: 0, Hi: 24}, {Name: "XML", Lo: 24, Hi: 48}}},
 		{Op: OpSwapGrammar, Name: "JSON"},
 		{Op: OpRemoveGrammar, Name: "XML"},
+		{Op: OpUpload, Name: "Paren", Format: "pda",
+			Source: []byte("[States]\nq0\nEnd\n"), MaxStates: 4096, MaxDepth: 256, MaxTableKB: 8192},
 	}
 }
 

@@ -39,6 +39,11 @@ const (
 	// written after every membership change so replay can cross-check the
 	// recomputed partition.
 	OpPartition Op = 5
+	// OpUpload records a tenant-uploaded machine admission: the source
+	// text, its format, and the admission limits it was checked under, so
+	// replay re-runs the identical admission and rebuilds the identical
+	// machine.
+	OpUpload Op = 6
 )
 
 func (o Op) String() string {
@@ -53,6 +58,8 @@ func (o Op) String() string {
 		return "verify-mode"
 	case OpPartition:
 		return "partition"
+	case OpUpload:
+		return "upload"
 	default:
 		return fmt.Sprintf("Op(%d)", int(o))
 	}
@@ -75,11 +82,26 @@ type Record struct {
 	Name    string        // grammar name, or the mode string for OpVerifyMode
 	Banks   int           // OpPartition: fabric total
 	Tenants []TenantRange // OpPartition
+	// OpUpload fields: the source text as uploaded, its declared format,
+	// and the admission limits in force when it was admitted. Replay
+	// re-admits from exactly these inputs.
+	Format     string
+	Source     []byte
+	MaxStates  int
+	MaxDepth   int
+	MaxTableKB int
 }
 
 // ErrRecordCorrupt reports a record that failed to frame, failed its
 // CRC, or decoded non-canonically.
 var ErrRecordCorrupt = errors.New("store: corrupt journal record")
+
+// ErrUnknownOp reports a structurally intact record (magic, length, and
+// CRC all verify) whose op code this build does not understand — i.e. a
+// journal written by a newer version of the software. Replay must stop
+// and surface this rather than truncate or skip: the bytes are not
+// damage, and dropping them would silently fork registry state.
+var ErrUnknownOp = errors.New("store: journal record op not supported by this version (journal written by a newer build?)")
 
 const (
 	recordMagic = "AJL1"
@@ -89,6 +111,9 @@ const (
 	maxPayload = 1 << 20
 	// maxName bounds one encoded string.
 	maxName = 1 << 10
+	// maxSource bounds one uploaded machine definition. Admission enforces
+	// the same ceiling, so a record that exceeds it never existed.
+	maxSource = 256 << 10
 )
 
 var crcTable = crc32.MakeTable(crc32.IEEE)
@@ -130,6 +155,23 @@ func (r *Record) payload() ([]byte, error) {
 			out = binary.LittleEndian.AppendUint32(out, uint32(t.Hi))
 		}
 		return out, nil
+	case OpUpload:
+		if len(r.Name) == 0 || len(r.Name) > maxName {
+			return nil, fmt.Errorf("store: record name length %d out of range", len(r.Name))
+		}
+		if len(r.Format) == 0 || len(r.Format) > maxName {
+			return nil, fmt.Errorf("store: record format length %d out of range", len(r.Format))
+		}
+		if len(r.Source) == 0 || len(r.Source) > maxSource {
+			return nil, fmt.Errorf("store: record source length %d out of range", len(r.Source))
+		}
+		out := appendString(nil, r.Name)
+		out = appendString(out, r.Format)
+		out = binary.LittleEndian.AppendUint32(out, uint32(r.MaxStates))
+		out = binary.LittleEndian.AppendUint32(out, uint32(r.MaxDepth))
+		out = binary.LittleEndian.AppendUint32(out, uint32(r.MaxTableKB))
+		out = binary.LittleEndian.AppendUint32(out, uint32(len(r.Source)))
+		return append(out, r.Source...), nil
 	default:
 		return nil, fmt.Errorf("store: unknown op %d", r.Op)
 	}
@@ -156,7 +198,9 @@ func AppendRecord(out []byte, r Record) ([]byte, error) {
 // DecodeRecord decodes the first record in data, returning it and the
 // number of bytes consumed. Any structural damage — short buffer, bad
 // magic, oversized length, CRC mismatch, trailing payload bytes, or a
-// non-canonical encoding — returns ErrRecordCorrupt. It never panics.
+// non-canonical encoding — returns ErrRecordCorrupt. A record whose
+// frame verifies but whose op code is unknown returns ErrUnknownOp
+// (version skew, not damage). It never panics.
 func DecodeRecord(data []byte) (Record, int, error) {
 	const header = 4 + 8 + 1 + 4 // magic + seq + op + payload len
 	if len(data) < header {
@@ -209,8 +253,32 @@ func DecodeRecord(data []byte) (Record, int, error) {
 			p = p[8:]
 			r.Tenants = append(r.Tenants, t)
 		}
+	case OpUpload:
+		r.Name, p, err = takeString(p)
+		if err != nil {
+			return Record{}, 0, err
+		}
+		r.Format, p, err = takeString(p)
+		if err != nil {
+			return Record{}, 0, err
+		}
+		if len(p) < 16 {
+			return Record{}, 0, fmt.Errorf("%w: truncated upload limits", ErrRecordCorrupt)
+		}
+		r.MaxStates = int(binary.LittleEndian.Uint32(p))
+		r.MaxDepth = int(binary.LittleEndian.Uint32(p[4:]))
+		r.MaxTableKB = int(binary.LittleEndian.Uint32(p[8:]))
+		slen := int(binary.LittleEndian.Uint32(p[12:]))
+		p = p[16:]
+		if slen > maxSource || slen > len(p) {
+			return Record{}, 0, fmt.Errorf("%w: source length %d exceeds payload", ErrRecordCorrupt, slen)
+		}
+		r.Source = append([]byte(nil), p[:slen]...)
+		p = p[slen:]
 	default:
-		return Record{}, 0, fmt.Errorf("%w: unknown op %d", ErrRecordCorrupt, op)
+		// The frame is intact (CRC verified above) but the op is from a
+		// newer record vocabulary. This is a version skew, not corruption.
+		return Record{}, 0, fmt.Errorf("%w: op %d at seq %d", ErrUnknownOp, op, seq)
 	}
 	if len(p) != 0 {
 		return Record{}, 0, fmt.Errorf("%w: %d trailing payload bytes", ErrRecordCorrupt, len(p))

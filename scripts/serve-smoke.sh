@@ -120,7 +120,40 @@ admin=$(get -X POST -d '{"op":"add","grammar":"MiniC"}' \
     "http://$addr/v1/admin/grammars") || fail "admin add MiniC failed"
 echo "$admin" | grep -q '"MiniC"' || fail "admin add response missing MiniC: $admin"
 
-echo "serve-smoke: parse + health + metrics + admin ok; kill -9"
+# Tenant upload: the (ab)* machine in the .pda format is admitted with a
+# proven stack bound of 1, journaled, and served immediately.
+upload_body='{"op":"upload","grammar":"alt","format":"pda","source":"[States]\nq0 q1\nEnd\n[Sigma]\na b\nEnd\n[Stack Sigma]\nA\nEnd\n[Rules]\nq0, a, epsilon, A, q1\nq1, b, A, epsilon, q0\nEnd\n[Start]\nq0\nEnd\n[Accept]\nq0\nEnd\n"}'
+upload=$(get -X POST -d "$upload_body" "http://$addr/v1/admin/grammars") ||
+    fail "tenant upload failed"
+echo "$upload" | grep -q '"admitted": true' || fail "upload not admitted: $upload"
+echo "$upload" | grep -q '"stackBound": 1' || fail "upload missing proven bound: $upload"
+uparse=$(printf 'abab' |
+    get -X POST --data-binary @- "http://$addr/v1/parse/alt") ||
+    fail "parse on uploaded machine failed"
+echo "$uparse" | grep -q '"accepted": true' || fail "uploaded machine rejected abab: $uparse"
+ubefore=$(echo "$uparse" | normalize)
+
+# Hostile upload: an unbounded-depth machine must be rejected 422 with a
+# machine-readable diagnostic naming the depth check, and serving must
+# be unaffected.
+hostile_body='{"op":"upload","grammar":"bad","format":"pda","source":"[States]\nq0 q1\nEnd\n[Sigma]\na b\nEnd\n[Stack Sigma]\nA\nEnd\n[Rules]\nq0, a, epsilon, A, q0\nq0, b, A, epsilon, q1\nq1, b, A, epsilon, q1\nEnd\n[Start]\nq0\nEnd\n[Accept]\nq1\nEnd\n"}'
+hostile_code=$(curl -sS -o "$workdir/hostile.json" -w '%{http_code}' -X POST \
+    -d "$hostile_body" "http://$addr/v1/admin/grammars") || fail "hostile upload probe failed"
+[ "$hostile_code" = "422" ] || fail "hostile upload answered $hostile_code, want 422"
+grep -q '"check": "depth"' "$workdir/hostile.json" ||
+    fail "hostile rejection missing depth diagnostic: $(cat "$workdir/hostile.json")"
+
+# Admission telemetry: per-format admit counter, per-check reject
+# counter, and the admission phase in the span histograms.
+metrics=$(get "http://$addr/metrics") || fail "/metrics unreachable after upload"
+echo "$metrics" | grep -q '^admit_admitted_total{format="pda"} 1$' ||
+    fail "/metrics missing admit_admitted_total{format=pda}"
+echo "$metrics" | grep -q '^admit_rejected_total{check="depth"} 1$' ||
+    fail "/metrics missing admit_rejected_total{check=depth}"
+echo "$metrics" | grep -q 'serve_phase_ns_bucket{grammar="alt",phase="admit",le="' ||
+    fail "/metrics missing admission phase histogram"
+
+echo "serve-smoke: parse + health + metrics + admin + upload ok; kill -9"
 kill -9 "$daemon_pid"
 i=0
 while kill -0 "$daemon_pid" 2>/dev/null; do
@@ -140,6 +173,7 @@ echo "serve-smoke: daemon restarted on $addr"
 grep -q 'replayed' "$log" || fail "restart did not replay the journal"
 echo "$health" | grep -q '"JSON"' || fail "journaled JSON grammar lost across kill -9"
 echo "$health" | grep -q '"MiniC"' || fail "admin-loaded MiniC lost across kill -9"
+echo "$health" | grep -q '"alt"' || fail "tenant upload lost across kill -9"
 
 after=$(printf '%s' "$doc" |
     get -X POST --data-binary @- "http://$addr/v1/parse/JSON" | normalize) ||
@@ -149,6 +183,17 @@ after=$(printf '%s' "$doc" |
 $before
 --- after
 $after"
+
+# The journaled upload is re-admitted from its recorded source on boot
+# and answers byte-identically.
+uafter=$(printf 'abab' |
+    get -X POST --data-binary @- "http://$addr/v1/parse/alt" | normalize) ||
+    fail "post-restart parse on uploaded machine failed"
+[ "$ubefore" = "$uafter" ] || fail "uploaded machine answers differ across kill -9:
+--- before
+$ubefore
+--- after
+$uafter"
 
 echo "serve-smoke: crash recovery ok; draining"
 kill -TERM "$daemon_pid"
