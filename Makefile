@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: build test check fmt vet race fuzz bench bench-json experiments serve-smoke fleet-smoke
+.PHONY: build test check fmt vet race fuzz bench bench-json experiments serve-smoke fleet-smoke overload-smoke
 
 build:
 	$(GO) build ./...
@@ -36,6 +36,13 @@ serve-smoke:
 fleet-smoke:
 	sh scripts/fleet-smoke.sh
 
+# Boot a 2-node fleet (one node gray-slow via the latency fault
+# injector) behind a hedging router, flood one tenant, and require the
+# quiet tenant unshed with bounded latency, zero non-shed flood errors,
+# and the overload metric surfaces live.
+overload-smoke:
+	sh scripts/overload-smoke.sh
+
 # Short coverage-guided runs of every native fuzz target: streaming
 # equivalence (chunk-boundary lexing, chunked-vs-whole parsing), the
 # software-parser differential, the XML pipeline, checkpoint
@@ -55,7 +62,7 @@ fuzz:
 	$(GO) test -run '^$$' -fuzz FuzzAdmitUpload -fuzztime $(FUZZTIME) ./internal/admit
 
 # Pre-merge check: run before every merge/PR.
-check: vet fmt race serve-smoke fleet-smoke fuzz
+check: vet fmt race serve-smoke fleet-smoke overload-smoke fuzz
 
 bench:
 	$(GO) test -bench . -benchtime 1x ./internal/bench

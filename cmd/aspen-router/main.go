@@ -30,6 +30,15 @@
 // cooldown, not one per request. Downstream 429/Retry-After is
 // honored, never retried against a different node's queue, and never
 // counted against the throttling node's health.
+//
+// Gray failure: per-node latency EWMAs (success legs only) demote a
+// ready-but-slow node to last place in every candidate list
+// (-gray-factor, -gray-min-samples; fleet_node_gray{node=} shows who).
+// -hedge races a second copy of an idempotent whole-document parse on
+// the next-best node once the placed node is past the fleet's p95
+// forward latency — first answer wins, the loser is canceled
+// (hedge_total{outcome=}), and sessions are never hedged. Relayed
+// Retry-After headers are clamped to [1, 60] seconds.
 package main
 
 import (
@@ -66,6 +75,9 @@ func main() {
 		sessTTL   = flag.Duration("session-ttl", fleet.DefaultSessionIdleTTL, "idle time before the router forgets a session's placement and cached checkpoint (node-side durable state is untouched)")
 		flightSz  = flag.Int("flight", telemetry.DefaultFlightSize, "flight-recorder capacity for /v1/debug/requests")
 		slow      = flag.Duration("slow", time.Duration(telemetry.DefaultSlowNS), "latency at which a request is retained in the notable ring")
+		hedge     = flag.Bool("hedge", false, "hedge idempotent whole-document parses: if the placed node has not answered within the fleet's p95 forward latency, race a second copy on the next-best node (first answer wins, the loser is canceled; sessions are never hedged)")
+		grayFac   = flag.Float64("gray-factor", fleet.DefaultGrayFactor, "gray-node demotion: a ready node whose success-latency EWMA exceeds this multiple of the fleet minimum is placed last (still usable; recovers when its latency does)")
+		grayMin   = flag.Int("gray-min-samples", fleet.DefaultGrayMinSamples, "minimum success samples before a node's latency EWMA participates in gray detection")
 	)
 	tf := telemetry.RegisterFlags(flag.CommandLine)
 	flag.Parse()
@@ -103,6 +115,9 @@ func main() {
 		SessionIdleTTL:   *sessTTL,
 		FlightSize:       *flightSz,
 		SlowThreshold:    *slow,
+		Hedge:            *hedge,
+		GrayFactor:       *grayFac,
+		GrayMinSamples:   *grayMin,
 	})
 	if err != nil {
 		fatal("%v", err)

@@ -11,6 +11,8 @@
 //	aspend -fabric-banks 128 -pprof-addr :6060 -metrics - -trace-out reqs.jsonl -trace-sample 100
 //	aspend -fault-rate 0.001 -fault-seed 42 -kill-bank-after 30s -verify-mode tmr
 //	aspend -engine sim   # pin every parse to the cycle-accurate simulator
+//	aspend -latency-target 50ms -brownout   # overload control: AIMD limit + brownout ladder
+//	aspend -gray-rate 0.01 -gray-delay 5ms  # chaos: gray-slow node (correct but stalling)
 //
 // API:
 //
@@ -28,6 +30,14 @@
 // the ID joins the flight recorder (?trace=) and per-request trace
 // output. -flight sizes the recorder; -slow sets the latency beyond
 // which a request is retained in its notable ring.
+//
+// Overload control: every 429 (full waiting room, deadline shed, or
+// brownout) carries Retry-After and counts in shed_total{reason=}; an
+// AIMD limiter (-latency-target) bounds global parse concurrency with
+// per-tenant weighted-fair queuing in front of it, weighted by each
+// grammar's proven machine cost (admin "weight" op overrides); and
+// -brownout arms the degraded ladder that sheds the cheapest tenants
+// first when the limiter collapses.
 //
 // A full admission queue answers 429 with Retry-After. SIGINT/SIGTERM
 // starts a graceful drain: new requests get 503, in-flight requests
@@ -86,6 +96,10 @@ func main() {
 		slowThresh  = flag.Duration("slow", time.Duration(telemetry.DefaultSlowNS), "latency at which a request is retained in the flight recorder's notable ring")
 		stateDir    = flag.String("state-dir", "", "durable control-plane state directory: registry mutations are journaled and replayed on restart, and ?session= parses checkpoint here (empty = in-memory only)")
 		engineSel   = flag.String("engine", serve.EngineFast, "execution backend: fast (batched table-driven engine) or sim (cycle-accurate simulator; chaos-guarded parses always run sim)")
+		latencyTgt  = flag.Duration("latency-target", serve.DefaultLatencyTarget, "parse-latency target the AIMD concurrency limiter steers toward")
+		brownout    = flag.Bool("brownout", false, "shed the cheapest-weight tenants first when the concurrency limiter collapses (see shed_total{reason=brownout})")
+		grayRate    = flag.Float64("gray-rate", 0, "chaos: per-activation latency-fault probability — the node stays correct but turns gray-slow (0 = no injection)")
+		grayDelay   = flag.Duration("gray-delay", 0, "chaos: stall applied when a gray latency fault fires (0 with -gray-rate set = count fires without sleeping)")
 	)
 	tf := telemetry.RegisterFlags(flag.CommandLine)
 	flag.Parse()
@@ -129,8 +143,11 @@ func main() {
 		}
 	})
 	var chaos *serve.ChaosOptions
-	if *faultRate > 0 || *killAfter > 0 || verifySet {
-		chaos = &serve.ChaosOptions{FaultRate: *faultRate, FaultSeed: *faultSeed, Verify: vm}
+	if *faultRate > 0 || *killAfter > 0 || *grayRate > 0 || verifySet {
+		chaos = &serve.ChaosOptions{
+			FaultRate: *faultRate, FaultSeed: *faultSeed, Verify: vm,
+			GrayRate: *grayRate, GrayDelay: *grayDelay,
+		}
 	}
 
 	var st *store.Store
@@ -165,6 +182,8 @@ func main() {
 		FlightSize:     *flightSize,
 		SlowThreshold:  *slowThresh,
 		Engine:         eng,
+		LatencyTarget:  *latencyTgt,
+		Brownout:       *brownout,
 	})
 	if err != nil {
 		fatal("%v", err)

@@ -5,6 +5,7 @@ import (
 	"math"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"aspen/internal/core"
 	"aspen/internal/telemetry"
@@ -197,14 +198,28 @@ type FaultConfig struct {
 	// Stream decorrelates injectors sharing one Seed (one per pooled
 	// execution context in the serving layer).
 	Stream int64
+	// DelayRate is the per-activation probability of a latency fault:
+	// the activation completes correctly but stalls for Delay first.
+	// This models gray failure — silicon (or the cache controller in
+	// front of it) that is slow but not wrong, which the fleet's binary
+	// alive/dead prober cannot see. 0 disables latency injection, and a
+	// disabled injector draws no extra PRNG words, so seeded
+	// flip/stuck-at sequences from older configs are unchanged.
+	DelayRate float64
+	// Delay is the stall applied when a latency fault fires. Delay 0
+	// with a positive DelayRate still draws and counts fires without
+	// sleeping (used by determinism tests).
+	Delay time.Duration
 }
 
 // Injector is a deterministic per-context fault source implementing
 // core.FaultInjector. It is not safe for concurrent use: give each
 // execution context its own (they stay reproducible via Stream).
 type Injector struct {
-	state  uint64 // splitmix64 PRNG state
-	thresh uint64 // fault when next() < thresh
+	state       uint64 // splitmix64 PRNG state
+	thresh      uint64 // fault when next() < thresh
+	delayThresh uint64 // latency fault when a separate draw < delayThresh
+	delay       time.Duration
 
 	numStates int
 	fabric    *Fabric
@@ -214,6 +229,7 @@ type Injector struct {
 	flips    int
 	stucks   int
 	kills    int
+	delays   int
 
 	// Optional injection-side telemetry: the fault source itself
 	// publishes what it injected (ground truth), so the serving layer
@@ -222,6 +238,11 @@ type Injector struct {
 	cFlips  *telemetry.Counter
 	cStucks *telemetry.Counter
 	cKills  *telemetry.Counter
+	cDelays *telemetry.Counter
+
+	// sleep is swappable so tests can observe stalls without waiting
+	// them out.
+	sleep func(time.Duration)
 }
 
 // NewInjector builds an injector for a machine of numStates states
@@ -238,13 +259,26 @@ func NewInjector(cfg FaultConfig, numStates int, fabric *Fabric, lo, hi int) *In
 	if rate < 1 {
 		thresh = uint64(rate * math.MaxUint64)
 	}
+	dRate := cfg.DelayRate
+	if dRate < 0 {
+		dRate = 0
+	}
+	var delayThresh uint64
+	if dRate >= 1 {
+		delayThresh = ^uint64(0)
+	} else if dRate > 0 {
+		delayThresh = uint64(dRate * math.MaxUint64)
+	}
 	in := &Injector{
-		state:     splitmix64Seed(cfg.Seed, cfg.Stream),
-		thresh:    thresh,
-		numStates: numStates,
-		fabric:    fabric,
-		lo:        lo,
-		hi:        hi,
+		state:       splitmix64Seed(cfg.Seed, cfg.Stream),
+		thresh:      thresh,
+		delayThresh: delayThresh,
+		delay:       cfg.Delay,
+		numStates:   numStates,
+		fabric:      fabric,
+		lo:          lo,
+		hi:          hi,
+		sleep:       time.Sleep,
 	}
 	in.StartRun()
 	return in
@@ -272,7 +306,7 @@ func (in *Injector) next() uint64 {
 // that predate the attempt are invisible — the attempt is modeled as
 // freshly placed on live banks.
 func (in *Injector) StartRun() {
-	in.flips, in.stucks, in.kills = 0, 0, 0
+	in.flips, in.stucks, in.kills, in.delays = 0, 0, 0, 0
 	if in.fabric != nil {
 		in.startGen = in.fabric.Gen()
 	}
@@ -286,6 +320,15 @@ func (in *Injector) Fired() int { return in.flips + in.stucks + in.kills }
 func (in *Injector) Counts() (flips, stucks, kills int) {
 	return in.flips, in.stucks, in.kills
 }
+
+// Delays returns the number of latency faults injected since StartRun.
+// Latency faults are deliberately excluded from Fired(): a stall is not
+// corruption, and the recovery layer must not re-execute because of one.
+func (in *Injector) Delays() int { return in.delays }
+
+// SetDelayCounter routes injected-stall totals into a telemetry counter
+// (nil to disable), mirroring SetCounters for the corruption kinds.
+func (in *Injector) SetDelayCounter(c *telemetry.Counter) { in.cDelays = c }
 
 // SetCounters routes per-kind injection totals into telemetry counters
 // (any may be nil). They increment at injection time and never reset,
@@ -312,6 +355,24 @@ func (in *Injector) Activation(_ int, cur core.StateID, tos core.Symbol) (core.F
 				return f, true
 			}
 			in.startGen = g // the kill was elsewhere; back to the fast path
+		}
+	}
+	// Latency fault: a separate draw, taken only when armed, so
+	// configurations without DelayRate consume exactly the historical
+	// PRNG sequence and stay bit-for-bit reproducible against old seeds.
+	if in.delayThresh != 0 {
+		if d := in.next(); d <= in.delayThresh {
+			in.delays++
+			if in.cDelays != nil {
+				in.cDelays.Inc()
+			}
+			if in.delay > 0 {
+				if in.sleep != nil {
+					in.sleep(in.delay)
+				} else {
+					time.Sleep(in.delay)
+				}
+			}
 		}
 	}
 	if in.thresh == 0 {

@@ -2,6 +2,7 @@ package arch
 
 import (
 	"testing"
+	"time"
 
 	"aspen/internal/core"
 	"aspen/internal/telemetry"
@@ -215,5 +216,73 @@ func TestCapacityAfterBankLoss(t *testing.T) {
 	}
 	if got := f.CapacityInRange(0, n, per).Contexts; got != 1 {
 		t.Errorf("fully dead fabric contexts = %d, want floor 1", got)
+	}
+}
+
+// Latency faults: armed injectors stall deterministically; disarmed
+// configs must draw exactly the historical PRNG sequence so old seeded
+// chaos runs stay reproducible bit-for-bit.
+func TestInjectorLatencyFault(t *testing.T) {
+	// Same (seed, rates) → same delay-fire sequence and same fault draws.
+	cfg := FaultConfig{Rate: 0.05, Seed: 42, DelayRate: 0.1, Delay: time.Millisecond}
+	a := NewInjector(cfg, 16, nil, 0, 0)
+	b := NewInjector(cfg, 16, nil, 0, 0)
+	var slept, sleptB int
+	a.sleep = func(time.Duration) { slept++ }
+	b.sleep = func(time.Duration) { sleptB++ }
+	sa, sb := drawSequence(a, 4096), drawSequence(b, 4096)
+	for i := range sa {
+		if sa[i] != sb[i] {
+			t.Fatalf("same-seed injectors diverged at draw %d", i)
+		}
+	}
+	if a.Delays() == 0 || a.Delays() != b.Delays() {
+		t.Fatalf("delay counts diverged or never fired: %d vs %d", a.Delays(), b.Delays())
+	}
+	if slept != a.Delays() || sleptB != b.Delays() {
+		t.Fatalf("sleep calls %d/%d do not match Delays %d/%d", slept, sleptB, a.Delays(), b.Delays())
+	}
+	// Stalls are not corruption: they must not count as Fired.
+	flips, stucks, kills := a.Counts()
+	if a.Fired() != flips+stucks+kills {
+		t.Errorf("Fired %d includes delays", a.Fired())
+	}
+	if a.StartRun(); a.Delays() != 0 {
+		t.Error("StartRun did not reset the delay count")
+	}
+}
+
+func TestInjectorDelayDisabledPreservesSequences(t *testing.T) {
+	// The corruption-fault sequence with DelayRate=0 must be identical
+	// to a config that never heard of latency faults — i.e. the armed
+	// check must be the only thing consuming extra PRNG words.
+	legacy := NewInjector(FaultConfig{Rate: 0.05, Seed: 9}, 16, nil, 0, 0)
+	modern := NewInjector(FaultConfig{Rate: 0.05, Seed: 9, DelayRate: 0, Delay: time.Second}, 16, nil, 0, 0)
+	sl, sm := drawSequence(legacy, 4096), drawSequence(modern, 4096)
+	for i := range sl {
+		if sl[i] != sm[i] {
+			t.Fatalf("DelayRate=0 perturbed the draw sequence at %d", i)
+		}
+	}
+	if modern.Delays() != 0 {
+		t.Errorf("disarmed injector recorded %d delays", modern.Delays())
+	}
+}
+
+func TestInjectorDelayCounterAndZeroDelay(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	c := reg.Counter("fault_delays_total", "test")
+	// Delay 0 with positive rate: draws and counts fire, never sleeps.
+	in := NewInjector(FaultConfig{DelayRate: 1, Seed: 1}, 16, nil, 0, 0)
+	in.sleep = func(time.Duration) { t.Fatal("zero-delay injector slept") }
+	in.SetDelayCounter(c)
+	for i := 0; i < 100; i++ {
+		in.Activation(i, 0, 'X')
+	}
+	if in.Delays() != 100 {
+		t.Fatalf("DelayRate=1 fired %d/100", in.Delays())
+	}
+	if c.Value() != 100 {
+		t.Fatalf("telemetry counter %d, want 100", c.Value())
 	}
 }

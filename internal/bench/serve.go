@@ -103,6 +103,27 @@ func Serve(sizeBytes int) (*Table, []ServeRow) {
 		})
 	}
 
+	// Admission-decision overhead, isolated: one goroutine drives the
+	// full admission cycle (snapshot lookup, waiting-room ticket, shed
+	// checks, weighted-fair fast-path token) with no HTTP and no parse.
+	// This is the overload layer's per-request tax, and its allocation
+	// count is pinned at zero (TestAdmitCycleAllocs) — a nonzero
+	// allocs/req here is a steady-state fast-path regression.
+	const admitN = 200000
+	var ms0, ms1 runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&ms0)
+	start := time.Now()
+	for i := 0; i < admitN; i++ {
+		if err := srv.BenchAdmitCycle("JSON", int64(sizeBytes)); err != nil {
+			panic(err)
+		}
+	}
+	admitEl := time.Since(start)
+	runtime.ReadMemStats(&ms1)
+	admitNS := float64(admitEl.Nanoseconds()) / admitN
+	admitAllocs := float64(ms1.Mallocs-ms0.Mallocs) / admitN
+
 	tbl := &Table{
 		ID:    "serve",
 		Title: "aspend service throughput at bank-derived concurrency",
@@ -111,6 +132,7 @@ func Serve(sizeBytes int) (*Table, []ServeRow) {
 		Notes: []string{
 			fmt.Sprintf("Each grammar is driven at min(contexts, 8) concurrent HTTP clients with %d-byte documents; contexts derive from the grammar's bank share (§IV-C).", sizeBytes),
 			"allocs/req is whole-process (HTTP client included) and so an upper bound on the server's per-request allocation.",
+			"The admit row isolates the admission decision (snapshot lookup, waiting-room ticket, shed checks, weighted-fair token) on one goroutine — no HTTP, no parse; its allocs/req is pinned at zero by TestAdmitCycleAllocs.",
 		},
 	}
 	for _, r := range rows {
@@ -119,6 +141,10 @@ func Serve(sizeBytes int) (*Table, []ServeRow) {
 			d(r.Requests), f0(r.ReqPerSec), f2(r.MBPerSec), f0(r.P50us),
 			f0(r.NSPerKB), f0(r.AllocsPerReq)})
 	}
+	tbl.Rows = append(tbl.Rows, []string{
+		"admit", "-", "-", "1",
+		d(admitN), f0(1e9 / admitNS), "-", f2(admitNS / 1e3),
+		"-", f0(admitAllocs)})
 	return tbl, rows
 }
 

@@ -1,0 +1,253 @@
+package fleet
+
+import (
+	"bytes"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"aspen/internal/lang"
+	"aspen/internal/serve"
+	"aspen/internal/store"
+)
+
+// startSlowNode is startNode with a latency shim: every parse POST
+// stalls by delay before the real handler runs. This is the
+// gray-failure stand-in — the node is ready, correct, and slow, so
+// only latency-aware routing can see anything wrong with it.
+func startSlowNode(t *testing.T, delay time.Duration, opts serve.Options) *testNode {
+	t.Helper()
+	st, err := store.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { st.Close() })
+	opts.Store = st
+	srv, err := serve.New(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inner := srv.Handler()
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method == http.MethodPost && strings.HasPrefix(r.URL.Path, "/v1/parse/") {
+			time.Sleep(delay)
+		}
+		inner.ServeHTTP(w, r)
+	}))
+	t.Cleanup(ts.Close)
+	return &testNode{srv: srv, ts: ts}
+}
+
+func p99(durs []time.Duration) time.Duration {
+	if len(durs) == 0 {
+		return 0
+	}
+	sorted := append([]time.Duration(nil), durs...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	idx := len(sorted) * 99 / 100
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
+}
+
+// TestOverloadChaos is the overload acceptance scenario: one tenant
+// floods the fleet while one node is gray-slow, with hedging armed.
+// The quiet tenant must ride it out — never shed, tail latency within
+// 2× its unloaded baseline (with a CI-noise floor) — every shed the
+// flooding tenant receives must be a 429 carrying a valid Retry-After,
+// and a durable session driven through the storm must land byte-exact
+// totals (hedging must not duplicate side effects).
+func TestOverloadChaos(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second chaos scenario")
+	}
+	// A deliberately tiny waiting room (one worker, no queue slack) so
+	// that a modest flood overruns admission. Hot senders dribble their
+	// body (below) so each request holds its admission ticket for
+	// several milliseconds while blocked on Read — overlap is guaranteed
+	// without burning CPU. That matters twice over: CI machines can be
+	// single-core, where a CPU-bound flood would both slow the quiet
+	// tenant in a way no admission control can fix and serialize
+	// requests so thoroughly that admission never overlaps at all.
+	langs := []*lang.Language{lang.JSON(), lang.XML()}
+	nodeOpts := serve.Options{Languages: langs, Workers: 1, QueueDepth: -1}
+
+	fast := startSlowNode(t, 0, nodeOpts)
+	gray := startSlowNode(t, 20*time.Millisecond, nodeOpts)
+	rt, err := New(Options{
+		Nodes:          []string{fast.ts.URL, gray.ts.URL},
+		ProbeInterval:  25 * time.Millisecond,
+		RetryBackoff:   5 * time.Millisecond,
+		Hedge:          true,
+		GrayMinSamples: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(rt.Close)
+	front := httptest.NewServer(rt.Handler())
+	t.Cleanup(front.Close)
+
+	quietDoc := []byte(`<root><item id="i0">text</item><item id="i1">more</item></root>`)
+	hotDoc := []byte(`{"k": [` + strings.Repeat(`[1, "x", true], `, 64) + `0]}`)
+
+	// postDribbled streams hotDoc in two halves with a pause between —
+	// the parser blocks on Read mid-document, pinning the admission
+	// ticket without CPU. Chunked transfer (no Content-Length) also
+	// keeps the deadline predictor out of the picture for the flood:
+	// these sheds must come from the waiting room.
+	postDribbled := func(base string) (*http.Response, error) {
+		pr, pw := io.Pipe()
+		go func() {
+			half := len(hotDoc) / 2
+			pw.Write(hotDoc[:half])
+			time.Sleep(8 * time.Millisecond)
+			pw.Write(hotDoc[half:])
+			pw.Close()
+		}()
+		return http.Post(base+"/v1/parse/JSON", "application/octet-stream", pr)
+	}
+
+	quietOnce := func() (int, time.Duration) {
+		t0 := time.Now()
+		resp, err := http.Post(front.URL+"/v1/parse/XML", "application/octet-stream", bytes.NewReader(quietDoc))
+		if err != nil {
+			t.Error(err)
+			return 0, 0
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		return resp.StatusCode, time.Since(t0)
+	}
+
+	// Unloaded baseline for the quiet tenant, through the same router.
+	var baseline []time.Duration
+	for i := 0; i < 30; i++ {
+		code, d := quietOnce()
+		if code != http.StatusOK {
+			t.Fatalf("unloaded quiet request %d: status %d", i, code)
+		}
+		baseline = append(baseline, d)
+	}
+	baseP99 := p99(baseline)
+
+	// Ground truth for the session check: the same document, whole, on
+	// an unloaded fleet.
+	_, want := postParse(t, front.URL, "XML", "", quietDoc)
+	if !want.Accepted {
+		t.Fatalf("ground-truth parse rejected: %+v", want)
+	}
+
+	// The storm: the hot tenant floods both nodes directly (the fleet
+	// is saturated no matter how the router places), while the quiet
+	// tenant keeps probing through the router.
+	var (
+		stop       = make(chan struct{})
+		floodWG    sync.WaitGroup
+		shedCount  atomic.Int64
+		shedBadRA  atomic.Int64
+		floodOK    atomic.Int64
+		floodErr   atomic.Int64
+		floodOther atomic.Int64
+	)
+	for _, n := range []*testNode{fast, gray} {
+		// Enough concurrency to overrun the grammar's one-ticket
+		// waiting room on every node.
+		for i := 0; i < 8; i++ {
+			floodWG.Add(1)
+			go func(base string) {
+				defer floodWG.Done()
+				for {
+					select {
+					case <-stop:
+						return
+					default:
+					}
+					resp, err := postDribbled(base)
+					if err != nil {
+						floodErr.Add(1)
+						continue
+					}
+					io.Copy(io.Discard, resp.Body)
+					resp.Body.Close()
+					switch resp.StatusCode {
+					case http.StatusTooManyRequests:
+						shedCount.Add(1)
+						secs, err := strconv.Atoi(resp.Header.Get("Retry-After"))
+						if err != nil || secs < 1 || secs > 60 {
+							shedBadRA.Add(1)
+						}
+					case http.StatusOK:
+						floodOK.Add(1)
+					default:
+						floodOther.Add(1)
+					}
+				}
+			}(n.ts.URL)
+		}
+	}
+
+	// Quiet tenant under load: every request must come back 200.
+	var loaded []time.Duration
+	for i := 0; i < 60; i++ {
+		code, d := quietOnce()
+		if code != http.StatusOK {
+			close(stop)
+			floodWG.Wait()
+			t.Fatalf("quiet tenant shed under load: request %d answered %d", i, code)
+		}
+		loaded = append(loaded, d)
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	// A durable session through the storm: chunk, then conclude, and
+	// the totals must match the uninterrupted whole-document parse —
+	// duplicated side effects (a hedged chunk re-executed anywhere)
+	// would double-count bytes or tokens.
+	half := len(quietDoc) / 2
+	resp, part := postParse(t, front.URL, "XML", "session=storm-1", quietDoc[:half])
+	if resp.StatusCode != http.StatusOK || !part.Partial {
+		close(stop)
+		floodWG.Wait()
+		t.Fatalf("session chunk under load: status %d partial %v", resp.StatusCode, part.Partial)
+	}
+	resp, got := postParse(t, front.URL, "XML", "session=storm-1&final=1", quietDoc[half:])
+	close(stop)
+	floodWG.Wait()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("session conclude under load: status %d", resp.StatusCode)
+	}
+	if !got.Accepted || got.Bytes != want.Bytes || got.Tokens != want.Tokens || got.Cycles != want.Cycles {
+		t.Fatalf("session under storm diverged from ground truth:\n got %+v\nwant %+v", got, want)
+	}
+
+	if shedCount.Load() == 0 {
+		t.Fatalf("flood never produced a shed — the scenario did not overload the fleet (ok %d, err %d, other %d)",
+			floodOK.Load(), floodErr.Load(), floodOther.Load())
+	}
+	if bad := shedBadRA.Load(); bad != 0 {
+		t.Fatalf("%d of %d sheds carried an invalid Retry-After", bad, shedCount.Load())
+	}
+
+	loadedP99 := p99(loaded)
+	// 2× the unloaded baseline, with a floor against CI scheduler noise
+	// (the baseline can be a handful of ms; doubling noise is not a
+	// regression signal).
+	bound := 2 * baseP99
+	if floor := 300 * time.Millisecond; bound < floor {
+		bound = floor
+	}
+	if loadedP99 > bound {
+		t.Fatalf("quiet tenant p99 under load %v exceeds bound %v (baseline %v)", loadedP99, bound, baseP99)
+	}
+	t.Logf("quiet p99: baseline %v, loaded %v (bound %v); sheds %d; flood non-200/429 %d",
+		baseP99, loadedP99, bound, shedCount.Load(), floodOther.Load())
+}

@@ -56,6 +56,13 @@ const (
 	DefaultBreakerCooldown  = 2 * time.Second
 	DefaultVNodes           = 64
 	DefaultSessionIdleTTL   = 15 * time.Minute
+	DefaultGrayFactor       = 3.0
+	DefaultGrayMinSamples   = 16
+	// DefaultHedgeDelay is the hedge trigger until the forward-phase
+	// histogram is warm enough for a p95-derived delay.
+	DefaultHedgeDelay = 50 * time.Millisecond
+	// hedgeMinSamples gates the p95-derived delay on a warm histogram.
+	hedgeMinSamples = 50
 )
 
 // Options configures a Router. Nodes is required; everything else has
@@ -93,6 +100,23 @@ type Options struct {
 
 	// VNodes is each member's virtual-point count on the placement ring.
 	VNodes int
+
+	// GrayFactor demotes a ready member to last-resort placement when
+	// its successful-forward latency EWMA exceeds GrayFactor × the
+	// fastest ready member's (0 = DefaultGrayFactor). GrayMinSamples
+	// forwards must be observed on both sides before the comparison
+	// means anything (0 = DefaultGrayMinSamples).
+	GrayFactor     float64
+	GrayMinSamples int
+
+	// Hedge arms hedged requests for idempotent whole-document parses:
+	// when the primary node has not answered within the hedge delay
+	// (p95 of observed forward latency, DefaultHedgeDelay until warm),
+	// the same request is fired at the next-ranked node, the first
+	// answer wins, and the loser is canceled. Durable-session chunks
+	// are never hedged — replaying a chunk at two nodes would double
+	// its side effects.
+	Hedge bool
 
 	// SessionIdleTTL reaps router session state (sticky placement plus
 	// cached checkpoint image) untouched for this long. Only the
@@ -147,6 +171,12 @@ func (o *Options) withDefaults() error {
 	if o.VNodes <= 0 {
 		o.VNodes = DefaultVNodes
 	}
+	if o.GrayFactor <= 1 {
+		o.GrayFactor = DefaultGrayFactor
+	}
+	if o.GrayMinSamples <= 0 {
+		o.GrayMinSamples = DefaultGrayMinSamples
+	}
 	if o.SessionIdleTTL <= 0 {
 		o.SessionIdleTTL = DefaultSessionIdleTTL
 	}
@@ -170,6 +200,11 @@ type Router struct {
 	mux     *http.ServeMux
 
 	sessions sessionTable
+
+	// hedgeNS is the cached hedge-trigger delay, refreshed from the
+	// forward-phase p95 at probe ticks (0 until warm — readers fall
+	// back to DefaultHedgeDelay).
+	hedgeNS atomic.Int64
 
 	traceBase uint64
 	idSeq     atomic.Uint64
@@ -275,6 +310,58 @@ func (rt *Router) probeAll() {
 	} else {
 		rt.m.diverged.SetInt(1)
 	}
+	rt.refreshGray()
+	rt.refreshHedgeDelay()
+}
+
+// refreshGray recomputes each member's gray verdict against the fleet:
+// the reference is the fastest ready member's latency EWMA (with a
+// warm sample count), and anyone slower than GrayFactor × that is
+// demoted. The fastest member can never be gray by construction, so
+// demotion always leaves at least one undemoted candidate while
+// latencies diverge.
+func (rt *Router) refreshGray() {
+	min := 0.0
+	have := false
+	for _, m := range rt.members {
+		if m.state.Load() != stateReady || m.latency.Samples() < int64(rt.opt.GrayMinSamples) {
+			continue
+		}
+		if v := m.latency.Value(); !have || v < min {
+			min, have = v, true
+		}
+	}
+	for _, m := range rt.members {
+		g := have &&
+			m.latency.Samples() >= int64(rt.opt.GrayMinSamples) &&
+			m.latency.Value() > rt.opt.GrayFactor*min
+		m.setGray(g)
+	}
+}
+
+// refreshHedgeDelay re-derives the hedge trigger from the observed
+// forward-phase p95 once the histogram is warm.
+func (rt *Router) refreshHedgeDelay() {
+	hv := rt.m.phaseNS[phaseForward].Value()
+	if hv.Count < hedgeMinSamples {
+		return
+	}
+	p95 := int64(hv.Quantile(0.95))
+	if lo := int64(time.Millisecond); p95 < lo {
+		p95 = lo
+	}
+	if hi := rt.opt.RequestTimeout.Nanoseconds() / 4; hi > 0 && p95 > hi {
+		p95 = hi
+	}
+	rt.hedgeNS.Store(p95)
+}
+
+// hedgeDelay is the current hedge trigger.
+func (rt *Router) hedgeDelay() time.Duration {
+	if ns := rt.hedgeNS.Load(); ns > 0 {
+		return time.Duration(ns)
+	}
+	return DefaultHedgeDelay
 }
 
 // registryConverged reports whether every ready member with a polled
@@ -329,17 +416,27 @@ func (rt *Router) fingerprintFor(grammar string) string {
 }
 
 // candidatesFor ranks the fleet for a placement key and filters to
-// currently usable members. The full ranking (ignoring health) is
+// currently usable members, demoting gray (slow-but-ready) members
+// behind every healthy one — a stable partition, so ring order is
+// preserved within each class and gray capacity is still reachable
+// when nothing better remains. The full ranking (ignoring health) is
 // returned too — failover wants "who owned this before it died".
 func (rt *Router) candidatesFor(key uint64) (usable, ranked []*member) {
 	ranked = rt.ring.ranked(key, make([]*member, 0, len(rt.members)))
 	now := time.Now()
 	usable = make([]*member, 0, len(ranked))
+	var grays []*member
 	for _, m := range ranked {
-		if m.usable(now) {
-			usable = append(usable, m)
+		if !m.usable(now) {
+			continue
 		}
+		if m.gray.Load() {
+			grays = append(grays, m)
+			continue
+		}
+		usable = append(usable, m)
 	}
+	usable = append(usable, grays...)
 	return usable, ranked
 }
 

@@ -9,6 +9,7 @@ import (
 	"math/rand"
 	"net/http"
 	"strconv"
+	"strings"
 	"sync"
 	"time"
 
@@ -26,6 +27,7 @@ const (
 	outcomeRelayed  = "relayed"  // downstream answer relayed verbatim
 	outcomeDenied   = "denied"   // router-level refusal (413, no usable node)
 	outcomeFailover = "failover" // relayed, after moving the session
+	outcomeHedged   = "hedged"   // relayed, from the hedge leg (primary was slow)
 	outcomeTimeout  = "timeout"  // request deadline exhausted inside the router
 )
 
@@ -145,15 +147,34 @@ var errResponseTooLarge = errors.New("downstream response exceeds the configured
 
 // relay writes a downstream answer to the client verbatim (selected
 // headers; the router's own X-Aspen-Trace stamp is already set and the
-// node echoes the same ID anyway).
+// node echoes the same ID anyway). Retry-After is the one header the
+// router does not trust: it is clamped, not copied.
 func relay(w http.ResponseWriter, status int, hdr http.Header, body []byte) {
-	for _, k := range []string{"Content-Type", "Retry-After", "X-Aspen-Session-Bytes", "X-Aspen-Machine"} {
+	for _, k := range []string{"Content-Type", "X-Aspen-Session-Bytes", "X-Aspen-Machine"} {
 		if v := hdr.Get(k); v != "" {
 			w.Header().Set(k, v)
 		}
 	}
+	if v := hdr.Get("Retry-After"); v != "" {
+		w.Header().Set("Retry-After", clampRetryAfter(v))
+	}
 	w.WriteHeader(status)
 	w.Write(body)
+}
+
+// clampRetryAfter bounds a downstream Retry-After to [1, 60] seconds
+// before it reaches a client: a misbehaving node must not be able to
+// park the fleet's clients for an hour, nor (via zero or garbage)
+// invite an immediate stampede.
+func clampRetryAfter(v string) string {
+	secs, err := strconv.Atoi(strings.TrimSpace(v))
+	if err != nil || secs < 1 {
+		return "1"
+	}
+	if secs > 60 {
+		return "60"
+	}
+	return strconv.Itoa(secs)
 }
 
 // retryableStatus reports whether a downstream status means "this node
@@ -165,7 +186,10 @@ func retryableStatus(status int) bool {
 }
 
 // retryAfter extracts a downstream Retry-After (seconds form) as a
-// duration, 0 when absent or unparseable.
+// duration, 0 when absent or unparseable. The same distrust as the
+// outbound clamp applies inbound: a node asking for more than 60 s
+// would otherwise park the router's retry loop until the request
+// deadline killed it.
 func retryAfter(hdr http.Header) time.Duration {
 	v := hdr.Get("Retry-After")
 	if v == "" {
@@ -174,6 +198,9 @@ func retryAfter(hdr http.Header) time.Duration {
 	secs, err := strconv.Atoi(v)
 	if err != nil || secs < 0 {
 		return 0
+	}
+	if secs > 60 {
+		secs = 60
 	}
 	return time.Duration(secs) * time.Second
 }
@@ -272,7 +299,19 @@ func (rt *Router) forwardParse(ctx context.Context, w http.ResponseWriter, sp *s
 		}
 
 		t0 = time.Now()
-		status, hdr, respBody, err := rt.roundTrip(ctx, target, http.MethodPost, path, body, trace)
+		winner := target
+		var status int
+		var hdr http.Header
+		var respBody []byte
+		var legNS int64
+		var err error
+		if rt.opt.Hedge {
+			winner, status, hdr, respBody, legNS, err =
+				rt.hedgedForward(ctx, target, rt.pickBackup(key, tried, target), path, body, trace, tried)
+		} else {
+			status, hdr, respBody, err = rt.roundTrip(ctx, target, http.MethodPost, path, body, trace)
+			legNS = time.Since(t0).Nanoseconds()
+		}
 		sp.addSince(phaseForward, t0)
 
 		wait := time.Duration(0)
@@ -280,27 +319,37 @@ func (rt *Router) forwardParse(ctx context.Context, w http.ResponseWriter, sp *s
 		case err != nil:
 			if ctx.Err() != nil {
 				sp.status, sp.outcome = http.StatusGatewayTimeout, outcomeTimeout
-				httpError(w, http.StatusGatewayTimeout, "request deadline exhausted forwarding to %s", target.name)
+				httpError(w, http.StatusGatewayTimeout, "request deadline exhausted forwarding to %s", winner.name)
 				return
 			}
 			if errors.Is(err, errResponseTooLarge) {
 				sp.status, sp.outcome = http.StatusBadGateway, outcomeDenied
-				httpError(w, http.StatusBadGateway, "node %s answered more than %d bytes", target.name, rt.opt.MaxBodyBytes)
+				httpError(w, http.StatusBadGateway, "node %s answered more than %d bytes", winner.name, rt.opt.MaxBodyBytes)
 				return
 			}
-			target.noteForwardFailure(time.Now(), true)
-			tried[target] = true
+			winner.noteForwardFailure(time.Now(), true)
+			tried[winner] = true
 		case status == http.StatusTooManyRequests:
 			// Backpressure: the node is healthy, the queue is full. Wait as
-			// asked and re-offer (the same node stays eligible).
-			target.br.success()
+			// asked and re-offer (the same node stays eligible). No latency
+			// observation either — a shed answers instantly, and letting it
+			// into the EWMA would make an overloaded node look fast.
+			winner.br.success()
 			wait = retryAfter(hdr)
 		case retryableStatus(status):
-			target.noteForwardFailure(time.Now(), false)
-			tried[target] = true
+			winner.noteForwardFailure(time.Now(), false)
+			tried[winner] = true
 			wait = retryAfter(hdr)
 		default:
-			target.br.success()
+			winner.br.success()
+			if status == http.StatusOK {
+				// The gray detector compares members on work they all do:
+				// successful parses only, measured on the winning leg alone.
+				winner.latency.Observe(float64(legNS))
+			}
+			if winner != target {
+				sp.outcome = outcomeHedged
+			}
 			sp.status = status
 			relay(w, status, hdr, respBody)
 			return

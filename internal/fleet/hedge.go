@@ -1,0 +1,138 @@
+package fleet
+
+import (
+	"context"
+	"net/http"
+	"time"
+)
+
+// Hedged forwards. A gray node is slow, not broken: it answers 200
+// eventually, so neither the breaker nor the prober ever fires, and a
+// request placed on it simply eats the latency. The hedge bounds that
+// cost for idempotent work: when the primary has not answered within
+// the hedge delay (the observed forward p95, so hedges fire on the
+// slow tail only), the identical request is fired at the next-ranked
+// node, the first answer wins, and the loser's leg is canceled.
+//
+// Only whole-document parses are hedged. They are idempotent — the
+// same bytes produce the same verdict and mutate nothing — so the
+// worst case of a hedge is wasted work on the losing node.
+// Durable-session chunks are the opposite (each chunk advances
+// checkpoint state) and never take this path.
+
+// hedgeLeg is one outbound attempt of a hedged forward.
+type hedgeLeg struct {
+	m      *member
+	cancel context.CancelFunc
+
+	status int
+	hdr    http.Header
+	body   []byte
+	err    error
+	legNS  int64
+	// canceledByRouter marks a loser we canceled ourselves — such a
+	// leg's error is manufactured by the router and must never charge
+	// the member's breaker.
+	canceledByRouter bool
+}
+
+// hedgedForward forwards path to primary, hedging to backup after the
+// hedge delay. Returns the winning leg's member, answer, and own
+// elapsed time (not including any time spent waiting on the other
+// leg). Losing legs that failed genuinely are charged and added to
+// tried here; the returned leg is never charged — the caller's status
+// switch owns that, exactly as in the unhedged path.
+func (rt *Router) hedgedForward(ctx context.Context, primary, backup *member, path string, body []byte, trace string, tried map[*member]bool) (*member, int, http.Header, []byte, int64, error) {
+	if backup == nil {
+		t0 := time.Now()
+		status, hdr, respBody, err := rt.roundTrip(ctx, primary, http.MethodPost, path, body, trace)
+		return primary, status, hdr, respBody, time.Since(t0).Nanoseconds(), err
+	}
+
+	results := make(chan *hedgeLeg, 2) // buffered: a loser's goroutine never blocks
+	launch := func(m *member) *hedgeLeg {
+		lctx, cancel := context.WithCancel(ctx)
+		l := &hedgeLeg{m: m, cancel: cancel}
+		go func() {
+			t0 := time.Now()
+			l.status, l.hdr, l.body, l.err = rt.roundTrip(lctx, m, http.MethodPost, path, body, trace)
+			l.legNS = time.Since(t0).Nanoseconds()
+			if l.err != nil && lctx.Err() != nil && ctx.Err() == nil {
+				l.canceledByRouter = true
+			}
+			results <- l
+		}()
+		return l
+	}
+
+	p := launch(primary)
+	var b *hedgeLeg
+	var pDone, bDone bool
+	timer := time.NewTimer(rt.hedgeDelay())
+	defer timer.Stop()
+	for {
+		select {
+		case <-timer.C:
+			if b == nil && ctx.Err() == nil {
+				b = launch(backup)
+			}
+		case l := <-results:
+			if l == p {
+				pDone = true
+			} else {
+				bDone = true
+			}
+			if l.err == nil {
+				// First definitive answer wins; the other leg is canceled
+				// and its manufactured error charges nobody.
+				if b != nil {
+					if l == b {
+						rt.m.hedgeTotal[hedgeWin].Inc()
+					} else {
+						rt.m.hedgeTotal[hedgeLoss].Inc()
+					}
+				}
+				p.cancel()
+				if b != nil {
+					b.cancel()
+				}
+				return l.m, l.status, l.hdr, l.body, l.legNS, nil
+			}
+			if l.canceledByRouter {
+				continue
+			}
+			// A genuine failure. If the sibling leg is still in flight,
+			// charge this one here (the caller only sees the returned leg)
+			// and wait the sibling out; otherwise hand the failure back
+			// uncharged for the caller's retry loop.
+			siblingPending := (l == p && b != nil && !bDone) || (l == b && !pDone)
+			if siblingPending {
+				if ctx.Err() == nil {
+					l.m.noteForwardFailure(time.Now(), true)
+					tried[l.m] = true
+				}
+				continue
+			}
+			if b != nil {
+				rt.m.hedgeTotal[hedgeError].Inc()
+			}
+			p.cancel()
+			if b != nil {
+				b.cancel()
+			}
+			return l.m, 0, nil, nil, l.legNS, l.err
+		}
+	}
+}
+
+// pickBackup is the hedge target: the best-ranked usable member that
+// is neither the primary nor already tried this request.
+func (rt *Router) pickBackup(key uint64, tried map[*member]bool, primary *member) *member {
+	usable, _ := rt.candidatesFor(key)
+	for _, m := range usable {
+		if m != primary && !tried[m] {
+			return m
+		}
+	}
+	return nil
+}

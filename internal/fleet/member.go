@@ -49,13 +49,24 @@ type member struct {
 
 	lastErr atomic.Pointer[string]
 
+	// latency is the EWMA of successful whole-document forward times
+	// (ns). Sheds (429) and retryable failures are excluded — a node
+	// failing fast must not look fast. gray is the derived verdict,
+	// recomputed each probe round against the fleet-wide minimum: a
+	// member whose EWMA exceeds GrayFactor × the best ready member's is
+	// slow-but-ready (gray silicon, a saturated neighbor VM) and is
+	// demoted to last-resort placement without being removed.
+	latency telemetry.EWMA
+	gray    atomic.Bool
+
 	// Per-node series: state-loss transitions, forwards, forwarding
-	// failures, breaker opens.
+	// failures, breaker opens, gray demotions.
 	unhealthyTotal *telemetry.Counter
 	forwards       *telemetry.Counter
 	forwardErrs    *telemetry.Counter
 	breakerOpens   *telemetry.Counter
 	readyGauge     *telemetry.Gauge
+	grayGauge      *telemetry.Gauge
 }
 
 func newMember(addr string, reg *telemetry.Registry) *member {
@@ -77,6 +88,8 @@ func newMember(addr string, reg *telemetry.Registry) *member {
 			"circuit-breaker open transitions, by node"),
 		readyGauge: reg.Gauge(telemetry.LabeledName("fleet_node_ready", "node", name),
 			"1 while the member's /readyz answers 200"),
+		grayGauge: reg.Gauge(telemetry.LabeledName("fleet_node_gray", "node", name),
+			"1 while the member is demoted as gray (ready but much slower than the fleet)"),
 	}
 	m.readyGauge.SetInt(1) // optimistic until the first probe says otherwise
 	return m
@@ -106,9 +119,21 @@ func (m *member) setErr(err error) {
 }
 
 // usable reports whether new work may be placed on this member right
-// now: probed ready and not breaker-open.
+// now: probed ready and not breaker-open. Gray members stay usable —
+// demotion reorders them to the back of the candidate list, it never
+// removes capacity.
 func (m *member) usable(now time.Time) bool {
 	return m.state.Load() == stateReady && !m.br.open(now)
+}
+
+// setGray publishes a gray verdict and its gauge.
+func (m *member) setGray(g bool) {
+	m.gray.Store(g)
+	if g {
+		m.grayGauge.SetInt(1)
+	} else {
+		m.grayGauge.SetInt(0)
+	}
 }
 
 // noteForwardFailure records a failed forward against the breaker,

@@ -34,18 +34,38 @@ type routerMetrics struct {
 	diverged  *telemetry.Gauge   // 1 while ready members disagree on the grammar registry
 	ready     *telemetry.Gauge   // members currently probed ready
 
+	// hedgeTotal counts fired hedges by how they resolved
+	// (hedge_total{outcome=win|loss|error}); an unfired hedge — the
+	// primary answered within the delay — counts nothing.
+	hedgeTotal map[string]*telemetry.Counter
+
 	phaseNS [numPhases]*telemetry.Histogram
 }
 
+// Hedge outcomes: the hedge leg won, the primary won (hedge canceled),
+// or both legs failed.
+const (
+	hedgeWin   = "win"
+	hedgeLoss  = "loss"
+	hedgeError = "error"
+)
+
+var hedgeOutcomes = []string{hedgeWin, hedgeLoss, hedgeError}
+
 func newRouterMetrics(reg *telemetry.Registry) routerMetrics {
 	m := routerMetrics{
-		requests:  reg.Counter("fleet_requests_total", "requests admitted by the fleet router"),
-		retries:   reg.Counter("fleet_retries_total", "forward attempts beyond each request's first"),
-		failovers: reg.Counter("fleet_failovers_total", "durable sessions resumed on a replacement node"),
-		noNodes:   reg.Counter("fleet_no_node_total", "requests refused 503 because no usable member remained"),
-		sessions:  reg.Gauge("fleet_sessions", "durable sessions with a sticky placement tracked by the router"),
-		diverged:  reg.Gauge("fleet_registry_diverged", "1 while ready members disagree on the grammar registry"),
-		ready:     reg.Gauge("fleet_nodes_ready", "members currently probed ready"),
+		requests:   reg.Counter("fleet_requests_total", "requests admitted by the fleet router"),
+		retries:    reg.Counter("fleet_retries_total", "forward attempts beyond each request's first"),
+		failovers:  reg.Counter("fleet_failovers_total", "durable sessions resumed on a replacement node"),
+		noNodes:    reg.Counter("fleet_no_node_total", "requests refused 503 because no usable member remained"),
+		sessions:   reg.Gauge("fleet_sessions", "durable sessions with a sticky placement tracked by the router"),
+		diverged:   reg.Gauge("fleet_registry_diverged", "1 while ready members disagree on the grammar registry"),
+		ready:      reg.Gauge("fleet_nodes_ready", "members currently probed ready"),
+		hedgeTotal: make(map[string]*telemetry.Counter, len(hedgeOutcomes)),
+	}
+	for _, o := range hedgeOutcomes {
+		m.hedgeTotal[o] = reg.Counter(telemetry.LabeledName("hedge_total", "outcome", o),
+			"hedged whole-document forwards that fired, by resolution")
 	}
 	for i := range m.phaseNS {
 		m.phaseNS[i] = reg.Histogram(

@@ -1,0 +1,275 @@
+package fleet
+
+import (
+	"bytes"
+	"io"
+	"net/http"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestClampRetryAfter pins the clamp table: everything a downstream
+// node can put in Retry-After maps into [1, 60].
+func TestClampRetryAfter(t *testing.T) {
+	cases := map[string]string{
+		"30":      "30",
+		"1":       "1",
+		"60":      "60",
+		"0":       "1",
+		"-5":      "1",
+		"600":     "60",
+		"garbage": "1",
+		" 45 ":    "45",
+		"":        "1",
+	}
+	for in, want := range cases {
+		if got := clampRetryAfter(in); got != want {
+			t.Errorf("clampRetryAfter(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+// TestRelayedRetryAfterClamped: a node answering a relayed status with
+// an hour-long Retry-After reaches the client clamped to 60 — the stub
+// regression for the relay-side clamp. 410 is used because the router
+// relays it verbatim without retrying.
+func TestRelayedRetryAfterClamped(t *testing.T) {
+	stub := newStub(t, func(n int64, w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Retry-After", "3600")
+		w.WriteHeader(http.StatusGone)
+		io.WriteString(w, `{"error":"wrong machine"}`)
+	})
+	_, ts := stubRouter(t, Options{}, stub)
+
+	resp, err := http.Post(ts.URL+"/v1/parse/JSON", "application/octet-stream", bytes.NewReader([]byte("{}")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusGone {
+		t.Fatalf("status %d, want 410 relayed", resp.StatusCode)
+	}
+	if got := resp.Header.Get("Retry-After"); got != "60" {
+		t.Fatalf("relayed Retry-After %q, want clamped to 60", got)
+	}
+}
+
+// TestShed429NeverTripsBreakerOrGray: a node shedding every request
+// with 429 is healthy by definition — the regression pins that sheds
+// open no breaker, record no forward errors, and feed no latency
+// samples into the gray detector.
+func TestShed429NeverTripsBreakerOrGray(t *testing.T) {
+	stub := newStub(t, func(n int64, w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Retry-After", "0")
+		w.WriteHeader(http.StatusTooManyRequests)
+	})
+	rt, ts := stubRouter(t, Options{MaxRetries: 1, BreakerThreshold: 2}, stub)
+
+	for i := 0; i < 4; i++ {
+		resp, err := http.Post(ts.URL+"/v1/parse/JSON", "application/octet-stream", bytes.NewReader([]byte("{}")))
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadGateway {
+			t.Fatalf("request %d: status %d, want 502 after absorbing the 429s", i, resp.StatusCode)
+		}
+	}
+	m := rt.members[0]
+	if m.br.open(time.Now()) {
+		t.Fatal("429 sheds opened the breaker")
+	}
+	if got := m.forwardErrs.Value(); got != 0 {
+		t.Fatalf("fleet_node_forward_errors_total = %d after pure 429s, want 0", got)
+	}
+	if got := m.latency.Samples(); got != 0 {
+		t.Fatalf("latency EWMA took %d samples from 429s, want 0", got)
+	}
+	rt.refreshGray()
+	if m.gray.Load() {
+		t.Fatal("429 sheds marked the node gray")
+	}
+}
+
+// TestGrayDemotionOrdering is the whitebox demotion test: a ready
+// member whose latency EWMA exceeds GrayFactor × the fleet minimum
+// drops behind every healthy member in candidatesFor — stable within
+// each class — stays usable, and recovers when its latency does.
+func TestGrayDemotionOrdering(t *testing.T) {
+	fast1 := newStub(t, func(n int64, w http.ResponseWriter, r *http.Request) { ok200(w) })
+	fast2 := newStub(t, func(n int64, w http.ResponseWriter, r *http.Request) { ok200(w) })
+	slow := newStub(t, func(n int64, w http.ResponseWriter, r *http.Request) { ok200(w) })
+	rt, _ := stubRouter(t, Options{GrayMinSamples: 4, GrayFactor: 3}, fast1, fast2, slow)
+
+	var slowM *member
+	for _, m := range rt.members {
+		if "http://"+m.name == slow.ts.URL {
+			slowM = m
+		}
+	}
+	for _, m := range rt.members {
+		for i := 0; i < 8; i++ {
+			if m == slowM {
+				m.latency.Observe(100e6) // 100ms
+			} else {
+				m.latency.Observe(10e6) // 10ms
+			}
+		}
+	}
+	rt.refreshGray()
+	if !slowM.gray.Load() {
+		t.Fatal("10× slower member not marked gray")
+	}
+	for _, m := range rt.members {
+		if m != slowM && m.gray.Load() {
+			t.Fatalf("healthy member %s marked gray", m.name)
+		}
+	}
+	key := fnv64(rt.fingerprintFor("JSON"))
+	usable, _ := rt.candidatesFor(key)
+	if len(usable) != 3 {
+		t.Fatalf("gray demotion removed capacity: %d usable members, want 3", len(usable))
+	}
+	if usable[len(usable)-1] != slowM {
+		t.Fatal("gray member not demoted to last place")
+	}
+
+	// Recovery: the EWMA converges back down and the next probe round
+	// un-demotes.
+	for i := 0; i < 64; i++ {
+		slowM.latency.Observe(10e6)
+	}
+	rt.refreshGray()
+	if slowM.gray.Load() {
+		t.Fatal("member still gray after its latency recovered")
+	}
+}
+
+// slowSwitch lets a stub sleep only while armed — hedge tests flip it
+// per phase.
+type slowSwitch struct {
+	delay atomic.Int64 // ns; 0 = fast
+}
+
+func (s *slowSwitch) maybeSleep() {
+	if d := s.delay.Load(); d > 0 {
+		time.Sleep(time.Duration(d))
+	}
+}
+
+// hedgeFleet builds a two-stub fleet with hedging armed and returns
+// (router, client server, primary stub switch, backup stub switch,
+// primary member, backup member) where "primary" is the ring's
+// first-ranked member for grammar JSON.
+func hedgeFleet(t *testing.T) (*Router, string, *slowSwitch, *slowSwitch, *member, *member) {
+	t.Helper()
+	swA, swB := &slowSwitch{}, &slowSwitch{}
+	mkStub := func(sw *slowSwitch, marker string) *stubNode {
+		return newStub(t, func(n int64, w http.ResponseWriter, r *http.Request) {
+			sw.maybeSleep()
+			w.Header().Set("Content-Type", "application/json")
+			io.WriteString(w, `{"grammar":"JSON","accepted":true,"node":"`+marker+`"}`)
+		})
+	}
+	a, b := mkStub(swA, "a"), mkStub(swB, "b")
+	rt, ts := stubRouter(t, Options{Hedge: true, MaxRetries: 1}, a, b)
+
+	key := fnv64(rt.fingerprintFor("JSON"))
+	usable, _ := rt.candidatesFor(key)
+	if len(usable) != 2 {
+		t.Fatalf("fleet not fully ready: %d usable", len(usable))
+	}
+	primary, backup := usable[0], usable[1]
+	swP, swB2 := swA, swB
+	if "http://"+primary.name == b.ts.URL {
+		swP, swB2 = swB, swA
+	}
+	return rt, ts.URL, swP, swB2, primary, backup
+}
+
+// TestHedgeWinsOnSlowPrimary: when the primary sits on a request past
+// the hedge delay, the hedge leg answers, the client gets the backup's
+// response, the win is counted, and the canceled primary leg charges
+// nothing.
+func TestHedgeWinsOnSlowPrimary(t *testing.T) {
+	rt, base, swP, _, primary, backup := hedgeFleet(t)
+	swP.delay.Store(int64(400 * time.Millisecond))
+
+	t0 := time.Now()
+	resp, err := http.Post(base+"/v1/parse/JSON", "application/octet-stream", bytes.NewReader([]byte("{}")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d, want 200 from the hedge leg", resp.StatusCode)
+	}
+	if elapsed := time.Since(t0); elapsed >= 400*time.Millisecond {
+		t.Fatalf("answer took %v — the hedge never rescued the request", elapsed)
+	}
+	if !bytes.Contains(body, []byte(`"node":"`)) {
+		t.Fatalf("unexpected body %s", body)
+	}
+	if got := rt.m.hedgeTotal[hedgeWin].Value(); got != 1 {
+		t.Fatalf("hedge_total{outcome=win} = %d, want 1", got)
+	}
+	if primary.br.open(time.Now()) || primary.forwardErrs.Value() != 0 {
+		t.Fatal("canceled primary leg was charged as a failure")
+	}
+	_ = backup
+}
+
+// TestHedgeLossCancelsBackup: the hedge fires but the primary still
+// answers first — the loss is counted and the canceled backup leg is
+// never charged.
+func TestHedgeLossCancelsBackup(t *testing.T) {
+	rt, base, swP, swB, _, backup := hedgeFleet(t)
+	swP.delay.Store(int64(120 * time.Millisecond)) // past the 50ms default hedge delay
+	swB.delay.Store(int64(2 * time.Second))        // hedge leg can never win
+
+	resp, err := http.Post(base+"/v1/parse/JSON", "application/octet-stream", bytes.NewReader([]byte("{}")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d, want 200 from the primary", resp.StatusCode)
+	}
+	if got := rt.m.hedgeTotal[hedgeLoss].Value(); got != 1 {
+		t.Fatalf("hedge_total{outcome=loss} = %d, want 1", got)
+	}
+	if backup.br.open(time.Now()) || backup.forwardErrs.Value() != 0 {
+		t.Fatal("canceled backup leg was charged as a failure")
+	}
+}
+
+// TestHedgeQuietWhenPrimaryFast: a healthy fast primary never fires
+// the hedge — no duplicate work, no hedge series movement.
+func TestHedgeQuietWhenPrimaryFast(t *testing.T) {
+	rt, base, _, _, primary, backup := hedgeFleet(t)
+	for i := 0; i < 5; i++ {
+		resp, err := http.Post(base+"/v1/parse/JSON", "application/octet-stream", bytes.NewReader([]byte("{}")))
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("request %d: status %d", i, resp.StatusCode)
+		}
+	}
+	for _, o := range hedgeOutcomes {
+		if got := rt.m.hedgeTotal[o].Value(); got != 0 {
+			t.Fatalf("hedge_total{outcome=%s} = %d with a fast primary, want 0", o, got)
+		}
+	}
+	if primary.forwards.Value() != 5 || backup.forwards.Value() != 0 {
+		t.Fatalf("forwards split %d/%d, want 5/0 (no duplicate work)",
+			primary.forwards.Value(), backup.forwards.Value())
+	}
+}

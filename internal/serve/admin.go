@@ -97,6 +97,9 @@ func (s *Server) lookupLang(name string) *lang.Language {
 // no longer references. Caller holds adminMu.
 func (s *Server) publish(old, next *tenantSet) {
 	s.tenants.Store(next)
+	// Membership changed: recompute the overload plan (AIMD ceiling,
+	// brownout shed ranks) against the new tenant set.
+	s.applyOverloadPlan(next)
 	s.m.reloadSwaps.Inc()
 	for _, name := range old.names {
 		g := old.byName[name]
@@ -360,13 +363,17 @@ func cloneWith(ts *tenantSet, name string, g *grammarEntry) *tenantSet {
 // adminRequest is the POST /v1/admin/grammars body. The upload op adds
 // format/source/limits; the other ops ignore them.
 type adminRequest struct {
-	Op      string `json:"op"` // add | remove | swap | reload | upload
+	Op      string `json:"op"` // add | remove | swap | reload | upload | weight
 	Grammar string `json:"grammar"`
 	// Upload fields: the source format ("grammar" | "mnrl" | "pda"),
 	// the machine definition text, and optional admission ceilings.
 	Format string       `json:"format,omitempty"`
 	Source string       `json:"source,omitempty"`
 	Limits admit.Limits `json:"limits,omitempty"`
+	// Weight is the scheduling weight for the weight op: it overrides
+	// the cost-derived default share for Grammar in the weighted-fair
+	// scheduler (journaled; survives restart).
+	Weight int `json:"weight,omitempty"`
 }
 
 // adminBodyLimit bounds the admin request body: the admission source
@@ -381,9 +388,11 @@ type AdminResponse struct {
 	Admitted bool   `json:"admitted,omitempty"`
 	// Upload admission facts: the proven stack depth bound and machine
 	// size of the newly admitted machine.
-	StackBound int           `json:"stackBound,omitempty"`
-	States     int           `json:"states,omitempty"`
-	Grammars   []GrammarInfo `json:"grammars"`
+	StackBound int `json:"stackBound,omitempty"`
+	States     int `json:"states,omitempty"`
+	// Weight echoes the applied scheduling weight for the weight op.
+	Weight   int           `json:"weight,omitempty"`
+	Grammars []GrammarInfo `json:"grammars"`
 }
 
 // RejectionResponse is the 422 body of a rejected upload: the
@@ -414,6 +423,9 @@ func (s *Server) handleAdminGrammars(w http.ResponseWriter, r *http.Request) {
 		err = s.SwapGrammar(req.Grammar)
 	case "reload":
 		resp.Swapped, err = s.Reload()
+	case "weight":
+		err = s.SetWeight(req.Grammar, req.Weight)
+		resp.Weight = req.Weight
 	case "upload":
 		sp := s.beginSpan(w, r)
 		sp.grammar = req.Grammar
@@ -451,6 +463,8 @@ func (s *Server) handleAdminGrammars(w http.ResponseWriter, r *http.Request) {
 			status = http.StatusNotFound
 		case errors.Is(err, ErrGrammarLoaded), errors.Is(err, ErrLastGrammar):
 			status = http.StatusConflict
+		case errors.Is(err, ErrWeightRange):
+			status = http.StatusBadRequest
 		}
 		writeJSON(w, status, ErrorResponse{Error: err.Error()})
 		return

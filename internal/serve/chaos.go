@@ -76,6 +76,13 @@ type ChaosOptions struct {
 	// BreakerCooldown is how long an open breaker sheds load before
 	// letting one probe request through (0 = default).
 	BreakerCooldown time.Duration
+	// GrayRate is the per-activation probability of an injected latency
+	// stall — the gray-failure fault: the node stays alive, ready, and
+	// correct, just slow, which is exactly what the fleet's latency
+	// EWMAs (and nothing else) should catch. 0 disables.
+	GrayRate float64
+	// GrayDelay is the stall applied when a gray fault fires.
+	GrayDelay time.Duration
 	// Verify selects the oracle-free corruption detector guarded parses
 	// run under (off | scrub | dmr | tmr). The zero value is
 	// verify.ModeOff — detection then rests on hardware-announced bank

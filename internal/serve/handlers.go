@@ -174,7 +174,34 @@ func (s *Server) handleParse(w http.ResponseWriter, r *http.Request) {
 	ctx, cancel := context.WithTimeout(r.Context(), s.opts.RequestTimeout)
 	defer cancel()
 
+	// Overload control (overload.go), before any queuing: a request the
+	// cost model says cannot finish inside its deadline — or whose
+	// tenant the brownout ladder has shed — answers 429 now instead of
+	// burning an execution context to fail later.
+	remaining := s.opts.RequestTimeout
+	if d, ok := r.Context().Deadline(); ok {
+		if until := time.Until(d); until < remaining {
+			remaining = until
+		}
+	}
+	if reason := s.overloadCheck(g, r.ContentLength, remaining); reason != "" {
+		s.m.shedTotal[reason].Inc()
+		w.Header().Set("Retry-After", s.retryAfter(g))
+		s.writeErr(w, &sp, g, http.StatusTooManyRequests, outcomeShed,
+			"request shed ("+reason+") for grammar "+g.name)
+		return
+	}
+
 	start := time.Now()
+	// Two-stage scheduling: a weighted-fair execution token (the global
+	// AIMD-limited pool, arbitrated across tenants by machine cost) and
+	// then this grammar's bank-backed worker slot. Both waits are queue
+	// time.
+	if err := s.sched.acquire(ctx, g.flow); err != nil {
+		s.failCtx(w, &sp, g, err)
+		return
+	}
+	defer s.sched.release()
 	if err := g.acquireSlot(ctx); err != nil {
 		s.failCtx(w, &sp, g, err)
 		return
@@ -203,6 +230,16 @@ func (s *Server) handleParse(w http.ResponseWriter, r *http.Request) {
 	sp.retries = int32(retries)
 	sp.bytes = int64(out.Bytes)
 	parseNS := time.Since(start).Nanoseconds() - queueNS
+
+	// Feed the control loops: completed parses (and deadline blowouts,
+	// which are by definition bad samples) drive the AIMD limit and the
+	// tenant's ns/byte predictor. Other system errors say nothing about
+	// parse latency and are excluded.
+	if sysErr == nil {
+		s.observeParse(g, parseNS, out.Bytes)
+	} else if errors.Is(sysErr, context.DeadlineExceeded) {
+		s.observeParse(g, parseNS, 0)
+	}
 
 	if sysErr != nil {
 		s.writeSysErr(w, &sp, g, sysErr)
@@ -291,6 +328,7 @@ func (s *Server) admitRequest(name string) (*grammarEntry, int, admitDenial) {
 	// queueing without bound.
 	if err := g.admit(); err != nil {
 		s.m.throttled.Inc()
+		s.m.shedTotal[shedQueue].Inc()
 		return nil, http.StatusTooManyRequests, admitDenial{
 			msg:        "admission queue full for grammar " + g.name,
 			retryAfter: s.retryAfter(g),

@@ -67,6 +67,11 @@ type serviceMetrics struct {
 	degraded  *telemetry.Gauge
 	requestNS *telemetry.Histogram
 
+	// Overload-control series (overload.go): sheds by reason, and the
+	// AIMD limit currently in force.
+	shedTotal    map[string]*telemetry.Counter
+	limitCurrent *telemetry.Gauge
+
 	// Durable-control-plane series (admin.go, session.go, store wiring).
 	// Registered unconditionally: flat zeros without -state-dir.
 	journalAppends  *telemetry.Counter
@@ -138,6 +143,10 @@ func newServiceMetrics(reg *telemetry.Registry) serviceMetrics {
 		degraded:  reg.Gauge("serve_degraded", "1 once any fabric bank has been lost"),
 		requestNS: reg.Histogram("serve_request_ns", "end-to-end request latency (ns), queue wait included", requestNSBuckets),
 
+		shedTotal: admitCounters(reg, "shed_total", "reason", shedReasons,
+			"requests shed 429 by the overload layer, by reason"),
+		limitCurrent: reg.Gauge("limit_current", "AIMD adaptive concurrency limit currently in force"),
+
 		journalAppends:  reg.Counter("journal_appends_total", "registry mutation records fsync'd to the write-ahead journal"),
 		reloadSwaps:     reg.Counter("reload_swaps_total", "atomic registry snapshot swaps (admin mutations and SIGHUP reloads)"),
 		ckptCorrupt:     reg.Counter("checkpoint_store_corrupt_total", "stored session checkpoints refused by their integrity seals"),
@@ -191,6 +200,11 @@ type grammarMetrics struct {
 	queueLen  *telemetry.Gauge
 	requestNS *telemetry.Histogram
 
+	// overloadQueue is this tenant's weighted-fair backlog depth
+	// (tenant_queue_depth{grammar=} — requests parked waiting for an
+	// execution token, distinct from queueLen's admission tickets).
+	overloadQueue *telemetry.Gauge
+
 	// Span-phase latency attribution (trace.go): one histogram per
 	// lifecycle phase, serve_phase_ns{grammar=...,phase=...}. Resolved
 	// once here so recording a span touches atomics only.
@@ -205,6 +219,7 @@ type grammarMetrics struct {
 	faultFlips        *telemetry.Counter
 	faultStuck        *telemetry.Counter
 	faultKills        *telemetry.Counter
+	faultDelays       *telemetry.Counter
 	retries           *telemetry.Counter
 	checkpoints       *telemetry.Counter
 	recoveries        *telemetry.Counter
@@ -244,11 +259,14 @@ func newGrammarMetrics(reg *telemetry.Registry, grammar string) grammarMetrics {
 		bytes:     reg.Counter(p+"bytes_total", "request body bytes streamed into the parser"),
 		tokens:    reg.Counter(p+"tokens_total", "tokens fed to the "+grammar+" hDPDA"),
 		queueLen:  reg.Gauge(p+"queue_depth", "admission tickets held (running + waiting)"),
+		overloadQueue: reg.Gauge(telemetry.LabeledName("tenant_queue_depth", "grammar", grammar),
+			"requests parked in the tenant's weighted-fair backlog"),
 		requestNS: reg.Histogram(p+"request_ns", "per-request latency (ns) for grammar "+grammar, requestNSBuckets),
 
 		faultFlips:        reg.Counter(p+"fault_flips_total", "injected active-state-vector bit flips"),
 		faultStuck:        reg.Counter(p+"fault_stuck_total", "injected stuck-at stack-column faults"),
 		faultKills:        reg.Counter(p+"fault_kills_total", "runs aborted by mid-run bank loss"),
+		faultDelays:       reg.Counter(p+"fault_delays_total", "injected gray-failure latency stalls"),
 		retries:           reg.Counter(p+"retries_total", "checkpoint replay attempts"),
 		checkpoints:       reg.Counter(p+"checkpoints_total", "clean-progress checkpoints taken"),
 		recoveries:        reg.Counter(p+"recoveries_total", "faulted runs recovered by replay"),

@@ -85,6 +85,17 @@ type grammarEntry struct {
 	parkMu sync.Mutex
 	parked int
 
+	// Overload scheduling (overload.go): the machine cost heuristic
+	// (StackBound × TableKB, fixed at build), the runtime-overridable
+	// fair-share weight, the brownout shed rank (recomputed on every
+	// plan change), this tenant's WFQ flow, and the observed ns/byte
+	// predictor the deadline shed multiplies against Content-Length.
+	cost      int64
+	weight    atomic.Int64
+	shedRank  atomic.Int32
+	flow      *wfqFlow
+	nsPerByte telemetry.EWMA
+
 	m grammarMetrics
 }
 
@@ -146,11 +157,14 @@ func (g *grammarEntry) initChaos(s *Server) {
 			NewReplica: func(i int, hooks *core.ExecHooks) (*stream.Parser, error) {
 				lo, hi := g.replicaBanks(i)
 				inj := arch.NewInjector(arch.FaultConfig{
-					Rate:   g.chaos.FaultRate,
-					Seed:   g.chaos.FaultSeed,
-					Stream: seq*int64(g.replicas) + int64(i),
+					Rate:      g.chaos.FaultRate,
+					Seed:      g.chaos.FaultSeed,
+					Stream:    seq*int64(g.replicas) + int64(i),
+					DelayRate: g.chaos.GrayRate,
+					Delay:     g.chaos.GrayDelay,
 				}, len(g.cm.Machine.States), g.fabric, lo, hi)
 				inj.SetCounters(g.m.faultFlips, g.m.faultStuck, g.m.faultKills)
+				inj.SetDelayCounter(g.m.faultDelays)
 				u.injs = append(u.injs, inj)
 				p, err := stream.NewParser(g.lang, g.cm, core.ExecOptions{Hooks: hooks, Faults: inj})
 				if err != nil {
@@ -234,6 +248,18 @@ func newGrammarEntry(s *Server, l *lang.Language, fabricShare int) (*grammarEntr
 		g.prog = prog
 		g.batcher = newEngineBatcher(g.em)
 	}
+	// Overload plumbing: the cost heuristic needs the lowered table
+	// footprint, so it is computed after the engine decision above. The
+	// default weight IS the cost — every tenant then charges ~1 virtual
+	// unit per request (equal request-rate shares) until an operator
+	// re-weights it.
+	g.cost = costOf(g)
+	w := g.cost
+	if ov, ok := s.weights[l.Name]; ok {
+		w = int64(ov)
+	}
+	g.weight.Store(w)
+	g.flow = &wfqFlow{g: g}
 	g.parsers.New = func() any {
 		var p *stream.Parser
 		var err error
@@ -304,6 +330,10 @@ type GrammarInfo struct {
 	// for built-in grammars, whose depth is provisioned, not proven.
 	Format     string `json:"format,omitempty"`
 	StackBound int    `json:"stackBound,omitempty"`
+	// Overload scheduling: the machine cost heuristic and the tenant's
+	// current fair-share weight (equal to Cost unless overridden).
+	Cost   int64 `json:"cost,omitempty"`
+	Weight int64 `json:"weight,omitempty"`
 }
 
 func (g *grammarEntry) info(queueDepth int) GrammarInfo {
@@ -332,6 +362,8 @@ func (g *grammarEntry) info(queueDepth int) GrammarInfo {
 		QueueDepth:       queueDepth,
 		VerifyMode:       g.verifyMode().String(),
 		Replicas:         g.replicas,
+		Cost:             g.cost,
+		Weight:           g.weight.Load(),
 	}
 }
 

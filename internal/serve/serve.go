@@ -128,6 +128,16 @@ type Options struct {
 	// retained in the flight recorder's notable ring, surviving bursts of
 	// healthy traffic (0 = telemetry.DefaultSlowNS).
 	SlowThreshold time.Duration
+	// LatencyTarget is the parse-latency target the AIMD concurrency
+	// limiter steers toward (0 = DefaultLatencyTarget). Observed parse
+	// latency above the target halves the global execution-token limit;
+	// sustained good samples raise it back toward the fabric ceiling.
+	LatencyTarget time.Duration
+	// Brownout arms the degraded mode: when the limiter collapses to
+	// its floor and bad samples keep arriving, whole tenants are shed
+	// (429, lowest effective weight first) until the limiter recovers.
+	// Off by default — shedding entire tenants is an operator decision.
+	Brownout bool
 }
 
 // tenantSet is one immutable registry snapshot: the loaded grammars in
@@ -153,9 +163,19 @@ type Server struct {
 
 	// Control-plane state: adminMu serializes mutations (the data plane
 	// never takes it); known is every grammar name the server can
-	// resolve to a definition, adminMu-guarded after New.
+	// resolve to a definition, adminMu-guarded after New; weights holds
+	// the journaled fair-share overrides by grammar name (adminMu-guarded
+	// after New, applied to entries as they are built).
 	adminMu sync.Mutex
 	known   map[string]*lang.Language
+	weights map[string]int
+
+	// Overload control (overload.go): the AIMD execution-token limiter,
+	// the weighted-fair scheduler arbitrating those tokens across
+	// tenants, and the brownout ladder level (0 = nothing shed).
+	limiter       *aimd
+	sched         *wfq
+	brownoutLevel atomic.Int32
 
 	sessions sessionJar
 
@@ -247,11 +267,13 @@ func New(opts Options) (*Server, error) {
 	// and verify mode override the configured ones — flags describe the
 	// first boot, the journal describes every boot since.
 	replayed := false
+	weights := map[string]int{}
 	if opts.Store != nil && len(opts.Store.Replay.Records) > 0 {
-		names, mode, uploads, err := replayRegistry(opts.Store.Replay.Records)
+		names, mode, uploads, wts, err := replayRegistry(opts.Store.Replay.Records)
 		if err != nil {
 			return nil, err
 		}
+		weights = wts
 		langs = make([]*lang.Language, 0, len(names))
 		for _, n := range names {
 			l := uploads[n]
@@ -285,6 +307,7 @@ func New(opts Options) (*Server, error) {
 		reg:     reg,
 		cfg:     cfg,
 		known:   known,
+		weights: weights,
 		m:       newServiceMetrics(reg),
 		fabric:  arch.NewFabric(cfg.FabricBanksOrDefault()),
 		st:      opts.Store,
@@ -293,6 +316,8 @@ func New(opts Options) (*Server, error) {
 		flight: telemetry.NewFlightRecorder(opts.FlightSize, opts.FlightSize/4,
 			int64(opts.SlowThreshold), phaseNames),
 	}
+	s.limiter = newAIMD(opts.LatencyTarget, 1)
+	s.sched = newWFQ(s.limiter)
 	s.traceBase = uint64(s.started.UnixNano())
 	s.fabric.EnableTelemetry(reg)
 	if s.st != nil {
@@ -303,6 +328,7 @@ func New(opts Options) (*Server, error) {
 		return nil, err
 	}
 	s.tenants.Store(ts)
+	s.applyOverloadPlan(ts)
 	// First boot with a durable store: seed the journal so a crash
 	// before any mutation still replays to this exact registry.
 	if s.st != nil && !replayed {
@@ -330,9 +356,10 @@ func New(opts Options) (*Server, error) {
 // one is a no-op, not an error — because the journal already survived
 // CRC and sequence checks; only a final state the server cannot serve
 // (empty registry, or an upload record that no longer admits) is fatal.
-func replayRegistry(recs []store.Record) (names []string, mode string, uploads map[string]*lang.Language, err error) {
+func replayRegistry(recs []store.Record) (names []string, mode string, uploads map[string]*lang.Language, weights map[string]int, err error) {
 	loaded := make(map[string]bool)
 	uploadRec := make(map[string]store.Record)
+	weights = make(map[string]int)
 	for _, r := range recs {
 		switch r.Op {
 		case store.OpAddGrammar:
@@ -361,6 +388,11 @@ func replayRegistry(recs []store.Record) (names []string, mode string, uploads m
 			}
 		case store.OpVerifyMode:
 			mode = r.Name
+		case store.OpWeight:
+			// The last override per grammar wins; an override for a
+			// later-removed grammar is kept — if the grammar comes back,
+			// the operator's weight decision still stands.
+			weights[r.Name] = r.Weight
 		case store.OpSwapGrammar, store.OpPartition:
 			// Swaps rebuild an entry without changing membership; the
 			// partition is recomputed from membership on every boot (the
@@ -368,7 +400,7 @@ func replayRegistry(recs []store.Record) (names []string, mode string, uploads m
 		}
 	}
 	if len(names) == 0 {
-		return nil, "", nil, fmt.Errorf("serve: journal replays to an empty registry")
+		return nil, "", nil, nil, fmt.Errorf("serve: journal replays to an empty registry")
 	}
 	// Re-run the identical admission for every surviving upload.
 	// Admission is deterministic, so this can only fail on version skew
@@ -383,11 +415,11 @@ func replayRegistry(recs []store.Record) (names []string, mode string, uploads m
 		res, aerr := admit.Admit(r.Name, r.Format, r.Source, admit.Limits{
 			MaxStates: r.MaxStates, MaxDepth: r.MaxDepth, MaxTableKB: r.MaxTableKB})
 		if aerr != nil {
-			return nil, "", nil, fmt.Errorf("serve: journaled upload %q (%s) no longer admits: %w", n, r.Format, aerr)
+			return nil, "", nil, nil, fmt.Errorf("serve: journaled upload %q (%s) no longer admits: %w", n, r.Format, aerr)
 		}
 		uploads[n] = res.Language
 	}
-	return names, mode, uploads, nil
+	return names, mode, uploads, weights, nil
 }
 
 func resolveWith(r func(string) *lang.Language, name string) *lang.Language {

@@ -52,6 +52,7 @@ const (
 	outcomePartial  = "partial"      // 200, durable-session chunk acknowledged
 	outcomeDepth    = "depth"        // 422, provisioned stack depth exceeded
 	outcomeDenied   = "denied"       // 404/429/503: never reached a parser
+	outcomeShed     = "shed"         // 429, overload layer shed (deadline/brownout)
 	outcomeTimeout  = "timeout"      // 504, request deadline
 	outcomeCanceled = "canceled"     // client went away (no response written)
 	outcomeError    = "system_error" // transport/recovery failure

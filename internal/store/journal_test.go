@@ -19,6 +19,7 @@ func testRecords() []Record {
 		{Op: OpRemoveGrammar, Name: "XML"},
 		{Op: OpUpload, Name: "Paren", Format: "pda",
 			Source: []byte("[States]\nq0\nEnd\n"), MaxStates: 4096, MaxDepth: 256, MaxTableKB: 8192},
+		{Op: OpWeight, Name: "JSON", Weight: 12},
 	}
 }
 

@@ -44,6 +44,10 @@ const (
 	// replay re-runs the identical admission and rebuilds the identical
 	// machine.
 	OpUpload Op = 6
+	// OpWeight records an operator override of a grammar's fair-share
+	// weight in the overload scheduler (Name, Weight). Weight 0 is
+	// invalid; replay applies the last override per grammar.
+	OpWeight Op = 7
 )
 
 func (o Op) String() string {
@@ -60,6 +64,8 @@ func (o Op) String() string {
 		return "partition"
 	case OpUpload:
 		return "upload"
+	case OpWeight:
+		return "weight"
 	default:
 		return fmt.Sprintf("Op(%d)", int(o))
 	}
@@ -90,6 +96,8 @@ type Record struct {
 	MaxStates  int
 	MaxDepth   int
 	MaxTableKB int
+	// OpWeight: the overridden fair-share weight (integer ≥ 1).
+	Weight int
 }
 
 // ErrRecordCorrupt reports a record that failed to frame, failed its
@@ -172,6 +180,15 @@ func (r *Record) payload() ([]byte, error) {
 		out = binary.LittleEndian.AppendUint32(out, uint32(r.MaxTableKB))
 		out = binary.LittleEndian.AppendUint32(out, uint32(len(r.Source)))
 		return append(out, r.Source...), nil
+	case OpWeight:
+		if len(r.Name) == 0 || len(r.Name) > maxName {
+			return nil, fmt.Errorf("store: record name length %d out of range", len(r.Name))
+		}
+		if r.Weight < 1 || r.Weight > int(^uint32(0)) {
+			return nil, fmt.Errorf("store: weight %d out of range", r.Weight)
+		}
+		out := appendString(nil, r.Name)
+		return binary.LittleEndian.AppendUint32(out, uint32(r.Weight)), nil
 	default:
 		return nil, fmt.Errorf("store: unknown op %d", r.Op)
 	}
@@ -275,6 +292,19 @@ func DecodeRecord(data []byte) (Record, int, error) {
 		}
 		r.Source = append([]byte(nil), p[:slen]...)
 		p = p[slen:]
+	case OpWeight:
+		r.Name, p, err = takeString(p)
+		if err != nil {
+			return Record{}, 0, err
+		}
+		if len(p) < 4 {
+			return Record{}, 0, fmt.Errorf("%w: truncated weight", ErrRecordCorrupt)
+		}
+		r.Weight = int(binary.LittleEndian.Uint32(p))
+		p = p[4:]
+		if r.Weight < 1 {
+			return Record{}, 0, fmt.Errorf("%w: zero weight", ErrRecordCorrupt)
+		}
 	default:
 		// The frame is intact (CRC verified above) but the op is from a
 		// newer record vocabulary. This is a version skew, not corruption.

@@ -54,6 +54,8 @@ func TestRecordRejectsMalformedOnEncode(t *testing.T) {
 		{Op: 0, Name: "x"}, // unknown op
 		{Op: OpAddGrammar}, // empty name
 		{Op: OpPartition, Tenants: []TenantRange{{Name: ""}}}, // empty tenant
+		{Op: OpWeight, Name: "JSON", Weight: 0},               // weight below 1
+		{Op: OpWeight, Weight: 3},                             // empty name
 	}
 	for _, r := range cases {
 		if _, err := AppendRecord(nil, r); err == nil {

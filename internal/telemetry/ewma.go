@@ -1,0 +1,76 @@
+package telemetry
+
+import (
+	"math"
+	"sync/atomic"
+)
+
+// EWMA is an exponentially weighted moving average with a fixed
+// smoothing factor, safe for concurrent observers. Both the serve
+// overload layer (per-grammar ns/byte cost predictor) and the fleet
+// router (per-node forward-latency health signal) need the same thing:
+// a cheap, lock-free running estimate whose decision sequence is a pure
+// function of the observation stream — determinism is load-bearing for
+// the seeded overload tests, so Observe uses a CAS loop rather than a
+// racy read-modify-write.
+//
+// The zero value is ready to use with the default alpha (1/8, the
+// classic TCP SRTT constant). Samples() reports how many observations
+// have been folded in so callers can gate decisions on a minimum sample
+// count instead of trusting a cold average.
+type EWMA struct {
+	bits      atomic.Uint64 // float64 bits of the current average
+	samples   atomic.Int64
+	alphaBits atomic.Uint64 // float64 bits; zero means "use defaultAlpha"
+}
+
+const defaultAlpha = 0.125
+
+// NewEWMA returns an EWMA with the given smoothing factor in (0,1].
+// Out-of-range alphas fall back to the default.
+func NewEWMA(alpha float64) *EWMA {
+	e := &EWMA{}
+	if alpha > 0 && alpha <= 1 {
+		e.alphaBits.Store(math.Float64bits(alpha))
+	}
+	return e
+}
+
+func (e *EWMA) alpha() float64 {
+	if b := e.alphaBits.Load(); b != 0 {
+		return math.Float64frombits(b)
+	}
+	return defaultAlpha
+}
+
+// Observe folds one sample into the average. The first sample seeds the
+// average directly (no warm-up bias toward zero).
+func (e *EWMA) Observe(v float64) {
+	a := e.alpha()
+	for {
+		old := e.bits.Load()
+		var next float64
+		if e.samples.Load() == 0 {
+			next = v
+		} else {
+			next = math.Float64frombits(old)*(1-a) + v*a
+		}
+		if e.bits.CompareAndSwap(old, math.Float64bits(next)) {
+			e.samples.Add(1)
+			return
+		}
+	}
+}
+
+// Value returns the current average, or 0 before any sample.
+func (e *EWMA) Value() float64 { return math.Float64frombits(e.bits.Load()) }
+
+// Samples returns how many observations have been folded in.
+func (e *EWMA) Samples() int64 { return e.samples.Load() }
+
+// Reset clears the average and sample count (used when a node leaves
+// and rejoins the fleet, so stale history cannot keep it gray).
+func (e *EWMA) Reset() {
+	e.bits.Store(0)
+	e.samples.Store(0)
+}

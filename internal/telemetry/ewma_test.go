@@ -1,0 +1,81 @@
+package telemetry
+
+import (
+	"math"
+	"testing"
+)
+
+// Identical observation streams must produce identical value sequences —
+// the overload layer's decisions are derived from these averages, and
+// the seeded chaos tests rely on replayability.
+func TestEWMADeterminism(t *testing.T) {
+	stream := make([]float64, 0, 500)
+	x := uint64(0x9e3779b97f4a7c15)
+	for i := 0; i < 500; i++ {
+		x ^= x << 13
+		x ^= x >> 7
+		x ^= x << 17
+		stream = append(stream, float64(x%10_000_000))
+	}
+	run := func() []float64 {
+		e := NewEWMA(0.125)
+		out := make([]float64, 0, len(stream))
+		for _, v := range stream {
+			e.Observe(v)
+			out = append(out, e.Value())
+		}
+		return out
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("divergent value at step %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestEWMAFirstSampleSeeds(t *testing.T) {
+	e := NewEWMA(0.125)
+	if e.Value() != 0 || e.Samples() != 0 {
+		t.Fatalf("zero value not empty: %v/%d", e.Value(), e.Samples())
+	}
+	e.Observe(42)
+	if e.Value() != 42 {
+		t.Fatalf("first sample should seed directly, got %v", e.Value())
+	}
+	e.Observe(42)
+	if e.Value() != 42 {
+		t.Fatalf("constant stream must hold constant, got %v", e.Value())
+	}
+}
+
+func TestEWMAConvergesToConstant(t *testing.T) {
+	e := NewEWMA(0.25)
+	e.Observe(1000)
+	for i := 0; i < 200; i++ {
+		e.Observe(10)
+	}
+	if math.Abs(e.Value()-10) > 1e-6 {
+		t.Fatalf("did not converge to 10: %v", e.Value())
+	}
+	if e.Samples() != 201 {
+		t.Fatalf("sample count %d", e.Samples())
+	}
+}
+
+func TestEWMAResetAndDefaultAlpha(t *testing.T) {
+	e := NewEWMA(-3) // out of range → default alpha
+	if e.alpha() != defaultAlpha {
+		t.Fatalf("alpha fallback: %v", e.alpha())
+	}
+	e.Observe(99)
+	e.Reset()
+	if e.Value() != 0 || e.Samples() != 0 {
+		t.Fatalf("reset failed: %v/%d", e.Value(), e.Samples())
+	}
+	var zero EWMA
+	zero.Observe(7)
+	if zero.Value() != 7 {
+		t.Fatalf("zero-value EWMA unusable: %v", zero.Value())
+	}
+}

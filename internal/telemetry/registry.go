@@ -113,6 +113,10 @@ func (h *Histogram) Count() int64 { return h.count.Load() }
 // Sum returns the sum of observations.
 func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sum.Load()) }
 
+// Value returns a point-in-time copy of the histogram. Callers derive
+// policy from its quantiles (the fleet router's p95-based hedge delay).
+func (h *Histogram) Value() HistogramValue { return h.snapshot() }
+
 // snapshot captures the histogram state (per-bucket, not cumulative).
 func (h *Histogram) snapshot() HistogramValue {
 	hv := HistogramValue{

@@ -119,6 +119,12 @@ echo "$metrics" | grep -q 'fleet_phase_ns_bucket{phase="forward",le="' ||
     fail "router /metrics missing fleet_phase_ns{phase=...}"
 echo "$metrics" | grep -q 'fleet_node_unhealthy_total{node="' ||
     fail "router /metrics missing fleet_node_unhealthy_total{node=...}"
+# Overload/gray-failure surfaces: the per-node gray gauge and the hedge
+# resolution counters are registered even before they first move.
+echo "$metrics" | grep -q 'fleet_node_gray{node="' ||
+    fail "router /metrics missing fleet_node_gray{node=...}"
+echo "$metrics" | grep -q 'hedge_total{outcome="win"}' ||
+    fail "router /metrics missing hedge_total{outcome=...}"
 
 # Durable session through the router; find and SIGKILL its owner.
 printf '%s' "$half" |

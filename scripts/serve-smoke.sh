@@ -95,6 +95,14 @@ echo "$metrics" | grep -q '^engine_batch_occupancy ' ||
     fail "/metrics missing engine_batch_occupancy"
 echo "$metrics" | grep -q '^engine_fallback_total{reason="config"} ' ||
     fail "/metrics missing engine_fallback_total{reason=...}"
+# Overload-control surfaces: sheds by reason, the AIMD concurrency
+# gauge, and the per-tenant weighted-fair backlog gauge.
+echo "$metrics" | grep -q '^shed_total{reason="queue"} ' ||
+    fail "/metrics missing shed_total{reason=...}"
+echo "$metrics" | grep -q '^limit_current ' ||
+    fail "/metrics missing limit_current"
+echo "$metrics" | grep -q '^tenant_queue_depth{grammar="JSON"} ' ||
+    fail "/metrics missing tenant_queue_depth{grammar=...}"
 code=$(curl -sS -o /dev/null -w '%{http_code}' -X POST -d x \
     "http://$addr/v1/parse/NoSuch") || fail "404 probe failed"
 [ "$code" = "404" ] || fail "unknown grammar answered $code, want 404"
